@@ -1,0 +1,37 @@
+//! **Figure 10** — pushing down predicates.
+//!
+//! FF for 25 iterations at varying final-query selectivity (`MOD(node, X)
+//! = 0` keeps ~1/X of the nodes). With push-down the predicate moves into
+//! the non-iterative part and every iteration processes ~1/X of the data;
+//! the baseline evaluates the whole CTE and filters at the end, so its
+//! time is flat in X.
+//!
+//! Paper expectation: more than an order of magnitude at high selectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spinner_bench::{setup_db, BenchDataset, ITERATIONS};
+use spinner_engine::EngineConfig;
+use spinner_procedural::ff;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_pushdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for mod_x in [2i64, 10, 50, 100] {
+        for (mode, pushdown) in [("pushdown", true), ("baseline", false)] {
+            let config = EngineConfig::default().with_predicate_pushdown(pushdown);
+            let db = setup_db(BenchDataset::DblpLike, config, false);
+            let sql = ff(ITERATIONS, mod_x).cte;
+            group.bench_with_input(
+                BenchmarkId::new(mode, format!("selectivity-1/{mod_x}")),
+                &sql,
+                |b, sql| b.iter(|| db.query(sql).expect("ff")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

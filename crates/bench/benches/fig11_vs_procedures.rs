@@ -1,0 +1,47 @@
+//! **Figure 11** — iterative CTEs vs stored procedures (and, as an extra
+//! series, the SQLoop middleware baseline of §II).
+//!
+//! PR-VS, SSSP-VS and FF (50% selectivity) for 25 iterations, each in
+//! three formulations that compute identical results.
+//!
+//! Paper expectation: optimized CTEs ≥25% faster than stored procedures
+//! for PR/SSSP (rename + common-result), ≥80% faster for FF (push-down).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spinner_bench::{setup_db, BenchDataset, ITERATIONS};
+use spinner_engine::EngineConfig;
+use spinner_procedural::{ff, pagerank, run_script, sssp};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_vs_procedures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let workloads = [
+        ("pr-vs", pagerank(ITERATIONS, true), true),
+        ("sssp-vs", sssp(ITERATIONS, 1, true), true),
+        ("ff-50pct", ff(ITERATIONS, 2), false),
+    ];
+    for (name, workload, with_vs) in workloads {
+        let db = setup_db(BenchDataset::DblpLike, EngineConfig::default(), with_vs);
+        group.bench_with_input(
+            BenchmarkId::new(name, "iterative-cte"),
+            &workload.cte,
+            |b, sql| b.iter(|| db.query(sql).expect("cte")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(name, "stored-procedure"),
+            &workload.procedure,
+            |b, script| b.iter(|| run_script(&db, script).expect("procedure")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(name, "middleware"),
+            &workload.middleware,
+            |b, script| b.iter(|| run_script(&db, script).expect("middleware")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

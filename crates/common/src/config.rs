@@ -1,0 +1,141 @@
+//! Engine configuration and optimization toggles.
+//!
+//! Every optimization the paper evaluates can be switched off individually,
+//! which is how the benchmark harness reproduces the baseline series of
+//! Figures 8-10: the baseline is the same engine with the corresponding
+//! toggle disabled.
+
+/// Feature toggles and tuning knobs for a [`Database`](https://docs.rs) session.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineConfig {
+    /// Number of virtual shared-nothing workers (partitions). The paper's
+    /// testbed is an MPP cluster; we model it as hash partitions with
+    /// explicit exchange operators. Must be >= 1.
+    pub partitions: usize,
+    /// §IV / Fig. 8 — use the `rename` operator instead of copying the
+    /// working table back into the CTE table when the iterative part
+    /// replaces the whole dataset. Disabled = baseline that always merges
+    /// and diffs.
+    pub minimize_data_movement: bool,
+    /// §V-A / Fig. 9 — materialize loop-invariant join subtrees once before
+    /// the loop and reuse them every iteration.
+    pub common_result_optimization: bool,
+    /// §V-B / Fig. 10 — push predicates from the final query into the
+    /// non-iterative part when provably safe.
+    pub predicate_pushdown: bool,
+    /// General-purpose logical rewrites (constant folding, projection
+    /// pruning, filter merging). Kept separate so ablations isolate the
+    /// paper's three optimizations.
+    pub general_rewrites: bool,
+    /// Two-phase grouped aggregation: partitions pre-aggregate locally and
+    /// ship partial states instead of raw rows through the exchange — the
+    /// standard MPP optimization. Disabled, every input row crosses the
+    /// shuffle. DISTINCT aggregates always use the single-phase path.
+    pub two_phase_aggregation: bool,
+    /// Execute partitions on worker threads (crossbeam) instead of
+    /// sequentially. Sequential execution is deterministic and is the
+    /// default for tests.
+    pub parallel_partitions: bool,
+    /// Safety bound on iterations for data/delta termination conditions, so
+    /// a non-converging UNTIL cannot loop forever.
+    pub max_iterations: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            partitions: 4,
+            minimize_data_movement: true,
+            common_result_optimization: true,
+            predicate_pushdown: true,
+            general_rewrites: true,
+            two_phase_aggregation: true,
+            parallel_partitions: false,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with every DBSpinner optimization disabled — the
+    /// "naive rewrite" baseline of §VII.
+    pub fn naive() -> Self {
+        EngineConfig {
+            minimize_data_movement: false,
+            common_result_optimization: false,
+            predicate_pushdown: false,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for the partition count.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        assert!(partitions >= 1, "at least one partition is required");
+        self.partitions = partitions;
+        self
+    }
+
+    /// Builder-style setter for the data-movement optimization (Fig. 8).
+    pub fn with_minimize_data_movement(mut self, on: bool) -> Self {
+        self.minimize_data_movement = on;
+        self
+    }
+
+    /// Builder-style setter for the common-result optimization (Fig. 9).
+    pub fn with_common_result(mut self, on: bool) -> Self {
+        self.common_result_optimization = on;
+        self
+    }
+
+    /// Builder-style setter for predicate push-down (Fig. 10).
+    pub fn with_predicate_pushdown(mut self, on: bool) -> Self {
+        self.predicate_pushdown = on;
+        self
+    }
+
+    /// Builder-style setter for the iteration safety bound.
+    pub fn with_max_iterations(mut self, limit: u64) -> Self {
+        self.max_iterations = limit;
+        self
+    }
+
+    /// Builder-style setter for parallel partition execution.
+    pub fn with_parallel_partitions(mut self, on: bool) -> Self {
+        self.parallel_partitions = on;
+        self
+    }
+
+    /// Builder-style setter for two-phase grouped aggregation.
+    pub fn with_two_phase_aggregation(mut self, on: bool) -> Self {
+        self.two_phase_aggregation = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_all_paper_optimizations() {
+        let c = EngineConfig::default();
+        assert!(c.minimize_data_movement);
+        assert!(c.common_result_optimization);
+        assert!(c.predicate_pushdown);
+    }
+
+    #[test]
+    fn naive_disables_paper_optimizations_only() {
+        let c = EngineConfig::naive();
+        assert!(!c.minimize_data_movement);
+        assert!(!c.common_result_optimization);
+        assert!(!c.predicate_pushdown);
+        assert!(c.general_rewrites);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        let _ = EngineConfig::default().with_partitions(0);
+    }
+}

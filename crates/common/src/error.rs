@@ -1,0 +1,130 @@
+//! Workspace-wide error type.
+//!
+//! A single error enum keeps cross-crate plumbing simple; variants are
+//! grouped by pipeline stage (parse, plan, execution, catalog). The
+//! `DuplicateIterationKey` variant reproduces the runtime error DBSpinner
+//! raises when the iterative part of a CTE yields two updates for the same
+//! row key (paper §II).
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// All errors produced by the DBSpinner reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexer/parser failure, with a 1-based character position when known.
+    Parse { message: String, position: Option<usize> },
+    /// Semantic analysis / planning failure (unknown column, arity, ...).
+    Plan(String),
+    /// Type mismatch discovered during planning or evaluation.
+    Type(String),
+    /// Runtime execution failure.
+    Execution(String),
+    /// Catalog object not found.
+    TableNotFound(String),
+    /// Catalog object already exists.
+    TableExists(String),
+    /// Column not found in a schema.
+    ColumnNotFound(String),
+    /// The iterative part produced two or more updates for one row key.
+    ///
+    /// Per the paper (§II), the user must restate the iterative part with an
+    /// aggregation that resolves the duplicates.
+    DuplicateIterationKey { cte: String, key: String },
+    /// An iterative CTE exceeded the configured safety bound on iterations.
+    IterationLimitExceeded { cte: String, limit: u64 },
+    /// Arithmetic error (division by zero, overflow).
+    Arithmetic(String),
+    /// Feature understood by the grammar but not supported by this build.
+    Unsupported(String),
+    /// I/O error (dataset loading); stringified to keep `Error: Clone + Eq`.
+    Io(String),
+}
+
+impl Error {
+    /// Parse error without position information.
+    pub fn parse(message: impl Into<String>) -> Self {
+        Error::Parse { message: message.into(), position: None }
+    }
+
+    /// Parse error anchored at a character offset.
+    pub fn parse_at(message: impl Into<String>, position: usize) -> Self {
+        Error::Parse { message: message.into(), position: Some(position) }
+    }
+
+    /// Planning error.
+    pub fn plan(message: impl Into<String>) -> Self {
+        Error::Plan(message.into())
+    }
+
+    /// Type error.
+    pub fn type_error(message: impl Into<String>) -> Self {
+        Error::Type(message.into())
+    }
+
+    /// Execution error.
+    pub fn execution(message: impl Into<String>) -> Self {
+        Error::Execution(message.into())
+    }
+
+    /// Unsupported-feature error.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Error::Unsupported(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { message, position: Some(p) } => {
+                write!(f, "parse error at position {p}: {message}")
+            }
+            Error::Parse { message, position: None } => write!(f, "parse error: {message}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::TableNotFound(t) => write!(f, "table '{t}' does not exist"),
+            Error::TableExists(t) => write!(f, "table '{t}' already exists"),
+            Error::ColumnNotFound(c) => write!(f, "column '{c}' does not exist"),
+            Error::DuplicateIterationKey { cte, key } => write!(
+                f,
+                "iterative CTE '{cte}' produced multiple updates for row key {key}; \
+                 add an aggregation to the iterative part to resolve duplicates"
+            ),
+            Error::IterationLimitExceeded { cte, limit } => write!(
+                f,
+                "iterative CTE '{cte}' exceeded the safety limit of {limit} iterations"
+            ),
+            Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = Error::parse_at("unexpected ')'", 17);
+        assert_eq!(e.to_string(), "parse error at position 17: unexpected ')'");
+    }
+
+    #[test]
+    fn duplicate_key_message_mentions_aggregation() {
+        let e = Error::DuplicateIterationKey { cte: "pr".into(), key: "7".into() };
+        assert!(e.to_string().contains("aggregation"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Shared foundation types for the DBSpinner reproduction.
+//!
+//! This crate holds the pieces every other crate in the workspace needs:
+//! scalar [`Value`]s and their [`DataType`]s, relation [`Schema`]s, the
+//! in-memory [`Row`]/[`Batch`] representation, the workspace-wide
+//! [`Error`] type, and the [`EngineConfig`] feature toggles that drive the
+//! paper's ablation experiments (Figures 8-11 of DBSpinner, ICDE 2021).
+
+pub mod config;
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use config::EngineConfig;
+pub use error::{Error, Result};
+pub use row::{batch_of, row_of, Batch, Row};
+pub use schema::{Field, Schema, SchemaRef};
+pub use value::{DataType, Value};

@@ -1,0 +1,270 @@
+//! Preferential-attachment graph generator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spinner_common::{row_of, Row, Value};
+
+/// The paper's three SNAP datasets, as shape presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetPreset {
+    /// DBLP co-authorship: 317,080 nodes, 1,049,866 edge rows (~3.3 e/n).
+    Dblp,
+    /// Pokec social network: 1,632,803 nodes, 30,622,564 edge rows (~18.8 e/n).
+    Pokec,
+    /// Google web graph: 875,713 nodes, 5,105,039 edge rows (~5.8 e/n).
+    GoogleWeb,
+}
+
+impl DatasetPreset {
+    /// Full-size node and edge counts from SNAP.
+    pub fn full_size(self) -> (usize, usize) {
+        match self {
+            DatasetPreset::Dblp => (317_080, 1_049_866),
+            DatasetPreset::Pokec => (1_632_803, 30_622_564),
+            DatasetPreset::GoogleWeb => (875_713, 5_105_039),
+        }
+    }
+
+    /// A spec scaled by `scale` (e.g. 0.01 for 1% of the node count) with
+    /// the preset's edge/node ratio preserved.
+    pub fn spec(self, scale: f64) -> GraphSpec {
+        assert!(scale > 0.0, "scale must be positive");
+        let (n, e) = self.full_size();
+        let nodes = ((n as f64 * scale) as usize).max(8);
+        let ratio = e as f64 / n as f64;
+        let edges = ((nodes as f64 * ratio) as usize).max(nodes);
+        GraphSpec {
+            nodes,
+            edges,
+            seed: match self {
+                DatasetPreset::Dblp => 0xD81B,
+                DatasetPreset::Pokec => 0x90CEC,
+                DatasetPreset::GoogleWeb => 0x6006,
+            },
+            max_weight: 10,
+        }
+    }
+}
+
+/// Parameters of a synthetic graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphSpec {
+    /// Number of nodes (ids 1..=nodes).
+    pub nodes: usize,
+    /// Number of edge rows (>= nodes; a ring consumes the first `nodes`).
+    pub edges: usize,
+    /// RNG seed — same spec, same graph.
+    pub seed: u64,
+    /// Edge weights are uniform integers in `1..=max_weight`, stored as
+    /// floats (the SSSP query adds them to distances).
+    pub max_weight: u32,
+}
+
+impl GraphSpec {
+    /// Small default for tests and examples.
+    pub fn small() -> Self {
+        GraphSpec { nodes: 100, edges: 400, seed: 42, max_weight: 10 }
+    }
+
+    /// Generate `edges(src, dst, weight)` rows.
+    ///
+    /// Construction: a Hamiltonian ring `i -> i+1` (every node gets an
+    /// in-edge and an out-edge), then preferential attachment for the
+    /// remaining rows — an endpoint list doubles as the sampling
+    /// distribution, so the probability of attaching to a node is
+    /// proportional to its current degree.
+    pub fn generate(&self) -> Vec<Row> {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(
+            self.edges >= self.nodes,
+            "need at least as many edges as nodes for the ring"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rows: Vec<Row> = Vec::with_capacity(self.edges);
+        // Endpoint multiset for preferential sampling.
+        let mut endpoints: Vec<u32> = Vec::with_capacity(self.edges * 2);
+        let weight = |rng: &mut StdRng| -> Value {
+            Value::Float(rng.random_range(1..=self.max_weight) as f64)
+        };
+        for i in 1..=self.nodes {
+            let dst = if i == self.nodes { 1 } else { i + 1 };
+            let w = weight(&mut rng);
+            rows.push(row_of([Value::Int(i as i64), Value::Int(dst as i64), w]));
+            endpoints.push(i as u32);
+            endpoints.push(dst as u32);
+        }
+        while rows.len() < self.edges {
+            let src = (rng.random_range(0..self.nodes) + 1) as u32;
+            let dst = endpoints[rng.random_range(0..endpoints.len())];
+            if src == dst {
+                continue;
+            }
+            let w = weight(&mut rng);
+            rows.push(row_of([
+                Value::Int(src as i64),
+                Value::Int(dst as i64),
+                w,
+            ]));
+            endpoints.push(src);
+            endpoints.push(dst);
+        }
+        rows
+    }
+
+    /// Generate edges whose weight is `1 / out_degree(src)` — the
+    /// transition probability a well-posed PageRank needs. (The SSSP
+    /// benchmarks use [`GraphSpec::generate`]'s distance weights instead;
+    /// the paper's SNAP graphs are unweighted, so the weight column's
+    /// meaning is workload-specific either way.)
+    pub fn generate_normalized(&self) -> Vec<Row> {
+        let mut rows = self.generate();
+        let mut outdeg = vec![0usize; self.nodes + 1];
+        for r in &rows {
+            outdeg[r[0].as_i64().expect("src is int") as usize] += 1;
+        }
+        for r in &mut rows {
+            let src = r[0].as_i64().expect("src is int") as usize;
+            r[2] = Value::Float(1.0 / outdeg[src] as f64);
+        }
+        rows
+    }
+
+    /// Generate a *symmetric* (undirected) graph with `components`
+    /// disjoint connected components, for connected-components workloads:
+    /// each component is an independent ring + preferential-attachment
+    /// subgraph over its own node-id range, and every edge appears in both
+    /// directions. Returns the edge rows; component membership of node `n`
+    /// is `(n - 1) % components` by construction (ids are striped).
+    pub fn generate_symmetric_components(&self, components: usize) -> Vec<Row> {
+        assert!(components >= 1);
+        assert!(
+            self.nodes >= components * 2,
+            "need at least two nodes per component"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xCC);
+        let mut rows: Vec<Row> = Vec::with_capacity(self.edges * 2);
+        // Node ids striped across components: component c owns ids
+        // {n : (n-1) % components == c}.
+        let member = |c: usize, i: usize| -> i64 { (i * components + c + 1) as i64 };
+        let sizes: Vec<usize> = (0..components)
+            .map(|c| self.nodes / components + usize::from(c < self.nodes % components))
+            .collect();
+        let both = |rows: &mut Vec<Row>, a: i64, b: i64, w: f64| {
+            rows.push(row_of([Value::Int(a), Value::Int(b), Value::Float(w)]));
+            rows.push(row_of([Value::Int(b), Value::Int(a), Value::Float(w)]));
+        };
+        let per_component_extra = (self.edges.saturating_sub(self.nodes)) / components;
+        for (c, &size) in sizes.iter().enumerate() {
+            // Ring inside the component.
+            for i in 0..size {
+                let a = member(c, i);
+                let b = member(c, (i + 1) % size);
+                if a != b {
+                    let w = rng.random_range(1..=self.max_weight) as f64;
+                    both(&mut rows, a, b, w);
+                }
+            }
+            // Extra random intra-component edges.
+            for _ in 0..per_component_extra {
+                let a = member(c, rng.random_range(0..size));
+                let b = member(c, rng.random_range(0..size));
+                if a != b {
+                    let w = rng.random_range(1..=self.max_weight) as f64;
+                    both(&mut rows, a, b, w);
+                }
+            }
+        }
+        rows
+    }
+
+    /// Generate `vertexStatus(node, status)` rows for the PR-VS / SSSP-VS
+    /// queries: `available_fraction` of nodes get status 1, the rest 0
+    /// (paper §V-A: unavailable nodes are excluded from the computation).
+    pub fn generate_vertex_status(&self, available_fraction: f64) -> Vec<Row> {
+        assert!((0.0..=1.0).contains(&available_fraction));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5747); // independent stream
+        (1..=self.nodes)
+            .map(|i| {
+                let status = i64::from(rng.random::<f64>() < available_fraction);
+                row_of([Value::Int(i as i64), Value::Int(status)])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = GraphSpec::small();
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn every_node_has_incoming_and_outgoing() {
+        let spec = GraphSpec::small();
+        let rows = spec.generate();
+        let mut has_in: HashSet<i64> = HashSet::new();
+        let mut has_out: HashSet<i64> = HashSet::new();
+        for r in &rows {
+            has_out.insert(r[0].as_i64().unwrap());
+            has_in.insert(r[1].as_i64().unwrap());
+        }
+        for node in 1..=spec.nodes as i64 {
+            assert!(has_in.contains(&node), "node {node} lacks an in-edge");
+            assert!(has_out.contains(&node), "node {node} lacks an out-edge");
+        }
+    }
+
+    #[test]
+    fn edge_count_and_id_range_respected() {
+        let spec = GraphSpec { nodes: 50, edges: 300, seed: 7, max_weight: 5 };
+        let rows = spec.generate();
+        assert_eq!(rows.len(), 300);
+        for r in &rows {
+            let (s, d) = (r[0].as_i64().unwrap(), r[1].as_i64().unwrap());
+            assert!((1..=50).contains(&s));
+            assert!((1..=50).contains(&d));
+            assert_ne!(s, d, "no self loops beyond the ring");
+            let w = r[2].as_f64().unwrap();
+            assert!((1.0..=5.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Preferential attachment should concentrate in-degree far above
+        // the uniform expectation for the top node.
+        let spec = GraphSpec { nodes: 500, edges: 5_000, seed: 11, max_weight: 10 };
+        let rows = spec.generate();
+        let mut indeg = vec![0usize; spec.nodes + 1];
+        for r in &rows {
+            indeg[r[1].as_i64().unwrap() as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        let mean = rows.len() / spec.nodes;
+        assert!(
+            max >= mean * 3,
+            "expected a heavy tail, max in-degree {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn presets_preserve_edge_node_ratio() {
+        let spec = DatasetPreset::Pokec.spec(0.01);
+        let ratio = spec.edges as f64 / spec.nodes as f64;
+        assert!((ratio - 18.75).abs() < 1.0, "pokec ratio ~18.8, got {ratio}");
+    }
+
+    #[test]
+    fn vertex_status_fraction_roughly_holds() {
+        let spec = GraphSpec { nodes: 2_000, edges: 2_000, seed: 3, max_weight: 1 };
+        let rows = spec.generate_vertex_status(0.75);
+        let on = rows.iter().filter(|r| r[1] == Value::Int(1)).count();
+        let frac = on as f64 / rows.len() as f64;
+        assert!((frac - 0.75).abs() < 0.05, "got {frac}");
+    }
+}

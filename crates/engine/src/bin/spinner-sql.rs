@@ -1,0 +1,111 @@
+//! `spinner-sql` — a minimal interactive shell for the engine.
+//!
+//! ```sh
+//! cargo run --release -p spinner-engine --bin spinner-sql
+//! ```
+//!
+//! Statements end with `;` and may span lines. Built-in commands:
+//!
+//! * `\d` — list tables;
+//! * `\stats` — show and reset the execution counters;
+//! * `\timing` — toggle per-statement timing;
+//! * `\gen <preset> <scale>` — load a synthetic `edges` table
+//!   (`dblp | pokec | google`) — only compiled in examples/benches; here we
+//!   keep the shell dependency-free, so `\gen` creates a small demo graph;
+//! * `\q` — quit.
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use spinner_engine::{Database, QueryResult};
+
+fn main() {
+    let db = Database::default();
+    let mut timing = false;
+    let mut buffer = String::new();
+    let stdin = std::io::stdin();
+    println!("spinner-sql — DBSpinner reproduction shell. \\q to quit.");
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match handle_command(&db, trimmed, &mut timing) {
+                Command::Quit => return,
+                Command::Continue => {
+                    prompt(&buffer);
+                    continue;
+                }
+            }
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            let sql = std::mem::take(&mut buffer);
+            let started = Instant::now();
+            match db.execute(sql.trim().trim_end_matches(';')) {
+                Ok(QueryResult::Rows(batch)) => {
+                    print!("{}", batch.to_table());
+                    println!("({} rows)", batch.len());
+                }
+                Ok(QueryResult::Affected { rows }) => println!("OK, {rows} rows affected"),
+                Ok(QueryResult::Ddl) => println!("OK"),
+                Ok(QueryResult::Explain(text)) => println!("{text}"),
+                Err(e) => println!("ERROR: {e}"),
+            }
+            if timing {
+                println!("Time: {:.2?}", started.elapsed());
+            }
+        }
+        prompt(&buffer);
+    }
+}
+
+enum Command {
+    Quit,
+    Continue,
+}
+
+fn handle_command(db: &Database, cmd: &str, timing: &mut bool) -> Command {
+    match cmd.split_whitespace().next().unwrap_or("") {
+        "\\q" | "\\quit" => return Command::Quit,
+        "\\d" => {
+            for name in db.catalog().table_names() {
+                let rows = db
+                    .catalog()
+                    .get(&name)
+                    .map(|t| t.row_count())
+                    .unwrap_or(0);
+                println!("{name} ({rows} rows)");
+            }
+        }
+        "\\stats" => println!("{}", db.take_stats()),
+        "\\timing" => {
+            *timing = !*timing;
+            println!("timing {}", if *timing { "on" } else { "off" });
+        }
+        "\\gen" => {
+            let result = db.execute_script(
+                "DROP TABLE IF EXISTS edges;
+                 CREATE TABLE edges (src INT, dst INT, weight FLOAT);
+                 INSERT INTO edges VALUES
+                     (1,2,1.0),(2,3,1.0),(3,4,1.0),(4,5,1.0),(5,1,1.0),
+                     (1,3,2.0),(2,4,2.0),(3,5,2.0),(4,1,2.0),(5,2,2.0);",
+            );
+            match result {
+                Ok(_) => println!("demo graph loaded into 'edges' (10 edges, 5 nodes)"),
+                Err(e) => println!("ERROR: {e}"),
+            }
+        }
+        other => println!("unknown command '{other}' (try \\d, \\stats, \\timing, \\gen, \\q)"),
+    }
+    Command::Continue
+}
+
+fn prompt(buffer: &str) {
+    print!("{}", if buffer.is_empty() { "spinner> " } else { "    ...> " });
+    let _ = std::io::stdout().flush();
+}

@@ -1,0 +1,37 @@
+//! Statement results.
+
+use spinner_common::{Batch, Error, Result};
+
+/// Outcome of executing one SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A query returned rows.
+    Rows(Batch),
+    /// DML touched this many rows.
+    Affected { rows: usize },
+    /// DDL completed.
+    Ddl,
+    /// EXPLAIN output (the paper-Table-I style step rendering plus the
+    /// final plan tree).
+    Explain(String),
+}
+
+impl QueryResult {
+    /// Unwrap as a row batch; errors for non-query statements.
+    pub fn into_rows(self) -> Result<Batch> {
+        match self {
+            QueryResult::Rows(b) => Ok(b),
+            other => Err(Error::execution(format!(
+                "statement did not return rows: {other:?}"
+            ))),
+        }
+    }
+
+    /// Number of affected rows for DML, `None` otherwise.
+    pub fn affected(&self) -> Option<usize> {
+        match self {
+            QueryResult::Affected { rows } => Some(*rows),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Aggregate accumulators.
+//!
+//! Each accumulator supports `update` (one input value), `merge` (another
+//! accumulator's state — used by the partial/final split of global
+//! aggregates across partitions) and `finish`. NULL inputs are ignored by
+//! every function except `COUNT(*)`, per SQL semantics; `SUM`/`MIN`/`MAX`
+//! over zero non-NULL inputs yield NULL and `COUNT` yields 0.
+
+use std::collections::HashSet;
+
+use spinner_common::{Error, Result, Value};
+use spinner_plan::{AggExpr, AggFunc};
+
+/// Running state for one aggregate in one group.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    Count { n: i64, distinct: Option<HashSet<Value>> },
+    CountStar { n: i64 },
+    Sum { acc: Option<Value>, distinct: Option<HashSet<Value>> },
+    Min { acc: Option<Value> },
+    Max { acc: Option<Value> },
+    Avg { sum: f64, n: i64, distinct: Option<HashSet<Value>> },
+}
+
+impl Accumulator {
+    /// Fresh accumulator for an aggregate expression.
+    pub fn new(agg: &AggExpr) -> Accumulator {
+        let distinct_set = || if agg.distinct { Some(HashSet::new()) } else { None };
+        match agg.func {
+            AggFunc::Count => Accumulator::Count { n: 0, distinct: distinct_set() },
+            AggFunc::CountStar => Accumulator::CountStar { n: 0 },
+            AggFunc::Sum => Accumulator::Sum { acc: None, distinct: distinct_set() },
+            AggFunc::Min => Accumulator::Min { acc: None },
+            AggFunc::Max => Accumulator::Max { acc: None },
+            AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0, distinct: distinct_set() },
+        }
+    }
+
+    /// Feed one value (already evaluated from the aggregate's argument;
+    /// `Value::Null` for `COUNT(*)` placeholder rows is never produced —
+    /// CountStar ignores its input entirely).
+    pub fn update(&mut self, value: &Value) -> Result<()> {
+        match self {
+            Accumulator::CountStar { n } => {
+                *n += 1;
+                Ok(())
+            }
+            _ if value.is_null() => Ok(()),
+            Accumulator::Count { n, distinct } => {
+                if let Some(seen) = distinct {
+                    if !seen.insert(value.clone()) {
+                        return Ok(());
+                    }
+                }
+                *n += 1;
+                Ok(())
+            }
+            Accumulator::Sum { acc, distinct } => {
+                if let Some(seen) = distinct {
+                    if !seen.insert(value.clone()) {
+                        return Ok(());
+                    }
+                }
+                *acc = Some(add_values(acc.take(), value)?);
+                Ok(())
+            }
+            Accumulator::Min { acc } => {
+                let replace = match acc {
+                    Some(cur) => value.cmp_total(cur).is_lt(),
+                    None => true,
+                };
+                if replace {
+                    *acc = Some(value.clone());
+                }
+                Ok(())
+            }
+            Accumulator::Max { acc } => {
+                let replace = match acc {
+                    Some(cur) => value.cmp_total(cur).is_gt(),
+                    None => true,
+                };
+                if replace {
+                    *acc = Some(value.clone());
+                }
+                Ok(())
+            }
+            Accumulator::Avg { sum, n, distinct } => {
+                if let Some(seen) = distinct {
+                    if !seen.insert(value.clone()) {
+                        return Ok(());
+                    }
+                }
+                *sum += value.as_f64()?;
+                *n += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Merge another accumulator of the same kind (partial aggregation).
+    /// DISTINCT accumulators merge their seen-sets.
+    pub fn merge(&mut self, other: Accumulator) -> Result<()> {
+        match (self, other) {
+            (Accumulator::CountStar { n }, Accumulator::CountStar { n: m }) => {
+                *n += m;
+                Ok(())
+            }
+            (
+                Accumulator::Count { n, distinct },
+                Accumulator::Count { n: m, distinct: od },
+            ) => match (distinct, od) {
+                (Some(seen), Some(oseen)) => {
+                    for v in oseen {
+                        if seen.insert(v) {
+                            *n += 1;
+                        }
+                    }
+                    Ok(())
+                }
+                (None, None) => {
+                    *n += m;
+                    Ok(())
+                }
+                _ => Err(Error::execution("mismatched DISTINCT accumulators")),
+            },
+            (
+                Accumulator::Sum { acc, distinct },
+                Accumulator::Sum { acc: oacc, distinct: od },
+            ) => match (distinct, od) {
+                (Some(seen), Some(oseen)) => {
+                    for v in oseen {
+                        if seen.insert(v.clone()) {
+                            *acc = Some(add_values(acc.take(), &v)?);
+                        }
+                    }
+                    Ok(())
+                }
+                (None, None) => {
+                    if let Some(v) = oacc {
+                        *acc = Some(add_values(acc.take(), &v)?);
+                    }
+                    Ok(())
+                }
+                _ => Err(Error::execution("mismatched DISTINCT accumulators")),
+            },
+            (Accumulator::Min { acc }, Accumulator::Min { acc: o }) => {
+                if let Some(v) = o {
+                    let replace = match acc {
+                        Some(cur) => v.cmp_total(cur).is_lt(),
+                        None => true,
+                    };
+                    if replace {
+                        *acc = Some(v);
+                    }
+                }
+                Ok(())
+            }
+            (Accumulator::Max { acc }, Accumulator::Max { acc: o }) => {
+                if let Some(v) = o {
+                    let replace = match acc {
+                        Some(cur) => v.cmp_total(cur).is_gt(),
+                        None => true,
+                    };
+                    if replace {
+                        *acc = Some(v);
+                    }
+                }
+                Ok(())
+            }
+            (
+                Accumulator::Avg { sum, n, distinct },
+                Accumulator::Avg { sum: os, n: om, distinct: od },
+            ) => match (distinct, od) {
+                (Some(seen), Some(oseen)) => {
+                    for v in oseen {
+                        if seen.insert(v.clone()) {
+                            *sum += v.as_f64()?;
+                            *n += 1;
+                        }
+                    }
+                    Ok(())
+                }
+                (None, None) => {
+                    *sum += os;
+                    *n += om;
+                    Ok(())
+                }
+                _ => Err(Error::execution("mismatched DISTINCT accumulators")),
+            },
+            _ => Err(Error::execution("cannot merge accumulators of different kinds")),
+        }
+    }
+
+    /// Produce the aggregate result.
+    pub fn finish(self) -> Value {
+        match self {
+            Accumulator::Count { n, .. } | Accumulator::CountStar { n } => Value::Int(n),
+            Accumulator::Sum { acc, .. } => acc.unwrap_or(Value::Null),
+            Accumulator::Min { acc } | Accumulator::Max { acc } => acc.unwrap_or(Value::Null),
+            Accumulator::Avg { sum, n, .. } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+impl Accumulator {
+    /// Number of cells the partial state of `func` occupies in a
+    /// partial-aggregation row (two-phase aggregation).
+    pub fn state_width(func: AggFunc) -> usize {
+        match func {
+            AggFunc::Avg => 2, // (sum, count)
+            _ => 1,
+        }
+    }
+
+    /// Encode this accumulator as partial-state cells. Only valid for
+    /// non-DISTINCT accumulators (the planner never two-phases DISTINCT).
+    pub fn into_state(self) -> Vec<Value> {
+        match self {
+            Accumulator::Count { n, .. } | Accumulator::CountStar { n } => vec![Value::Int(n)],
+            Accumulator::Sum { acc, .. } => vec![acc.unwrap_or(Value::Null)],
+            Accumulator::Min { acc } | Accumulator::Max { acc } => {
+                vec![acc.unwrap_or(Value::Null)]
+            }
+            Accumulator::Avg { sum, n, .. } => vec![Value::Float(sum), Value::Int(n)],
+        }
+    }
+
+    /// Merge partial-state cells (produced by [`Accumulator::into_state`]
+    /// on another partition) into this accumulator.
+    pub fn merge_state(&mut self, cells: &[Value]) -> Result<()> {
+        match self {
+            Accumulator::Count { n, distinct: None } | Accumulator::CountStar { n } => {
+                *n += cells[0].as_i64()?;
+                Ok(())
+            }
+            Accumulator::Sum { acc, distinct: None } => {
+                if !cells[0].is_null() {
+                    *acc = Some(add_values(acc.take(), &cells[0])?);
+                }
+                Ok(())
+            }
+            Accumulator::Min { acc } => {
+                if !cells[0].is_null() {
+                    let replace = match acc {
+                        Some(cur) => cells[0].cmp_total(cur).is_lt(),
+                        None => true,
+                    };
+                    if replace {
+                        *acc = Some(cells[0].clone());
+                    }
+                }
+                Ok(())
+            }
+            Accumulator::Max { acc } => {
+                if !cells[0].is_null() {
+                    let replace = match acc {
+                        Some(cur) => cells[0].cmp_total(cur).is_gt(),
+                        None => true,
+                    };
+                    if replace {
+                        *acc = Some(cells[0].clone());
+                    }
+                }
+                Ok(())
+            }
+            Accumulator::Avg { sum, n, distinct: None } => {
+                *sum += cells[0].as_f64()?;
+                *n += cells[1].as_i64()?;
+                Ok(())
+            }
+            _ => Err(Error::execution(
+                "DISTINCT accumulators cannot merge partial states",
+            )),
+        }
+    }
+}
+
+/// SUM addition: integers stay integers (with overflow checks), any float
+/// widens the accumulator to float.
+fn add_values(acc: Option<Value>, v: &Value) -> Result<Value> {
+    let acc = match acc {
+        None => return Ok(v.clone()),
+        Some(a) => a,
+    };
+    match (&acc, v) {
+        (Value::Int(a), Value::Int(b)) => a
+            .checked_add(*b)
+            .map(Value::Int)
+            .ok_or_else(|| Error::Arithmetic("integer overflow in SUM".into())),
+        _ => Ok(Value::Float(acc.as_f64()? + v.as_f64()?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(func: AggFunc, distinct: bool) -> AggExpr {
+        AggExpr { func, arg: None, distinct, name: "a".into() }
+    }
+
+    #[test]
+    fn count_ignores_nulls_count_star_does_not() {
+        let mut c = Accumulator::new(&agg(AggFunc::Count, false));
+        let mut cs = Accumulator::new(&agg(AggFunc::CountStar, false));
+        for v in [Value::Int(1), Value::Null, Value::Int(2)] {
+            c.update(&v).unwrap();
+            cs.update(&v).unwrap();
+        }
+        assert_eq!(c.finish(), Value::Int(2));
+        assert_eq!(cs.finish(), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_empty_is_null() {
+        let s = Accumulator::new(&agg(AggFunc::Sum, false));
+        assert!(s.finish().is_null());
+    }
+
+    #[test]
+    fn sum_int_stays_int_mixed_widens() {
+        let mut s = Accumulator::new(&agg(AggFunc::Sum, false));
+        s.update(&Value::Int(1)).unwrap();
+        s.update(&Value::Int(2)).unwrap();
+        assert_eq!(s.finish(), Value::Int(3));
+        let mut s = Accumulator::new(&agg(AggFunc::Sum, false));
+        s.update(&Value::Int(1)).unwrap();
+        s.update(&Value::Float(0.5)).unwrap();
+        assert_eq!(s.finish(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn distinct_sum_dedupes() {
+        let mut s = Accumulator::new(&agg(AggFunc::Sum, true));
+        for v in [Value::Int(5), Value::Int(5), Value::Int(3)] {
+            s.update(&v).unwrap();
+        }
+        assert_eq!(s.finish(), Value::Int(8));
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut mn = Accumulator::new(&agg(AggFunc::Min, false));
+        let mut mx = Accumulator::new(&agg(AggFunc::Max, false));
+        for v in [Value::Int(3), Value::Int(1), Value::Int(2)] {
+            mn.update(&v).unwrap();
+            mx.update(&v).unwrap();
+        }
+        assert_eq!(mn.finish(), Value::Int(1));
+        assert_eq!(mx.finish(), Value::Int(3));
+    }
+
+    #[test]
+    fn avg_is_float() {
+        let mut a = Accumulator::new(&agg(AggFunc::Avg, false));
+        a.update(&Value::Int(1)).unwrap();
+        a.update(&Value::Int(2)).unwrap();
+        assert_eq!(a.finish(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn merge_combines_partials() {
+        let mut a = Accumulator::new(&agg(AggFunc::Sum, false));
+        a.update(&Value::Int(1)).unwrap();
+        let mut b = Accumulator::new(&agg(AggFunc::Sum, false));
+        b.update(&Value::Int(2)).unwrap();
+        a.merge(b).unwrap();
+        assert_eq!(a.finish(), Value::Int(3));
+    }
+
+    #[test]
+    fn merge_distinct_counts_once() {
+        let mk = || {
+            let mut acc = Accumulator::new(&agg(AggFunc::Count, true));
+            acc.update(&Value::Int(7)).unwrap();
+            acc
+        };
+        let mut a = mk();
+        a.merge(mk()).unwrap();
+        assert_eq!(a.finish(), Value::Int(1));
+    }
+
+    #[test]
+    fn merge_kind_mismatch_errors() {
+        let mut a = Accumulator::new(&agg(AggFunc::Sum, false));
+        let b = Accumulator::new(&agg(AggFunc::Min, false));
+        assert!(a.merge(b).is_err());
+    }
+}

@@ -1,0 +1,716 @@
+//! The step-program executor: materialize, rename, merge and **loop**.
+//!
+//! This is where DBSpinner's two new operators live at run time:
+//!
+//! * `rename` re-points an entry of the temp-result registry — no rows
+//!   move (§VI-A);
+//! * `loop` evaluates the termination condition after each iteration and
+//!   jumps back to the top of the loop body while it holds (§VI-B). The
+//!   three condition classes are implemented exactly as the paper
+//!   describes: metadata (iteration / cumulative-update counters), data
+//!   (`SELECT count(*) FROM cteTable WHERE expr` compared against N) and
+//!   delta (rows changed versus the previous iteration, which requires
+//!   keeping the previous snapshot).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use spinner_common::{Batch, EngineConfig, Error, Result, Row, Value};
+use spinner_plan::{
+    LogicalPlan, LoopKind, LoopStep, PlanExpr, QueryPlan, Step, TerminationPlan,
+};
+use spinner_storage::{Catalog, Partitioned, TempRegistry};
+
+use crate::operators::{self, OpContext};
+use crate::physical::{create_physical_plan, ExchangeMode};
+use crate::stats::ExecStats;
+
+/// Executes planned queries against a catalog + temp registry.
+pub struct Executor<'a> {
+    pub catalog: &'a Catalog,
+    pub registry: &'a TempRegistry,
+    pub config: &'a EngineConfig,
+    pub stats: &'a ExecStats,
+}
+
+/// Result of one step: the number of rows it reported as updated (merges
+/// report this; other steps return `None`).
+type StepOutcome = Option<u64>;
+
+impl Executor<'_> {
+    fn op_ctx(&self) -> OpContext<'_> {
+        OpContext {
+            catalog: self.catalog,
+            registry: self.registry,
+            config: self.config,
+            stats: self.stats,
+        }
+    }
+
+    /// Run a full query plan: steps first, then the final plan; gather the
+    /// result into a single batch.
+    pub fn run_query(&self, plan: &QueryPlan) -> Result<Batch> {
+        self.run_steps(&plan.steps)?;
+        let result = self.execute_logical(&plan.root)?;
+        let schema = plan.root.schema();
+        Ok(Batch::new(schema, result.gather()))
+    }
+
+    /// Execute a logical plan tree to a partitioned result.
+    pub fn execute_logical(&self, plan: &LogicalPlan) -> Result<Partitioned> {
+        let physical = create_physical_plan(plan, self.config)?;
+        operators::execute(&physical, &self.op_ctx())
+    }
+
+    /// Run a sequence of steps.
+    pub fn run_steps(&self, steps: &[Step]) -> Result<()> {
+        for step in steps {
+            self.run_step(step)?;
+        }
+        Ok(())
+    }
+
+    fn run_step(&self, step: &Step) -> Result<StepOutcome> {
+        match step {
+            Step::Materialize { name, plan, distribute_by } => {
+                let mut data = self.execute_logical(plan)?;
+                if let Some(col) = distribute_by {
+                    // Store the result distributed on its key so later
+                    // scans, merges and joins on that key are co-located.
+                    data = operators::exchange(
+                        data,
+                        &ExchangeMode::Hash(vec![PlanExpr::column(*col, "dist_key")]),
+                        &self.op_ctx(),
+                    )?;
+                }
+                ExecStats::add(&self.stats.rows_materialized, data.total_rows() as u64);
+                self.registry.put(name, data);
+                Ok(None)
+            }
+            Step::Rename { from, to } => {
+                self.registry.rename(from, to)?;
+                ExecStats::add(&self.stats.renames, 1);
+                Ok(None)
+            }
+            Step::Merge { cte, working, merged, key, cte_display_name } => {
+                let updated =
+                    self.merge_tables(cte, working, merged, *key, cte_display_name)?;
+                Ok(Some(updated))
+            }
+            Step::Loop(l) => {
+                self.run_loop(l)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Merge `working` into `cte` by key equality, producing `merged`.
+    ///
+    /// Both inputs are hash-exchanged on the key column so the per-
+    /// partition merge sees all rows of one key together (MPP co-location).
+    /// Returns the number of rows whose values actually changed. Errors on
+    /// duplicate keys in the working table (paper §II).
+    fn merge_tables(
+        &self,
+        cte: &str,
+        working: &str,
+        merged: &str,
+        key: usize,
+        cte_display_name: &str,
+    ) -> Result<u64> {
+        let ctx = self.op_ctx();
+        let key_expr = vec![PlanExpr::column(key, "merge_key")];
+        let cte_data = operators::exchange(
+            self.registry.get(cte)?,
+            &ExchangeMode::Hash(key_expr.clone()),
+            &ctx,
+        )?;
+        let work_data = operators::exchange(
+            self.registry.get(working)?,
+            &ExchangeMode::Hash(key_expr),
+            &ctx,
+        )?;
+        let mut out_parts: Vec<Arc<Vec<Row>>> = Vec::with_capacity(cte_data.parts.len());
+        let mut updated = 0u64;
+        let mut examined = 0u64;
+        for (cte_part, work_part) in cte_data.parts.iter().zip(&work_data.parts) {
+            let mut index: HashMap<&Value, &Row> = HashMap::with_capacity(work_part.len());
+            for row in work_part.iter() {
+                let k = &row[key];
+                if k.is_null() {
+                    // NULL keys can never match an existing row; skip them
+                    // like SQL equality would.
+                    continue;
+                }
+                if index.insert(k, row).is_some() {
+                    return Err(Error::DuplicateIterationKey {
+                        cte: cte_display_name.to_owned(),
+                        key: k.to_string(),
+                    });
+                }
+            }
+            let mut merged_rows: Vec<Row> = Vec::with_capacity(cte_part.len());
+            for old in cte_part.iter() {
+                examined += 1;
+                match index.get(&old[key]) {
+                    Some(new) => {
+                        if *new != old {
+                            updated += 1;
+                        }
+                        merged_rows.push((*new).clone());
+                    }
+                    None => merged_rows.push(old.clone()),
+                }
+            }
+            out_parts.push(Arc::new(merged_rows));
+        }
+        ExecStats::add(&self.stats.merges, 1);
+        ExecStats::add(&self.stats.merge_rows_examined, examined);
+        ExecStats::add(&self.stats.rows_updated, updated);
+        self.registry.put(
+            merged,
+            Partitioned { schema: cte_data.schema, parts: out_parts },
+        );
+        // Algorithm 1, line 10: the working table is consumed by the merge.
+        self.registry.remove(working);
+        Ok(updated)
+    }
+
+    /// The `loop` operator.
+    fn run_loop(&self, l: &LoopStep) -> Result<()> {
+        match &l.kind {
+            LoopKind::Iterative { merge, .. } => self.run_iterative_loop(l, *merge),
+            LoopKind::FixedPoint { working, union_all } => {
+                self.run_fixed_point_loop(l, working, *union_all)
+            }
+        }
+    }
+
+    fn run_iterative_loop(&self, l: &LoopStep, merge: bool) -> Result<()> {
+        let needs_delta = matches!(l.termination, TerminationPlan::Delta { .. });
+        let mut iteration: u64 = 0;
+        let mut cumulative_updates: u64 = 0;
+        loop {
+            iteration += 1;
+            if iteration > self.config.max_iterations {
+                return Err(Error::IterationLimitExceeded {
+                    cte: l.cte_display_name.clone(),
+                    limit: self.config.max_iterations,
+                });
+            }
+            // Delta termination on the rename path has no merge to count
+            // changes, so keep the previous version for a diff (§VI-B:
+            // "for this case, we also keep data from the previous
+            // iteration").
+            let previous = if needs_delta && !merge {
+                Some(self.registry.get(&l.cte)?)
+            } else {
+                None
+            };
+            let mut merge_updates: Option<u64> = None;
+            for step in &l.body {
+                if let Some(u) = self.run_step(step)? {
+                    merge_updates = Some(u);
+                }
+            }
+            ExecStats::add(&self.stats.iterations, 1);
+            let current = self.registry.get(&l.cte)?;
+            let changed_this_iter = match (merge_updates, &previous) {
+                (Some(u), _) => u,
+                (None, Some(prev)) => diff_by_key(prev, &current, l.key)?,
+                // Rename path without delta tracking: the whole dataset is
+                // replaced, every row counts as updated.
+                (None, None) => {
+                    let n = current.total_rows() as u64;
+                    ExecStats::add(&self.stats.rows_updated, n);
+                    n
+                }
+            };
+            cumulative_updates += changed_this_iter;
+            let stop = match &l.termination {
+                TerminationPlan::Iterations(n) => iteration >= *n,
+                TerminationPlan::Updates(n) => cumulative_updates >= *n,
+                TerminationPlan::Data { predicate, rows } => {
+                    count_matching(&current, predicate)? >= *rows
+                }
+                TerminationPlan::Delta { threshold } => changed_this_iter < *threshold,
+            };
+            if stop {
+                return Ok(());
+            }
+        }
+    }
+
+    fn run_fixed_point_loop(
+        &self,
+        l: &LoopStep,
+        working: &str,
+        union_all: bool,
+    ) -> Result<()> {
+        let delta_name = format!("__delta_{}", l.cte);
+        // Round zero: the delta is the base result.
+        let base = self.registry.get(&l.cte)?;
+        self.registry.put(&delta_name, base.clone());
+        // For UNION (distinct) recursion, track everything seen so far.
+        let mut seen: Option<std::collections::HashSet<Row>> = if union_all {
+            None
+        } else {
+            let mut set = std::collections::HashSet::new();
+            for part in &base.parts {
+                for row in part.iter() {
+                    set.insert(row.clone());
+                }
+            }
+            Some(set)
+        };
+        let mut iteration: u64 = 0;
+        loop {
+            iteration += 1;
+            if iteration > self.config.max_iterations {
+                return Err(Error::IterationLimitExceeded {
+                    cte: l.cte_display_name.clone(),
+                    limit: self.config.max_iterations,
+                });
+            }
+            for step in &l.body {
+                self.run_step(step)?;
+            }
+            ExecStats::add(&self.stats.iterations, 1);
+            let produced = self.registry.get(working)?;
+            // Filter to genuinely new rows.
+            let mut new_parts: Vec<Vec<Row>> =
+                (0..produced.parts.len()).map(|_| Vec::new()).collect();
+            let mut added = 0usize;
+            for (i, part) in produced.parts.iter().enumerate() {
+                for row in part.iter() {
+                    let is_new = match &mut seen {
+                        Some(set) => set.insert(row.clone()),
+                        None => true,
+                    };
+                    if is_new {
+                        added += 1;
+                        new_parts[i].push(row.clone());
+                    }
+                }
+            }
+            self.registry.remove(working);
+            if added == 0 {
+                break;
+            }
+            // Append the new rows to the accumulated CTE table and expose
+            // them as the next round's delta.
+            let current = self.registry.get(&l.cte)?;
+            let mut appended: Vec<Arc<Vec<Row>>> = Vec::with_capacity(current.parts.len());
+            for (part, extra) in current.parts.iter().zip(&new_parts) {
+                if extra.is_empty() {
+                    appended.push(Arc::clone(part));
+                } else {
+                    let mut rows = (**part).clone();
+                    rows.extend(extra.iter().cloned());
+                    appended.push(Arc::new(rows));
+                }
+            }
+            self.registry.put(
+                &l.cte,
+                Partitioned { schema: current.schema.clone(), parts: appended },
+            );
+            self.registry.put(
+                &delta_name,
+                Partitioned {
+                    schema: current.schema,
+                    parts: new_parts.into_iter().map(Arc::new).collect(),
+                },
+            );
+        }
+        self.registry.remove(&delta_name);
+        Ok(())
+    }
+}
+
+/// Count rows satisfying `predicate` (the data termination condition —
+/// equivalent to `SELECT count(*) FROM cteTable WHERE expr`).
+fn count_matching(data: &Partitioned, predicate: &PlanExpr) -> Result<u64> {
+    let mut n = 0u64;
+    for part in &data.parts {
+        for row in part.iter() {
+            if predicate.matches(row)? {
+                n += 1;
+            }
+        }
+    }
+    Ok(n)
+}
+
+/// Number of rows in `current` that differ from the row with the same key
+/// in `previous` (new keys count as changed). This is the delta diff the
+/// rename path performs only when the termination condition requires it.
+fn diff_by_key(previous: &Partitioned, current: &Partitioned, key: usize) -> Result<u64> {
+    let mut index: HashMap<Value, &Row> = HashMap::with_capacity(previous.total_rows());
+    for part in &previous.parts {
+        for row in part.iter() {
+            index.insert(row[key].clone(), row);
+        }
+    }
+    let mut changed = 0u64;
+    for part in &current.parts {
+        for row in part.iter() {
+            match index.get(&row[key]) {
+                Some(old) if **old == *row => {}
+                _ => changed += 1,
+            }
+        }
+    }
+    Ok(changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_common::{row_of, DataType, Field, Schema};
+    use spinner_parser::parse_sql;
+    use spinner_plan::builder::SchemaProvider;
+    use spinner_plan::plan_query;
+    use spinner_common::SchemaRef;
+
+    struct CatalogProvider<'a>(&'a Catalog);
+
+    impl SchemaProvider for CatalogProvider<'_> {
+        fn table_schema(&self, name: &str) -> Option<SchemaRef> {
+            self.0.get(name).ok().map(|t| Arc::clone(t.schema()))
+        }
+
+        fn table_primary_key(&self, name: &str) -> Option<usize> {
+            self.0.get(name).ok().and_then(|t| t.primary_key())
+        }
+    }
+
+    fn setup_edges(catalog: &Catalog, partitions: usize) {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("src", DataType::Int),
+            Field::new("dst", DataType::Int),
+            Field::new("weight", DataType::Float),
+        ]));
+        catalog
+            .create_table("edges", schema, partitions, Some(0), None)
+            .unwrap();
+        // Small chain graph: 1 -> 2 -> 3 -> 4, plus 1 -> 3.
+        let rows = vec![
+            row_of([Value::Int(1), Value::Int(2), Value::Float(1.0)]),
+            row_of([Value::Int(2), Value::Int(3), Value::Float(1.0)]),
+            row_of([Value::Int(3), Value::Int(4), Value::Float(1.0)]),
+            row_of([Value::Int(1), Value::Int(3), Value::Float(5.0)]),
+        ];
+        catalog.with_table_mut("edges", |t| t.insert(rows)).unwrap();
+    }
+
+    fn run(catalog: &Catalog, config: &EngineConfig, sql: &str) -> Result<Batch> {
+        let stmt = parse_sql(sql)?;
+        let spinner_parser::Statement::Query(q) = stmt else { panic!("not a query") };
+        let plan = plan_query(&q, &CatalogProvider(catalog), config)?;
+        let registry = TempRegistry::new();
+        let stats = ExecStats::new();
+        let exec = Executor { catalog, registry: &registry, config, stats: &stats };
+        exec.run_query(&plan)
+    }
+
+    fn run_ok(catalog: &Catalog, config: &EngineConfig, sql: &str) -> Batch {
+        run(catalog, config, sql).unwrap()
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        let batch = run_ok(&catalog, &config, "SELECT dst FROM edges WHERE src = 1");
+        let mut vals: Vec<i64> = batch.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        vals.sort();
+        assert_eq!(vals, vec![2, 3]);
+    }
+
+    #[test]
+    fn union_distinct_collects_nodes() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "SELECT src FROM edges UNION SELECT dst FROM edges",
+        );
+        assert_eq!(batch.len(), 4); // nodes 1..4
+    }
+
+    #[test]
+    fn group_by_counts() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "SELECT src, COUNT(dst) AS n FROM edges GROUP BY src ORDER BY src",
+        );
+        let rows: Vec<(i64, i64)> = batch
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        assert_eq!(rows, vec![(1, 2), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "SELECT COUNT(*), SUM(weight) FROM edges WHERE src = 999",
+        );
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.rows()[0][0], Value::Int(0));
+        assert!(batch.rows()[0][1].is_null());
+    }
+
+    #[test]
+    fn left_join_pads_unmatched() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        // node 4 has no outgoing edge
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "SELECT n.dst, e2.dst FROM edges n LEFT JOIN edges e2 ON n.dst = e2.src \
+             WHERE n.src = 3",
+        );
+        assert_eq!(batch.len(), 1);
+        assert!(batch.rows()[0][1].is_null());
+    }
+
+    #[test]
+    fn iterative_cte_rename_path_runs_n_iterations() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        // value doubles every iteration: 1 -> 2^5 = 32
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT 1, 1
+             ITERATE
+                 SELECT k, v * 2 FROM t
+             UNTIL 5 ITERATIONS)
+             SELECT v FROM t",
+        );
+        assert_eq!(batch.rows()[0][0], Value::Int(32));
+    }
+
+    #[test]
+    fn iterative_cte_merge_path_preserves_unmatched_rows() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        // Only rows with k < 3 are updated; others must keep their value.
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT src, 0 FROM edges UNION SELECT dst, 0 FROM edges
+             ITERATE
+                 SELECT k, v + 1 FROM t WHERE k < 3
+             UNTIL 4 ITERATIONS)
+             SELECT k, v FROM t ORDER BY k",
+        );
+        let rows: Vec<(i64, i64)> = batch
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        assert_eq!(rows, vec![(1, 4), (2, 4), (3, 0), (4, 0)]);
+    }
+
+    #[test]
+    fn iterative_cte_delta_termination_converges() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        // v converges to 10 and stops changing -> delta 0 < 1 stops.
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT 1, 0
+             ITERATE
+                 SELECT k, LEAST(v + 4, 10) FROM t
+             UNTIL DELTA < 1)
+             SELECT v FROM t",
+        );
+        assert_eq!(batch.rows()[0][0], Value::Int(10));
+    }
+
+    #[test]
+    fn iterative_cte_data_termination() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT 1, 0
+             ITERATE
+                 SELECT k, v + 1 FROM t
+             UNTIL (v >= 7))
+             SELECT v FROM t",
+        );
+        assert_eq!(batch.rows()[0][0], Value::Int(7));
+    }
+
+    #[test]
+    fn iterative_cte_updates_termination() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        // One row updated per iteration; stop once >= 3 cumulative updates.
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT 1, 0
+             ITERATE
+                 SELECT k, v + 1 FROM t
+             UNTIL 3 UPDATES)
+             SELECT v FROM t",
+        );
+        assert_eq!(batch.rows()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn duplicate_iteration_key_raises() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        // Ri produces two rows for key 1 while updating a subset (merge
+        // path), which must raise the paper's duplicate-key error.
+        let err = run(
+            &catalog,
+            &config,
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT src, 0 FROM edges UNION SELECT dst, 0 FROM edges
+             ITERATE
+                 SELECT 1, v + 1 FROM t WHERE k < 3
+             UNTIL 2 ITERATIONS)
+             SELECT * FROM t",
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::DuplicateIterationKey { .. }));
+    }
+
+    #[test]
+    fn runaway_loop_hits_safety_limit() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default().with_max_iterations(10);
+        setup_edges(&catalog, config.partitions);
+        let err = run(
+            &catalog,
+            &config,
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT 1, 0
+             ITERATE
+                 SELECT k, v + 1 FROM t
+             UNTIL (v < 0))
+             SELECT v FROM t",
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::IterationLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn recursive_cte_transitive_closure() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "WITH RECURSIVE reach (node) AS (
+                 SELECT dst FROM edges WHERE src = 1
+                 UNION
+                 SELECT e.dst FROM edges e JOIN reach r ON e.src = r.node
+             )
+             SELECT node FROM reach ORDER BY node",
+        );
+        let nodes: Vec<i64> = batch.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(nodes, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn recursive_union_all_counts_paths() {
+        let catalog = Catalog::new();
+        let config = EngineConfig::default();
+        setup_edges(&catalog, config.partitions);
+        // 1->2->3->4, 1->3->4: two distinct paths reach node 4.
+        let batch = run_ok(
+            &catalog,
+            &config,
+            "WITH RECURSIVE walk (node) AS (
+                 SELECT dst FROM edges WHERE src = 1
+                 UNION ALL
+                 SELECT e.dst FROM edges e JOIN walk w ON e.src = w.node
+             )
+             SELECT COUNT(*) FROM walk WHERE node = 4",
+        );
+        assert_eq!(batch.rows()[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn rename_path_moves_fewer_rows_than_merge_path() {
+        let sql = "WITH ITERATIVE t (k, v) AS (
+                 SELECT src, 0 FROM edges UNION SELECT dst, 0 FROM edges
+             ITERATE
+                 SELECT k, v + 1 FROM t
+             UNTIL 10 ITERATIONS)
+             SELECT COUNT(*) FROM t";
+        let run_with = |config: &EngineConfig| -> (Batch, crate::stats::StatsSnapshot) {
+            let catalog = Catalog::new();
+            setup_edges(&catalog, config.partitions);
+            let stmt = parse_sql(sql).unwrap();
+            let spinner_parser::Statement::Query(q) = stmt else { panic!() };
+            let plan = plan_query(&q, &CatalogProvider(&catalog), config).unwrap();
+            let registry = TempRegistry::new();
+            let stats = ExecStats::new();
+            let exec =
+                Executor { catalog: &catalog, registry: &registry, config, stats: &stats };
+            let batch = exec.run_query(&plan).unwrap();
+            (batch, stats.snapshot())
+        };
+        let optimized = EngineConfig::default();
+        let naive = EngineConfig::default().with_minimize_data_movement(false);
+        let (b1, s1) = run_with(&optimized);
+        let (b2, s2) = run_with(&naive);
+        assert_eq!(b1.rows(), b2.rows(), "optimization must not change results");
+        assert_eq!(s2.merges, 10, "naive path merges every iteration");
+        assert_eq!(s1.merges, 0, "rename path never merges");
+        assert!(s1.renames >= 10);
+        assert!(
+            s2.merge_rows_examined > 0,
+            "merge path does per-row work the rename path avoids"
+        );
+    }
+
+    #[test]
+    fn parallel_partitions_match_sequential() {
+        let sql = "SELECT src, COUNT(dst) AS n FROM edges GROUP BY src ORDER BY src";
+        let catalog = Catalog::new();
+        let seq = EngineConfig::default();
+        setup_edges(&catalog, seq.partitions);
+        let par = EngineConfig::default().with_parallel_partitions(true);
+        let b1 = run_ok(&catalog, &seq, sql);
+        let b2 = run_ok(&catalog, &par, sql);
+        assert_eq!(b1.rows(), b2.rows());
+    }
+}

@@ -1,0 +1,828 @@
+//! Evaluation of physical operator trees over partitioned row sets.
+//!
+//! Every operator consumes and produces a [`Partitioned`] (one immutable
+//! row vector per virtual MPP worker). Per-partition work can run on
+//! crossbeam scoped threads when `EngineConfig::parallel_partitions` is
+//! set; the default is sequential execution for determinism.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use spinner_common::{EngineConfig, Error, Result, Row, Value};
+use spinner_plan::{AggExpr, JoinType, PlanExpr, SetOpKind, SortKey};
+use spinner_storage::{Catalog, Partitioned, TempRegistry};
+
+use crate::aggregate::Accumulator;
+use crate::physical::{partition_for_key, ExchangeMode, PhysicalPlan};
+use crate::stats::ExecStats;
+
+/// Everything an operator needs at run time.
+pub struct OpContext<'a> {
+    pub catalog: &'a Catalog,
+    pub registry: &'a TempRegistry,
+    pub config: &'a EngineConfig,
+    pub stats: &'a ExecStats,
+}
+
+impl OpContext<'_> {
+    fn partitions(&self) -> usize {
+        self.config.partitions
+    }
+}
+
+/// Execute a physical plan tree to a partitioned result.
+pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> {
+    match plan {
+        PhysicalPlan::SeqScan { table, .. } => {
+            let snapshot = ctx.catalog.get(table)?.snapshot();
+            Ok(normalize_partitions(snapshot, ctx.partitions(), plan.schema()))
+        }
+        PhysicalPlan::TempScan { name, .. } => {
+            let data = ctx.registry.get(name)?;
+            Ok(normalize_partitions(data, ctx.partitions(), plan.schema()))
+        }
+        PhysicalPlan::Values { rows, .. } => {
+            let mut out: Vec<Row> = Vec::with_capacity(rows.len());
+            for exprs in rows {
+                let row: Vec<Value> = exprs
+                    .iter()
+                    .map(|e| e.evaluate(&[]))
+                    .collect::<Result<_>>()?;
+                out.push(row.into_boxed_slice());
+            }
+            let mut parts: Vec<Arc<Vec<Row>>> =
+                (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+            parts[0] = Arc::new(out);
+            Ok(Partitioned { schema: plan.schema(), parts })
+        }
+        PhysicalPlan::Project { input, exprs, schema } => {
+            let data = execute(input, ctx)?;
+            let out = unary_map(&data, ctx, |rows| {
+                let mut result = Vec::with_capacity(rows.len());
+                for r in rows {
+                    let row: Vec<Value> =
+                        exprs.iter().map(|e| e.evaluate(r)).collect::<Result<_>>()?;
+                    result.push(row.into_boxed_slice());
+                }
+                Ok(result)
+            })?;
+            Ok(Partitioned { schema: schema.clone(), parts: out })
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let data = execute(input, ctx)?;
+            let schema = data.schema.clone();
+            let out = unary_map(&data, ctx, |rows| {
+                let mut result = Vec::new();
+                for r in rows {
+                    if predicate.matches(r)? {
+                        result.push(r.clone());
+                    }
+                }
+                Ok(result)
+            })?;
+            Ok(Partitioned { schema, parts: out })
+        }
+        PhysicalPlan::Exchange { input, mode } => {
+            let data = execute(input, ctx)?;
+            exchange(data, mode, ctx)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => {
+            let l = execute(left, ctx)?;
+            let r = execute(right, ctx)?;
+            ExecStats::add(&ctx.stats.joins_executed, 1);
+            let (lwidth, rwidth) = (l.schema.len(), r.schema.len());
+            let out = binary_map(&l, &r, ctx, |lrows, rrows| {
+                hash_join_partition(
+                    lrows,
+                    rrows,
+                    *join_type,
+                    left_keys,
+                    right_keys,
+                    residual.as_ref(),
+                    lwidth,
+                    rwidth,
+                )
+            })?;
+            Ok(Partitioned { schema: schema.clone(), parts: out })
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, join_type, residual, schema } => {
+            let l = execute(left, ctx)?;
+            let r = execute(right, ctx)?;
+            ExecStats::add(&ctx.stats.joins_executed, 1);
+            let (lwidth, rwidth) = (l.schema.len(), r.schema.len());
+            // Inputs were gathered to partition 0 by the planner.
+            let lrows = l.gather();
+            let rrows = r.gather();
+            let joined = nested_loop_join(
+                &lrows,
+                &rrows,
+                *join_type,
+                residual.as_ref(),
+                lwidth,
+                rwidth,
+            )?;
+            let mut parts: Vec<Arc<Vec<Row>>> =
+                (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+            parts[0] = Arc::new(joined);
+            Ok(Partitioned { schema: schema.clone(), parts })
+        }
+        PhysicalPlan::HashAggregate { input, group, aggs, schema } => {
+            let data = execute(input, ctx)?;
+            if group.is_empty() {
+                global_aggregate(&data, aggs, schema.clone(), ctx)
+            } else {
+                let out = unary_map(&data, ctx, |rows| {
+                    grouped_aggregate_partition(rows, group, aggs)
+                })?;
+                Ok(Partitioned { schema: schema.clone(), parts: out })
+            }
+        }
+        PhysicalPlan::AggregatePartial { input, group, aggs, schema } => {
+            let data = execute(input, ctx)?;
+            let out = unary_map(&data, ctx, |rows| {
+                partial_aggregate_partition(rows, group, aggs)
+            })?;
+            Ok(Partitioned { schema: schema.clone(), parts: out })
+        }
+        PhysicalPlan::AggregateFinal { input, group_len, aggs, schema } => {
+            let data = execute(input, ctx)?;
+            let out = unary_map(&data, ctx, |rows| {
+                final_aggregate_partition(rows, *group_len, aggs)
+            })?;
+            Ok(Partitioned { schema: schema.clone(), parts: out })
+        }
+        PhysicalPlan::Distinct { input } => {
+            let data = execute(input, ctx)?;
+            let schema = data.schema.clone();
+            let out = unary_map(&data, ctx, |rows| {
+                let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+                let mut result = Vec::new();
+                for r in rows {
+                    if seen.insert(r.clone()) {
+                        result.push(r.clone());
+                    }
+                }
+                Ok(result)
+            })?;
+            Ok(Partitioned { schema, parts: out })
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let data = execute(input, ctx)?;
+            let schema = data.schema.clone();
+            let mut rows = data.gather();
+            sort_rows(&mut rows, keys)?;
+            let mut parts: Vec<Arc<Vec<Row>>> =
+                (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+            parts[0] = Arc::new(rows);
+            Ok(Partitioned { schema, parts })
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let data = execute(input, ctx)?;
+            let schema = data.schema.clone();
+            let mut rows = data.gather();
+            rows.truncate(*n as usize);
+            let mut parts: Vec<Arc<Vec<Row>>> =
+                (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+            parts[0] = Arc::new(rows);
+            Ok(Partitioned { schema, parts })
+        }
+        PhysicalPlan::SetOp { op, all, left, right, schema } => {
+            let l = execute(left, ctx)?;
+            let r = execute(right, ctx)?;
+            let out = binary_map(&l, &r, ctx, |lrows, rrows| {
+                set_op_partition(lrows, rrows, *op, *all)
+            })?;
+            Ok(Partitioned { schema: schema.clone(), parts: out })
+        }
+    }
+}
+
+/// Bring a row set to exactly `parts` partitions, preserving data. Used at
+/// scan boundaries when a stored result was partitioned under a different
+/// configuration.
+fn normalize_partitions(
+    data: Partitioned,
+    parts: usize,
+    schema: spinner_common::SchemaRef,
+) -> Partitioned {
+    if data.parts.len() == parts {
+        return Partitioned { schema, parts: data.parts };
+    }
+    let rows = data.gather();
+    let buckets = spinner_storage::hash_partition(rows, None, parts);
+    Partitioned {
+        schema,
+        parts: buckets.into_iter().map(Arc::new).collect(),
+    }
+}
+
+/// Run `f` over every partition of `input`, optionally in parallel.
+fn unary_map(
+    input: &Partitioned,
+    ctx: &OpContext<'_>,
+    f: impl Fn(&[Row]) -> Result<Vec<Row>> + Sync,
+) -> Result<Vec<Arc<Vec<Row>>>> {
+    if ctx.config.parallel_partitions && input.parts.len() > 1 {
+        let results: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = input
+                .parts
+                .iter()
+                .map(|p| s.spawn(|_| f(p.as_slice())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+        results
+            .into_iter()
+            .map(|r| r.map(Arc::new))
+            .collect()
+    } else {
+        input
+            .parts
+            .iter()
+            .map(|p| f(p.as_slice()).map(Arc::new))
+            .collect()
+    }
+}
+
+/// Run `f` over co-indexed partition pairs, optionally in parallel.
+fn binary_map(
+    l: &Partitioned,
+    r: &Partitioned,
+    ctx: &OpContext<'_>,
+    f: impl Fn(&[Row], &[Row]) -> Result<Vec<Row>> + Sync,
+) -> Result<Vec<Arc<Vec<Row>>>> {
+    if l.parts.len() != r.parts.len() {
+        return Err(Error::execution(format!(
+            "partition count mismatch: {} vs {}",
+            l.parts.len(),
+            r.parts.len()
+        )));
+    }
+    if ctx.config.parallel_partitions && l.parts.len() > 1 {
+        let results: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = l
+                .parts
+                .iter()
+                .zip(&r.parts)
+                .map(|(lp, rp)| s.spawn(|_| f(lp.as_slice(), rp.as_slice())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+        results.into_iter().map(|x| x.map(Arc::new)).collect()
+    } else {
+        l.parts
+            .iter()
+            .zip(&r.parts)
+            .map(|(lp, rp)| f(lp.as_slice(), rp.as_slice()).map(Arc::new))
+            .collect()
+    }
+}
+
+/// Redistribute rows according to `mode`, counting movement.
+pub fn exchange(
+    data: Partitioned,
+    mode: &ExchangeMode,
+    ctx: &OpContext<'_>,
+) -> Result<Partitioned> {
+    let parts = ctx.partitions();
+    let schema = data.schema.clone();
+    match mode {
+        ExchangeMode::Hash(keys) => {
+            let mut buckets: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
+            let mut moved = 0u64;
+            for (src, part) in data.parts.iter().enumerate() {
+                for row in part.iter() {
+                    let key: Vec<Value> = keys
+                        .iter()
+                        .map(|k| k.evaluate(row))
+                        .collect::<Result<_>>()?;
+                    let target = partition_for_key(&key, parts)?;
+                    if target != src {
+                        moved += 1;
+                    }
+                    buckets[target].push(row.clone());
+                }
+            }
+            ExecStats::add(&ctx.stats.rows_moved, moved);
+            Ok(Partitioned {
+                schema,
+                parts: buckets.into_iter().map(Arc::new).collect(),
+            })
+        }
+        ExchangeMode::Gather => {
+            let moved: u64 = data
+                .parts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 0)
+                .map(|(_, p)| p.len() as u64)
+                .sum();
+            ExecStats::add(&ctx.stats.rows_moved, moved);
+            let rows = data.gather();
+            let mut out: Vec<Arc<Vec<Row>>> =
+                (0..parts).map(|_| Arc::new(Vec::new())).collect();
+            out[0] = Arc::new(rows);
+            Ok(Partitioned { schema, parts: out })
+        }
+        ExchangeMode::Broadcast => {
+            let rows = data.gather();
+            let copies = rows.len() as u64 * (parts as u64).saturating_sub(1);
+            ExecStats::add(&ctx.stats.rows_broadcast, copies);
+            let shared = Arc::new(rows);
+            Ok(Partitioned {
+                schema,
+                parts: (0..parts).map(|_| Arc::clone(&shared)).collect(),
+            })
+        }
+    }
+}
+
+fn combine_rows(left: &[Value], right: &[Value]) -> Row {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out.into_boxed_slice()
+}
+
+fn null_row(width: usize) -> Vec<Value> {
+    vec![Value::Null; width]
+}
+
+/// Hash join of one co-partitioned pair. `lwidth`/`rwidth` are the schema
+/// widths, needed to pad outer-join rows when a partition is empty.
+#[allow(clippy::too_many_arguments)]
+fn hash_join_partition(
+    lrows: &[Row],
+    rrows: &[Row],
+    join_type: JoinType,
+    left_keys: &[PlanExpr],
+    right_keys: &[PlanExpr],
+    residual: Option<&PlanExpr>,
+    lwidth: usize,
+    rwidth: usize,
+) -> Result<Vec<Row>> {
+    // Build side: right. NULL keys never participate in matches.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rrows.len());
+    for (i, row) in rrows.iter().enumerate() {
+        let key: Vec<Value> = right_keys
+            .iter()
+            .map(|k| k.evaluate(row))
+            .collect::<Result<_>>()?;
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        table.entry(key).or_default().push(i);
+    }
+    let mut matched_right = vec![false; rrows.len()];
+    let mut out = Vec::new();
+    for lrow in lrows {
+        let key: Vec<Value> = left_keys
+            .iter()
+            .map(|k| k.evaluate(lrow))
+            .collect::<Result<_>>()?;
+        let mut found = false;
+        if !key.iter().any(Value::is_null) {
+            if let Some(candidates) = table.get(&key) {
+                for &ri in candidates {
+                    let combined = combine_rows(lrow, &rrows[ri]);
+                    let keep = match residual {
+                        Some(p) => p.matches(&combined)?,
+                        None => true,
+                    };
+                    if keep {
+                        found = true;
+                        matched_right[ri] = true;
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+        if !found && matches!(join_type, JoinType::Left | JoinType::Full) {
+            out.push(combine_rows(lrow, &null_row(rwidth)));
+        }
+    }
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        for (i, rrow) in rrows.iter().enumerate() {
+            if !matched_right[i] {
+                out.push(combine_rows(&null_row(lwidth), rrow));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Nested-loop join over gathered inputs.
+fn nested_loop_join(
+    lrows: &[Row],
+    rrows: &[Row],
+    join_type: JoinType,
+    residual: Option<&PlanExpr>,
+    lwidth: usize,
+    rwidth: usize,
+) -> Result<Vec<Row>> {
+    let mut matched_right = vec![false; rrows.len()];
+    let mut out = Vec::new();
+    for lrow in lrows {
+        let mut found = false;
+        for (ri, rrow) in rrows.iter().enumerate() {
+            let combined = combine_rows(lrow, rrow);
+            let keep = match residual {
+                Some(p) => p.matches(&combined)?,
+                None => true,
+            };
+            if keep {
+                found = true;
+                matched_right[ri] = true;
+                out.push(combined);
+            }
+        }
+        if !found && matches!(join_type, JoinType::Left | JoinType::Full) {
+            out.push(combine_rows(lrow, &null_row(rwidth)));
+        }
+    }
+    if matches!(join_type, JoinType::Right | JoinType::Full) {
+        for (ri, rrow) in rrows.iter().enumerate() {
+            if !matched_right[ri] {
+                out.push(combine_rows(&null_row(lwidth), rrow));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Grouped aggregation of one (already key-exchanged) partition.
+fn grouped_aggregate_partition(
+    rows: &[Row],
+    group: &[PlanExpr],
+    aggs: &[AggExpr],
+) -> Result<Vec<Row>> {
+    // Preserve first-seen group order for deterministic output.
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+    for row in rows {
+        let key: Vec<Value> = group
+            .iter()
+            .map(|g| g.evaluate(row))
+            .collect::<Result<_>>()?;
+        let slot = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = groups.len();
+                index.insert(key.clone(), i);
+                groups.push((key, aggs.iter().map(Accumulator::new).collect()));
+                i
+            }
+        };
+        let accs = &mut groups[slot].1;
+        for (agg, acc) in aggs.iter().zip(accs.iter_mut()) {
+            let value = match &agg.arg {
+                Some(e) => e.evaluate(row)?,
+                None => Value::Null, // COUNT(*) ignores its input
+            };
+            acc.update(&value)?;
+        }
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, accs) in groups {
+        let mut row = key;
+        row.extend(accs.into_iter().map(Accumulator::finish));
+        out.push(row.into_boxed_slice());
+    }
+    Ok(out)
+}
+
+/// Phase 1 of two-phase aggregation: aggregate one partition locally and
+/// emit `[group keys..., partial states...]` rows.
+fn partial_aggregate_partition(
+    rows: &[Row],
+    group: &[PlanExpr],
+    aggs: &[AggExpr],
+) -> Result<Vec<Row>> {
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+    for row in rows {
+        let key: Vec<Value> = group
+            .iter()
+            .map(|g| g.evaluate(row))
+            .collect::<Result<_>>()?;
+        let slot = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = groups.len();
+                index.insert(key.clone(), i);
+                groups.push((key, aggs.iter().map(Accumulator::new).collect()));
+                i
+            }
+        };
+        for (agg, acc) in aggs.iter().zip(groups[slot].1.iter_mut()) {
+            let value = match &agg.arg {
+                Some(e) => e.evaluate(row)?,
+                None => Value::Null,
+            };
+            acc.update(&value)?;
+        }
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, accs) in groups {
+        let mut row = key;
+        for acc in accs {
+            row.extend(acc.into_state());
+        }
+        out.push(row.into_boxed_slice());
+    }
+    Ok(out)
+}
+
+/// Phase 2 of two-phase aggregation: merge partial-state rows of one
+/// (key-exchanged) partition into final results.
+fn final_aggregate_partition(
+    rows: &[Row],
+    group_len: usize,
+    aggs: &[AggExpr],
+) -> Result<Vec<Row>> {
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
+    for row in rows {
+        let key: Vec<Value> = row[..group_len].to_vec();
+        let slot = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = groups.len();
+                index.insert(key.clone(), i);
+                groups.push((key, aggs.iter().map(Accumulator::new).collect()));
+                i
+            }
+        };
+        let mut offset = group_len;
+        for (agg, acc) in aggs.iter().zip(groups[slot].1.iter_mut()) {
+            let width = Accumulator::state_width(agg.func);
+            acc.merge_state(&row[offset..offset + width])?;
+            offset += width;
+        }
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, accs) in groups {
+        let mut row = key;
+        row.extend(accs.into_iter().map(Accumulator::finish));
+        out.push(row.into_boxed_slice());
+    }
+    Ok(out)
+}
+
+/// Global aggregation: partial accumulators per partition, merged, one
+/// output row in partition 0 (even over empty input).
+fn global_aggregate(
+    data: &Partitioned,
+    aggs: &[AggExpr],
+    schema: spinner_common::SchemaRef,
+    ctx: &OpContext<'_>,
+) -> Result<Partitioned> {
+    let mut final_accs: Vec<Accumulator> = aggs.iter().map(Accumulator::new).collect();
+    for part in &data.parts {
+        let mut partial: Vec<Accumulator> = aggs.iter().map(Accumulator::new).collect();
+        for row in part.iter() {
+            for (agg, acc) in aggs.iter().zip(partial.iter_mut()) {
+                let value = match &agg.arg {
+                    Some(e) => e.evaluate(row)?,
+                    None => Value::Null,
+                };
+                acc.update(&value)?;
+            }
+        }
+        for (f, p) in final_accs.iter_mut().zip(partial) {
+            f.merge(p)?;
+        }
+    }
+    let row: Vec<Value> = final_accs.into_iter().map(Accumulator::finish).collect();
+    let mut parts: Vec<Arc<Vec<Row>>> =
+        (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+    parts[0] = Arc::new(vec![row.into_boxed_slice()]);
+    Ok(Partitioned { schema, parts })
+}
+
+/// Distinct set operations over one co-partitioned pair.
+fn set_op_partition(
+    lrows: &[Row],
+    rrows: &[Row],
+    op: SetOpKind,
+    all: bool,
+) -> Result<Vec<Row>> {
+    match (op, all) {
+        (SetOpKind::Union, true) => {
+            let mut out = Vec::with_capacity(lrows.len() + rrows.len());
+            out.extend_from_slice(lrows);
+            out.extend_from_slice(rrows);
+            Ok(out)
+        }
+        (SetOpKind::Union, false) => {
+            let mut seen: HashSet<Row> = HashSet::with_capacity(lrows.len() + rrows.len());
+            let mut out = Vec::new();
+            for r in lrows.iter().chain(rrows) {
+                if seen.insert(r.clone()) {
+                    out.push(r.clone());
+                }
+            }
+            Ok(out)
+        }
+        (SetOpKind::Except, false) => {
+            let right: HashSet<&Row> = rrows.iter().collect();
+            let mut seen: HashSet<Row> = HashSet::new();
+            let mut out = Vec::new();
+            for r in lrows {
+                if !right.contains(r) && seen.insert(r.clone()) {
+                    out.push(r.clone());
+                }
+            }
+            Ok(out)
+        }
+        (SetOpKind::Except, true) => {
+            // Bag difference: each right occurrence cancels one left.
+            let mut counts: HashMap<&Row, usize> = HashMap::new();
+            for r in rrows {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+            let mut out = Vec::new();
+            for r in lrows {
+                match counts.get_mut(r) {
+                    Some(c) if *c > 0 => *c -= 1,
+                    _ => out.push(r.clone()),
+                }
+            }
+            Ok(out)
+        }
+        (SetOpKind::Intersect, false) => {
+            let right: HashSet<&Row> = rrows.iter().collect();
+            let mut seen: HashSet<Row> = HashSet::new();
+            let mut out = Vec::new();
+            for r in lrows {
+                if right.contains(r) && seen.insert(r.clone()) {
+                    out.push(r.clone());
+                }
+            }
+            Ok(out)
+        }
+        (SetOpKind::Intersect, true) => {
+            let mut counts: HashMap<&Row, usize> = HashMap::new();
+            for r in rrows {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+            let mut out = Vec::new();
+            for r in lrows {
+                if let Some(c) = counts.get_mut(r) {
+                    if *c > 0 {
+                        *c -= 1;
+                        out.push(r.clone());
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Sort rows in place by the given keys.
+pub fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> Result<()> {
+    // Precompute key tuples to avoid re-evaluating expressions in the
+    // comparator (and to surface evaluation errors before sorting).
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows.iter() {
+        let k: Vec<Value> = keys
+            .iter()
+            .map(|s| s.expr.evaluate(row))
+            .collect::<Result<_>>()?;
+        keyed.push((k, row.clone()));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, key) in keys.iter().enumerate() {
+            let (a, b) = (&ka[i], &kb[i]);
+            let ord = match (a.is_null(), b.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => {
+                    if key.nulls_first {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                }
+                (false, true) => {
+                    if key.nulls_first {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Less
+                    }
+                }
+                (false, false) => {
+                    let o = a.cmp_total(b);
+                    if key.asc {
+                        o
+                    } else {
+                        o.reverse()
+                    }
+                }
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    for (slot, (_, row)) in rows.iter_mut().zip(keyed) {
+        *slot = row;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_common::row_of;
+
+    #[test]
+    fn sort_rows_respects_desc_and_nulls() {
+        let mut rows = vec![
+            row_of([Value::Int(1)]),
+            row_of([Value::Null]),
+            row_of([Value::Int(3)]),
+        ];
+        let keys = vec![SortKey {
+            expr: PlanExpr::column(0, "x"),
+            asc: false,
+            nulls_first: false,
+        }];
+        sort_rows(&mut rows, &keys).unwrap();
+        assert_eq!(rows[0][0], Value::Int(3));
+        assert_eq!(rows[1][0], Value::Int(1));
+        assert!(rows[2][0].is_null());
+    }
+
+    #[test]
+    fn nested_loop_left_join_pads() {
+        let l = vec![row_of([Value::Int(1)]), row_of([Value::Int(2)])];
+        let r = vec![row_of([Value::Int(1), Value::Int(10)])];
+        let pred = PlanExpr::column(0, "l").binary(
+            spinner_plan::expr::BinaryOp::Eq,
+            PlanExpr::column(1, "r"),
+        );
+        let out = nested_loop_join(&l, &r, JoinType::Left, Some(&pred), 1, 2).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[1][1].is_null()); // unmatched row padded
+    }
+
+    #[test]
+    fn hash_join_null_keys_never_match() {
+        let l = vec![row_of([Value::Null]), row_of([Value::Int(1)])];
+        let r = vec![row_of([Value::Null]), row_of([Value::Int(1)])];
+        let keys = vec![PlanExpr::column(0, "k")];
+        let out =
+            hash_join_partition(&l, &r, JoinType::Inner, &keys, &keys, None, 1, 1).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn hash_join_full_outer_emits_both_sides() {
+        let l = vec![row_of([Value::Int(1)]), row_of([Value::Int(2)])];
+        let r = vec![row_of([Value::Int(2)]), row_of([Value::Int(3)])];
+        let keys = vec![PlanExpr::column(0, "k")];
+        let mut out =
+            hash_join_partition(&l, &r, JoinType::Full, &keys, &keys, None, 1, 1).unwrap();
+        out.sort();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn except_all_is_bag_difference() {
+        let l = vec![
+            row_of([Value::Int(1)]),
+            row_of([Value::Int(1)]),
+            row_of([Value::Int(2)]),
+        ];
+        let r = vec![row_of([Value::Int(1)])];
+        let out = set_op_partition(&l, &r, SetOpKind::Except, true).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn union_distinct_dedupes_across_sides() {
+        let l = vec![row_of([Value::Int(1)])];
+        let r = vec![row_of([Value::Int(1)]), row_of([Value::Int(2)])];
+        let out = set_op_partition(&l, &r, SetOpKind::Union, false).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,587 @@
+//! Physical plan and the logical → physical lowering.
+//!
+//! The lowering mirrors an MPP planner's shuffle decisions: hash joins and
+//! grouped aggregations get hash exchanges on their keys, unkeyed joins
+//! and global operations (sort, limit, global aggregate, set ops) gather
+//! to one partition. Exchanges only *count* rows that actually change
+//! partition, so a table already distributed on the join key moves nothing
+//! — the same locality a real shared-nothing engine exploits.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use spinner_common::{
+    DataType, EngineConfig, Error, Field, Result, Schema, SchemaRef, Value,
+};
+use spinner_plan::{AggExpr, JoinType, LogicalPlan, PlanExpr, SetOpKind, SortKey};
+
+use crate::aggregate::Accumulator;
+
+/// How an exchange redistributes rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeMode {
+    /// Re-partition by the hash of the listed key expressions.
+    Hash(Vec<PlanExpr>),
+    /// Collect every row into partition 0.
+    Gather,
+    /// Replicate every row to all partitions.
+    Broadcast,
+}
+
+impl fmt::Display for ExchangeMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeMode::Hash(keys) => {
+                let k: Vec<String> = keys.iter().map(|e| e.to_string()).collect();
+                write!(f, "Hash({})", k.join(", "))
+            }
+            ExchangeMode::Gather => f.write_str("Gather"),
+            ExchangeMode::Broadcast => f.write_str("Broadcast"),
+        }
+    }
+}
+
+/// The executable operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    SeqScan {
+        table: String,
+        schema: SchemaRef,
+    },
+    TempScan {
+        name: String,
+        schema: SchemaRef,
+    },
+    Values {
+        rows: Vec<Vec<PlanExpr>>,
+        schema: SchemaRef,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<PlanExpr>,
+        schema: SchemaRef,
+    },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: PlanExpr,
+    },
+    /// Hash join; both inputs are expected to be co-partitioned on the key
+    /// expressions (the planner inserts exchanges).
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        join_type: JoinType,
+        left_keys: Vec<PlanExpr>,
+        right_keys: Vec<PlanExpr>,
+        residual: Option<PlanExpr>,
+        schema: SchemaRef,
+    },
+    /// Fallback join for non-equi / cross joins; inputs are gathered.
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        join_type: JoinType,
+        residual: Option<PlanExpr>,
+        schema: SchemaRef,
+    },
+    /// Grouped hash aggregation (input hash-exchanged on the group key) or
+    /// global aggregation (partial per partition + final merge).
+    HashAggregate {
+        input: Box<PhysicalPlan>,
+        group: Vec<PlanExpr>,
+        aggs: Vec<AggExpr>,
+        schema: SchemaRef,
+    },
+    /// Phase 1 of two-phase grouped aggregation: aggregate each partition
+    /// locally, emitting `[group keys..., partial states...]` rows.
+    AggregatePartial {
+        input: Box<PhysicalPlan>,
+        group: Vec<PlanExpr>,
+        aggs: Vec<AggExpr>,
+        schema: SchemaRef,
+    },
+    /// Phase 2: merge partial-state rows (key-exchanged between phases)
+    /// into final aggregate values.
+    AggregateFinal {
+        input: Box<PhysicalPlan>,
+        group_len: usize,
+        aggs: Vec<AggExpr>,
+        schema: SchemaRef,
+    },
+    Distinct {
+        input: Box<PhysicalPlan>,
+    },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        n: u64,
+    },
+    SetOp {
+        op: SetOpKind,
+        all: bool,
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        schema: SchemaRef,
+    },
+    Exchange {
+        input: Box<PhysicalPlan>,
+        mode: ExchangeMode,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output schema.
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            PhysicalPlan::SeqScan { schema, .. }
+            | PhysicalPlan::TempScan { schema, .. }
+            | PhysicalPlan::Values { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::HashJoin { schema, .. }
+            | PhysicalPlan::NestedLoopJoin { schema, .. }
+            | PhysicalPlan::HashAggregate { schema, .. }
+            | PhysicalPlan::AggregatePartial { schema, .. }
+            | PhysicalPlan::AggregateFinal { schema, .. }
+            | PhysicalPlan::SetOp { schema, .. } => schema.clone(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Exchange { input, .. } => input.schema(),
+        }
+    }
+
+    /// Indented physical EXPLAIN rendering.
+    pub fn display_indent(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let line = match self {
+            PhysicalPlan::SeqScan { table, .. } => format!("SeqScan: {table}"),
+            PhysicalPlan::TempScan { name, .. } => format!("TempScan: {name}"),
+            PhysicalPlan::Values { rows, .. } => format!("Values: {} rows", rows.len()),
+            PhysicalPlan::Project { exprs, .. } => format!(
+                "Project: {}",
+                exprs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            PhysicalPlan::HashJoin { join_type, left_keys, right_keys, .. } => format!(
+                "HashJoin({join_type}): {}",
+                left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(l, r)| format!("{l} = {r}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            PhysicalPlan::NestedLoopJoin { join_type, .. } => {
+                format!("NestedLoopJoin({join_type})")
+            }
+            PhysicalPlan::HashAggregate { group, aggs, .. } => format!(
+                "HashAggregate: groups={} aggs={}",
+                group.len(),
+                aggs.len()
+            ),
+            PhysicalPlan::AggregatePartial { group, aggs, .. } => format!(
+                "AggregatePartial: groups={} aggs={}",
+                group.len(),
+                aggs.len()
+            ),
+            PhysicalPlan::AggregateFinal { group_len, aggs, .. } => format!(
+                "AggregateFinal: groups={group_len} aggs={}",
+                aggs.len()
+            ),
+            PhysicalPlan::Distinct { .. } => "Distinct".into(),
+            PhysicalPlan::Sort { keys, .. } => format!("Sort: {} keys", keys.len()),
+            PhysicalPlan::Limit { n, .. } => format!("Limit: {n}"),
+            PhysicalPlan::SetOp { op, all, .. } => {
+                format!("{op}{}", if *all { " All" } else { "" })
+            }
+            PhysicalPlan::Exchange { mode, .. } => format!("Exchange: {mode}"),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        for c in self.children() {
+            c.display_indent(indent + 1, out);
+        }
+    }
+
+    fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::TempScan { .. }
+            | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Exchange { input, .. } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::SetOp { left, right, .. } => vec![left, right],
+            PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::AggregatePartial { input, .. }
+            | PhysicalPlan::AggregateFinal { input, .. } => vec![input],
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.display_indent(0, &mut s);
+        f.write_str(s.trim_end())
+    }
+}
+
+/// Lower a logical plan to a physical one, inserting exchanges.
+pub fn create_physical_plan(
+    plan: &LogicalPlan,
+    config: &EngineConfig,
+) -> Result<PhysicalPlan> {
+    Ok(match plan {
+        LogicalPlan::TableScan { table, schema } => PhysicalPlan::SeqScan {
+            table: table.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::TempScan { name, schema } => PhysicalPlan::TempScan {
+            name: name.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Values { schema, rows } => PhysicalPlan::Values {
+            rows: rows.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Projection { input, exprs, schema } => PhysicalPlan::Project {
+            input: Box::new(create_physical_plan(input, config)?),
+            exprs: exprs.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+            input: Box::new(create_physical_plan(input, config)?),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Join { left, right, join_type, on, filter, schema } => {
+            let l = create_physical_plan(left, config)?;
+            let r = create_physical_plan(right, config)?;
+            if on.is_empty() {
+                // Non-equi or cross join: gather both sides.
+                PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(PhysicalPlan::Exchange {
+                        input: Box::new(l),
+                        mode: ExchangeMode::Gather,
+                    }),
+                    right: Box::new(PhysicalPlan::Exchange {
+                        input: Box::new(r),
+                        mode: ExchangeMode::Gather,
+                    }),
+                    join_type: *join_type,
+                    residual: filter.clone(),
+                    schema: schema.clone(),
+                }
+            } else {
+                let left_keys: Vec<PlanExpr> = on.iter().map(|(l, _)| l.clone()).collect();
+                let right_keys: Vec<PlanExpr> = on.iter().map(|(_, r)| r.clone()).collect();
+                PhysicalPlan::HashJoin {
+                    left: Box::new(PhysicalPlan::Exchange {
+                        input: Box::new(l),
+                        mode: ExchangeMode::Hash(left_keys.clone()),
+                    }),
+                    right: Box::new(PhysicalPlan::Exchange {
+                        input: Box::new(r),
+                        mode: ExchangeMode::Hash(right_keys.clone()),
+                    }),
+                    join_type: *join_type,
+                    left_keys,
+                    right_keys,
+                    residual: filter.clone(),
+                    schema: schema.clone(),
+                }
+            }
+        }
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            let child = create_physical_plan(input, config)?;
+            if group.is_empty() {
+                // Global aggregate: partial per partition, merged by the
+                // operator itself — no exchange needed.
+                PhysicalPlan::HashAggregate {
+                    input: Box::new(child),
+                    group: group.clone(),
+                    aggs: aggs.clone(),
+                    schema: schema.clone(),
+                }
+            } else if config.two_phase_aggregation && aggs.iter().all(|a| !a.distinct) {
+                // Two-phase: local partial aggregation, exchange the (far
+                // fewer) partial-state rows on the group key, final merge.
+                let mut fields: Vec<Field> = schema.fields()[..group.len()].to_vec();
+                for (i, a) in aggs.iter().enumerate() {
+                    for j in 0..Accumulator::state_width(a.func) {
+                        fields.push(Field::new(format!("__state_{i}_{j}"), DataType::Null));
+                    }
+                }
+                let partial_schema = Arc::new(Schema::new(fields));
+                let keys: Vec<PlanExpr> = (0..group.len())
+                    .map(|i| PlanExpr::column(i, partial_schema.field(i).name.clone()))
+                    .collect();
+                PhysicalPlan::AggregateFinal {
+                    input: Box::new(PhysicalPlan::Exchange {
+                        input: Box::new(PhysicalPlan::AggregatePartial {
+                            input: Box::new(child),
+                            group: group.clone(),
+                            aggs: aggs.clone(),
+                            schema: partial_schema,
+                        }),
+                        mode: ExchangeMode::Hash(keys),
+                    }),
+                    group_len: group.len(),
+                    aggs: aggs.clone(),
+                    schema: schema.clone(),
+                }
+            } else {
+                // Single-phase (DISTINCT aggregates need the raw rows).
+                PhysicalPlan::HashAggregate {
+                    input: Box::new(PhysicalPlan::Exchange {
+                        input: Box::new(child),
+                        mode: ExchangeMode::Hash(group.clone()),
+                    }),
+                    group: group.clone(),
+                    aggs: aggs.clone(),
+                    schema: schema.clone(),
+                }
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            let schema = input.schema();
+            let keys: Vec<PlanExpr> = schema
+                .fields()
+                .iter()
+                .enumerate()
+                .map(|(i, f)| PlanExpr::column(i, f.qualified_name()))
+                .collect();
+            PhysicalPlan::Distinct {
+                input: Box::new(PhysicalPlan::Exchange {
+                    input: Box::new(create_physical_plan(input, config)?),
+                    mode: ExchangeMode::Hash(keys),
+                }),
+            }
+        }
+        LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::Exchange {
+                input: Box::new(create_physical_plan(input, config)?),
+                mode: ExchangeMode::Gather,
+            }),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Exchange {
+                input: Box::new(create_physical_plan(input, config)?),
+                mode: ExchangeMode::Gather,
+            }),
+            n: *n,
+        },
+        LogicalPlan::SetOp { op, all, left, right, schema } => {
+            let l = create_physical_plan(left, config)?;
+            let r = create_physical_plan(right, config)?;
+            if *all && *op == SetOpKind::Union {
+                // UNION ALL: no data movement needed — concatenate
+                // partition-wise.
+                PhysicalPlan::SetOp {
+                    op: *op,
+                    all: true,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    schema: schema.clone(),
+                }
+            } else {
+                // Distinct set ops co-partition both sides on all columns.
+                let keys = |s: &SchemaRef| -> Vec<PlanExpr> {
+                    s.fields()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, f)| PlanExpr::column(i, f.qualified_name()))
+                        .collect()
+                };
+                let lk = keys(&l.schema());
+                let rk = keys(&r.schema());
+                PhysicalPlan::SetOp {
+                    op: *op,
+                    all: *all,
+                    left: Box::new(PhysicalPlan::Exchange {
+                        input: Box::new(l),
+                        mode: ExchangeMode::Hash(lk),
+                    }),
+                    right: Box::new(PhysicalPlan::Exchange {
+                        input: Box::new(r),
+                        mode: ExchangeMode::Hash(rk),
+                    }),
+                    schema: schema.clone(),
+                }
+            }
+        }
+    })
+}
+
+/// Partition index for a composed key. Single NULLs and all-NULL keys land
+/// in partition 0. Must agree with
+/// [`spinner_storage::partition_of`] for one-column keys so tables already
+/// distributed on a join key move no rows.
+pub fn partition_for_key(values: &[Value], parts: usize) -> Result<usize> {
+    if parts == 0 {
+        return Err(Error::execution("partition count must be positive"));
+    }
+    match values {
+        [] => Ok(0),
+        [v] => {
+            if v.is_null() {
+                Ok(0)
+            } else {
+                Ok(spinner_storage::partition_of(v, parts))
+            }
+        }
+        many => {
+            let mut h = DefaultHasher::new();
+            for v in many {
+                v.hash(&mut h);
+            }
+            Ok((h.finish() % parts as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_common::{DataType, Field, Schema};
+    use std::sync::Arc;
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::TableScan {
+            table: "t".into(),
+            schema: Arc::new(Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Int),
+            ])),
+        }
+    }
+
+    #[test]
+    fn equi_join_gets_hash_exchanges() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            join_type: JoinType::Inner,
+            on: vec![(PlanExpr::column(0, "a"), PlanExpr::column(0, "a"))],
+            filter: None,
+            schema: Arc::new(scan().schema().join(&scan().schema())),
+        };
+        let phys = create_physical_plan(&join, &EngineConfig::default()).unwrap();
+        let PhysicalPlan::HashJoin { left, right, .. } = phys else { panic!() };
+        assert!(matches!(
+            *left,
+            PhysicalPlan::Exchange { mode: ExchangeMode::Hash(_), .. }
+        ));
+        assert!(matches!(
+            *right,
+            PhysicalPlan::Exchange { mode: ExchangeMode::Hash(_), .. }
+        ));
+    }
+
+    #[test]
+    fn cross_join_gathers() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            join_type: JoinType::Cross,
+            on: vec![],
+            filter: None,
+            schema: Arc::new(scan().schema().join(&scan().schema())),
+        };
+        let phys = create_physical_plan(&join, &EngineConfig::default()).unwrap();
+        assert!(matches!(phys, PhysicalPlan::NestedLoopJoin { .. }));
+    }
+
+    #[test]
+    fn grouped_aggregate_lowers_to_two_phases() {
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group: vec![PlanExpr::column(0, "a")],
+            aggs: vec![],
+            schema: Arc::new(Schema::new(vec![Field::new("a", DataType::Int)])),
+        };
+        let phys = create_physical_plan(&agg, &EngineConfig::default()).unwrap();
+        let PhysicalPlan::AggregateFinal { input, .. } = phys else {
+            panic!("expected final phase on top")
+        };
+        let PhysicalPlan::Exchange { input, mode: ExchangeMode::Hash(_) } = *input else {
+            panic!("expected key exchange between phases")
+        };
+        assert!(matches!(*input, PhysicalPlan::AggregatePartial { .. }));
+    }
+
+    #[test]
+    fn distinct_aggregate_stays_single_phase() {
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group: vec![PlanExpr::column(0, "a")],
+            aggs: vec![spinner_plan::AggExpr {
+                func: spinner_plan::AggFunc::Count,
+                arg: Some(PlanExpr::column(1, "b")),
+                distinct: true,
+                name: "c".into(),
+            }],
+            schema: Arc::new(Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("c", DataType::Int),
+            ])),
+        };
+        let phys = create_physical_plan(&agg, &EngineConfig::default()).unwrap();
+        let PhysicalPlan::HashAggregate { input, .. } = phys else {
+            panic!("DISTINCT must use the single-phase path")
+        };
+        assert!(matches!(
+            *input,
+            PhysicalPlan::Exchange { mode: ExchangeMode::Hash(_), .. }
+        ));
+    }
+
+    #[test]
+    fn two_phase_toggle_restores_single_phase() {
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group: vec![PlanExpr::column(0, "a")],
+            aggs: vec![],
+            schema: Arc::new(Schema::new(vec![Field::new("a", DataType::Int)])),
+        };
+        let config = EngineConfig::default().with_two_phase_aggregation(false);
+        let phys = create_physical_plan(&agg, &config).unwrap();
+        assert!(matches!(phys, PhysicalPlan::HashAggregate { .. }));
+    }
+
+    #[test]
+    fn global_aggregate_has_no_exchange() {
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan()),
+            group: vec![],
+            aggs: vec![],
+            schema: Arc::new(Schema::empty()),
+        };
+        let phys = create_physical_plan(&agg, &EngineConfig::default()).unwrap();
+        let PhysicalPlan::HashAggregate { input, .. } = phys else { panic!() };
+        assert!(matches!(*input, PhysicalPlan::SeqScan { .. }));
+    }
+
+    #[test]
+    fn single_key_partitioning_matches_storage() {
+        let v = Value::Int(42);
+        assert_eq!(
+            partition_for_key(std::slice::from_ref(&v), 8).unwrap(),
+            spinner_storage::partition_of(&v, 8)
+        );
+        assert_eq!(partition_for_key(&[Value::Null], 8).unwrap(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Runtime execution statistics.
+//!
+//! All counters are atomic so parallel partition workers can update them.
+//! `rows_moved` counts rows that crossed a partition boundary in an
+//! exchange — the simulator's stand-in for network traffic between MPP
+//! nodes, and the quantity the rename optimization of Figure 8 reduces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters collected during query execution.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Rows that changed partition inside an Exchange (simulated network).
+    pub rows_moved: AtomicU64,
+    /// Rows copied to every partition by broadcast exchanges.
+    pub rows_broadcast: AtomicU64,
+    /// Rows written by Materialize steps.
+    pub rows_materialized: AtomicU64,
+    /// Number of rename operations (O(1) pointer moves).
+    pub renames: AtomicU64,
+    /// Number of merge steps executed.
+    pub merges: AtomicU64,
+    /// Rows examined by merge steps (join work the rename path avoids).
+    pub merge_rows_examined: AtomicU64,
+    /// Loop iterations across all loops in the statement.
+    pub iterations: AtomicU64,
+    /// Rows reported as updated by iterations.
+    pub rows_updated: AtomicU64,
+    /// Join operators executed (hash or nested-loop). Common-result
+    /// extraction reduces this: a hoisted join runs once instead of once
+    /// per iteration.
+    pub joins_executed: AtomicU64,
+}
+
+impl ExecStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copy the counters into a plain snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            rows_moved: self.rows_moved.load(Ordering::Relaxed),
+            rows_broadcast: self.rows_broadcast.load(Ordering::Relaxed),
+            rows_materialized: self.rows_materialized.load(Ordering::Relaxed),
+            renames: self.renames.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            merge_rows_examined: self.merge_rows_examined.load(Ordering::Relaxed),
+            iterations: self.iterations.load(Ordering::Relaxed),
+            rows_updated: self.rows_updated.load(Ordering::Relaxed),
+            joins_executed: self.joins_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.rows_moved.store(0, Ordering::Relaxed);
+        self.rows_broadcast.store(0, Ordering::Relaxed);
+        self.rows_materialized.store(0, Ordering::Relaxed);
+        self.renames.store(0, Ordering::Relaxed);
+        self.merges.store(0, Ordering::Relaxed);
+        self.merge_rows_examined.store(0, Ordering::Relaxed);
+        self.iterations.store(0, Ordering::Relaxed);
+        self.rows_updated.store(0, Ordering::Relaxed);
+        self.joins_executed.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain (non-atomic) copy of [`ExecStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub rows_moved: u64,
+    pub rows_broadcast: u64,
+    pub rows_materialized: u64,
+    pub renames: u64,
+    pub merges: u64,
+    pub merge_rows_examined: u64,
+    pub iterations: u64,
+    pub rows_updated: u64,
+    pub joins_executed: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "moved={} broadcast={} materialized={} renames={} merges={} \
+             merge_examined={} iterations={} updated={} joins={}",
+            self.rows_moved,
+            self.rows_broadcast,
+            self.rows_materialized,
+            self.renames,
+            self.merges,
+            self.merge_rows_examined,
+            self.iterations,
+            self.rows_updated,
+            self.joins_executed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = ExecStats::new();
+        ExecStats::add(&s.rows_moved, 5);
+        ExecStats::add(&s.renames, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.rows_moved, 5);
+        assert_eq!(snap.renames, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

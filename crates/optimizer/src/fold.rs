@@ -1,0 +1,181 @@
+//! Constant folding and trivial predicate simplification.
+//!
+//! Column-free subexpressions are evaluated at plan time; expressions that
+//! would error at run time (division by zero in dead code, overflow) are
+//! left untouched so the error surfaces only if the row is actually
+//! evaluated. `Filter(TRUE)` disappears; `x AND TRUE` simplifies.
+
+use spinner_common::{Result, Value};
+use spinner_plan::expr::BinaryOp;
+use spinner_plan::{LogicalPlan, PlanExpr};
+
+/// Fold constants in every expression of the tree, bottom-up.
+pub fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+            input: Box::new(fold_constants(*input)?),
+            exprs: exprs.into_iter().map(fold_expr).collect(),
+            schema,
+        },
+        LogicalPlan::Filter { input, predicate } => {
+            let input = fold_constants(*input)?;
+            let predicate = fold_expr(predicate);
+            if predicate == PlanExpr::Literal(Value::Bool(true)) {
+                input
+            } else {
+                LogicalPlan::Filter { input: Box::new(input), predicate }
+            }
+        }
+        LogicalPlan::Join { left, right, join_type, on, filter, schema } => {
+            LogicalPlan::Join {
+                left: Box::new(fold_constants(*left)?),
+                right: Box::new(fold_constants(*right)?),
+                join_type,
+                on: on
+                    .into_iter()
+                    .map(|(l, r)| (fold_expr(l), fold_expr(r)))
+                    .collect(),
+                filter: filter.map(fold_expr),
+                schema,
+            }
+        }
+        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(fold_constants(*input)?),
+            group: group.into_iter().map(fold_expr).collect(),
+            aggs,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(fold_constants(*input)?),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold_constants(*input)?),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(fold_constants(*input)?),
+            n,
+        },
+        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+            op,
+            all,
+            left: Box::new(fold_constants(*left)?),
+            right: Box::new(fold_constants(*right)?),
+            schema,
+        },
+        leaf @ (LogicalPlan::TableScan { .. }
+        | LogicalPlan::TempScan { .. }
+        | LogicalPlan::Values { .. }) => leaf,
+    })
+}
+
+/// Fold one expression. Never errors: runtime-erroring constants stay
+/// unfolded.
+pub fn fold_expr(expr: PlanExpr) -> PlanExpr {
+    // First fold children.
+    let expr = match expr {
+        PlanExpr::Binary { left, op, right } => {
+            let left = fold_expr(*left);
+            let right = fold_expr(*right);
+            // Boolean identity simplifications (sound under 3VL for AND/OR
+            // with TRUE/FALSE on one side).
+            match (op, &left, &right) {
+                (BinaryOp::And, PlanExpr::Literal(Value::Bool(true)), r) => return r.clone(),
+                (BinaryOp::And, l, PlanExpr::Literal(Value::Bool(true))) => return l.clone(),
+                (BinaryOp::And, PlanExpr::Literal(Value::Bool(false)), _)
+                | (BinaryOp::And, _, PlanExpr::Literal(Value::Bool(false))) => {
+                    return PlanExpr::Literal(Value::Bool(false))
+                }
+                (BinaryOp::Or, PlanExpr::Literal(Value::Bool(false)), r) => return r.clone(),
+                (BinaryOp::Or, l, PlanExpr::Literal(Value::Bool(false))) => return l.clone(),
+                (BinaryOp::Or, PlanExpr::Literal(Value::Bool(true)), _)
+                | (BinaryOp::Or, _, PlanExpr::Literal(Value::Bool(true))) => {
+                    return PlanExpr::Literal(Value::Bool(true))
+                }
+                _ => {}
+            }
+            PlanExpr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        }
+        PlanExpr::Unary { op, expr } => PlanExpr::Unary { op, expr: Box::new(fold_expr(*expr)) },
+        PlanExpr::Scalar { func, args } => PlanExpr::Scalar {
+            func,
+            args: args.into_iter().map(fold_expr).collect(),
+        },
+        PlanExpr::Case { branches, else_expr } => PlanExpr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| (fold_expr(w), fold_expr(t)))
+                .collect(),
+            else_expr: else_expr.map(|e| Box::new(fold_expr(*e))),
+        },
+        PlanExpr::Cast { expr, to } => PlanExpr::Cast { expr: Box::new(fold_expr(*expr)), to },
+        PlanExpr::IsNull { expr, negated } => PlanExpr::IsNull {
+            expr: Box::new(fold_expr(*expr)),
+            negated,
+        },
+        PlanExpr::InList { expr, list, negated } => PlanExpr::InList {
+            expr: Box::new(fold_expr(*expr)),
+            list: list.into_iter().map(fold_expr).collect(),
+            negated,
+        },
+        leaf @ (PlanExpr::Column(_) | PlanExpr::Literal(_)) => leaf,
+    };
+    // Then fold this node if it is column-free and evaluates cleanly.
+    if !matches!(expr, PlanExpr::Literal(_)) && expr.is_constant() {
+        if let Ok(v) = expr.evaluate(&[]) {
+            return PlanExpr::Literal(v);
+        }
+    }
+    expr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_arithmetic() {
+        let e = PlanExpr::literal(2i64).binary(BinaryOp::Plus, PlanExpr::literal(3i64));
+        assert_eq!(fold_expr(e), PlanExpr::Literal(Value::Int(5)));
+    }
+
+    #[test]
+    fn leaves_erroring_constants_alone() {
+        let e = PlanExpr::literal(1i64).binary(BinaryOp::Divide, PlanExpr::literal(0i64));
+        let folded = fold_expr(e.clone());
+        assert_eq!(folded, e);
+    }
+
+    #[test]
+    fn simplifies_boolean_identities() {
+        let x = PlanExpr::column(0, "x");
+        let e = PlanExpr::literal(true).binary(BinaryOp::And, x.clone());
+        assert_eq!(fold_expr(e), x);
+        let e = PlanExpr::column(0, "x").binary(BinaryOp::Or, PlanExpr::literal(true));
+        assert_eq!(fold_expr(e), PlanExpr::Literal(Value::Bool(true)));
+    }
+
+    #[test]
+    fn folds_nested_partially() {
+        // (1 + 2) < x  =>  3 < x
+        let e = PlanExpr::literal(1i64)
+            .binary(BinaryOp::Plus, PlanExpr::literal(2i64))
+            .binary(BinaryOp::Lt, PlanExpr::column(0, "x"));
+        let folded = fold_expr(e);
+        let PlanExpr::Binary { left, .. } = &folded else { panic!() };
+        assert_eq!(**left, PlanExpr::Literal(Value::Int(3)));
+    }
+
+    #[test]
+    fn filter_true_removed() {
+        let scan = LogicalPlan::TempScan {
+            name: "t".into(),
+            schema: std::sync::Arc::new(spinner_common::Schema::empty()),
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan.clone()),
+            predicate: PlanExpr::literal(1i64).binary(BinaryOp::Eq, PlanExpr::literal(1i64)),
+        };
+        assert_eq!(fold_constants(plan).unwrap(), scan);
+    }
+}

@@ -1,0 +1,135 @@
+//! Rule-based logical optimizer.
+//!
+//! Two layers, matching the paper's split:
+//!
+//! * **General rewrites** applied to every plan tree (constant folding,
+//!   filter merging, predicate push-down within a plan, outer→inner join
+//!   conversion). These are the optimizations MPPDB already had that
+//!   "simply work" for the rewritten iterative query (§V).
+//! * **Iterative-CTE rewrites** applied to the step program as a whole:
+//!   *common result extraction* (§V-A, Fig. 9) hoists loop-invariant join
+//!   subtrees out of the loop, and *restricted predicate push-down*
+//!   (§V-B, Fig. 10) moves final-query predicates into the non-iterative
+//!   part when Ri provably processes rows independently.
+//!
+//! Entry points: [`optimize`] for a [`QueryPlan`], [`optimize_statement`]
+//! for any planned statement.
+
+pub mod common_result;
+pub mod fold;
+pub mod iterative_pushdown;
+pub mod outer_to_inner;
+pub mod projection;
+pub mod pushdown;
+
+use spinner_common::{EngineConfig, Result};
+use spinner_plan::{LogicalPlan, PlannedStatement, QueryPlan, Step};
+
+/// Maximum fixpoint rounds for the per-plan rule pipeline.
+const MAX_PASSES: usize = 10;
+
+/// Optimize one logical plan tree with the general rewrites.
+pub fn optimize_plan(mut plan: LogicalPlan, config: &EngineConfig) -> Result<LogicalPlan> {
+    if !config.general_rewrites {
+        return Ok(plan);
+    }
+    for _ in 0..MAX_PASSES {
+        let mut next = fold::fold_constants(plan.clone())?;
+        next = outer_to_inner::convert_outer_joins(next)?;
+        next = pushdown::push_down_filters(next)?;
+        next = projection::merge_projections(next)?;
+        if next == plan {
+            return Ok(next);
+        }
+        plan = next;
+    }
+    Ok(plan)
+}
+
+/// Optimize a full query plan: every step's plan tree, plus the program-
+/// level iterative-CTE rewrites.
+pub fn optimize(plan: QueryPlan, config: &EngineConfig) -> Result<QueryPlan> {
+    let QueryPlan { steps, root } = plan;
+    let mut steps = steps
+        .into_iter()
+        .map(|s| optimize_step(s, config))
+        .collect::<Result<Vec<_>>>()?;
+    let mut root = optimize_plan(root, config)?;
+
+    if config.predicate_pushdown {
+        let rewritten = iterative_pushdown::push_into_non_iterative(steps, root, config)?;
+        steps = rewritten.0;
+        root = rewritten.1;
+        // The predicate the rewrite moved into R0 sits above R0's whole
+        // plan; a second general pass sinks it further (e.g. below the FF
+        // query's GROUP BY, into the scan).
+        steps = steps
+            .into_iter()
+            .map(|s| optimize_step(s, config))
+            .collect::<Result<Vec<_>>>()?;
+        root = optimize_plan(root, config)?;
+    }
+    if config.common_result_optimization {
+        steps = common_result::extract_common_results(steps)?;
+    }
+    Ok(QueryPlan { steps, root })
+}
+
+fn optimize_step(step: Step, config: &EngineConfig) -> Result<Step> {
+    Ok(match step {
+        Step::Materialize { name, plan, distribute_by } => Step::Materialize {
+            name,
+            plan: optimize_plan(plan, config)?,
+            distribute_by,
+        },
+        Step::Loop(mut l) => {
+            l.body = l
+                .body
+                .into_iter()
+                .map(|s| optimize_step(s, config))
+                .collect::<Result<Vec<_>>>()?;
+            Step::Loop(l)
+        }
+        other @ (Step::Rename { .. } | Step::Merge { .. }) => other,
+    })
+}
+
+/// Optimize any planned statement.
+pub fn optimize_statement(
+    stmt: PlannedStatement,
+    config: &EngineConfig,
+) -> Result<PlannedStatement> {
+    Ok(match stmt {
+        PlannedStatement::Query(q) => PlannedStatement::Query(optimize(q, config)?),
+        PlannedStatement::Insert { table, source } => PlannedStatement::Insert {
+            table,
+            source: optimize(source, config)?,
+        },
+        PlannedStatement::Explain(inner) => {
+            PlannedStatement::Explain(Box::new(optimize_statement(*inner, config)?))
+        }
+        other => other,
+    })
+}
+
+/// Split an expression into AND-connected conjuncts.
+pub(crate) fn split_conjuncts(expr: &spinner_plan::PlanExpr, out: &mut Vec<spinner_plan::PlanExpr>) {
+    use spinner_plan::expr::BinaryOp;
+    if let spinner_plan::PlanExpr::Binary { left, op: BinaryOp::And, right } = expr {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(expr.clone());
+    }
+}
+
+/// Combine conjuncts back with AND; `None` when empty.
+pub(crate) fn conjoin(mut parts: Vec<spinner_plan::PlanExpr>) -> Option<spinner_plan::PlanExpr> {
+    use spinner_plan::expr::BinaryOp;
+    let first = if parts.is_empty() {
+        return None;
+    } else {
+        parts.remove(0)
+    };
+    Some(parts.into_iter().fold(first, |acc, p| acc.binary(BinaryOp::And, p)))
+}

@@ -1,0 +1,304 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream with byte positions for error reporting.
+//! Keywords are recognised case-insensitively but identifiers keep being
+//! lower-cased, matching the usual unquoted-identifier SQL rule.
+
+use spinner_common::{Error, Result};
+
+/// Kinds of lexical tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Unquoted identifier or keyword (lower-cased).
+    Ident(String),
+    /// `"quoted"` identifier (case preserved).
+    QuotedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `'string'` literal with `''` escapes resolved.
+    Str(String),
+    /// A symbol/operator token, e.g. `(`, `<=`, `!=`, `,`.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+impl Token {
+    fn new(kind: TokenKind, pos: usize) -> Self {
+        Token { kind, pos }
+    }
+}
+
+/// Tokenize `sql` into a vector ending with an [`TokenKind::Eof`] token.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Error::parse_at("unterminated block comment", start));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = sql[start..i].to_ascii_lowercase();
+                tokens.push(Token::new(TokenKind::Ident(word), start));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &sql[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        Error::parse_at(format!("invalid float literal '{text}'"), start)
+                    })?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => TokenKind::Int(v),
+                        // Too big for i64 — fall back to float like most engines.
+                        Err(_) => TokenKind::Float(text.parse().map_err(|_| {
+                            Error::parse_at(format!("invalid numeric literal '{text}'"), start)
+                        })?),
+                    }
+                };
+                tokens.push(Token::new(kind, start));
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(Error::parse_at("unterminated string literal", start)),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::new(TokenKind::Str(s), start));
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::parse_at("unterminated quoted identifier", start))
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::new(TokenKind::QuotedIdent(s), start));
+            }
+            _ => {
+                let start = i;
+                let two = if i + 1 < bytes.len() { &sql[i..i + 2] } else { "" };
+                let sym: &'static str = match two {
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "!=" => "!=",
+                    "<>" => "<>",
+                    "||" => "||",
+                    _ => match c {
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        ';' => ";",
+                        '.' => ".",
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '/' => "/",
+                        '%' => "%",
+                        '=' => "=",
+                        '<' => "<",
+                        '>' => ">",
+                        other => {
+                            return Err(Error::parse_at(
+                                format!("unexpected character '{other}'"),
+                                start,
+                            ))
+                        }
+                    },
+                };
+                i += sym.len();
+                tokens.push(Token::new(TokenKind::Symbol(sym), start));
+            }
+        }
+    }
+    tokens.push(Token::new(TokenKind::Eof, sql.len()));
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_lowercase() {
+        assert_eq!(
+            kinds("SELECT Foo"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("foo".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e3 10000000000000000000"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(1e19),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 -- comment\n /* block */ 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <= b != c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Symbol("<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Symbol("!="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_position() {
+        let err = tokenize("  'abc").unwrap_err();
+        assert_eq!(
+            err,
+            Error::parse_at("unterminated string literal", 2)
+        );
+    }
+
+    #[test]
+    fn float_without_trailing_digit_is_dot_symbol() {
+        // `edges.src` must lex as ident, dot, ident — not a float.
+        assert_eq!(
+            kinds("edges.src"),
+            vec![
+                TokenKind::Ident("edges".into()),
+                TokenKind::Symbol("."),
+                TokenKind::Ident("src".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier_preserves_case() {
+        assert_eq!(
+            kinds("\"MixedCase\""),
+            vec![TokenKind::QuotedIdent("MixedCase".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Property test: expression `Display` output re-parses to the identical
+//! AST. `Display` fully parenthesizes, so this exercises the whole
+//! precedence-climbing parser against a structural oracle.
+
+use proptest::prelude::*;
+use spinner_common::Value;
+use spinner_parser::{BinaryOp, Expr, Parser, UnaryOp};
+
+/// Random expression ASTs. Negative numeric literals are avoided because
+/// the parser folds `-5` into a literal at parse time (so `(-5)` would not
+/// round-trip as `UnaryOp(Minus, Literal(5))` — that fold is tested
+/// separately in the parser's unit tests).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|i| Expr::Literal(Value::Int(i))),
+        (0u32..1000).prop_map(|i| Expr::Literal(Value::Float(f64::from(i) / 8.0))),
+        Just(Expr::Literal(Value::Null)),
+        Just(Expr::Literal(Value::Bool(true))),
+        "[a-d]".prop_map(Expr::col),
+        ("[a-d]", "[x-z]").prop_map(|(r, c)| Expr::qcol(r, c)),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_binop(), inner.clone()).prop_map(|(l, op, r)| {
+                Expr::BinaryOp { left: Box::new(l), op, right: Box::new(r) }
+            }),
+            inner.clone().prop_map(|e| Expr::UnaryOp {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: n
+            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4), any::<bool>())
+                .prop_map(|(e, list, n)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: n
+                }),
+            (
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner.clone())
+            )
+                .prop_map(|(branches, else_expr)| Expr::Case {
+                    operand: None,
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Plus),
+        Just(BinaryOp::Minus),
+        Just(BinaryOp::Multiply),
+        Just(BinaryOp::Divide),
+        Just(BinaryOp::Modulo),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Or),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_reparses_to_same_ast(expr in arb_expr()) {
+        let text = expr.to_string();
+        let mut parser = Parser::new(&text)
+            .unwrap_or_else(|e| panic!("lexing '{text}' failed: {e}"));
+        let reparsed = parser
+            .parse_expr()
+            .unwrap_or_else(|e| panic!("parsing '{text}' failed: {e}"));
+        prop_assert_eq!(reparsed, expr, "text was: {}", text);
+    }
+
+    #[test]
+    fn select_of_expr_parses(expr in arb_expr()) {
+        let sql = format!("SELECT {expr} FROM t");
+        prop_assert!(spinner_parser::parse_sql(&sql).is_ok(), "sql was: {}", sql);
+    }
+}

@@ -1,0 +1,1437 @@
+//! AST → logical-plan builder (name resolution, aggregate extraction,
+//! CTE binding).
+//!
+//! The builder produces a [`QueryPlan`] — a step program plus final plan.
+//! Regular CTEs become [`Step::Materialize`]; recursive and iterative CTEs
+//! are delegated to [`crate::rewrite`], the functional rewrite of the
+//! paper's Algorithm 1.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use spinner_common::{
+    DataType, EngineConfig, Error, Field, Result, Schema, SchemaRef, Value,
+};
+use spinner_parser as ast;
+use spinner_parser::{CteKind, InsertSource, SelectItem, SetOp, Statement, TableRef};
+
+use crate::expr::{AggExpr, AggFunc, PlanExpr, ScalarFn};
+use crate::logical::{
+    JoinType, LogicalPlan, PlannedStatement, QueryPlan, SetOpKind, SortKey, Step,
+};
+use crate::rewrite;
+
+/// Source of base-table schemas (implemented by the engine's catalog).
+pub trait SchemaProvider {
+    /// Schema of a base table, if it exists.
+    fn table_schema(&self, name: &str) -> Option<SchemaRef>;
+    /// Declared primary-key column of a base table.
+    fn table_primary_key(&self, name: &str) -> Option<usize>;
+}
+
+/// A bound CTE visible to FROM clauses.
+#[derive(Debug, Clone)]
+pub struct CteBinding {
+    /// Temp-registry name holding the CTE rows.
+    pub temp_name: String,
+    /// Output schema (unqualified names; qualified at the reference site).
+    pub schema: SchemaRef,
+}
+
+/// Planning context: schema provider, config, visible CTEs.
+pub struct PlanContext<'a> {
+    pub provider: &'a dyn SchemaProvider,
+    pub config: &'a EngineConfig,
+    ctes: HashMap<String, CteBinding>,
+    temp_counter: u64,
+}
+
+impl<'a> PlanContext<'a> {
+    /// Fresh context.
+    pub fn new(provider: &'a dyn SchemaProvider, config: &'a EngineConfig) -> Self {
+        PlanContext { provider, config, ctes: HashMap::new(), temp_counter: 0 }
+    }
+
+    /// Allocate a unique temp-result name with the given role prefix.
+    pub fn fresh_temp(&mut self, prefix: &str) -> String {
+        self.temp_counter += 1;
+        format!("__{prefix}_{}", self.temp_counter)
+    }
+
+    /// Bind a CTE name for the remainder of the statement.
+    pub fn bind_cte(&mut self, name: &str, binding: CteBinding) {
+        self.ctes.insert(name.to_ascii_lowercase(), binding);
+    }
+
+    /// Look up a CTE binding.
+    pub fn cte(&self, name: &str) -> Option<&CteBinding> {
+        self.ctes.get(&name.to_ascii_lowercase())
+    }
+}
+
+/// Plan a full statement.
+pub fn plan_statement(
+    stmt: &Statement,
+    provider: &dyn SchemaProvider,
+    config: &EngineConfig,
+) -> Result<PlannedStatement> {
+    match stmt {
+        Statement::Query(q) => {
+            Ok(PlannedStatement::Query(plan_query(q, provider, config)?))
+        }
+        Statement::Explain(inner) => Ok(PlannedStatement::Explain(Box::new(
+            plan_statement(inner, provider, config)?,
+        ))),
+        Statement::CreateTable { name, columns, primary_key, partition_key, if_not_exists } => {
+            let fields: Vec<Field> = columns
+                .iter()
+                .map(|c| Field::new(c.name.clone(), c.data_type))
+                .collect();
+            let schema = Schema::new(fields);
+            let pk = match primary_key {
+                Some(col) => Some(schema.index_of(None, col)?),
+                None => None,
+            };
+            let part = match partition_key {
+                Some(col) => Some(schema.index_of(None, col)?),
+                // Default distribution: by primary key when declared,
+                // otherwise by the first column.
+                None => pk.or(if schema.is_empty() { None } else { Some(0) }),
+            };
+            Ok(PlannedStatement::CreateTable {
+                name: name.clone(),
+                schema,
+                primary_key: pk,
+                partition_key: part,
+                if_not_exists: *if_not_exists,
+            })
+        }
+        Statement::DropTable { name, if_exists } => Ok(PlannedStatement::DropTable {
+            name: name.clone(),
+            if_exists: *if_exists,
+        }),
+        Statement::Insert { table, columns, source } => {
+            plan_insert(table, columns.as_deref(), source, provider, config)
+        }
+        Statement::Update { table, assignments, from, selection } => {
+            plan_update(table, assignments, from.as_ref(), selection.as_ref(), provider, config)
+        }
+        Statement::Delete { table, selection } => {
+            let schema = provider
+                .table_schema(table)
+                .ok_or_else(|| Error::TableNotFound(table.clone()))?;
+            let qualified = Arc::new(schema.qualify_all(table));
+            let predicate = match selection {
+                Some(e) => Some(resolve_expr(e, &qualified)?),
+                None => None,
+            };
+            Ok(PlannedStatement::Delete { table: table.clone(), predicate })
+        }
+    }
+}
+
+/// Plan a query into a step program + final plan.
+pub fn plan_query(
+    query: &ast::Query,
+    provider: &dyn SchemaProvider,
+    config: &EngineConfig,
+) -> Result<QueryPlan> {
+    let mut ctx = PlanContext::new(provider, config);
+    let mut steps = Vec::new();
+    let root = plan_query_internal(query, &mut ctx, &mut steps)?;
+    Ok(QueryPlan { steps, root })
+}
+
+/// Plan a query, appending any required steps (CTE materializations,
+/// loops) to `steps`, returning the final plan.
+pub fn plan_query_internal(
+    query: &ast::Query,
+    ctx: &mut PlanContext<'_>,
+    steps: &mut Vec<Step>,
+) -> Result<LogicalPlan> {
+    for cte in &query.ctes {
+        match &cte.kind {
+            CteKind::Regular(q) => {
+                let plan = plan_query_internal(q, ctx, steps)?;
+                let schema = apply_declared_columns(&plan.schema(), &cte.columns, &cte.name)?;
+                let temp = ctx.fresh_temp(&format!("cte_{}", cte.name));
+                steps.push(Step::Materialize { name: temp.clone(), plan, distribute_by: None });
+                ctx.bind_cte(&cte.name, CteBinding { temp_name: temp, schema });
+            }
+            CteKind::Recursive { base, step, union_all } => {
+                rewrite::build_recursive_cte(cte, base, step, *union_all, ctx, steps)?;
+            }
+            CteKind::Iterative { init, step, until } => {
+                rewrite::build_iterative_cte(cte, init, step, until, ctx, steps)?;
+            }
+        }
+    }
+    let mut plan = plan_set_expr(&query.body, ctx, steps)?;
+    if !query.order_by.is_empty() {
+        plan = plan_order_by(plan, &query.order_by)?;
+    }
+    if let Some(n) = query.limit {
+        plan = LogicalPlan::Limit { input: Box::new(plan), n };
+    }
+    Ok(plan)
+}
+
+/// Plan ORDER BY over the query output.
+///
+/// Keys resolve against the SELECT output first (so aliases work); output
+/// columns have lost their qualifiers, so `e.src` also matches output
+/// column `src`. A key that only exists on the projection *input* (e.g.
+/// `SELECT name FROM people ORDER BY age`) is added as a hidden sort
+/// column and projected away after the sort, per standard SQL.
+fn plan_order_by(plan: LogicalPlan, order_by: &[ast::OrderByExpr]) -> Result<LogicalPlan> {
+    let out_schema = plan.schema();
+    let resolve_with_fallback = |expr: &ast::Expr, schema: &Schema| {
+        resolve_expr(expr, schema)
+            .or_else(|e| resolve_expr(&strip_qualifiers(expr), schema).map_err(|_| e))
+    };
+    // First pass: which keys resolve against the output?
+    let mut resolved: Vec<Option<PlanExpr>> = Vec::with_capacity(order_by.len());
+    let mut all_output = true;
+    for ob in order_by {
+        match resolve_with_fallback(&ob.expr, &out_schema) {
+            Ok(e) => resolved.push(Some(e)),
+            Err(_) => {
+                resolved.push(None);
+                all_output = false;
+            }
+        }
+    }
+    if all_output {
+        let keys = order_by
+            .iter()
+            .zip(resolved)
+            .map(|(ob, e)| SortKey {
+                expr: e.expect("resolved"),
+                asc: ob.asc,
+                nulls_first: ob.nulls_first,
+            })
+            .collect();
+        return Ok(LogicalPlan::Sort { input: Box::new(plan), keys });
+    }
+    // Hidden-column path: only possible when the root is a projection whose
+    // input still exposes the key columns.
+    let LogicalPlan::Projection { input, mut exprs, schema } = plan else {
+        // Re-raise the original resolution error.
+        for ob in order_by {
+            resolve_with_fallback(&ob.expr, &out_schema)?;
+        }
+        unreachable!("at least one key failed to resolve");
+    };
+    let in_schema = input.schema();
+    let visible = exprs.len();
+    let mut extended_fields: Vec<Field> = schema.fields().to_vec();
+    let mut keys = Vec::with_capacity(order_by.len());
+    for (ob, pre) in order_by.iter().zip(resolved) {
+        let expr = match pre {
+            Some(e) => e,
+            None => {
+                let inner = resolve_with_fallback(&ob.expr, &in_schema)?;
+                let idx = exprs.len();
+                extended_fields
+                    .push(Field::new(format!("__sort_{idx}"), inner.data_type(&in_schema)));
+                exprs.push(inner);
+                PlanExpr::column(idx, format!("__sort_{idx}"))
+            }
+        };
+        keys.push(SortKey { expr, asc: ob.asc, nulls_first: ob.nulls_first });
+    }
+    let extended = LogicalPlan::Projection {
+        input,
+        exprs,
+        schema: Arc::new(Schema::new(extended_fields)),
+    };
+    let sorted = LogicalPlan::Sort { input: Box::new(extended), keys };
+    // Project the hidden columns away again.
+    let final_exprs: Vec<PlanExpr> = schema
+        .fields()
+        .iter()
+        .take(visible)
+        .enumerate()
+        .map(|(i, f)| PlanExpr::column(i, f.qualified_name()))
+        .collect();
+    Ok(LogicalPlan::Projection {
+        input: Box::new(sorted),
+        exprs: final_exprs,
+        schema,
+    })
+}
+
+/// Remove table qualifiers from every column reference (ORDER BY fallback).
+fn strip_qualifiers(expr: &ast::Expr) -> ast::Expr {
+    match expr {
+        ast::Expr::Column { name, .. } => {
+            ast::Expr::Column { relation: None, name: name.clone() }
+        }
+        ast::Expr::Literal(v) => ast::Expr::Literal(v.clone()),
+        ast::Expr::BinaryOp { left, op, right } => ast::Expr::BinaryOp {
+            left: Box::new(strip_qualifiers(left)),
+            op: *op,
+            right: Box::new(strip_qualifiers(right)),
+        },
+        ast::Expr::UnaryOp { op, expr } => ast::Expr::UnaryOp {
+            op: *op,
+            expr: Box::new(strip_qualifiers(expr)),
+        },
+        ast::Expr::Function { name, args, distinct, star } => ast::Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(strip_qualifiers).collect(),
+            distinct: *distinct,
+            star: *star,
+        },
+        ast::Expr::Case { operand, branches, else_expr } => ast::Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(strip_qualifiers(o))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| (strip_qualifiers(w), strip_qualifiers(t)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(strip_qualifiers(e))),
+        },
+        ast::Expr::Cast { expr, data_type } => ast::Expr::Cast {
+            expr: Box::new(strip_qualifiers(expr)),
+            data_type: *data_type,
+        },
+        ast::Expr::IsNull { expr, negated } => ast::Expr::IsNull {
+            expr: Box::new(strip_qualifiers(expr)),
+            negated: *negated,
+        },
+        ast::Expr::InList { expr, list, negated } => ast::Expr::InList {
+            expr: Box::new(strip_qualifiers(expr)),
+            list: list.iter().map(strip_qualifiers).collect(),
+            negated: *negated,
+        },
+        ast::Expr::Between { expr, low, high, negated } => ast::Expr::Between {
+            expr: Box::new(strip_qualifiers(expr)),
+            low: Box::new(strip_qualifiers(low)),
+            high: Box::new(strip_qualifiers(high)),
+            negated: *negated,
+        },
+    }
+}
+
+/// Rename a schema's fields to the CTE's declared column list.
+pub fn apply_declared_columns(
+    schema: &Schema,
+    columns: &[String],
+    cte_name: &str,
+) -> Result<SchemaRef> {
+    if columns.is_empty() {
+        // Strip qualifiers so outer references use the CTE's alias.
+        return Ok(Arc::new(schema.unqualified()));
+    }
+    if columns.len() != schema.len() {
+        return Err(Error::plan(format!(
+            "CTE '{cte_name}' declares {} columns but its query produces {}",
+            columns.len(),
+            schema.len()
+        )));
+    }
+    Ok(Arc::new(Schema::new(
+        columns
+            .iter()
+            .zip(schema.fields())
+            .map(|(name, f)| Field::new(name.clone(), f.data_type))
+            .collect(),
+    )))
+}
+
+fn plan_set_expr(
+    body: &ast::SetExpr,
+    ctx: &mut PlanContext<'_>,
+    steps: &mut Vec<Step>,
+) -> Result<LogicalPlan> {
+    match body {
+        ast::SetExpr::Select(s) => plan_select(s, ctx, steps),
+        ast::SetExpr::SetOp { op, all, left, right } => {
+            let l = plan_set_expr(left, ctx, steps)?;
+            let r = plan_set_expr(right, ctx, steps)?;
+            if l.schema().len() != r.schema().len() {
+                return Err(Error::plan(format!(
+                    "{op} operands have different column counts ({} vs {})",
+                    l.schema().len(),
+                    r.schema().len()
+                )));
+            }
+            let kind = match op {
+                SetOp::Union => SetOpKind::Union,
+                SetOp::Except => SetOpKind::Except,
+                SetOp::Intersect => SetOpKind::Intersect,
+            };
+            // Output takes the left side's names; widen types per column.
+            let rs = r.schema();
+            let fields: Vec<Field> = l
+                .schema()
+                .fields()
+                .iter()
+                .zip(rs.fields())
+                .map(|(a, b)| Field::new(a.name.clone(), a.data_type.widen(b.data_type)))
+                .collect();
+            Ok(LogicalPlan::SetOp {
+                op: kind,
+                all: *all,
+                left: Box::new(l),
+                right: Box::new(r),
+                schema: Arc::new(Schema::new(fields)),
+            })
+        }
+    }
+}
+
+fn plan_select(
+    select: &ast::Select,
+    ctx: &mut PlanContext<'_>,
+    steps: &mut Vec<Step>,
+) -> Result<LogicalPlan> {
+    // FROM
+    let mut input = match select.from.len() {
+        0 => LogicalPlan::Values {
+            schema: Arc::new(Schema::empty()),
+            rows: vec![Vec::new()],
+        },
+        _ => {
+            let mut it = select.from.iter();
+            let mut plan = plan_table_ref(it.next().expect("non-empty"), ctx, steps)?;
+            for tr in it {
+                let right = plan_table_ref(tr, ctx, steps)?;
+                let schema = Arc::new(plan.schema().join(&right.schema()));
+                plan = LogicalPlan::Join {
+                    left: Box::new(plan),
+                    right: Box::new(right),
+                    join_type: JoinType::Cross,
+                    on: vec![],
+                    filter: None,
+                    schema,
+                };
+            }
+            plan
+        }
+    };
+    // WHERE
+    if let Some(sel) = &select.selection {
+        let schema = input.schema();
+        let predicate = resolve_expr(sel, &schema)?;
+        input = LogicalPlan::Filter { input: Box::new(input), predicate };
+    }
+    // Aggregation?
+    let has_aggs = select_has_aggregates(select);
+    let mut plan = if has_aggs || !select.group_by.is_empty() {
+        plan_aggregate_select(select, input)?
+    } else {
+        plan_plain_projection(select, input)?
+    };
+    if select.distinct {
+        plan = LogicalPlan::Distinct { input: Box::new(plan) };
+    }
+    Ok(plan)
+}
+
+fn plan_plain_projection(select: &ast::Select, input: LogicalPlan) -> Result<LogicalPlan> {
+    let in_schema = input.schema();
+    let mut exprs = Vec::new();
+    let mut fields = Vec::new();
+    for item in &select.projection {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, f) in in_schema.fields().iter().enumerate() {
+                    exprs.push(PlanExpr::column(i, f.qualified_name()));
+                    fields.push(f.clone());
+                }
+            }
+            SelectItem::QualifiedWildcard(rel) => {
+                let mut matched = false;
+                for (i, f) in in_schema.fields().iter().enumerate() {
+                    if f.relation.as_deref().is_some_and(|r| r.eq_ignore_ascii_case(rel)) {
+                        exprs.push(PlanExpr::column(i, f.qualified_name()));
+                        fields.push(f.clone());
+                        matched = true;
+                    }
+                }
+                if !matched {
+                    return Err(Error::plan(format!("unknown relation '{rel}' in {rel}.*")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let resolved = resolve_expr(expr, &in_schema)?;
+                let name = output_name(expr, alias.as_deref(), exprs.len());
+                let dt = resolved.data_type(&in_schema);
+                exprs.push(resolved);
+                fields.push(Field::new(name, dt));
+            }
+        }
+    }
+    Ok(LogicalPlan::Projection {
+        input: Box::new(input),
+        exprs,
+        schema: Arc::new(Schema::new(fields)),
+    })
+}
+
+/// Plan a SELECT with GROUP BY / aggregate functions.
+///
+/// Shape: `Projection( Filter?(HAVING) ( Aggregate(input) ) )` where the
+/// aggregate's output schema is `[group columns..., agg results...]` and
+/// the post-projection rewrites group-by expressions and aggregate calls
+/// into positional references.
+fn plan_aggregate_select(select: &ast::Select, input: LogicalPlan) -> Result<LogicalPlan> {
+    let in_schema = input.schema();
+    // Resolve group expressions.
+    let group: Vec<PlanExpr> = select
+        .group_by
+        .iter()
+        .map(|e| resolve_expr(e, &in_schema))
+        .collect::<Result<_>>()?;
+    // Collect aggregate calls (structurally deduplicated) from projection
+    // and HAVING.
+    let mut agg_calls: Vec<ast::Expr> = Vec::new();
+    for item in &select.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggregates(expr, &mut agg_calls)?;
+        }
+    }
+    if let Some(h) = &select.having {
+        collect_aggregates(h, &mut agg_calls)?;
+    }
+    let aggs: Vec<AggExpr> = agg_calls
+        .iter()
+        .enumerate()
+        .map(|(i, call)| resolve_aggregate(call, &in_schema, i))
+        .collect::<Result<_>>()?;
+    // Aggregate output schema.
+    let mut agg_fields: Vec<Field> = Vec::new();
+    for (i, g) in group.iter().enumerate() {
+        let name = match (&select.group_by[i], g) {
+            (ast::Expr::Column { name, .. }, _) => name.clone(),
+            _ => format!("group_{i}"),
+        };
+        agg_fields.push(Field::new(name, g.data_type(&in_schema)));
+    }
+    for a in &aggs {
+        agg_fields.push(Field::new(a.name.clone(), a.output_type(&in_schema)));
+    }
+    let agg_schema = Arc::new(Schema::new(agg_fields));
+    let mut plan = LogicalPlan::Aggregate {
+        input: Box::new(input),
+        group: group.clone(),
+        aggs,
+        schema: Arc::clone(&agg_schema),
+    };
+    // HAVING
+    if let Some(h) = &select.having {
+        let predicate =
+            rewrite_post_aggregate(h, &select.group_by, &agg_calls, &agg_schema)?;
+        plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+    }
+    // Final projection.
+    let mut exprs = Vec::new();
+    let mut fields = Vec::new();
+    for item in &select.projection {
+        match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                return Err(Error::plan(
+                    "SELECT * cannot be combined with GROUP BY / aggregates",
+                ))
+            }
+            SelectItem::Expr { expr, alias } => {
+                let resolved =
+                    rewrite_post_aggregate(expr, &select.group_by, &agg_calls, &agg_schema)?;
+                let name = output_name(expr, alias.as_deref(), exprs.len());
+                let dt = resolved.data_type(&agg_schema);
+                exprs.push(resolved);
+                fields.push(Field::new(name, dt));
+            }
+        }
+    }
+    Ok(LogicalPlan::Projection {
+        input: Box::new(plan),
+        exprs,
+        schema: Arc::new(Schema::new(fields)),
+    })
+}
+
+/// Rewrite a post-aggregation expression: group-by expressions become
+/// positional references into the aggregate output, aggregate calls become
+/// references to their result column, and any other bare column is an
+/// error ("must appear in GROUP BY").
+fn rewrite_post_aggregate(
+    expr: &ast::Expr,
+    group_by: &[ast::Expr],
+    agg_calls: &[ast::Expr],
+    agg_schema: &Schema,
+) -> Result<PlanExpr> {
+    // Group-by match?
+    if let Some(i) = group_by.iter().position(|g| g == expr) {
+        return Ok(PlanExpr::column(i, agg_schema.field(i).name.clone()));
+    }
+    // Aggregate-call match?
+    if let Some(j) = agg_calls.iter().position(|a| a == expr) {
+        let idx = group_by.len() + j;
+        return Ok(PlanExpr::column(idx, agg_schema.field(idx).name.clone()));
+    }
+    match expr {
+        ast::Expr::Column { relation, name } => {
+            // A bare column may still match a group-by *column* spelled with
+            // a different qualifier.
+            for (i, g) in group_by.iter().enumerate() {
+                if let ast::Expr::Column { name: gname, .. } = g {
+                    if gname.eq_ignore_ascii_case(name)
+                        && (relation.is_none()
+                            || matches!(g, ast::Expr::Column { relation: Some(_), .. }))
+                    {
+                        return Ok(PlanExpr::column(i, agg_schema.field(i).name.clone()));
+                    }
+                }
+            }
+            Err(Error::plan(format!(
+                "column '{}' must appear in the GROUP BY clause or be used in an aggregate",
+                match relation {
+                    Some(r) => format!("{r}.{name}"),
+                    None => name.clone(),
+                }
+            )))
+        }
+        ast::Expr::Literal(v) => Ok(PlanExpr::Literal(v.clone())),
+        ast::Expr::BinaryOp { left, op, right } => Ok(PlanExpr::Binary {
+            left: Box::new(rewrite_post_aggregate(left, group_by, agg_calls, agg_schema)?),
+            op: *op,
+            right: Box::new(rewrite_post_aggregate(right, group_by, agg_calls, agg_schema)?),
+        }),
+        ast::Expr::UnaryOp { op, expr } => Ok(PlanExpr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_post_aggregate(expr, group_by, agg_calls, agg_schema)?),
+        }),
+        ast::Expr::Function { name, args, .. } => {
+            let func = ScalarFn::from_name(name).ok_or_else(|| {
+                Error::plan(format!("unknown function '{name}' after aggregation"))
+            })?;
+            Ok(PlanExpr::Scalar {
+                func,
+                args: args
+                    .iter()
+                    .map(|a| rewrite_post_aggregate(a, group_by, agg_calls, agg_schema))
+                    .collect::<Result<_>>()?,
+            })
+        }
+        ast::Expr::Case { operand, branches, else_expr } => {
+            let desugared = desugar_case(operand, branches, else_expr);
+            let mut bs = Vec::new();
+            for (w, t) in desugared.0 {
+                bs.push((
+                    rewrite_post_aggregate(&w, group_by, agg_calls, agg_schema)?,
+                    rewrite_post_aggregate(&t, group_by, agg_calls, agg_schema)?,
+                ));
+            }
+            let ee = match desugared.1 {
+                Some(e) => Some(Box::new(rewrite_post_aggregate(
+                    &e, group_by, agg_calls, agg_schema,
+                )?)),
+                None => None,
+            };
+            Ok(PlanExpr::Case { branches: bs, else_expr: ee })
+        }
+        ast::Expr::Cast { expr, data_type } => Ok(PlanExpr::Cast {
+            expr: Box::new(rewrite_post_aggregate(expr, group_by, agg_calls, agg_schema)?),
+            to: *data_type,
+        }),
+        ast::Expr::IsNull { expr, negated } => Ok(PlanExpr::IsNull {
+            expr: Box::new(rewrite_post_aggregate(expr, group_by, agg_calls, agg_schema)?),
+            negated: *negated,
+        }),
+        ast::Expr::InList { expr, list, negated } => Ok(PlanExpr::InList {
+            expr: Box::new(rewrite_post_aggregate(expr, group_by, agg_calls, agg_schema)?),
+            list: list
+                .iter()
+                .map(|e| rewrite_post_aggregate(e, group_by, agg_calls, agg_schema))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        }),
+        ast::Expr::Between { expr, low, high, negated } => {
+            let desugared = desugar_between(expr, low, high, *negated);
+            rewrite_post_aggregate(&desugared, group_by, agg_calls, agg_schema)
+        }
+    }
+}
+
+/// Is this function name an aggregate?
+fn aggregate_func(name: &str) -> Option<AggFunc> {
+    Some(match name {
+        "count" => AggFunc::Count,
+        "sum" => AggFunc::Sum,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        "avg" => AggFunc::Avg,
+        _ => return None,
+    })
+}
+
+fn select_has_aggregates(select: &ast::Select) -> bool {
+    let mut found = false;
+    let mut check = |e: &ast::Expr| {
+        e.walk(&mut |x| {
+            if let ast::Expr::Function { name, .. } = x {
+                if aggregate_func(name).is_some() {
+                    found = true;
+                }
+            }
+        })
+    };
+    for item in &select.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            check(expr);
+        }
+    }
+    if let Some(h) = &select.having {
+        check(h);
+    }
+    found
+}
+
+/// Collect top-most aggregate calls in `expr` into `out` (deduplicated).
+/// Errors on nested aggregates.
+fn collect_aggregates(expr: &ast::Expr, out: &mut Vec<ast::Expr>) -> Result<()> {
+    if let ast::Expr::Function { name, args, .. } = expr {
+        if aggregate_func(name).is_some() {
+            // no nested aggregates
+            for a in args {
+                let mut nested = false;
+                a.walk(&mut |x| {
+                    if let ast::Expr::Function { name, .. } = x {
+                        if aggregate_func(name).is_some() {
+                            nested = true;
+                        }
+                    }
+                });
+                if nested {
+                    return Err(Error::plan("nested aggregate functions are not allowed"));
+                }
+            }
+            if !out.contains(expr) {
+                out.push(expr.clone());
+            }
+            return Ok(());
+        }
+    }
+    match expr {
+        ast::Expr::Column { .. } | ast::Expr::Literal(_) => Ok(()),
+        ast::Expr::BinaryOp { left, right, .. } => {
+            collect_aggregates(left, out)?;
+            collect_aggregates(right, out)
+        }
+        ast::Expr::UnaryOp { expr, .. } => collect_aggregates(expr, out),
+        ast::Expr::Function { args, .. } => {
+            for a in args {
+                collect_aggregates(a, out)?;
+            }
+            Ok(())
+        }
+        ast::Expr::Case { operand, branches, else_expr } => {
+            if let Some(op) = operand {
+                collect_aggregates(op, out)?;
+            }
+            for (w, t) in branches {
+                collect_aggregates(w, out)?;
+                collect_aggregates(t, out)?;
+            }
+            if let Some(e) = else_expr {
+                collect_aggregates(e, out)?;
+            }
+            Ok(())
+        }
+        ast::Expr::Cast { expr, .. } | ast::Expr::IsNull { expr, .. } => {
+            collect_aggregates(expr, out)
+        }
+        ast::Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out)?;
+            for e in list {
+                collect_aggregates(e, out)?;
+            }
+            Ok(())
+        }
+        ast::Expr::Between { expr, low, high, .. } => {
+            collect_aggregates(expr, out)?;
+            collect_aggregates(low, out)?;
+            collect_aggregates(high, out)
+        }
+    }
+}
+
+fn resolve_aggregate(call: &ast::Expr, input: &Schema, ordinal: usize) -> Result<AggExpr> {
+    let ast::Expr::Function { name, args, distinct, star } = call else {
+        return Err(Error::plan("internal: not an aggregate call"));
+    };
+    let func = aggregate_func(name)
+        .ok_or_else(|| Error::plan(format!("internal: '{name}' is not an aggregate")))?;
+    if *star {
+        if func != AggFunc::Count {
+            return Err(Error::plan(format!("{name}(*) is not supported")));
+        }
+        return Ok(AggExpr {
+            func: AggFunc::CountStar,
+            arg: None,
+            distinct: false,
+            name: format!("count_star_{ordinal}"),
+        });
+    }
+    if args.len() != 1 {
+        return Err(Error::plan(format!(
+            "aggregate {name} takes exactly one argument, got {}",
+            args.len()
+        )));
+    }
+    Ok(AggExpr {
+        func,
+        arg: Some(resolve_expr(&args[0], input)?),
+        distinct: *distinct,
+        name: format!("{name}_{ordinal}"),
+    })
+}
+
+/// Output column name for a projection item.
+fn output_name(expr: &ast::Expr, alias: Option<&str>, ordinal: usize) -> String {
+    if let Some(a) = alias {
+        return a.to_ascii_lowercase();
+    }
+    match expr {
+        ast::Expr::Column { name, .. } => name.clone(),
+        ast::Expr::Function { name, .. } => name.clone(),
+        _ => format!("col_{ordinal}"),
+    }
+}
+
+// ---- FROM clause -------------------------------------------------------
+
+fn plan_table_ref(
+    tr: &TableRef,
+    ctx: &mut PlanContext<'_>,
+    steps: &mut Vec<Step>,
+) -> Result<LogicalPlan> {
+    match tr {
+        TableRef::Table { name, alias } => {
+            let visible = alias.as_deref().unwrap_or(name);
+            if let Some(binding) = ctx.cte(name).cloned() {
+                return Ok(LogicalPlan::TempScan {
+                    name: binding.temp_name,
+                    schema: Arc::new(binding.schema.qualify_all(visible)),
+                });
+            }
+            let schema = ctx
+                .provider
+                .table_schema(name)
+                .ok_or_else(|| Error::TableNotFound(name.clone()))?;
+            Ok(LogicalPlan::TableScan {
+                table: name.to_ascii_lowercase(),
+                schema: Arc::new(schema.qualify_all(visible)),
+            })
+        }
+        TableRef::Subquery { query, alias } => {
+            let plan = plan_query_internal(query, ctx, steps)?;
+            match alias {
+                Some(a) => {
+                    let schema = Arc::new(plan.schema().qualify_all(a));
+                    // Re-qualification is metadata-only: wrap in an identity
+                    // projection so the new schema is carried by the plan.
+                    Ok(identity_projection(plan, schema))
+                }
+                None => Ok(plan),
+            }
+        }
+        TableRef::Join { left, right, kind, on } => {
+            let l = plan_table_ref(left, ctx, steps)?;
+            let r = plan_table_ref(right, ctx, steps)?;
+            build_join(l, r, *kind, on.as_ref())
+        }
+    }
+}
+
+/// Wrap `plan` in a projection that forwards every column under `schema`.
+pub fn identity_projection(plan: LogicalPlan, schema: SchemaRef) -> LogicalPlan {
+    let exprs = schema
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| PlanExpr::column(i, f.qualified_name()))
+        .collect();
+    LogicalPlan::Projection { input: Box::new(plan), exprs, schema }
+}
+
+/// Build a join node, splitting the ON condition into equi-key pairs and a
+/// residual filter.
+pub fn build_join(
+    left: LogicalPlan,
+    right: LogicalPlan,
+    kind: spinner_parser::JoinKind,
+    on: Option<&ast::Expr>,
+) -> Result<LogicalPlan> {
+    let join_type = match kind {
+        spinner_parser::JoinKind::Inner => JoinType::Inner,
+        spinner_parser::JoinKind::LeftOuter => JoinType::Left,
+        spinner_parser::JoinKind::RightOuter => JoinType::Right,
+        spinner_parser::JoinKind::FullOuter => JoinType::Full,
+        spinner_parser::JoinKind::Cross => JoinType::Cross,
+    };
+    let lw = left.schema().len();
+    let combined = Arc::new(left.schema().join(&right.schema()));
+    let mut keys = Vec::new();
+    let mut residual: Option<PlanExpr> = None;
+    if let Some(cond) = on {
+        let mut conjuncts = Vec::new();
+        split_conjuncts_ast(cond, &mut conjuncts);
+        for c in conjuncts {
+            let resolved = resolve_expr(&c, &combined)?;
+            if let Some((lk, rk)) = as_equi_pair(&resolved, lw) {
+                keys.push((lk, rk));
+            } else {
+                residual = Some(match residual {
+                    Some(prev) => prev.binary(crate::expr::BinaryOp::And, resolved),
+                    None => resolved,
+                });
+            }
+        }
+    }
+    Ok(LogicalPlan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        join_type,
+        on: keys,
+        filter: residual,
+        schema: combined,
+    })
+}
+
+/// Split an AST expression into AND-connected conjuncts.
+fn split_conjuncts_ast(expr: &ast::Expr, out: &mut Vec<ast::Expr>) {
+    if let ast::Expr::BinaryOp { left, op: ast::BinaryOp::And, right } = expr {
+        split_conjuncts_ast(left, out);
+        split_conjuncts_ast(right, out);
+    } else {
+        out.push(expr.clone());
+    }
+}
+
+/// If `expr` (resolved against the combined schema) is `a = b` with `a`
+/// referencing only left columns and `b` only right columns (or swapped),
+/// return (left key over left schema, right key over right schema).
+fn as_equi_pair(expr: &PlanExpr, left_width: usize) -> Option<(PlanExpr, PlanExpr)> {
+    let PlanExpr::Binary { left, op: crate::expr::BinaryOp::Eq, right } = expr else {
+        return None;
+    };
+    let lcols = left.referenced_columns();
+    let rcols = right.referenced_columns();
+    if lcols.is_empty() || rcols.is_empty() {
+        return None;
+    }
+    let all_left = |cols: &[usize]| cols.iter().all(|&c| c < left_width);
+    let all_right = |cols: &[usize]| cols.iter().all(|&c| c >= left_width);
+    if all_left(&lcols) && all_right(&rcols) {
+        let lk = (**left).clone();
+        let rk = right.remap_columns(&|i| Some(i - left_width)).ok()?;
+        return Some((lk, rk));
+    }
+    if all_right(&lcols) && all_left(&rcols) {
+        let lk = (**right).clone();
+        let rk = left.remap_columns(&|i| Some(i - left_width)).ok()?;
+        return Some((lk, rk));
+    }
+    None
+}
+
+// ---- expression resolution ---------------------------------------------
+
+/// Resolve an AST expression against `schema` into an evaluable
+/// [`PlanExpr`]. Aggregate calls are rejected (they are handled by the
+/// aggregate planning path).
+pub fn resolve_expr(expr: &ast::Expr, schema: &Schema) -> Result<PlanExpr> {
+    match expr {
+        ast::Expr::Column { relation, name } => {
+            let idx = schema.index_of(relation.as_deref(), name)?;
+            Ok(PlanExpr::column(idx, schema.field(idx).qualified_name()))
+        }
+        ast::Expr::Literal(v) => Ok(PlanExpr::Literal(v.clone())),
+        ast::Expr::BinaryOp { left, op, right } => Ok(PlanExpr::Binary {
+            left: Box::new(resolve_expr(left, schema)?),
+            op: *op,
+            right: Box::new(resolve_expr(right, schema)?),
+        }),
+        ast::Expr::UnaryOp { op, expr } => Ok(PlanExpr::Unary {
+            op: *op,
+            expr: Box::new(resolve_expr(expr, schema)?),
+        }),
+        ast::Expr::Function { name, args, .. } => {
+            if aggregate_func(name).is_some() {
+                return Err(Error::plan(format!(
+                    "aggregate function '{name}' is not allowed here"
+                )));
+            }
+            let func = ScalarFn::from_name(name)
+                .ok_or_else(|| Error::plan(format!("unknown function '{name}'")))?;
+            Ok(PlanExpr::Scalar {
+                func,
+                args: args
+                    .iter()
+                    .map(|a| resolve_expr(a, schema))
+                    .collect::<Result<_>>()?,
+            })
+        }
+        ast::Expr::Case { operand, branches, else_expr } => {
+            let (branches, else_expr) = desugar_case(operand, branches, else_expr);
+            let bs = branches
+                .iter()
+                .map(|(w, t)| Ok((resolve_expr(w, schema)?, resolve_expr(t, schema)?)))
+                .collect::<Result<Vec<_>>>()?;
+            let ee = match else_expr {
+                Some(e) => Some(Box::new(resolve_expr(&e, schema)?)),
+                None => None,
+            };
+            Ok(PlanExpr::Case { branches: bs, else_expr: ee })
+        }
+        ast::Expr::Cast { expr, data_type } => Ok(PlanExpr::Cast {
+            expr: Box::new(resolve_expr(expr, schema)?),
+            to: *data_type,
+        }),
+        ast::Expr::IsNull { expr, negated } => Ok(PlanExpr::IsNull {
+            expr: Box::new(resolve_expr(expr, schema)?),
+            negated: *negated,
+        }),
+        ast::Expr::InList { expr, list, negated } => Ok(PlanExpr::InList {
+            expr: Box::new(resolve_expr(expr, schema)?),
+            list: list
+                .iter()
+                .map(|e| resolve_expr(e, schema))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        }),
+        ast::Expr::Between { expr, low, high, negated } => {
+            let desugared = desugar_between(expr, low, high, *negated);
+            resolve_expr(&desugared, schema)
+        }
+    }
+}
+
+/// Desugar operand-form CASE into searched form.
+fn desugar_case(
+    operand: &Option<Box<ast::Expr>>,
+    branches: &[(ast::Expr, ast::Expr)],
+    else_expr: &Option<Box<ast::Expr>>,
+) -> (Vec<(ast::Expr, ast::Expr)>, Option<ast::Expr>) {
+    let bs = match operand {
+        Some(op) => branches
+            .iter()
+            .map(|(w, t)| {
+                (
+                    ast::Expr::BinaryOp {
+                        left: op.clone(),
+                        op: ast::BinaryOp::Eq,
+                        right: Box::new(w.clone()),
+                    },
+                    t.clone(),
+                )
+            })
+            .collect(),
+        None => branches.to_vec(),
+    };
+    (bs, else_expr.as_deref().cloned())
+}
+
+/// Desugar BETWEEN into comparisons.
+fn desugar_between(
+    expr: &ast::Expr,
+    low: &ast::Expr,
+    high: &ast::Expr,
+    negated: bool,
+) -> ast::Expr {
+    let ge = ast::Expr::BinaryOp {
+        left: Box::new(expr.clone()),
+        op: ast::BinaryOp::GtEq,
+        right: Box::new(low.clone()),
+    };
+    let le = ast::Expr::BinaryOp {
+        left: Box::new(expr.clone()),
+        op: ast::BinaryOp::LtEq,
+        right: Box::new(high.clone()),
+    };
+    let both = ast::Expr::BinaryOp {
+        left: Box::new(ge),
+        op: ast::BinaryOp::And,
+        right: Box::new(le),
+    };
+    if negated {
+        ast::Expr::UnaryOp { op: ast::UnaryOp::Not, expr: Box::new(both) }
+    } else {
+        both
+    }
+}
+
+// ---- DML ----------------------------------------------------------------
+
+fn plan_insert(
+    table: &str,
+    columns: Option<&[String]>,
+    source: &InsertSource,
+    provider: &dyn SchemaProvider,
+    config: &EngineConfig,
+) -> Result<PlannedStatement> {
+    let table_schema = provider
+        .table_schema(table)
+        .ok_or_else(|| Error::TableNotFound(table.to_owned()))?;
+    let source_plan = match source {
+        InsertSource::Values(rows) => {
+            let empty = Schema::empty();
+            let mut resolved = Vec::with_capacity(rows.len());
+            let width = rows.first().map(Vec::len).unwrap_or(0);
+            for row in rows {
+                if row.len() != width {
+                    return Err(Error::plan(
+                        "VALUES rows have inconsistent column counts",
+                    ));
+                }
+                resolved.push(
+                    row.iter()
+                        .map(|e| resolve_expr(e, &empty))
+                        .collect::<Result<Vec<_>>>()?,
+                );
+            }
+            let fields = (0..width)
+                .map(|i| Field::new(format!("col_{i}"), DataType::Null))
+                .collect();
+            QueryPlan::simple(LogicalPlan::Values {
+                schema: Arc::new(Schema::new(fields)),
+                rows: resolved,
+            })
+        }
+        InsertSource::Query(q) => plan_query(q, provider, config)?,
+    };
+    // Map source columns into table positions, casting to declared types.
+    let positions: Vec<usize> = match columns {
+        Some(cols) => cols
+            .iter()
+            .map(|c| table_schema.index_of(None, c))
+            .collect::<Result<_>>()?,
+        None => (0..table_schema.len()).collect(),
+    };
+    let src_schema = source_plan.schema();
+    if src_schema.len() != positions.len() {
+        return Err(Error::plan(format!(
+            "INSERT provides {} columns but {} are expected",
+            src_schema.len(),
+            positions.len()
+        )));
+    }
+    let mut exprs: Vec<PlanExpr> = table_schema
+        .fields()
+        .iter()
+        .map(|_| PlanExpr::Literal(Value::Null))
+        .collect();
+    for (src_idx, &tbl_idx) in positions.iter().enumerate() {
+        exprs[tbl_idx] = PlanExpr::Cast {
+            expr: Box::new(PlanExpr::column(
+                src_idx,
+                src_schema.field(src_idx).qualified_name(),
+            )),
+            to: table_schema.field(tbl_idx).data_type,
+        };
+    }
+    let out_schema = Arc::new((*table_schema).clone());
+    let root = LogicalPlan::Projection {
+        input: Box::new(source_plan.root),
+        exprs,
+        schema: out_schema,
+    };
+    Ok(PlannedStatement::Insert {
+        table: table.to_ascii_lowercase(),
+        source: QueryPlan { steps: source_plan.steps, root },
+    })
+}
+
+fn plan_update(
+    table: &str,
+    assignments: &[(String, ast::Expr)],
+    from: Option<&TableRef>,
+    selection: Option<&ast::Expr>,
+    provider: &dyn SchemaProvider,
+    config: &EngineConfig,
+) -> Result<PlannedStatement> {
+    let table_schema = provider
+        .table_schema(table)
+        .ok_or_else(|| Error::TableNotFound(table.to_owned()))?;
+    let qualified_table = table_schema.qualify_all(table);
+    let mut ctx = PlanContext::new(provider, config);
+    let mut steps = Vec::new();
+    let from_plan = match from {
+        Some(tr) => Some(plan_table_ref(tr, &mut ctx, &mut steps)?),
+        None => None,
+    };
+    if !steps.is_empty() {
+        return Err(Error::unsupported(
+            "CTEs inside UPDATE ... FROM are not supported",
+        ));
+    }
+    let combined = match &from_plan {
+        Some(f) => qualified_table.join(&f.schema()),
+        None => qualified_table.clone(),
+    };
+    let resolved_assignments = assignments
+        .iter()
+        .map(|(col, e)| {
+            let idx = qualified_table.index_of(None, col)?;
+            let expr = resolve_expr(e, &combined)?;
+            Ok((idx, expr))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let predicate = match selection {
+        Some(e) => Some(resolve_expr(e, &combined)?),
+        None => None,
+    };
+    Ok(PlannedStatement::Update {
+        table: table.to_ascii_lowercase(),
+        from: from_plan,
+        assignments: resolved_assignments,
+        predicate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_parser::parse_sql;
+
+    struct TestProvider;
+
+    impl SchemaProvider for TestProvider {
+        fn table_schema(&self, name: &str) -> Option<SchemaRef> {
+            match name.to_ascii_lowercase().as_str() {
+                "edges" => Some(Arc::new(Schema::new(vec![
+                    Field::new("src", DataType::Int),
+                    Field::new("dst", DataType::Int),
+                    Field::new("weight", DataType::Float),
+                ]))),
+                "vertexstatus" => Some(Arc::new(Schema::new(vec![
+                    Field::new("node", DataType::Int),
+                    Field::new("status", DataType::Int),
+                ]))),
+                _ => None,
+            }
+        }
+
+        fn table_primary_key(&self, _name: &str) -> Option<usize> {
+            None
+        }
+    }
+
+    fn plan(sql: &str) -> QueryPlan {
+        let stmt = parse_sql(sql).unwrap();
+        let Statement::Query(q) = stmt else { panic!("not a query") };
+        plan_query(&q, &TestProvider, &EngineConfig::default()).unwrap()
+    }
+
+    fn plan_err(sql: &str) -> Error {
+        let stmt = parse_sql(sql).unwrap();
+        let Statement::Query(q) = stmt else { panic!("not a query") };
+        plan_query(&q, &TestProvider, &EngineConfig::default()).unwrap_err()
+    }
+
+    #[test]
+    fn plain_projection_schema() {
+        let p = plan("SELECT src, weight * 2 AS w2 FROM edges");
+        let s = p.schema();
+        assert_eq!(s.names(), vec!["src", "w2"]);
+        assert_eq!(s.field(1).data_type, DataType::Float);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let err = plan_err("SELECT * FROM nope");
+        assert!(matches!(err, Error::TableNotFound(_)));
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let err = plan_err("SELECT ghost FROM edges");
+        assert!(matches!(err, Error::ColumnNotFound(_)));
+    }
+
+    #[test]
+    fn wildcard_expands_with_qualifiers() {
+        let p = plan("SELECT * FROM edges e JOIN vertexStatus v ON e.src = v.node");
+        assert_eq!(p.schema().len(), 5);
+    }
+
+    #[test]
+    fn join_extracts_equi_keys() {
+        let p = plan(
+            "SELECT e.src FROM edges e JOIN vertexStatus v ON e.src = v.node AND e.weight > 1.0",
+        );
+        let LogicalPlan::Projection { input, .. } = &p.root else { panic!() };
+        let LogicalPlan::Join { on, filter, .. } = &**input else { panic!() };
+        assert_eq!(on.len(), 1);
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn aggregate_plan_shape() {
+        let p = plan("SELECT src, COUNT(dst) AS friends FROM edges GROUP BY src");
+        let LogicalPlan::Projection { input, schema, .. } = &p.root else { panic!() };
+        assert!(matches!(&**input, LogicalPlan::Aggregate { .. }));
+        assert_eq!(schema.names(), vec!["src", "friends"]);
+    }
+
+    #[test]
+    fn group_by_expression_matches_select_copy() {
+        // The PR query groups by `rank + delta`-style expressions.
+        let p = plan(
+            "SELECT src + dst, COUNT(*) FROM edges GROUP BY src + dst",
+        );
+        let LogicalPlan::Projection { exprs, .. } = &p.root else { panic!() };
+        // first output is a positional ref to group column 0
+        assert!(matches!(&exprs[0], PlanExpr::Column(c) if c.index == 0));
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let err = plan_err("SELECT src, dst FROM edges GROUP BY src");
+        assert!(matches!(err, Error::Plan(m) if m.contains("GROUP BY")));
+    }
+
+    #[test]
+    fn nested_aggregate_rejected() {
+        let err = plan_err("SELECT SUM(COUNT(dst)) FROM edges GROUP BY src");
+        assert!(matches!(err, Error::Plan(m) if m.contains("nested")));
+    }
+
+    #[test]
+    fn having_becomes_filter_over_aggregate() {
+        let p = plan("SELECT src FROM edges GROUP BY src HAVING COUNT(*) > 2");
+        let LogicalPlan::Projection { input, .. } = &p.root else { panic!() };
+        let LogicalPlan::Filter { input: agg, .. } = &**input else { panic!() };
+        assert!(matches!(&**agg, LogicalPlan::Aggregate { .. }));
+    }
+
+    #[test]
+    fn regular_cte_materializes() {
+        let p = plan("WITH t AS (SELECT src FROM edges) SELECT * FROM t");
+        assert_eq!(p.steps.len(), 1);
+        assert!(matches!(&p.steps[0], Step::Materialize { .. }));
+        assert!(matches!(&p.root, LogicalPlan::Projection { .. }));
+    }
+
+    #[test]
+    fn iterative_cte_produces_loop_step() {
+        let p = plan(
+            "WITH ITERATIVE pr (node, rank) AS (
+                SELECT src, 1.0 FROM edges
+             ITERATE
+                SELECT node, rank * 0.5 FROM pr
+             UNTIL 3 ITERATIONS)
+             SELECT * FROM pr",
+        );
+        assert_eq!(p.steps.len(), 2);
+        assert!(matches!(&p.steps[0], Step::Materialize { .. }));
+        let Step::Loop(l) = &p.steps[1] else { panic!("expected loop step") };
+        assert_eq!(l.cte_display_name, "pr");
+        assert_eq!(l.termination, crate::TerminationPlan::Iterations(3));
+        // No WHERE in Ri and optimization on => rename path (no merge).
+        assert!(matches!(&l.kind, crate::LoopKind::Iterative { merge: false, .. }));
+    }
+
+    #[test]
+    fn iterative_cte_with_where_uses_merge() {
+        let p = plan(
+            "WITH ITERATIVE pr (node, rank) AS (
+                SELECT src, 1.0 FROM edges
+             ITERATE
+                SELECT node, rank * 0.5 FROM pr WHERE node > 3
+             UNTIL 3 ITERATIONS)
+             SELECT * FROM pr",
+        );
+        let Step::Loop(l) = &p.steps[1] else { panic!() };
+        assert!(matches!(&l.kind, crate::LoopKind::Iterative { merge: true, .. }));
+        // body: materialize working, merge, rename
+        assert_eq!(l.body.len(), 3);
+    }
+
+    #[test]
+    fn naive_config_forces_merge_path() {
+        let stmt = parse_sql(
+            "WITH ITERATIVE pr (node, rank) AS (
+                SELECT src, 1.0 FROM edges
+             ITERATE SELECT node, rank * 0.5 FROM pr
+             UNTIL 3 ITERATIONS) SELECT * FROM pr",
+        )
+        .unwrap();
+        let Statement::Query(q) = stmt else { panic!() };
+        let p = plan_query(&q, &TestProvider, &EngineConfig::naive()).unwrap();
+        let Step::Loop(l) = &p.steps[1] else { panic!() };
+        assert!(matches!(&l.kind, crate::LoopKind::Iterative { merge: true, .. }));
+    }
+
+    #[test]
+    fn cte_declared_column_count_checked() {
+        let err = plan_err(
+            "WITH t (a, b) AS (SELECT src FROM edges) SELECT * FROM t",
+        );
+        assert!(matches!(err, Error::Plan(m) if m.contains("declares")));
+    }
+
+    #[test]
+    fn subquery_alias_requalifies() {
+        let p = plan("SELECT q.src FROM (SELECT src FROM edges) AS q");
+        assert_eq!(p.schema().names(), vec!["src"]);
+    }
+
+    #[test]
+    fn union_widens_types() {
+        let p = plan("SELECT src FROM edges UNION SELECT weight FROM edges");
+        assert_eq!(p.schema().field(0).data_type, DataType::Float);
+    }
+
+    #[test]
+    fn insert_pads_and_casts() {
+        let stmt = parse_sql("INSERT INTO edges (dst) SELECT src FROM edges").unwrap();
+        let planned = plan_statement(&stmt, &TestProvider, &EngineConfig::default()).unwrap();
+        let PlannedStatement::Insert { source, .. } = planned else { panic!() };
+        assert_eq!(source.schema().len(), 3);
+    }
+
+    #[test]
+    fn update_with_from_resolves_combined_schema() {
+        let stmt = parse_sql(
+            "UPDATE vertexStatus SET status = e.src FROM edges AS e \
+             WHERE vertexStatus.node = e.dst",
+        )
+        .unwrap();
+        let planned = plan_statement(&stmt, &TestProvider, &EngineConfig::default()).unwrap();
+        let PlannedStatement::Update { assignments, from, predicate, .. } = planned else {
+            panic!()
+        };
+        assert_eq!(assignments.len(), 1);
+        assert_eq!(assignments[0].0, 1);
+        assert!(from.is_some());
+        assert!(predicate.is_some());
+    }
+
+    #[test]
+    fn order_by_resolves_output_alias() {
+        let p = plan("SELECT src AS s FROM edges ORDER BY s DESC LIMIT 5");
+        assert!(matches!(&p.root, LogicalPlan::Limit { .. }));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let p = plan("SELECT 1 + 1 AS two");
+        assert_eq!(p.schema().names(), vec!["two"]);
+    }
+
+    #[test]
+    fn recursive_cte_builds_fixed_point_loop() {
+        let p = plan(
+            "WITH RECURSIVE r (n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r WHERE n < 5) \
+             SELECT n FROM r",
+        );
+        let has_loop = p.steps.iter().any(|s| {
+            matches!(s, Step::Loop(l) if matches!(l.kind, crate::LoopKind::FixedPoint { .. }))
+        });
+        assert!(has_loop);
+    }
+}

@@ -1,0 +1,941 @@
+//! Resolved expression IR and its row-at-a-time evaluator.
+//!
+//! After planning, every column reference is an index into the input row
+//! ([`ColumnRef`]), so evaluation is lookup + match dispatch with no name
+//! resolution on the hot path. Three-valued logic follows SQL: comparisons
+//! with NULL yield NULL, `AND`/`OR` use Kleene semantics, and predicates
+//! treat NULL as "do not keep".
+
+use std::fmt;
+
+use spinner_common::{DataType, Error, Result, Schema, Value};
+
+/// A resolved reference to an input column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Position in the input row.
+    pub index: usize,
+    /// Qualified display name, kept for EXPLAIN and for re-binding
+    /// expressions when optimizer rules move them across operators.
+    pub name: String,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    CountStar,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "count",
+            AggFunc::CountStar => "count(*)",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        })
+    }
+}
+
+/// One aggregate call inside an [`Aggregate`](crate::LogicalPlan::Aggregate)
+/// node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// Argument; `None` only for `COUNT(*)`.
+    pub arg: Option<PlanExpr>,
+    pub distinct: bool,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggExpr {
+    /// Result type of the aggregate given its argument type.
+    pub fn output_type(&self, input: &Schema) -> DataType {
+        match self.func {
+            AggFunc::Count | AggFunc::CountStar => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => self
+                .arg
+                .as_ref()
+                .map(|a| a.data_type(input))
+                .unwrap_or(DataType::Null),
+        }
+    }
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFn {
+    Least,
+    Greatest,
+    Coalesce,
+    Ceiling,
+    Floor,
+    Round,
+    Abs,
+    Mod,
+    Sqrt,
+    Exp,
+    Ln,
+    Power,
+    Sign,
+    Upper,
+    Lower,
+    Length,
+    Concat,
+    NullIf,
+}
+
+impl ScalarFn {
+    /// Look up a scalar function by its SQL name.
+    pub fn from_name(name: &str) -> Option<ScalarFn> {
+        Some(match name {
+            "least" => ScalarFn::Least,
+            "greatest" => ScalarFn::Greatest,
+            "coalesce" => ScalarFn::Coalesce,
+            "ceiling" | "ceil" => ScalarFn::Ceiling,
+            "floor" => ScalarFn::Floor,
+            "round" => ScalarFn::Round,
+            "abs" => ScalarFn::Abs,
+            "mod" => ScalarFn::Mod,
+            "sqrt" => ScalarFn::Sqrt,
+            "exp" => ScalarFn::Exp,
+            "ln" => ScalarFn::Ln,
+            "power" | "pow" => ScalarFn::Power,
+            "sign" => ScalarFn::Sign,
+            "upper" => ScalarFn::Upper,
+            "lower" => ScalarFn::Lower,
+            "length" => ScalarFn::Length,
+            "concat" => ScalarFn::Concat,
+            "nullif" => ScalarFn::NullIf,
+            _ => return None,
+        })
+    }
+
+    /// SQL name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalarFn::Least => "least",
+            ScalarFn::Greatest => "greatest",
+            ScalarFn::Coalesce => "coalesce",
+            ScalarFn::Ceiling => "ceiling",
+            ScalarFn::Floor => "floor",
+            ScalarFn::Round => "round",
+            ScalarFn::Abs => "abs",
+            ScalarFn::Mod => "mod",
+            ScalarFn::Sqrt => "sqrt",
+            ScalarFn::Exp => "exp",
+            ScalarFn::Ln => "ln",
+            ScalarFn::Power => "power",
+            ScalarFn::Sign => "sign",
+            ScalarFn::Upper => "upper",
+            ScalarFn::Lower => "lower",
+            ScalarFn::Length => "length",
+            ScalarFn::Concat => "concat",
+            ScalarFn::NullIf => "nullif",
+        }
+    }
+
+    fn arity_ok(&self, n: usize) -> bool {
+        match self {
+            ScalarFn::Least | ScalarFn::Greatest | ScalarFn::Coalesce | ScalarFn::Concat => n >= 1,
+            ScalarFn::Round => n == 1 || n == 2,
+            ScalarFn::Mod | ScalarFn::Power | ScalarFn::NullIf => n == 2,
+            _ => n == 1,
+        }
+    }
+}
+
+/// Binary operators (shared shape with the AST, but resolved).
+pub use spinner_parser::BinaryOp;
+/// Unary operators.
+pub use spinner_parser::UnaryOp;
+
+/// A resolved scalar expression, evaluable against a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanExpr {
+    /// Input column by position.
+    Column(ColumnRef),
+    /// Constant.
+    Literal(Value),
+    /// `left op right`.
+    Binary {
+        left: Box<PlanExpr>,
+        op: BinaryOp,
+        right: Box<PlanExpr>,
+    },
+    /// `op expr`.
+    Unary { op: UnaryOp, expr: Box<PlanExpr> },
+    /// Scalar function call.
+    Scalar { func: ScalarFn, args: Vec<PlanExpr> },
+    /// `CASE` (searched form; operand form is desugared by the builder).
+    Case {
+        branches: Vec<(PlanExpr, PlanExpr)>,
+        else_expr: Option<Box<PlanExpr>>,
+    },
+    /// `CAST(expr AS type)`.
+    Cast { expr: Box<PlanExpr>, to: DataType },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<PlanExpr>, negated: bool },
+    /// `expr [NOT] IN (list)`.
+    InList {
+        expr: Box<PlanExpr>,
+        list: Vec<PlanExpr>,
+        negated: bool,
+    },
+}
+
+impl PlanExpr {
+    /// Column helper.
+    pub fn column(index: usize, name: impl Into<String>) -> PlanExpr {
+        PlanExpr::Column(ColumnRef { index, name: name.into() })
+    }
+
+    /// Literal helper.
+    pub fn literal(v: impl Into<Value>) -> PlanExpr {
+        PlanExpr::Literal(v.into())
+    }
+
+    /// `self op other` helper.
+    pub fn binary(self, op: BinaryOp, other: PlanExpr) -> PlanExpr {
+        PlanExpr::Binary { left: Box::new(self), op, right: Box::new(other) }
+    }
+
+    /// Evaluate against one input row.
+    pub fn evaluate(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            PlanExpr::Column(c) => {
+                row.get(c.index).cloned().ok_or_else(|| {
+                    Error::execution(format!(
+                        "column index {} ('{}') out of bounds for row of width {}",
+                        c.index,
+                        c.name,
+                        row.len()
+                    ))
+                })
+            }
+            PlanExpr::Literal(v) => Ok(v.clone()),
+            PlanExpr::Binary { left, op, right } => {
+                eval_binary(*op, left, right, row)
+            }
+            PlanExpr::Unary { op, expr } => {
+                let v = expr.evaluate(row)?;
+                match op {
+                    UnaryOp::Not => Ok(match v.as_bool()? {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    }),
+                    UnaryOp::Minus => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                            Error::Arithmetic("integer negation overflow".into())
+                        })?)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(Error::type_error(format!(
+                            "cannot negate {}",
+                            other.data_type()
+                        ))),
+                    },
+                    UnaryOp::Plus => Ok(v),
+                }
+            }
+            PlanExpr::Scalar { func, args } => eval_scalar(*func, args, row),
+            PlanExpr::Case { branches, else_expr } => {
+                for (when, then) in branches {
+                    if when.evaluate(row)?.as_bool()? == Some(true) {
+                        return then.evaluate(row);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.evaluate(row),
+                    None => Ok(Value::Null),
+                }
+            }
+            PlanExpr::Cast { expr, to } => expr.evaluate(row)?.cast(*to),
+            PlanExpr::IsNull { expr, negated } => {
+                let is_null = expr.evaluate(row)?.is_null();
+                Ok(Value::Bool(is_null != *negated))
+            }
+            PlanExpr::InList { expr, list, negated } => {
+                let v = expr.evaluate(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.evaluate(row)?;
+                    match v.sql_eq(&iv) {
+                        Some(true) => return Ok(Value::Bool(!*negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate: NULL counts as "drop the row".
+    pub fn matches(&self, row: &[Value]) -> Result<bool> {
+        Ok(self.evaluate(row)?.as_bool()? == Some(true))
+    }
+
+    /// Static result type given the input schema.
+    pub fn data_type(&self, input: &Schema) -> DataType {
+        match self {
+            PlanExpr::Column(c) => input
+                .fields()
+                .get(c.index)
+                .map(|f| f.data_type)
+                .unwrap_or(DataType::Null),
+            PlanExpr::Literal(v) => v.data_type(),
+            PlanExpr::Binary { left, op, right } => match op {
+                BinaryOp::Plus
+                | BinaryOp::Minus
+                | BinaryOp::Multiply
+                | BinaryOp::Modulo => left.data_type(input).widen(right.data_type(input)),
+                BinaryOp::Divide => {
+                    // Integer division truncates; mixed widens to float.
+                    left.data_type(input).widen(right.data_type(input))
+                }
+                _ => DataType::Bool,
+            },
+            PlanExpr::Unary { op, expr } => match op {
+                UnaryOp::Not => DataType::Bool,
+                _ => expr.data_type(input),
+            },
+            PlanExpr::Scalar { func, args } => match func {
+                ScalarFn::Ceiling | ScalarFn::Floor => DataType::Int,
+                ScalarFn::Round | ScalarFn::Sqrt | ScalarFn::Exp | ScalarFn::Ln
+                | ScalarFn::Power => DataType::Float,
+                ScalarFn::Sign | ScalarFn::Length => DataType::Int,
+                ScalarFn::Upper | ScalarFn::Lower | ScalarFn::Concat => DataType::Text,
+                ScalarFn::Abs | ScalarFn::NullIf => {
+                    args.first().map(|a| a.data_type(input)).unwrap_or(DataType::Null)
+                }
+                ScalarFn::Mod => args
+                    .first()
+                    .map(|a| a.data_type(input))
+                    .unwrap_or(DataType::Null)
+                    .widen(args.get(1).map(|a| a.data_type(input)).unwrap_or(DataType::Null)),
+                ScalarFn::Least | ScalarFn::Greatest | ScalarFn::Coalesce => {
+                    let mut t = DataType::Null;
+                    for a in args {
+                        t = t.widen(a.data_type(input));
+                    }
+                    t
+                }
+            },
+            PlanExpr::Case { branches, else_expr } => {
+                let mut t = DataType::Null;
+                for (_, then) in branches {
+                    t = t.widen(then.data_type(input));
+                }
+                if let Some(e) = else_expr {
+                    t = t.widen(e.data_type(input));
+                }
+                t
+            }
+            PlanExpr::Cast { to, .. } => *to,
+            PlanExpr::IsNull { .. } | PlanExpr::InList { .. } => DataType::Bool,
+        }
+    }
+
+    /// Indices of all referenced input columns (deduplicated, sorted).
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.walk(&mut |e| {
+            if let PlanExpr::Column(c) = e {
+                cols.push(c.index);
+            }
+        });
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Pre-order visit of this expression tree.
+    pub fn walk(&self, f: &mut impl FnMut(&PlanExpr)) {
+        f(self);
+        match self {
+            PlanExpr::Column(_) | PlanExpr::Literal(_) => {}
+            PlanExpr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            PlanExpr::Unary { expr, .. } => expr.walk(f),
+            PlanExpr::Scalar { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            PlanExpr::Case { branches, else_expr } => {
+                for (w, t) in branches {
+                    w.walk(f);
+                    t.walk(f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(f);
+                }
+            }
+            PlanExpr::Cast { expr, .. } => expr.walk(f),
+            PlanExpr::IsNull { expr, .. } => expr.walk(f),
+            PlanExpr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrite every column index through `map` (old index → new index).
+    /// Fails if a referenced column has no mapping.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> Option<usize>) -> Result<PlanExpr> {
+        Ok(match self {
+            PlanExpr::Column(c) => {
+                let new = map(c.index).ok_or_else(|| {
+                    Error::plan(format!("cannot remap column '{}' across operator", c.name))
+                })?;
+                PlanExpr::Column(ColumnRef { index: new, name: c.name.clone() })
+            }
+            PlanExpr::Literal(v) => PlanExpr::Literal(v.clone()),
+            PlanExpr::Binary { left, op, right } => PlanExpr::Binary {
+                left: Box::new(left.remap_columns(map)?),
+                op: *op,
+                right: Box::new(right.remap_columns(map)?),
+            },
+            PlanExpr::Unary { op, expr } => PlanExpr::Unary {
+                op: *op,
+                expr: Box::new(expr.remap_columns(map)?),
+            },
+            PlanExpr::Scalar { func, args } => PlanExpr::Scalar {
+                func: *func,
+                args: args.iter().map(|a| a.remap_columns(map)).collect::<Result<_>>()?,
+            },
+            PlanExpr::Case { branches, else_expr } => PlanExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| Ok((w.remap_columns(map)?, t.remap_columns(map)?)))
+                    .collect::<Result<_>>()?,
+                else_expr: match else_expr {
+                    Some(e) => Some(Box::new(e.remap_columns(map)?)),
+                    None => None,
+                },
+            },
+            PlanExpr::Cast { expr, to } => PlanExpr::Cast {
+                expr: Box::new(expr.remap_columns(map)?),
+                to: *to,
+            },
+            PlanExpr::IsNull { expr, negated } => PlanExpr::IsNull {
+                expr: Box::new(expr.remap_columns(map)?),
+                negated: *negated,
+            },
+            PlanExpr::InList { expr, list, negated } => PlanExpr::InList {
+                expr: Box::new(expr.remap_columns(map)?),
+                list: list.iter().map(|e| e.remap_columns(map)).collect::<Result<_>>()?,
+                negated: *negated,
+            },
+        })
+    }
+
+    /// True when the expression contains no column references (a constant).
+    pub fn is_constant(&self) -> bool {
+        let mut constant = true;
+        self.walk(&mut |e| {
+            if matches!(e, PlanExpr::Column(_)) {
+                constant = false;
+            }
+        });
+        constant
+    }
+}
+
+fn eval_binary(
+    op: BinaryOp,
+    left: &PlanExpr,
+    right: &PlanExpr,
+    row: &[Value],
+) -> Result<Value> {
+    // Kleene logic needs lazy/short-circuit handling per operand nullness.
+    if matches!(op, BinaryOp::And | BinaryOp::Or) {
+        let l = left.evaluate(row)?.as_bool()?;
+        // Short-circuit where the left side decides.
+        match (op, l) {
+            (BinaryOp::And, Some(false)) => return Ok(Value::Bool(false)),
+            (BinaryOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let r = right.evaluate(row)?.as_bool()?;
+        return Ok(match (op, l, r) {
+            (BinaryOp::And, Some(true), Some(b)) => Value::Bool(b),
+            (BinaryOp::And, Some(b), Some(true)) => Value::Bool(b),
+            (BinaryOp::And, _, Some(false)) | (BinaryOp::And, Some(false), _) => {
+                Value::Bool(false)
+            }
+            (BinaryOp::Or, Some(false), Some(b)) => Value::Bool(b),
+            (BinaryOp::Or, Some(b), Some(false)) => Value::Bool(b),
+            (BinaryOp::Or, _, Some(true)) | (BinaryOp::Or, Some(true), _) => Value::Bool(true),
+            _ => Value::Null,
+        });
+    }
+    let l = left.evaluate(row)?;
+    let r = right.evaluate(row)?;
+    match op {
+        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide
+        | BinaryOp::Modulo => eval_arithmetic(op, &l, &r),
+        BinaryOp::Eq => Ok(bool3(l.sql_eq(&r))),
+        BinaryOp::NotEq => Ok(bool3(l.sql_eq(&r).map(|b| !b))),
+        BinaryOp::Lt => Ok(bool3(l.sql_cmp(&r).map(|o| o.is_lt()))),
+        BinaryOp::LtEq => Ok(bool3(l.sql_cmp(&r).map(|o| o.is_le()))),
+        BinaryOp::Gt => Ok(bool3(l.sql_cmp(&r).map(|o| o.is_gt()))),
+        BinaryOp::GtEq => Ok(bool3(l.sql_cmp(&r).map(|o| o.is_ge()))),
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn bool3(b: Option<bool>) -> Value {
+    match b {
+        Some(v) => Value::Bool(v),
+        None => Value::Null,
+    }
+}
+
+fn eval_arithmetic(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    let both_int = l.data_type() == DataType::Int && r.data_type() == DataType::Int;
+    if both_int {
+        let (a, b) = (l.as_i64()?, r.as_i64()?);
+        let out = match op {
+            BinaryOp::Plus => a.checked_add(b),
+            BinaryOp::Minus => a.checked_sub(b),
+            BinaryOp::Multiply => a.checked_mul(b),
+            BinaryOp::Divide => {
+                if b == 0 {
+                    return Err(Error::Arithmetic("division by zero".into()));
+                }
+                a.checked_div(b)
+            }
+            BinaryOp::Modulo => {
+                if b == 0 {
+                    return Err(Error::Arithmetic("modulo by zero".into()));
+                }
+                a.checked_rem(b)
+            }
+            _ => unreachable!(),
+        };
+        return out
+            .map(Value::Int)
+            .ok_or_else(|| Error::Arithmetic(format!("integer overflow in {a} {op} {b}")));
+    }
+    let (a, b) = (l.as_f64()?, r.as_f64()?);
+    let out = match op {
+        BinaryOp::Plus => a + b,
+        BinaryOp::Minus => a - b,
+        BinaryOp::Multiply => a * b,
+        BinaryOp::Divide => {
+            if b == 0.0 {
+                return Err(Error::Arithmetic("division by zero".into()));
+            }
+            a / b
+        }
+        BinaryOp::Modulo => {
+            if b == 0.0 {
+                return Err(Error::Arithmetic("modulo by zero".into()));
+            }
+            a % b
+        }
+        _ => unreachable!(),
+    };
+    Ok(Value::Float(out))
+}
+
+fn eval_scalar(func: ScalarFn, args: &[PlanExpr], row: &[Value]) -> Result<Value> {
+    if !func.arity_ok(args.len()) {
+        return Err(Error::plan(format!(
+            "wrong number of arguments ({}) for {}",
+            args.len(),
+            func.name()
+        )));
+    }
+    match func {
+        ScalarFn::Coalesce => {
+            for a in args {
+                let v = a.evaluate(row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        ScalarFn::Least | ScalarFn::Greatest => {
+            // SQL LEAST/GREATEST ignore NULL arguments.
+            let mut best: Option<Value> = None;
+            for a in args {
+                let v = a.evaluate(row)?;
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = match func {
+                            ScalarFn::Least => v.cmp_total(&b).is_lt(),
+                            _ => v.cmp_total(&b).is_gt(),
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        ScalarFn::NullIf => {
+            let a = args[0].evaluate(row)?;
+            let b = args[1].evaluate(row)?;
+            if a.sql_eq(&b) == Some(true) {
+                Ok(Value::Null)
+            } else {
+                Ok(a)
+            }
+        }
+        ScalarFn::Concat => {
+            let mut s = String::new();
+            for a in args {
+                let v = a.evaluate(row)?;
+                if !v.is_null() {
+                    s.push_str(&v.to_string());
+                }
+            }
+            Ok(Value::Text(s))
+        }
+        _ => {
+            let v0 = args[0].evaluate(row)?;
+            if v0.is_null() {
+                return Ok(Value::Null);
+            }
+            match func {
+                ScalarFn::Ceiling => Ok(Value::Int(v0.as_f64()?.ceil() as i64)),
+                ScalarFn::Floor => Ok(Value::Int(v0.as_f64()?.floor() as i64)),
+                ScalarFn::Round => {
+                    let digits = match args.get(1) {
+                        Some(d) => {
+                            let dv = d.evaluate(row)?;
+                            if dv.is_null() {
+                                return Ok(Value::Null);
+                            }
+                            dv.as_i64()?
+                        }
+                        None => 0,
+                    };
+                    let factor = 10f64.powi(digits as i32);
+                    Ok(Value::Float((v0.as_f64()? * factor).round() / factor))
+                }
+                ScalarFn::Abs => match v0 {
+                    Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
+                        Error::Arithmetic("integer overflow in abs".into())
+                    })?)),
+                    other => Ok(Value::Float(other.as_f64()?.abs())),
+                },
+                ScalarFn::Mod => {
+                    let v1 = args[1].evaluate(row)?;
+                    eval_arithmetic(BinaryOp::Modulo, &v0, &v1)
+                }
+                ScalarFn::Sqrt => {
+                    let f = v0.as_f64()?;
+                    if f < 0.0 {
+                        return Err(Error::Arithmetic("sqrt of negative number".into()));
+                    }
+                    Ok(Value::Float(f.sqrt()))
+                }
+                ScalarFn::Exp => Ok(Value::Float(v0.as_f64()?.exp())),
+                ScalarFn::Ln => {
+                    let f = v0.as_f64()?;
+                    if f <= 0.0 {
+                        return Err(Error::Arithmetic("ln of non-positive number".into()));
+                    }
+                    Ok(Value::Float(f.ln()))
+                }
+                ScalarFn::Power => {
+                    let v1 = args[1].evaluate(row)?;
+                    if v1.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    Ok(Value::Float(v0.as_f64()?.powf(v1.as_f64()?)))
+                }
+                ScalarFn::Sign => {
+                    let f = v0.as_f64()?;
+                    Ok(Value::Int(if f > 0.0 {
+                        1
+                    } else if f < 0.0 {
+                        -1
+                    } else {
+                        0
+                    }))
+                }
+                ScalarFn::Upper => Ok(Value::Text(v0.to_string().to_uppercase())),
+                ScalarFn::Lower => Ok(Value::Text(v0.to_string().to_lowercase())),
+                ScalarFn::Length => Ok(Value::Int(v0.to_string().chars().count() as i64)),
+                ScalarFn::Least
+                | ScalarFn::Greatest
+                | ScalarFn::Coalesce
+                | ScalarFn::Concat
+                | ScalarFn::NullIf => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlanExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanExpr::Column(c) => write!(f, "{}#{}", c.name, c.index),
+            PlanExpr::Literal(v) => match v {
+                Value::Text(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            PlanExpr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            PlanExpr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Minus => write!(f, "(-{expr})"),
+                UnaryOp::Plus => write!(f, "(+{expr})"),
+            },
+            PlanExpr::Scalar { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            PlanExpr::Case { branches, else_expr } => {
+                write!(f, "CASE")?;
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            PlanExpr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+            PlanExpr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            PlanExpr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[Value]) -> Vec<Value> {
+        vals.to_vec()
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let e = PlanExpr::literal(2i64).binary(BinaryOp::Plus, PlanExpr::literal(3i64));
+        assert_eq!(e.evaluate(&[]).unwrap(), Value::Int(5));
+        let e = PlanExpr::literal(2i64).binary(BinaryOp::Multiply, PlanExpr::literal(1.5));
+        assert_eq!(e.evaluate(&[]).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = PlanExpr::literal(1i64).binary(BinaryOp::Divide, PlanExpr::literal(0i64));
+        assert!(matches!(e.evaluate(&[]), Err(Error::Arithmetic(_))));
+        let e = PlanExpr::literal(1.0).binary(BinaryOp::Divide, PlanExpr::literal(0.0));
+        assert!(matches!(e.evaluate(&[]), Err(Error::Arithmetic(_))));
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        let e =
+            PlanExpr::literal(i64::MAX).binary(BinaryOp::Plus, PlanExpr::literal(1i64));
+        assert!(matches!(e.evaluate(&[]), Err(Error::Arithmetic(_))));
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        let e = PlanExpr::Literal(Value::Null).binary(BinaryOp::Plus, PlanExpr::literal(1i64));
+        assert!(e.evaluate(&[]).unwrap().is_null());
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let null = PlanExpr::Literal(Value::Null);
+        let t = PlanExpr::literal(true);
+        let f = PlanExpr::literal(false);
+        // false AND NULL = false
+        assert_eq!(
+            f.clone().binary(BinaryOp::And, null.clone()).evaluate(&[]).unwrap(),
+            Value::Bool(false)
+        );
+        // NULL AND false = false (right side decides)
+        assert_eq!(
+            null.clone().binary(BinaryOp::And, f.clone()).evaluate(&[]).unwrap(),
+            Value::Bool(false)
+        );
+        // true OR NULL = true
+        assert_eq!(
+            t.clone().binary(BinaryOp::Or, null.clone()).evaluate(&[]).unwrap(),
+            Value::Bool(true)
+        );
+        // NULL OR NULL = NULL
+        assert!(null.clone().binary(BinaryOp::Or, null).evaluate(&[]).unwrap().is_null());
+    }
+
+    #[test]
+    fn comparisons_with_null_are_null() {
+        let e = PlanExpr::Literal(Value::Null).binary(BinaryOp::Eq, PlanExpr::literal(1i64));
+        assert!(e.evaluate(&[]).unwrap().is_null());
+        assert!(!e.matches(&[]).unwrap());
+    }
+
+    #[test]
+    fn least_greatest_skip_nulls() {
+        let e = PlanExpr::Scalar {
+            func: ScalarFn::Least,
+            args: vec![
+                PlanExpr::Literal(Value::Null),
+                PlanExpr::literal(5i64),
+                PlanExpr::literal(3i64),
+            ],
+        };
+        assert_eq!(e.evaluate(&[]).unwrap(), Value::Int(3));
+        let e = PlanExpr::Scalar {
+            func: ScalarFn::Greatest,
+            args: vec![PlanExpr::Literal(Value::Null)],
+        };
+        assert!(e.evaluate(&[]).unwrap().is_null());
+    }
+
+    #[test]
+    fn coalesce_takes_first_non_null() {
+        let e = PlanExpr::Scalar {
+            func: ScalarFn::Coalesce,
+            args: vec![PlanExpr::Literal(Value::Null), PlanExpr::literal(9i64)],
+        };
+        assert_eq!(e.evaluate(&[]).unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn round_with_digits() {
+        let e = PlanExpr::Scalar {
+            func: ScalarFn::Round,
+            args: vec![PlanExpr::literal(2.34567), PlanExpr::literal(2i64)],
+        };
+        assert_eq!(e.evaluate(&[]).unwrap(), Value::Float(2.35));
+    }
+
+    #[test]
+    fn ceiling_matches_ff_query_semantics() {
+        // ceiling(count * (1.0 - (src % 10) / 100.0)) from Figure 6
+        let e = PlanExpr::Scalar {
+            func: ScalarFn::Ceiling,
+            args: vec![PlanExpr::literal(4.2)],
+        };
+        assert_eq!(e.evaluate(&[]).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn mod_function_and_operator_agree() {
+        let f = PlanExpr::Scalar {
+            func: ScalarFn::Mod,
+            args: vec![PlanExpr::literal(17i64), PlanExpr::literal(5i64)],
+        };
+        let o = PlanExpr::literal(17i64).binary(BinaryOp::Modulo, PlanExpr::literal(5i64));
+        assert_eq!(f.evaluate(&[]).unwrap(), o.evaluate(&[]).unwrap());
+    }
+
+    #[test]
+    fn case_returns_null_without_else() {
+        let e = PlanExpr::Case {
+            branches: vec![(PlanExpr::literal(false), PlanExpr::literal(1i64))],
+            else_expr: None,
+        };
+        assert!(e.evaluate(&[]).unwrap().is_null());
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        // 1 IN (2, NULL) => NULL
+        let e = PlanExpr::InList {
+            expr: Box::new(PlanExpr::literal(1i64)),
+            list: vec![PlanExpr::literal(2i64), PlanExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert!(e.evaluate(&[]).unwrap().is_null());
+        // 2 IN (2, NULL) => true
+        let e = PlanExpr::InList {
+            expr: Box::new(PlanExpr::literal(2i64)),
+            list: vec![PlanExpr::literal(2i64), PlanExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(e.evaluate(&[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn column_reads_row() {
+        let e = PlanExpr::column(1, "b");
+        assert_eq!(
+            e.evaluate(&row(&[Value::Int(1), Value::Int(2)])).unwrap(),
+            Value::Int(2)
+        );
+        assert!(e.evaluate(&row(&[Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn remap_columns_moves_indices() {
+        let e = PlanExpr::column(0, "a").binary(BinaryOp::Plus, PlanExpr::column(2, "c"));
+        let remapped = e.remap_columns(&|i| Some(i + 10)).unwrap();
+        assert_eq!(remapped.referenced_columns(), vec![10, 12]);
+        assert!(e.remap_columns(&|_| None).is_err());
+    }
+
+    #[test]
+    fn is_constant_detects_columns() {
+        assert!(PlanExpr::literal(1i64).is_constant());
+        assert!(!PlanExpr::column(0, "a").is_constant());
+    }
+
+    #[test]
+    fn nullif_semantics() {
+        let e = PlanExpr::Scalar {
+            func: ScalarFn::NullIf,
+            args: vec![PlanExpr::literal(3i64), PlanExpr::literal(3i64)],
+        };
+        assert!(e.evaluate(&[]).unwrap().is_null());
+    }
+}

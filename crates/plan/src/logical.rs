@@ -1,0 +1,519 @@
+//! Logical plan tree and the step program that wraps it.
+//!
+//! A [`QueryPlan`] is what DBSpinner's planner hands to the executor: a
+//! sequence of [`Step`]s — materializations of intermediate results,
+//! `rename`s, key-merges and [`Step::Loop`]s — followed by a final plan
+//! (`Qf` in the paper). For plain queries the step list is empty. `EXPLAIN`
+//! renders the step list in the numbered style of the paper's Table I.
+
+use std::fmt;
+use std::sync::Arc;
+
+use spinner_common::{Schema, SchemaRef};
+
+use crate::expr::{AggExpr, PlanExpr};
+
+/// Join flavours at the plan level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    Left,
+    Right,
+    Full,
+    Cross,
+}
+
+impl fmt::Display for JoinType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinType::Inner => "Inner",
+            JoinType::Left => "Left",
+            JoinType::Right => "Right",
+            JoinType::Full => "Full",
+            JoinType::Cross => "Cross",
+        })
+    }
+}
+
+/// Set-operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    Union,
+    Except,
+    Intersect,
+}
+
+impl fmt::Display for SetOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SetOpKind::Union => "Union",
+            SetOpKind::Except => "Except",
+            SetOpKind::Intersect => "Intersect",
+        })
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub expr: PlanExpr,
+    pub asc: bool,
+    pub nulls_first: bool,
+}
+
+/// The relational operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan of a base (catalog) table.
+    TableScan { table: String, schema: SchemaRef },
+    /// Scan of a named intermediate result in the temp registry — CTE
+    /// tables, working tables and common-result materializations.
+    TempScan { name: String, schema: SchemaRef },
+    /// Literal rows (INSERT ... VALUES, SELECT without FROM).
+    Values { schema: SchemaRef, rows: Vec<Vec<PlanExpr>> },
+    /// Compute expressions over each input row.
+    Projection {
+        input: Box<LogicalPlan>,
+        exprs: Vec<PlanExpr>,
+        schema: SchemaRef,
+    },
+    /// Keep rows where the predicate is true.
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: PlanExpr,
+    },
+    /// Join. `on` holds equi-key pairs (left expr, right expr); `filter` is
+    /// the residual non-equi condition over the combined schema.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        join_type: JoinType,
+        on: Vec<(PlanExpr, PlanExpr)>,
+        filter: Option<PlanExpr>,
+        schema: SchemaRef,
+    },
+    /// Grouped aggregation. Output schema = group columns then aggregates.
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group: Vec<PlanExpr>,
+        aggs: Vec<AggExpr>,
+        schema: SchemaRef,
+    },
+    /// Remove duplicate rows.
+    Distinct { input: Box<LogicalPlan> },
+    /// Sort rows.
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    /// Keep the first `n` rows.
+    Limit { input: Box<LogicalPlan>, n: u64 },
+    /// UNION / EXCEPT / INTERSECT.
+    SetOp {
+        op: SetOpKind,
+        all: bool,
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        schema: SchemaRef,
+    },
+}
+
+impl LogicalPlan {
+    /// Output schema of this operator.
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            LogicalPlan::TableScan { schema, .. }
+            | LogicalPlan::TempScan { schema, .. }
+            | LogicalPlan::Values { schema, .. }
+            | LogicalPlan::Projection { schema, .. }
+            | LogicalPlan::Join { schema, .. }
+            | LogicalPlan::Aggregate { schema, .. }
+            | LogicalPlan::SetOp { schema, .. } => Arc::clone(schema),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::TableScan { .. }
+            | LogicalPlan::TempScan { .. }
+            | LogicalPlan::Values { .. } => vec![],
+            LogicalPlan::Projection { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+                vec![left, right]
+            }
+        }
+    }
+
+    /// Whether any node in this subtree scans the temp result `name`
+    /// (used to find loop-variant subtrees — references to the iterative
+    /// CTE table).
+    pub fn references_temp(&self, name: &str) -> bool {
+        if let LogicalPlan::TempScan { name: n, .. } = self {
+            if n.eq_ignore_ascii_case(name) {
+                return true;
+            }
+        }
+        self.children().iter().any(|c| c.references_temp(name))
+    }
+
+    /// Count of TempScan nodes for `name` in this subtree.
+    pub fn count_temp_refs(&self, name: &str) -> usize {
+        let own = usize::from(matches!(
+            self, LogicalPlan::TempScan { name: n, .. } if n.eq_ignore_ascii_case(name)
+        ));
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.count_temp_refs(name))
+            .sum::<usize>()
+    }
+
+    /// Number of Join nodes in this subtree.
+    pub fn count_joins(&self) -> usize {
+        let own = usize::from(matches!(self, LogicalPlan::Join { .. }));
+        own + self.children().iter().map(|c| c.count_joins()).sum::<usize>()
+    }
+
+    /// One-line description for EXPLAIN.
+    fn describe(&self) -> String {
+        match self {
+            LogicalPlan::TableScan { table, .. } => format!("TableScan: {table}"),
+            LogicalPlan::TempScan { name, .. } => format!("TempScan: {name}"),
+            LogicalPlan::Values { rows, .. } => format!("Values: {} rows", rows.len()),
+            LogicalPlan::Projection { exprs, .. } => {
+                let items: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("Projection: {}", items.join(", "))
+            }
+            LogicalPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            LogicalPlan::Join { join_type, on, filter, .. } => {
+                let keys: Vec<String> =
+                    on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                let mut s = format!("{join_type} Join: {}", keys.join(", "));
+                if let Some(fp) = filter {
+                    s.push_str(&format!(" filter: {fp}"));
+                }
+                s
+            }
+            LogicalPlan::Aggregate { group, aggs, .. } => {
+                let g: Vec<String> = group.iter().map(|e| e.to_string()).collect();
+                let a: Vec<String> = aggs
+                    .iter()
+                    .map(|agg| match &agg.arg {
+                        Some(arg) => format!("{}({arg})", agg.func),
+                        None => agg.func.to_string(),
+                    })
+                    .collect();
+                format!("Aggregate: groupBy=[{}] aggs=[{}]", g.join(", "), a.join(", "))
+            }
+            LogicalPlan::Distinct { .. } => "Distinct".to_string(),
+            LogicalPlan::Sort { keys, .. } => {
+                let k: Vec<String> = keys
+                    .iter()
+                    .map(|s| {
+                        format!("{} {}", s.expr, if s.asc { "ASC" } else { "DESC" })
+                    })
+                    .collect();
+                format!("Sort: {}", k.join(", "))
+            }
+            LogicalPlan::Limit { n, .. } => format!("Limit: {n}"),
+            LogicalPlan::SetOp { op, all, .. } => {
+                format!("{op}{}", if *all { " All" } else { "" })
+            }
+        }
+    }
+
+    /// Multi-line indented rendering of the subtree.
+    pub fn display_indent(&self, indent: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(&self.describe());
+        out.push('\n');
+        for c in self.children() {
+            c.display_indent(indent + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.display_indent(0, &mut s);
+        f.write_str(s.trim_end())
+    }
+}
+
+/// Planned termination condition of a loop (paper §VI-B).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TerminationPlan {
+    /// Stop after N iterations.
+    Iterations(u64),
+    /// Stop when the cumulative number of updated rows reaches N.
+    Updates(u64),
+    /// Stop when at least `rows` rows of the CTE table satisfy `predicate`
+    /// (resolved against the CTE schema).
+    Data { predicate: PlanExpr, rows: u64 },
+    /// Stop when fewer than `threshold` rows changed in the last iteration.
+    Delta { threshold: u64 },
+}
+
+impl fmt::Display for TerminationPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TerminationPlan::Iterations(n) => {
+                write!(f, "<<Type:metadata, N:{n} iterations, Expr:NONE>>")
+            }
+            TerminationPlan::Updates(n) => {
+                write!(f, "<<Type:metadata, N:{n} updates, Expr:NONE>>")
+            }
+            TerminationPlan::Data { predicate, rows } => {
+                write!(f, "<<Type:data, N:{rows}, Expr:{predicate}>>")
+            }
+            TerminationPlan::Delta { threshold } => {
+                write!(f, "<<Type:delta, N:{threshold}, Expr:NONE>>")
+            }
+        }
+    }
+}
+
+/// How a loop advances its main table each round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopKind {
+    /// Iterative CTE (update semantics). The body materializes the working
+    /// table; the steps that follow it (merge/rename) are part of `body`.
+    Iterative {
+        /// Name of the working table the body materializes.
+        working: String,
+        /// Whether the merge path is used (Ri has a WHERE clause, or the
+        /// data-movement optimization is disabled).
+        merge: bool,
+    },
+    /// Recursive CTE (append semantics): body materializes `working`; the
+    /// executor appends it to the CTE table (deduplicating unless
+    /// `union_all`), binds the *delta* scan to the new rows, and stops when
+    /// an iteration adds nothing.
+    FixedPoint { working: String, union_all: bool },
+}
+
+/// A loop step: run `body` until `termination` is satisfied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopStep {
+    /// Temp-registry name of the main CTE table.
+    pub cte: String,
+    /// User-visible CTE name (for error messages).
+    pub cte_display_name: String,
+    pub kind: LoopKind,
+    pub body: Vec<Step>,
+    pub termination: TerminationPlan,
+    /// Merge key column (index into the CTE schema).
+    pub key: usize,
+    /// CTE table schema.
+    pub schema: SchemaRef,
+}
+
+/// One step of the query program (the rows of the paper's Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Materialize `plan` into the temp registry under `name`.
+    /// `distribute_by` asks the executor to hash-distribute the stored
+    /// rows on that column — the MPP planner's "distribute the CTE table
+    /// on its key" decision, which keeps the rename path's renamed working
+    /// table co-located for the next iteration's joins and merges.
+    Materialize {
+        name: String,
+        plan: LogicalPlan,
+        distribute_by: Option<usize>,
+    },
+    /// Re-point temp `to` at the buffer of temp `from` (the paper's new
+    /// `rename` executor operator).
+    Rename { from: String, to: String },
+    /// Merge `working` into `cte` by equality on column `key`, producing
+    /// temp `merged` (Algorithm 1, lines 8-10). Errors on duplicate keys in
+    /// the working table.
+    Merge {
+        cte: String,
+        working: String,
+        merged: String,
+        key: usize,
+        cte_display_name: String,
+    },
+    /// Conditional repetition (the paper's new `loop` executor operator).
+    Loop(LoopStep),
+}
+
+impl Step {
+    fn explain_into(&self, step_no: &mut usize, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Step::Materialize { name, plan, distribute_by } => {
+                let dist = match distribute_by {
+                    Some(c) => format!(" (distributed by column #{c})"),
+                    None => String::new(),
+                };
+                out.push_str(&format!("{pad}{}. Materialize {name}{dist} with:\n", step_no));
+                *step_no += 1;
+                plan.display_indent(indent + 2, out);
+            }
+            Step::Rename { from, to } => {
+                out.push_str(&format!("{pad}{}. Rename {from} to {to}.\n", step_no));
+                *step_no += 1;
+            }
+            Step::Merge { cte, working, merged, key, .. } => {
+                out.push_str(&format!(
+                    "{pad}{}. Merge {working} into {cte} by key column #{key} producing {merged}.\n",
+                    step_no
+                ));
+                *step_no += 1;
+            }
+            Step::Loop(l) => {
+                out.push_str(&format!(
+                    "{pad}{}. Initialize loop operator {} for {}.\n",
+                    step_no, l.termination, l.cte_display_name
+                ));
+                *step_no += 1;
+                let loop_start = *step_no;
+                for s in &l.body {
+                    s.explain_into(step_no, indent + 1, out);
+                }
+                out.push_str(&format!(
+                    "{pad}{}. Go to step {} if loop condition holds.\n",
+                    step_no, loop_start
+                ));
+                *step_no += 1;
+            }
+        }
+    }
+}
+
+/// A complete planned query: a step program plus the final plan (`Qf`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    pub steps: Vec<Step>,
+    pub root: LogicalPlan,
+}
+
+impl QueryPlan {
+    /// Plan with no steps.
+    pub fn simple(root: LogicalPlan) -> Self {
+        QueryPlan { steps: Vec::new(), root }
+    }
+
+    /// Output schema.
+    pub fn schema(&self) -> SchemaRef {
+        self.root.schema()
+    }
+
+    /// Paper-Table-I style rendering used by EXPLAIN.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let mut step_no = 1;
+        for s in &self.steps {
+            s.explain_into(&mut step_no, 0, &mut out);
+        }
+        out.push_str(&format!("{step_no}. Return:\n"));
+        self.root.display_indent(2, &mut out);
+        out
+    }
+}
+
+/// A planned statement: queries plus the DDL/DML the baselines need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlannedStatement {
+    Query(QueryPlan),
+    CreateTable {
+        name: String,
+        schema: Schema,
+        primary_key: Option<usize>,
+        partition_key: Option<usize>,
+        if_not_exists: bool,
+    },
+    DropTable { name: String, if_exists: bool },
+    /// INSERT: the source plan produces rows already reordered/padded to
+    /// the table's column order.
+    Insert { table: String, source: QueryPlan },
+    /// UPDATE with optional FROM. Assignments map table-column index to an
+    /// expression over (table row ∥ from row); `from` is `None` for plain
+    /// UPDATE and expressions see only the table row.
+    Update {
+        table: String,
+        from: Option<LogicalPlan>,
+        assignments: Vec<(usize, PlanExpr)>,
+        predicate: Option<PlanExpr>,
+    },
+    Delete { table: String, predicate: Option<PlanExpr> },
+    Explain(Box<PlannedStatement>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_common::{DataType, Field};
+
+    fn scan(name: &str) -> LogicalPlan {
+        LogicalPlan::TempScan {
+            name: name.into(),
+            schema: Arc::new(Schema::new(vec![Field::new("x", DataType::Int)])),
+        }
+    }
+
+    #[test]
+    fn references_temp_is_case_insensitive() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan("PageRank")),
+            predicate: PlanExpr::literal(true),
+        };
+        assert!(plan.references_temp("pagerank"));
+        assert!(!plan.references_temp("edges"));
+    }
+
+    #[test]
+    fn count_temp_refs_counts_self_joins() {
+        let schema = scan("pr").schema();
+        let join = LogicalPlan::Join {
+            left: Box::new(scan("pr")),
+            right: Box::new(scan("pr")),
+            join_type: JoinType::Inner,
+            on: vec![],
+            filter: None,
+            schema,
+        };
+        assert_eq!(join.count_temp_refs("pr"), 2);
+        assert_eq!(join.count_joins(), 1);
+    }
+
+    #[test]
+    fn explain_numbers_steps_like_table_one() {
+        let plan = QueryPlan {
+            steps: vec![
+                Step::Materialize { name: "pagerank".into(), plan: scan("src"), distribute_by: None },
+                Step::Loop(LoopStep {
+                    cte: "pagerank".into(),
+                    cte_display_name: "PageRank".into(),
+                    kind: LoopKind::Iterative { working: "__work".into(), merge: false },
+                    body: vec![
+                        Step::Materialize { name: "__work".into(), plan: scan("pagerank"), distribute_by: None },
+                        Step::Rename { from: "__work".into(), to: "pagerank".into() },
+                    ],
+                    termination: TerminationPlan::Iterations(10),
+                    key: 0,
+                    schema: scan("pagerank").schema(),
+                }),
+            ],
+            root: scan("pagerank"),
+        };
+        let text = plan.explain();
+        assert!(text.contains("1. Materialize pagerank"));
+        assert!(text.contains("2. Initialize loop operator <<Type:metadata, N:10 iterations, Expr:NONE>>"));
+        assert!(text.contains("4. Rename __work to pagerank."));
+        assert!(text.contains("5. Go to step 3 if loop condition holds."));
+        assert!(text.contains("6. Return:"));
+    }
+}

@@ -1,0 +1,238 @@
+//! The functional rewrite of iterative and recursive CTEs — DBSpinner's
+//! core algorithm (paper §IV, Algorithm 1).
+//!
+//! An iterative CTE
+//!
+//! ```sql
+//! WITH ITERATIVE R AS ( R0 ITERATE Ri UNTIL Tc ) Qf
+//! ```
+//!
+//! is expanded into the step program
+//!
+//! ```text
+//! 1. Materialize R0 into cteTable            (Algorithm 1, line 1)
+//! 2. Loop (initializes the loop operator):   (line 2)
+//!      3. Materialize Ri into workingTable   (line 3)
+//!      4a. [no WHERE in Ri, rename optimization on]
+//!          Rename workingTable to cteTable   (lines 5-6)
+//!      4b. [otherwise]
+//!          Merge workingTable into cteTable by key  (lines 8-9)
+//!          Rename mergeTable to cteTable
+//!      5. update loop, repeat if condition holds     (lines 11-14)
+//! ```
+//!
+//! The merge key is the CTE's **first declared column** (the paper uses the
+//! declared primary key or generated row ids; graph queries key on the node
+//! id, which is the first column in PR, SSSP and FF alike). A working table
+//! with duplicate keys raises [`Error::DuplicateIterationKey`] during the
+//! merge, as §II requires.
+
+use spinner_common::{Error, Result};
+use spinner_parser as ast;
+use spinner_parser::Termination;
+
+use crate::builder::{
+    apply_declared_columns, plan_query_internal, resolve_expr, CteBinding, PlanContext,
+};
+use crate::logical::{LoopKind, LoopStep, Step, TerminationPlan};
+
+/// Expand an iterative CTE into steps, binding its name for later
+/// references. See the module docs for the produced shape.
+pub fn build_iterative_cte(
+    cte: &ast::Cte,
+    init: &ast::Query,
+    step: &ast::Query,
+    until: &Termination,
+    ctx: &mut PlanContext<'_>,
+    steps: &mut Vec<Step>,
+) -> Result<()> {
+    // R0 — planned before the CTE name is visible.
+    let init_plan = plan_query_internal(init, ctx, steps)?;
+    let schema = apply_declared_columns(&init_plan.schema(), &cte.columns, &cte.name)?;
+    if schema.is_empty() {
+        return Err(Error::plan(format!(
+            "iterative CTE '{}' must produce at least one column",
+            cte.name
+        )));
+    }
+    let cte_temp = ctx.fresh_temp(&format!("cte_{}", cte.name));
+    let working = ctx.fresh_temp(&format!("work_{}", cte.name));
+    let merged = ctx.fresh_temp(&format!("merge_{}", cte.name));
+    // Distribute the CTE table on its merge key, like an MPP planner
+    // distributing a table on its primary key.
+    steps.push(Step::Materialize {
+        name: cte_temp.clone(),
+        plan: init_plan,
+        distribute_by: Some(0),
+    });
+
+    // Bind the CTE so Ri's references resolve to the cte table.
+    ctx.bind_cte(
+        &cte.name,
+        CteBinding { temp_name: cte_temp.clone(), schema: schema.clone() },
+    );
+
+    // Ri — its own sub-steps (nested CTE materializations) belong inside
+    // the loop body so they re-run per iteration.
+    let mut body = Vec::new();
+    let step_plan = plan_query_internal(step, ctx, &mut body)?;
+    if step_plan.schema().len() != schema.len() {
+        return Err(Error::plan(format!(
+            "iterative part of CTE '{}' produces {} columns, expected {}",
+            cte.name,
+            step_plan.schema().len(),
+            schema.len()
+        )));
+    }
+
+    // Algorithm 1, line 4: the rename fast path applies when Ri has no
+    // WHERE clause (the whole dataset is replaced). The Fig. 8 baseline
+    // disables it via config and always merges.
+    let has_where = query_has_top_level_where(step);
+    let merge = has_where || !ctx.config.minimize_data_movement;
+
+    body.push(Step::Materialize {
+        name: working.clone(),
+        plan: step_plan,
+        distribute_by: Some(0),
+    });
+    if merge {
+        body.push(Step::Merge {
+            cte: cte_temp.clone(),
+            working: working.clone(),
+            merged: merged.clone(),
+            key: 0,
+            cte_display_name: cte.name.clone(),
+        });
+        body.push(Step::Rename { from: merged, to: cte_temp.clone() });
+    } else {
+        body.push(Step::Rename { from: working.clone(), to: cte_temp.clone() });
+    }
+
+    let termination = plan_termination(until, &schema, &cte.name)?;
+    steps.push(Step::Loop(LoopStep {
+        cte: cte_temp,
+        cte_display_name: cte.name.clone(),
+        kind: LoopKind::Iterative { working, merge },
+        body,
+        termination,
+        key: 0,
+        schema,
+    }));
+    Ok(())
+}
+
+/// Expand a recursive CTE into a fixed-point loop: materialize the base,
+/// then repeatedly evaluate the step against the *delta* (rows added by the
+/// previous round), appending new rows until none appear.
+pub fn build_recursive_cte(
+    cte: &ast::Cte,
+    base: &ast::Query,
+    step: &ast::Query,
+    union_all: bool,
+    ctx: &mut PlanContext<'_>,
+    steps: &mut Vec<Step>,
+) -> Result<()> {
+    let base_plan = plan_query_internal(base, ctx, steps)?;
+    let schema = apply_declared_columns(&base_plan.schema(), &cte.columns, &cte.name)?;
+    let cte_temp = ctx.fresh_temp(&format!("cte_{}", cte.name));
+    let delta_temp = format!("__delta_{cte_temp}");
+    let working = ctx.fresh_temp(&format!("work_{}", cte.name));
+    steps.push(Step::Materialize {
+        name: cte_temp.clone(),
+        plan: base_plan,
+        distribute_by: Some(0),
+    });
+
+    // Inside the loop the recursive reference reads the delta.
+    ctx.bind_cte(
+        &cte.name,
+        CteBinding { temp_name: delta_temp, schema: schema.clone() },
+    );
+    let mut body = Vec::new();
+    let step_plan = plan_query_internal(step, ctx, &mut body)?;
+    if step_plan.schema().len() != schema.len() {
+        return Err(Error::plan(format!(
+            "recursive part of CTE '{}' produces {} columns, expected {}",
+            cte.name,
+            step_plan.schema().len(),
+            schema.len()
+        )));
+    }
+    body.push(Step::Materialize {
+        name: working.clone(),
+        plan: step_plan,
+        distribute_by: Some(0),
+    });
+
+    steps.push(Step::Loop(LoopStep {
+        cte: cte_temp.clone(),
+        cte_display_name: cte.name.clone(),
+        kind: LoopKind::FixedPoint { working, union_all },
+        body,
+        // A fixed-point loop stops when an iteration contributes no new
+        // rows — precisely "fewer than 1 row changed".
+        termination: TerminationPlan::Delta { threshold: 1 },
+        key: 0,
+        schema: schema.clone(),
+    }));
+
+    // After the loop, references read the full accumulated table.
+    ctx.bind_cte(&cte.name, CteBinding { temp_name: cte_temp, schema });
+    Ok(())
+}
+
+/// Resolve the termination condition against the CTE schema.
+fn plan_termination(
+    until: &Termination,
+    schema: &spinner_common::Schema,
+    cte_name: &str,
+) -> Result<TerminationPlan> {
+    Ok(match until {
+        Termination::Iterations(n) => TerminationPlan::Iterations(*n),
+        Termination::Updates(n) => TerminationPlan::Updates(*n),
+        Termination::Data { expr, rows } => {
+            let predicate = resolve_expr(expr, schema).map_err(|e| {
+                Error::plan(format!(
+                    "termination condition of CTE '{cte_name}' is invalid: {e}"
+                ))
+            })?;
+            TerminationPlan::Data { predicate, rows: *rows }
+        }
+        Termination::Delta { threshold } => TerminationPlan::Delta { threshold: *threshold },
+    })
+}
+
+/// Does the query's top-level SELECT carry a WHERE clause? This is the
+/// Algorithm-1 test for "the iterative part updates only a subset".
+fn query_has_top_level_where(q: &ast::Query) -> bool {
+    fn body_has_where(b: &ast::SetExpr) -> bool {
+        match b {
+            ast::SetExpr::Select(s) => s.selection.is_some(),
+            ast::SetExpr::SetOp { left, right, .. } => {
+                body_has_where(left) || body_has_where(right)
+            }
+        }
+    }
+    body_has_where(&q.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_parser::parse_sql;
+
+    #[test]
+    fn top_level_where_detection() {
+        let get = |sql: &str| {
+            let ast::Statement::Query(q) = parse_sql(sql).unwrap() else { panic!() };
+            query_has_top_level_where(&q)
+        };
+        assert!(get("SELECT 1 WHERE 1 = 1"));
+        assert!(!get("SELECT 1"));
+        // WHERE inside a subquery does not count — only the top level
+        // decides whether the whole dataset is replaced.
+        assert!(!get("SELECT a FROM (SELECT 1 AS a WHERE 1 = 1) q"));
+        assert!(get("SELECT 1 UNION SELECT 2 WHERE 1 = 1"));
+    }
+}

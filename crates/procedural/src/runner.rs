@@ -1,0 +1,133 @@
+//! Statement-at-a-time script runner.
+
+use spinner_common::{Batch, Result};
+use spinner_engine::{Database, QueryResult};
+
+/// A procedural workload: setup once, iterate N times, read the result,
+/// clean up. Mirrors the paper's stored procedures ("a procedure that
+/// executes R0 one time and then a loop that executes Ri for 25 times")
+/// and, with DDL inside `iteration`, the SQLoop middleware loop of Fig. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcedureScript {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Run once: temp-table DDL plus the non-iterative part R0.
+    pub setup: Vec<String>,
+    /// Run `iterations` times, in order.
+    pub iteration: Vec<String>,
+    pub iterations: u64,
+    /// The final query Qf.
+    pub final_query: String,
+    /// Run once at the end (DROP temp tables).
+    pub cleanup: Vec<String>,
+}
+
+/// What a script run cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Rows returned by the final query.
+    pub rows: Batch,
+    /// Total statements sent to the engine.
+    pub statements_executed: u64,
+    /// CREATE/DROP operations performed during the run (the middleware
+    /// metadata overhead of §II).
+    pub ddl_ops: u64,
+    /// Rows touched by DML statements.
+    pub dml_rows: u64,
+}
+
+/// Execute a script against the engine, one statement at a time — each
+/// statement parsed, planned and optimized in isolation, exactly the
+/// property that makes procedural baselines slower than the native plan.
+pub fn run_script(db: &Database, script: &ProcedureScript) -> Result<RunReport> {
+    fn run(
+        db: &Database,
+        sql: &str,
+        statements: &mut u64,
+        dml_rows: &mut u64,
+    ) -> Result<()> {
+        *statements += 1;
+        if let QueryResult::Affected { rows } = db.execute(sql)? {
+            *dml_rows += rows as u64;
+        }
+        Ok(())
+    }
+    fn body(
+        db: &Database,
+        script: &ProcedureScript,
+        statements: &mut u64,
+        dml_rows: &mut u64,
+    ) -> Result<Batch> {
+        for sql in &script.setup {
+            run(db, sql, statements, dml_rows)?;
+        }
+        for _ in 0..script.iterations {
+            for sql in &script.iteration {
+                run(db, sql, statements, dml_rows)?;
+            }
+        }
+        *statements += 1;
+        db.query(&script.final_query)
+    }
+    let ddl_before = db.catalog().ddl_op_count();
+    let mut statements = 0u64;
+    let mut dml_rows = 0u64;
+    let result = body(db, script, &mut statements, &mut dml_rows);
+    // Cleanup always runs so a failed experiment leaves no debris.
+    for sql in &script.cleanup {
+        statements += 1;
+        let _ = db.execute(sql);
+    }
+    let rows = result?;
+    Ok(RunReport {
+        rows,
+        statements_executed: statements,
+        ddl_ops: db.catalog().ddl_op_count() - ddl_before,
+        dml_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_common::Value;
+
+    #[test]
+    fn script_counts_statements_and_ddl() {
+        let db = Database::default();
+        db.execute("CREATE TABLE base (x INT)").unwrap();
+        db.execute("INSERT INTO base VALUES (1), (2)").unwrap();
+        let script = ProcedureScript {
+            name: "toy".into(),
+            setup: vec![
+                "CREATE TABLE acc (x INT)".into(),
+                "INSERT INTO acc SELECT x FROM base".into(),
+            ],
+            iteration: vec!["UPDATE acc SET x = x + 1".into()],
+            iterations: 3,
+            final_query: "SELECT SUM(x) FROM acc".into(),
+            cleanup: vec!["DROP TABLE acc".into()],
+        };
+        let report = run_script(&db, &script).unwrap();
+        // setup 2 + 3 iterations * 1 + final 1 + cleanup 1
+        assert_eq!(report.statements_executed, 7);
+        assert_eq!(report.ddl_ops, 2); // CREATE + DROP of acc
+        assert_eq!(report.rows.rows()[0][0], Value::Int(1 + 2 + 2 * 3));
+        assert!(!db.catalog().contains("acc"));
+    }
+
+    #[test]
+    fn cleanup_runs_even_on_failure() {
+        let db = Database::default();
+        let script = ProcedureScript {
+            name: "bad".into(),
+            setup: vec!["CREATE TABLE tmp (x INT)".into()],
+            iteration: vec!["SELECT broken FROM tmp".into()],
+            iterations: 1,
+            final_query: "SELECT 1".into(),
+            cleanup: vec!["DROP TABLE tmp".into()],
+        };
+        assert!(run_script(&db, &script).is_err());
+        assert!(!db.catalog().contains("tmp"), "cleanup must still drop tmp");
+    }
+}

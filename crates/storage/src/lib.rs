@@ -1,0 +1,20 @@
+//! In-memory storage layer: catalog, hash-partitioned tables, and the
+//! temp-result registry that backs DBSpinner's `rename` operator.
+//!
+//! The paper's testbed (Futurewei MPPDB) is a shared-nothing MPP engine; we
+//! model each node as a *partition*. A [`Table`] stores its rows as one
+//! immutable [`Arc`](std::sync::Arc)'d vector per partition, so scans are
+//! O(1) snapshots and DML is copy-on-write. The [`TempRegistry`] is the
+//! executor's "lookup table that manages intermediate results in memory"
+//! (paper §VI-A): `rename` re-points a name at an existing buffer instead
+//! of copying rows.
+
+pub mod catalog;
+pub mod partition;
+pub mod registry;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use partition::{hash_partition, partition_of, Partitioned};
+pub use registry::TempRegistry;
+pub use table::Table;

@@ -1,0 +1,294 @@
+//! Base tables: schema + partitioned, copy-on-write row storage.
+
+use std::sync::Arc;
+
+use spinner_common::{Error, Result, Row, SchemaRef};
+
+use crate::partition::{hash_partition, partition_of, Partitioned};
+
+/// A named base table, hash-partitioned across the configured number of
+/// virtual workers.
+///
+/// Row storage is copy-on-write: readers snapshot the per-partition `Arc`s,
+/// writers clone a partition's vector only when it is shared. This mirrors
+/// an MPP engine where scans never block on DML of other sessions.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    parts: Vec<Arc<Vec<Row>>>,
+    /// Column the table is hash-distributed on. `None` = round-robin.
+    partition_key: Option<usize>,
+    /// Declared primary-key column, used as the merge key of iterative CTE
+    /// updates when present (paper §II).
+    primary_key: Option<usize>,
+}
+
+impl Table {
+    /// Create an empty table with `partitions` partitions.
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        partitions: usize,
+        partition_key: Option<usize>,
+        primary_key: Option<usize>,
+    ) -> Self {
+        assert!(partitions >= 1);
+        Table {
+            name: name.into(),
+            schema,
+            parts: (0..partitions).map(|_| Arc::new(Vec::new())).collect(),
+            partition_key,
+            primary_key,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Declared primary-key column index, if any.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.primary_key
+    }
+
+    /// Column the table is distributed on, if any.
+    pub fn partition_key(&self) -> Option<usize> {
+        self.partition_key
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total number of rows.
+    pub fn row_count(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// O(P) snapshot of the current contents for scanning.
+    pub fn snapshot(&self) -> Partitioned {
+        Partitioned { schema: Arc::clone(&self.schema), parts: self.parts.clone() }
+    }
+
+    /// Append rows, routing each to its hash partition.
+    pub fn insert(&mut self, rows: Vec<Row>) -> Result<usize> {
+        let width = self.schema.len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+            return Err(Error::execution(format!(
+                "INSERT row width {} does not match table '{}' width {width}",
+                bad.len(),
+                self.name
+            )));
+        }
+        let n = rows.len();
+        let buckets = hash_partition(rows, self.partition_key, self.parts.len());
+        for (part, extra) in self.parts.iter_mut().zip(buckets) {
+            if !extra.is_empty() {
+                Arc::make_mut(part).extend(extra);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Delete rows matching `pred`; returns the number removed.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> Result<bool>) -> Result<usize> {
+        let mut removed = 0;
+        for part in &mut self.parts {
+            // Evaluate before mutating so a predicate error leaves the
+            // partition untouched.
+            let keep: Vec<bool> = part
+                .iter()
+                .map(|r| pred(r).map(|m| !m))
+                .collect::<Result<_>>()?;
+            if keep.iter().all(|k| *k) {
+                continue;
+            }
+            let rows = Arc::make_mut(part);
+            let mut it = keep.iter();
+            rows.retain(|_| *it.next().expect("keep mask length"));
+            removed += keep.iter().filter(|k| !**k).count();
+        }
+        Ok(removed)
+    }
+
+    /// Update rows in place: `f` returns `Some(new_row)` for rows to change.
+    /// Returns the number of rows updated. If the partition-key column of a
+    /// row changes, the row is re-routed to its new partition.
+    pub fn update_where(
+        &mut self,
+        mut f: impl FnMut(&Row) -> Result<Option<Row>>,
+    ) -> Result<usize> {
+        let width = self.schema.len();
+        let nparts = self.parts.len();
+        let pk = self.partition_key;
+        let mut updated = 0;
+        let mut rerouted: Vec<Row> = Vec::new();
+        for (pidx, part) in self.parts.iter_mut().enumerate() {
+            // Plan all updates for the partition first (error safety).
+            let mut changes: Vec<(usize, Row)> = Vec::new();
+            for (i, row) in part.iter().enumerate() {
+                if let Some(new_row) = f(row)? {
+                    if new_row.len() != width {
+                        return Err(Error::execution(format!(
+                            "UPDATE produced row of width {}, table '{}' has width {width}",
+                            new_row.len(),
+                            self.name
+                        )));
+                    }
+                    changes.push((i, new_row));
+                }
+            }
+            if changes.is_empty() {
+                continue;
+            }
+            updated += changes.len();
+            let rows = Arc::make_mut(part);
+            let mut remove: Vec<usize> = Vec::new();
+            for (i, new_row) in changes {
+                let stays = match pk {
+                    Some(k) => {
+                        let target = if new_row[k].is_null() {
+                            0
+                        } else {
+                            partition_of(&new_row[k], nparts)
+                        };
+                        target == pidx
+                    }
+                    None => true,
+                };
+                if stays {
+                    rows[i] = new_row;
+                } else {
+                    rerouted.push(new_row);
+                    remove.push(i);
+                }
+            }
+            for &i in remove.iter().rev() {
+                rows.swap_remove(i);
+            }
+        }
+        if !rerouted.is_empty() {
+            let buckets = hash_partition(rerouted, self.partition_key, self.parts.len());
+            for (part, extra) in self.parts.iter_mut().zip(buckets) {
+                if !extra.is_empty() {
+                    Arc::make_mut(part).extend(extra);
+                }
+            }
+        }
+        Ok(updated)
+    }
+
+    /// Remove every row (used by the middleware baseline's DELETE FROM).
+    pub fn truncate(&mut self) {
+        for part in &mut self.parts {
+            *part = Arc::new(Vec::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_common::{row_of, DataType, Field, Schema, Value};
+
+    fn test_table() -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]));
+        Table::new("t", schema, 4, Some(0), Some(0))
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| row_of([Value::Int(i), Value::Int(i * 10)])).collect()
+    }
+
+    #[test]
+    fn insert_routes_and_counts() {
+        let mut t = test_table();
+        assert_eq!(t.insert(rows(20)).unwrap(), 20);
+        assert_eq!(t.row_count(), 20);
+    }
+
+    #[test]
+    fn insert_rejects_wrong_width() {
+        let mut t = test_table();
+        assert!(t.insert(vec![row_of([Value::Int(1)])]).is_err());
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_dml() {
+        let mut t = test_table();
+        t.insert(rows(10)).unwrap();
+        let snap = t.snapshot();
+        t.insert(rows(10)).unwrap();
+        assert_eq!(snap.total_rows(), 10);
+        assert_eq!(t.row_count(), 20);
+    }
+
+    #[test]
+    fn delete_where_removes_matching() {
+        let mut t = test_table();
+        t.insert(rows(10)).unwrap();
+        let removed = t
+            .delete_where(|r| Ok(r[0].as_i64().unwrap() % 2 == 0))
+            .unwrap();
+        assert_eq!(removed, 5);
+        assert_eq!(t.row_count(), 5);
+    }
+
+    #[test]
+    fn update_where_changes_values() {
+        let mut t = test_table();
+        t.insert(rows(4)).unwrap();
+        let n = t
+            .update_where(|r| {
+                let id = r[0].as_i64()?;
+                Ok(if id == 2 {
+                    Some(row_of([Value::Int(2), Value::Int(999)]))
+                } else {
+                    None
+                })
+            })
+            .unwrap();
+        assert_eq!(n, 1);
+        let all = t.snapshot().gather();
+        let v2 = all.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert_eq!(v2[1], Value::Int(999));
+    }
+
+    #[test]
+    fn update_reroutes_changed_partition_key() {
+        let mut t = test_table();
+        t.insert(rows(8)).unwrap();
+        t.update_where(|r| {
+            let id = r[0].as_i64()?;
+            Ok(Some(row_of([Value::Int(id + 100), r[1].clone()])))
+        })
+        .unwrap();
+        assert_eq!(t.row_count(), 8);
+        // every row must live in the partition its new key hashes to
+        for (pidx, part) in t.snapshot().parts.iter().enumerate() {
+            for r in part.iter() {
+                assert_eq!(partition_of(&r[0], 4), pidx);
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_empties_all_partitions() {
+        let mut t = test_table();
+        t.insert(rows(10)).unwrap();
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Connected components by iterative min-label propagation — a workload
+//! the paper's recursive-CTE comparison point *cannot* express (it needs
+//! MIN aggregation in the loop and update semantics), and a natural fit
+//! for the DELTA termination class: iterate until no label changes.
+//!
+//! ```sh
+//! cargo run --release --example connected_components [nodes] [components]
+//! ```
+
+use spinner_engine::{DataType, Database, Field, Result, Schema};
+use spinner_datagen::GraphSpec;
+use spinner_procedural::connected_components;
+
+fn main() -> Result<()> {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let components: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let db = Database::default();
+    let spec = GraphSpec { nodes, edges: nodes * 3, seed: 2024, max_weight: 10 };
+    let rows = spec.generate_symmetric_components(components);
+    let schema = Schema::new(vec![
+        Field::new("src", DataType::Int),
+        Field::new("dst", DataType::Int),
+        Field::new("weight", DataType::Float),
+    ]);
+    let edge_count = db.create_table_from_rows("edges", schema, rows, None, Some(1))?;
+    println!("Symmetric graph: {nodes} nodes, {edge_count} edge rows, {components} components");
+
+    let workload = connected_components(None); // DELTA < 1: run to convergence
+    let started = std::time::Instant::now();
+    let labels = db.query(&workload.cte)?;
+    let elapsed = started.elapsed();
+    let stats = db.take_stats();
+
+    let summary = db.query(
+        "WITH ITERATIVE cc (node, label) AS (
+             SELECT src, src FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+         ITERATE
+             SELECT cc.node, LEAST(cc.label, COALESCE(MIN(nbr.label), cc.label))
+             FROM cc
+               LEFT JOIN edges AS e ON cc.node = e.dst
+               LEFT JOIN cc AS nbr ON nbr.node = e.src
+             GROUP BY cc.node, cc.label
+         UNTIL DELTA < 1)
+         SELECT label, COUNT(*) AS size FROM cc GROUP BY label ORDER BY size DESC",
+    )?;
+    println!("Components found:\n{}", summary.to_table());
+    println!(
+        "Labelled {} nodes in {elapsed:.2?}; converged after {} iterations",
+        labels.len(),
+        stats.iterations
+    );
+    assert_eq!(summary.len(), components, "label propagation found every component");
+    Ok(())
+}

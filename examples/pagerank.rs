@@ -1,0 +1,55 @@
+//! PageRank over a synthetic DBLP-shaped graph, exactly as the paper's
+//! Figure 2 expresses it — an iterative CTE with aggregation, which ANSI
+//! recursive CTEs cannot express.
+//!
+//! ```sh
+//! cargo run --release --example pagerank [scale]
+//! ```
+
+use spinner_datagen::{load_normalized_edges_into, DatasetPreset};
+use spinner_engine::{Database, Result};
+use spinner_procedural::pagerank;
+
+fn main() -> Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.002);
+    let db = Database::default();
+    let spec = DatasetPreset::Dblp.spec(scale);
+    // Transition-probability weights (1/out-degree) keep ranks bounded.
+    let edges = load_normalized_edges_into(&db, "edges", &spec)?;
+    println!(
+        "Generated dblp-like graph: {} nodes, {edges} edges (scale {scale})",
+        spec.nodes
+    );
+
+    let workload = pagerank(10, false);
+    let started = std::time::Instant::now();
+    let all = db.query(&workload.cte)?;
+    let elapsed = started.elapsed();
+
+    // Show the ten most important nodes.
+    let top = db.query(
+        "WITH ITERATIVE PageRank (node, rank, delta) AS (
+             SELECT src, 0, 0.15
+             FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+         ITERATE
+             SELECT PageRank.node,
+                    PageRank.rank + PageRank.delta,
+                    0.85 * SUM(IncomingRank.delta * IncomingEdges.weight)
+             FROM PageRank
+                 LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+                 LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+             GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+         UNTIL 10 ITERATIONS)
+         SELECT node, rank FROM PageRank ORDER BY rank DESC, node LIMIT 10",
+    )?;
+    println!("Top-10 nodes by rank:\n{}", top.to_table());
+    println!(
+        "Ranked {} nodes in {elapsed:.2?} ({})",
+        all.len(),
+        db.take_stats()
+    );
+    Ok(())
+}

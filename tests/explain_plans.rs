@@ -1,0 +1,144 @@
+//! Reproduction of the paper's **Table I**: the logical plan DBSpinner's
+//! functional rewrite produces for the PR query. `EXPLAIN` renders the same
+//! numbered step structure — materialize the non-iterative part, initialize
+//! the loop operator, materialize the iterative part, rename, jump back.
+
+use spinner_engine::{Database, EngineConfig};
+use spinner_procedural::{ff, pagerank};
+
+fn db() -> Database {
+    let db = Database::default();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
+    db.execute("CREATE TABLE vertexstatus (node INT, status INT)").unwrap();
+    db
+}
+
+#[test]
+fn table1_pagerank_plan_structure() {
+    let text = db().explain(&pagerank(10, false).cte).unwrap();
+    // Step 1: materialize the union of src/dst into the CTE table.
+    assert!(text.contains("1. Materialize"), "missing step 1:\n{text}");
+    assert!(text.contains("Union"), "R0 is a UNION:\n{text}");
+    // Step 2: loop operator initialized with the metadata condition, N=10.
+    assert!(
+        text.contains("Initialize loop operator <<Type:metadata, N:10 iterations, Expr:NONE>>"),
+        "missing loop init:\n{text}"
+    );
+    // Step 3: the iterative part — a GROUP BY over two left outer joins.
+    assert!(text.contains("Aggregate"), "Ri aggregates:\n{text}");
+    assert!(text.contains("Left Join"), "Ri left-joins:\n{text}");
+    // Step 4: rename (PR updates the entire dataset — no merge).
+    assert!(text.contains("Rename"), "missing rename:\n{text}");
+    assert!(!text.contains("Merge"), "PR must take the rename path:\n{text}");
+    // Step 5/6: the conditional jump.
+    assert!(text.contains("Go to step"), "missing loop-back:\n{text}");
+}
+
+#[test]
+fn naive_config_plans_a_merge_instead() {
+    let mut database = db();
+    database.set_config(EngineConfig::naive());
+    let text = database.explain(&pagerank(10, false).cte).unwrap();
+    assert!(
+        text.contains("Merge"),
+        "baseline always pays the merge (Fig. 8 baseline):\n{text}"
+    );
+}
+
+#[test]
+fn common_result_appears_as_pre_loop_materialization() {
+    let text = db().explain(&pagerank(10, true).cte).unwrap();
+    assert!(
+        text.contains("__common_"),
+        "PR-VS should hoist edges ⨝ vertexStatus before the loop:\n{text}"
+    );
+    // The hoisted materialization must come before the loop operator.
+    let common_pos = text.find("__common_").unwrap();
+    let loop_pos = text.find("Initialize loop operator").unwrap();
+    assert!(common_pos < loop_pos, "common result must precede the loop:\n{text}");
+    // With the optimization disabled, no hoisting happens.
+    let mut database = db();
+    database.set_config(EngineConfig::default().with_common_result(false));
+    let text = database.explain(&pagerank(10, true).cte).unwrap();
+    assert!(!text.contains("__common_"));
+}
+
+#[test]
+fn ff_pushdown_filters_the_non_iterative_part() {
+    let text = db().explain(&ff(25, 100).cte).unwrap();
+    // The MOD predicate must appear inside step 1 (the R0 materialization),
+    // i.e. before the loop operator is initialized.
+    let filter_pos = text.find("mod(").expect("predicate in plan");
+    let loop_pos = text.find("Initialize loop operator").unwrap();
+    assert!(
+        filter_pos < loop_pos,
+        "predicate should be pushed into R0:\n{text}"
+    );
+    // Without the optimization it stays in the final query (after the loop).
+    let mut database = db();
+    database.set_config(EngineConfig::default().with_predicate_pushdown(false));
+    let text = database.explain(&ff(25, 100).cte).unwrap();
+    let filter_pos = text.find("mod(").expect("predicate in plan");
+    let loop_pos = text.find("Initialize loop operator").unwrap();
+    assert!(
+        filter_pos > loop_pos,
+        "baseline keeps the predicate in Qf:\n{text}"
+    );
+}
+
+#[test]
+fn pagerank_pushdown_is_refused() {
+    // §V-B: pushing a node filter into PR's R0 would corrupt ranks because
+    // the iterative part self-joins the CTE. The engine must refuse.
+    let sql = "WITH ITERATIVE PageRank (node, rank, delta) AS ( \
+                SELECT src, 0, 0.15 \
+                FROM (SELECT src FROM edges UNION SELECT dst FROM edges) \
+              ITERATE \
+                SELECT PageRank.node, PageRank.rank + PageRank.delta, \
+                       0.85 * SUM(IncomingRank.delta * IncomingEdges.weight) \
+                FROM PageRank \
+                  LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst \
+                  LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src \
+                GROUP BY PageRank.node, PageRank.rank + PageRank.delta \
+              UNTIL 10 ITERATIONS ) \
+              SELECT node, rank FROM PageRank WHERE node = 10";
+    let text = db().explain(sql).unwrap();
+    let filter_pos = text.find("= 10)").expect("predicate in plan");
+    let loop_pos = text.find("Initialize loop operator").unwrap();
+    assert!(
+        filter_pos > loop_pos,
+        "PR's Qf filter must NOT move into R0:\n{text}"
+    );
+}
+
+#[test]
+fn delta_and_data_conditions_render_in_plan() {
+    let database = db();
+    let text = database
+        .explain(
+            "WITH ITERATIVE t (k, v) AS (SELECT 1, 0 ITERATE SELECT k, v + 1 FROM t \
+             UNTIL DELTA < 5) SELECT * FROM t",
+        )
+        .unwrap();
+    assert!(text.contains("<<Type:delta, N:5, Expr:NONE>>"), "{text}");
+    let text = database
+        .explain(
+            "WITH ITERATIVE t (k, v) AS (SELECT 1, 0 ITERATE SELECT k, v + 1 FROM t \
+             UNTIL (v > 3)) SELECT * FROM t",
+        )
+        .unwrap();
+    assert!(text.contains("<<Type:data, N:1, Expr:"), "{text}");
+}
+
+#[test]
+fn merge_path_explain_shows_merge_step() {
+    let text = db()
+        .explain(
+            "WITH ITERATIVE t (k, v) AS (SELECT src, 0 FROM edges \
+             ITERATE SELECT k, v + 1 FROM t WHERE k < 5 \
+             UNTIL 3 ITERATIONS) SELECT * FROM t",
+        )
+        .unwrap();
+    assert!(text.contains("Merge"), "WHERE in Ri forces the merge path:\n{text}");
+    assert!(text.contains("by key column #0"), "{text}");
+}

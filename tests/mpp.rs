@@ -1,0 +1,250 @@
+//! MPP substrate checks: partitioning must be an implementation detail —
+//! any partition count, any distribution column, parallel or sequential
+//! workers — while the exchange counters reflect genuine data movement.
+
+use spinner_datagen::{load_edges_into, GraphSpec};
+use spinner_engine::{Database, EngineConfig, Value};
+use spinner_procedural::pagerank;
+
+fn load(config: EngineConfig) -> Database {
+    let db = Database::new(config);
+    let spec = GraphSpec { nodes: 150, edges: 700, seed: 23, max_weight: 10 };
+    load_edges_into(&db, "edges", &spec).unwrap();
+    db
+}
+
+/// Compare result sets cell-by-cell, allowing relative float error: SUM
+/// accumulates in partition order, so different partition counts may
+/// differ in the last ulps — numerically equal, bitwise not.
+fn assert_rows_approx_eq(a: &spinner_engine::Batch, b: &spinner_engine::Batch, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row counts differ");
+    for (ra, rb) in a.rows().iter().zip(b.rows()) {
+        for (va, vb) in ra.iter().zip(rb.iter()) {
+            match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    assert!(
+                        (x - y).abs() / scale < 1e-9,
+                        "{what}: {x} vs {y}"
+                    );
+                }
+                _ => assert_eq!(va, vb, "{what}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_equal_across_partition_counts_up_to_float_order() {
+    let sql = pagerank(8, false).cte;
+    let reference = load(EngineConfig::default().with_partitions(1))
+        .query(&sql)
+        .unwrap();
+    for parts in [2, 3, 4, 7, 16] {
+        let got = load(EngineConfig::default().with_partitions(parts))
+            .query(&sql)
+            .unwrap();
+        assert_rows_approx_eq(&got, &reference, &format!("{parts} partitions"));
+    }
+}
+
+#[test]
+fn pagerank_identical_with_parallel_workers() {
+    // Same partitioning, so the accumulation order is identical and the
+    // comparison can be exact: parallelism itself must not perturb results.
+    let sql = pagerank(8, false).cte;
+    let seq = load(EngineConfig::default()).query(&sql).unwrap();
+    let par = load(EngineConfig::default().with_parallel_partitions(true))
+        .query(&sql)
+        .unwrap();
+    assert_eq!(seq.rows(), par.rows());
+}
+
+#[test]
+fn single_partition_moves_no_rows() {
+    let db = load(EngineConfig::default().with_partitions(1));
+    db.query(&pagerank(5, false).cte).unwrap();
+    let stats = db.take_stats();
+    assert_eq!(stats.rows_moved, 0, "one worker has nowhere to move rows");
+}
+
+#[test]
+fn join_on_distribution_key_moves_less_than_on_other_key() {
+    // `edges` is distributed on dst. Joining on dst should co-locate;
+    // joining on weight must reshuffle.
+    let db = load(EngineConfig::default().with_partitions(8));
+    db.take_stats();
+    db.query("SELECT COUNT(*) FROM edges a JOIN edges b ON a.dst = b.dst").unwrap();
+    let colocated = db.take_stats().rows_moved;
+    db.query("SELECT COUNT(*) FROM edges a JOIN edges b ON a.weight = b.weight")
+        .unwrap();
+    let reshuffled = db.take_stats().rows_moved;
+    assert!(
+        colocated < reshuffled / 2,
+        "co-located join moved {colocated}, reshuffled join moved {reshuffled}"
+    );
+}
+
+#[test]
+fn outer_joins_survive_skewed_partitions() {
+    // All rows share one key -> they all land in a single partition; the
+    // other partitions are empty, which exercises the empty-side padding
+    // paths of the hash join.
+    let db = Database::new(EngineConfig::default().with_partitions(8));
+    db.execute("CREATE TABLE l (k INT, v INT)").unwrap();
+    db.execute("CREATE TABLE r (k INT, w INT)").unwrap();
+    db.execute("INSERT INTO l VALUES (7, 1), (7, 2), (8, 3)").unwrap();
+    db.execute("INSERT INTO r VALUES (7, 10)").unwrap();
+    let batch = db
+        .query("SELECT l.v, r.w FROM l LEFT JOIN r ON l.k = r.k ORDER BY l.v")
+        .unwrap();
+    assert_eq!(batch.len(), 3);
+    assert_eq!(batch.rows()[0][1], Value::Int(10));
+    assert!(batch.rows()[2][1].is_null(), "k=8 unmatched, padded");
+    let full = db
+        .query("SELECT COUNT(*) FROM l FULL JOIN r ON l.k = r.k")
+        .unwrap();
+    assert_eq!(full.rows()[0][0], Value::Int(3));
+}
+
+#[test]
+fn two_phase_aggregation_moves_fewer_rows_same_results() {
+    // edges is distributed on dst but grouped on src: single-phase must
+    // reshuffle every raw row, two-phase ships one partial row per
+    // (partition, group).
+    let sql = "SELECT src, COUNT(*) AS n, SUM(weight) AS w, AVG(weight) AS a, \
+               MIN(dst) AS lo, MAX(dst) AS hi \
+               FROM edges GROUP BY src ORDER BY src";
+    let one = load(EngineConfig::default().with_two_phase_aggregation(false));
+    let two = load(EngineConfig::default());
+    let r1 = one.query(sql).unwrap();
+    let r2 = two.query(sql).unwrap();
+    assert_eq!(r1.rows(), r2.rows());
+    let m1 = one.take_stats().rows_moved;
+    let m2 = two.take_stats().rows_moved;
+    assert!(
+        m2 < m1,
+        "two-phase should move fewer rows: single={m1} two-phase={m2}"
+    );
+}
+
+#[test]
+fn distinct_aggregates_correct_under_two_phase_config() {
+    let db = load(EngineConfig::default());
+    let a = db
+        .query("SELECT COUNT(DISTINCT dst) FROM edges")
+        .unwrap();
+    let b = db
+        .query("SELECT COUNT(*) FROM (SELECT DISTINCT dst FROM edges)")
+        .unwrap();
+    assert_eq!(a.rows(), b.rows());
+    // Grouped DISTINCT falls back to single-phase — still correct.
+    let per_src = db
+        .query("SELECT src, COUNT(DISTINCT weight) FROM edges GROUP BY src ORDER BY src")
+        .unwrap();
+    assert!(!per_src.is_empty());
+}
+
+#[test]
+fn broadcast_counter_tracks_replication() {
+    // No broadcast exchanges are planned today, but the counter must stay
+    // zero rather than accumulate garbage.
+    let db = load(EngineConfig::default());
+    db.query("SELECT COUNT(*) FROM edges").unwrap();
+    assert_eq!(db.take_stats().rows_broadcast, 0);
+}
+
+#[test]
+fn concurrent_readers_share_one_database() {
+    // Database is &self for queries; catalog and registry use internal
+    // locks, so read-only sessions can share an Arc across threads.
+    let db = std::sync::Arc::new(load(EngineConfig::default()));
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let db = std::sync::Arc::clone(&db);
+            std::thread::spawn(move || {
+                let sql = format!(
+                    "WITH ITERATIVE t (k, v) AS (
+                         SELECT DISTINCT src, {i} FROM edges
+                     ITERATE SELECT k, v + 1 FROM t
+                     UNTIL 5 ITERATIONS) SELECT MAX(v) FROM t"
+                );
+                db.query(&sql).unwrap().rows()[0][0].as_i64().unwrap()
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.join().unwrap(), i as i64 + 5);
+    }
+}
+
+#[test]
+fn empty_table_edge_cases() {
+    let db = Database::new(EngineConfig::default().with_partitions(4));
+    db.execute("CREATE TABLE empty (a INT, b FLOAT)").unwrap();
+    // Scans, joins, aggregates and limits over empty inputs.
+    assert_eq!(db.query("SELECT * FROM empty").unwrap().len(), 0);
+    assert_eq!(
+        db.query("SELECT COUNT(*), SUM(b) FROM empty").unwrap().rows()[0][0],
+        Value::Int(0)
+    );
+    assert_eq!(
+        db.query("SELECT * FROM empty e1 JOIN empty e2 ON e1.a = e2.a").unwrap().len(),
+        0
+    );
+    assert_eq!(
+        db.query("SELECT a FROM empty ORDER BY a LIMIT 0").unwrap().len(),
+        0
+    );
+    // An iterative CTE over an empty R0 still terminates.
+    let batch = db
+        .query(
+            "WITH ITERATIVE t (a, b) AS (
+                 SELECT a, b FROM empty
+             ITERATE SELECT a, b + 1 FROM t
+             UNTIL 3 ITERATIONS) SELECT COUNT(*) FROM t",
+        )
+        .unwrap();
+    assert_eq!(batch.rows()[0][0], Value::Int(0));
+}
+
+#[test]
+fn until_any_stops_at_first_satisfying_row() {
+    let db = Database::default();
+    db.execute("CREATE TABLE seeds (k INT, v INT)").unwrap();
+    db.execute("INSERT INTO seeds VALUES (1, 0), (2, 5)").unwrap();
+    // Row 2 reaches v > 8 first; ANY stops the loop for everyone.
+    db.query(
+        "WITH ITERATIVE t (k, v) AS (
+             SELECT k, v FROM seeds
+         ITERATE SELECT k, v + 1 FROM t
+         UNTIL ANY (v > 8))
+         SELECT k, v FROM t ORDER BY k",
+    )
+    .unwrap();
+    assert_eq!(db.take_stats().iterations, 4); // 5 + 4 = 9 > 8
+}
+
+#[test]
+fn rename_is_constant_work_regardless_of_size() {
+    // The rename path's registry re-point must not scale with table size:
+    // compare renames (not rows) across two very different sizes.
+    let run = |nodes: usize| {
+        let db = Database::default();
+        let spec = GraphSpec { nodes, edges: nodes * 3, seed: 1, max_weight: 5 };
+        load_edges_into(&db, "edges", &spec).unwrap();
+        db.query(
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT DISTINCT src, 0 FROM edges
+             ITERATE SELECT k, v + 1 FROM t
+             UNTIL 5 ITERATIONS) SELECT COUNT(*) FROM t",
+        )
+        .unwrap();
+        db.take_stats()
+    };
+    let small = run(50);
+    let large = run(1_000);
+    assert_eq!(small.renames, large.renames);
+    assert_eq!(small.merges, 0);
+    assert_eq!(large.merges, 0);
+}

@@ -1,0 +1,203 @@
+//! Property-based tests (proptest): invariants that must hold for *random*
+//! graphs, values and configurations — not just the fixtures the unit
+//! tests pin down.
+
+use proptest::prelude::*;
+use spinner_common::Value;
+use spinner_datagen::{load_edges_into, GraphSpec};
+use spinner_engine::{Database, EngineConfig};
+use spinner_procedural::{ff, run_script, sssp};
+
+/// Strategy: a small random graph spec.
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (8usize..60, 0u64..1_000_000, 1u32..20).prop_flat_map(|(nodes, seed, max_weight)| {
+        (Just(nodes), nodes..nodes * 5, Just(seed), Just(max_weight)).prop_map(
+            |(nodes, edges, seed, max_weight)| GraphSpec { nodes, edges, seed, max_weight },
+        )
+    })
+}
+
+fn load(spec: &GraphSpec, config: EngineConfig) -> Database {
+    let db = Database::new(config);
+    load_edges_into(&db, "edges", spec).unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The rename fast path and the merge path must agree on any graph and
+    /// any (keyed, duplicate-free) iterative computation.
+    #[test]
+    fn rename_and_merge_paths_agree(spec in graph_spec(), iters in 1u64..8) {
+        let sql = format!(
+            "WITH ITERATIVE t (k, a, b) AS (
+                 SELECT DISTINCT src, CAST(src AS FLOAT), 1.0 FROM edges
+             ITERATE
+                 SELECT k, a + b, a - b FROM t
+             UNTIL {iters} ITERATIONS)
+             SELECT k, a, b FROM t ORDER BY k"
+        );
+        let fast = load(&spec, EngineConfig::default()).query(&sql).unwrap();
+        let slow = load(&spec, EngineConfig::default().with_minimize_data_movement(false))
+            .query(&sql)
+            .unwrap();
+        prop_assert_eq!(fast.rows(), slow.rows());
+    }
+
+    /// SSSP run to convergence equals Dijkstra on any random graph.
+    #[test]
+    fn sssp_matches_dijkstra(spec in graph_spec()) {
+        let db = load(&spec, EngineConfig::default());
+        let w = sssp(spec.nodes as u64 + 1, 1, false);
+        let batch = db.query(&w.cte).unwrap();
+        let dist = dijkstra(&spec, 1);
+        for row in batch.rows() {
+            let node = row[0].as_i64().unwrap() as usize;
+            let got = row[1].as_f64().unwrap();
+            match dist[node] {
+                Some(d) => prop_assert!((got - d).abs() < 1e-6,
+                    "node {}: sql {} vs dijkstra {}", node, got, d),
+                None => prop_assert_eq!(got, 9_999_999.0),
+            }
+        }
+    }
+
+    /// Predicate push-down never changes FF results, for any selectivity.
+    #[test]
+    fn ff_pushdown_preserves_results(
+        spec in graph_spec(),
+        mod_x in 1i64..50,
+        iters in 1u64..10,
+    ) {
+        let w = ff(iters, mod_x);
+        let on = load(&spec, EngineConfig::default()).query(&w.cte).unwrap();
+        let off = load(&spec, EngineConfig::default().with_predicate_pushdown(false))
+            .query(&w.cte)
+            .unwrap();
+        prop_assert_eq!(on.rows(), off.rows());
+    }
+
+    /// The three execution strategies agree on FF for random graphs.
+    #[test]
+    fn strategies_agree_on_random_graphs(spec in graph_spec(), iters in 1u64..6) {
+        let w = ff(iters, 5);
+        let db = load(&spec, EngineConfig::default());
+        let native = db.query(&w.cte).unwrap();
+        let proc_rows = run_script(&db, &w.procedure).unwrap().rows;
+        prop_assert_eq!(native.rows(), proc_rows.rows());
+    }
+
+    /// Connected components by label propagation finds exactly the
+    /// constructed components: striped node ids mean node n belongs to
+    /// component (n-1) % k, whose minimum id — the converged label — is
+    /// ((n-1) % k) + 1.
+    #[test]
+    fn connected_components_match_construction(
+        nodes in 20usize..120,
+        k in 1usize..6,
+        seed in 0u64..100_000,
+    ) {
+        let spec = GraphSpec { nodes, edges: nodes * 2, seed, max_weight: 5 };
+        let rows = spec.generate_symmetric_components(k);
+        let db = Database::default();
+        let schema = spinner_common::Schema::new(vec![
+            spinner_common::Field::new("src", spinner_common::DataType::Int),
+            spinner_common::Field::new("dst", spinner_common::DataType::Int),
+            spinner_common::Field::new("weight", spinner_common::DataType::Float),
+        ]);
+        db.create_table_from_rows("edges", schema, rows, None, Some(1)).unwrap();
+        let w = spinner_procedural::connected_components(None);
+        let batch = db.query(&w.cte).unwrap();
+        prop_assert_eq!(batch.len(), nodes);
+        for row in batch.rows() {
+            let node = row[0].as_i64().unwrap();
+            let label = row[1].as_i64().unwrap();
+            let expected = (node - 1) % k as i64 + 1;
+            prop_assert_eq!(label, expected, "node {} labelled {}", node, label);
+        }
+    }
+
+    /// ORDER BY returns a permutation sorted by the key.
+    #[test]
+    fn sort_is_a_sorted_permutation(spec in graph_spec()) {
+        let db = load(&spec, EngineConfig::default());
+        let sorted = db.query("SELECT weight FROM edges ORDER BY weight").unwrap();
+        let unsorted = db.query("SELECT weight FROM edges").unwrap();
+        prop_assert_eq!(sorted.len(), unsorted.len());
+        let vals: Vec<f64> = sorted.rows().iter().map(|r| r[0].as_f64().unwrap()).collect();
+        prop_assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+        let mut a: Vec<Value> = sorted.rows().iter().map(|r| r[0].clone()).collect();
+        let mut b: Vec<Value> = unsorted.rows().iter().map(|r| r[0].clone()).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// COUNT(*) equals the generated edge count; GROUP BY counts sum to it.
+    #[test]
+    fn aggregation_conservation(spec in graph_spec()) {
+        let db = load(&spec, EngineConfig::default());
+        let total = db.query("SELECT COUNT(*) FROM edges").unwrap();
+        prop_assert_eq!(total.rows()[0][0].as_i64().unwrap(), spec.edges as i64);
+        let per_src = db
+            .query("SELECT SUM(n) FROM (SELECT src, COUNT(*) AS n FROM edges GROUP BY src)")
+            .unwrap();
+        prop_assert_eq!(per_src.rows()[0][0].as_i64().unwrap(), spec.edges as i64);
+    }
+
+    /// Partition count never affects results.
+    #[test]
+    fn partition_count_is_transparent(spec in graph_spec(), parts in 1usize..9) {
+        let sql = "SELECT src, COUNT(*) AS n FROM edges GROUP BY src ORDER BY src";
+        let base = load(&spec, EngineConfig::default().with_partitions(1))
+            .query(sql)
+            .unwrap();
+        let multi = load(&spec, EngineConfig::default().with_partitions(parts))
+            .query(sql)
+            .unwrap();
+        prop_assert_eq!(base.rows(), multi.rows());
+    }
+
+    /// UNION is idempotent: (A UNION A) == DISTINCT A.
+    #[test]
+    fn union_idempotent(spec in graph_spec()) {
+        let db = load(&spec, EngineConfig::default());
+        let twice = db
+            .query("SELECT COUNT(*) FROM (SELECT src FROM edges UNION SELECT src FROM edges)")
+            .unwrap();
+        let once = db
+            .query("SELECT COUNT(*) FROM (SELECT DISTINCT src FROM edges)")
+            .unwrap();
+        prop_assert_eq!(twice.rows(), once.rows());
+    }
+}
+
+/// Reference shortest-path oracle.
+fn dijkstra(spec: &GraphSpec, source: usize) -> Vec<Option<f64>> {
+    let rows = spec.generate();
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); spec.nodes + 1];
+    for r in &rows {
+        let s = r[0].as_i64().unwrap() as usize;
+        let d = r[1].as_i64().unwrap() as usize;
+        adj[s].push((d, r[2].as_f64().unwrap()));
+    }
+    let mut dist: Vec<Option<f64>> = vec![None; spec.nodes + 1];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[source] = Some(0.0);
+    heap.push(std::cmp::Reverse((0i64, source)));
+    while let Some(std::cmp::Reverse((dmicro, u))) = heap.pop() {
+        let d = dmicro as f64 / 1e6;
+        if dist[u].is_some_and(|best| d > best + 1e-12) {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if dist[v].is_none_or(|best| nd < best - 1e-12) {
+                dist[v] = Some(nd);
+                heap.push(std::cmp::Reverse(((nd * 1e6) as i64, v)));
+            }
+        }
+    }
+    dist
+}

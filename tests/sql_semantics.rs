@@ -1,0 +1,304 @@
+//! General SQL semantics: the substrate the iterative rewrite relies on.
+//! Hand-computed expectations over a fixed mini-dataset.
+
+use spinner_engine::{Database, Error, Value};
+
+fn db() -> Database {
+    let db = Database::default();
+    db.execute_script(
+        "CREATE TABLE people (id INT, name TEXT, city TEXT, age INT);
+         INSERT INTO people VALUES
+             (1, 'ann', 'rome', 30),
+             (2, 'bob', 'rome', 25),
+             (3, 'cat', 'oslo', 35),
+             (4, 'dan', 'oslo', NULL),
+             (5, 'eve', 'lima', 28);
+         CREATE TABLE visits (person INT, place TEXT);
+         INSERT INTO visits VALUES
+             (1, 'oslo'), (1, 'lima'), (2, 'rome'), (9, 'nowhere');",
+    )
+    .unwrap();
+    db
+}
+
+fn ints(db: &Database, sql: &str) -> Vec<i64> {
+    db.query(sql)
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect()
+}
+
+#[test]
+fn where_with_null_drops_unknown() {
+    // dan's age is NULL: excluded by both age > 20 and NOT(age > 20).
+    assert_eq!(ints(&db(), "SELECT COUNT(*) FROM people WHERE age > 20"), vec![4]);
+    assert_eq!(
+        ints(&db(), "SELECT COUNT(*) FROM people WHERE NOT (age > 20)"),
+        vec![0]
+    );
+    assert_eq!(
+        ints(&db(), "SELECT COUNT(*) FROM people WHERE age IS NULL"),
+        vec![1]
+    );
+}
+
+#[test]
+fn aggregates_over_groups() {
+    let batch = db()
+        .query(
+            "SELECT city, COUNT(*) AS n, AVG(age) AS a FROM people \
+             GROUP BY city ORDER BY city",
+        )
+        .unwrap();
+    let rows: Vec<(String, i64)> = batch
+        .rows()
+        .iter()
+        .map(|r| (r[0].to_string(), r[1].as_i64().unwrap()))
+        .collect();
+    assert_eq!(
+        rows,
+        vec![("lima".into(), 1), ("oslo".into(), 2), ("rome".into(), 2)]
+    );
+    // oslo's AVG ignores dan's NULL: 35.0, not 17.5.
+    assert_eq!(batch.rows()[1][2], Value::Float(35.0));
+}
+
+#[test]
+fn having_filters_groups() {
+    assert_eq!(
+        ints(
+            &db(),
+            "SELECT COUNT(*) FROM people GROUP BY city HAVING COUNT(*) > 1"
+        ),
+        vec![2, 2]
+    );
+}
+
+#[test]
+fn count_distinct() {
+    assert_eq!(
+        ints(&db(), "SELECT COUNT(DISTINCT city) FROM people"),
+        vec![3]
+    );
+}
+
+#[test]
+fn inner_left_right_full_joins() {
+    let d = db();
+    // inner: only people with visits (ann x2, bob x1)
+    assert_eq!(
+        ints(&d, "SELECT COUNT(*) FROM people p JOIN visits v ON p.id = v.person"),
+        vec![3]
+    );
+    // left: everyone, plus multiplicity
+    assert_eq!(
+        ints(
+            &d,
+            "SELECT COUNT(*) FROM people p LEFT JOIN visits v ON p.id = v.person"
+        ),
+        vec![6]
+    );
+    // right: all visits, even person 9
+    assert_eq!(
+        ints(
+            &d,
+            "SELECT COUNT(*) FROM people p RIGHT JOIN visits v ON p.id = v.person"
+        ),
+        vec![4]
+    );
+    // full: 6 left-join rows + the orphan visit
+    assert_eq!(
+        ints(
+            &d,
+            "SELECT COUNT(*) FROM people p FULL JOIN visits v ON p.id = v.person"
+        ),
+        vec![7]
+    );
+}
+
+#[test]
+fn non_equi_join_falls_back_to_nested_loop() {
+    // Pairs of people where the first is strictly older.
+    assert_eq!(
+        ints(
+            &db(),
+            "SELECT COUNT(*) FROM people a JOIN people b ON a.age > b.age"
+        ),
+        vec![6]
+    );
+}
+
+#[test]
+fn cross_join_cardinality() {
+    assert_eq!(
+        ints(&db(), "SELECT COUNT(*) FROM people, visits"),
+        vec![20]
+    );
+}
+
+#[test]
+fn set_operations() {
+    let d = db();
+    assert_eq!(
+        ints(&d, "SELECT COUNT(*) FROM (SELECT city FROM people UNION SELECT place FROM visits)"),
+        vec![4] // rome, oslo, lima, nowhere
+    );
+    assert_eq!(
+        ints(
+            &d,
+            "SELECT COUNT(*) FROM (SELECT city FROM people UNION ALL SELECT place FROM visits)"
+        ),
+        vec![9]
+    );
+    assert_eq!(
+        ints(
+            &d,
+            "SELECT COUNT(*) FROM (SELECT city FROM people EXCEPT SELECT place FROM visits)"
+        ),
+        vec![0]
+    );
+    assert_eq!(
+        ints(
+            &d,
+            "SELECT COUNT(*) FROM (SELECT place FROM visits EXCEPT SELECT city FROM people)"
+        ),
+        vec![1] // nowhere
+    );
+    assert_eq!(
+        ints(
+            &d,
+            "SELECT COUNT(*) FROM (SELECT city FROM people INTERSECT SELECT place FROM visits)"
+        ),
+        vec![3]
+    );
+}
+
+#[test]
+fn order_by_with_nulls_and_limit() {
+    let batch = db()
+        .query("SELECT name, age FROM people ORDER BY age DESC NULLS LAST LIMIT 2")
+        .unwrap();
+    assert_eq!(batch.rows()[0][0].to_string(), "cat");
+    assert_eq!(batch.rows()[1][0].to_string(), "ann");
+    let batch = db()
+        .query("SELECT name FROM people ORDER BY age ASC NULLS FIRST LIMIT 1")
+        .unwrap();
+    assert_eq!(batch.rows()[0][0].to_string(), "dan");
+}
+
+#[test]
+fn distinct_dedupes() {
+    assert_eq!(
+        ints(&db(), "SELECT COUNT(*) FROM (SELECT DISTINCT city FROM people)"),
+        vec![3]
+    );
+}
+
+#[test]
+fn case_when_and_scalar_functions() {
+    let batch = db()
+        .query(
+            "SELECT name,
+                    CASE WHEN age >= 30 THEN 'senior'
+                         WHEN age >= 26 THEN 'mid'
+                         ELSE 'junior' END AS band,
+                    COALESCE(age, -1) AS age2,
+                    UPPER(name) AS up
+             FROM people ORDER BY id",
+        )
+        .unwrap();
+    assert_eq!(batch.rows()[0][1].to_string(), "senior");
+    assert_eq!(batch.rows()[1][1].to_string(), "junior");
+    // dan: NULL age falls to ELSE and coalesces to -1
+    assert_eq!(batch.rows()[3][1].to_string(), "junior");
+    assert_eq!(batch.rows()[3][2], Value::Int(-1));
+    assert_eq!(batch.rows()[0][3].to_string(), "ANN");
+}
+
+#[test]
+fn in_list_and_between() {
+    assert_eq!(
+        ints(
+            &db(),
+            "SELECT COUNT(*) FROM people WHERE city IN ('rome', 'lima')"
+        ),
+        vec![3]
+    );
+    assert_eq!(
+        ints(
+            &db(),
+            "SELECT COUNT(*) FROM people WHERE age BETWEEN 25 AND 30"
+        ),
+        vec![3]
+    );
+}
+
+#[test]
+fn scalar_subquery_free_select() {
+    assert_eq!(ints(&db(), "SELECT 2 + 3 * 4"), vec![14]);
+}
+
+#[test]
+fn division_by_zero_is_a_runtime_error() {
+    let err = db().query("SELECT age / 0 FROM people").unwrap_err();
+    assert!(matches!(err, Error::Arithmetic(_)));
+}
+
+#[test]
+fn ambiguous_column_is_a_plan_error() {
+    let err = db()
+        .query("SELECT id FROM people a JOIN people b ON a.id = b.id")
+        .unwrap_err();
+    assert!(matches!(err, Error::Plan(_)));
+}
+
+#[test]
+fn recursive_cte_numbers() {
+    let batch = db()
+        .query(
+            "WITH RECURSIVE nums (n) AS (
+                 SELECT 1 UNION ALL SELECT n + 1 FROM nums WHERE n < 10)
+             SELECT SUM(n) FROM nums",
+        )
+        .unwrap();
+    assert_eq!(batch.rows()[0][0], Value::Int(55));
+}
+
+#[test]
+fn qualified_wildcard_expansion() {
+    let batch = db()
+        .query("SELECT v.* FROM people p JOIN visits v ON p.id = v.person LIMIT 1")
+        .unwrap();
+    assert_eq!(batch.schema().len(), 2);
+}
+
+#[test]
+fn update_and_delete_roundtrip() {
+    let d = db();
+    d.execute("UPDATE people SET age = age + 1 WHERE city = 'rome'").unwrap();
+    assert_eq!(
+        ints(&d, "SELECT SUM(age) FROM people WHERE city = 'rome'"),
+        vec![57]
+    );
+    d.execute("DELETE FROM people WHERE age IS NULL").unwrap();
+    assert_eq!(ints(&d, "SELECT COUNT(*) FROM people"), vec![4]);
+}
+
+#[test]
+fn insert_select_with_column_list() {
+    let d = db();
+    d.execute("CREATE TABLE names (nick TEXT, id INT)").unwrap();
+    d.execute("INSERT INTO names (id, nick) SELECT id, name FROM people").unwrap();
+    let batch = d.query("SELECT nick FROM names WHERE id = 3").unwrap();
+    assert_eq!(batch.rows()[0][0].to_string(), "cat");
+}
+
+#[test]
+fn text_comparisons_and_concat() {
+    let batch = db()
+        .query("SELECT CONCAT(name, '@', city) FROM people WHERE name = 'eve'")
+        .unwrap();
+    assert_eq!(batch.rows()[0][0].to_string(), "eve@lima");
+}
