@@ -12,54 +12,60 @@
 use std::time::{Duration, Instant};
 
 use spinner_bench::{setup_db, BenchDataset, ITERATIONS};
-use spinner_engine::{Database, EngineConfig};
+use spinner_engine::{Database, EngineConfig, Result};
 use spinner_procedural::{ff, pagerank, run_script, sssp, ProcedureScript};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match which.as_str() {
+    let result = match which.as_str() {
         "table1" => table1(),
         "fig8" => fig8(),
         "fig9" => fig9(),
         "fig10" => fig10(),
         "fig11" => fig11(),
-        "all" => {
-            table1();
-            fig8();
-            fig9();
-            fig10();
-            fig11();
-        }
+        "all" => table1()
+            .and_then(|()| fig8())
+            .and_then(|()| fig9())
+            .and_then(|()| fig10())
+            .and_then(|()| fig11()),
         other => {
-            eprintln!("unknown artifact '{other}'; use table1|fig8|fig9|fig10|fig11|all");
+            eprintln!("repro: unknown artifact '{other}'; use table1|fig8|fig9|fig10|fig11|all");
             std::process::exit(1);
         }
+    };
+    if let Err(e) = result {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
     }
 }
 
 /// Minimum-of-five wall-clock timing of a query. The minimum is the
 /// robust statistic under VM scheduling jitter: every sample includes the
 /// true work, noise only ever adds.
-fn time_query(db: &Database, sql: &str) -> Duration {
+fn time_query(db: &Database, sql: &str) -> Result<Duration> {
     (0..5)
         .map(|_| {
             let t = Instant::now();
-            db.query(sql).expect("query failed");
-            t.elapsed()
+            db.query(sql)?;
+            Ok(t.elapsed())
         })
+        .collect::<Result<Vec<_>>>()?
+        .into_iter()
         .min()
-        .expect("samples")
+        .ok_or_else(|| spinner_engine::Error::execution("no timing samples"))
 }
 
-fn time_script(db: &Database, script: &ProcedureScript) -> Duration {
+fn time_script(db: &Database, script: &ProcedureScript) -> Result<Duration> {
     (0..5)
         .map(|_| {
             let t = Instant::now();
-            run_script(db, script).expect("script failed");
-            t.elapsed()
+            run_script(db, script)?;
+            Ok(t.elapsed())
         })
+        .collect::<Result<Vec<_>>>()?
+        .into_iter()
         .min()
-        .expect("samples")
+        .ok_or_else(|| spinner_engine::Error::execution("no timing samples"))
 }
 
 fn improvement(baseline: Duration, optimized: Duration) -> f64 {
@@ -71,16 +77,17 @@ fn header(title: &str) {
 }
 
 /// Table I: the logical plan of the PR query.
-fn table1() {
+fn table1() -> Result<()> {
     header("Table I — logical plan of the PR query");
     let db = Database::default();
-    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
-    let text = db.explain(&pagerank(10, false).cte).unwrap();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")?;
+    let text = db.explain(&pagerank(10, false).cte)?;
     println!("{text}");
+    Ok(())
 }
 
 /// Figure 8: minimizing data movement (rename vs merge-back baseline).
-fn fig8() {
+fn fig8() -> Result<()> {
     header("Figure 8 — minimizing data movement (25 iterations)");
     println!(
         "{:<10} {:<12} {:>14} {:>14} {:>9}  {:>12} {:>12}",
@@ -97,9 +104,9 @@ fn fig8() {
                 false,
             );
             let opt_db = setup_db(dataset, EngineConfig::default(), false);
-            let base = time_query(&base_db, &sql);
+            let base = time_query(&base_db, &sql)?;
             let base_stats = base_db.take_stats();
-            let opt = time_query(&opt_db, &sql);
+            let opt = time_query(&opt_db, &sql)?;
             let opt_stats = opt_db.take_stats();
             println!(
                 "{:<10} {:<12} {:>14.2?} {:>14.2?} {:>8.1}%  {:>12} {:>12}",
@@ -114,10 +121,11 @@ fn fig8() {
         }
     }
     println!("(paper: up to 48% for FF; small gain for PR)");
+    Ok(())
 }
 
 /// Figure 9: common result optimization on PR-VS / SSSP-VS.
-fn fig9() {
+fn fig9() -> Result<()> {
     header("Figure 9 — common result optimization (25 iterations)");
     println!(
         "{:<10} {:<12} {:>14} {:>14} {:>9}",
@@ -134,8 +142,8 @@ fn fig9() {
                 true,
             );
             let opt_db = setup_db(dataset, EngineConfig::default(), true);
-            let base = time_query(&base_db, &sql);
-            let opt = time_query(&opt_db, &sql);
+            let base = time_query(&base_db, &sql)?;
+            let opt = time_query(&opt_db, &sql)?;
             println!(
                 "{:<10} {:<12} {:>14.2?} {:>14.2?} {:>8.1}%",
                 qname,
@@ -147,10 +155,11 @@ fn fig9() {
         }
     }
     println!("(paper: ~20% on DBLP, ~10% on Pokec, same pattern for both queries)");
+    Ok(())
 }
 
 /// Figure 10: predicate push-down at varying selectivity.
-fn fig10() {
+fn fig10() -> Result<()> {
     header("Figure 10 — predicate push-down, FF, 25 iterations");
     println!(
         "{:<14} {:>14} {:>14} {:>9}",
@@ -164,8 +173,8 @@ fn fig10() {
             false,
         );
         let opt_db = setup_db(BenchDataset::DblpLike, EngineConfig::default(), false);
-        let base = time_query(&base_db, &sql);
-        let opt = time_query(&opt_db, &sql);
+        let base = time_query(&base_db, &sql)?;
+        let opt = time_query(&opt_db, &sql)?;
         println!(
             "{:<14} {:>14.2?} {:>14.2?} {:>8.1}x",
             format!("1/{mod_x}"),
@@ -175,10 +184,11 @@ fn fig10() {
         );
     }
     println!("(paper: baseline flat in selectivity; >10x at high selectivity)");
+    Ok(())
 }
 
 /// Figure 11: iterative CTEs vs stored procedures vs middleware.
-fn fig11() {
+fn fig11() -> Result<()> {
     header("Figure 11 — CTEs vs stored procedures (25 iterations, dblp-like)");
     println!(
         "{:<10} {:>14} {:>14} {:>14} {:>12} {:>12}",
@@ -191,9 +201,9 @@ fn fig11() {
     ];
     for (name, w, with_vs) in workloads {
         let db = setup_db(BenchDataset::DblpLike, EngineConfig::default(), with_vs);
-        let cte = time_query(&db, &w.cte);
-        let procedure = time_script(&db, &w.procedure);
-        let middleware = time_script(&db, &w.middleware);
+        let cte = time_query(&db, &w.cte)?;
+        let procedure = time_script(&db, &w.procedure)?;
+        let middleware = time_script(&db, &w.middleware)?;
         println!(
             "{:<10} {:>14.2?} {:>14.2?} {:>14.2?} {:>11.1}% {:>11.1}%",
             name,
@@ -205,4 +215,5 @@ fn fig11() {
         );
     }
     println!("(paper: CTE ≥25% faster than procedures for PR/SSSP, ~80% for FF)");
+    Ok(())
 }

@@ -41,7 +41,7 @@ impl BenchDataset {
 /// Build a database with `edges` (and optionally `vertexStatus`, 80%
 /// available, as in the PR-VS experiments) loaded.
 pub fn setup_db(dataset: BenchDataset, config: EngineConfig, with_vs: bool) -> Database {
-    let db = Database::new(config);
+    let db = Database::new(config).expect("bench config is valid");
     let spec = dataset.spec();
     load_edges_into(&db, "edges", &spec).expect("load edges");
     if with_vs {

@@ -5,7 +5,32 @@
 //! Figures 8-10: the baseline is the same engine with the corresponding
 //! toggle disabled.
 
-/// Feature toggles and tuning knobs for a [`Database`](https://docs.rs) session.
+/// Feature toggles and tuning knobs for a `Database` session (the
+/// `Database` type lives in the `spinner-engine` crate, which depends on
+/// this one).
+///
+/// # Guardrail knobs
+///
+/// Besides the optimization toggles, the config carries the per-session
+/// default *guardrails* — limits every statement starts with unless the
+/// caller supplies its own `QueryGuard`:
+///
+/// * [`query_timeout_ms`](Self::query_timeout_ms) — wall-clock deadline
+///   per statement; exceeded ⇒ `Error::Timeout`.
+/// * [`max_rows_materialized`](Self::max_rows_materialized) — budget on
+///   rows written into temp results; exceeded ⇒
+///   `Error::ResourceExhausted { resource: "rows_materialized", .. }`.
+/// * [`max_rows_moved`](Self::max_rows_moved) — budget on rows crossing
+///   exchange operators (shuffle/gather/broadcast).
+/// * [`max_intermediate_bytes`](Self::max_intermediate_bytes) — budget on
+///   the estimated size of intermediate state.
+/// * [`faults`](Self::faults) — deterministic fault-injection points for
+///   chaos testing; empty (off) by default.
+///
+/// All guardrails default to `None`/empty, i.e. unlimited — the paper's
+/// benchmark figures run unchanged. Use [`EngineConfig::validate`] (the
+/// engine calls it on construction) to reject nonsensical settings as a
+/// structured `Error::InvalidConfig` instead of panicking.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EngineConfig {
     /// Number of virtual shared-nothing workers (partitions). The paper's
@@ -39,6 +64,22 @@ pub struct EngineConfig {
     /// Safety bound on iterations for data/delta termination conditions, so
     /// a non-converging UNTIL cannot loop forever.
     pub max_iterations: u64,
+    /// Wall-clock deadline per statement, in milliseconds. `None` =
+    /// unlimited.
+    pub query_timeout_ms: Option<u64>,
+    /// Budget on rows materialized into temp results per statement.
+    /// `None` = unlimited.
+    pub max_rows_materialized: Option<u64>,
+    /// Budget on rows moved through exchange operators per statement.
+    /// `None` = unlimited.
+    pub max_rows_moved: Option<u64>,
+    /// Budget on estimated bytes of intermediate state per statement.
+    /// `None` = unlimited.
+    pub max_intermediate_bytes: Option<u64>,
+    /// Fault-injection points (chaos testing). Empty = off. Faults are
+    /// deterministic: triggered by hit count or a seeded PRNG, never by
+    /// wall-clock or global randomness.
+    pub faults: Vec<FaultConfig>,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +93,11 @@ impl Default for EngineConfig {
             two_phase_aggregation: true,
             parallel_partitions: false,
             max_iterations: 10_000,
+            query_timeout_ms: None,
+            max_rows_materialized: None,
+            max_rows_moved: None,
+            max_intermediate_bytes: None,
+            faults: Vec::new(),
         }
     }
 }
@@ -69,8 +115,11 @@ impl EngineConfig {
     }
 
     /// Builder-style setter for the partition count.
+    ///
+    /// Does not validate eagerly; `partitions == 0` is rejected by
+    /// [`EngineConfig::validate`] (which `Database::new` calls), so a bad
+    /// value surfaces as `Error::InvalidConfig` rather than a panic.
     pub fn with_partitions(mut self, partitions: usize) -> Self {
-        assert!(partitions >= 1, "at least one partition is required");
         self.partitions = partitions;
         self
     }
@@ -110,6 +159,168 @@ impl EngineConfig {
         self.two_phase_aggregation = on;
         self
     }
+
+    /// Builder-style setter for the per-statement wall-clock deadline.
+    pub fn with_query_timeout_ms(mut self, limit_ms: u64) -> Self {
+        self.query_timeout_ms = Some(limit_ms);
+        self
+    }
+
+    /// Builder-style setter for the rows-materialized budget.
+    pub fn with_max_rows_materialized(mut self, limit: u64) -> Self {
+        self.max_rows_materialized = Some(limit);
+        self
+    }
+
+    /// Builder-style setter for the rows-moved (exchange) budget.
+    pub fn with_max_rows_moved(mut self, limit: u64) -> Self {
+        self.max_rows_moved = Some(limit);
+        self
+    }
+
+    /// Builder-style setter for the intermediate-state byte budget.
+    pub fn with_max_intermediate_bytes(mut self, limit: u64) -> Self {
+        self.max_intermediate_bytes = Some(limit);
+        self
+    }
+
+    /// Builder-style helper adding one fault-injection point.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Validate the configuration; `Database::new` calls this so a bad
+    /// config is a structured [`crate::Error::InvalidConfig`], not a
+    /// process abort.
+    pub fn validate(&self) -> crate::Result<()> {
+        use crate::Error;
+        if self.partitions < 1 {
+            return Err(Error::InvalidConfig(
+                "at least one partition is required".into(),
+            ));
+        }
+        if self.max_iterations < 1 {
+            return Err(Error::InvalidConfig(
+                "max_iterations must be at least 1".into(),
+            ));
+        }
+        if self.query_timeout_ms == Some(0) {
+            return Err(Error::InvalidConfig(
+                "query_timeout_ms of 0 would reject every statement; use None for unlimited".into(),
+            ));
+        }
+        for fault in &self.faults {
+            match fault.trigger {
+                FaultTrigger::Nth(0) => {
+                    return Err(Error::InvalidConfig(format!(
+                        "fault at {:?}: Nth trigger is 1-based, 0 never fires",
+                        fault.site
+                    )));
+                }
+                FaultTrigger::Seeded {
+                    probability_ppm, ..
+                } if probability_ppm > 1_000_000 => {
+                    return Err(Error::InvalidConfig(format!(
+                        "fault at {:?}: probability_ppm {} exceeds 1_000_000 (= always)",
+                        fault.site, probability_ppm
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Pipeline stage a fault attaches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultSite {
+    /// An exchange operator (shuffle / gather / broadcast).
+    Exchange,
+    /// Materialization of a step result into the temp registry.
+    Materialize,
+    /// The rename fast path swapping the working table in.
+    Rename,
+    /// The top of every loop iteration.
+    LoopIteration,
+    /// Inside a per-partition worker closure (parallel or sequential).
+    Worker,
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// Return `Error::FaultInjected` from the faulted step.
+    Error,
+    /// Sleep this many milliseconds, then continue normally. Used to make
+    /// timeout tests deterministic without huge datasets.
+    DelayMs(u64),
+    /// Panic inside the faulted step (exercises panic isolation).
+    Panic,
+}
+
+/// When a fault fires. Deterministic by construction: either an exact
+/// hit count or a seeded PRNG — never wall-clock or global randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultTrigger {
+    /// Fire on the n-th hit of the site (1-based), once.
+    Nth(u64),
+    /// Fire per-hit with probability `probability_ppm` / 1_000_000,
+    /// drawn from a PRNG seeded with `seed` (kept in parts-per-million
+    /// so the config stays `Eq`).
+    Seeded { seed: u64, probability_ppm: u32 },
+}
+
+/// One configured fault-injection point.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultConfig {
+    pub site: FaultSite,
+    pub kind: FaultKind,
+    pub trigger: FaultTrigger,
+}
+
+impl FaultConfig {
+    /// Error out on the n-th (1-based) hit of `site`.
+    pub fn fail_nth(site: FaultSite, n: u64) -> Self {
+        FaultConfig {
+            site,
+            kind: FaultKind::Error,
+            trigger: FaultTrigger::Nth(n),
+        }
+    }
+
+    /// Panic on the n-th (1-based) hit of `site`.
+    pub fn panic_nth(site: FaultSite, n: u64) -> Self {
+        FaultConfig {
+            site,
+            kind: FaultKind::Panic,
+            trigger: FaultTrigger::Nth(n),
+        }
+    }
+
+    /// Sleep `ms` milliseconds on the n-th (1-based) hit of `site`. For
+    /// a delay on *every* hit, use [`FaultConfig::seeded`] with
+    /// `probability_ppm = 1_000_000`.
+    pub fn delay_nth(site: FaultSite, n: u64, ms: u64) -> Self {
+        FaultConfig {
+            site,
+            kind: FaultKind::DelayMs(ms),
+            trigger: FaultTrigger::Nth(n),
+        }
+    }
+
+    /// Fire `kind` with `probability_ppm`/1_000_000 per hit, seeded.
+    pub fn seeded(site: FaultSite, kind: FaultKind, seed: u64, probability_ppm: u32) -> Self {
+        FaultConfig {
+            site,
+            kind,
+            trigger: FaultTrigger::Seeded {
+                seed,
+                probability_ppm,
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -134,8 +345,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one partition")]
-    fn zero_partitions_rejected() {
-        let _ = EngineConfig::default().with_partitions(0);
+    fn zero_partitions_rejected_by_validate() {
+        let config = EngineConfig::default().with_partitions(0);
+        match config.validate() {
+            Err(crate::Error::InvalidConfig(m)) => {
+                assert!(m.contains("at least one partition"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert!(EngineConfig::default().validate().is_ok());
+        assert!(EngineConfig::naive().validate().is_ok());
+    }
+
+    #[test]
+    fn guardrails_default_to_unlimited() {
+        let c = EngineConfig::default();
+        assert_eq!(c.query_timeout_ms, None);
+        assert_eq!(c.max_rows_materialized, None);
+        assert_eq!(c.max_rows_moved, None);
+        assert_eq!(c.max_intermediate_bytes, None);
+        assert!(c.faults.is_empty());
+    }
+
+    #[test]
+    fn bad_fault_triggers_rejected() {
+        let c = EngineConfig::default().with_fault(FaultConfig::fail_nth(FaultSite::Exchange, 0));
+        assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
+        let c = EngineConfig::default().with_fault(FaultConfig::seeded(
+            FaultSite::Materialize,
+            FaultKind::Error,
+            7,
+            2_000_000,
+        ));
+        assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn zero_timeout_rejected() {
+        let c = EngineConfig::default().with_query_timeout_ms(0);
+        assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
     }
 }

@@ -15,7 +15,10 @@ pub type Result<T, E = Error> = std::result::Result<T, E>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// Lexer/parser failure, with a 1-based character position when known.
-    Parse { message: String, position: Option<usize> },
+    Parse {
+        message: String,
+        position: Option<usize>,
+    },
     /// Semantic analysis / planning failure (unknown column, arity, ...).
     Plan(String),
     /// Type mismatch discovered during planning or evaluation.
@@ -41,17 +44,42 @@ pub enum Error {
     Unsupported(String),
     /// I/O error (dataset loading); stringified to keep `Error: Clone + Eq`.
     Io(String),
+    /// The query was cancelled cooperatively (via `QueryGuard::cancel`).
+    Cancelled,
+    /// The query ran past its wall-clock deadline.
+    Timeout { elapsed_ms: u64, limit_ms: u64 },
+    /// A resource budget (rows materialized, rows moved, intermediate
+    /// bytes) was exhausted. `used` is the amount observed when the
+    /// budget tripped, so `used >= limit` always holds.
+    ResourceExhausted {
+        resource: String,
+        used: u64,
+        limit: u64,
+    },
+    /// A parallel partition worker panicked; the panic was caught at the
+    /// partition boundary and sibling partitions were cancelled.
+    WorkerPanicked { partition: usize, message: String },
+    /// A configured fault-injection point fired (testing only).
+    FaultInjected { site: String },
+    /// The engine configuration failed validation.
+    InvalidConfig(String),
 }
 
 impl Error {
     /// Parse error without position information.
     pub fn parse(message: impl Into<String>) -> Self {
-        Error::Parse { message: message.into(), position: None }
+        Error::Parse {
+            message: message.into(),
+            position: None,
+        }
     }
 
     /// Parse error anchored at a character offset.
     pub fn parse_at(message: impl Into<String>, position: usize) -> Self {
-        Error::Parse { message: message.into(), position: Some(position) }
+        Error::Parse {
+            message: message.into(),
+            position: Some(position),
+        }
     }
 
     /// Planning error.
@@ -78,10 +106,16 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Parse { message, position: Some(p) } => {
+            Error::Parse {
+                message,
+                position: Some(p),
+            } => {
                 write!(f, "parse error at position {p}: {message}")
             }
-            Error::Parse { message, position: None } => write!(f, "parse error: {message}"),
+            Error::Parse {
+                message,
+                position: None,
+            } => write!(f, "parse error: {message}"),
             Error::Plan(m) => write!(f, "plan error: {m}"),
             Error::Type(m) => write!(f, "type error: {m}"),
             Error::Execution(m) => write!(f, "execution error: {m}"),
@@ -100,6 +134,27 @@ impl fmt::Display for Error {
             Error::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::Timeout {
+                elapsed_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "query timed out after {elapsed_ms} ms (limit {limit_ms} ms)"
+            ),
+            Error::ResourceExhausted {
+                resource,
+                used,
+                limit,
+            } => write!(
+                f,
+                "resource budget exhausted: {resource} used {used} of limit {limit}"
+            ),
+            Error::WorkerPanicked { partition, message } => {
+                write!(f, "worker for partition {partition} panicked: {message}")
+            }
+            Error::FaultInjected { site } => write!(f, "injected fault at {site}"),
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }
@@ -124,7 +179,33 @@ mod tests {
 
     #[test]
     fn duplicate_key_message_mentions_aggregation() {
-        let e = Error::DuplicateIterationKey { cte: "pr".into(), key: "7".into() };
+        let e = Error::DuplicateIterationKey {
+            cte: "pr".into(),
+            key: "7".into(),
+        };
         assert!(e.to_string().contains("aggregation"));
+    }
+
+    #[test]
+    fn guardrail_errors_carry_their_numbers() {
+        let t = Error::Timeout {
+            elapsed_ms: 61,
+            limit_ms: 50,
+        };
+        assert_eq!(t.to_string(), "query timed out after 61 ms (limit 50 ms)");
+        let r = Error::ResourceExhausted {
+            resource: "rows_materialized".into(),
+            used: 1200,
+            limit: 1000,
+        };
+        assert!(r
+            .to_string()
+            .contains("rows_materialized used 1200 of limit 1000"));
+        let w = Error::WorkerPanicked {
+            partition: 3,
+            message: "boom".into(),
+        };
+        assert!(w.to_string().contains("partition 3"));
+        assert!(w.to_string().contains("boom"));
     }
 }

@@ -8,12 +8,14 @@
 
 pub mod config;
 pub mod error;
+pub mod guard;
 pub mod row;
 pub mod schema;
 pub mod value;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, FaultConfig, FaultKind, FaultSite, FaultTrigger};
 pub use error::{Error, Result};
+pub use guard::QueryGuard;
 pub use row::{batch_of, row_of, Batch, Row};
 pub use schema::{Field, Schema, SchemaRef};
 pub use value::{DataType, Value};

@@ -40,7 +40,10 @@ impl Batch {
 
     /// Empty batch with the given schema.
     pub fn empty(schema: SchemaRef) -> Self {
-        Batch { schema, rows: Vec::new() }
+        Batch {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Checked constructor: errors when any row width disagrees with the
@@ -91,7 +94,10 @@ impl Batch {
                 schema.len()
             )));
         }
-        Ok(Batch { schema, rows: self.rows })
+        Ok(Batch {
+            schema,
+            rows: self.rows,
+        })
     }
 
     /// Append the rows of `other`; schemas must have equal width (UNION ALL).
@@ -109,8 +115,12 @@ impl Batch {
 
     /// Pretty-print as an ASCII table (examples and the repro binary).
     pub fn to_table(&self) -> String {
-        let names: Vec<String> =
-            self.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let names: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
         let mut widths: Vec<usize> = names.iter().map(String::len).collect();
         let rendered: Vec<Vec<String>> = self
             .rows
@@ -194,7 +204,10 @@ mod tests {
     #[test]
     fn with_schema_keeps_rows() {
         let b = batch_of(schema2(), vec![vec![Value::Int(1), Value::from("x")]]);
-        let renamed = b.clone().with_schema(Arc::new(schema2().qualify_all("t"))).unwrap();
+        let renamed = b
+            .clone()
+            .with_schema(Arc::new(schema2().qualify_all("t")))
+            .unwrap();
         assert_eq!(renamed.rows(), b.rows());
     }
 

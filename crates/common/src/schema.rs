@@ -25,7 +25,11 @@ pub struct Field {
 impl Field {
     /// Unqualified field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type, relation: None }
+        Field {
+            name: name.into(),
+            data_type,
+            relation: None,
+        }
     }
 
     /// Field qualified with a relation name.
@@ -34,12 +38,20 @@ impl Field {
         name: impl Into<String>,
         data_type: DataType,
     ) -> Self {
-        Field { name: name.into(), data_type, relation: Some(relation.into()) }
+        Field {
+            name: name.into(),
+            data_type,
+            relation: Some(relation.into()),
+        }
     }
 
     /// Re-qualify with a new relation (used by subquery aliases and rename).
     pub fn with_relation(&self, relation: impl Into<String>) -> Self {
-        Field { name: self.name.clone(), data_type: self.data_type, relation: Some(relation.into()) }
+        Field {
+            name: self.name.clone(),
+            data_type: self.data_type,
+            relation: Some(relation.into()),
+        }
     }
 
     /// `relation.name` when qualified, else just `name`.
@@ -138,7 +150,11 @@ impl Schema {
     /// or renaming a temp result).
     pub fn qualify_all(&self, relation: &str) -> Schema {
         Schema {
-            fields: self.fields.iter().map(|f| f.with_relation(relation)).collect(),
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.with_relation(relation))
+                .collect(),
         }
     }
 
@@ -174,7 +190,9 @@ impl fmt::Display for Schema {
 
 impl FromIterator<Field> for Schema {
     fn from_iter<T: IntoIterator<Item = Field>>(iter: T) -> Self {
-        Schema { fields: iter.into_iter().collect() }
+        Schema {
+            fields: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -228,6 +246,9 @@ mod tests {
     #[test]
     fn qualify_all_rewrites_relations() {
         let s = pr_schema().qualify_all("t");
-        assert!(s.fields().iter().all(|f| f.relation.as_deref() == Some("t")));
+        assert!(s
+            .fields()
+            .iter()
+            .all(|f| f.relation.as_deref() == Some("t")));
     }
 }

@@ -63,7 +63,12 @@ pub struct GraphSpec {
 impl GraphSpec {
     /// Small default for tests and examples.
     pub fn small() -> Self {
-        GraphSpec { nodes: 100, edges: 400, seed: 42, max_weight: 10 }
+        GraphSpec {
+            nodes: 100,
+            edges: 400,
+            seed: 42,
+            max_weight: 10,
+        }
     }
 
     /// Generate `edges(src, dst, weight)` rows.
@@ -100,11 +105,7 @@ impl GraphSpec {
                 continue;
             }
             let w = weight(&mut rng);
-            rows.push(row_of([
-                Value::Int(src as i64),
-                Value::Int(dst as i64),
-                w,
-            ]));
+            rows.push(row_of([Value::Int(src as i64), Value::Int(dst as i64), w]));
             endpoints.push(src);
             endpoints.push(dst);
         }
@@ -221,7 +222,12 @@ mod tests {
 
     #[test]
     fn edge_count_and_id_range_respected() {
-        let spec = GraphSpec { nodes: 50, edges: 300, seed: 7, max_weight: 5 };
+        let spec = GraphSpec {
+            nodes: 50,
+            edges: 300,
+            seed: 7,
+            max_weight: 5,
+        };
         let rows = spec.generate();
         assert_eq!(rows.len(), 300);
         for r in &rows {
@@ -238,7 +244,12 @@ mod tests {
     fn degree_distribution_is_skewed() {
         // Preferential attachment should concentrate in-degree far above
         // the uniform expectation for the top node.
-        let spec = GraphSpec { nodes: 500, edges: 5_000, seed: 11, max_weight: 10 };
+        let spec = GraphSpec {
+            nodes: 500,
+            edges: 5_000,
+            seed: 11,
+            max_weight: 10,
+        };
         let rows = spec.generate();
         let mut indeg = vec![0usize; spec.nodes + 1];
         for r in &rows {
@@ -256,12 +267,20 @@ mod tests {
     fn presets_preserve_edge_node_ratio() {
         let spec = DatasetPreset::Pokec.spec(0.01);
         let ratio = spec.edges as f64 / spec.nodes as f64;
-        assert!((ratio - 18.75).abs() < 1.0, "pokec ratio ~18.8, got {ratio}");
+        assert!(
+            (ratio - 18.75).abs() < 1.0,
+            "pokec ratio ~18.8, got {ratio}"
+        );
     }
 
     #[test]
     fn vertex_status_fraction_roughly_holds() {
-        let spec = GraphSpec { nodes: 2_000, edges: 2_000, seed: 3, max_weight: 1 };
+        let spec = GraphSpec {
+            nodes: 2_000,
+            edges: 2_000,
+            seed: 3,
+            max_weight: 1,
+        };
         let rows = spec.generate_vertex_status(0.75);
         let on = rows.iter().filter(|r| r[1] == Value::Int(1)).count();
         let frac = on as f64 / rows.len() as f64;

@@ -22,11 +22,7 @@ pub fn load_edges_into(db: &Database, table: &str, spec: &GraphSpec) -> Result<u
 
 /// Like [`load_edges_into`] but with PageRank-ready transition weights
 /// (`1 / out_degree(src)`), so ranks converge instead of diverging.
-pub fn load_normalized_edges_into(
-    db: &Database,
-    table: &str,
-    spec: &GraphSpec,
-) -> Result<usize> {
+pub fn load_normalized_edges_into(db: &Database, table: &str, spec: &GraphSpec) -> Result<usize> {
     let schema = Schema::new(vec![
         Field::new("src", DataType::Int),
         Field::new("dst", DataType::Int),
@@ -71,15 +67,16 @@ pub fn load_snap_file(path: &Path) -> Result<Vec<Row>> {
         let mut it = trimmed.split_whitespace();
         let parse = |tok: Option<&str>| -> Result<i64> {
             tok.and_then(|t| t.parse::<i64>().ok()).ok_or_else(|| {
-                spinner_common::Error::Io(format!(
-                    "malformed edge list at line {}",
-                    lineno + 1
-                ))
+                spinner_common::Error::Io(format!("malformed edge list at line {}", lineno + 1))
             })
         };
         let src = parse(it.next())?;
         let dst = parse(it.next())?;
-        rows.push(row_of([Value::Int(src), Value::Int(dst), Value::Float(1.0)]));
+        rows.push(row_of([
+            Value::Int(src),
+            Value::Int(dst),
+            Value::Float(1.0),
+        ]));
     }
     Ok(rows)
 }

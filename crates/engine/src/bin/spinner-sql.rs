@@ -74,11 +74,7 @@ fn handle_command(db: &Database, cmd: &str, timing: &mut bool) -> Command {
         "\\q" | "\\quit" => return Command::Quit,
         "\\d" => {
             for name in db.catalog().table_names() {
-                let rows = db
-                    .catalog()
-                    .get(&name)
-                    .map(|t| t.row_count())
-                    .unwrap_or(0);
+                let rows = db.catalog().get(&name).map(|t| t.row_count()).unwrap_or(0);
                 println!("{name} ({rows} rows)");
             }
         }
@@ -106,6 +102,13 @@ fn handle_command(db: &Database, cmd: &str, timing: &mut bool) -> Command {
 }
 
 fn prompt(buffer: &str) {
-    print!("{}", if buffer.is_empty() { "spinner> " } else { "    ...> " });
+    print!(
+        "{}",
+        if buffer.is_empty() {
+            "spinner> "
+        } else {
+            "    ...> "
+        }
+    );
     let _ = std::io::stdout().flush();
 }

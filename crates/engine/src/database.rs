@@ -4,10 +4,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use spinner_common::{
-    Batch, EngineConfig, Error, Result, Row, Schema, SchemaRef, Value,
+    Batch, EngineConfig, Error, QueryGuard, Result, Row, Schema, SchemaRef, Value,
 };
 use spinner_exec::stats::StatsSnapshot;
-use spinner_exec::{ExecStats, Executor};
+use spinner_exec::{ExecStats, Executor, FaultInjector};
 use spinner_parser::{parse_sql, parse_statements, Statement};
 use spinner_plan::builder::SchemaProvider;
 use spinner_plan::{plan_statement, LogicalPlan, PlanExpr, PlannedStatement, QueryPlan};
@@ -21,11 +21,18 @@ pub struct Database {
     catalog: Catalog,
     config: EngineConfig,
     stats: ExecStats,
+    /// Chaos-testing fault injector, rebuilt whenever the config changes.
+    /// Disabled (zero overhead beyond an emptiness check) by default.
+    faults: FaultInjector,
+    /// Session-scoped temp-result registry. Cleared after every statement
+    /// — success or failure — so an injected fault or tripped guardrail
+    /// can never leak intermediate state into the next query.
+    temp: TempRegistry,
 }
 
 impl Default for Database {
     fn default() -> Self {
-        Database::new(EngineConfig::default())
+        Database::new(EngineConfig::default()).expect("default config is valid")
     }
 }
 
@@ -43,14 +50,26 @@ impl SchemaProvider for CatalogProvider<'_> {
 
 impl Database {
     /// New database with the given configuration.
-    pub fn new(config: EngineConfig) -> Self {
-        Database { catalog: Catalog::new(), config, stats: ExecStats::new() }
+    ///
+    /// Fails with [`Error::InvalidConfig`] when the configuration is
+    /// inconsistent (zero partitions, zero timeout, malformed fault
+    /// plans — see [`EngineConfig::validate`]).
+    pub fn new(config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        let faults = FaultInjector::from_config(&config);
+        Ok(Database {
+            catalog: Catalog::new(),
+            config,
+            stats: ExecStats::new(),
+            faults,
+            temp: TempRegistry::new(),
+        })
     }
 
     /// New database with every DBSpinner optimization disabled — the
     /// naive-rewrite baseline of the paper's experiments.
     pub fn naive() -> Self {
-        Database::new(EngineConfig::naive())
+        Database::new(EngineConfig::naive()).expect("naive config is valid")
     }
 
     /// Current configuration.
@@ -59,8 +78,20 @@ impl Database {
     }
 
     /// Replace the configuration (affects subsequent statements).
-    pub fn set_config(&mut self, config: EngineConfig) {
+    /// Validates like [`Database::new`]; on error the old configuration
+    /// is kept.
+    pub fn set_config(&mut self, config: EngineConfig) -> Result<()> {
+        config.validate()?;
+        self.faults = FaultInjector::from_config(&config);
         self.config = config;
+        Ok(())
+    }
+
+    /// Number of live entries in the session temp-result registry.
+    /// Always 0 between statements: the registry is cleared on every
+    /// exit path, including injected faults and tripped guardrails.
+    pub fn temp_result_count(&self) -> usize {
+        self.temp.len()
     }
 
     /// Direct catalog access (datagen loaders, tests).
@@ -80,23 +111,41 @@ impl Database {
         snap
     }
 
-    /// Execute one SQL statement.
+    /// Execute one SQL statement under the session-default guardrails
+    /// (the config's `query_timeout_ms` and `max_*` budgets, unlimited
+    /// unless set).
     pub fn execute(&self, sql: &str) -> Result<super::QueryResult> {
+        self.execute_with_guard(sql, &QueryGuard::from_config(&self.config))
+    }
+
+    /// Execute one SQL statement under a caller-supplied [`QueryGuard`].
+    ///
+    /// Share the guard (e.g. via `Arc`) with another thread to cancel a
+    /// running query, or build it with a tighter deadline/budget than
+    /// the session defaults.
+    pub fn execute_with_guard(&self, sql: &str, guard: &QueryGuard) -> Result<super::QueryResult> {
         let stmt = parse_sql(sql)?;
-        self.execute_parsed(&stmt)
+        self.execute_parsed(&stmt, guard)
     }
 
     /// Execute a `;`-separated script, returning each statement's result.
+    /// Each statement gets a fresh session-default guard, so a
+    /// `query_timeout_ms` budget applies per statement, not per script.
     pub fn execute_script(&self, sql: &str) -> Result<Vec<super::QueryResult>> {
         parse_statements(sql)?
             .iter()
-            .map(|s| self.execute_parsed(s))
+            .map(|s| self.execute_parsed(s, &QueryGuard::from_config(&self.config)))
             .collect()
     }
 
     /// Execute a query and return its rows (errors for DDL/DML).
     pub fn query(&self, sql: &str) -> Result<Batch> {
         self.execute(sql)?.into_rows()
+    }
+
+    /// [`Database::query`] under a caller-supplied [`QueryGuard`].
+    pub fn query_with_guard(&self, sql: &str, guard: &QueryGuard) -> Result<Batch> {
+        self.execute_with_guard(sql, guard)?.into_rows()
     }
 
     /// EXPLAIN a statement without executing it.
@@ -150,17 +199,21 @@ impl Database {
         self.catalog.with_table_mut(name, |t| t.insert(rows))
     }
 
-    fn execute_parsed(&self, stmt: &Statement) -> Result<super::QueryResult> {
+    fn execute_parsed(&self, stmt: &Statement, guard: &QueryGuard) -> Result<super::QueryResult> {
         let provider = CatalogProvider(&self.catalog);
         let planned = plan_statement(stmt, &provider, &self.config)?;
         let planned = spinner_optimizer::optimize_statement(planned, &self.config)?;
-        self.execute_planned(planned)
+        self.execute_planned(planned, guard)
     }
 
-    fn execute_planned(&self, planned: PlannedStatement) -> Result<super::QueryResult> {
+    fn execute_planned(
+        &self,
+        planned: PlannedStatement,
+        guard: &QueryGuard,
+    ) -> Result<super::QueryResult> {
         match planned {
             PlannedStatement::Query(plan) => {
-                let batch = self.run_query_plan(&plan)?;
+                let batch = self.run_query_plan(&plan, guard)?;
                 Ok(super::QueryResult::Rows(batch))
             }
             PlannedStatement::Explain(inner) => {
@@ -194,13 +247,18 @@ impl Database {
                 }
             }
             PlannedStatement::Insert { table, source } => {
-                let batch = self.run_query_plan(&source)?;
+                let batch = self.run_query_plan(&source, guard)?;
                 let rows = batch.into_rows();
                 let n = self.catalog.with_table_mut(&table, |t| t.insert(rows))?;
                 Ok(super::QueryResult::Affected { rows: n })
             }
-            PlannedStatement::Update { table, from, assignments, predicate } => {
-                let n = self.run_update(&table, from, &assignments, predicate.as_ref())?;
+            PlannedStatement::Update {
+                table,
+                from,
+                assignments,
+                predicate,
+            } => {
+                let n = self.run_update(&table, from, &assignments, predicate.as_ref(), guard)?;
                 Ok(super::QueryResult::Affected { rows: n })
             }
             PlannedStatement::Delete { table, predicate } => {
@@ -215,15 +273,20 @@ impl Database {
         }
     }
 
-    fn run_query_plan(&self, plan: &QueryPlan) -> Result<Batch> {
-        let registry = TempRegistry::new();
+    fn run_query_plan(&self, plan: &QueryPlan, guard: &QueryGuard) -> Result<Batch> {
         let exec = Executor {
             catalog: &self.catalog,
-            registry: &registry,
+            registry: &self.temp,
             config: &self.config,
             stats: &self.stats,
+            guard,
+            faults: &self.faults,
         };
-        exec.run_query(plan)
+        let result = exec.run_query(plan);
+        // Clear on every exit path: a cancelled/faulted query must not
+        // leave partial working tables behind for the next statement.
+        self.temp.clear();
+        result
     }
 
     /// UPDATE [FROM]: when a FROM clause is present, equi-conjuncts of the
@@ -236,12 +299,12 @@ impl Database {
         from: Option<LogicalPlan>,
         assignments: &[(usize, PlanExpr)],
         predicate: Option<&PlanExpr>,
+        guard: &QueryGuard,
     ) -> Result<usize> {
         let table_handle = self.catalog.get(table)?;
         let table_schema = Arc::clone(table_handle.schema());
         let table_width = table_schema.len();
-        let column_types: Vec<_> =
-            table_schema.fields().iter().map(|f| f.data_type).collect();
+        let column_types: Vec<_> = table_schema.fields().iter().map(|f| f.data_type).collect();
 
         let apply = |combined: &[Value]| -> Result<Row> {
             let mut new_row: Vec<Value> = combined[..table_width].to_vec();
@@ -262,14 +325,17 @@ impl Database {
                 })
             }),
             Some(from_plan) => {
-                let registry = TempRegistry::new();
                 let exec = Executor {
                     catalog: &self.catalog,
-                    registry: &registry,
+                    registry: &self.temp,
                     config: &self.config,
                     stats: &self.stats,
+                    guard,
+                    faults: &self.faults,
                 };
-                let from_rows: Vec<Row> = exec.execute_logical(&from_plan)?.gather();
+                let from_result = exec.execute_logical(&from_plan);
+                self.temp.clear();
+                let from_rows: Vec<Row> = from_result?.gather();
                 // Split the WHERE clause into hashable equi conjuncts
                 // (table expr = from expr) and a residual.
                 let mut table_keys: Vec<PlanExpr> = Vec::new();
@@ -327,11 +393,9 @@ impl Database {
                                 Vec::with_capacity(table_width + fr.len());
                             combined.extend_from_slice(row);
                             combined.extend_from_slice(fr);
-                            let hit = residual
-                                .iter()
-                                .try_fold(true, |acc, p| {
-                                    Ok::<bool, Error>(acc && p.matches(&combined)?)
-                                })?;
+                            let hit = residual.iter().try_fold(true, |acc, p| {
+                                Ok::<bool, Error>(acc && p.matches(&combined)?)
+                            })?;
                             if hit {
                                 // First match wins (PostgreSQL-style
                                 // nondeterminism made deterministic).
@@ -368,7 +432,13 @@ fn explain_physical_steps(
                 out.push_str(&format!("{pad}{step_no}. Rename {from} to {to}.\n"));
                 *step_no += 1;
             }
-            Step::Merge { cte, working, merged, key, .. } => {
+            Step::Merge {
+                cte,
+                working,
+                merged,
+                key,
+                ..
+            } => {
                 out.push_str(&format!(
                     "{pad}{step_no}. Merge {working} into {cte} by key #{key} -> {merged} \
                      (hash exchange both sides on the key).\n"
@@ -410,7 +480,12 @@ fn explain_planned(planned: &PlannedStatement) -> String {
 
 fn split_conjuncts(expr: &PlanExpr, out: &mut Vec<PlanExpr>) {
     use spinner_plan::expr::BinaryOp;
-    if let PlanExpr::Binary { left, op: BinaryOp::And, right } = expr {
+    if let PlanExpr::Binary {
+        left,
+        op: BinaryOp::And,
+        right,
+    } = expr
+    {
         split_conjuncts(left, out);
         split_conjuncts(right, out);
     } else {
@@ -423,7 +498,12 @@ fn split_conjuncts(expr: &PlanExpr, out: &mut Vec<PlanExpr>) {
 /// indices rebased to the FROM row).
 fn as_update_equi(expr: &PlanExpr, table_width: usize) -> Option<(PlanExpr, PlanExpr)> {
     use spinner_plan::expr::BinaryOp;
-    let PlanExpr::Binary { left, op: BinaryOp::Eq, right } = expr else {
+    let PlanExpr::Binary {
+        left,
+        op: BinaryOp::Eq,
+        right,
+    } = expr
+    else {
         return None;
     };
     let lcols = left.referenced_columns();
@@ -451,7 +531,8 @@ mod tests {
 
     fn db_with_edges() -> Database {
         let db = Database::default();
-        db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
+        db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+            .unwrap();
         // Cyclic so every node has an incoming edge (like the SNAP
         // datasets the paper uses — PR's LEFT JOIN degrades to NULL ranks
         // on sources with no in-edges, which is faithful SQL semantics).
@@ -481,9 +562,13 @@ mod tests {
     #[test]
     fn update_plain() {
         let db = db_with_edges();
-        let r = db.execute("UPDATE edges SET weight = weight * 2 WHERE src = 1").unwrap();
+        let r = db
+            .execute("UPDATE edges SET weight = weight * 2 WHERE src = 1")
+            .unwrap();
         assert_eq!(r.affected(), Some(2));
-        let batch = db.query("SELECT SUM(weight) FROM edges WHERE src = 1").unwrap();
+        let batch = db
+            .query("SELECT SUM(weight) FROM edges WHERE src = 1")
+            .unwrap();
         assert_eq!(batch.rows()[0][0], Value::Float(12.0));
     }
 
@@ -493,9 +578,7 @@ mod tests {
         db.execute("CREATE TABLE fix (node INT, w FLOAT)").unwrap();
         db.execute("INSERT INTO fix VALUES (2, 100.0)").unwrap();
         let r = db
-            .execute(
-                "UPDATE edges SET weight = fix.w FROM fix WHERE edges.src = fix.node",
-            )
+            .execute("UPDATE edges SET weight = fix.w FROM fix WHERE edges.src = fix.node")
             .unwrap();
         assert_eq!(r.affected(), Some(1));
         let batch = db.query("SELECT weight FROM edges WHERE src = 2").unwrap();
@@ -518,14 +601,18 @@ mod tests {
         let db = db_with_edges();
         db.execute("DROP TABLE edges").unwrap();
         assert!(db.execute("DROP TABLE edges").is_err());
-        assert_eq!(db.execute("DROP TABLE IF EXISTS edges").unwrap(), QueryResult::Ddl);
+        assert_eq!(
+            db.execute("DROP TABLE IF EXISTS edges").unwrap(),
+            QueryResult::Ddl
+        );
     }
 
     #[test]
     fn create_if_not_exists_is_idempotent() {
         let db = db_with_edges();
         assert!(db.execute("CREATE TABLE edges (x INT)").is_err());
-        db.execute("CREATE TABLE IF NOT EXISTS edges (x INT)").unwrap();
+        db.execute("CREATE TABLE IF NOT EXISTS edges (x INT)")
+            .unwrap();
     }
 
     #[test]
@@ -603,7 +690,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(results.len(), 3);
-        let QueryResult::Rows(b) = &results[2] else { panic!() };
+        let QueryResult::Rows(b) = &results[2] else {
+            panic!()
+        };
         assert_eq!(b.rows()[0][0], Value::Int(2));
     }
 
@@ -674,7 +763,7 @@ mod tests {
              SELECT k, v FROM t WHERE MOD(k, 2) = 0 ORDER BY k";
         let optimized = db_with_edges();
         let mut naive = db_with_edges();
-        naive.set_config(EngineConfig::naive());
+        naive.set_config(EngineConfig::naive()).unwrap();
         let b1 = optimized.query(sql).unwrap();
         let b2 = naive.query(sql).unwrap();
         assert_eq!(b1.rows(), b2.rows());

@@ -33,6 +33,7 @@ pub use database::Database;
 pub use result::QueryResult;
 
 pub use spinner_common::{
-    Batch, DataType, EngineConfig, Error, Field, Result, Row, Schema, Value,
+    Batch, DataType, EngineConfig, Error, FaultConfig, FaultKind, FaultSite, FaultTrigger, Field,
+    QueryGuard, Result, Row, Schema, Value,
 };
 pub use spinner_exec::stats::StatsSnapshot;

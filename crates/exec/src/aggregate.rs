@@ -14,25 +14,57 @@ use spinner_plan::{AggExpr, AggFunc};
 /// Running state for one aggregate in one group.
 #[derive(Debug, Clone)]
 pub enum Accumulator {
-    Count { n: i64, distinct: Option<HashSet<Value>> },
-    CountStar { n: i64 },
-    Sum { acc: Option<Value>, distinct: Option<HashSet<Value>> },
-    Min { acc: Option<Value> },
-    Max { acc: Option<Value> },
-    Avg { sum: f64, n: i64, distinct: Option<HashSet<Value>> },
+    Count {
+        n: i64,
+        distinct: Option<HashSet<Value>>,
+    },
+    CountStar {
+        n: i64,
+    },
+    Sum {
+        acc: Option<Value>,
+        distinct: Option<HashSet<Value>>,
+    },
+    Min {
+        acc: Option<Value>,
+    },
+    Max {
+        acc: Option<Value>,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+        distinct: Option<HashSet<Value>>,
+    },
 }
 
 impl Accumulator {
     /// Fresh accumulator for an aggregate expression.
     pub fn new(agg: &AggExpr) -> Accumulator {
-        let distinct_set = || if agg.distinct { Some(HashSet::new()) } else { None };
+        let distinct_set = || {
+            if agg.distinct {
+                Some(HashSet::new())
+            } else {
+                None
+            }
+        };
         match agg.func {
-            AggFunc::Count => Accumulator::Count { n: 0, distinct: distinct_set() },
+            AggFunc::Count => Accumulator::Count {
+                n: 0,
+                distinct: distinct_set(),
+            },
             AggFunc::CountStar => Accumulator::CountStar { n: 0 },
-            AggFunc::Sum => Accumulator::Sum { acc: None, distinct: distinct_set() },
+            AggFunc::Sum => Accumulator::Sum {
+                acc: None,
+                distinct: distinct_set(),
+            },
             AggFunc::Min => Accumulator::Min { acc: None },
             AggFunc::Max => Accumulator::Max { acc: None },
-            AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0, distinct: distinct_set() },
+            AggFunc::Avg => Accumulator::Avg {
+                sum: 0.0,
+                n: 0,
+                distinct: distinct_set(),
+            },
         }
     }
 
@@ -105,27 +137,29 @@ impl Accumulator {
                 *n += m;
                 Ok(())
             }
-            (
-                Accumulator::Count { n, distinct },
-                Accumulator::Count { n: m, distinct: od },
-            ) => match (distinct, od) {
-                (Some(seen), Some(oseen)) => {
-                    for v in oseen {
-                        if seen.insert(v) {
-                            *n += 1;
+            (Accumulator::Count { n, distinct }, Accumulator::Count { n: m, distinct: od }) => {
+                match (distinct, od) {
+                    (Some(seen), Some(oseen)) => {
+                        for v in oseen {
+                            if seen.insert(v) {
+                                *n += 1;
+                            }
                         }
+                        Ok(())
                     }
-                    Ok(())
+                    (None, None) => {
+                        *n += m;
+                        Ok(())
+                    }
+                    _ => Err(Error::execution("mismatched DISTINCT accumulators")),
                 }
-                (None, None) => {
-                    *n += m;
-                    Ok(())
-                }
-                _ => Err(Error::execution("mismatched DISTINCT accumulators")),
-            },
+            }
             (
                 Accumulator::Sum { acc, distinct },
-                Accumulator::Sum { acc: oacc, distinct: od },
+                Accumulator::Sum {
+                    acc: oacc,
+                    distinct: od,
+                },
             ) => match (distinct, od) {
                 (Some(seen), Some(oseen)) => {
                     for v in oseen {
@@ -169,7 +203,11 @@ impl Accumulator {
             }
             (
                 Accumulator::Avg { sum, n, distinct },
-                Accumulator::Avg { sum: os, n: om, distinct: od },
+                Accumulator::Avg {
+                    sum: os,
+                    n: om,
+                    distinct: od,
+                },
             ) => match (distinct, od) {
                 (Some(seen), Some(oseen)) => {
                     for v in oseen {
@@ -187,7 +225,9 @@ impl Accumulator {
                 }
                 _ => Err(Error::execution("mismatched DISTINCT accumulators")),
             },
-            _ => Err(Error::execution("cannot merge accumulators of different kinds")),
+            _ => Err(Error::execution(
+                "cannot merge accumulators of different kinds",
+            )),
         }
     }
 
@@ -239,7 +279,10 @@ impl Accumulator {
                 *n += cells[0].as_i64()?;
                 Ok(())
             }
-            Accumulator::Sum { acc, distinct: None } => {
+            Accumulator::Sum {
+                acc,
+                distinct: None,
+            } => {
                 if !cells[0].is_null() {
                     *acc = Some(add_values(acc.take(), &cells[0])?);
                 }
@@ -269,7 +312,11 @@ impl Accumulator {
                 }
                 Ok(())
             }
-            Accumulator::Avg { sum, n, distinct: None } => {
+            Accumulator::Avg {
+                sum,
+                n,
+                distinct: None,
+            } => {
                 *sum += cells[0].as_f64()?;
                 *n += cells[1].as_i64()?;
                 Ok(())
@@ -302,7 +349,12 @@ mod tests {
     use super::*;
 
     fn agg(func: AggFunc, distinct: bool) -> AggExpr {
-        AggExpr { func, arg: None, distinct, name: "a".into() }
+        AggExpr {
+            func,
+            arg: None,
+            distinct,
+            name: "a".into(),
+        }
     }
 
     #[test]

@@ -15,22 +15,29 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use spinner_common::{Batch, EngineConfig, Error, Result, Row, Value};
-use spinner_plan::{
-    LogicalPlan, LoopKind, LoopStep, PlanExpr, QueryPlan, Step, TerminationPlan,
-};
+use spinner_common::{Batch, EngineConfig, Error, FaultSite, QueryGuard, Result, Row, Value};
+use spinner_plan::{LogicalPlan, LoopKind, LoopStep, PlanExpr, QueryPlan, Step, TerminationPlan};
 use spinner_storage::{Catalog, Partitioned, TempRegistry};
 
+use crate::fault::FaultInjector;
 use crate::operators::{self, OpContext};
 use crate::physical::{create_physical_plan, ExchangeMode};
 use crate::stats::ExecStats;
 
 /// Executes planned queries against a catalog + temp registry.
+///
+/// The `guard` is consulted at every step and loop-iteration boundary
+/// (and inside operators at batch boundaries), so cancellation, deadline
+/// and budget violations surface as typed errors between units of work —
+/// never mid-mutation. The `faults` injector is a no-op unless the
+/// config carries chaos-testing fault plans.
 pub struct Executor<'a> {
     pub catalog: &'a Catalog,
     pub registry: &'a TempRegistry,
     pub config: &'a EngineConfig,
     pub stats: &'a ExecStats,
+    pub guard: &'a QueryGuard,
+    pub faults: &'a FaultInjector,
 }
 
 /// Result of one step: the number of rows it reported as updated (merges
@@ -44,6 +51,8 @@ impl Executor<'_> {
             registry: self.registry,
             config: self.config,
             stats: self.stats,
+            guard: self.guard,
+            faults: self.faults,
         }
     }
 
@@ -71,8 +80,14 @@ impl Executor<'_> {
     }
 
     fn run_step(&self, step: &Step) -> Result<StepOutcome> {
+        self.guard.check()?;
         match step {
-            Step::Materialize { name, plan, distribute_by } => {
+            Step::Materialize {
+                name,
+                plan,
+                distribute_by,
+            } => {
+                self.faults.hit(FaultSite::Materialize, self.stats)?;
                 let mut data = self.execute_logical(plan)?;
                 if let Some(col) = distribute_by {
                     // Store the result distributed on its key so later
@@ -83,18 +98,28 @@ impl Executor<'_> {
                         &self.op_ctx(),
                     )?;
                 }
-                ExecStats::add(&self.stats.rows_materialized, data.total_rows() as u64);
+                let total = data.total_rows() as u64;
+                self.guard.charge_rows_materialized(total)?;
+                self.guard
+                    .charge_intermediate_bytes(data.estimated_bytes())?;
+                ExecStats::add(&self.stats.rows_materialized, total);
                 self.registry.put(name, data);
                 Ok(None)
             }
             Step::Rename { from, to } => {
+                self.faults.hit(FaultSite::Rename, self.stats)?;
                 self.registry.rename(from, to)?;
                 ExecStats::add(&self.stats.renames, 1);
                 Ok(None)
             }
-            Step::Merge { cte, working, merged, key, cte_display_name } => {
-                let updated =
-                    self.merge_tables(cte, working, merged, *key, cte_display_name)?;
+            Step::Merge {
+                cte,
+                working,
+                merged,
+                key,
+                cte_display_name,
+            } => {
+                let updated = self.merge_tables(cte, working, merged, *key, cte_display_name)?;
                 Ok(Some(updated))
             }
             Step::Loop(l) => {
@@ -169,7 +194,10 @@ impl Executor<'_> {
         ExecStats::add(&self.stats.rows_updated, updated);
         self.registry.put(
             merged,
-            Partitioned { schema: cte_data.schema, parts: out_parts },
+            Partitioned {
+                schema: cte_data.schema,
+                parts: out_parts,
+            },
         );
         // Algorithm 1, line 10: the working table is consumed by the merge.
         self.registry.remove(working);
@@ -192,6 +220,8 @@ impl Executor<'_> {
         let mut cumulative_updates: u64 = 0;
         loop {
             iteration += 1;
+            self.guard.check()?;
+            self.faults.hit(FaultSite::LoopIteration, self.stats)?;
             if iteration > self.config.max_iterations {
                 return Err(Error::IterationLimitExceeded {
                     cte: l.cte_display_name.clone(),
@@ -241,12 +271,7 @@ impl Executor<'_> {
         }
     }
 
-    fn run_fixed_point_loop(
-        &self,
-        l: &LoopStep,
-        working: &str,
-        union_all: bool,
-    ) -> Result<()> {
+    fn run_fixed_point_loop(&self, l: &LoopStep, working: &str, union_all: bool) -> Result<()> {
         let delta_name = format!("__delta_{}", l.cte);
         // Round zero: the delta is the base result.
         let base = self.registry.get(&l.cte)?;
@@ -266,6 +291,8 @@ impl Executor<'_> {
         let mut iteration: u64 = 0;
         loop {
             iteration += 1;
+            self.guard.check()?;
+            self.faults.hit(FaultSite::LoopIteration, self.stats)?;
             if iteration > self.config.max_iterations {
                 return Err(Error::IterationLimitExceeded {
                     cte: l.cte_display_name.clone(),
@@ -312,7 +339,10 @@ impl Executor<'_> {
             }
             self.registry.put(
                 &l.cte,
-                Partitioned { schema: current.schema.clone(), parts: appended },
+                Partitioned {
+                    schema: current.schema.clone(),
+                    parts: appended,
+                },
             );
             self.registry.put(
                 &delta_name,
@@ -366,11 +396,11 @@ fn diff_by_key(previous: &Partitioned, current: &Partitioned, key: usize) -> Res
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spinner_common::SchemaRef;
     use spinner_common::{row_of, DataType, Field, Schema};
     use spinner_parser::parse_sql;
     use spinner_plan::builder::SchemaProvider;
     use spinner_plan::plan_query;
-    use spinner_common::SchemaRef;
 
     struct CatalogProvider<'a>(&'a Catalog);
 
@@ -405,11 +435,22 @@ mod tests {
 
     fn run(catalog: &Catalog, config: &EngineConfig, sql: &str) -> Result<Batch> {
         let stmt = parse_sql(sql)?;
-        let spinner_parser::Statement::Query(q) = stmt else { panic!("not a query") };
+        let spinner_parser::Statement::Query(q) = stmt else {
+            panic!("not a query")
+        };
         let plan = plan_query(&q, &CatalogProvider(catalog), config)?;
         let registry = TempRegistry::new();
         let stats = ExecStats::new();
-        let exec = Executor { catalog, registry: &registry, config, stats: &stats };
+        let guard = QueryGuard::unlimited();
+        let faults = FaultInjector::disabled();
+        let exec = Executor {
+            catalog,
+            registry: &registry,
+            config,
+            stats: &stats,
+            guard: &guard,
+            faults: &faults,
+        };
         exec.run_query(&plan)
     }
 
@@ -423,7 +464,11 @@ mod tests {
         let config = EngineConfig::default();
         setup_edges(&catalog, config.partitions);
         let batch = run_ok(&catalog, &config, "SELECT dst FROM edges WHERE src = 1");
-        let mut vals: Vec<i64> = batch.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut vals: Vec<i64> = batch
+            .rows()
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
         vals.sort();
         assert_eq!(vals, vec![2, 3]);
     }
@@ -644,7 +689,11 @@ mod tests {
              )
              SELECT node FROM reach ORDER BY node",
         );
-        let nodes: Vec<i64> = batch.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let nodes: Vec<i64> = batch
+            .rows()
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
         assert_eq!(nodes, vec![2, 3, 4]);
     }
 
@@ -679,12 +728,22 @@ mod tests {
             let catalog = Catalog::new();
             setup_edges(&catalog, config.partitions);
             let stmt = parse_sql(sql).unwrap();
-            let spinner_parser::Statement::Query(q) = stmt else { panic!() };
+            let spinner_parser::Statement::Query(q) = stmt else {
+                panic!()
+            };
             let plan = plan_query(&q, &CatalogProvider(&catalog), config).unwrap();
             let registry = TempRegistry::new();
             let stats = ExecStats::new();
-            let exec =
-                Executor { catalog: &catalog, registry: &registry, config, stats: &stats };
+            let guard = QueryGuard::unlimited();
+            let faults = FaultInjector::disabled();
+            let exec = Executor {
+                catalog: &catalog,
+                registry: &registry,
+                config,
+                stats: &stats,
+                guard: &guard,
+                faults: &faults,
+            };
             let batch = exec.run_query(&plan).unwrap();
             (batch, stats.snapshot())
         };

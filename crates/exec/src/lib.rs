@@ -19,10 +19,12 @@
 
 pub mod aggregate;
 pub mod executor;
+pub mod fault;
 pub mod operators;
 pub mod physical;
 pub mod stats;
 
 pub use executor::Executor;
+pub use fault::FaultInjector;
 pub use physical::{create_physical_plan, ExchangeMode, PhysicalPlan};
 pub use stats::ExecStats;

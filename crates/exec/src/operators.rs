@@ -8,11 +8,12 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use spinner_common::{EngineConfig, Error, Result, Row, Value};
+use spinner_common::{EngineConfig, Error, FaultSite, QueryGuard, Result, Row, Value};
 use spinner_plan::{AggExpr, JoinType, PlanExpr, SetOpKind, SortKey};
 use spinner_storage::{Catalog, Partitioned, TempRegistry};
 
 use crate::aggregate::Accumulator;
+use crate::fault::FaultInjector;
 use crate::physical::{partition_for_key, ExchangeMode, PhysicalPlan};
 use crate::stats::ExecStats;
 
@@ -22,6 +23,8 @@ pub struct OpContext<'a> {
     pub registry: &'a TempRegistry,
     pub config: &'a EngineConfig,
     pub stats: &'a ExecStats,
+    pub guard: &'a QueryGuard,
+    pub faults: &'a FaultInjector,
 }
 
 impl OpContext<'_> {
@@ -32,10 +35,18 @@ impl OpContext<'_> {
 
 /// Execute a physical plan tree to a partitioned result.
 pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> {
+    // Operator batch boundary: every operator in the tree passes through
+    // here, so cancellation and deadlines are honoured between operators
+    // even when a single plan has no loop.
+    ctx.guard.check()?;
     match plan {
         PhysicalPlan::SeqScan { table, .. } => {
             let snapshot = ctx.catalog.get(table)?.snapshot();
-            Ok(normalize_partitions(snapshot, ctx.partitions(), plan.schema()))
+            Ok(normalize_partitions(
+                snapshot,
+                ctx.partitions(),
+                plan.schema(),
+            ))
         }
         PhysicalPlan::TempScan { name, .. } => {
             let data = ctx.registry.get(name)?;
@@ -50,12 +61,20 @@ pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> 
                     .collect::<Result<_>>()?;
                 out.push(row.into_boxed_slice());
             }
-            let mut parts: Vec<Arc<Vec<Row>>> =
-                (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+            let mut parts: Vec<Arc<Vec<Row>>> = (0..ctx.partitions())
+                .map(|_| Arc::new(Vec::new()))
+                .collect();
             parts[0] = Arc::new(out);
-            Ok(Partitioned { schema: plan.schema(), parts })
+            Ok(Partitioned {
+                schema: plan.schema(),
+                parts,
+            })
         }
-        PhysicalPlan::Project { input, exprs, schema } => {
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
             let data = execute(input, ctx)?;
             let out = unary_map(&data, ctx, |rows| {
                 let mut result = Vec::with_capacity(rows.len());
@@ -66,7 +85,10 @@ pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> 
                 }
                 Ok(result)
             })?;
-            Ok(Partitioned { schema: schema.clone(), parts: out })
+            Ok(Partitioned {
+                schema: schema.clone(),
+                parts: out,
+            })
         }
         PhysicalPlan::Filter { input, predicate } => {
             let data = execute(input, ctx)?;
@@ -111,9 +133,18 @@ pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> 
                     rwidth,
                 )
             })?;
-            Ok(Partitioned { schema: schema.clone(), parts: out })
+            Ok(Partitioned {
+                schema: schema.clone(),
+                parts: out,
+            })
         }
-        PhysicalPlan::NestedLoopJoin { left, right, join_type, residual, schema } => {
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            join_type,
+            residual,
+            schema,
+        } => {
             let l = execute(left, ctx)?;
             let r = execute(right, ctx)?;
             ExecStats::add(&ctx.stats.joins_executed, 1);
@@ -129,12 +160,21 @@ pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> 
                 lwidth,
                 rwidth,
             )?;
-            let mut parts: Vec<Arc<Vec<Row>>> =
-                (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+            let mut parts: Vec<Arc<Vec<Row>>> = (0..ctx.partitions())
+                .map(|_| Arc::new(Vec::new()))
+                .collect();
             parts[0] = Arc::new(joined);
-            Ok(Partitioned { schema: schema.clone(), parts })
+            Ok(Partitioned {
+                schema: schema.clone(),
+                parts,
+            })
         }
-        PhysicalPlan::HashAggregate { input, group, aggs, schema } => {
+        PhysicalPlan::HashAggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
             let data = execute(input, ctx)?;
             if group.is_empty() {
                 global_aggregate(&data, aggs, schema.clone(), ctx)
@@ -142,22 +182,41 @@ pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> 
                 let out = unary_map(&data, ctx, |rows| {
                     grouped_aggregate_partition(rows, group, aggs)
                 })?;
-                Ok(Partitioned { schema: schema.clone(), parts: out })
+                Ok(Partitioned {
+                    schema: schema.clone(),
+                    parts: out,
+                })
             }
         }
-        PhysicalPlan::AggregatePartial { input, group, aggs, schema } => {
+        PhysicalPlan::AggregatePartial {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
             let data = execute(input, ctx)?;
             let out = unary_map(&data, ctx, |rows| {
                 partial_aggregate_partition(rows, group, aggs)
             })?;
-            Ok(Partitioned { schema: schema.clone(), parts: out })
+            Ok(Partitioned {
+                schema: schema.clone(),
+                parts: out,
+            })
         }
-        PhysicalPlan::AggregateFinal { input, group_len, aggs, schema } => {
+        PhysicalPlan::AggregateFinal {
+            input,
+            group_len,
+            aggs,
+            schema,
+        } => {
             let data = execute(input, ctx)?;
             let out = unary_map(&data, ctx, |rows| {
                 final_aggregate_partition(rows, *group_len, aggs)
             })?;
-            Ok(Partitioned { schema: schema.clone(), parts: out })
+            Ok(Partitioned {
+                schema: schema.clone(),
+                parts: out,
+            })
         }
         PhysicalPlan::Distinct { input } => {
             let data = execute(input, ctx)?;
@@ -179,8 +238,9 @@ pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> 
             let schema = data.schema.clone();
             let mut rows = data.gather();
             sort_rows(&mut rows, keys)?;
-            let mut parts: Vec<Arc<Vec<Row>>> =
-                (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+            let mut parts: Vec<Arc<Vec<Row>>> = (0..ctx.partitions())
+                .map(|_| Arc::new(Vec::new()))
+                .collect();
             parts[0] = Arc::new(rows);
             Ok(Partitioned { schema, parts })
         }
@@ -189,18 +249,28 @@ pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> 
             let schema = data.schema.clone();
             let mut rows = data.gather();
             rows.truncate(*n as usize);
-            let mut parts: Vec<Arc<Vec<Row>>> =
-                (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+            let mut parts: Vec<Arc<Vec<Row>>> = (0..ctx.partitions())
+                .map(|_| Arc::new(Vec::new()))
+                .collect();
             parts[0] = Arc::new(rows);
             Ok(Partitioned { schema, parts })
         }
-        PhysicalPlan::SetOp { op, all, left, right, schema } => {
+        PhysicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => {
             let l = execute(left, ctx)?;
             let r = execute(right, ctx)?;
             let out = binary_map(&l, &r, ctx, |lrows, rrows| {
                 set_op_partition(lrows, rrows, *op, *all)
             })?;
-            Ok(Partitioned { schema: schema.clone(), parts: out })
+            Ok(Partitioned {
+                schema: schema.clone(),
+                parts: out,
+            })
         }
     }
 }
@@ -214,7 +284,10 @@ fn normalize_partitions(
     schema: spinner_common::SchemaRef,
 ) -> Partitioned {
     if data.parts.len() == parts {
-        return Partitioned { schema, parts: data.parts };
+        return Partitioned {
+            schema,
+            parts: data.parts,
+        };
     }
     let rows = data.gather();
     let buckets = spinner_storage::hash_partition(rows, None, parts);
@@ -224,39 +297,97 @@ fn normalize_partitions(
     }
 }
 
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Run one partition's work with panic isolation: a panic inside `f`
+/// (user expression evaluation, an injected chaos fault, a bug) is
+/// caught at the partition boundary, converted into
+/// [`Error::WorkerPanicked`], and the query guard is cancelled so
+/// sibling partition workers stop at their next batch boundary instead
+/// of computing results nobody will read. The catalog and registry use
+/// non-poisoning locks, so the process (and the session) stays usable.
+fn run_partition(
+    ctx: &OpContext<'_>,
+    partition: usize,
+    f: impl FnOnce() -> Result<Vec<Row>>,
+) -> Result<Vec<Row>> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ctx.faults.hit(FaultSite::Worker, ctx.stats)?;
+        f()
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            ctx.guard.cancel();
+            Err(Error::WorkerPanicked {
+                partition,
+                message: panic_message(payload),
+            })
+        }
+    }
+}
+
 /// Run `f` over every partition of `input`, optionally in parallel.
+/// Workers are panic-isolated; see [`run_partition`].
 fn unary_map(
     input: &Partitioned,
     ctx: &OpContext<'_>,
     f: impl Fn(&[Row]) -> Result<Vec<Row>> + Sync,
 ) -> Result<Vec<Arc<Vec<Row>>>> {
     if ctx.config.parallel_partitions && input.parts.len() > 1 {
+        let fref = &f;
         let results: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = input
                 .parts
                 .iter()
-                .map(|p| s.spawn(|_| f(p.as_slice())))
+                .enumerate()
+                .map(|(i, p)| {
+                    let p = Arc::clone(p);
+                    s.spawn(move |_| run_partition(ctx, i, || fref(p.as_slice())))
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("partition worker panicked"))
+                .enumerate()
+                .map(|(i, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        // Unreachable in practice (run_partition catches
+                        // panics inside the worker), kept as a second
+                        // line of defense.
+                        ctx.guard.cancel();
+                        Err(Error::WorkerPanicked {
+                            partition: i,
+                            message: panic_message(payload),
+                        })
+                    })
+                })
                 .collect()
         })
-        .expect("crossbeam scope failed");
-        results
-            .into_iter()
-            .map(|r| r.map(Arc::new))
-            .collect()
+        .map_err(|payload| Error::WorkerPanicked {
+            partition: usize::MAX,
+            message: panic_message(payload),
+        })?;
+        results.into_iter().map(|r| r.map(Arc::new)).collect()
     } else {
         input
             .parts
             .iter()
-            .map(|p| f(p.as_slice()).map(Arc::new))
+            .enumerate()
+            .map(|(i, p)| run_partition(ctx, i, || f(p.as_slice())).map(Arc::new))
             .collect()
     }
 }
 
 /// Run `f` over co-indexed partition pairs, optionally in parallel.
+/// Workers are panic-isolated; see [`run_partition`].
 fn binary_map(
     l: &Partitioned,
     r: &Partitioned,
@@ -271,25 +402,46 @@ fn binary_map(
         )));
     }
     if ctx.config.parallel_partitions && l.parts.len() > 1 {
+        let fref = &f;
         let results: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = l
                 .parts
                 .iter()
                 .zip(&r.parts)
-                .map(|(lp, rp)| s.spawn(|_| f(lp.as_slice(), rp.as_slice())))
+                .enumerate()
+                .map(|(i, (lp, rp))| {
+                    let lp = Arc::clone(lp);
+                    let rp = Arc::clone(rp);
+                    s.spawn(move |_| run_partition(ctx, i, || fref(lp.as_slice(), rp.as_slice())))
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("partition worker panicked"))
+                .enumerate()
+                .map(|(i, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        ctx.guard.cancel();
+                        Err(Error::WorkerPanicked {
+                            partition: i,
+                            message: panic_message(payload),
+                        })
+                    })
+                })
                 .collect()
         })
-        .expect("crossbeam scope failed");
+        .map_err(|payload| Error::WorkerPanicked {
+            partition: usize::MAX,
+            message: panic_message(payload),
+        })?;
         results.into_iter().map(|x| x.map(Arc::new)).collect()
     } else {
         l.parts
             .iter()
             .zip(&r.parts)
-            .map(|(lp, rp)| f(lp.as_slice(), rp.as_slice()).map(Arc::new))
+            .enumerate()
+            .map(|(i, (lp, rp))| {
+                run_partition(ctx, i, || f(lp.as_slice(), rp.as_slice())).map(Arc::new)
+            })
             .collect()
     }
 }
@@ -300,6 +452,7 @@ pub fn exchange(
     mode: &ExchangeMode,
     ctx: &OpContext<'_>,
 ) -> Result<Partitioned> {
+    ctx.faults.hit(FaultSite::Exchange, ctx.stats)?;
     let parts = ctx.partitions();
     let schema = data.schema.clone();
     match mode {
@@ -319,6 +472,7 @@ pub fn exchange(
                     buckets[target].push(row.clone());
                 }
             }
+            ctx.guard.charge_rows_moved(moved)?;
             ExecStats::add(&ctx.stats.rows_moved, moved);
             Ok(Partitioned {
                 schema,
@@ -333,16 +487,17 @@ pub fn exchange(
                 .filter(|(i, _)| *i != 0)
                 .map(|(_, p)| p.len() as u64)
                 .sum();
+            ctx.guard.charge_rows_moved(moved)?;
             ExecStats::add(&ctx.stats.rows_moved, moved);
             let rows = data.gather();
-            let mut out: Vec<Arc<Vec<Row>>> =
-                (0..parts).map(|_| Arc::new(Vec::new())).collect();
+            let mut out: Vec<Arc<Vec<Row>>> = (0..parts).map(|_| Arc::new(Vec::new())).collect();
             out[0] = Arc::new(rows);
             Ok(Partitioned { schema, parts: out })
         }
         ExchangeMode::Broadcast => {
             let rows = data.gather();
             let copies = rows.len() as u64 * (parts as u64).saturating_sub(1);
+            ctx.guard.charge_rows_moved(copies)?;
             ExecStats::add(&ctx.stats.rows_broadcast, copies);
             let shared = Arc::new(rows);
             Ok(Partitioned {
@@ -551,11 +706,7 @@ fn partial_aggregate_partition(
 
 /// Phase 2 of two-phase aggregation: merge partial-state rows of one
 /// (key-exchanged) partition into final results.
-fn final_aggregate_partition(
-    rows: &[Row],
-    group_len: usize,
-    aggs: &[AggExpr],
-) -> Result<Vec<Row>> {
+fn final_aggregate_partition(rows: &[Row], group_len: usize, aggs: &[AggExpr]) -> Result<Vec<Row>> {
     let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
     let mut groups: Vec<(Vec<Value>, Vec<Accumulator>)> = Vec::new();
     for row in rows {
@@ -610,19 +761,15 @@ fn global_aggregate(
         }
     }
     let row: Vec<Value> = final_accs.into_iter().map(Accumulator::finish).collect();
-    let mut parts: Vec<Arc<Vec<Row>>> =
-        (0..ctx.partitions()).map(|_| Arc::new(Vec::new())).collect();
+    let mut parts: Vec<Arc<Vec<Row>>> = (0..ctx.partitions())
+        .map(|_| Arc::new(Vec::new()))
+        .collect();
     parts[0] = Arc::new(vec![row.into_boxed_slice()]);
     Ok(Partitioned { schema, parts })
 }
 
 /// Distinct set operations over one co-partitioned pair.
-fn set_op_partition(
-    lrows: &[Row],
-    rrows: &[Row],
-    op: SetOpKind,
-    all: bool,
-) -> Result<Vec<Row>> {
+fn set_op_partition(lrows: &[Row], rrows: &[Row], op: SetOpKind, all: bool) -> Result<Vec<Row>> {
     match (op, all) {
         (SetOpKind::Union, true) => {
             let mut out = Vec::with_capacity(lrows.len() + rrows.len());
@@ -775,10 +922,8 @@ mod tests {
     fn nested_loop_left_join_pads() {
         let l = vec![row_of([Value::Int(1)]), row_of([Value::Int(2)])];
         let r = vec![row_of([Value::Int(1), Value::Int(10)])];
-        let pred = PlanExpr::column(0, "l").binary(
-            spinner_plan::expr::BinaryOp::Eq,
-            PlanExpr::column(1, "r"),
-        );
+        let pred = PlanExpr::column(0, "l")
+            .binary(spinner_plan::expr::BinaryOp::Eq, PlanExpr::column(1, "r"));
         let out = nested_loop_join(&l, &r, JoinType::Left, Some(&pred), 1, 2).unwrap();
         assert_eq!(out.len(), 2);
         assert!(out[1][1].is_null()); // unmatched row padded
@@ -789,8 +934,7 @@ mod tests {
         let l = vec![row_of([Value::Null]), row_of([Value::Int(1)])];
         let r = vec![row_of([Value::Null]), row_of([Value::Int(1)])];
         let keys = vec![PlanExpr::column(0, "k")];
-        let out =
-            hash_join_partition(&l, &r, JoinType::Inner, &keys, &keys, None, 1, 1).unwrap();
+        let out = hash_join_partition(&l, &r, JoinType::Inner, &keys, &keys, None, 1, 1).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0][0], Value::Int(1));
     }

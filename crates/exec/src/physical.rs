@@ -12,9 +12,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use spinner_common::{
-    DataType, EngineConfig, Error, Field, Result, Schema, SchemaRef, Value,
-};
+use spinner_common::{DataType, EngineConfig, Error, Field, Result, Schema, SchemaRef, Value};
 use spinner_plan::{AggExpr, JoinType, LogicalPlan, PlanExpr, SetOpKind, SortKey};
 
 use crate::aggregate::Accumulator;
@@ -165,10 +163,19 @@ impl PhysicalPlan {
             PhysicalPlan::Values { rows, .. } => format!("Values: {} rows", rows.len()),
             PhysicalPlan::Project { exprs, .. } => format!(
                 "Project: {}",
-                exprs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+                exprs
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             PhysicalPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
-            PhysicalPlan::HashJoin { join_type, left_keys, right_keys, .. } => format!(
+            PhysicalPlan::HashJoin {
+                join_type,
+                left_keys,
+                right_keys,
+                ..
+            } => format!(
                 "HashJoin({join_type}): {}",
                 left_keys
                     .iter()
@@ -180,20 +187,17 @@ impl PhysicalPlan {
             PhysicalPlan::NestedLoopJoin { join_type, .. } => {
                 format!("NestedLoopJoin({join_type})")
             }
-            PhysicalPlan::HashAggregate { group, aggs, .. } => format!(
-                "HashAggregate: groups={} aggs={}",
-                group.len(),
-                aggs.len()
-            ),
+            PhysicalPlan::HashAggregate { group, aggs, .. } => {
+                format!("HashAggregate: groups={} aggs={}", group.len(), aggs.len())
+            }
             PhysicalPlan::AggregatePartial { group, aggs, .. } => format!(
                 "AggregatePartial: groups={} aggs={}",
                 group.len(),
                 aggs.len()
             ),
-            PhysicalPlan::AggregateFinal { group_len, aggs, .. } => format!(
-                "AggregateFinal: groups={group_len} aggs={}",
-                aggs.len()
-            ),
+            PhysicalPlan::AggregateFinal {
+                group_len, aggs, ..
+            } => format!("AggregateFinal: groups={group_len} aggs={}", aggs.len()),
             PhysicalPlan::Distinct { .. } => "Distinct".into(),
             PhysicalPlan::Sort { keys, .. } => format!("Sort: {} keys", keys.len()),
             PhysicalPlan::Limit { n, .. } => format!("Limit: {n}"),
@@ -240,10 +244,7 @@ impl fmt::Display for PhysicalPlan {
 }
 
 /// Lower a logical plan to a physical one, inserting exchanges.
-pub fn create_physical_plan(
-    plan: &LogicalPlan,
-    config: &EngineConfig,
-) -> Result<PhysicalPlan> {
+pub fn create_physical_plan(plan: &LogicalPlan, config: &EngineConfig) -> Result<PhysicalPlan> {
     Ok(match plan {
         LogicalPlan::TableScan { table, schema } => PhysicalPlan::SeqScan {
             table: table.clone(),
@@ -257,7 +258,11 @@ pub fn create_physical_plan(
             rows: rows.clone(),
             schema: schema.clone(),
         },
-        LogicalPlan::Projection { input, exprs, schema } => PhysicalPlan::Project {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => PhysicalPlan::Project {
             input: Box::new(create_physical_plan(input, config)?),
             exprs: exprs.clone(),
             schema: schema.clone(),
@@ -266,7 +271,14 @@ pub fn create_physical_plan(
             input: Box::new(create_physical_plan(input, config)?),
             predicate: predicate.clone(),
         },
-        LogicalPlan::Join { left, right, join_type, on, filter, schema } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => {
             let l = create_physical_plan(left, config)?;
             let r = create_physical_plan(right, config)?;
             if on.is_empty() {
@@ -304,7 +316,12 @@ pub fn create_physical_plan(
                 }
             }
         }
-        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
             let child = create_physical_plan(input, config)?;
             if group.is_empty() {
                 // Global aggregate: partial per partition, merged by the
@@ -384,7 +401,13 @@ pub fn create_physical_plan(
             }),
             n: *n,
         },
-        LogicalPlan::SetOp { op, all, left, right, schema } => {
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => {
             let l = create_physical_plan(left, config)?;
             let r = create_physical_plan(right, config)?;
             if *all && *op == SetOpKind::Union {
@@ -480,14 +503,22 @@ mod tests {
             schema: Arc::new(scan().schema().join(&scan().schema())),
         };
         let phys = create_physical_plan(&join, &EngineConfig::default()).unwrap();
-        let PhysicalPlan::HashJoin { left, right, .. } = phys else { panic!() };
+        let PhysicalPlan::HashJoin { left, right, .. } = phys else {
+            panic!()
+        };
         assert!(matches!(
             *left,
-            PhysicalPlan::Exchange { mode: ExchangeMode::Hash(_), .. }
+            PhysicalPlan::Exchange {
+                mode: ExchangeMode::Hash(_),
+                ..
+            }
         ));
         assert!(matches!(
             *right,
-            PhysicalPlan::Exchange { mode: ExchangeMode::Hash(_), .. }
+            PhysicalPlan::Exchange {
+                mode: ExchangeMode::Hash(_),
+                ..
+            }
         ));
     }
 
@@ -517,7 +548,11 @@ mod tests {
         let PhysicalPlan::AggregateFinal { input, .. } = phys else {
             panic!("expected final phase on top")
         };
-        let PhysicalPlan::Exchange { input, mode: ExchangeMode::Hash(_) } = *input else {
+        let PhysicalPlan::Exchange {
+            input,
+            mode: ExchangeMode::Hash(_),
+        } = *input
+        else {
             panic!("expected key exchange between phases")
         };
         assert!(matches!(*input, PhysicalPlan::AggregatePartial { .. }));
@@ -545,7 +580,10 @@ mod tests {
         };
         assert!(matches!(
             *input,
-            PhysicalPlan::Exchange { mode: ExchangeMode::Hash(_), .. }
+            PhysicalPlan::Exchange {
+                mode: ExchangeMode::Hash(_),
+                ..
+            }
         ));
     }
 
@@ -571,7 +609,9 @@ mod tests {
             schema: Arc::new(Schema::empty()),
         };
         let phys = create_physical_plan(&agg, &EngineConfig::default()).unwrap();
-        let PhysicalPlan::HashAggregate { input, .. } = phys else { panic!() };
+        let PhysicalPlan::HashAggregate { input, .. } = phys else {
+            panic!()
+        };
         assert!(matches!(*input, PhysicalPlan::SeqScan { .. }));
     }
 

@@ -30,6 +30,8 @@ pub struct ExecStats {
     /// extraction reduces this: a hoisted join runs once instead of once
     /// per iteration.
     pub joins_executed: AtomicU64,
+    /// Faults fired by the chaos-testing injector (0 in production).
+    pub faults_injected: AtomicU64,
 }
 
 impl ExecStats {
@@ -54,6 +56,7 @@ impl ExecStats {
             iterations: self.iterations.load(Ordering::Relaxed),
             rows_updated: self.rows_updated.load(Ordering::Relaxed),
             joins_executed: self.joins_executed.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 
@@ -68,6 +71,7 @@ impl ExecStats {
         self.iterations.store(0, Ordering::Relaxed);
         self.rows_updated.store(0, Ordering::Relaxed);
         self.joins_executed.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
     }
 }
 
@@ -83,6 +87,7 @@ pub struct StatsSnapshot {
     pub iterations: u64,
     pub rows_updated: u64,
     pub joins_executed: u64,
+    pub faults_injected: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -90,7 +95,7 @@ impl std::fmt::Display for StatsSnapshot {
         write!(
             f,
             "moved={} broadcast={} materialized={} renames={} merges={} \
-             merge_examined={} iterations={} updated={} joins={}",
+             merge_examined={} iterations={} updated={} joins={} faults={}",
             self.rows_moved,
             self.rows_broadcast,
             self.rows_materialized,
@@ -100,6 +105,7 @@ impl std::fmt::Display for StatsSnapshot {
             self.iterations,
             self.rows_updated,
             self.joins_executed,
+            self.faults_injected,
         )
     }
 }

@@ -36,17 +36,29 @@ pub fn extract_common_results(steps: Vec<Step>) -> Result<Vec<Step>> {
                     .body
                     .into_iter()
                     .map(|body_step| match body_step {
-                        Step::Materialize { name, plan, distribute_by } => {
+                        Step::Materialize {
+                            name,
+                            plan,
+                            distribute_by,
+                        } => {
                             let regrouped = regroup_inner_joins(plan, &l.cte);
                             let rewritten =
                                 extract_from_plan(regrouped, &l.cte, &mut commons, &mut counter);
-                            Step::Materialize { name, plan: rewritten, distribute_by }
+                            Step::Materialize {
+                                name,
+                                plan: rewritten,
+                                distribute_by,
+                            }
                         }
                         other => other,
                     })
                     .collect();
                 for (name, plan) in commons {
-                    out.push(Step::Materialize { name, plan, distribute_by: None });
+                    out.push(Step::Materialize {
+                        name,
+                        plan,
+                        distribute_by: None,
+                    });
                 }
                 out.push(Step::Loop(l));
             }
@@ -72,7 +84,9 @@ fn extract_from_plan(
         commons.push((name.clone(), plan));
         return LogicalPlan::TempScan { name, schema };
     }
-    map_children(plan, &mut |child| extract_from_plan(child, cte, commons, counter))
+    map_children(plan, &mut |child| {
+        extract_from_plan(child, cte, commons, counter)
+    })
 }
 
 /// A subtree qualifies when it contains at least one join, never reads the
@@ -199,12 +213,13 @@ fn regroup_inner_joins(plan: LogicalPlan, cte: &str) -> LogicalPlan {
 }
 
 /// Rebuild a node with transformed children.
-fn map_children(
-    plan: LogicalPlan,
-    f: &mut impl FnMut(LogicalPlan) -> LogicalPlan,
-) -> LogicalPlan {
+fn map_children(plan: LogicalPlan, f: &mut impl FnMut(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
     match plan {
-        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
             input: Box::new(f(*input)),
             exprs,
             schema,
@@ -213,7 +228,14 @@ fn map_children(
             input: Box::new(f(*input)),
             predicate,
         },
-        LogicalPlan::Join { left, right, join_type, on, filter, schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => LogicalPlan::Join {
             left: Box::new(f(*left)),
             right: Box::new(f(*right)),
             join_type,
@@ -221,13 +243,20 @@ fn map_children(
             filter,
             schema,
         },
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input: Box::new(f(*input)),
             group,
             aggs,
             schema,
         },
-        LogicalPlan::Distinct { input } => LogicalPlan::Distinct { input: Box::new(f(*input)) },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
             input: Box::new(f(*input)),
             keys,
@@ -236,7 +265,13 @@ fn map_children(
             input: Box::new(f(*input)),
             n,
         },
-        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
             op,
             all,
             left: Box::new(f(*left)),
@@ -289,10 +324,20 @@ mod tests {
         Step::Loop(LoopStep {
             cte: "cte_pr".into(),
             cte_display_name: "pr".into(),
-            kind: LoopKind::Iterative { working: "w".into(), merge: false },
+            kind: LoopKind::Iterative {
+                working: "w".into(),
+                merge: false,
+            },
             body: vec![
-                Step::Materialize { name: "w".into(), plan: body_plan, distribute_by: Some(0) },
-                Step::Rename { from: "w".into(), to: "cte_pr".into() },
+                Step::Materialize {
+                    name: "w".into(),
+                    plan: body_plan,
+                    distribute_by: Some(0),
+                },
+                Step::Rename {
+                    from: "w".into(),
+                    to: "cte_pr".into(),
+                },
             ],
             termination: TerminationPlan::Iterations(5),
             key: 0,
@@ -303,15 +348,24 @@ mod tests {
     #[test]
     fn invariant_join_is_hoisted_before_loop() {
         // pr ⋈ (edges ⋈ vs): the right subtree is invariant.
-        let invariant = inner(table("edges", &["src", "dst"]), table("vs", &["node"]), 1, 0);
+        let invariant = inner(
+            table("edges", &["src", "dst"]),
+            table("vs", &["node"]),
+            1,
+            0,
+        );
         let body = inner(temp("cte_pr", &["node"]), invariant, 0, 1);
         let steps = extract_common_results(vec![loop_step(body)]).unwrap();
         assert_eq!(steps.len(), 2);
-        let Step::Materialize { name, plan, .. } = &steps[0] else { panic!("common first") };
+        let Step::Materialize { name, plan, .. } = &steps[0] else {
+            panic!("common first")
+        };
         assert!(name.starts_with("__common_"));
         assert_eq!(plan.count_joins(), 1);
         let Step::Loop(l) = &steps[1] else { panic!() };
-        let Step::Materialize { plan, .. } = &l.body[0] else { panic!() };
+        let Step::Materialize { plan, .. } = &l.body[0] else {
+            panic!()
+        };
         // The loop body now reads the materialized common result.
         assert!(plan.references_temp(name));
         assert_eq!(plan.count_joins(), 1); // only the variant join remains
@@ -320,7 +374,12 @@ mod tests {
     #[test]
     fn variant_join_not_hoisted() {
         // pr ⋈ edges — references the CTE, cannot be hoisted.
-        let body = inner(temp("cte_pr", &["node"]), table("edges", &["src", "dst"]), 0, 0);
+        let body = inner(
+            temp("cte_pr", &["node"]),
+            table("edges", &["src", "dst"]),
+            0,
+            0,
+        );
         let steps = extract_common_results(vec![loop_step(body)]).unwrap();
         assert_eq!(steps.len(), 1);
     }
@@ -328,10 +387,17 @@ mod tests {
     #[test]
     fn bare_scan_not_hoisted() {
         // A lone invariant scan has no join — materializing it buys nothing.
-        let body = inner(temp("cte_pr", &["node"]), table("edges", &["src", "dst"]), 0, 0);
+        let body = inner(
+            temp("cte_pr", &["node"]),
+            table("edges", &["src", "dst"]),
+            0,
+            0,
+        );
         let steps = extract_common_results(vec![loop_step(body)]).unwrap();
         let Step::Loop(l) = &steps[0] else { panic!() };
-        let Step::Materialize { plan, .. } = &l.body[0] else { panic!() };
+        let Step::Materialize { plan, .. } = &l.body[0] else {
+            panic!()
+        };
         assert!(matches!(
             plan,
             LogicalPlan::Join { right, .. } if matches!(**right, LogicalPlan::TableScan { .. })
@@ -346,11 +412,13 @@ mod tests {
         let edges = table("edges", &["src", "dst"]); // width 2
         let vs = table("vs", &["vnode", "status"]);
         let lower = inner(pr, edges, 0, 1); // pr.node = edges.dst
-        // upper keys: edges.dst (combined index 2) = vs.vnode (index 0)
+                                            // upper keys: edges.dst (combined index 2) = vs.vnode (index 0)
         let upper = inner(lower, vs, 2, 0);
         let steps = extract_common_results(vec![loop_step(upper)]).unwrap();
         assert_eq!(steps.len(), 2, "expected a hoisted common materialization");
-        let Step::Materialize { plan, .. } = &steps[0] else { panic!() };
+        let Step::Materialize { plan, .. } = &steps[0] else {
+            panic!()
+        };
         // The hoisted subtree is edges ⋈ vs.
         assert_eq!(plan.count_joins(), 1);
         assert!(!plan.references_temp("cte_pr"));

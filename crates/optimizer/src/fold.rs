@@ -12,7 +12,11 @@ use spinner_plan::{LogicalPlan, PlanExpr};
 /// Fold constants in every expression of the tree, bottom-up.
 pub fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
     Ok(match plan {
-        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
             input: Box::new(fold_constants(*input)?),
             exprs: exprs.into_iter().map(fold_expr).collect(),
             schema,
@@ -23,23 +27,36 @@ pub fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
             if predicate == PlanExpr::Literal(Value::Bool(true)) {
                 input
             } else {
-                LogicalPlan::Filter { input: Box::new(input), predicate }
+                LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
             }
         }
-        LogicalPlan::Join { left, right, join_type, on, filter, schema } => {
-            LogicalPlan::Join {
-                left: Box::new(fold_constants(*left)?),
-                right: Box::new(fold_constants(*right)?),
-                join_type,
-                on: on
-                    .into_iter()
-                    .map(|(l, r)| (fold_expr(l), fold_expr(r)))
-                    .collect(),
-                filter: filter.map(fold_expr),
-                schema,
-            }
-        }
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(fold_constants(*left)?),
+            right: Box::new(fold_constants(*right)?),
+            join_type,
+            on: on
+                .into_iter()
+                .map(|(l, r)| (fold_expr(l), fold_expr(r)))
+                .collect(),
+            filter: filter.map(fold_expr),
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input: Box::new(fold_constants(*input)?),
             group: group.into_iter().map(fold_expr).collect(),
             aggs,
@@ -56,7 +73,13 @@ pub fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
             input: Box::new(fold_constants(*input)?),
             n,
         },
-        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
             op,
             all,
             left: Box::new(fold_constants(*left)?),
@@ -94,26 +117,43 @@ pub fn fold_expr(expr: PlanExpr) -> PlanExpr {
                 }
                 _ => {}
             }
-            PlanExpr::Binary { left: Box::new(left), op, right: Box::new(right) }
+            PlanExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            }
         }
-        PlanExpr::Unary { op, expr } => PlanExpr::Unary { op, expr: Box::new(fold_expr(*expr)) },
+        PlanExpr::Unary { op, expr } => PlanExpr::Unary {
+            op,
+            expr: Box::new(fold_expr(*expr)),
+        },
         PlanExpr::Scalar { func, args } => PlanExpr::Scalar {
             func,
             args: args.into_iter().map(fold_expr).collect(),
         },
-        PlanExpr::Case { branches, else_expr } => PlanExpr::Case {
+        PlanExpr::Case {
+            branches,
+            else_expr,
+        } => PlanExpr::Case {
             branches: branches
                 .into_iter()
                 .map(|(w, t)| (fold_expr(w), fold_expr(t)))
                 .collect(),
             else_expr: else_expr.map(|e| Box::new(fold_expr(*e))),
         },
-        PlanExpr::Cast { expr, to } => PlanExpr::Cast { expr: Box::new(fold_expr(*expr)), to },
+        PlanExpr::Cast { expr, to } => PlanExpr::Cast {
+            expr: Box::new(fold_expr(*expr)),
+            to,
+        },
         PlanExpr::IsNull { expr, negated } => PlanExpr::IsNull {
             expr: Box::new(fold_expr(*expr)),
             negated,
         },
-        PlanExpr::InList { expr, list, negated } => PlanExpr::InList {
+        PlanExpr::InList {
+            expr,
+            list,
+            negated,
+        } => PlanExpr::InList {
             expr: Box::new(fold_expr(*expr)),
             list: list.into_iter().map(fold_expr).collect(),
             negated,
@@ -162,7 +202,9 @@ mod tests {
             .binary(BinaryOp::Plus, PlanExpr::literal(2i64))
             .binary(BinaryOp::Lt, PlanExpr::column(0, "x"));
         let folded = fold_expr(e);
-        let PlanExpr::Binary { left, .. } = &folded else { panic!() };
+        let PlanExpr::Binary { left, .. } = &folded else {
+            panic!()
+        };
         assert_eq!(**left, PlanExpr::Literal(Value::Int(3)));
     }
 

@@ -53,7 +53,9 @@ pub fn push_into_non_iterative(
         };
         // Condition 2 + 3: Ri is a per-row pipeline and the predicate's
         // columns are invariant.
-        let Step::Loop(l) = &steps[loop_idx] else { unreachable!() };
+        let Step::Loop(l) = &steps[loop_idx] else {
+            unreachable!()
+        };
         let Some(working_plan) = l.body.iter().find_map(|s| match s {
             Step::Materialize { plan, .. } => Some(plan),
             _ => None,
@@ -80,7 +82,12 @@ pub fn push_into_non_iterative(
         // Move the predicate: wrap R0 in the filter (positions in the CTE
         // schema equal positions in R0's output), drop it from the final
         // plan.
-        let Step::Materialize { name, plan, distribute_by } = steps[init_idx].clone() else {
+        let Step::Materialize {
+            name,
+            plan,
+            distribute_by,
+        } = steps[init_idx].clone()
+        else {
             unreachable!()
         };
         steps[init_idx] = Step::Materialize {
@@ -113,8 +120,7 @@ fn find_filter_over_scan(plan: &LogicalPlan, cte: &str) -> Option<PlanExpr> {
 /// Remove the `Filter(TempScan(cte))` found by [`find_filter_over_scan`].
 fn remove_filter_over_scan(plan: LogicalPlan, cte: &str) -> LogicalPlan {
     if let LogicalPlan::Filter { input, predicate } = plan {
-        if matches!(&*input, LogicalPlan::TempScan { name, .. } if name.eq_ignore_ascii_case(cte))
-        {
+        if matches!(&*input, LogicalPlan::TempScan { name, .. } if name.eq_ignore_ascii_case(cte)) {
             return *input;
         }
         return LogicalPlan::Filter {
@@ -156,7 +162,11 @@ fn map_children_owned(
     f: &mut impl FnMut(LogicalPlan) -> LogicalPlan,
 ) -> LogicalPlan {
     match plan {
-        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
             input: Box::new(f(*input)),
             exprs,
             schema,
@@ -165,7 +175,14 @@ fn map_children_owned(
             input: Box::new(f(*input)),
             predicate,
         },
-        LogicalPlan::Join { left, right, join_type, on, filter, schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => LogicalPlan::Join {
             left: Box::new(f(*left)),
             right: Box::new(f(*right)),
             join_type,
@@ -173,19 +190,35 @@ fn map_children_owned(
             filter,
             schema,
         },
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input: Box::new(f(*input)),
             group,
             aggs,
             schema,
         },
-        LogicalPlan::Distinct { input } => LogicalPlan::Distinct { input: Box::new(f(*input)) },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
             input: Box::new(f(*input)),
             keys,
         },
-        LogicalPlan::Limit { input, n } => LogicalPlan::Limit { input: Box::new(f(*input)), n },
-        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(f(*input)),
+            n,
+        },
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
             op,
             all,
             left: Box::new(f(*left)),
@@ -212,7 +245,10 @@ mod tests {
     }
 
     fn cte_scan() -> LogicalPlan {
-        LogicalPlan::TempScan { name: "cte_f".into(), schema: cte_schema() }
+        LogicalPlan::TempScan {
+            name: "cte_f".into(),
+            schema: cte_schema(),
+        }
     }
 
     /// FF-shaped Ri: node passes through, friends is recomputed.
@@ -231,16 +267,29 @@ mod tests {
         let steps = vec![
             Step::Materialize {
                 name: "cte_f".into(),
-                plan: LogicalPlan::Values { schema: cte_schema(), rows: vec![] },
+                plan: LogicalPlan::Values {
+                    schema: cte_schema(),
+                    rows: vec![],
+                },
                 distribute_by: Some(0),
             },
             Step::Loop(LoopStep {
                 cte: "cte_f".into(),
                 cte_display_name: "forecast".into(),
-                kind: LoopKind::Iterative { working: "w".into(), merge: false },
+                kind: LoopKind::Iterative {
+                    working: "w".into(),
+                    merge: false,
+                },
                 body: vec![
-                    Step::Materialize { name: "w".into(), plan: ri, distribute_by: Some(0) },
-                    Step::Rename { from: "w".into(), to: "cte_f".into() },
+                    Step::Materialize {
+                        name: "w".into(),
+                        plan: ri,
+                        distribute_by: Some(0),
+                    },
+                    Step::Rename {
+                        from: "w".into(),
+                        to: "cte_f".into(),
+                    },
                 ],
                 termination: TerminationPlan::Iterations(5),
                 key: 0,
@@ -265,10 +314,11 @@ mod tests {
     #[test]
     fn ff_predicate_moves_into_r0() {
         let (steps, root) = program(ff_ri(), node_filter());
-        let (steps, root) =
-            push_into_non_iterative(steps, root, &EngineConfig::default()).unwrap();
+        let (steps, root) = push_into_non_iterative(steps, root, &EngineConfig::default()).unwrap();
         // R0 is now filtered...
-        let Step::Materialize { plan, .. } = &steps[0] else { panic!() };
+        let Step::Materialize { plan, .. } = &steps[0] else {
+            panic!()
+        };
         assert!(matches!(plan, LogicalPlan::Filter { .. }));
         // ...and the final plan's filter is gone.
         assert!(matches!(root, LogicalPlan::TempScan { .. }));
@@ -277,12 +327,12 @@ mod tests {
     #[test]
     fn predicate_on_computed_column_stays() {
         // Filter on `friends`, which Ri recomputes — unsafe to push.
-        let pred =
-            PlanExpr::column(1, "friends").binary(BinaryOp::Gt, PlanExpr::literal(10i64));
+        let pred = PlanExpr::column(1, "friends").binary(BinaryOp::Gt, PlanExpr::literal(10i64));
         let (steps, root) = program(ff_ri(), pred);
-        let (steps, root) =
-            push_into_non_iterative(steps, root, &EngineConfig::default()).unwrap();
-        let Step::Materialize { plan, .. } = &steps[0] else { panic!() };
+        let (steps, root) = push_into_non_iterative(steps, root, &EngineConfig::default()).unwrap();
+        let Step::Materialize { plan, .. } = &steps[0] else {
+            panic!()
+        };
         assert!(matches!(plan, LogicalPlan::Values { .. }), "R0 unchanged");
         assert!(matches!(root, LogicalPlan::Filter { .. }), "Qf filter kept");
     }
@@ -304,9 +354,10 @@ mod tests {
             schema: cte_schema(),
         };
         let (steps, root) = program(ri, node_filter());
-        let (steps, root) =
-            push_into_non_iterative(steps, root, &EngineConfig::default()).unwrap();
-        let Step::Materialize { plan, .. } = &steps[0] else { panic!() };
+        let (steps, root) = push_into_non_iterative(steps, root, &EngineConfig::default()).unwrap();
+        let Step::Materialize { plan, .. } = &steps[0] else {
+            panic!()
+        };
         assert!(matches!(plan, LogicalPlan::Values { .. }), "R0 unchanged");
         assert!(matches!(root, LogicalPlan::Filter { .. }));
     }
@@ -327,9 +378,10 @@ mod tests {
             filter: None,
             schema: join_schema,
         };
-        let (steps, root) =
-            push_into_non_iterative(steps, root, &EngineConfig::default()).unwrap();
-        let Step::Materialize { plan, .. } = &steps[0] else { panic!() };
+        let (steps, root) = push_into_non_iterative(steps, root, &EngineConfig::default()).unwrap();
+        let Step::Materialize { plan, .. } = &steps[0] else {
+            panic!()
+        };
         assert!(matches!(plan, LogicalPlan::Values { .. }), "R0 unchanged");
         assert!(find_filter_over_scan(&root, "cte_f").is_some());
     }

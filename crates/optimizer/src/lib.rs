@@ -77,7 +77,11 @@ pub fn optimize(plan: QueryPlan, config: &EngineConfig) -> Result<QueryPlan> {
 
 fn optimize_step(step: Step, config: &EngineConfig) -> Result<Step> {
     Ok(match step {
-        Step::Materialize { name, plan, distribute_by } => Step::Materialize {
+        Step::Materialize {
+            name,
+            plan,
+            distribute_by,
+        } => Step::Materialize {
             name,
             plan: optimize_plan(plan, config)?,
             distribute_by,
@@ -113,9 +117,17 @@ pub fn optimize_statement(
 }
 
 /// Split an expression into AND-connected conjuncts.
-pub(crate) fn split_conjuncts(expr: &spinner_plan::PlanExpr, out: &mut Vec<spinner_plan::PlanExpr>) {
+pub(crate) fn split_conjuncts(
+    expr: &spinner_plan::PlanExpr,
+    out: &mut Vec<spinner_plan::PlanExpr>,
+) {
     use spinner_plan::expr::BinaryOp;
-    if let spinner_plan::PlanExpr::Binary { left, op: BinaryOp::And, right } = expr {
+    if let spinner_plan::PlanExpr::Binary {
+        left,
+        op: BinaryOp::And,
+        right,
+    } = expr
+    {
         split_conjuncts(left, out);
         split_conjuncts(right, out);
     } else {
@@ -131,5 +143,9 @@ pub(crate) fn conjoin(mut parts: Vec<spinner_plan::PlanExpr>) -> Option<spinner_
     } else {
         parts.remove(0)
     };
-    Some(parts.into_iter().fold(first, |acc, p| acc.binary(BinaryOp::And, p)))
+    Some(
+        parts
+            .into_iter()
+            .fold(first, |acc, p| acc.binary(BinaryOp::And, p)),
+    )
 }

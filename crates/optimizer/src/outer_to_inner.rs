@@ -25,9 +25,19 @@ pub fn convert_outer_joins(plan: LogicalPlan) -> Result<LogicalPlan> {
         LogicalPlan::Filter { input, predicate } => {
             let input = convert_outer_joins(*input)?;
             let input = apply_null_rejection(input, &predicate, 0);
-            LogicalPlan::Filter { input: Box::new(input), predicate }
+            LogicalPlan::Filter {
+                input: Box::new(input),
+                predicate,
+            }
         }
-        LogicalPlan::Join { left, right, join_type, on, filter, schema } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => {
             let mut left = convert_outer_joins(*left)?;
             let mut right = convert_outer_joins(*right)?;
             // The upper join's own condition can null-reject a lower outer
@@ -39,7 +49,10 @@ pub fn convert_outer_joins(plan: LogicalPlan) -> Result<LogicalPlan> {
                 // matches. Wrap each key in a synthetic comparison so the
                 // strictness test sees a comparison shape.
                 let as_strict = |k: &PlanExpr| {
-                    k.clone().binary(BinaryOp::Eq, PlanExpr::Literal(spinner_common::Value::Int(0)))
+                    k.clone().binary(
+                        BinaryOp::Eq,
+                        PlanExpr::Literal(spinner_common::Value::Int(0)),
+                    )
                 };
                 for (lk, _) in &on {
                     let probe = as_strict(lk);
@@ -63,12 +76,21 @@ pub fn convert_outer_joins(plan: LogicalPlan) -> Result<LogicalPlan> {
                 schema,
             }
         }
-        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
             input: Box::new(convert_outer_joins(*input)?),
             exprs,
             schema,
         },
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input: Box::new(convert_outer_joins(*input)?),
             group,
             aggs,
@@ -85,7 +107,13 @@ pub fn convert_outer_joins(plan: LogicalPlan) -> Result<LogicalPlan> {
             input: Box::new(convert_outer_joins(*input)?),
             n,
         },
-        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
             op,
             all,
             left: Box::new(convert_outer_joins(*left)?),
@@ -100,7 +128,15 @@ pub fn convert_outer_joins(plan: LogicalPlan) -> Result<LogicalPlan> {
 /// `predicate` (whose column indices are relative to `plan`'s schema
 /// shifted by `offset`), convert it to inner.
 fn apply_null_rejection(plan: LogicalPlan, predicate: &PlanExpr, offset: usize) -> LogicalPlan {
-    let LogicalPlan::Join { left, right, join_type, on, filter, schema } = plan else {
+    let LogicalPlan::Join {
+        left,
+        right,
+        join_type,
+        on,
+        filter,
+        schema,
+    } = plan
+    else {
         return plan;
     };
     let lwidth = left.schema().len();
@@ -130,7 +166,14 @@ fn apply_null_rejection(plan: LogicalPlan, predicate: &PlanExpr, offset: usize) 
         }
         other => other,
     };
-    LogicalPlan::Join { left, right, join_type: new_type, on, filter, schema }
+    LogicalPlan::Join {
+        left,
+        right,
+        join_type: new_type,
+        on,
+        filter,
+        schema,
+    }
 }
 
 /// A conjunct is *strict* (null-rejecting on any column it references) when
@@ -151,7 +194,10 @@ pub fn is_strict_comparison(expr: &PlanExpr) -> bool {
             ) && null_propagating(left)
                 && null_propagating(right)
         }
-        PlanExpr::IsNull { negated: true, expr } => null_propagating(expr),
+        PlanExpr::IsNull {
+            negated: true,
+            expr,
+        } => null_propagating(expr),
         _ => false,
     }
 }
@@ -215,8 +261,12 @@ mod tests {
             predicate: PlanExpr::column(1, "b").binary(BinaryOp::NotEq, PlanExpr::literal(0i64)),
         };
         let out = convert_outer_joins(plan).unwrap();
-        let LogicalPlan::Filter { input, .. } = out else { panic!() };
-        let LogicalPlan::Join { join_type, .. } = *input else { panic!() };
+        let LogicalPlan::Filter { input, .. } = out else {
+            panic!()
+        };
+        let LogicalPlan::Join { join_type, .. } = *input else {
+            panic!()
+        };
         assert_eq!(join_type, JoinType::Inner);
     }
 
@@ -229,10 +279,17 @@ mod tests {
             args: vec![PlanExpr::column(1, "b"), PlanExpr::literal(0i64)],
         }
         .binary(BinaryOp::Eq, PlanExpr::literal(0i64));
-        let plan = LogicalPlan::Filter { input: Box::new(join), predicate: pred };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: pred,
+        };
         let out = convert_outer_joins(plan).unwrap();
-        let LogicalPlan::Filter { input, .. } = out else { panic!() };
-        let LogicalPlan::Join { join_type, .. } = *input else { panic!() };
+        let LogicalPlan::Filter { input, .. } = out else {
+            panic!()
+        };
+        let LogicalPlan::Join { join_type, .. } = *input else {
+            panic!()
+        };
         assert_eq!(join_type, JoinType::Left);
     }
 
@@ -243,10 +300,17 @@ mod tests {
             expr: Box::new(PlanExpr::column(1, "b")),
             negated: false,
         };
-        let plan = LogicalPlan::Filter { input: Box::new(join), predicate: pred };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: pred,
+        };
         let out = convert_outer_joins(plan).unwrap();
-        let LogicalPlan::Filter { input, .. } = out else { panic!() };
-        let LogicalPlan::Join { join_type, .. } = *input else { panic!() };
+        let LogicalPlan::Filter { input, .. } = out else {
+            panic!()
+        };
+        let LogicalPlan::Join { join_type, .. } = *input else {
+            panic!()
+        };
         assert_eq!(join_type, JoinType::Left);
     }
 
@@ -265,8 +329,12 @@ mod tests {
             schema,
         };
         let out = convert_outer_joins(upper).unwrap();
-        let LogicalPlan::Join { left, .. } = out else { panic!() };
-        let LogicalPlan::Join { join_type, .. } = *left else { panic!() };
+        let LogicalPlan::Join { left, .. } = out else {
+            panic!()
+        };
+        let LogicalPlan::Join { join_type, .. } = *left else {
+            panic!()
+        };
         assert_eq!(join_type, JoinType::Inner);
     }
 
@@ -274,10 +342,17 @@ mod tests {
     fn filter_on_preserved_side_keeps_outer() {
         let join = left_join(scan("l", &["a"]), scan("r", &["b"]));
         let pred = PlanExpr::column(0, "a").binary(BinaryOp::Gt, PlanExpr::literal(0i64));
-        let plan = LogicalPlan::Filter { input: Box::new(join), predicate: pred };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: pred,
+        };
         let out = convert_outer_joins(plan).unwrap();
-        let LogicalPlan::Filter { input, .. } = out else { panic!() };
-        let LogicalPlan::Join { join_type, .. } = *input else { panic!() };
+        let LogicalPlan::Filter { input, .. } = out else {
+            panic!()
+        };
+        let LogicalPlan::Join { join_type, .. } = *input else {
+            panic!()
+        };
         assert_eq!(join_type, JoinType::Left);
     }
 }

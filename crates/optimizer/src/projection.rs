@@ -14,12 +14,21 @@ use spinner_plan::{LogicalPlan, PlanExpr};
 /// One merging pass over the tree (run to fixpoint by the driver).
 pub fn merge_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
     let plan = map_children(plan, &mut |c| merge_projections(c))?;
-    let LogicalPlan::Projection { input, exprs, schema } = plan else {
+    let LogicalPlan::Projection {
+        input,
+        exprs,
+        schema,
+    } = plan
+    else {
         return Ok(plan);
     };
     match *input {
         // Projection over projection: compose.
-        LogicalPlan::Projection { input: inner_input, exprs: inner_exprs, .. } => {
+        LogicalPlan::Projection {
+            input: inner_input,
+            exprs: inner_exprs,
+            ..
+        } => {
             let composed = exprs
                 .iter()
                 .map(|e| substitute(e, &inner_exprs))
@@ -37,14 +46,19 @@ pub fn merge_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
             // subquery alias). We therefore only drop when the schema is
             // structurally identical.
             let is_identity = exprs.len() == other.schema().len()
-                && exprs.iter().enumerate().all(
-                    |(i, e)| matches!(e, PlanExpr::Column(c) if c.index == i),
-                )
+                && exprs
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| matches!(e, PlanExpr::Column(c) if c.index == i))
                 && *schema == *other.schema();
             if is_identity {
                 Ok(other)
             } else {
-                Ok(LogicalPlan::Projection { input: Box::new(other), exprs, schema })
+                Ok(LogicalPlan::Projection {
+                    input: Box::new(other),
+                    exprs,
+                    schema,
+                })
             }
         }
     }
@@ -53,15 +67,12 @@ pub fn merge_projections(plan: LogicalPlan) -> Result<LogicalPlan> {
 /// Replace `Column(i)` with `inner[i]`.
 fn substitute(expr: &PlanExpr, inner: &[PlanExpr]) -> Result<PlanExpr> {
     Ok(match expr {
-        PlanExpr::Column(c) => inner
-            .get(c.index)
-            .cloned()
-            .ok_or_else(|| {
-                spinner_common::Error::plan(format!(
-                    "column index {} out of range while merging projections",
-                    c.index
-                ))
-            })?,
+        PlanExpr::Column(c) => inner.get(c.index).cloned().ok_or_else(|| {
+            spinner_common::Error::plan(format!(
+                "column index {} out of range while merging projections",
+                c.index
+            ))
+        })?,
         PlanExpr::Literal(v) => PlanExpr::Literal(v.clone()),
         PlanExpr::Binary { left, op, right } => PlanExpr::Binary {
             left: Box::new(substitute(left, inner)?),
@@ -74,9 +85,15 @@ fn substitute(expr: &PlanExpr, inner: &[PlanExpr]) -> Result<PlanExpr> {
         },
         PlanExpr::Scalar { func, args } => PlanExpr::Scalar {
             func: *func,
-            args: args.iter().map(|a| substitute(a, inner)).collect::<Result<_>>()?,
+            args: args
+                .iter()
+                .map(|a| substitute(a, inner))
+                .collect::<Result<_>>()?,
         },
-        PlanExpr::Case { branches, else_expr } => PlanExpr::Case {
+        PlanExpr::Case {
+            branches,
+            else_expr,
+        } => PlanExpr::Case {
             branches: branches
                 .iter()
                 .map(|(w, t)| Ok((substitute(w, inner)?, substitute(t, inner)?)))
@@ -94,9 +111,16 @@ fn substitute(expr: &PlanExpr, inner: &[PlanExpr]) -> Result<PlanExpr> {
             expr: Box::new(substitute(expr, inner)?),
             negated: *negated,
         },
-        PlanExpr::InList { expr, list, negated } => PlanExpr::InList {
+        PlanExpr::InList {
+            expr,
+            list,
+            negated,
+        } => PlanExpr::InList {
             expr: Box::new(substitute(expr, inner)?),
-            list: list.iter().map(|e| substitute(e, inner)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|e| substitute(e, inner))
+                .collect::<Result<_>>()?,
             negated: *negated,
         },
     })
@@ -107,7 +131,11 @@ fn map_children(
     f: &mut impl FnMut(LogicalPlan) -> Result<LogicalPlan>,
 ) -> Result<LogicalPlan> {
     Ok(match plan {
-        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
             input: Box::new(f(*input)?),
             exprs,
             schema,
@@ -116,7 +144,14 @@ fn map_children(
             input: Box::new(f(*input)?),
             predicate,
         },
-        LogicalPlan::Join { left, right, join_type, on, filter, schema } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => LogicalPlan::Join {
             left: Box::new(f(*left)?),
             right: Box::new(f(*right)?),
             join_type,
@@ -124,19 +159,35 @@ fn map_children(
             filter,
             schema,
         },
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input: Box::new(f(*input)?),
             group,
             aggs,
             schema,
         },
-        LogicalPlan::Distinct { input } => LogicalPlan::Distinct { input: Box::new(f(*input)?) },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)?),
+        },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
             input: Box::new(f(*input)?),
             keys,
         },
-        LogicalPlan::Limit { input, n } => LogicalPlan::Limit { input: Box::new(f(*input)?), n },
-        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(f(*input)?),
+            n,
+        },
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
             op,
             all,
             left: Box::new(f(*left)?),
@@ -179,13 +230,19 @@ mod tests {
         };
         let outer = LogicalPlan::Projection {
             input: Box::new(inner),
-            exprs: vec![PlanExpr::column(1, "a1")
-                .binary(BinaryOp::Multiply, PlanExpr::literal(2i64))],
+            exprs: vec![
+                PlanExpr::column(1, "a1").binary(BinaryOp::Multiply, PlanExpr::literal(2i64))
+            ],
             schema: Arc::new(Schema::new(vec![Field::new("x", DataType::Int)])),
         };
         let merged = merge_projections(outer).unwrap();
-        let LogicalPlan::Projection { input, exprs, .. } = merged else { panic!() };
-        assert!(matches!(*input, LogicalPlan::TempScan { .. }), "one projection left");
+        let LogicalPlan::Projection { input, exprs, .. } = merged else {
+            panic!()
+        };
+        assert!(
+            matches!(*input, LogicalPlan::TempScan { .. }),
+            "one projection left"
+        );
         assert_eq!(exprs[0].to_string(), "((a#0 + 1) * 2)");
     }
 

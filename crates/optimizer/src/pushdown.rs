@@ -26,22 +26,36 @@ pub fn push_down_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
             let input = push_down_filters(*input)?;
             push_filter(predicate, input)?
         }
-        LogicalPlan::Projection { input, exprs, schema } => LogicalPlan::Projection {
+        LogicalPlan::Projection {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Projection {
             input: Box::new(push_down_filters(*input)?),
             exprs,
             schema,
         },
-        LogicalPlan::Join { left, right, join_type, on, filter, schema } => {
-            LogicalPlan::Join {
-                left: Box::new(push_down_filters(*left)?),
-                right: Box::new(push_down_filters(*right)?),
-                join_type,
-                on,
-                filter,
-                schema,
-            }
-        }
-        LogicalPlan::Aggregate { input, group, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(push_down_filters(*left)?),
+            right: Box::new(push_down_filters(*right)?),
+            join_type,
+            on,
+            filter,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input: Box::new(push_down_filters(*input)?),
             group,
             aggs,
@@ -58,7 +72,13 @@ pub fn push_down_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
             input: Box::new(push_down_filters(*input)?),
             n,
         },
-        LogicalPlan::SetOp { op, all, left, right, schema } => LogicalPlan::SetOp {
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => LogicalPlan::SetOp {
             op,
             all,
             left: Box::new(push_down_filters(*left)?),
@@ -74,17 +94,35 @@ pub fn push_down_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
 fn push_filter(predicate: PlanExpr, input: LogicalPlan) -> Result<LogicalPlan> {
     match input {
         // Merge adjacent filters (then retry on the merged predicate).
-        LogicalPlan::Filter { input: inner, predicate: p2 } => {
+        LogicalPlan::Filter {
+            input: inner,
+            predicate: p2,
+        } => {
             let merged = conjoin(vec![p2, predicate]).expect("two conjuncts");
             push_filter(merged, *inner)
         }
         // Substitute projection expressions into the predicate and sink it.
-        LogicalPlan::Projection { input: inner, exprs, schema } => {
+        LogicalPlan::Projection {
+            input: inner,
+            exprs,
+            schema,
+        } => {
             let substituted = substitute_columns(&predicate, &exprs)?;
             let pushed = push_filter(substituted, *inner)?;
-            Ok(LogicalPlan::Projection { input: Box::new(pushed), exprs, schema })
+            Ok(LogicalPlan::Projection {
+                input: Box::new(pushed),
+                exprs,
+                schema,
+            })
         }
-        LogicalPlan::Join { left, right, join_type, on, filter, schema } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            filter,
+            schema,
+        } => {
             let lwidth = left.schema().len();
             let mut conjuncts = Vec::new();
             split_conjuncts(&predicate, &mut conjuncts);
@@ -104,8 +142,7 @@ fn push_filter(predicate: PlanExpr, input: LogicalPlan) -> Result<LogicalPlan> {
                 if all_left && !cols.is_empty() && push_left_ok {
                     to_left.push(c);
                 } else if all_right && !cols.is_empty() && push_right_ok {
-                    to_right
-                        .push(c.remap_columns(&|i| Some(i - lwidth))?);
+                    to_right.push(c.remap_columns(&|i| Some(i - lwidth))?);
                 } else {
                     keep.push(c);
                 }
@@ -127,11 +164,19 @@ fn push_filter(predicate: PlanExpr, input: LogicalPlan) -> Result<LogicalPlan> {
                 schema,
             };
             Ok(match conjoin(keep) {
-                Some(p) => LogicalPlan::Filter { input: Box::new(join), predicate: p },
+                Some(p) => LogicalPlan::Filter {
+                    input: Box::new(join),
+                    predicate: p,
+                },
                 None => join,
             })
         }
-        LogicalPlan::Aggregate { input: inner, group, aggs, schema } => {
+        LogicalPlan::Aggregate {
+            input: inner,
+            group,
+            aggs,
+            schema,
+        } => {
             let mut conjuncts = Vec::new();
             split_conjuncts(&predicate, &mut conjuncts);
             let ngroups = group.len();
@@ -158,19 +203,33 @@ fn push_filter(predicate: PlanExpr, input: LogicalPlan) -> Result<LogicalPlan> {
                 schema,
             };
             Ok(match conjoin(keep) {
-                Some(p) => LogicalPlan::Filter { input: Box::new(agg), predicate: p },
+                Some(p) => LogicalPlan::Filter {
+                    input: Box::new(agg),
+                    predicate: p,
+                },
                 None => agg,
             })
         }
         LogicalPlan::Distinct { input: inner } => {
             let pushed = push_filter(predicate, *inner)?;
-            Ok(LogicalPlan::Distinct { input: Box::new(pushed) })
+            Ok(LogicalPlan::Distinct {
+                input: Box::new(pushed),
+            })
         }
         LogicalPlan::Sort { input: inner, keys } => {
             let pushed = push_filter(predicate, *inner)?;
-            Ok(LogicalPlan::Sort { input: Box::new(pushed), keys })
+            Ok(LogicalPlan::Sort {
+                input: Box::new(pushed),
+                keys,
+            })
         }
-        LogicalPlan::SetOp { op, all, left, right, schema } => {
+        LogicalPlan::SetOp {
+            op,
+            all,
+            left,
+            right,
+            schema,
+        } => {
             use spinner_plan::SetOpKind;
             let push_right = matches!(op, SetOpKind::Union | SetOpKind::Intersect);
             let new_left = push_filter(predicate.clone(), *left)?;
@@ -188,22 +247,22 @@ fn push_filter(predicate: PlanExpr, input: LogicalPlan) -> Result<LogicalPlan> {
             })
         }
         // Leaves and barriers (Limit): the filter stays here.
-        other => Ok(LogicalPlan::Filter { input: Box::new(other), predicate }),
+        other => Ok(LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate,
+        }),
     }
 }
 
 /// Replace every `Column(i)` in `expr` with `replacements[i]`.
 fn substitute_columns(expr: &PlanExpr, replacements: &[PlanExpr]) -> Result<PlanExpr> {
     Ok(match expr {
-        PlanExpr::Column(c) => replacements
-            .get(c.index)
-            .cloned()
-            .ok_or_else(|| {
-                spinner_common::Error::plan(format!(
-                    "column index {} out of range during substitution",
-                    c.index
-                ))
-            })?,
+        PlanExpr::Column(c) => replacements.get(c.index).cloned().ok_or_else(|| {
+            spinner_common::Error::plan(format!(
+                "column index {} out of range during substitution",
+                c.index
+            ))
+        })?,
         PlanExpr::Literal(v) => PlanExpr::Literal(v.clone()),
         PlanExpr::Binary { left, op, right } => PlanExpr::Binary {
             left: Box::new(substitute_columns(left, replacements)?),
@@ -221,7 +280,10 @@ fn substitute_columns(expr: &PlanExpr, replacements: &[PlanExpr]) -> Result<Plan
                 .map(|a| substitute_columns(a, replacements))
                 .collect::<Result<_>>()?,
         },
-        PlanExpr::Case { branches, else_expr } => PlanExpr::Case {
+        PlanExpr::Case {
+            branches,
+            else_expr,
+        } => PlanExpr::Case {
             branches: branches
                 .iter()
                 .map(|(w, t)| {
@@ -244,7 +306,11 @@ fn substitute_columns(expr: &PlanExpr, replacements: &[PlanExpr]) -> Result<Plan
             expr: Box::new(substitute_columns(expr, replacements)?),
             negated: *negated,
         },
-        PlanExpr::InList { expr, list, negated } => PlanExpr::InList {
+        PlanExpr::InList {
+            expr,
+            list,
+            negated,
+        } => PlanExpr::InList {
             expr: Box::new(substitute_columns(expr, replacements)?),
             list: list
                 .iter()
@@ -272,7 +338,10 @@ mod tests {
     }
 
     fn filt(input: LogicalPlan, pred: PlanExpr) -> LogicalPlan {
-        LogicalPlan::Filter { input: Box::new(input), predicate: pred }
+        LogicalPlan::Filter {
+            input: Box::new(input),
+            predicate: pred,
+        }
     }
 
     #[test]
@@ -291,8 +360,14 @@ mod tests {
         // filter on output column 0 (= input column 1)
         let pred = PlanExpr::column(0, "b").binary(BinaryOp::Gt, PlanExpr::literal(5i64));
         let out = push_down_filters(filt(proj, pred)).unwrap();
-        let LogicalPlan::Projection { input, .. } = out else { panic!("projection on top") };
-        let LogicalPlan::Filter { predicate, input: below } = *input else {
+        let LogicalPlan::Projection { input, .. } = out else {
+            panic!("projection on top")
+        };
+        let LogicalPlan::Filter {
+            predicate,
+            input: below,
+        } = *input
+        else {
             panic!("filter below projection")
         };
         assert!(matches!(*below, LogicalPlan::TempScan { .. }));
@@ -319,7 +394,9 @@ mod tests {
                 PlanExpr::column(1, "b").binary(BinaryOp::Lt, PlanExpr::literal(9i64)),
             );
         let out = push_down_filters(filt(join, pred)).unwrap();
-        let LogicalPlan::Join { left, right, .. } = out else { panic!("join on top") };
+        let LogicalPlan::Join { left, right, .. } = out else {
+            panic!("join on top")
+        };
         assert!(matches!(*left, LogicalPlan::Filter { .. }));
         assert!(matches!(*right, LogicalPlan::Filter { .. }));
     }
@@ -353,7 +430,9 @@ mod tests {
         };
         let pred = PlanExpr::column(0, "a").binary(BinaryOp::Eq, PlanExpr::literal(3i64));
         let out = push_down_filters(filt(agg, pred)).unwrap();
-        let LogicalPlan::Aggregate { input, .. } = out else { panic!("agg on top") };
+        let LogicalPlan::Aggregate { input, .. } = out else {
+            panic!("agg on top")
+        };
         assert!(matches!(*input, LogicalPlan::Filter { .. }));
     }
 
@@ -379,7 +458,9 @@ mod tests {
         };
         let pred = PlanExpr::column(0, "a").binary(BinaryOp::Gt, PlanExpr::literal(0i64));
         let out = push_down_filters(filt(union, pred)).unwrap();
-        let LogicalPlan::SetOp { left, right, .. } = out else { panic!() };
+        let LogicalPlan::SetOp { left, right, .. } = out else {
+            panic!()
+        };
         assert!(matches!(*left, LogicalPlan::Filter { .. }));
         assert!(matches!(*right, LogicalPlan::Filter { .. }));
     }
@@ -395,7 +476,9 @@ mod tests {
         };
         let pred = PlanExpr::column(0, "a").binary(BinaryOp::Gt, PlanExpr::literal(0i64));
         let out = push_down_filters(filt(except, pred)).unwrap();
-        let LogicalPlan::SetOp { left, right, .. } = out else { panic!() };
+        let LogicalPlan::SetOp { left, right, .. } = out else {
+            panic!()
+        };
         assert!(matches!(*left, LogicalPlan::Filter { .. }));
         assert!(matches!(*right, LogicalPlan::TempScan { .. }));
     }
@@ -410,7 +493,9 @@ mod tests {
             PlanExpr::column(0, "a").binary(BinaryOp::Lt, PlanExpr::literal(9i64)),
         );
         let out = push_down_filters(two).unwrap();
-        let LogicalPlan::Filter { input, .. } = out else { panic!() };
+        let LogicalPlan::Filter { input, .. } = out else {
+            panic!()
+        };
         assert!(matches!(*input, LogicalPlan::TempScan { .. }));
     }
 }

@@ -38,7 +38,10 @@ pub enum Statement {
         selection: Option<Expr>,
     },
     /// DELETE FROM t [WHERE expr]
-    Delete { table: String, selection: Option<Expr> },
+    Delete {
+        table: String,
+        selection: Option<Expr>,
+    },
     /// `EXPLAIN <statement>`
     Explain(Box<Statement>),
 }
@@ -70,7 +73,12 @@ pub struct Query {
 impl Query {
     /// A query that is just a bare body.
     pub fn plain(body: SetExpr) -> Self {
-        Query { ctes: Vec::new(), body, order_by: Vec::new(), limit: None }
+        Query {
+            ctes: Vec::new(),
+            body,
+            order_by: Vec::new(),
+            limit: None,
+        }
     }
 }
 
@@ -207,7 +215,10 @@ pub enum TableRef {
     /// Base table or CTE reference.
     Table { name: String, alias: Option<String> },
     /// Parenthesised subquery with a mandatory alias... relaxed: alias optional.
-    Subquery { query: Box<Query>, alias: Option<String> },
+    Subquery {
+        query: Box<Query>,
+        alias: Option<String>,
+    },
     /// A join of two table refs.
     Join {
         left: Box<TableRef>,
@@ -311,7 +322,10 @@ pub enum UnaryOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// `[relation.]name`
-    Column { relation: Option<String>, name: String },
+    Column {
+        relation: Option<String>,
+        name: String,
+    },
     /// Literal value.
     Literal(Value),
     /// `left op right`
@@ -337,7 +351,10 @@ pub enum Expr {
         else_expr: Option<Box<Expr>>,
     },
     /// `CAST (expr AS type)`
-    Cast { expr: Box<Expr>, data_type: DataType },
+    Cast {
+        expr: Box<Expr>,
+        data_type: DataType,
+    },
     /// `expr IS [NOT] NULL`
     IsNull { expr: Box<Expr>, negated: bool },
     /// `expr [NOT] IN (v1, v2, ...)`
@@ -358,12 +375,18 @@ pub enum Expr {
 impl Expr {
     /// Unqualified column reference.
     pub fn col(name: impl Into<String>) -> Expr {
-        Expr::Column { relation: None, name: name.into() }
+        Expr::Column {
+            relation: None,
+            name: name.into(),
+        }
     }
 
     /// Qualified column reference.
     pub fn qcol(relation: impl Into<String>, name: impl Into<String>) -> Expr {
-        Expr::Column { relation: Some(relation.into()), name: name.into() }
+        Expr::Column {
+            relation: Some(relation.into()),
+            name: name.into(),
+        }
     }
 
     /// Literal helper.
@@ -373,7 +396,11 @@ impl Expr {
 
     /// `self op other` helper.
     pub fn binary(self, op: BinaryOp, other: Expr) -> Expr {
-        Expr::BinaryOp { left: Box::new(self), op, right: Box::new(other) }
+        Expr::BinaryOp {
+            left: Box::new(self),
+            op,
+            right: Box::new(other),
+        }
     }
 
     /// `self AND other`.
@@ -401,7 +428,11 @@ impl Expr {
                     a.walk(f);
                 }
             }
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 if let Some(op) = operand {
                     op.walk(f);
                 }
@@ -421,7 +452,9 @@ impl Expr {
                     e.walk(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.walk(f);
                 low.walk(f);
                 high.walk(f);
@@ -433,8 +466,14 @@ impl Expr {
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Expr::Column { relation: Some(r), name } => write!(f, "{r}.{name}"),
-            Expr::Column { relation: None, name } => f.write_str(name),
+            Expr::Column {
+                relation: Some(r),
+                name,
+            } => write!(f, "{r}.{name}"),
+            Expr::Column {
+                relation: None,
+                name,
+            } => f.write_str(name),
             Expr::Literal(v) => match v {
                 Value::Text(s) => write!(f, "'{s}'"),
                 other => write!(f, "{other}"),
@@ -445,7 +484,12 @@ impl fmt::Display for Expr {
                 UnaryOp::Minus => write!(f, "(-{expr})"),
                 UnaryOp::Plus => write!(f, "(+{expr})"),
             },
-            Expr::Function { name, args, distinct, star } => {
+            Expr::Function {
+                name,
+                args,
+                distinct,
+                star,
+            } => {
                 write!(f, "{name}(")?;
                 if *star {
                     write!(f, "*")?;
@@ -462,7 +506,11 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 write!(f, "CASE")?;
                 if let Some(op) = operand {
                     write!(f, " {op}")?;
@@ -479,7 +527,11 @@ impl fmt::Display for Expr {
             Expr::IsNull { expr, negated } => {
                 write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
@@ -489,7 +541,12 @@ impl fmt::Display for Expr {
                 }
                 write!(f, "))")
             }
-            Expr::Between { expr, low, high, negated } => write!(
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
                 f,
                 "({expr} {}BETWEEN {low} AND {high})",
                 if *negated { "NOT " } else { "" }

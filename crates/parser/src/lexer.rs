@@ -85,7 +85,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 let mut is_float = false;
                 if i < bytes.len()
                     && bytes[i] == b'.'
-                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
                 {
                     is_float = true;
                     i += 1;
@@ -168,7 +170,11 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             _ => {
                 let start = i;
-                let two = if i + 1 < bytes.len() { &sql[i..i + 2] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &sql[i..i + 2]
+                } else {
+                    ""
+                };
                 let sym: &'static str = match two {
                     "<=" => "<=",
                     ">=" => ">=",
@@ -274,10 +280,7 @@ mod tests {
     #[test]
     fn unterminated_string_errors_with_position() {
         let err = tokenize("  'abc").unwrap_err();
-        assert_eq!(
-            err,
-            Error::parse_at("unterminated string literal", 2)
-        );
+        assert_eq!(err, Error::parse_at("unterminated string literal", 2));
     }
 
     #[test]

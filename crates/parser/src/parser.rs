@@ -21,14 +21,67 @@ use crate::lexer::{tokenize, Token, TokenKind};
 
 /// Words that cannot be implicit aliases or bare identifiers mid-clause.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "having", "order", "limit", "union",
-    "except", "intersect", "join", "inner", "left", "right", "full", "cross",
-    "outer", "on", "as", "and", "or", "not", "case", "when", "then", "else",
-    "end", "with", "recursive", "iterative", "iterate", "until", "insert",
-    "update", "delete", "create", "drop", "table", "values", "set", "into",
-    "distinct", "is", "null", "in", "between", "by", "asc", "desc", "nulls",
-    "first", "last", "explain", "primary", "key", "partition", "all", "cast",
-    "exists", "if", "using",
+    "select",
+    "from",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "union",
+    "except",
+    "intersect",
+    "join",
+    "inner",
+    "left",
+    "right",
+    "full",
+    "cross",
+    "outer",
+    "on",
+    "as",
+    "and",
+    "or",
+    "not",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "with",
+    "recursive",
+    "iterative",
+    "iterate",
+    "until",
+    "insert",
+    "update",
+    "delete",
+    "create",
+    "drop",
+    "table",
+    "values",
+    "set",
+    "into",
+    "distinct",
+    "is",
+    "null",
+    "in",
+    "between",
+    "by",
+    "asc",
+    "desc",
+    "nulls",
+    "first",
+    "last",
+    "explain",
+    "primary",
+    "key",
+    "partition",
+    "all",
+    "cast",
+    "exists",
+    "if",
+    "using",
 ];
 
 /// Parse exactly one SQL statement (a trailing `;` is allowed).
@@ -68,7 +121,10 @@ pub struct Parser {
 impl Parser {
     /// Tokenize `sql` and position at the first token.
     pub fn new(sql: &str) -> Result<Self> {
-        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
     }
 
     // ---- token helpers -----------------------------------------------
@@ -251,7 +307,11 @@ impl Parser {
                 if pk {
                     primary_key = Some(col_name.clone());
                 }
-                columns.push(ColumnDef { name: col_name, data_type, primary_key: pk });
+                columns.push(ColumnDef {
+                    name: col_name,
+                    data_type,
+                    primary_key: pk,
+                });
             }
             if !self.eat_symbol(",") {
                 break;
@@ -265,7 +325,13 @@ impl Parser {
             partition_key = Some(self.parse_ident()?);
             self.expect_symbol(")")?;
         }
-        Ok(Statement::CreateTable { name, columns, primary_key, partition_key, if_not_exists })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+            partition_key,
+            if_not_exists,
+        })
     }
 
     fn parse_data_type(&mut self) -> Result<DataType> {
@@ -324,7 +390,10 @@ impl Parser {
         // Optional column list: disambiguate from a following SELECT by
         // looking one token past '('.
         let mut columns = None;
-        if self.at_symbol("(") && !self.at_keyword_ahead(1, "select") && !self.at_keyword_ahead(1, "with") {
+        if self.at_symbol("(")
+            && !self.at_keyword_ahead(1, "select")
+            && !self.at_keyword_ahead(1, "with")
+        {
             self.expect_symbol("(")?;
             let mut cols = Vec::new();
             loop {
@@ -357,7 +426,11 @@ impl Parser {
         } else {
             InsertSource::Query(Box::new(self.parse_query()?))
         };
-        Ok(Statement::Insert { table, columns, source })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            source,
+        })
     }
 
     fn parse_update(&mut self) -> Result<Statement> {
@@ -384,7 +457,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Update { table, assignments, from, selection })
+        Ok(Statement::Update {
+            table,
+            assignments,
+            from,
+            selection,
+        })
     }
 
     fn parse_delete(&mut self) -> Result<Statement> {
@@ -435,7 +513,11 @@ impl Parser {
                         nulls_first = false;
                     }
                 }
-                order_by.push(OrderByExpr { expr, asc, nulls_first });
+                order_by.push(OrderByExpr {
+                    expr,
+                    asc,
+                    nulls_first,
+                });
                 if !self.eat_symbol(",") {
                     break;
                 }
@@ -446,7 +528,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { ctes, body, order_by, limit })
+        Ok(Query {
+            ctes,
+            body,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_cte(&mut self, recursive: bool, iterative: bool) -> Result<Cte> {
@@ -469,14 +556,21 @@ impl Parser {
             let step = self.parse_query()?;
             self.expect_keyword("until")?;
             let until = self.parse_termination()?;
-            CteKind::Iterative { init: Box::new(init), step: Box::new(step), until }
+            CteKind::Iterative {
+                init: Box::new(init),
+                step: Box::new(step),
+                until,
+            }
         } else if recursive {
             // ANSI recursive CTE: the body is `base UNION [ALL] step`.
             let q = self.parse_query()?;
             match q.body {
-                SetExpr::SetOp { op: SetOp::Union, all, left, right }
-                    if q.ctes.is_empty() && q.order_by.is_empty() && q.limit.is_none() =>
-                {
+                SetExpr::SetOp {
+                    op: SetOp::Union,
+                    all,
+                    left,
+                    right,
+                } if q.ctes.is_empty() && q.order_by.is_empty() && q.limit.is_none() => {
                     CteKind::Recursive {
                         base: Box::new(Query::plain(*left)),
                         step: Box::new(Query::plain(*right)),
@@ -493,7 +587,11 @@ impl Parser {
             CteKind::Regular(Box::new(self.parse_query()?))
         };
         self.expect_symbol(")")?;
-        Ok(Cte { name, columns, kind })
+        Ok(Cte {
+            name,
+            columns,
+            kind,
+        })
     }
 
     /// Termination grammar:
@@ -546,7 +644,12 @@ impl Parser {
             self.advance();
             let all = self.eat_keyword("all");
             let right = self.parse_set_primary()?;
-            left = SetExpr::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -600,7 +703,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(Select { distinct, projection, from, selection, group_by, having })
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
@@ -693,7 +803,10 @@ impl Parser {
                 let query = self.parse_query()?;
                 self.expect_symbol(")")?;
                 let alias = self.parse_optional_alias()?;
-                return Ok(TableRef::Subquery { query: Box::new(query), alias });
+                return Ok(TableRef::Subquery {
+                    query: Box::new(query),
+                    alias,
+                });
             }
             let inner = self.parse_table_ref()?;
             self.expect_symbol(")")?;
@@ -732,7 +845,10 @@ impl Parser {
     fn parse_not(&mut self) -> Result<Expr> {
         if self.eat_keyword("not") {
             let expr = self.parse_not()?;
-            return Ok(Expr::UnaryOp { op: UnaryOp::Not, expr: Box::new(expr) });
+            return Ok(Expr::UnaryOp {
+                op: UnaryOp::Not,
+                expr: Box::new(expr),
+            });
         }
         self.parse_comparison()
     }
@@ -744,7 +860,10 @@ impl Parser {
             self.advance();
             let negated = self.eat_keyword("not");
             self.expect_keyword("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // [NOT] IN / [NOT] BETWEEN
         let negated = if self.at_keyword("not")
@@ -765,7 +884,11 @@ impl Parser {
                 }
             }
             self.expect_symbol(")")?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_keyword("between") {
             let low = self.parse_additive()?;
@@ -836,11 +959,17 @@ impl Parser {
             if let Expr::Literal(Value::Float(f)) = expr {
                 return Ok(Expr::Literal(Value::Float(-f)));
             }
-            return Ok(Expr::UnaryOp { op: UnaryOp::Minus, expr: Box::new(expr) });
+            return Ok(Expr::UnaryOp {
+                op: UnaryOp::Minus,
+                expr: Box::new(expr),
+            });
         }
         if self.eat_symbol("+") {
             let expr = self.parse_unary()?;
-            return Ok(Expr::UnaryOp { op: UnaryOp::Plus, expr: Box::new(expr) });
+            return Ok(Expr::UnaryOp {
+                op: UnaryOp::Plus,
+                expr: Box::new(expr),
+            });
         }
         self.parse_primary()
     }
@@ -910,7 +1039,11 @@ impl Parser {
             None
         };
         self.expect_keyword("end")?;
-        Ok(Expr::Case { operand, branches, else_expr })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        })
     }
 
     fn parse_cast(&mut self) -> Result<Expr> {
@@ -920,7 +1053,10 @@ impl Parser {
         self.expect_keyword("as")?;
         let data_type = self.parse_data_type()?;
         self.expect_symbol(")")?;
-        Ok(Expr::Cast { expr: Box::new(expr), data_type })
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            data_type,
+        })
     }
 
     fn parse_column_or_function(&mut self) -> Result<Expr> {
@@ -955,7 +1091,12 @@ impl Parser {
                 }
             }
             self.expect_symbol(")")?;
-            return Ok(Expr::Function { name: first, args, distinct, star });
+            return Ok(Expr::Function {
+                name: first,
+                args,
+                distinct,
+                star,
+            });
         }
         if self.at_symbol(".") && !matches!(self.peek_ahead(1), TokenKind::Symbol("*")) {
             self.advance();
@@ -970,7 +1111,10 @@ impl Parser {
                 }
                 _ => return Err(self.unexpected("a column name after '.'")),
             };
-            return Ok(Expr::Column { relation: Some(first), name });
+            return Ok(Expr::Column {
+                relation: Some(first),
+                name,
+            });
         }
         if RESERVED.contains(&first.as_str()) {
             return Err(Error::parse_at(
@@ -978,7 +1122,10 @@ impl Parser {
                 start,
             ));
         }
-        Ok(Expr::Column { relation: None, name: first })
+        Ok(Expr::Column {
+            relation: None,
+            name: first,
+        })
     }
 }
 
@@ -996,7 +1143,9 @@ mod tests {
     #[test]
     fn simple_select() {
         let query = q("SELECT a, b + 1 AS c FROM t WHERE a > 10");
-        let SetExpr::Select(s) = &query.body else { panic!() };
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
         assert_eq!(s.projection.len(), 2);
         assert!(s.selection.is_some());
     }
@@ -1004,33 +1153,46 @@ mod tests {
     #[test]
     fn select_without_from() {
         let query = q("SELECT 1 + 2");
-        let SetExpr::Select(s) = &query.body else { panic!() };
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
         assert!(s.from.is_empty());
     }
 
     #[test]
     fn operator_precedence() {
         let query = q("SELECT 1 + 2 * 3");
-        let SetExpr::Select(s) = &query.body else { panic!() };
-        let SelectItem::Expr { expr, .. } = &s.projection[0] else { panic!() };
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.projection[0] else {
+            panic!()
+        };
         assert_eq!(expr.to_string(), "(1 + (2 * 3))");
     }
 
     #[test]
     fn and_binds_tighter_than_or() {
         let query = q("SELECT 1 WHERE a OR b AND c");
-        let SetExpr::Select(s) = &query.body else { panic!() };
-        assert_eq!(s.selection.as_ref().unwrap().to_string(), "(a OR (b AND c))");
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
+        assert_eq!(
+            s.selection.as_ref().unwrap().to_string(),
+            "(a OR (b AND c))"
+        );
     }
 
     #[test]
     fn join_tree() {
-        let query = q(
-            "SELECT * FROM pr LEFT JOIN edges AS e ON pr.node = e.dst \
-             LEFT JOIN pr AS p2 ON p2.node = e.src",
-        );
-        let SetExpr::Select(s) = &query.body else { panic!() };
-        let TableRef::Join { kind, left, .. } = &s.from[0] else { panic!() };
+        let query = q("SELECT * FROM pr LEFT JOIN edges AS e ON pr.node = e.dst \
+             LEFT JOIN pr AS p2 ON p2.node = e.src");
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
+        let TableRef::Join { kind, left, .. } = &s.from[0] else {
+            panic!()
+        };
         assert_eq!(*kind, JoinKind::LeftOuter);
         assert!(matches!(**left, TableRef::Join { .. }));
     }
@@ -1038,7 +1200,9 @@ mod tests {
     #[test]
     fn group_by_and_having() {
         let query = q("SELECT src, COUNT(dst) FROM edges GROUP BY src HAVING COUNT(dst) > 2");
-        let SetExpr::Select(s) = &query.body else { panic!() };
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
     }
@@ -1046,9 +1210,20 @@ mod tests {
     #[test]
     fn union_in_subquery() {
         let query = q("SELECT src FROM (SELECT src FROM edges UNION SELECT dst FROM edges)");
-        let SetExpr::Select(s) = &query.body else { panic!() };
-        let TableRef::Subquery { query: sub, .. } = &s.from[0] else { panic!() };
-        assert!(matches!(sub.body, SetExpr::SetOp { op: SetOp::Union, all: false, .. }));
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
+        let TableRef::Subquery { query: sub, .. } = &s.from[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            sub.body,
+            SetExpr::SetOp {
+                op: SetOp::Union,
+                all: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1064,14 +1239,15 @@ mod tests {
             "WITH RECURSIVE r (n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r WHERE n < 5) \
              SELECT n FROM r",
         );
-        let CteKind::Recursive { union_all, .. } = &query.ctes[0].kind else { panic!() };
+        let CteKind::Recursive { union_all, .. } = &query.ctes[0].kind else {
+            panic!()
+        };
         assert!(*union_all);
     }
 
     #[test]
     fn iterative_cte_metadata_termination() {
-        let query = q(
-            "WITH ITERATIVE pagerank (node, rank, delta) AS (
+        let query = q("WITH ITERATIVE pagerank (node, rank, delta) AS (
                 SELECT src, 0, 0.15 FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
              ITERATE
                 SELECT pagerank.node, pagerank.rank + pagerank.delta,
@@ -1081,11 +1257,12 @@ mod tests {
                 LEFT JOIN pagerank AS ir ON ir.node = ie.src
                 GROUP BY pagerank.node, pagerank.rank + pagerank.delta
              UNTIL 10 ITERATIONS)
-             SELECT node, rank FROM pagerank",
-        );
+             SELECT node, rank FROM pagerank");
         assert_eq!(query.ctes.len(), 1);
         assert_eq!(query.ctes[0].columns, vec!["node", "rank", "delta"]);
-        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else { panic!() };
+        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else {
+            panic!()
+        };
         assert_eq!(*until, Termination::Iterations(10));
     }
 
@@ -1095,7 +1272,9 @@ mod tests {
             "WITH ITERATIVE t (a) AS (SELECT 1 ITERATE SELECT a + 1 FROM t UNTIL DELTA < 1) \
              SELECT * FROM t",
         );
-        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else { panic!() };
+        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else {
+            panic!()
+        };
         assert_eq!(*until, Termination::Delta { threshold: 1 });
     }
 
@@ -1105,8 +1284,12 @@ mod tests {
             "WITH ITERATIVE t (a) AS (SELECT 1 ITERATE SELECT a + 1 FROM t \
              UNTIL (a > 100), 5 ROWS) SELECT * FROM t",
         );
-        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else { panic!() };
-        let Termination::Data { rows, .. } = until else { panic!() };
+        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else {
+            panic!()
+        };
+        let Termination::Data { rows, .. } = until else {
+            panic!()
+        };
         assert_eq!(*rows, 5);
     }
 
@@ -1116,8 +1299,16 @@ mod tests {
             "WITH ITERATIVE t (a) AS (SELECT 1 ITERATE SELECT a + 1 FROM t \
              UNTIL ANY (a > 100)) SELECT * FROM t",
         );
-        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else { panic!() };
-        assert_eq!(*until, Termination::Data { expr: Expr::col("a").binary(BinaryOp::Gt, Expr::lit(100i64)), rows: 1 });
+        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else {
+            panic!()
+        };
+        assert_eq!(
+            *until,
+            Termination::Data {
+                expr: Expr::col("a").binary(BinaryOp::Gt, Expr::lit(100i64)),
+                rows: 1
+            }
+        );
     }
 
     #[test]
@@ -1126,25 +1317,28 @@ mod tests {
             "WITH ITERATIVE t (a) AS (SELECT 1 ITERATE SELECT a + 1 FROM t \
              UNTIL 100 UPDATES) SELECT * FROM t",
         );
-        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else { panic!() };
+        let CteKind::Iterative { until, .. } = &query.ctes[0].kind else {
+            panic!()
+        };
         assert_eq!(*until, Termination::Updates(100));
     }
 
     #[test]
     fn case_when_and_functions() {
-        let query = q(
-            "SELECT src, 9999999, CASE WHEN src = 1 THEN 0 ELSE 9999999 END FROM edges",
-        );
-        let SetExpr::Select(s) = &query.body else { panic!() };
-        let SelectItem::Expr { expr, .. } = &s.projection[2] else { panic!() };
+        let query = q("SELECT src, 9999999, CASE WHEN src = 1 THEN 0 ELSE 9999999 END FROM edges");
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.projection[2] else {
+            panic!()
+        };
         assert!(matches!(expr, Expr::Case { .. }));
     }
 
     #[test]
     fn ff_query_parses() {
         // Figure 6 of the paper, verbatim structure.
-        let query = q(
-            "WITH ITERATIVE forecast (node, friends, friendsPrev)
+        let query = q("WITH ITERATIVE forecast (node, friends, friendsPrev)
              AS( SELECT src AS node, count(dst) AS friends,
                     ceiling(count(dst) * (1.0-(src%10)/100.0)) AS friendsPrev
                  FROM edges GROUP BY src
@@ -1156,8 +1350,7 @@ mod tests {
                UNTIL 5 Iterations )
              SELECT node, friends
              FROM forecast WHERE MOD(node, 100) = 0
-             ORDER BY friends DESC LIMIT 10",
-        );
+             ORDER BY friends DESC LIMIT 10");
         assert_eq!(query.limit, Some(10));
         assert_eq!(query.order_by.len(), 1);
         assert!(!query.order_by[0].asc);
@@ -1166,8 +1359,7 @@ mod tests {
     #[test]
     fn sssp_query_parses() {
         // Figure 7 of the paper.
-        let query = q(
-            "WITH ITERATIVE sssp (Node, Distance, Delta)
+        let query = q("WITH ITERATIVE sssp (Node, Distance, Delta)
              AS (SELECT src, 9999999, CASE WHEN src = 1 THEN 0 ELSE 9999999 END
                  FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
               ITERATE
@@ -1180,11 +1372,17 @@ mod tests {
                 WHERE IncomingDistance.Delta != 9999999
                 GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)
               UNTIL 10 ITERATIONS)
-             SELECT Distance FROM sssp WHERE Node = 10",
+             SELECT Distance FROM sssp WHERE Node = 10");
+        let CteKind::Iterative { step, .. } = &query.ctes[0].kind else {
+            panic!()
+        };
+        let SetExpr::Select(s) = &step.body else {
+            panic!()
+        };
+        assert!(
+            s.selection.is_some(),
+            "SSSP iterative part has a WHERE clause"
         );
-        let CteKind::Iterative { step, .. } = &query.ctes[0].kind else { panic!() };
-        let SetExpr::Select(s) = &step.body else { panic!() };
-        assert!(s.selection.is_some(), "SSSP iterative part has a WHERE clause");
         assert_eq!(s.group_by.len(), 2);
     }
 
@@ -1195,7 +1393,13 @@ mod tests {
              PARTITION BY (dst)",
         )
         .unwrap();
-        let Statement::CreateTable { columns, primary_key, partition_key, .. } = stmt else {
+        let Statement::CreateTable {
+            columns,
+            primary_key,
+            partition_key,
+            ..
+        } = stmt
+        else {
             panic!()
         };
         assert_eq!(columns.len(), 3);
@@ -1206,12 +1410,21 @@ mod tests {
     #[test]
     fn insert_values_and_select() {
         let v = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
-        let Statement::Insert { source: InsertSource::Values(rows), .. } = v else { panic!() };
+        let Statement::Insert {
+            source: InsertSource::Values(rows),
+            ..
+        } = v
+        else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
         let s = parse_sql("INSERT INTO t SELECT a, b FROM u").unwrap();
         assert!(matches!(
             s,
-            Statement::Insert { source: InsertSource::Query(_), .. }
+            Statement::Insert {
+                source: InsertSource::Query(_),
+                ..
+            }
         ));
     }
 
@@ -1222,7 +1435,15 @@ mod tests {
              WHERE pagerank.node = i.node",
         )
         .unwrap();
-        let Statement::Update { assignments, from, selection, .. } = stmt else { panic!() };
+        let Statement::Update {
+            assignments,
+            from,
+            selection,
+            ..
+        } = stmt
+        else {
+            panic!()
+        };
         assert_eq!(assignments.len(), 2);
         assert!(from.is_some());
         assert!(selection.is_some());
@@ -1236,7 +1457,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_sql("DROP TABLE IF EXISTS t").unwrap(),
-            Statement::DropTable { if_exists: true, .. }
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
     }
 
@@ -1255,7 +1479,13 @@ mod tests {
     #[test]
     fn error_position_reported() {
         let err = parse_sql("SELECT FROM t").unwrap_err();
-        assert!(matches!(err, Error::Parse { position: Some(_), .. }));
+        assert!(matches!(
+            err,
+            Error::Parse {
+                position: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1266,7 +1496,9 @@ mod tests {
     #[test]
     fn in_list_and_between() {
         let query = q("SELECT 1 WHERE a IN (1, 2, 3) AND b NOT BETWEEN 1 AND 5");
-        let SetExpr::Select(s) = &query.body else { panic!() };
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
         let sel = s.selection.as_ref().unwrap().to_string();
         assert!(sel.contains("IN"));
         assert!(sel.contains("NOT BETWEEN"));
@@ -1275,7 +1507,9 @@ mod tests {
     #[test]
     fn is_null_parses() {
         let query = q("SELECT 1 WHERE a IS NOT NULL");
-        let SetExpr::Select(s) = &query.body else { panic!() };
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
         assert!(matches!(
             s.selection.as_ref().unwrap(),
             Expr::IsNull { negated: true, .. }
@@ -1285,8 +1519,14 @@ mod tests {
     #[test]
     fn count_star() {
         let query = q("SELECT COUNT(*) FROM t");
-        let SetExpr::Select(s) = &query.body else { panic!() };
-        let SelectItem::Expr { expr: Expr::Function { star, .. }, .. } = &s.projection[0] else {
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
+        let SelectItem::Expr {
+            expr: Expr::Function { star, .. },
+            ..
+        } = &s.projection[0]
+        else {
             panic!()
         };
         assert!(*star);
@@ -1295,8 +1535,12 @@ mod tests {
     #[test]
     fn negative_literals_fold() {
         let query = q("SELECT -5, -2.5");
-        let SetExpr::Select(s) = &query.body else { panic!() };
-        let SelectItem::Expr { expr, .. } = &s.projection[0] else { panic!() };
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &s.projection[0] else {
+            panic!()
+        };
         assert_eq!(*expr, Expr::Literal(Value::Int(-5)));
     }
 
@@ -1317,7 +1561,9 @@ mod tests {
     #[test]
     fn qualified_wildcard() {
         let query = q("SELECT e.* FROM edges e");
-        let SetExpr::Select(s) = &query.body else { panic!() };
+        let SetExpr::Select(s) = &query.body else {
+            panic!()
+        };
         assert_eq!(s.projection[0], SelectItem::QualifiedWildcard("e".into()));
     }
 }

@@ -22,7 +22,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
             (inner.clone(), arb_binop(), inner.clone()).prop_map(|(l, op, r)| {
-                Expr::BinaryOp { left: Box::new(l), op, right: Box::new(r) }
+                Expr::BinaryOp {
+                    left: Box::new(l),
+                    op,
+                    right: Box::new(r),
+                }
             }),
             inner.clone().prop_map(|e| Expr::UnaryOp {
                 op: UnaryOp::Not,
@@ -32,7 +36,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 expr: Box::new(e),
                 negated: n
             }),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4), any::<bool>())
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, n)| Expr::InList {
                     expr: Box::new(e),
                     list,

@@ -9,9 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use spinner_common::{
-    DataType, EngineConfig, Error, Field, Result, Schema, SchemaRef, Value,
-};
+use spinner_common::{DataType, EngineConfig, Error, Field, Result, Schema, SchemaRef, Value};
 use spinner_parser as ast;
 use spinner_parser::{CteKind, InsertSource, SelectItem, SetOp, Statement, TableRef};
 
@@ -49,7 +47,12 @@ pub struct PlanContext<'a> {
 impl<'a> PlanContext<'a> {
     /// Fresh context.
     pub fn new(provider: &'a dyn SchemaProvider, config: &'a EngineConfig) -> Self {
-        PlanContext { provider, config, ctes: HashMap::new(), temp_counter: 0 }
+        PlanContext {
+            provider,
+            config,
+            ctes: HashMap::new(),
+            temp_counter: 0,
+        }
     }
 
     /// Allocate a unique temp-result name with the given role prefix.
@@ -76,13 +79,17 @@ pub fn plan_statement(
     config: &EngineConfig,
 ) -> Result<PlannedStatement> {
     match stmt {
-        Statement::Query(q) => {
-            Ok(PlannedStatement::Query(plan_query(q, provider, config)?))
-        }
-        Statement::Explain(inner) => Ok(PlannedStatement::Explain(Box::new(
-            plan_statement(inner, provider, config)?,
-        ))),
-        Statement::CreateTable { name, columns, primary_key, partition_key, if_not_exists } => {
+        Statement::Query(q) => Ok(PlannedStatement::Query(plan_query(q, provider, config)?)),
+        Statement::Explain(inner) => Ok(PlannedStatement::Explain(Box::new(plan_statement(
+            inner, provider, config,
+        )?))),
+        Statement::CreateTable {
+            name,
+            columns,
+            primary_key,
+            partition_key,
+            if_not_exists,
+        } => {
             let fields: Vec<Field> = columns
                 .iter()
                 .map(|c| Field::new(c.name.clone(), c.data_type))
@@ -110,12 +117,24 @@ pub fn plan_statement(
             name: name.clone(),
             if_exists: *if_exists,
         }),
-        Statement::Insert { table, columns, source } => {
-            plan_insert(table, columns.as_deref(), source, provider, config)
-        }
-        Statement::Update { table, assignments, from, selection } => {
-            plan_update(table, assignments, from.as_ref(), selection.as_ref(), provider, config)
-        }
+        Statement::Insert {
+            table,
+            columns,
+            source,
+        } => plan_insert(table, columns.as_deref(), source, provider, config),
+        Statement::Update {
+            table,
+            assignments,
+            from,
+            selection,
+        } => plan_update(
+            table,
+            assignments,
+            from.as_ref(),
+            selection.as_ref(),
+            provider,
+            config,
+        ),
         Statement::Delete { table, selection } => {
             let schema = provider
                 .table_schema(table)
@@ -125,7 +144,10 @@ pub fn plan_statement(
                 Some(e) => Some(resolve_expr(e, &qualified)?),
                 None => None,
             };
-            Ok(PlannedStatement::Delete { table: table.clone(), predicate })
+            Ok(PlannedStatement::Delete {
+                table: table.clone(),
+                predicate,
+            })
         }
     }
 }
@@ -155,10 +177,24 @@ pub fn plan_query_internal(
                 let plan = plan_query_internal(q, ctx, steps)?;
                 let schema = apply_declared_columns(&plan.schema(), &cte.columns, &cte.name)?;
                 let temp = ctx.fresh_temp(&format!("cte_{}", cte.name));
-                steps.push(Step::Materialize { name: temp.clone(), plan, distribute_by: None });
-                ctx.bind_cte(&cte.name, CteBinding { temp_name: temp, schema });
+                steps.push(Step::Materialize {
+                    name: temp.clone(),
+                    plan,
+                    distribute_by: None,
+                });
+                ctx.bind_cte(
+                    &cte.name,
+                    CteBinding {
+                        temp_name: temp,
+                        schema,
+                    },
+                );
             }
-            CteKind::Recursive { base, step, union_all } => {
+            CteKind::Recursive {
+                base,
+                step,
+                union_all,
+            } => {
                 rewrite::build_recursive_cte(cte, base, step, *union_all, ctx, steps)?;
             }
             CteKind::Iterative { init, step, until } => {
@@ -171,7 +207,10 @@ pub fn plan_query_internal(
         plan = plan_order_by(plan, &query.order_by)?;
     }
     if let Some(n) = query.limit {
-        plan = LogicalPlan::Limit { input: Box::new(plan), n };
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
     }
     Ok(plan)
 }
@@ -211,11 +250,19 @@ fn plan_order_by(plan: LogicalPlan, order_by: &[ast::OrderByExpr]) -> Result<Log
                 nulls_first: ob.nulls_first,
             })
             .collect();
-        return Ok(LogicalPlan::Sort { input: Box::new(plan), keys });
+        return Ok(LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        });
     }
     // Hidden-column path: only possible when the root is a projection whose
     // input still exposes the key columns.
-    let LogicalPlan::Projection { input, mut exprs, schema } = plan else {
+    let LogicalPlan::Projection {
+        input,
+        mut exprs,
+        schema,
+    } = plan
+    else {
         // Re-raise the original resolution error.
         for ob in order_by {
             resolve_with_fallback(&ob.expr, &out_schema)?;
@@ -232,20 +279,29 @@ fn plan_order_by(plan: LogicalPlan, order_by: &[ast::OrderByExpr]) -> Result<Log
             None => {
                 let inner = resolve_with_fallback(&ob.expr, &in_schema)?;
                 let idx = exprs.len();
-                extended_fields
-                    .push(Field::new(format!("__sort_{idx}"), inner.data_type(&in_schema)));
+                extended_fields.push(Field::new(
+                    format!("__sort_{idx}"),
+                    inner.data_type(&in_schema),
+                ));
                 exprs.push(inner);
                 PlanExpr::column(idx, format!("__sort_{idx}"))
             }
         };
-        keys.push(SortKey { expr, asc: ob.asc, nulls_first: ob.nulls_first });
+        keys.push(SortKey {
+            expr,
+            asc: ob.asc,
+            nulls_first: ob.nulls_first,
+        });
     }
     let extended = LogicalPlan::Projection {
         input,
         exprs,
         schema: Arc::new(Schema::new(extended_fields)),
     };
-    let sorted = LogicalPlan::Sort { input: Box::new(extended), keys };
+    let sorted = LogicalPlan::Sort {
+        input: Box::new(extended),
+        keys,
+    };
     // Project the hidden columns away again.
     let final_exprs: Vec<PlanExpr> = schema
         .fields()
@@ -264,9 +320,10 @@ fn plan_order_by(plan: LogicalPlan, order_by: &[ast::OrderByExpr]) -> Result<Log
 /// Remove table qualifiers from every column reference (ORDER BY fallback).
 fn strip_qualifiers(expr: &ast::Expr) -> ast::Expr {
     match expr {
-        ast::Expr::Column { name, .. } => {
-            ast::Expr::Column { relation: None, name: name.clone() }
-        }
+        ast::Expr::Column { name, .. } => ast::Expr::Column {
+            relation: None,
+            name: name.clone(),
+        },
         ast::Expr::Literal(v) => ast::Expr::Literal(v.clone()),
         ast::Expr::BinaryOp { left, op, right } => ast::Expr::BinaryOp {
             left: Box::new(strip_qualifiers(left)),
@@ -277,13 +334,22 @@ fn strip_qualifiers(expr: &ast::Expr) -> ast::Expr {
             op: *op,
             expr: Box::new(strip_qualifiers(expr)),
         },
-        ast::Expr::Function { name, args, distinct, star } => ast::Expr::Function {
+        ast::Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => ast::Expr::Function {
             name: name.clone(),
             args: args.iter().map(strip_qualifiers).collect(),
             distinct: *distinct,
             star: *star,
         },
-        ast::Expr::Case { operand, branches, else_expr } => ast::Expr::Case {
+        ast::Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => ast::Expr::Case {
             operand: operand.as_ref().map(|o| Box::new(strip_qualifiers(o))),
             branches: branches
                 .iter()
@@ -299,12 +365,21 @@ fn strip_qualifiers(expr: &ast::Expr) -> ast::Expr {
             expr: Box::new(strip_qualifiers(expr)),
             negated: *negated,
         },
-        ast::Expr::InList { expr, list, negated } => ast::Expr::InList {
+        ast::Expr::InList {
+            expr,
+            list,
+            negated,
+        } => ast::Expr::InList {
             expr: Box::new(strip_qualifiers(expr)),
             list: list.iter().map(strip_qualifiers).collect(),
             negated: *negated,
         },
-        ast::Expr::Between { expr, low, high, negated } => ast::Expr::Between {
+        ast::Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => ast::Expr::Between {
             expr: Box::new(strip_qualifiers(expr)),
             low: Box::new(strip_qualifiers(low)),
             high: Box::new(strip_qualifiers(high)),
@@ -346,7 +421,12 @@ fn plan_set_expr(
 ) -> Result<LogicalPlan> {
     match body {
         ast::SetExpr::Select(s) => plan_select(s, ctx, steps),
-        ast::SetExpr::SetOp { op, all, left, right } => {
+        ast::SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             let l = plan_set_expr(left, ctx, steps)?;
             let r = plan_set_expr(right, ctx, steps)?;
             if l.schema().len() != r.schema().len() {
@@ -414,7 +494,10 @@ fn plan_select(
     if let Some(sel) = &select.selection {
         let schema = input.schema();
         let predicate = resolve_expr(sel, &schema)?;
-        input = LogicalPlan::Filter { input: Box::new(input), predicate };
+        input = LogicalPlan::Filter {
+            input: Box::new(input),
+            predicate,
+        };
     }
     // Aggregation?
     let has_aggs = select_has_aggregates(select);
@@ -424,7 +507,9 @@ fn plan_select(
         plan_plain_projection(select, input)?
     };
     if select.distinct {
-        plan = LogicalPlan::Distinct { input: Box::new(plan) };
+        plan = LogicalPlan::Distinct {
+            input: Box::new(plan),
+        };
     }
     Ok(plan)
 }
@@ -444,7 +529,10 @@ fn plan_plain_projection(select: &ast::Select, input: LogicalPlan) -> Result<Log
             SelectItem::QualifiedWildcard(rel) => {
                 let mut matched = false;
                 for (i, f) in in_schema.fields().iter().enumerate() {
-                    if f.relation.as_deref().is_some_and(|r| r.eq_ignore_ascii_case(rel)) {
+                    if f.relation
+                        .as_deref()
+                        .is_some_and(|r| r.eq_ignore_ascii_case(rel))
+                    {
                         exprs.push(PlanExpr::column(i, f.qualified_name()));
                         fields.push(f.clone());
                         matched = true;
@@ -521,9 +609,11 @@ fn plan_aggregate_select(select: &ast::Select, input: LogicalPlan) -> Result<Log
     };
     // HAVING
     if let Some(h) = &select.having {
-        let predicate =
-            rewrite_post_aggregate(h, &select.group_by, &agg_calls, &agg_schema)?;
-        plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        let predicate = rewrite_post_aggregate(h, &select.group_by, &agg_calls, &agg_schema)?;
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate,
+        };
     }
     // Final projection.
     let mut exprs = Vec::new();
@@ -579,7 +669,13 @@ fn rewrite_post_aggregate(
                 if let ast::Expr::Column { name: gname, .. } = g {
                     if gname.eq_ignore_ascii_case(name)
                         && (relation.is_none()
-                            || matches!(g, ast::Expr::Column { relation: Some(_), .. }))
+                            || matches!(
+                                g,
+                                ast::Expr::Column {
+                                    relation: Some(_),
+                                    ..
+                                }
+                            ))
                     {
                         return Ok(PlanExpr::column(i, agg_schema.field(i).name.clone()));
                     }
@@ -595,13 +691,19 @@ fn rewrite_post_aggregate(
         }
         ast::Expr::Literal(v) => Ok(PlanExpr::Literal(v.clone())),
         ast::Expr::BinaryOp { left, op, right } => Ok(PlanExpr::Binary {
-            left: Box::new(rewrite_post_aggregate(left, group_by, agg_calls, agg_schema)?),
+            left: Box::new(rewrite_post_aggregate(
+                left, group_by, agg_calls, agg_schema,
+            )?),
             op: *op,
-            right: Box::new(rewrite_post_aggregate(right, group_by, agg_calls, agg_schema)?),
+            right: Box::new(rewrite_post_aggregate(
+                right, group_by, agg_calls, agg_schema,
+            )?),
         }),
         ast::Expr::UnaryOp { op, expr } => Ok(PlanExpr::Unary {
             op: *op,
-            expr: Box::new(rewrite_post_aggregate(expr, group_by, agg_calls, agg_schema)?),
+            expr: Box::new(rewrite_post_aggregate(
+                expr, group_by, agg_calls, agg_schema,
+            )?),
         }),
         ast::Expr::Function { name, args, .. } => {
             let func = ScalarFn::from_name(name).ok_or_else(|| {
@@ -615,7 +717,11 @@ fn rewrite_post_aggregate(
                     .collect::<Result<_>>()?,
             })
         }
-        ast::Expr::Case { operand, branches, else_expr } => {
+        ast::Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             let desugared = desugar_case(operand, branches, else_expr);
             let mut bs = Vec::new();
             for (w, t) in desugared.0 {
@@ -630,25 +736,43 @@ fn rewrite_post_aggregate(
                 )?)),
                 None => None,
             };
-            Ok(PlanExpr::Case { branches: bs, else_expr: ee })
+            Ok(PlanExpr::Case {
+                branches: bs,
+                else_expr: ee,
+            })
         }
         ast::Expr::Cast { expr, data_type } => Ok(PlanExpr::Cast {
-            expr: Box::new(rewrite_post_aggregate(expr, group_by, agg_calls, agg_schema)?),
+            expr: Box::new(rewrite_post_aggregate(
+                expr, group_by, agg_calls, agg_schema,
+            )?),
             to: *data_type,
         }),
         ast::Expr::IsNull { expr, negated } => Ok(PlanExpr::IsNull {
-            expr: Box::new(rewrite_post_aggregate(expr, group_by, agg_calls, agg_schema)?),
+            expr: Box::new(rewrite_post_aggregate(
+                expr, group_by, agg_calls, agg_schema,
+            )?),
             negated: *negated,
         }),
-        ast::Expr::InList { expr, list, negated } => Ok(PlanExpr::InList {
-            expr: Box::new(rewrite_post_aggregate(expr, group_by, agg_calls, agg_schema)?),
+        ast::Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(PlanExpr::InList {
+            expr: Box::new(rewrite_post_aggregate(
+                expr, group_by, agg_calls, agg_schema,
+            )?),
             list: list
                 .iter()
                 .map(|e| rewrite_post_aggregate(e, group_by, agg_calls, agg_schema))
                 .collect::<Result<_>>()?,
             negated: *negated,
         }),
-        ast::Expr::Between { expr, low, high, negated } => {
+        ast::Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let desugared = desugar_between(expr, low, high, *negated);
             rewrite_post_aggregate(&desugared, group_by, agg_calls, agg_schema)
         }
@@ -727,7 +851,11 @@ fn collect_aggregates(expr: &ast::Expr, out: &mut Vec<ast::Expr>) -> Result<()> 
             }
             Ok(())
         }
-        ast::Expr::Case { operand, branches, else_expr } => {
+        ast::Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             if let Some(op) = operand {
                 collect_aggregates(op, out)?;
             }
@@ -750,7 +878,9 @@ fn collect_aggregates(expr: &ast::Expr, out: &mut Vec<ast::Expr>) -> Result<()> 
             }
             Ok(())
         }
-        ast::Expr::Between { expr, low, high, .. } => {
+        ast::Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_aggregates(expr, out)?;
             collect_aggregates(low, out)?;
             collect_aggregates(high, out)
@@ -759,7 +889,13 @@ fn collect_aggregates(expr: &ast::Expr, out: &mut Vec<ast::Expr>) -> Result<()> 
 }
 
 fn resolve_aggregate(call: &ast::Expr, input: &Schema, ordinal: usize) -> Result<AggExpr> {
-    let ast::Expr::Function { name, args, distinct, star } = call else {
+    let ast::Expr::Function {
+        name,
+        args,
+        distinct,
+        star,
+    } = call
+    else {
         return Err(Error::plan("internal: not an aggregate call"));
     };
     let func = aggregate_func(name)
@@ -838,7 +974,12 @@ fn plan_table_ref(
                 None => Ok(plan),
             }
         }
-        TableRef::Join { left, right, kind, on } => {
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
             let l = plan_table_ref(left, ctx, steps)?;
             let r = plan_table_ref(right, ctx, steps)?;
             build_join(l, r, *kind, on.as_ref())
@@ -854,7 +995,11 @@ pub fn identity_projection(plan: LogicalPlan, schema: SchemaRef) -> LogicalPlan 
         .enumerate()
         .map(|(i, f)| PlanExpr::column(i, f.qualified_name()))
         .collect();
-    LogicalPlan::Projection { input: Box::new(plan), exprs, schema }
+    LogicalPlan::Projection {
+        input: Box::new(plan),
+        exprs,
+        schema,
+    }
 }
 
 /// Build a join node, splitting the ON condition into equi-key pairs and a
@@ -903,7 +1048,12 @@ pub fn build_join(
 
 /// Split an AST expression into AND-connected conjuncts.
 fn split_conjuncts_ast(expr: &ast::Expr, out: &mut Vec<ast::Expr>) {
-    if let ast::Expr::BinaryOp { left, op: ast::BinaryOp::And, right } = expr {
+    if let ast::Expr::BinaryOp {
+        left,
+        op: ast::BinaryOp::And,
+        right,
+    } = expr
+    {
         split_conjuncts_ast(left, out);
         split_conjuncts_ast(right, out);
     } else {
@@ -915,7 +1065,12 @@ fn split_conjuncts_ast(expr: &ast::Expr, out: &mut Vec<ast::Expr>) {
 /// referencing only left columns and `b` only right columns (or swapped),
 /// return (left key over left schema, right key over right schema).
 fn as_equi_pair(expr: &PlanExpr, left_width: usize) -> Option<(PlanExpr, PlanExpr)> {
-    let PlanExpr::Binary { left, op: crate::expr::BinaryOp::Eq, right } = expr else {
+    let PlanExpr::Binary {
+        left,
+        op: crate::expr::BinaryOp::Eq,
+        right,
+    } = expr
+    else {
         return None;
     };
     let lcols = left.referenced_columns();
@@ -975,7 +1130,11 @@ pub fn resolve_expr(expr: &ast::Expr, schema: &Schema) -> Result<PlanExpr> {
                     .collect::<Result<_>>()?,
             })
         }
-        ast::Expr::Case { operand, branches, else_expr } => {
+        ast::Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             let (branches, else_expr) = desugar_case(operand, branches, else_expr);
             let bs = branches
                 .iter()
@@ -985,7 +1144,10 @@ pub fn resolve_expr(expr: &ast::Expr, schema: &Schema) -> Result<PlanExpr> {
                 Some(e) => Some(Box::new(resolve_expr(&e, schema)?)),
                 None => None,
             };
-            Ok(PlanExpr::Case { branches: bs, else_expr: ee })
+            Ok(PlanExpr::Case {
+                branches: bs,
+                else_expr: ee,
+            })
         }
         ast::Expr::Cast { expr, data_type } => Ok(PlanExpr::Cast {
             expr: Box::new(resolve_expr(expr, schema)?),
@@ -995,7 +1157,11 @@ pub fn resolve_expr(expr: &ast::Expr, schema: &Schema) -> Result<PlanExpr> {
             expr: Box::new(resolve_expr(expr, schema)?),
             negated: *negated,
         }),
-        ast::Expr::InList { expr, list, negated } => Ok(PlanExpr::InList {
+        ast::Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(PlanExpr::InList {
             expr: Box::new(resolve_expr(expr, schema)?),
             list: list
                 .iter()
@@ -1003,7 +1169,12 @@ pub fn resolve_expr(expr: &ast::Expr, schema: &Schema) -> Result<PlanExpr> {
                 .collect::<Result<_>>()?,
             negated: *negated,
         }),
-        ast::Expr::Between { expr, low, high, negated } => {
+        ast::Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let desugared = desugar_between(expr, low, high, *negated);
             resolve_expr(&desugared, schema)
         }
@@ -1058,7 +1229,10 @@ fn desugar_between(
         right: Box::new(le),
     };
     if negated {
-        ast::Expr::UnaryOp { op: ast::UnaryOp::Not, expr: Box::new(both) }
+        ast::Expr::UnaryOp {
+            op: ast::UnaryOp::Not,
+            expr: Box::new(both),
+        }
     } else {
         both
     }
@@ -1083,9 +1257,7 @@ fn plan_insert(
             let width = rows.first().map(Vec::len).unwrap_or(0);
             for row in rows {
                 if row.len() != width {
-                    return Err(Error::plan(
-                        "VALUES rows have inconsistent column counts",
-                    ));
+                    return Err(Error::plan("VALUES rows have inconsistent column counts"));
                 }
                 resolved.push(
                     row.iter()
@@ -1141,7 +1313,10 @@ fn plan_insert(
     };
     Ok(PlannedStatement::Insert {
         table: table.to_ascii_lowercase(),
-        source: QueryPlan { steps: source_plan.steps, root },
+        source: QueryPlan {
+            steps: source_plan.steps,
+            root,
+        },
     })
 }
 
@@ -1222,13 +1397,17 @@ mod tests {
 
     fn plan(sql: &str) -> QueryPlan {
         let stmt = parse_sql(sql).unwrap();
-        let Statement::Query(q) = stmt else { panic!("not a query") };
+        let Statement::Query(q) = stmt else {
+            panic!("not a query")
+        };
         plan_query(&q, &TestProvider, &EngineConfig::default()).unwrap()
     }
 
     fn plan_err(sql: &str) -> Error {
         let stmt = parse_sql(sql).unwrap();
-        let Statement::Query(q) = stmt else { panic!("not a query") };
+        let Statement::Query(q) = stmt else {
+            panic!("not a query")
+        };
         plan_query(&q, &TestProvider, &EngineConfig::default()).unwrap_err()
     }
 
@@ -1263,8 +1442,12 @@ mod tests {
         let p = plan(
             "SELECT e.src FROM edges e JOIN vertexStatus v ON e.src = v.node AND e.weight > 1.0",
         );
-        let LogicalPlan::Projection { input, .. } = &p.root else { panic!() };
-        let LogicalPlan::Join { on, filter, .. } = &**input else { panic!() };
+        let LogicalPlan::Projection { input, .. } = &p.root else {
+            panic!()
+        };
+        let LogicalPlan::Join { on, filter, .. } = &**input else {
+            panic!()
+        };
         assert_eq!(on.len(), 1);
         assert!(filter.is_some());
     }
@@ -1272,7 +1455,9 @@ mod tests {
     #[test]
     fn aggregate_plan_shape() {
         let p = plan("SELECT src, COUNT(dst) AS friends FROM edges GROUP BY src");
-        let LogicalPlan::Projection { input, schema, .. } = &p.root else { panic!() };
+        let LogicalPlan::Projection { input, schema, .. } = &p.root else {
+            panic!()
+        };
         assert!(matches!(&**input, LogicalPlan::Aggregate { .. }));
         assert_eq!(schema.names(), vec!["src", "friends"]);
     }
@@ -1280,10 +1465,10 @@ mod tests {
     #[test]
     fn group_by_expression_matches_select_copy() {
         // The PR query groups by `rank + delta`-style expressions.
-        let p = plan(
-            "SELECT src + dst, COUNT(*) FROM edges GROUP BY src + dst",
-        );
-        let LogicalPlan::Projection { exprs, .. } = &p.root else { panic!() };
+        let p = plan("SELECT src + dst, COUNT(*) FROM edges GROUP BY src + dst");
+        let LogicalPlan::Projection { exprs, .. } = &p.root else {
+            panic!()
+        };
         // first output is a positional ref to group column 0
         assert!(matches!(&exprs[0], PlanExpr::Column(c) if c.index == 0));
     }
@@ -1303,8 +1488,12 @@ mod tests {
     #[test]
     fn having_becomes_filter_over_aggregate() {
         let p = plan("SELECT src FROM edges GROUP BY src HAVING COUNT(*) > 2");
-        let LogicalPlan::Projection { input, .. } = &p.root else { panic!() };
-        let LogicalPlan::Filter { input: agg, .. } = &**input else { panic!() };
+        let LogicalPlan::Projection { input, .. } = &p.root else {
+            panic!()
+        };
+        let LogicalPlan::Filter { input: agg, .. } = &**input else {
+            panic!()
+        };
         assert!(matches!(&**agg, LogicalPlan::Aggregate { .. }));
     }
 
@@ -1328,11 +1517,16 @@ mod tests {
         );
         assert_eq!(p.steps.len(), 2);
         assert!(matches!(&p.steps[0], Step::Materialize { .. }));
-        let Step::Loop(l) = &p.steps[1] else { panic!("expected loop step") };
+        let Step::Loop(l) = &p.steps[1] else {
+            panic!("expected loop step")
+        };
         assert_eq!(l.cte_display_name, "pr");
         assert_eq!(l.termination, crate::TerminationPlan::Iterations(3));
         // No WHERE in Ri and optimization on => rename path (no merge).
-        assert!(matches!(&l.kind, crate::LoopKind::Iterative { merge: false, .. }));
+        assert!(matches!(
+            &l.kind,
+            crate::LoopKind::Iterative { merge: false, .. }
+        ));
     }
 
     #[test]
@@ -1346,7 +1540,10 @@ mod tests {
              SELECT * FROM pr",
         );
         let Step::Loop(l) = &p.steps[1] else { panic!() };
-        assert!(matches!(&l.kind, crate::LoopKind::Iterative { merge: true, .. }));
+        assert!(matches!(
+            &l.kind,
+            crate::LoopKind::Iterative { merge: true, .. }
+        ));
         // body: materialize working, merge, rename
         assert_eq!(l.body.len(), 3);
     }
@@ -1363,14 +1560,15 @@ mod tests {
         let Statement::Query(q) = stmt else { panic!() };
         let p = plan_query(&q, &TestProvider, &EngineConfig::naive()).unwrap();
         let Step::Loop(l) = &p.steps[1] else { panic!() };
-        assert!(matches!(&l.kind, crate::LoopKind::Iterative { merge: true, .. }));
+        assert!(matches!(
+            &l.kind,
+            crate::LoopKind::Iterative { merge: true, .. }
+        ));
     }
 
     #[test]
     fn cte_declared_column_count_checked() {
-        let err = plan_err(
-            "WITH t (a, b) AS (SELECT src FROM edges) SELECT * FROM t",
-        );
+        let err = plan_err("WITH t (a, b) AS (SELECT src FROM edges) SELECT * FROM t");
         assert!(matches!(err, Error::Plan(m) if m.contains("declares")));
     }
 
@@ -1390,7 +1588,9 @@ mod tests {
     fn insert_pads_and_casts() {
         let stmt = parse_sql("INSERT INTO edges (dst) SELECT src FROM edges").unwrap();
         let planned = plan_statement(&stmt, &TestProvider, &EngineConfig::default()).unwrap();
-        let PlannedStatement::Insert { source, .. } = planned else { panic!() };
+        let PlannedStatement::Insert { source, .. } = planned else {
+            panic!()
+        };
         assert_eq!(source.schema().len(), 3);
     }
 
@@ -1402,7 +1602,13 @@ mod tests {
         )
         .unwrap();
         let planned = plan_statement(&stmt, &TestProvider, &EngineConfig::default()).unwrap();
-        let PlannedStatement::Update { assignments, from, predicate, .. } = planned else {
+        let PlannedStatement::Update {
+            assignments,
+            from,
+            predicate,
+            ..
+        } = planned
+        else {
             panic!()
         };
         assert_eq!(assignments.len(), 1);
@@ -1429,9 +1635,9 @@ mod tests {
             "WITH RECURSIVE r (n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r WHERE n < 5) \
              SELECT n FROM r",
         );
-        let has_loop = p.steps.iter().any(|s| {
-            matches!(s, Step::Loop(l) if matches!(l.kind, crate::LoopKind::FixedPoint { .. }))
-        });
+        let has_loop = p.steps.iter().any(
+            |s| matches!(s, Step::Loop(l) if matches!(l.kind, crate::LoopKind::FixedPoint { .. })),
+        );
         assert!(has_loop);
     }
 }

@@ -196,7 +196,10 @@ pub enum PlanExpr {
 impl PlanExpr {
     /// Column helper.
     pub fn column(index: usize, name: impl Into<String>) -> PlanExpr {
-        PlanExpr::Column(ColumnRef { index, name: name.into() })
+        PlanExpr::Column(ColumnRef {
+            index,
+            name: name.into(),
+        })
     }
 
     /// Literal helper.
@@ -206,26 +209,26 @@ impl PlanExpr {
 
     /// `self op other` helper.
     pub fn binary(self, op: BinaryOp, other: PlanExpr) -> PlanExpr {
-        PlanExpr::Binary { left: Box::new(self), op, right: Box::new(other) }
+        PlanExpr::Binary {
+            left: Box::new(self),
+            op,
+            right: Box::new(other),
+        }
     }
 
     /// Evaluate against one input row.
     pub fn evaluate(&self, row: &[Value]) -> Result<Value> {
         match self {
-            PlanExpr::Column(c) => {
-                row.get(c.index).cloned().ok_or_else(|| {
-                    Error::execution(format!(
-                        "column index {} ('{}') out of bounds for row of width {}",
-                        c.index,
-                        c.name,
-                        row.len()
-                    ))
-                })
-            }
+            PlanExpr::Column(c) => row.get(c.index).cloned().ok_or_else(|| {
+                Error::execution(format!(
+                    "column index {} ('{}') out of bounds for row of width {}",
+                    c.index,
+                    c.name,
+                    row.len()
+                ))
+            }),
             PlanExpr::Literal(v) => Ok(v.clone()),
-            PlanExpr::Binary { left, op, right } => {
-                eval_binary(*op, left, right, row)
-            }
+            PlanExpr::Binary { left, op, right } => eval_binary(*op, left, right, row),
             PlanExpr::Unary { op, expr } => {
                 let v = expr.evaluate(row)?;
                 match op {
@@ -248,7 +251,10 @@ impl PlanExpr {
                 }
             }
             PlanExpr::Scalar { func, args } => eval_scalar(*func, args, row),
-            PlanExpr::Case { branches, else_expr } => {
+            PlanExpr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (when, then) in branches {
                     if when.evaluate(row)?.as_bool()? == Some(true) {
                         return then.evaluate(row);
@@ -264,7 +270,11 @@ impl PlanExpr {
                 let is_null = expr.evaluate(row)?.is_null();
                 Ok(Value::Bool(is_null != *negated))
             }
-            PlanExpr::InList { expr, list, negated } => {
+            PlanExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.evaluate(row)?;
                 if v.is_null() {
                     return Ok(Value::Null);
@@ -302,10 +312,9 @@ impl PlanExpr {
                 .unwrap_or(DataType::Null),
             PlanExpr::Literal(v) => v.data_type(),
             PlanExpr::Binary { left, op, right } => match op {
-                BinaryOp::Plus
-                | BinaryOp::Minus
-                | BinaryOp::Multiply
-                | BinaryOp::Modulo => left.data_type(input).widen(right.data_type(input)),
+                BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Modulo => {
+                    left.data_type(input).widen(right.data_type(input))
+                }
                 BinaryOp::Divide => {
                     // Integer division truncates; mixed widens to float.
                     left.data_type(input).widen(right.data_type(input))
@@ -318,18 +327,26 @@ impl PlanExpr {
             },
             PlanExpr::Scalar { func, args } => match func {
                 ScalarFn::Ceiling | ScalarFn::Floor => DataType::Int,
-                ScalarFn::Round | ScalarFn::Sqrt | ScalarFn::Exp | ScalarFn::Ln
+                ScalarFn::Round
+                | ScalarFn::Sqrt
+                | ScalarFn::Exp
+                | ScalarFn::Ln
                 | ScalarFn::Power => DataType::Float,
                 ScalarFn::Sign | ScalarFn::Length => DataType::Int,
                 ScalarFn::Upper | ScalarFn::Lower | ScalarFn::Concat => DataType::Text,
-                ScalarFn::Abs | ScalarFn::NullIf => {
-                    args.first().map(|a| a.data_type(input)).unwrap_or(DataType::Null)
-                }
+                ScalarFn::Abs | ScalarFn::NullIf => args
+                    .first()
+                    .map(|a| a.data_type(input))
+                    .unwrap_or(DataType::Null),
                 ScalarFn::Mod => args
                     .first()
                     .map(|a| a.data_type(input))
                     .unwrap_or(DataType::Null)
-                    .widen(args.get(1).map(|a| a.data_type(input)).unwrap_or(DataType::Null)),
+                    .widen(
+                        args.get(1)
+                            .map(|a| a.data_type(input))
+                            .unwrap_or(DataType::Null),
+                    ),
                 ScalarFn::Least | ScalarFn::Greatest | ScalarFn::Coalesce => {
                     let mut t = DataType::Null;
                     for a in args {
@@ -338,7 +355,10 @@ impl PlanExpr {
                     t
                 }
             },
-            PlanExpr::Case { branches, else_expr } => {
+            PlanExpr::Case {
+                branches,
+                else_expr,
+            } => {
                 let mut t = DataType::Null;
                 for (_, then) in branches {
                     t = t.widen(then.data_type(input));
@@ -381,7 +401,10 @@ impl PlanExpr {
                     a.walk(f);
                 }
             }
-            PlanExpr::Case { branches, else_expr } => {
+            PlanExpr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (w, t) in branches {
                     w.walk(f);
                     t.walk(f);
@@ -409,7 +432,10 @@ impl PlanExpr {
                 let new = map(c.index).ok_or_else(|| {
                     Error::plan(format!("cannot remap column '{}' across operator", c.name))
                 })?;
-                PlanExpr::Column(ColumnRef { index: new, name: c.name.clone() })
+                PlanExpr::Column(ColumnRef {
+                    index: new,
+                    name: c.name.clone(),
+                })
             }
             PlanExpr::Literal(v) => PlanExpr::Literal(v.clone()),
             PlanExpr::Binary { left, op, right } => PlanExpr::Binary {
@@ -423,9 +449,15 @@ impl PlanExpr {
             },
             PlanExpr::Scalar { func, args } => PlanExpr::Scalar {
                 func: *func,
-                args: args.iter().map(|a| a.remap_columns(map)).collect::<Result<_>>()?,
+                args: args
+                    .iter()
+                    .map(|a| a.remap_columns(map))
+                    .collect::<Result<_>>()?,
             },
-            PlanExpr::Case { branches, else_expr } => PlanExpr::Case {
+            PlanExpr::Case {
+                branches,
+                else_expr,
+            } => PlanExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(w, t)| Ok((w.remap_columns(map)?, t.remap_columns(map)?)))
@@ -443,9 +475,16 @@ impl PlanExpr {
                 expr: Box::new(expr.remap_columns(map)?),
                 negated: *negated,
             },
-            PlanExpr::InList { expr, list, negated } => PlanExpr::InList {
+            PlanExpr::InList {
+                expr,
+                list,
+                negated,
+            } => PlanExpr::InList {
                 expr: Box::new(expr.remap_columns(map)?),
-                list: list.iter().map(|e| e.remap_columns(map)).collect::<Result<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| e.remap_columns(map))
+                    .collect::<Result<_>>()?,
                 negated: *negated,
             },
         })
@@ -463,12 +502,7 @@ impl PlanExpr {
     }
 }
 
-fn eval_binary(
-    op: BinaryOp,
-    left: &PlanExpr,
-    right: &PlanExpr,
-    row: &[Value],
-) -> Result<Value> {
+fn eval_binary(op: BinaryOp, left: &PlanExpr, right: &PlanExpr, row: &[Value]) -> Result<Value> {
     // Kleene logic needs lazy/short-circuit handling per operand nullness.
     if matches!(op, BinaryOp::And | BinaryOp::Or) {
         let l = left.evaluate(row)?.as_bool()?;
@@ -482,9 +516,7 @@ fn eval_binary(
         return Ok(match (op, l, r) {
             (BinaryOp::And, Some(true), Some(b)) => Value::Bool(b),
             (BinaryOp::And, Some(b), Some(true)) => Value::Bool(b),
-            (BinaryOp::And, _, Some(false)) | (BinaryOp::And, Some(false), _) => {
-                Value::Bool(false)
-            }
+            (BinaryOp::And, _, Some(false)) | (BinaryOp::And, Some(false), _) => Value::Bool(false),
             (BinaryOp::Or, Some(false), Some(b)) => Value::Bool(b),
             (BinaryOp::Or, Some(b), Some(false)) => Value::Bool(b),
             (BinaryOp::Or, _, Some(true)) | (BinaryOp::Or, Some(true), _) => Value::Bool(true),
@@ -494,7 +526,10 @@ fn eval_binary(
     let l = left.evaluate(row)?;
     let r = right.evaluate(row)?;
     match op {
-        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide
+        BinaryOp::Plus
+        | BinaryOp::Minus
+        | BinaryOp::Multiply
+        | BinaryOp::Divide
         | BinaryOp::Modulo => eval_arithmetic(op, &l, &r),
         BinaryOp::Eq => Ok(bool3(l.sql_eq(&r))),
         BinaryOp::NotEq => Ok(bool3(l.sql_eq(&r).map(|b| !b))),
@@ -649,9 +684,11 @@ fn eval_scalar(func: ScalarFn, args: &[PlanExpr], row: &[Value]) -> Result<Value
                     Ok(Value::Float((v0.as_f64()? * factor).round() / factor))
                 }
                 ScalarFn::Abs => match v0 {
-                    Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
-                        Error::Arithmetic("integer overflow in abs".into())
-                    })?)),
+                    Value::Int(i) => {
+                        Ok(Value::Int(i.checked_abs().ok_or_else(|| {
+                            Error::Arithmetic("integer overflow in abs".into())
+                        })?))
+                    }
                     other => Ok(Value::Float(other.as_f64()?.abs())),
                 },
                 ScalarFn::Mod => {
@@ -727,7 +764,10 @@ impl fmt::Display for PlanExpr {
                 }
                 write!(f, ")")
             }
-            PlanExpr::Case { branches, else_expr } => {
+            PlanExpr::Case {
+                branches,
+                else_expr,
+            } => {
                 write!(f, "CASE")?;
                 for (w, t) in branches {
                     write!(f, " WHEN {w} THEN {t}")?;
@@ -741,7 +781,11 @@ impl fmt::Display for PlanExpr {
             PlanExpr::IsNull { expr, negated } => {
                 write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
             }
-            PlanExpr::InList { expr, list, negated } => {
+            PlanExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
@@ -781,8 +825,7 @@ mod tests {
 
     #[test]
     fn integer_overflow_detected() {
-        let e =
-            PlanExpr::literal(i64::MAX).binary(BinaryOp::Plus, PlanExpr::literal(1i64));
+        let e = PlanExpr::literal(i64::MAX).binary(BinaryOp::Plus, PlanExpr::literal(1i64));
         assert!(matches!(e.evaluate(&[]), Err(Error::Arithmetic(_))));
     }
 
@@ -799,21 +842,35 @@ mod tests {
         let f = PlanExpr::literal(false);
         // false AND NULL = false
         assert_eq!(
-            f.clone().binary(BinaryOp::And, null.clone()).evaluate(&[]).unwrap(),
+            f.clone()
+                .binary(BinaryOp::And, null.clone())
+                .evaluate(&[])
+                .unwrap(),
             Value::Bool(false)
         );
         // NULL AND false = false (right side decides)
         assert_eq!(
-            null.clone().binary(BinaryOp::And, f.clone()).evaluate(&[]).unwrap(),
+            null.clone()
+                .binary(BinaryOp::And, f.clone())
+                .evaluate(&[])
+                .unwrap(),
             Value::Bool(false)
         );
         // true OR NULL = true
         assert_eq!(
-            t.clone().binary(BinaryOp::Or, null.clone()).evaluate(&[]).unwrap(),
+            t.clone()
+                .binary(BinaryOp::Or, null.clone())
+                .evaluate(&[])
+                .unwrap(),
             Value::Bool(true)
         );
         // NULL OR NULL = NULL
-        assert!(null.clone().binary(BinaryOp::Or, null).evaluate(&[]).unwrap().is_null());
+        assert!(null
+            .clone()
+            .binary(BinaryOp::Or, null)
+            .evaluate(&[])
+            .unwrap()
+            .is_null());
     }
 
     #[test]

@@ -16,6 +16,6 @@ pub mod rewrite;
 pub use builder::{plan_query, plan_statement, PlanContext};
 pub use expr::{AggExpr, AggFunc, ColumnRef, PlanExpr, ScalarFn};
 pub use logical::{
-    JoinType, LogicalPlan, LoopKind, LoopStep, PlannedStatement, QueryPlan, SetOpKind,
-    SortKey, Step, TerminationPlan,
+    JoinType, LogicalPlan, LoopKind, LoopStep, PlannedStatement, QueryPlan, SetOpKind, SortKey,
+    Step, TerminationPlan,
 };

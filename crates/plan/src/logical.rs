@@ -70,7 +70,10 @@ pub enum LogicalPlan {
     /// tables, working tables and common-result materializations.
     TempScan { name: String, schema: SchemaRef },
     /// Literal rows (INSERT ... VALUES, SELECT without FROM).
-    Values { schema: SchemaRef, rows: Vec<Vec<PlanExpr>> },
+    Values {
+        schema: SchemaRef,
+        rows: Vec<Vec<PlanExpr>>,
+    },
     /// Compute expressions over each input row.
     Projection {
         input: Box<LogicalPlan>,
@@ -181,7 +184,11 @@ impl LogicalPlan {
     /// Number of Join nodes in this subtree.
     pub fn count_joins(&self) -> usize {
         let own = usize::from(matches!(self, LogicalPlan::Join { .. }));
-        own + self.children().iter().map(|c| c.count_joins()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.count_joins())
+            .sum::<usize>()
     }
 
     /// One-line description for EXPLAIN.
@@ -195,9 +202,13 @@ impl LogicalPlan {
                 format!("Projection: {}", items.join(", "))
             }
             LogicalPlan::Filter { predicate, .. } => format!("Filter: {predicate}"),
-            LogicalPlan::Join { join_type, on, filter, .. } => {
-                let keys: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+            LogicalPlan::Join {
+                join_type,
+                on,
+                filter,
+                ..
+            } => {
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                 let mut s = format!("{join_type} Join: {}", keys.join(", "));
                 if let Some(fp) = filter {
                     s.push_str(&format!(" filter: {fp}"));
@@ -213,15 +224,17 @@ impl LogicalPlan {
                         None => agg.func.to_string(),
                     })
                     .collect();
-                format!("Aggregate: groupBy=[{}] aggs=[{}]", g.join(", "), a.join(", "))
+                format!(
+                    "Aggregate: groupBy=[{}] aggs=[{}]",
+                    g.join(", "),
+                    a.join(", ")
+                )
             }
             LogicalPlan::Distinct { .. } => "Distinct".to_string(),
             LogicalPlan::Sort { keys, .. } => {
                 let k: Vec<String> = keys
                     .iter()
-                    .map(|s| {
-                        format!("{} {}", s.expr, if s.asc { "ASC" } else { "DESC" })
-                    })
+                    .map(|s| format!("{} {}", s.expr, if s.asc { "ASC" } else { "DESC" }))
                     .collect();
                 format!("Sort: {}", k.join(", "))
             }
@@ -353,12 +366,19 @@ impl Step {
     fn explain_into(&self, step_no: &mut usize, indent: usize, out: &mut String) {
         let pad = "  ".repeat(indent);
         match self {
-            Step::Materialize { name, plan, distribute_by } => {
+            Step::Materialize {
+                name,
+                plan,
+                distribute_by,
+            } => {
                 let dist = match distribute_by {
                     Some(c) => format!(" (distributed by column #{c})"),
                     None => String::new(),
                 };
-                out.push_str(&format!("{pad}{}. Materialize {name}{dist} with:\n", step_no));
+                out.push_str(&format!(
+                    "{pad}{}. Materialize {name}{dist} with:\n",
+                    step_no
+                ));
                 *step_no += 1;
                 plan.display_indent(indent + 2, out);
             }
@@ -366,7 +386,13 @@ impl Step {
                 out.push_str(&format!("{pad}{}. Rename {from} to {to}.\n", step_no));
                 *step_no += 1;
             }
-            Step::Merge { cte, working, merged, key, .. } => {
+            Step::Merge {
+                cte,
+                working,
+                merged,
+                key,
+                ..
+            } => {
                 out.push_str(&format!(
                     "{pad}{}. Merge {working} into {cte} by key column #{key} producing {merged}.\n",
                     step_no
@@ -403,7 +429,10 @@ pub struct QueryPlan {
 impl QueryPlan {
     /// Plan with no steps.
     pub fn simple(root: LogicalPlan) -> Self {
-        QueryPlan { steps: Vec::new(), root }
+        QueryPlan {
+            steps: Vec::new(),
+            root,
+        }
     }
 
     /// Output schema.
@@ -435,10 +464,16 @@ pub enum PlannedStatement {
         partition_key: Option<usize>,
         if_not_exists: bool,
     },
-    DropTable { name: String, if_exists: bool },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
     /// INSERT: the source plan produces rows already reordered/padded to
     /// the table's column order.
-    Insert { table: String, source: QueryPlan },
+    Insert {
+        table: String,
+        source: QueryPlan,
+    },
     /// UPDATE with optional FROM. Assignments map table-column index to an
     /// expression over (table row ∥ from row); `from` is `None` for plain
     /// UPDATE and expressions see only the table row.
@@ -448,7 +483,10 @@ pub enum PlannedStatement {
         assignments: Vec<(usize, PlanExpr)>,
         predicate: Option<PlanExpr>,
     },
-    Delete { table: String, predicate: Option<PlanExpr> },
+    Delete {
+        table: String,
+        predicate: Option<PlanExpr>,
+    },
     Explain(Box<PlannedStatement>),
 }
 
@@ -493,14 +531,28 @@ mod tests {
     fn explain_numbers_steps_like_table_one() {
         let plan = QueryPlan {
             steps: vec![
-                Step::Materialize { name: "pagerank".into(), plan: scan("src"), distribute_by: None },
+                Step::Materialize {
+                    name: "pagerank".into(),
+                    plan: scan("src"),
+                    distribute_by: None,
+                },
                 Step::Loop(LoopStep {
                     cte: "pagerank".into(),
                     cte_display_name: "PageRank".into(),
-                    kind: LoopKind::Iterative { working: "__work".into(), merge: false },
+                    kind: LoopKind::Iterative {
+                        working: "__work".into(),
+                        merge: false,
+                    },
                     body: vec![
-                        Step::Materialize { name: "__work".into(), plan: scan("pagerank"), distribute_by: None },
-                        Step::Rename { from: "__work".into(), to: "pagerank".into() },
+                        Step::Materialize {
+                            name: "__work".into(),
+                            plan: scan("pagerank"),
+                            distribute_by: None,
+                        },
+                        Step::Rename {
+                            from: "__work".into(),
+                            to: "pagerank".into(),
+                        },
                     ],
                     termination: TerminationPlan::Iterations(10),
                     key: 0,
@@ -511,7 +563,8 @@ mod tests {
         };
         let text = plan.explain();
         assert!(text.contains("1. Materialize pagerank"));
-        assert!(text.contains("2. Initialize loop operator <<Type:metadata, N:10 iterations, Expr:NONE>>"));
+        assert!(text
+            .contains("2. Initialize loop operator <<Type:metadata, N:10 iterations, Expr:NONE>>"));
         assert!(text.contains("4. Rename __work to pagerank."));
         assert!(text.contains("5. Go to step 3 if loop condition holds."));
         assert!(text.contains("6. Return:"));

@@ -69,7 +69,10 @@ pub fn build_iterative_cte(
     // Bind the CTE so Ri's references resolve to the cte table.
     ctx.bind_cte(
         &cte.name,
-        CteBinding { temp_name: cte_temp.clone(), schema: schema.clone() },
+        CteBinding {
+            temp_name: cte_temp.clone(),
+            schema: schema.clone(),
+        },
     );
 
     // Ri — its own sub-steps (nested CTE materializations) belong inside
@@ -104,9 +107,15 @@ pub fn build_iterative_cte(
             key: 0,
             cte_display_name: cte.name.clone(),
         });
-        body.push(Step::Rename { from: merged, to: cte_temp.clone() });
+        body.push(Step::Rename {
+            from: merged,
+            to: cte_temp.clone(),
+        });
     } else {
-        body.push(Step::Rename { from: working.clone(), to: cte_temp.clone() });
+        body.push(Step::Rename {
+            from: working.clone(),
+            to: cte_temp.clone(),
+        });
     }
 
     let termination = plan_termination(until, &schema, &cte.name)?;
@@ -147,7 +156,10 @@ pub fn build_recursive_cte(
     // Inside the loop the recursive reference reads the delta.
     ctx.bind_cte(
         &cte.name,
-        CteBinding { temp_name: delta_temp, schema: schema.clone() },
+        CteBinding {
+            temp_name: delta_temp,
+            schema: schema.clone(),
+        },
     );
     let mut body = Vec::new();
     let step_plan = plan_query_internal(step, ctx, &mut body)?;
@@ -178,7 +190,13 @@ pub fn build_recursive_cte(
     }));
 
     // After the loop, references read the full accumulated table.
-    ctx.bind_cte(&cte.name, CteBinding { temp_name: cte_temp, schema });
+    ctx.bind_cte(
+        &cte.name,
+        CteBinding {
+            temp_name: cte_temp,
+            schema,
+        },
+    );
     Ok(())
 }
 
@@ -197,9 +215,14 @@ fn plan_termination(
                     "termination condition of CTE '{cte_name}' is invalid: {e}"
                 ))
             })?;
-            TerminationPlan::Data { predicate, rows: *rows }
+            TerminationPlan::Data {
+                predicate,
+                rows: *rows,
+            }
         }
-        Termination::Delta { threshold } => TerminationPlan::Delta { threshold: *threshold },
+        Termination::Delta { threshold } => TerminationPlan::Delta {
+            threshold: *threshold,
+        },
     })
 }
 
@@ -225,7 +248,9 @@ mod tests {
     #[test]
     fn top_level_where_detection() {
         let get = |sql: &str| {
-            let ast::Statement::Query(q) = parse_sql(sql).unwrap() else { panic!() };
+            let ast::Statement::Query(q) = parse_sql(sql).unwrap() else {
+                panic!()
+            };
             query_has_top_level_where(&q)
         };
         assert!(get("SELECT 1 WHERE 1 = 1"));

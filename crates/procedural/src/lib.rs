@@ -18,4 +18,4 @@ pub mod queries;
 pub mod runner;
 
 pub use queries::{connected_components, ff, pagerank, sssp};
-pub use runner::{run_script, ProcedureScript, RunReport};
+pub use runner::{run_script, run_script_with_guard, ProcedureScript, RunReport};

@@ -35,7 +35,10 @@ fn vs_join(edge_alias: &str) -> String {
 /// PageRank (paper Fig. 2; `with_vertex_status` = the PR-VS variant).
 pub fn pagerank(iterations: u64, with_vertex_status: bool) -> WorkloadSql {
     let (join, where_clause) = if with_vertex_status {
-        (vs_join("IncomingEdges"), "WHERE avail_pr.status != 0".to_string())
+        (
+            vs_join("IncomingEdges"),
+            "WHERE avail_pr.status != 0".to_string(),
+        )
     } else {
         (String::new(), String::new())
     };
@@ -71,7 +74,10 @@ pub fn pagerank(iterations: u64, with_vertex_status: bool) -> WorkloadSql {
                   FROM pr_work WHERE pr_main.node = pr_work.node";
     let final_query = "SELECT node, rank FROM pr_main ORDER BY node";
     let procedure = ProcedureScript {
-        name: format!("pagerank{}-procedure", if with_vertex_status { "-vs" } else { "" }),
+        name: format!(
+            "pagerank{}-procedure",
+            if with_vertex_status { "-vs" } else { "" }
+        ),
         setup: vec![create_work.into(), create_main.into(), init.into()],
         iteration: vec![
             "DELETE FROM pr_work".into(),
@@ -83,7 +89,10 @@ pub fn pagerank(iterations: u64, with_vertex_status: bool) -> WorkloadSql {
         cleanup: vec!["DROP TABLE pr_work".into(), "DROP TABLE pr_main".into()],
     };
     let middleware = ProcedureScript {
-        name: format!("pagerank{}-middleware", if with_vertex_status { "-vs" } else { "" }),
+        name: format!(
+            "pagerank{}-middleware",
+            if with_vertex_status { "-vs" } else { "" }
+        ),
         setup: vec![create_main.into(), init.into()],
         iteration: vec![
             create_work.into(),
@@ -93,9 +102,16 @@ pub fn pagerank(iterations: u64, with_vertex_status: bool) -> WorkloadSql {
         ],
         iterations,
         final_query: final_query.into(),
-        cleanup: vec!["DROP TABLE IF EXISTS pr_work".into(), "DROP TABLE pr_main".into()],
+        cleanup: vec![
+            "DROP TABLE IF EXISTS pr_work".into(),
+            "DROP TABLE pr_main".into(),
+        ],
     };
-    WorkloadSql { cte, procedure, middleware }
+    WorkloadSql {
+        cte,
+        procedure,
+        middleware,
+    }
 }
 
 /// Single-source shortest path (paper Fig. 7; optional PR-VS-style
@@ -141,7 +157,10 @@ pub fn sssp(iterations: u64, source: i64, with_vertex_status: bool) -> WorkloadS
                   FROM ss_work WHERE ss_main.node = ss_work.node";
     let final_query = "SELECT node, distance FROM ss_main ORDER BY node";
     let procedure = ProcedureScript {
-        name: format!("sssp{}-procedure", if with_vertex_status { "-vs" } else { "" }),
+        name: format!(
+            "sssp{}-procedure",
+            if with_vertex_status { "-vs" } else { "" }
+        ),
         setup: vec![create_work.into(), create_main.into(), init.clone()],
         iteration: vec![
             "DELETE FROM ss_work".into(),
@@ -153,7 +172,10 @@ pub fn sssp(iterations: u64, source: i64, with_vertex_status: bool) -> WorkloadS
         cleanup: vec!["DROP TABLE ss_work".into(), "DROP TABLE ss_main".into()],
     };
     let middleware = ProcedureScript {
-        name: format!("sssp{}-middleware", if with_vertex_status { "-vs" } else { "" }),
+        name: format!(
+            "sssp{}-middleware",
+            if with_vertex_status { "-vs" } else { "" }
+        ),
         setup: vec![create_main.into(), init],
         iteration: vec![
             create_work.into(),
@@ -163,9 +185,16 @@ pub fn sssp(iterations: u64, source: i64, with_vertex_status: bool) -> WorkloadS
         ],
         iterations,
         final_query: final_query.into(),
-        cleanup: vec!["DROP TABLE IF EXISTS ss_work".into(), "DROP TABLE ss_main".into()],
+        cleanup: vec![
+            "DROP TABLE IF EXISTS ss_work".into(),
+            "DROP TABLE ss_main".into(),
+        ],
     };
-    WorkloadSql { cte, procedure, middleware }
+    WorkloadSql {
+        cte,
+        procedure,
+        middleware,
+    }
 }
 
 /// Forecast-Friends (paper Fig. 6). `mod_x` controls the final-query
@@ -184,9 +213,7 @@ pub fn ff(iterations: u64, mod_x: i64) -> WorkloadSql {
                         CAST(ceiling(count(dst) * (1.0 - (src % 10) / 100.0)) AS FLOAT) \
                           AS friendsPrev \
                        FROM edges GROUP BY src";
-    let final_tail = format!(
-        "WHERE MOD(node, {mod_x}) = 0 ORDER BY friends DESC, node LIMIT 10"
-    );
+    let final_tail = format!("WHERE MOD(node, {mod_x}) = 0 ORDER BY friends DESC, node LIMIT 10");
     let cte = format!(
         "WITH ITERATIVE forecast (node, friends, friendsPrev) AS ( \
             {init_select} \
@@ -195,10 +222,8 @@ pub fn ff(iterations: u64, mod_x: i64) -> WorkloadSql {
          SELECT node, friends FROM forecast {final_tail}",
         iterative_body("forecast"),
     );
-    let create_work =
-        "CREATE TABLE ff_work (node INT, friends FLOAT, friendsPrev FLOAT)";
-    let create_main =
-        "CREATE TABLE ff_main (node INT, friends FLOAT, friendsPrev FLOAT)";
+    let create_work = "CREATE TABLE ff_work (node INT, friends FLOAT, friendsPrev FLOAT)";
+    let create_main = "CREATE TABLE ff_main (node INT, friends FLOAT, friendsPrev FLOAT)";
     let init = format!("INSERT INTO ff_main {init_select}");
     let insert_work = format!("INSERT INTO ff_work {}", iterative_body("ff_main"));
     let update = "UPDATE ff_main SET friends = ff_work.friends, \
@@ -228,9 +253,16 @@ pub fn ff(iterations: u64, mod_x: i64) -> WorkloadSql {
         ],
         iterations,
         final_query,
-        cleanup: vec!["DROP TABLE IF EXISTS ff_work".into(), "DROP TABLE ff_main".into()],
+        cleanup: vec![
+            "DROP TABLE IF EXISTS ff_work".into(),
+            "DROP TABLE ff_main".into(),
+        ],
     };
-    WorkloadSql { cte, procedure, middleware }
+    WorkloadSql {
+        cte,
+        procedure,
+        middleware,
+    }
 }
 
 /// Connected components by min-label propagation — a workload beyond the
@@ -295,9 +327,16 @@ pub fn connected_components(max_iterations_hint: Option<u64>) -> WorkloadSql {
         ],
         iterations,
         final_query: final_query.into(),
-        cleanup: vec!["DROP TABLE IF EXISTS cc_work".into(), "DROP TABLE cc_main".into()],
+        cleanup: vec![
+            "DROP TABLE IF EXISTS cc_work".into(),
+            "DROP TABLE cc_main".into(),
+        ],
     };
-    WorkloadSql { cte, procedure, middleware }
+    WorkloadSql {
+        cte,
+        procedure,
+        middleware,
+    }
 }
 
 #[cfg(test)]
@@ -323,7 +362,11 @@ mod tests {
         let proc_rows = run_script(&db, &w.procedure).unwrap().rows;
         let mw_report = run_script(&db, &w.middleware).unwrap();
         assert_eq!(cte_rows.rows(), proc_rows.rows(), "procedure mismatch");
-        assert_eq!(cte_rows.rows(), mw_report.rows.rows(), "middleware mismatch");
+        assert_eq!(
+            cte_rows.rows(),
+            mw_report.rows.rows(),
+            "middleware mismatch"
+        );
         // The middleware really pays DDL per iteration.
         assert!(mw_report.ddl_ops as u64 >= 2 * w.middleware.iterations);
     }
@@ -357,7 +400,12 @@ mod tests {
     fn cc_formulations_agree() {
         // Symmetric two-component graph; fixed iteration count so all
         // three formulations run the same loop.
-        let spec = GraphSpec { nodes: 60, edges: 150, seed: 9, max_weight: 5 };
+        let spec = GraphSpec {
+            nodes: 60,
+            edges: 150,
+            seed: 9,
+            max_weight: 5,
+        };
         let rows = spec.generate_symmetric_components(2);
         let db = Database::default();
         let schema = spinner_common::Schema::new(vec![
@@ -365,7 +413,8 @@ mod tests {
             spinner_common::Field::new("dst", spinner_common::DataType::Int),
             spinner_common::Field::new("weight", spinner_common::DataType::Float),
         ]);
-        db.create_table_from_rows("edges", schema, rows, None, Some(1)).unwrap();
+        db.create_table_from_rows("edges", schema, rows, None, Some(1))
+            .unwrap();
         let w = connected_components(Some(10));
         let cte_rows = db.query(&w.cte).unwrap();
         let proc_rows = run_script(&db, &w.procedure).unwrap().rows;
@@ -381,7 +430,10 @@ mod tests {
         let rows = spec.generate();
         let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); spec.nodes + 1];
         for r in &rows {
-            let (s, d) = (r[0].as_i64().unwrap() as usize, r[1].as_i64().unwrap() as usize);
+            let (s, d) = (
+                r[0].as_i64().unwrap() as usize,
+                r[1].as_i64().unwrap() as usize,
+            );
             // The SQL computes dist(node) from incoming edges: src -> dst.
             adj[s].push((d, r[2].as_f64().unwrap()));
         }

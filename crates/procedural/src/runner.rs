@@ -1,6 +1,6 @@
 //! Statement-at-a-time script runner.
 
-use spinner_common::{Batch, Result};
+use spinner_common::{Batch, QueryGuard, Result};
 use spinner_engine::{Database, QueryResult};
 
 /// A procedural workload: setup once, iterate N times, read the result,
@@ -40,14 +40,29 @@ pub struct RunReport {
 /// statement parsed, planned and optimized in isolation, exactly the
 /// property that makes procedural baselines slower than the native plan.
 pub fn run_script(db: &Database, script: &ProcedureScript) -> Result<RunReport> {
+    run_script_with_guard(db, script, &QueryGuard::unlimited())
+}
+
+/// [`run_script`] under a caller-supplied [`QueryGuard`]: every setup,
+/// iteration and final-query statement checks the shared guard, so a
+/// cancel or deadline stops the script between statements (and, via the
+/// engine, mid-loop inside a statement). Cleanup statements deliberately
+/// run with a *fresh* unlimited guard — a timed-out experiment must
+/// still be able to drop its temp tables.
+pub fn run_script_with_guard(
+    db: &Database,
+    script: &ProcedureScript,
+    guard: &QueryGuard,
+) -> Result<RunReport> {
     fn run(
         db: &Database,
         sql: &str,
+        guard: &QueryGuard,
         statements: &mut u64,
         dml_rows: &mut u64,
     ) -> Result<()> {
         *statements += 1;
-        if let QueryResult::Affected { rows } = db.execute(sql)? {
+        if let QueryResult::Affected { rows } = db.execute_with_guard(sql, guard)? {
             *dml_rows += rows as u64;
         }
         Ok(())
@@ -55,28 +70,31 @@ pub fn run_script(db: &Database, script: &ProcedureScript) -> Result<RunReport> 
     fn body(
         db: &Database,
         script: &ProcedureScript,
+        guard: &QueryGuard,
         statements: &mut u64,
         dml_rows: &mut u64,
     ) -> Result<Batch> {
         for sql in &script.setup {
-            run(db, sql, statements, dml_rows)?;
+            run(db, sql, guard, statements, dml_rows)?;
         }
         for _ in 0..script.iterations {
             for sql in &script.iteration {
-                run(db, sql, statements, dml_rows)?;
+                run(db, sql, guard, statements, dml_rows)?;
             }
         }
         *statements += 1;
-        db.query(&script.final_query)
+        db.query_with_guard(&script.final_query, guard)
     }
     let ddl_before = db.catalog().ddl_op_count();
     let mut statements = 0u64;
     let mut dml_rows = 0u64;
-    let result = body(db, script, &mut statements, &mut dml_rows);
-    // Cleanup always runs so a failed experiment leaves no debris.
+    let result = body(db, script, guard, &mut statements, &mut dml_rows);
+    // Cleanup always runs — under a fresh guard — so a failed or
+    // cancelled experiment leaves no debris.
+    let cleanup_guard = QueryGuard::unlimited();
     for sql in &script.cleanup {
         statements += 1;
-        let _ = db.execute(sql);
+        let _ = db.execute_with_guard(sql, &cleanup_guard);
     }
     let rows = result?;
     Ok(RunReport {

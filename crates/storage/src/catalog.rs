@@ -143,6 +143,9 @@ mod tests {
     fn missing_table_errors() {
         let cat = Catalog::new();
         assert!(matches!(cat.get("nope"), Err(Error::TableNotFound(_))));
-        assert!(matches!(cat.drop_table("nope"), Err(Error::TableNotFound(_))));
+        assert!(matches!(
+            cat.drop_table("nope"),
+            Err(Error::TableNotFound(_))
+        ));
     }
 }

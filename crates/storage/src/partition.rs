@@ -37,6 +37,16 @@ impl Partitioned {
         self.parts.iter().map(|p| p.len()).sum()
     }
 
+    /// Estimated in-memory size in bytes, used for intermediate-state
+    /// budgets: per row, a boxed-slice header plus one `Value` slot per
+    /// column. This deliberately under-counts string payloads — budgets
+    /// need a stable, cheap estimate, not an exact accounting.
+    pub fn estimated_bytes(&self) -> u64 {
+        let width = self.schema.len() as u64;
+        let per_row = 16 + 24 * width;
+        self.total_rows() as u64 * per_row
+    }
+
     /// Gather every partition's rows into one vector (clone of the rows).
     pub fn gather(&self) -> Vec<Row> {
         let mut out = Vec::with_capacity(self.total_rows());
@@ -48,12 +58,7 @@ impl Partitioned {
 
     /// Build from a flat row vector by hashing column `key` into `parts`
     /// partitions. `key = None` distributes round-robin.
-    pub fn from_rows(
-        schema: SchemaRef,
-        rows: Vec<Row>,
-        key: Option<usize>,
-        parts: usize,
-    ) -> Self {
+    pub fn from_rows(schema: SchemaRef, rows: Vec<Row>, key: Option<usize>, parts: usize) -> Self {
         let bufs = hash_partition(rows, key, parts);
         Partitioned {
             schema,
@@ -84,7 +89,11 @@ pub fn hash_partition(rows: Vec<Row>, key: Option<usize>, parts: usize) -> Vec<V
     match key {
         Some(k) => {
             for row in rows {
-                let idx = if row[k].is_null() { 0 } else { partition_of(&row[k], parts) };
+                let idx = if row[k].is_null() {
+                    0
+                } else {
+                    partition_of(&row[k], parts)
+                };
                 bufs[idx].push(row);
             }
         }

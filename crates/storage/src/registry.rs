@@ -38,9 +38,7 @@ impl TempRegistry {
             .read()
             .get(&name.to_ascii_lowercase())
             .cloned()
-            .ok_or_else(|| {
-                Error::execution(format!("intermediate result '{name}' not found"))
-            })
+            .ok_or_else(|| Error::execution(format!("intermediate result '{name}' not found")))
     }
 
     /// Whether a result is registered.

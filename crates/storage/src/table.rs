@@ -75,7 +75,10 @@ impl Table {
 
     /// O(P) snapshot of the current contents for scanning.
     pub fn snapshot(&self) -> Partitioned {
-        Partitioned { schema: Arc::clone(&self.schema), parts: self.parts.clone() }
+        Partitioned {
+            schema: Arc::clone(&self.schema),
+            parts: self.parts.clone(),
+        }
     }
 
     /// Append rows, routing each to its hash partition.
@@ -208,7 +211,9 @@ mod tests {
     }
 
     fn rows(n: i64) -> Vec<Row> {
-        (0..n).map(|i| row_of([Value::Int(i), Value::Int(i * 10)])).collect()
+        (0..n)
+            .map(|i| row_of([Value::Int(i), Value::Int(i * 10)]))
+            .collect()
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! cargo run --release --example connected_components [nodes] [components]
 //! ```
 
-use spinner_engine::{DataType, Database, Field, Result, Schema};
 use spinner_datagen::GraphSpec;
+use spinner_engine::{DataType, Database, Field, Result, Schema};
 use spinner_procedural::connected_components;
 
 fn main() -> Result<()> {
@@ -21,7 +21,12 @@ fn main() -> Result<()> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
     let db = Database::default();
-    let spec = GraphSpec { nodes, edges: nodes * 3, seed: 2024, max_weight: 10 };
+    let spec = GraphSpec {
+        nodes,
+        edges: nodes * 3,
+        seed: 2024,
+        max_weight: 10,
+    };
     let rows = spec.generate_symmetric_components(components);
     let schema = Schema::new(vec![
         Field::new("src", DataType::Int),
@@ -55,6 +60,10 @@ fn main() -> Result<()> {
         labels.len(),
         stats.iterations
     );
-    assert_eq!(summary.len(), components, "label propagation found every component");
+    assert_eq!(
+        summary.len(),
+        components,
+        "label propagation found every component"
+    );
     Ok(())
 }

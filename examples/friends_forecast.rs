@@ -30,9 +30,12 @@ fn main() -> Result<()> {
     let mut results = Vec::new();
     for (label, config) in [
         ("push-down ON ", EngineConfig::default()),
-        ("push-down OFF", EngineConfig::default().with_predicate_pushdown(false)),
+        (
+            "push-down OFF",
+            EngineConfig::default().with_predicate_pushdown(false),
+        ),
     ] {
-        let db = Database::new(config);
+        let db = Database::new(config)?;
         load_edges_into(&db, "edges", &spec)?;
         let started = std::time::Instant::now();
         let batch = db.query(&workload.cte)?;

@@ -15,9 +15,8 @@ fn main() -> Result<()> {
         "INSERT INTO edges VALUES
              (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 1, 1.0), (1, 3, 5.0)",
     )?;
-    let degree = db.query(
-        "SELECT src, COUNT(dst) AS out_degree FROM edges GROUP BY src ORDER BY src",
-    )?;
+    let degree =
+        db.query("SELECT src, COUNT(dst) AS out_degree FROM edges GROUP BY src ORDER BY src")?;
     println!("Out-degrees:\n{}", degree.to_table());
 
     // The DBSpinner extension: WITH ITERATIVE ... ITERATE ... UNTIL ...

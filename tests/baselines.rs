@@ -7,7 +7,12 @@ use spinner_engine::Database;
 use spinner_procedural::{ff, pagerank, run_script, sssp};
 
 fn spec() -> GraphSpec {
-    GraphSpec { nodes: 300, edges: 1_500, seed: 17, max_weight: 10 }
+    GraphSpec {
+        nodes: 300,
+        edges: 1_500,
+        seed: 17,
+        max_weight: 10,
+    }
 }
 
 fn db(with_vs: bool) -> Database {

@@ -1,0 +1,377 @@
+//! Chaos suite: injected faults, cancellation, timeouts, resource
+//! budgets and worker panics must all surface as *typed* errors, leave
+//! the temp-result registry empty, and leave the `Database` usable for
+//! the next statement. Every fault here is deterministic (hit-count or
+//! seeded PRNG), so a failure reproduces exactly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spinner_engine::{
+    Database, EngineConfig, Error, FaultConfig, FaultKind, FaultSite, QueryGuard,
+};
+use spinner_procedural::pagerank;
+
+/// Fresh database with the toy cyclic graph the engine tests use.
+fn db_with_edges(config: EngineConfig) -> Database {
+    let db = Database::new(config).unwrap();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (1, 3, 5.0), \
+         (4, 1, 1.0)",
+    )
+    .unwrap();
+    db
+}
+
+/// A simple iterative CTE touching materialize, rename and loop sites.
+fn counting_cte(iterations: u64) -> String {
+    format!(
+        "WITH ITERATIVE t (k, v) AS (
+             SELECT src, 0 FROM edges
+         ITERATE SELECT k, v + 1 FROM t
+         UNTIL {iterations} ITERATIONS)
+         SELECT * FROM t"
+    )
+}
+
+/// After any failure the registry must be empty and the same `Database`
+/// must answer a follow-up query.
+fn assert_recovered(db: &Database) {
+    assert_eq!(
+        db.temp_result_count(),
+        0,
+        "temp registry must be empty after failure"
+    );
+    let batch = db.query("SELECT COUNT(*) FROM edges").unwrap();
+    assert_eq!(batch.rows()[0][0], spinner_engine::Value::Int(5));
+}
+
+#[test]
+fn injected_fault_at_each_site_is_a_clean_error() {
+    // (site, expected error-site string, query that reaches the site)
+    let cases = [
+        (FaultSite::Exchange, "exchange", pagerank(5, false).cte),
+        (FaultSite::Materialize, "materialize", counting_cte(5)),
+        (FaultSite::Rename, "rename", counting_cte(5)),
+        (FaultSite::LoopIteration, "loop", counting_cte(5)),
+    ];
+    for (site, name, sql) in cases {
+        // Load data under a clean config, then arm the fault, so setup
+        // statements cannot consume the single-shot trigger.
+        let mut db = db_with_edges(EngineConfig::default());
+        db.set_config(EngineConfig::default().with_fault(FaultConfig::fail_nth(site, 1)))
+            .unwrap();
+        let err = db.query(&sql).unwrap_err();
+        assert_eq!(
+            err,
+            Error::FaultInjected {
+                site: name.to_string()
+            },
+            "site {name}: expected the injected fault to surface"
+        );
+        assert_recovered(&db);
+        // The Nth trigger fired once; the same query now succeeds.
+        db.query(&sql)
+            .unwrap_or_else(|e| panic!("site {name}: retry failed: {e}"));
+    }
+}
+
+#[test]
+fn guard_timeout_stops_pagerank_mid_iteration() {
+    // A seeded always-fire delay makes each loop iteration take ≥10 ms,
+    // so a 50 ms deadline trips deterministically mid-loop instead of
+    // depending on dataset size.
+    let config = EngineConfig::default().with_fault(FaultConfig::seeded(
+        FaultSite::LoopIteration,
+        FaultKind::DelayMs(10),
+        1,
+        1_000_000,
+    ));
+    let db = db_with_edges(config);
+    db.take_stats();
+    let guard = QueryGuard::unlimited().with_timeout_ms(50);
+    let err = db
+        .query_with_guard(&pagerank(200, false).cte, &guard)
+        .unwrap_err();
+    match err {
+        Error::Timeout {
+            elapsed_ms,
+            limit_ms,
+        } => {
+            assert_eq!(limit_ms, 50);
+            assert!(elapsed_ms >= 50, "elapsed {elapsed_ms} < limit");
+        }
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    let iterations = db.take_stats().iterations;
+    assert!(
+        iterations < 200,
+        "deadline must stop the loop early, ran {iterations} iterations"
+    );
+    assert_recovered(&db);
+}
+
+#[test]
+fn config_timeout_applies_to_plain_execute() {
+    let config = EngineConfig::default()
+        .with_query_timeout_ms(50)
+        .with_fault(FaultConfig::seeded(
+            FaultSite::LoopIteration,
+            FaultKind::DelayMs(10),
+            2,
+            1_000_000,
+        ));
+    let db = db_with_edges(config);
+    let err = db.query(&counting_cte(200)).unwrap_err();
+    assert!(
+        matches!(err, Error::Timeout { limit_ms: 50, .. }),
+        "got {err:?}"
+    );
+    assert_recovered(&db);
+}
+
+#[test]
+fn cancel_from_another_thread_stops_the_query() {
+    let config = EngineConfig::default().with_fault(FaultConfig::seeded(
+        FaultSite::LoopIteration,
+        FaultKind::DelayMs(5),
+        3,
+        1_000_000,
+    ));
+    let db = db_with_edges(config);
+    let guard = Arc::new(QueryGuard::unlimited());
+    let canceller = {
+        let guard = Arc::clone(&guard);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(25));
+            guard.cancel();
+        })
+    };
+    let err = db
+        .query_with_guard(&counting_cte(100_000), &guard)
+        .unwrap_err();
+    canceller.join().unwrap();
+    assert_eq!(err, Error::Cancelled);
+    assert!(guard.is_cancelled());
+    assert_recovered(&db);
+}
+
+#[test]
+fn row_budget_trips_resource_exhausted() {
+    let db = db_with_edges(EngineConfig::default());
+    // Each iteration materializes the 4-node working table; a 10-row
+    // budget survives setup plus at most a couple of iterations.
+    let guard = QueryGuard::unlimited().with_max_rows_materialized(10);
+    let err = db
+        .query_with_guard(&counting_cte(1000), &guard)
+        .unwrap_err();
+    match err {
+        Error::ResourceExhausted {
+            resource,
+            used,
+            limit,
+        } => {
+            assert_eq!(resource, "rows_materialized");
+            assert_eq!(limit, 10);
+            assert!(used >= limit, "used {used} must be >= limit {limit}");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    assert_recovered(&db);
+}
+
+#[test]
+fn rows_moved_budget_applies_to_exchanges() {
+    // PageRank's joins shuffle rows every iteration; a tiny movement
+    // budget trips via the session config (no explicit guard needed).
+    let mut db = db_with_edges(EngineConfig::default());
+    db.set_config(EngineConfig::default().with_max_rows_moved(3))
+        .unwrap();
+    let err = db.query(&pagerank(50, false).cte).unwrap_err();
+    match err {
+        Error::ResourceExhausted {
+            resource,
+            used,
+            limit,
+        } => {
+            assert_eq!(resource, "rows_moved");
+            assert!(used >= limit);
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    assert_recovered(&db);
+}
+
+#[test]
+fn intermediate_bytes_budget_trips() {
+    let db = db_with_edges(EngineConfig::default());
+    let guard = QueryGuard::unlimited().with_max_intermediate_bytes(500);
+    let err = db
+        .query_with_guard(&counting_cte(1000), &guard)
+        .unwrap_err();
+    match err {
+        Error::ResourceExhausted {
+            resource,
+            used,
+            limit,
+        } => {
+            assert_eq!(resource, "intermediate_bytes");
+            assert!(used >= limit);
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    assert_recovered(&db);
+}
+
+#[test]
+fn worker_panic_is_isolated_and_typed() {
+    let mut db = db_with_edges(EngineConfig::default().with_parallel_partitions(true));
+    db.set_config(
+        EngineConfig::default()
+            .with_parallel_partitions(true)
+            .with_fault(FaultConfig::panic_nth(FaultSite::Worker, 1)),
+    )
+    .unwrap();
+    let err = db.query(&counting_cte(5)).unwrap_err();
+    match err {
+        Error::WorkerPanicked { partition, message } => {
+            assert!(partition < 4, "partition index {partition} out of range");
+            assert!(
+                message.contains("injected panic at worker"),
+                "unexpected panic message: {message}"
+            );
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    // The panic was confined to the worker: the process is alive, the
+    // registry is clean, and the same database keeps answering.
+    assert_recovered(&db);
+    db.query(&counting_cte(5)).unwrap();
+}
+
+#[test]
+fn worker_panic_under_seeded_storm_never_poisons() {
+    // A 30%-per-hit panic storm across many statements: every failure
+    // must be typed, never a propagated panic or poisoned lock.
+    let mut db = db_with_edges(EngineConfig::default().with_parallel_partitions(true));
+    db.set_config(
+        EngineConfig::default()
+            .with_parallel_partitions(true)
+            .with_fault(FaultConfig::seeded(
+                FaultSite::Worker,
+                FaultKind::Panic,
+                99,
+                300_000,
+            )),
+    )
+    .unwrap();
+    let mut failures = 0;
+    for _ in 0..20 {
+        match db.query(&counting_cte(3)) {
+            Ok(_) => {}
+            Err(Error::WorkerPanicked { .. }) | Err(Error::Cancelled) => failures += 1,
+            Err(other) => panic!("unexpected error kind: {other:?}"),
+        }
+        assert_eq!(db.temp_result_count(), 0);
+    }
+    assert!(
+        failures > 0,
+        "a 30% panic rate must hit at least once in 20 runs"
+    );
+    // Disarm the storm; the surviving database must be fully usable.
+    db.set_config(EngineConfig::default().with_parallel_partitions(true))
+        .unwrap();
+    assert_recovered(&db);
+}
+
+#[test]
+fn iteration_limit_fires_under_delta_termination_in_parallel() {
+    let db = db_with_edges(
+        EngineConfig::default()
+            .with_parallel_partitions(true)
+            .with_max_iterations(7),
+    );
+    db.take_stats();
+    // Every iteration rewrites every row, so the delta never reaches 0
+    // and the safety limit must fire.
+    let err = db
+        .query(
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT src, 0 FROM edges
+             ITERATE SELECT k, v + 1 FROM t
+             UNTIL DELTA < 1)
+             SELECT * FROM t",
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::IterationLimitExceeded { limit: 7, .. }),
+        "got {err:?}"
+    );
+    // The stats reflect the partial run: exactly `limit` completed
+    // iterations before the limit check stopped the loop.
+    assert_eq!(db.take_stats().iterations, 7);
+    assert_recovered(&db);
+}
+
+#[test]
+fn iteration_limit_fires_under_data_termination_in_parallel() {
+    let db = db_with_edges(
+        EngineConfig::default()
+            .with_parallel_partitions(true)
+            .with_max_iterations(7),
+    );
+    db.take_stats();
+    // v only grows, so the data condition `v < 0` never holds.
+    let err = db
+        .query(
+            "WITH ITERATIVE t (k, v) AS (
+                 SELECT src, 0 FROM edges
+             ITERATE SELECT k, v + 1 FROM t
+             UNTIL (v < 0))
+             SELECT * FROM t",
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::IterationLimitExceeded { limit: 7, .. }),
+        "got {err:?}"
+    );
+    assert_eq!(db.take_stats().iterations, 7);
+    assert_recovered(&db);
+}
+
+#[test]
+fn faults_injected_counter_tracks_fired_faults() {
+    let mut db = db_with_edges(EngineConfig::default());
+    db.take_stats();
+    db.set_config(
+        EngineConfig::default().with_fault(FaultConfig::fail_nth(FaultSite::LoopIteration, 3)),
+    )
+    .unwrap();
+    let err = db.query(&counting_cte(10)).unwrap_err();
+    assert!(matches!(err, Error::FaultInjected { .. }));
+    let stats = db.take_stats();
+    assert_eq!(stats.faults_injected, 1);
+    // Two full iterations completed before the third one's fault fired.
+    assert_eq!(stats.iterations, 2);
+}
+
+#[test]
+fn invalid_configs_are_rejected_up_front() {
+    assert!(matches!(
+        Database::new(EngineConfig::default().with_partitions(0)),
+        Err(Error::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        Database::new(EngineConfig::default().with_query_timeout_ms(0)),
+        Err(Error::InvalidConfig(_))
+    ));
+    let mut db = Database::new(EngineConfig::default()).unwrap();
+    let err = db
+        .set_config(EngineConfig::default().with_max_iterations(0))
+        .unwrap_err();
+    assert!(matches!(err, Error::InvalidConfig(_)));
+    // The rejected config was not installed.
+    assert_eq!(db.config().max_iterations, 10_000);
+}

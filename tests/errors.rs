@@ -6,15 +6,26 @@ use spinner_engine::{Database, Error};
 
 fn db() -> Database {
     let db = Database::default();
-    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
-    db.execute("INSERT INTO edges VALUES (1, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)").unwrap();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+        .unwrap();
+    db.execute("INSERT INTO edges VALUES (1, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)")
+        .unwrap();
     db
 }
 
 #[test]
 fn parse_errors_carry_position() {
     let err = db().execute("SELECT * FRM edges").unwrap_err();
-    assert!(matches!(err, Error::Parse { position: Some(_), .. }), "{err}");
+    assert!(
+        matches!(
+            err,
+            Error::Parse {
+                position: Some(_),
+                ..
+            }
+        ),
+        "{err}"
+    );
 }
 
 #[test]
@@ -35,7 +46,9 @@ fn unknown_table_and_column() {
 
 #[test]
 fn unknown_function() {
-    let err = db().execute("SELECT frobnicate(src) FROM edges").unwrap_err();
+    let err = db()
+        .execute("SELECT frobnicate(src) FROM edges")
+        .unwrap_err();
     assert!(matches!(err, Error::Plan(m) if m.contains("frobnicate")));
 }
 
@@ -116,7 +129,7 @@ fn runaway_data_condition_stops_at_safety_limit() {
     let mut database = db();
     let mut config = database.config().clone();
     config.max_iterations = 50;
-    database.set_config(config);
+    database.set_config(config).unwrap();
     let err = database
         .execute(
             "WITH ITERATIVE t (k, v) AS (
@@ -125,7 +138,10 @@ fn runaway_data_condition_stops_at_safety_limit() {
              UNTIL (v < 0)) SELECT * FROM t",
         )
         .unwrap_err();
-    assert!(matches!(err, Error::IterationLimitExceeded { limit: 50, .. }));
+    assert!(matches!(
+        err,
+        Error::IterationLimitExceeded { limit: 50, .. }
+    ));
 }
 
 #[test]

@@ -8,8 +8,10 @@ use spinner_procedural::{ff, pagerank};
 
 fn db() -> Database {
     let db = Database::default();
-    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
-    db.execute("CREATE TABLE vertexstatus (node INT, status INT)").unwrap();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+        .unwrap();
+    db.execute("CREATE TABLE vertexstatus (node INT, status INT)")
+        .unwrap();
     db
 }
 
@@ -29,7 +31,10 @@ fn table1_pagerank_plan_structure() {
     assert!(text.contains("Left Join"), "Ri left-joins:\n{text}");
     // Step 4: rename (PR updates the entire dataset — no merge).
     assert!(text.contains("Rename"), "missing rename:\n{text}");
-    assert!(!text.contains("Merge"), "PR must take the rename path:\n{text}");
+    assert!(
+        !text.contains("Merge"),
+        "PR must take the rename path:\n{text}"
+    );
     // Step 5/6: the conditional jump.
     assert!(text.contains("Go to step"), "missing loop-back:\n{text}");
 }
@@ -37,7 +42,7 @@ fn table1_pagerank_plan_structure() {
 #[test]
 fn naive_config_plans_a_merge_instead() {
     let mut database = db();
-    database.set_config(EngineConfig::naive());
+    database.set_config(EngineConfig::naive()).unwrap();
     let text = database.explain(&pagerank(10, false).cte).unwrap();
     assert!(
         text.contains("Merge"),
@@ -55,10 +60,15 @@ fn common_result_appears_as_pre_loop_materialization() {
     // The hoisted materialization must come before the loop operator.
     let common_pos = text.find("__common_").unwrap();
     let loop_pos = text.find("Initialize loop operator").unwrap();
-    assert!(common_pos < loop_pos, "common result must precede the loop:\n{text}");
+    assert!(
+        common_pos < loop_pos,
+        "common result must precede the loop:\n{text}"
+    );
     // With the optimization disabled, no hoisting happens.
     let mut database = db();
-    database.set_config(EngineConfig::default().with_common_result(false));
+    database
+        .set_config(EngineConfig::default().with_common_result(false))
+        .unwrap();
     let text = database.explain(&pagerank(10, true).cte).unwrap();
     assert!(!text.contains("__common_"));
 }
@@ -76,7 +86,9 @@ fn ff_pushdown_filters_the_non_iterative_part() {
     );
     // Without the optimization it stays in the final query (after the loop).
     let mut database = db();
-    database.set_config(EngineConfig::default().with_predicate_pushdown(false));
+    database
+        .set_config(EngineConfig::default().with_predicate_pushdown(false))
+        .unwrap();
     let text = database.explain(&ff(25, 100).cte).unwrap();
     let filter_pos = text.find("mod(").expect("predicate in plan");
     let loop_pos = text.find("Initialize loop operator").unwrap();
@@ -139,6 +151,9 @@ fn merge_path_explain_shows_merge_step() {
              UNTIL 3 ITERATIONS) SELECT * FROM t",
         )
         .unwrap();
-    assert!(text.contains("Merge"), "WHERE in Ri forces the merge path:\n{text}");
+    assert!(
+        text.contains("Merge"),
+        "WHERE in Ri forces the merge path:\n{text}"
+    );
     assert!(text.contains("by key column #0"), "{text}");
 }

@@ -10,7 +10,7 @@ use spinner_engine::{Database, EngineConfig, Value};
 use spinner_procedural::{ff, pagerank, sssp};
 
 fn fresh_db(config: EngineConfig, spec: &GraphSpec, with_vs: bool) -> Database {
-    let db = Database::new(config);
+    let db = Database::new(config).unwrap();
     load_edges_into(&db, "edges", spec).unwrap();
     if with_vs {
         load_vertex_status_into(&db, "vertexstatus", spec, 0.8).unwrap();
@@ -36,7 +36,12 @@ fn all_configs() -> Vec<EngineConfig> {
 }
 
 fn assert_config_invariant(sql: &str, with_vs: bool) {
-    let spec = GraphSpec { nodes: 200, edges: 900, seed: 99, max_weight: 10 };
+    let spec = GraphSpec {
+        nodes: 200,
+        edges: 900,
+        seed: 99,
+        max_weight: 10,
+    };
     let reference = fresh_db(EngineConfig::naive(), &spec, with_vs)
         .query(sql)
         .unwrap();
@@ -77,7 +82,12 @@ fn ff_invariant_under_all_configs() {
 
 #[test]
 fn ff_pushdown_reduces_materialized_rows() {
-    let spec = GraphSpec { nodes: 1_000, edges: 4_000, seed: 5, max_weight: 10 };
+    let spec = GraphSpec {
+        nodes: 1_000,
+        edges: 4_000,
+        seed: 5,
+        max_weight: 10,
+    };
     let measure = |pushdown: bool| {
         let db = fresh_db(
             EngineConfig::default().with_predicate_pushdown(pushdown),
@@ -97,7 +107,12 @@ fn ff_pushdown_reduces_materialized_rows() {
 
 #[test]
 fn rename_avoids_merge_work_entirely() {
-    let spec = GraphSpec { nodes: 500, edges: 2_000, seed: 6, max_weight: 10 };
+    let spec = GraphSpec {
+        nodes: 500,
+        edges: 2_000,
+        seed: 6,
+        max_weight: 10,
+    };
     let measure = |minimize: bool| {
         // Push-down disabled so the CTE keeps all 500 rows and the merge
         // cost is measured on the full table.
@@ -121,7 +136,12 @@ fn rename_avoids_merge_work_entirely() {
 
 #[test]
 fn common_result_reduces_per_iteration_joins() {
-    let spec = GraphSpec { nodes: 400, edges: 2_000, seed: 7, max_weight: 10 };
+    let spec = GraphSpec {
+        nodes: 400,
+        edges: 2_000,
+        seed: 7,
+        max_weight: 10,
+    };
     let measure = |common: bool| {
         let db = fresh_db(
             EngineConfig::default().with_common_result(common),
@@ -147,8 +167,10 @@ fn common_result_reduces_per_iteration_joins() {
 #[test]
 fn data_termination_matches_iteration_count() {
     let db = Database::default();
-    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
-    db.execute("INSERT INTO edges VALUES (1, 2, 1.0), (2, 1, 1.0)").unwrap();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+        .unwrap();
+    db.execute("INSERT INTO edges VALUES (1, 2, 1.0), (2, 1, 1.0)")
+        .unwrap();
     // Stop when both rows exceed 5: both get +1 per iteration from 0.
     let batch = db
         .query(
@@ -166,8 +188,10 @@ fn data_termination_matches_iteration_count() {
 #[test]
 fn iterative_cte_composes_with_regular_cte() {
     let db = Database::default();
-    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
-    db.execute("INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0), (3, 1, 1.0)").unwrap();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+        .unwrap();
+    db.execute("INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0), (3, 1, 1.0)")
+        .unwrap();
     // A regular CTE downstream of the iterative CTE's result.
     let batch = db
         .query(
@@ -184,7 +208,8 @@ fn iterative_cte_composes_with_regular_cte() {
 #[test]
 fn two_iterative_ctes_in_one_query() {
     let db = Database::default();
-    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+        .unwrap();
     db.execute("INSERT INTO edges VALUES (1, 2, 1.0)").unwrap();
     let batch = db
         .query(
@@ -204,8 +229,10 @@ fn iterative_result_feeds_downstream_join() {
     // The paper's motivation: use the iterative result directly as input
     // to another SQL query.
     let db = Database::default();
-    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)").unwrap();
-    db.execute("INSERT INTO edges VALUES (1, 2, 3.0), (2, 3, 4.0)").unwrap();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+        .unwrap();
+    db.execute("INSERT INTO edges VALUES (1, 2, 3.0), (2, 3, 4.0)")
+        .unwrap();
     let batch = db
         .query(
             "WITH ITERATIVE t (k, v) AS (

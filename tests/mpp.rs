@@ -7,8 +7,13 @@ use spinner_engine::{Database, EngineConfig, Value};
 use spinner_procedural::pagerank;
 
 fn load(config: EngineConfig) -> Database {
-    let db = Database::new(config);
-    let spec = GraphSpec { nodes: 150, edges: 700, seed: 23, max_weight: 10 };
+    let db = Database::new(config).unwrap();
+    let spec = GraphSpec {
+        nodes: 150,
+        edges: 700,
+        seed: 23,
+        max_weight: 10,
+    };
     load_edges_into(&db, "edges", &spec).unwrap();
     db
 }
@@ -23,10 +28,7 @@ fn assert_rows_approx_eq(a: &spinner_engine::Batch, b: &spinner_engine::Batch, w
             match (va, vb) {
                 (Value::Float(x), Value::Float(y)) => {
                     let scale = x.abs().max(y.abs()).max(1.0);
-                    assert!(
-                        (x - y).abs() / scale < 1e-9,
-                        "{what}: {x} vs {y}"
-                    );
+                    assert!((x - y).abs() / scale < 1e-9, "{what}: {x} vs {y}");
                 }
                 _ => assert_eq!(va, vb, "{what}"),
             }
@@ -74,7 +76,8 @@ fn join_on_distribution_key_moves_less_than_on_other_key() {
     // joining on weight must reshuffle.
     let db = load(EngineConfig::default().with_partitions(8));
     db.take_stats();
-    db.query("SELECT COUNT(*) FROM edges a JOIN edges b ON a.dst = b.dst").unwrap();
+    db.query("SELECT COUNT(*) FROM edges a JOIN edges b ON a.dst = b.dst")
+        .unwrap();
     let colocated = db.take_stats().rows_moved;
     db.query("SELECT COUNT(*) FROM edges a JOIN edges b ON a.weight = b.weight")
         .unwrap();
@@ -90,10 +93,11 @@ fn outer_joins_survive_skewed_partitions() {
     // All rows share one key -> they all land in a single partition; the
     // other partitions are empty, which exercises the empty-side padding
     // paths of the hash join.
-    let db = Database::new(EngineConfig::default().with_partitions(8));
+    let db = Database::new(EngineConfig::default().with_partitions(8)).unwrap();
     db.execute("CREATE TABLE l (k INT, v INT)").unwrap();
     db.execute("CREATE TABLE r (k INT, w INT)").unwrap();
-    db.execute("INSERT INTO l VALUES (7, 1), (7, 2), (8, 3)").unwrap();
+    db.execute("INSERT INTO l VALUES (7, 1), (7, 2), (8, 3)")
+        .unwrap();
     db.execute("INSERT INTO r VALUES (7, 10)").unwrap();
     let batch = db
         .query("SELECT l.v, r.w FROM l LEFT JOIN r ON l.k = r.k ORDER BY l.v")
@@ -131,9 +135,7 @@ fn two_phase_aggregation_moves_fewer_rows_same_results() {
 #[test]
 fn distinct_aggregates_correct_under_two_phase_config() {
     let db = load(EngineConfig::default());
-    let a = db
-        .query("SELECT COUNT(DISTINCT dst) FROM edges")
-        .unwrap();
+    let a = db.query("SELECT COUNT(DISTINCT dst) FROM edges").unwrap();
     let b = db
         .query("SELECT COUNT(*) FROM (SELECT DISTINCT dst FROM edges)")
         .unwrap();
@@ -180,20 +182,26 @@ fn concurrent_readers_share_one_database() {
 
 #[test]
 fn empty_table_edge_cases() {
-    let db = Database::new(EngineConfig::default().with_partitions(4));
+    let db = Database::new(EngineConfig::default().with_partitions(4)).unwrap();
     db.execute("CREATE TABLE empty (a INT, b FLOAT)").unwrap();
     // Scans, joins, aggregates and limits over empty inputs.
     assert_eq!(db.query("SELECT * FROM empty").unwrap().len(), 0);
     assert_eq!(
-        db.query("SELECT COUNT(*), SUM(b) FROM empty").unwrap().rows()[0][0],
+        db.query("SELECT COUNT(*), SUM(b) FROM empty")
+            .unwrap()
+            .rows()[0][0],
         Value::Int(0)
     );
     assert_eq!(
-        db.query("SELECT * FROM empty e1 JOIN empty e2 ON e1.a = e2.a").unwrap().len(),
+        db.query("SELECT * FROM empty e1 JOIN empty e2 ON e1.a = e2.a")
+            .unwrap()
+            .len(),
         0
     );
     assert_eq!(
-        db.query("SELECT a FROM empty ORDER BY a LIMIT 0").unwrap().len(),
+        db.query("SELECT a FROM empty ORDER BY a LIMIT 0")
+            .unwrap()
+            .len(),
         0
     );
     // An iterative CTE over an empty R0 still terminates.
@@ -212,7 +220,8 @@ fn empty_table_edge_cases() {
 fn until_any_stops_at_first_satisfying_row() {
     let db = Database::default();
     db.execute("CREATE TABLE seeds (k INT, v INT)").unwrap();
-    db.execute("INSERT INTO seeds VALUES (1, 0), (2, 5)").unwrap();
+    db.execute("INSERT INTO seeds VALUES (1, 0), (2, 5)")
+        .unwrap();
     // Row 2 reaches v > 8 first; ANY stops the loop for everyone.
     db.query(
         "WITH ITERATIVE t (k, v) AS (
@@ -231,7 +240,12 @@ fn rename_is_constant_work_regardless_of_size() {
     // compare renames (not rows) across two very different sizes.
     let run = |nodes: usize| {
         let db = Database::default();
-        let spec = GraphSpec { nodes, edges: nodes * 3, seed: 1, max_weight: 5 };
+        let spec = GraphSpec {
+            nodes,
+            edges: nodes * 3,
+            seed: 1,
+            max_weight: 5,
+        };
         load_edges_into(&db, "edges", &spec).unwrap();
         db.query(
             "WITH ITERATIVE t (k, v) AS (

@@ -12,13 +12,18 @@ use spinner_procedural::{ff, run_script, sssp};
 fn graph_spec() -> impl Strategy<Value = GraphSpec> {
     (8usize..60, 0u64..1_000_000, 1u32..20).prop_flat_map(|(nodes, seed, max_weight)| {
         (Just(nodes), nodes..nodes * 5, Just(seed), Just(max_weight)).prop_map(
-            |(nodes, edges, seed, max_weight)| GraphSpec { nodes, edges, seed, max_weight },
+            |(nodes, edges, seed, max_weight)| GraphSpec {
+                nodes,
+                edges,
+                seed,
+                max_weight,
+            },
         )
     })
 }
 
 fn load(spec: &GraphSpec, config: EngineConfig) -> Database {
-    let db = Database::new(config);
+    let db = Database::new(config).unwrap();
     load_edges_into(&db, "edges", spec).unwrap();
     db
 }

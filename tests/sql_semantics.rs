@@ -33,7 +33,10 @@ fn ints(db: &Database, sql: &str) -> Vec<i64> {
 #[test]
 fn where_with_null_drops_unknown() {
     // dan's age is NULL: excluded by both age > 20 and NOT(age > 20).
-    assert_eq!(ints(&db(), "SELECT COUNT(*) FROM people WHERE age > 20"), vec![4]);
+    assert_eq!(
+        ints(&db(), "SELECT COUNT(*) FROM people WHERE age > 20"),
+        vec![4]
+    );
     assert_eq!(
         ints(&db(), "SELECT COUNT(*) FROM people WHERE NOT (age > 20)"),
         vec![0]
@@ -89,7 +92,10 @@ fn inner_left_right_full_joins() {
     let d = db();
     // inner: only people with visits (ann x2, bob x1)
     assert_eq!(
-        ints(&d, "SELECT COUNT(*) FROM people p JOIN visits v ON p.id = v.person"),
+        ints(
+            &d,
+            "SELECT COUNT(*) FROM people p JOIN visits v ON p.id = v.person"
+        ),
         vec![3]
     );
     // left: everyone, plus multiplicity
@@ -132,17 +138,17 @@ fn non_equi_join_falls_back_to_nested_loop() {
 
 #[test]
 fn cross_join_cardinality() {
-    assert_eq!(
-        ints(&db(), "SELECT COUNT(*) FROM people, visits"),
-        vec![20]
-    );
+    assert_eq!(ints(&db(), "SELECT COUNT(*) FROM people, visits"), vec![20]);
 }
 
 #[test]
 fn set_operations() {
     let d = db();
     assert_eq!(
-        ints(&d, "SELECT COUNT(*) FROM (SELECT city FROM people UNION SELECT place FROM visits)"),
+        ints(
+            &d,
+            "SELECT COUNT(*) FROM (SELECT city FROM people UNION SELECT place FROM visits)"
+        ),
         vec![4] // rome, oslo, lima, nowhere
     );
     assert_eq!(
@@ -191,7 +197,10 @@ fn order_by_with_nulls_and_limit() {
 #[test]
 fn distinct_dedupes() {
     assert_eq!(
-        ints(&db(), "SELECT COUNT(*) FROM (SELECT DISTINCT city FROM people)"),
+        ints(
+            &db(),
+            "SELECT COUNT(*) FROM (SELECT DISTINCT city FROM people)"
+        ),
         vec![3]
     );
 }
@@ -277,7 +286,8 @@ fn qualified_wildcard_expansion() {
 #[test]
 fn update_and_delete_roundtrip() {
     let d = db();
-    d.execute("UPDATE people SET age = age + 1 WHERE city = 'rome'").unwrap();
+    d.execute("UPDATE people SET age = age + 1 WHERE city = 'rome'")
+        .unwrap();
     assert_eq!(
         ints(&d, "SELECT SUM(age) FROM people WHERE city = 'rome'"),
         vec![57]
@@ -290,7 +300,8 @@ fn update_and_delete_roundtrip() {
 fn insert_select_with_column_list() {
     let d = db();
     d.execute("CREATE TABLE names (nick TEXT, id INT)").unwrap();
-    d.execute("INSERT INTO names (id, nick) SELECT id, name FROM people").unwrap();
+    d.execute("INSERT INTO names (id, nick) SELECT id, name FROM people")
+        .unwrap();
     let batch = d.query("SELECT nick FROM names WHERE id = 3").unwrap();
     assert_eq!(batch.rows()[0][0].to_string(), "cat");
 }

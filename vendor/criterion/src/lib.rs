@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the criterion API slice its benches use: `Criterion::benchmark_group`,
+//! group `sample_size` / `warm_up_time` / `measurement_time` /
+//! `bench_with_input` / `finish`, `BenchmarkId::new`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Behaviour: under `cargo bench` each benchmark is warmed up once and
+//! then timed for `sample_size` runs, reporting min/mean/max wall-clock
+//! time to stdout. Under `cargo test` (cargo invokes bench targets with
+//! `--test`) each benchmark body runs exactly once as a smoke test, so
+//! the suite stays fast. No plots, no statistics beyond the summary line.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_id: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: function_id.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function_id, self.parameter)
+    }
+}
+
+/// Timing driver handed to the measurement closure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Filled in by `iter`: per-sample wall-clock durations.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            // Smoke-test mode (`cargo test`): run once, no timing.
+            let _ = f();
+            return;
+        }
+        let _ = f(); // warm-up
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let _ = f();
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's warm-up is one run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub times exactly
+    /// `sample_size` runs instead of a wall-clock budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (smoke test)", self.name, id);
+        } else if !bencher.samples.is_empty() {
+            let total: Duration = bencher.samples.iter().sum();
+            let mean = total / bencher.samples.len() as u32;
+            let min = bencher.samples.iter().min().unwrap();
+            let max = bencher.samples.iter().max().unwrap();
+            println!(
+                "{}/{}: {} samples, min {:?}, mean {:?}, max {:?}",
+                self.name,
+                id,
+                bencher.samples.len(),
+                min,
+                mean,
+                max
+            );
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Reads the CLI mode: `cargo test` invokes bench targets with
+    /// `--test`, where benchmarks must run once and exit quickly.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &x| {
+                b.iter(|| {
+                    runs += 1;
+                    x * 2
+                })
+            });
+            group.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        group.bench_with_input(BenchmarkId::new("f", "x"), "in", |b, _| {
+            b.iter(|| runs += 1)
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_displays() {
+        let id = BenchmarkId::new("pr", format!("{}-partitions", 4));
+        assert_eq!(id.to_string(), "pr/4-partitions");
+    }
+}

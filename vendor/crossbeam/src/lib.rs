@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the one API it uses: `crossbeam::thread::scope` with
+//! `Scope::spawn(|_| ...)` and `ScopedJoinHandle::join`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63). Semantics match
+//! crossbeam where the engine depends on them:
+//!
+//! * `scope` returns `Err` (instead of unwinding) when the scope closure
+//!   panics, and
+//! * `join` returns `Err(payload)` for a panicked worker.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope or a join: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Wrapper over [`std::thread::Scope`] exposing crossbeam's spawn
+    /// signature (the closure receives the scope again).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped worker thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the worker; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned workers are joined before
+    /// this returns. A panic in `f` itself (or in an unjoined worker,
+    /// which `std::thread::scope` re-raises) is converted into `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_spawns_and_joins() {
+            let data = [1, 2, 3];
+            let total: i32 = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|x| s.spawn(move |_| *x * 2)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 12);
+        }
+
+        #[test]
+        fn join_surfaces_worker_panic_as_err() {
+            let joined = super::scope(|s| {
+                let h = s.spawn(|_| -> i32 { panic!("worker down") });
+                h.join()
+            })
+            .unwrap();
+            assert!(joined.is_err());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for the `rand` crate (0.10-style API).
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the slice of `rand` that `spinner-datagen` uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and the 0.10 `random()` /
+//! `random_range()` methods (exposed here via the `RngExt` trait the
+//! callers already import). The generator is xoshiro-class
+//! (splitmix64-seeded xorshift64*), deterministic per seed, and more
+//! than adequate for synthetic benchmark data — it is NOT
+//! cryptographically secure.
+
+/// Seed a generator from a `u64` (mirrors `rand::SeedableRng`'s
+/// `seed_from_u64` helper, the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core sampling methods, named after rand 0.10's `Rng::random*`.
+pub trait RngExt {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` uniformly (see [`Random`]).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+}
+
+/// Types samplable via [`RngExt::random`].
+pub trait Random {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Random for u64 {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable via [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, bound)` via Lemire-style widening multiply
+/// (bias is negligible for the bounds used here and the result stays
+/// deterministic across platforms).
+fn bounded(rng: &mut (impl RngExt + ?Sized), bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end - start) as u64 + 1;
+                // span == 0 only for a full-width u64 range, unused here.
+                start + bounded(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u32, u64, usize, i64);
+
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic 64-bit PRNG: splitmix64 seeding + xorshift64*.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 scramble so that seed 0 (and small seeds) still
+            // yield a non-degenerate xorshift state.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng { state: z | 1 }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let a = rng.random_range(0..10usize);
+            assert!(a < 10);
+            let b = rng.random_range(1..=5u32);
+            assert!((1..=5).contains(&b));
+        }
+        // All values of a small range get hit.
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

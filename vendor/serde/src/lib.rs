@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace applies `#[derive(serde::Serialize, serde::Deserialize)]`
+//! to a handful of types but never serializes them (no format crate is
+//! linked). This stub re-exports no-op derive macros from the vendored
+//! `serde_derive` so those attribute positions keep compiling without
+//! crates.io access. The `derive` feature is declared (and inert)
+//! because the workspace dependency requests it.
+
+pub use serde_derive::{Deserialize, Serialize};

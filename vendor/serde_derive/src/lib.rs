@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(serde::Serialize, serde::Deserialize)]`
+//! as inert annotations (no serialization is performed anywhere in the
+//! codebase — no serde_json / bincode / etc. is linked). These derives
+//! therefore expand to nothing; they exist so the attribute positions
+//! keep compiling without crates.io access.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
