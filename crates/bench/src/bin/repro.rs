@@ -7,7 +7,7 @@
 //! cargo run --release -p spinner-bench --bin repro -- fig8    # one artifact
 //! ```
 //!
-//! Artifacts: `table1`, `fig8`, `fig9`, `fig10`, `fig11`.
+//! Artifacts: `table1`, `fig8`, `fig9`, `fig10`, `fig11`, `convergence`.
 
 use std::time::{Duration, Instant};
 
@@ -23,13 +23,18 @@ fn main() {
         "fig9" => fig9(),
         "fig10" => fig10(),
         "fig11" => fig11(),
+        "convergence" => convergence(),
         "all" => table1()
             .and_then(|()| fig8())
             .and_then(|()| fig9())
             .and_then(|()| fig10())
-            .and_then(|()| fig11()),
+            .and_then(|()| fig11())
+            .and_then(|()| convergence()),
         other => {
-            eprintln!("repro: unknown artifact '{other}'; use table1|fig8|fig9|fig10|fig11|all");
+            eprintln!(
+                "repro: unknown artifact '{other}'; \
+                 use table1|fig8|fig9|fig10|fig11|convergence|all"
+            );
             std::process::exit(1);
         }
     };
@@ -105,6 +110,8 @@ fn fig8() -> Result<()> {
             );
             let opt_db = setup_db(dataset, EngineConfig::default(), false);
             let base = time_query(&base_db, &sql)?;
+            // Stats are per-statement (reset at entry), so this snapshot
+            // covers exactly the last of the five timed runs.
             let base_stats = base_db.take_stats();
             let opt = time_query(&opt_db, &sql)?;
             let opt_stats = opt_db.take_stats();
@@ -115,8 +122,8 @@ fn fig8() -> Result<()> {
                 base,
                 opt,
                 improvement(base, opt),
-                base_stats.rows_moved / 3,
-                opt_stats.rows_moved / 3,
+                base_stats.rows_moved,
+                opt_stats.rows_moved,
             );
         }
     }
@@ -215,5 +222,46 @@ fn fig11() -> Result<()> {
         );
     }
     println!("(paper: CTE ≥25% faster than procedures for PR/SSSP, ~80% for FF)");
+    Ok(())
+}
+
+/// Convergence curves from a single `EXPLAIN ANALYZE` run: per-iteration
+/// delta rows, updated rows, working-table size and wall time (the data
+/// behind Fig. 11-style convergence plots).
+fn convergence() -> Result<()> {
+    header("Convergence — per-iteration metrics from one EXPLAIN ANALYZE run (dblp-like)");
+    let workloads = [
+        ("PR", pagerank(ITERATIONS, false).cte, false),
+        ("SSSP", sssp(ITERATIONS, 1, false).cte, false),
+    ];
+    for (name, sql, with_vs) in workloads {
+        let db = setup_db(BenchDataset::DblpLike, EngineConfig::default(), with_vs);
+        let profile = db.explain_analyze(&sql)?;
+        let loops = profile.loops();
+        let Some(loop_node) = loops.first() else {
+            return Err(spinner_engine::Error::execution("no loop in profile"));
+        };
+        println!(
+            "\n{name}: {} iterations, loop time {:.1} ms, query total {:.1} ms",
+            loop_node.iterations.len(),
+            loop_node.elapsed_us as f64 / 1000.0,
+            profile.total_elapsed_us as f64 / 1000.0,
+        );
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>10}",
+            "iter", "delta_rows", "updated", "working", "time_ms"
+        );
+        for it in &loop_node.iterations {
+            println!(
+                "{:>5} {:>12} {:>12} {:>12} {:>10.2}",
+                it.iteration,
+                it.delta_rows,
+                it.rows_updated,
+                it.working_rows,
+                it.elapsed_us as f64 / 1000.0,
+            );
+        }
+    }
+    println!("\n(machine-readable: QueryProfile::to_json() carries the same series)");
     Ok(())
 }

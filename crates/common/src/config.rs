@@ -269,14 +269,22 @@ pub enum FaultTrigger {
     /// Fire per-hit with probability `probability_ppm` / 1_000_000,
     /// drawn from a PRNG seeded with `seed` (kept in parts-per-million
     /// so the config stays `Eq`).
-    Seeded { seed: u64, probability_ppm: u32 },
+    Seeded {
+        /// PRNG seed; identical seeds replay the same fault sequence.
+        seed: u64,
+        /// Per-hit firing probability in parts-per-million.
+        probability_ppm: u32,
+    },
 }
 
 /// One configured fault-injection point.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FaultConfig {
+    /// Where in the executor the fault fires.
     pub site: FaultSite,
+    /// What happens when it fires (error or panic).
     pub kind: FaultKind,
+    /// When it fires (n-th hit or seeded probability).
     pub trigger: FaultTrigger,
 }
 

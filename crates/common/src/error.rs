@@ -16,7 +16,9 @@ pub type Result<T, E = Error> = std::result::Result<T, E>;
 pub enum Error {
     /// Lexer/parser failure, with a 1-based character position when known.
     Parse {
+        /// What went wrong.
         message: String,
+        /// 1-based character offset into the SQL text, when known.
         position: Option<usize>,
     },
     /// Semantic analysis / planning failure (unknown column, arity, ...).
@@ -35,9 +37,19 @@ pub enum Error {
     ///
     /// Per the paper (§II), the user must restate the iterative part with an
     /// aggregation that resolves the duplicates.
-    DuplicateIterationKey { cte: String, key: String },
+    DuplicateIterationKey {
+        /// The iterative CTE's user-visible name.
+        cte: String,
+        /// The duplicated key value, rendered as text.
+        key: String,
+    },
     /// An iterative CTE exceeded the configured safety bound on iterations.
-    IterationLimitExceeded { cte: String, limit: u64 },
+    IterationLimitExceeded {
+        /// The iterative CTE's user-visible name.
+        cte: String,
+        /// The configured `max_iterations` bound.
+        limit: u64,
+    },
     /// Arithmetic error (division by zero, overflow).
     Arithmetic(String),
     /// Feature understood by the grammar but not supported by this build.
@@ -47,20 +59,36 @@ pub enum Error {
     /// The query was cancelled cooperatively (via `QueryGuard::cancel`).
     Cancelled,
     /// The query ran past its wall-clock deadline.
-    Timeout { elapsed_ms: u64, limit_ms: u64 },
+    Timeout {
+        /// Milliseconds the query had been running when the check fired.
+        elapsed_ms: u64,
+        /// The configured timeout in milliseconds.
+        limit_ms: u64,
+    },
     /// A resource budget (rows materialized, rows moved, intermediate
     /// bytes) was exhausted. `used` is the amount observed when the
     /// budget tripped, so `used >= limit` always holds.
     ResourceExhausted {
+        /// Which budget tripped (e.g. `rows_materialized`).
         resource: String,
+        /// Amount observed when the budget tripped.
         used: u64,
+        /// The configured budget.
         limit: u64,
     },
     /// A parallel partition worker panicked; the panic was caught at the
     /// partition boundary and sibling partitions were cancelled.
-    WorkerPanicked { partition: usize, message: String },
+    WorkerPanicked {
+        /// Index of the partition whose worker panicked.
+        partition: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
     /// A configured fault-injection point fired (testing only).
-    FaultInjected { site: String },
+    FaultInjected {
+        /// The fault site that fired.
+        site: String,
+    },
     /// The engine configuration failed validation.
     InvalidConfig(String),
 }

@@ -165,6 +165,7 @@ impl QueryGuard {
         self.cancelled.store(true, Ordering::Release);
     }
 
+    /// Whether [`QueryGuard::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Acquire)
     }

@@ -6,9 +6,12 @@
 //! [`Error`] type, and the [`EngineConfig`] feature toggles that drive the
 //! paper's ablation experiments (Figures 8-11 of DBSpinner, ICDE 2021).
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod error;
 pub mod guard;
+pub mod profile;
 pub mod row;
 pub mod schema;
 pub mod value;
@@ -16,6 +19,7 @@ pub mod value;
 pub use config::{EngineConfig, FaultConfig, FaultKind, FaultSite, FaultTrigger};
 pub use error::{Error, Result};
 pub use guard::QueryGuard;
+pub use profile::{IterationProfile, ProfileNode, QueryProfile, SpanKind, Tracer};
 pub use row::{batch_of, row_of, Batch, Row};
 pub use schema::{Field, Schema, SchemaRef};
 pub use value::{DataType, Value};

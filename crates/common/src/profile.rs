@@ -1,0 +1,959 @@
+//! Per-query observability: execution spans, per-iteration loop metrics,
+//! and the structured [`QueryProfile`] behind `EXPLAIN ANALYZE`.
+//!
+//! The flat `ExecStats` counters answer "how much did this statement cost
+//! in total"; this module answers "*which* step, *which* operator and
+//! *which* loop iteration paid it". The executor threads a [`Tracer`]
+//! through every step and physical operator; when tracing is enabled the
+//! tracer builds a tree of [`ProfileNode`]s (one per step-program step and
+//! per physical operator) annotated with actual row counts, rows moved
+//! through exchanges, estimated bytes and wall time. Loop operators
+//! additionally record one [`IterationProfile`] per iteration — delta
+//! rows, rows updated, working-table size and per-iteration wall time —
+//! so convergence curves (Fig. 11 of the paper) fall out of a single run.
+//!
+//! The finished [`QueryProfile`] renders either as an annotated Table-I
+//! style step program ([`QueryProfile::render`]) or as machine-readable
+//! JSON ([`QueryProfile::to_json`] / [`QueryProfile::from_json`]; the JSON
+//! codec is hand-rolled because the workspace vendors a no-op `serde`
+//! stub for offline builds).
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::error::{Error, Result};
+
+/// What a profile span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A step-program step (Materialize / Rename / Merge).
+    Step,
+    /// A physical operator inside a step's plan fragment.
+    Operator,
+    /// A `loop` step; carries per-iteration metrics.
+    Loop,
+    /// The final plan (`Qf` in the paper) that produces the result rows.
+    Return,
+}
+
+impl SpanKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Step => "step",
+            SpanKind::Operator => "operator",
+            SpanKind::Loop => "loop",
+            SpanKind::Return => "return",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self> {
+        match s {
+            "step" => Ok(SpanKind::Step),
+            "operator" => Ok(SpanKind::Operator),
+            "loop" => Ok(SpanKind::Loop),
+            "return" => Ok(SpanKind::Return),
+            other => Err(Error::execution(format!("unknown span kind '{other}'"))),
+        }
+    }
+}
+
+/// Metrics of one loop iteration (the paper's convergence-curve data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IterationProfile {
+    /// 1-based iteration number.
+    pub iteration: u64,
+    /// Rows that changed (iterative CTEs) or were newly added (recursive
+    /// CTEs) in this iteration — the delta the termination check watches.
+    pub delta_rows: u64,
+    /// Rows reported as updated by this iteration's merge/replace.
+    pub rows_updated: u64,
+    /// Size of the CTE working table after the iteration.
+    pub working_rows: u64,
+    /// Wall time of the iteration in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// One node of the profile tree: a step, operator or loop with its
+/// actual (not estimated) runtime counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Human-readable label, mirroring the EXPLAIN line for the same
+    /// step/operator (e.g. `Materialize pagerank`, `Exchange: Hash(k)`).
+    pub label: String,
+    /// What this span measures.
+    pub kind: SpanKind,
+    /// Rows produced by the span (summed over executions).
+    pub rows_out: u64,
+    /// Rows that crossed a partition boundary inside the span (simulated
+    /// network traffic; broadcast copies count too).
+    pub rows_moved: u64,
+    /// Estimated bytes of the span's output.
+    pub bytes: u64,
+    /// Wall time in microseconds (summed over executions).
+    pub elapsed_us: u64,
+    /// How many times the span executed — body steps of a 10-iteration
+    /// loop report 10.
+    pub execs: u64,
+    /// Per-iteration metrics; non-empty only for [`SpanKind::Loop`].
+    pub iterations: Vec<IterationProfile>,
+    /// Child spans (operators under a step, steps under a loop).
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    fn new(kind: SpanKind, label: String) -> Self {
+        ProfileNode {
+            label,
+            kind,
+            rows_out: 0,
+            rows_moved: 0,
+            bytes: 0,
+            elapsed_us: 0,
+            execs: 0,
+            iterations: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Fold `other` (the same step re-executed in a later loop iteration)
+    /// into this node: counters add up, `execs` counts executions, and
+    /// children merge recursively by position + label.
+    fn absorb(&mut self, other: ProfileNode) {
+        self.rows_out += other.rows_out;
+        self.rows_moved += other.rows_moved;
+        self.bytes += other.bytes;
+        self.elapsed_us += other.elapsed_us;
+        self.execs += other.execs;
+        self.iterations.extend(other.iterations);
+        for (i, child) in other.children.into_iter().enumerate() {
+            match self.children.get_mut(i) {
+                Some(mine) if mine.label == child.label && mine.kind == child.kind => {
+                    mine.absorb(child);
+                }
+                _ => self.children.push(child),
+            }
+        }
+    }
+
+    /// Depth-first search for the first node whose label contains `pat`.
+    pub fn find(&self, pat: &str) -> Option<&ProfileNode> {
+        if self.label.contains(pat) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(pat))
+    }
+
+    fn collect_loops<'a>(&'a self, out: &mut Vec<&'a ProfileNode>) {
+        if self.kind == SpanKind::Loop {
+            out.push(self);
+        }
+        for c in &self.children {
+            c.collect_loops(out);
+        }
+    }
+
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.clone())),
+            ("kind".into(), Json::Str(self.kind.as_str().into())),
+            ("rows_out".into(), Json::Num(self.rows_out)),
+            ("rows_moved".into(), Json::Num(self.rows_moved)),
+            ("bytes".into(), Json::Num(self.bytes)),
+            ("elapsed_us".into(), Json::Num(self.elapsed_us)),
+            ("execs".into(), Json::Num(self.execs)),
+            (
+                "iterations".into(),
+                Json::Arr(
+                    self.iterations
+                        .iter()
+                        .map(|it| {
+                            Json::Obj(vec![
+                                ("iteration".into(), Json::Num(it.iteration)),
+                                ("delta_rows".into(), Json::Num(it.delta_rows)),
+                                ("rows_updated".into(), Json::Num(it.rows_updated)),
+                                ("working_rows".into(), Json::Num(it.working_rows)),
+                                ("elapsed_us".into(), Json::Num(it.elapsed_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "children".into(),
+                Json::Arr(self.children.iter().map(|c| c.to_json_value()).collect()),
+            ),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<ProfileNode> {
+        let obj = v.as_obj("profile node")?;
+        let iterations = Json::get(obj, "iterations")?
+            .as_arr("iterations")?
+            .iter()
+            .map(|it| {
+                let o = it.as_obj("iteration")?;
+                Ok(IterationProfile {
+                    iteration: Json::get(o, "iteration")?.as_num("iteration")?,
+                    delta_rows: Json::get(o, "delta_rows")?.as_num("delta_rows")?,
+                    rows_updated: Json::get(o, "rows_updated")?.as_num("rows_updated")?,
+                    working_rows: Json::get(o, "working_rows")?.as_num("working_rows")?,
+                    elapsed_us: Json::get(o, "elapsed_us")?.as_num("elapsed_us")?,
+                })
+            })
+            .collect::<Result<_>>()?;
+        let children = Json::get(obj, "children")?
+            .as_arr("children")?
+            .iter()
+            .map(ProfileNode::from_json_value)
+            .collect::<Result<_>>()?;
+        Ok(ProfileNode {
+            label: Json::get(obj, "label")?.as_str("label")?.to_string(),
+            kind: SpanKind::parse(Json::get(obj, "kind")?.as_str("kind")?)?,
+            rows_out: Json::get(obj, "rows_out")?.as_num("rows_out")?,
+            rows_moved: Json::get(obj, "rows_moved")?.as_num("rows_moved")?,
+            bytes: Json::get(obj, "bytes")?.as_num("bytes")?,
+            elapsed_us: Json::get(obj, "elapsed_us")?.as_num("elapsed_us")?,
+            execs: Json::get(obj, "execs")?.as_num("execs")?,
+            iterations,
+            children,
+        })
+    }
+}
+
+/// The structured result of `EXPLAIN ANALYZE`: the executed step program
+/// annotated with actual row counts, timings and per-iteration metrics.
+///
+/// ```
+/// use spinner_common::profile::{QueryProfile, SpanKind, Tracer};
+///
+/// let tracer = Tracer::new();
+/// tracer.enter(SpanKind::Step, "Materialize t".to_string());
+/// tracer.exit(4, 64);
+/// let profile = tracer.finish();
+/// assert_eq!(profile.roots[0].rows_out, 4);
+///
+/// // Machine-readable rendering round-trips losslessly.
+/// let json = profile.to_json();
+/// assert_eq!(QueryProfile::from_json(&json).unwrap(), profile);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProfile {
+    /// Top-level spans: the statement's steps, loops and final `Return`.
+    pub roots: Vec<ProfileNode>,
+    /// End-to-end wall time of the statement in microseconds.
+    pub total_elapsed_us: u64,
+}
+
+impl QueryProfile {
+    /// All loop nodes in the profile, in execution order. Each carries the
+    /// per-iteration convergence data in [`ProfileNode::iterations`].
+    pub fn loops(&self) -> Vec<&ProfileNode> {
+        let mut out = Vec::new();
+        for r in &self.roots {
+            r.collect_loops(&mut out);
+        }
+        out
+    }
+
+    /// Depth-first search for the first node whose label contains `pat`.
+    pub fn find(&self, pat: &str) -> Option<&ProfileNode> {
+        self.roots.iter().find_map(|r| r.find(pat))
+    }
+
+    /// Machine-readable JSON rendering (consumed by the `repro` binary and
+    /// the CLI's `\json` toggle). Round-trips via [`QueryProfile::from_json`].
+    pub fn to_json(&self) -> String {
+        let v = Json::Obj(vec![
+            ("total_elapsed_us".into(), Json::Num(self.total_elapsed_us)),
+            (
+                "roots".into(),
+                Json::Arr(self.roots.iter().map(|r| r.to_json_value()).collect()),
+            ),
+        ]);
+        let mut out = String::new();
+        v.write(&mut out);
+        out
+    }
+
+    /// Parse a profile previously rendered with [`QueryProfile::to_json`].
+    pub fn from_json(text: &str) -> Result<QueryProfile> {
+        let v = Json::parse(text)?;
+        let obj = v.as_obj("profile")?;
+        Ok(QueryProfile {
+            total_elapsed_us: Json::get(obj, "total_elapsed_us")?.as_num("total_elapsed_us")?,
+            roots: Json::get(obj, "roots")?
+                .as_arr("roots")?
+                .iter()
+                .map(ProfileNode::from_json_value)
+                .collect::<Result<_>>()?,
+        })
+    }
+
+    /// Annotated Table-I style rendering: the numbered step program with
+    /// actual rows, movement and timings per step, and a per-iteration
+    /// metrics table under every loop operator.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut step_no = 1usize;
+        for node in &self.roots {
+            render_node(node, &mut step_no, 0, &mut out);
+        }
+        let _ = writeln!(
+            out,
+            "Total: {:.3} ms",
+            self.total_elapsed_us as f64 / 1000.0
+        );
+        out
+    }
+}
+
+fn metrics_suffix(node: &ProfileNode) -> String {
+    let mut s = format!("(actual rows={}", node.rows_out);
+    if node.rows_moved > 0 {
+        let _ = write!(s, ", moved={}", node.rows_moved);
+    }
+    if node.execs > 1 {
+        let _ = write!(s, ", execs={}", node.execs);
+    }
+    let _ = write!(s, ", time={:.3} ms)", node.elapsed_us as f64 / 1000.0);
+    s
+}
+
+fn render_node(node: &ProfileNode, step_no: &mut usize, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match node.kind {
+        SpanKind::Operator => {
+            let _ = writeln!(out, "{pad}{}  {}", node.label, metrics_suffix(node));
+            for c in &node.children {
+                render_node(c, step_no, indent + 1, out);
+            }
+        }
+        SpanKind::Step | SpanKind::Return => {
+            let _ = writeln!(
+                out,
+                "{pad}{step_no}. {}  {}",
+                node.label,
+                metrics_suffix(node)
+            );
+            *step_no += 1;
+            for c in &node.children {
+                render_node(c, step_no, indent + 2, out);
+            }
+        }
+        SpanKind::Loop => {
+            let _ = writeln!(
+                out,
+                "{pad}{step_no}. {}  (iterations={}, time={:.3} ms)",
+                node.label,
+                node.iterations.len(),
+                node.elapsed_us as f64 / 1000.0
+            );
+            *step_no += 1;
+            let loop_start = *step_no;
+            for c in &node.children {
+                render_node(c, step_no, indent + 1, out);
+            }
+            let _ = writeln!(
+                out,
+                "{pad}{step_no}. Go to step {loop_start} if loop condition holds."
+            );
+            *step_no += 1;
+            if !node.iterations.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "{pad}   {:>5} {:>10} {:>10} {:>10} {:>11}",
+                    "iter", "delta", "updated", "working", "time_ms"
+                );
+                for it in &node.iterations {
+                    let _ = writeln!(
+                        out,
+                        "{pad}   {:>5} {:>10} {:>10} {:>10} {:>11.3}",
+                        it.iteration,
+                        it.delta_rows,
+                        it.rows_updated,
+                        it.working_rows,
+                        it.elapsed_us as f64 / 1000.0
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---- tracer ------------------------------------------------------------
+
+struct Frame {
+    node: ProfileNode,
+    started: Instant,
+    /// Aggregated-children count when the current iteration began; children
+    /// appended past this index are this iteration's and get folded back at
+    /// `end_iteration`.
+    iter_base: usize,
+    iter_started: Option<Instant>,
+}
+
+struct TracerState {
+    started: Instant,
+    roots: Vec<ProfileNode>,
+    stack: Vec<Frame>,
+}
+
+/// Span collector threaded through the executor.
+///
+/// Disabled tracers ([`Tracer::disabled`]) are free: every method returns
+/// before touching the lock. Enabled tracers are `Sync` (the operator
+/// context crosses partition-worker threads) but effectively uncontended —
+/// spans are opened and closed by the plan-driving thread only.
+///
+/// Frames left open by an error path are closed by [`Tracer::finish`];
+/// profiles of failed statements are discarded by the engine anyway.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    inner: Mutex<TracerState>,
+}
+
+impl std::fmt::Debug for TracerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracerState")
+            .field("roots", &self.roots.len())
+            .field("stack", &self.stack.len())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer; the engine creates one per `EXPLAIN ANALYZE`.
+    pub fn new() -> Self {
+        Tracer {
+            enabled: true,
+            inner: Mutex::new(TracerState {
+                started: Instant::now(),
+                roots: Vec::new(),
+                stack: Vec::new(),
+            }),
+        }
+    }
+
+    /// A no-op tracer for untraced statements (the default).
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            inner: Mutex::new(TracerState {
+                started: Instant::now(),
+                roots: Vec::new(),
+                stack: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether spans are being collected. Callers use this to skip
+    /// metric computations (row counts, byte estimates) that only feed
+    /// the profile.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TracerState> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Open a span; it becomes the parent of spans opened before the
+    /// matching [`Tracer::exit`].
+    pub fn enter(&self, kind: SpanKind, label: String) {
+        if !self.enabled {
+            return;
+        }
+        self.lock().stack.push(Frame {
+            node: ProfileNode::new(kind, label),
+            started: Instant::now(),
+            iter_base: 0,
+            iter_started: None,
+        });
+    }
+
+    /// Close the innermost span, recording its output size.
+    pub fn exit(&self, rows_out: u64, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.lock();
+        let Some(frame) = state.stack.pop() else {
+            return;
+        };
+        let mut node = frame.node;
+        node.rows_out = rows_out;
+        node.bytes = bytes;
+        node.elapsed_us = frame.started.elapsed().as_micros() as u64;
+        node.execs = 1;
+        match state.stack.last_mut() {
+            Some(parent) => parent.node.children.push(node),
+            None => state.roots.push(node),
+        }
+    }
+
+    /// Charge rows moved through an exchange to the innermost open span.
+    pub fn note_rows_moved(&self, rows: u64) {
+        if !self.enabled || rows == 0 {
+            return;
+        }
+        if let Some(frame) = self.lock().stack.last_mut() {
+            frame.node.rows_moved += rows;
+        }
+    }
+
+    /// Mark the start of a loop iteration. Must be called with the loop's
+    /// span innermost; body-step spans opened afterwards are attributed to
+    /// this iteration until [`Tracer::end_iteration`].
+    pub fn begin_iteration(&self) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(frame) = self.lock().stack.last_mut() {
+            frame.iter_base = frame.node.children.len();
+            frame.iter_started = Some(Instant::now());
+        }
+    }
+
+    /// Close the current loop iteration: fold its body spans into the
+    /// loop's aggregated children (summing counters, bumping `execs`) and
+    /// record the iteration's convergence metrics.
+    pub fn end_iteration(&self, delta_rows: u64, rows_updated: u64, working_rows: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.lock();
+        let Some(frame) = state.stack.last_mut() else {
+            return;
+        };
+        let fresh: Vec<ProfileNode> = frame.node.children.split_off(frame.iter_base);
+        for (i, child) in fresh.into_iter().enumerate() {
+            match frame.node.children.get_mut(i) {
+                Some(agg) if agg.label == child.label && agg.kind == child.kind => {
+                    agg.absorb(child);
+                }
+                _ => frame.node.children.push(child),
+            }
+        }
+        let elapsed_us = frame
+            .iter_started
+            .take()
+            .map(|t| t.elapsed().as_micros() as u64)
+            .unwrap_or(0);
+        let iteration = frame.node.iterations.len() as u64 + 1;
+        frame.node.iterations.push(IterationProfile {
+            iteration,
+            delta_rows,
+            rows_updated,
+            working_rows,
+            elapsed_us,
+        });
+    }
+
+    /// Consume the collected spans into a [`QueryProfile`]. Any spans
+    /// still open (error paths) are closed with zero output.
+    pub fn finish(&self) -> QueryProfile {
+        let mut state = self.lock();
+        while let Some(frame) = state.stack.pop() {
+            let mut node = frame.node;
+            node.elapsed_us = frame.started.elapsed().as_micros() as u64;
+            node.execs = 1;
+            match state.stack.last_mut() {
+                Some(parent) => parent.node.children.push(node),
+                None => state.roots.push(node),
+            }
+        }
+        QueryProfile {
+            roots: std::mem::take(&mut state.roots),
+            total_elapsed_us: state.started.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+// ---- minimal JSON ------------------------------------------------------
+// The workspace's vendored `serde` is a no-op stub (offline build), so the
+// profile carries its own tiny JSON writer + parser. It covers exactly the
+// subset `to_json` emits: objects, arrays, strings and unsigned integers.
+
+enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_json_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::execution("trailing data after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::execution(format!("missing JSON key '{key}'")))
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            _ => Err(Error::execution(format!("expected JSON object for {what}"))),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(Error::execution(format!("expected JSON array for {what}"))),
+        }
+    }
+
+    fn as_num(&self, what: &str) -> Result<u64> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(Error::execution(format!("expected JSON number for {what}"))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(Error::execution(format!("expected JSON string for {what}"))),
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::execution(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            _ => Err(Error::execution(format!(
+                "unexpected JSON input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(Error::execution("malformed JSON object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(Error::execution("malformed JSON array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(Error::execution("unterminated JSON string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::execution("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::execution("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::execution("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::execution("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::execution("bad JSON escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::execution("invalid UTF-8 in JSON"))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| Error::execution(format!("bad JSON number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> QueryProfile {
+        let tracer = Tracer::new();
+        tracer.enter(SpanKind::Step, "Materialize t".into());
+        tracer.enter(SpanKind::Operator, "SeqScan: edges".into());
+        tracer.exit(10, 80);
+        tracer.exit(10, 80);
+        tracer.enter(SpanKind::Loop, "Initialize loop operator for t".into());
+        for i in 0..3u64 {
+            tracer.begin_iteration();
+            tracer.enter(SpanKind::Step, "Materialize __work_t".into());
+            tracer.note_rows_moved(2);
+            tracer.exit(10, 80);
+            tracer.enter(SpanKind::Step, "Rename __work_t to t".into());
+            tracer.exit(0, 0);
+            tracer.end_iteration(10 - i, 10 - i, 10);
+        }
+        tracer.exit(10, 80);
+        tracer.enter(SpanKind::Return, "Return".into());
+        tracer.exit(10, 80);
+        tracer.finish()
+    }
+
+    #[test]
+    fn spans_nest_and_iterations_merge() {
+        let p = sample_profile();
+        assert_eq!(p.roots.len(), 3);
+        let loop_node = &p.roots[1];
+        assert_eq!(loop_node.kind, SpanKind::Loop);
+        // Body steps merged: 2 aggregated children, each executed 3 times.
+        assert_eq!(loop_node.children.len(), 2);
+        assert_eq!(loop_node.children[0].execs, 3);
+        assert_eq!(loop_node.children[0].rows_out, 30);
+        assert_eq!(loop_node.children[0].rows_moved, 6);
+        // Three iteration records with decreasing deltas.
+        assert_eq!(loop_node.iterations.len(), 3);
+        assert_eq!(loop_node.iterations[0].delta_rows, 10);
+        assert_eq!(loop_node.iterations[2].delta_rows, 8);
+        assert_eq!(loop_node.iterations[2].iteration, 3);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let p = sample_profile();
+        let json = p.to_json();
+        let back = QueryProfile::from_json(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let tracer = Tracer::new();
+        tracer.enter(SpanKind::Step, "weird \"label\"\\ with\nnewline".into());
+        tracer.exit(1, 1);
+        let p = tracer.finish();
+        let back = QueryProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back.roots[0].label, "weird \"label\"\\ with\nnewline");
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(QueryProfile::from_json("").is_err());
+        assert!(QueryProfile::from_json("{\"roots\": []}").is_err()); // missing total
+        assert!(QueryProfile::from_json("{\"total_elapsed_us\": -1, \"roots\": []}").is_err());
+        assert!(QueryProfile::from_json("{\"total_elapsed_us\": 1, \"roots\": []} x").is_err());
+    }
+
+    #[test]
+    fn render_numbers_steps_and_prints_iteration_table() {
+        let p = sample_profile();
+        let text = p.render();
+        assert!(text.contains("1. Materialize t"), "{text}");
+        assert!(text.contains("actual rows=10"), "{text}");
+        assert!(text.contains("2. Initialize loop operator"), "{text}");
+        assert!(
+            text.contains("Go to step 3 if loop condition holds."),
+            "{text}"
+        );
+        assert!(text.contains("iter"), "{text}");
+        assert!(text.contains("execs=3"), "{text}");
+        assert!(text.contains("Total:"), "{text}");
+    }
+
+    #[test]
+    fn disabled_tracer_collects_nothing() {
+        let tracer = Tracer::disabled();
+        tracer.enter(SpanKind::Step, "Materialize t".into());
+        tracer.exit(10, 80);
+        let p = tracer.finish();
+        assert!(p.roots.is_empty());
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn finish_closes_abandoned_frames() {
+        let tracer = Tracer::new();
+        tracer.enter(SpanKind::Step, "outer".into());
+        tracer.enter(SpanKind::Operator, "inner".into());
+        // Error path: no exits. finish() must still produce a tree.
+        let p = tracer.finish();
+        assert_eq!(p.roots.len(), 1);
+        assert_eq!(p.roots[0].children.len(), 1);
+    }
+
+    #[test]
+    fn find_locates_nested_nodes() {
+        let p = sample_profile();
+        assert!(p.find("SeqScan").is_some());
+        assert!(p.find("Rename __work_t").is_some());
+        assert!(p.find("nonexistent").is_none());
+        assert_eq!(p.loops().len(), 1);
+    }
+}

@@ -9,6 +9,7 @@
 //! * `\d` — list tables;
 //! * `\stats` — show and reset the execution counters;
 //! * `\timing` — toggle per-statement timing;
+//! * `\json` — toggle JSON output for `EXPLAIN ANALYZE` profiles;
 //! * `\gen <preset> <scale>` — load a synthetic `edges` table
 //!   (`dblp | pokec | google`) — only compiled in examples/benches; here we
 //!   keep the shell dependency-free, so `\gen` creates a small demo graph;
@@ -22,6 +23,7 @@ use spinner_engine::{Database, QueryResult};
 fn main() {
     let db = Database::default();
     let mut timing = false;
+    let mut json_profiles = false;
     let mut buffer = String::new();
     let stdin = std::io::stdin();
     println!("spinner-sql — DBSpinner reproduction shell. \\q to quit.");
@@ -33,7 +35,7 @@ fn main() {
         };
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            match handle_command(&db, trimmed, &mut timing) {
+            match handle_command(&db, trimmed, &mut timing, &mut json_profiles) {
                 Command::Quit => return,
                 Command::Continue => {
                     prompt(&buffer);
@@ -54,6 +56,13 @@ fn main() {
                 Ok(QueryResult::Affected { rows }) => println!("OK, {rows} rows affected"),
                 Ok(QueryResult::Ddl) => println!("OK"),
                 Ok(QueryResult::Explain(text)) => println!("{text}"),
+                Ok(QueryResult::Analyze(profile)) => {
+                    if json_profiles {
+                        println!("{}", profile.to_json());
+                    } else {
+                        print!("{}", profile.render());
+                    }
+                }
                 Err(e) => println!("ERROR: {e}"),
             }
             if timing {
@@ -69,7 +78,12 @@ enum Command {
     Continue,
 }
 
-fn handle_command(db: &Database, cmd: &str, timing: &mut bool) -> Command {
+fn handle_command(
+    db: &Database,
+    cmd: &str,
+    timing: &mut bool,
+    json_profiles: &mut bool,
+) -> Command {
     match cmd.split_whitespace().next().unwrap_or("") {
         "\\q" | "\\quit" => return Command::Quit,
         "\\d" => {
@@ -82,6 +96,13 @@ fn handle_command(db: &Database, cmd: &str, timing: &mut bool) -> Command {
         "\\timing" => {
             *timing = !*timing;
             println!("timing {}", if *timing { "on" } else { "off" });
+        }
+        "\\json" => {
+            *json_profiles = !*json_profiles;
+            println!(
+                "EXPLAIN ANALYZE output: {}",
+                if *json_profiles { "json" } else { "text" }
+            );
         }
         "\\gen" => {
             let result = db.execute_script(
@@ -96,7 +117,9 @@ fn handle_command(db: &Database, cmd: &str, timing: &mut bool) -> Command {
                 Err(e) => println!("ERROR: {e}"),
             }
         }
-        other => println!("unknown command '{other}' (try \\d, \\stats, \\timing, \\gen, \\q)"),
+        other => {
+            println!("unknown command '{other}' (try \\d, \\stats, \\timing, \\json, \\gen, \\q)")
+        }
     }
     Command::Continue
 }

@@ -4,7 +4,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use spinner_common::{
-    Batch, EngineConfig, Error, QueryGuard, Result, Row, Schema, SchemaRef, Value,
+    Batch, EngineConfig, Error, QueryGuard, QueryProfile, Result, Row, Schema, SchemaRef, Tracer,
+    Value,
 };
 use spinner_exec::stats::StatsSnapshot;
 use spinner_exec::{ExecStats, Executor, FaultInjector};
@@ -99,12 +100,19 @@ impl Database {
         &self.catalog
     }
 
-    /// Snapshot of the execution statistics accumulated so far.
+    /// Snapshot of the execution statistics.
+    ///
+    /// Counters are reset at the entry of every plan-executing statement
+    /// (queries and DML — not DDL or plain `EXPLAIN`), so a snapshot
+    /// describes the most recent such statement only. Work done by a
+    /// failed or cancelled statement never leaks into the next
+    /// statement's snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
     }
 
-    /// Snapshot and reset the execution statistics.
+    /// Snapshot and reset the execution statistics. See [`Database::stats`]
+    /// for the per-statement semantics.
     pub fn take_stats(&self) -> StatsSnapshot {
         let snap = self.stats.snapshot();
         self.stats.reset();
@@ -153,6 +161,16 @@ impl Database {
         match self.execute(&format!("EXPLAIN {sql}"))? {
             super::QueryResult::Explain(text) => Ok(text),
             _ => unreachable!("EXPLAIN always yields Explain"),
+        }
+    }
+
+    /// `EXPLAIN ANALYZE`: execute the query and return its
+    /// [`QueryProfile`] — per-step actual row counts, rows moved, timings
+    /// and per-loop-iteration convergence metrics.
+    pub fn explain_analyze(&self, sql: &str) -> Result<QueryProfile> {
+        match self.execute(&format!("EXPLAIN ANALYZE {sql}"))? {
+            super::QueryResult::Analyze(profile) => Ok(profile),
+            _ => unreachable!("EXPLAIN ANALYZE always yields Analyze"),
         }
     }
 
@@ -211,13 +229,42 @@ impl Database {
         planned: PlannedStatement,
         guard: &QueryGuard,
     ) -> Result<super::QueryResult> {
+        // Stats are per plan-executing statement: reset at entry so work
+        // done by a previous failed/cancelled statement cannot leak into
+        // this statement's snapshot. DDL and plain EXPLAIN execute no
+        // plan and leave the last statement's counters readable.
+        if matches!(
+            planned,
+            PlannedStatement::Query(_)
+                | PlannedStatement::Insert { .. }
+                | PlannedStatement::Update { .. }
+                | PlannedStatement::Delete { .. }
+                | PlannedStatement::Explain { analyze: true, .. }
+        ) {
+            self.stats.reset();
+        }
+        let tracer = Tracer::disabled();
         match planned {
             PlannedStatement::Query(plan) => {
-                let batch = self.run_query_plan(&plan, guard)?;
+                let batch = self.run_query_plan(&plan, guard, &tracer)?;
                 Ok(super::QueryResult::Rows(batch))
             }
-            PlannedStatement::Explain(inner) => {
-                Ok(super::QueryResult::Explain(explain_planned(&inner)))
+            PlannedStatement::Explain {
+                statement,
+                analyze: false,
+            } => Ok(super::QueryResult::Explain(explain_planned(&statement))),
+            PlannedStatement::Explain {
+                statement,
+                analyze: true,
+            } => {
+                let PlannedStatement::Query(plan) = *statement else {
+                    return Err(Error::unsupported(
+                        "EXPLAIN ANALYZE is only available for queries",
+                    ));
+                };
+                let tracer = Tracer::new();
+                self.run_query_plan(&plan, guard, &tracer)?;
+                Ok(super::QueryResult::Analyze(tracer.finish()))
             }
             PlannedStatement::CreateTable {
                 name,
@@ -247,7 +294,7 @@ impl Database {
                 }
             }
             PlannedStatement::Insert { table, source } => {
-                let batch = self.run_query_plan(&source, guard)?;
+                let batch = self.run_query_plan(&source, guard, &tracer)?;
                 let rows = batch.into_rows();
                 let n = self.catalog.with_table_mut(&table, |t| t.insert(rows))?;
                 Ok(super::QueryResult::Affected { rows: n })
@@ -273,7 +320,12 @@ impl Database {
         }
     }
 
-    fn run_query_plan(&self, plan: &QueryPlan, guard: &QueryGuard) -> Result<Batch> {
+    fn run_query_plan(
+        &self,
+        plan: &QueryPlan,
+        guard: &QueryGuard,
+        tracer: &Tracer,
+    ) -> Result<Batch> {
         let exec = Executor {
             catalog: &self.catalog,
             registry: &self.temp,
@@ -281,6 +333,7 @@ impl Database {
             stats: &self.stats,
             guard,
             faults: &self.faults,
+            tracer,
         };
         let result = exec.run_query(plan);
         // Clear on every exit path: a cancelled/faulted query must not
@@ -325,6 +378,7 @@ impl Database {
                 })
             }),
             Some(from_plan) => {
+                let tracer = Tracer::disabled();
                 let exec = Executor {
                     catalog: &self.catalog,
                     registry: &self.temp,
@@ -332,6 +386,7 @@ impl Database {
                     stats: &self.stats,
                     guard,
                     faults: &self.faults,
+                    tracer: &tracer,
                 };
                 let from_result = exec.execute_logical(&from_plan);
                 self.temp.clear();
@@ -474,7 +529,7 @@ fn explain_planned(planned: &PlannedStatement) -> String {
         PlannedStatement::Delete { table, .. } => format!("Delete from {table}"),
         PlannedStatement::CreateTable { name, .. } => format!("Create table {name}"),
         PlannedStatement::DropTable { name, .. } => format!("Drop table {name}"),
-        PlannedStatement::Explain(inner) => explain_planned(inner),
+        PlannedStatement::Explain { statement, .. } => explain_planned(statement),
     }
 }
 
@@ -677,6 +732,84 @@ mod tests {
         assert!(s.rows_moved > 0 || s.rows_materialized == 0);
         let s2 = db.stats();
         assert_eq!(s2.rows_moved, 0);
+    }
+
+    #[test]
+    fn stats_describe_the_last_statement_only() {
+        let db = db_with_edges();
+        db.query(
+            "WITH ITERATIVE t (k, v) AS (SELECT 1, 0 \
+             ITERATE SELECT k, v + 1 FROM t UNTIL 5 ITERATIONS) SELECT * FROM t",
+        )
+        .unwrap();
+        // A second query resets the counters at entry; its snapshot must
+        // not include the first query's 5 iterations.
+        db.query("SELECT COUNT(*) FROM edges").unwrap();
+        assert_eq!(db.stats().iterations, 0);
+    }
+
+    #[test]
+    fn stats_from_failed_statement_do_not_leak() {
+        // Regression: a statement that fails mid-loop used to leave its
+        // counters behind, polluting the next statement's snapshot.
+        let mut db = db_with_edges();
+        db.set_config(EngineConfig::default().with_max_iterations(7))
+            .unwrap();
+        let err = db
+            .query(
+                "WITH ITERATIVE t (k, v) AS (SELECT 1, 0 \
+                 ITERATE SELECT k, v + 1 FROM t UNTIL (v < 0)) SELECT * FROM t",
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::IterationLimitExceeded { .. }));
+        assert!(db.stats().iterations > 0, "failed run did iterate");
+        // The next clean statement's snapshot covers only itself.
+        db.query("SELECT COUNT(*) FROM edges").unwrap();
+        let s = db.take_stats();
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.renames, 0);
+    }
+
+    #[test]
+    fn ddl_and_plain_explain_keep_the_last_snapshot_readable() {
+        let db = db_with_edges();
+        db.query(
+            "WITH ITERATIVE t (k, v) AS (SELECT 1, 0 \
+             ITERATE SELECT k, v + 1 FROM t UNTIL 3 ITERATIONS) SELECT * FROM t",
+        )
+        .unwrap();
+        // Neither DDL nor EXPLAIN executes a plan; both leave the last
+        // query's counters in place for inspection.
+        db.execute("CREATE TABLE scratch (x INT)").unwrap();
+        db.explain("SELECT * FROM edges").unwrap();
+        assert_eq!(db.stats().iterations, 3);
+    }
+
+    #[test]
+    fn explain_analyze_profiles_iterative_query() {
+        let db = db_with_edges();
+        let profile = db
+            .explain_analyze(
+                "WITH ITERATIVE t (k, v) AS (SELECT src, 0 FROM edges \
+                 ITERATE SELECT k, v + 1 FROM t UNTIL 4 ITERATIONS) SELECT * FROM t",
+            )
+            .unwrap();
+        let loops = profile.loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].iterations.len(), 4);
+        assert!(profile.find("Return").is_some());
+        // The profile round-trips through JSON.
+        let back = spinner_common::QueryProfile::from_json(&profile.to_json()).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn explain_analyze_rejects_ddl() {
+        let db = db_with_edges();
+        assert!(matches!(
+            db.execute("EXPLAIN ANALYZE CREATE TABLE t2 (x INT)"),
+            Err(Error::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! exposes how many rows crossed partition boundaries — the quantity the
 //! paper's rename optimization (Fig. 8) saves.
 
+#![warn(missing_docs)]
+
 pub mod database;
 pub mod result;
 
@@ -34,6 +36,6 @@ pub use result::QueryResult;
 
 pub use spinner_common::{
     Batch, DataType, EngineConfig, Error, FaultConfig, FaultKind, FaultSite, FaultTrigger, Field,
-    QueryGuard, Result, Row, Schema, Value,
+    IterationProfile, ProfileNode, QueryGuard, QueryProfile, Result, Row, Schema, Value,
 };
 pub use spinner_exec::stats::StatsSnapshot;

@@ -1,6 +1,6 @@
 //! Statement results.
 
-use spinner_common::{Batch, Error, Result};
+use spinner_common::{Batch, Error, QueryProfile, Result};
 
 /// Outcome of executing one SQL statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -8,12 +8,19 @@ pub enum QueryResult {
     /// A query returned rows.
     Rows(Batch),
     /// DML touched this many rows.
-    Affected { rows: usize },
+    Affected {
+        /// Number of rows inserted, updated or deleted.
+        rows: usize,
+    },
     /// DDL completed.
     Ddl,
     /// EXPLAIN output (the paper-Table-I style step rendering plus the
     /// final plan tree).
     Explain(String),
+    /// `EXPLAIN ANALYZE` output: the statement was executed and profiled.
+    /// Render with [`QueryProfile::render`] or serialize with
+    /// [`QueryProfile::to_json`].
+    Analyze(QueryProfile),
 }
 
 impl QueryResult {

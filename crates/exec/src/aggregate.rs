@@ -14,26 +14,42 @@ use spinner_plan::{AggExpr, AggFunc};
 /// Running state for one aggregate in one group.
 #[derive(Debug, Clone)]
 pub enum Accumulator {
+    /// `COUNT(expr)`: non-NULL input count.
     Count {
+        /// Values counted so far.
         n: i64,
+        /// Present for `COUNT(DISTINCT ...)`: values already seen.
         distinct: Option<HashSet<Value>>,
     },
+    /// `COUNT(*)`: row count, NULLs included.
     CountStar {
+        /// Rows counted so far.
         n: i64,
     },
+    /// `SUM(expr)`; NULL until the first non-NULL input.
     Sum {
+        /// Running sum, `None` before any non-NULL input.
         acc: Option<Value>,
+        /// Present for `SUM(DISTINCT ...)`: values already seen.
         distinct: Option<HashSet<Value>>,
     },
+    /// `MIN(expr)`; NULL until the first non-NULL input.
     Min {
+        /// Running minimum.
         acc: Option<Value>,
     },
+    /// `MAX(expr)`; NULL until the first non-NULL input.
     Max {
+        /// Running maximum.
         acc: Option<Value>,
     },
+    /// `AVG(expr)` over the non-NULL inputs.
     Avg {
+        /// Sum of inputs as f64.
         sum: f64,
+        /// Count of non-NULL inputs.
         n: i64,
+        /// Present for `AVG(DISTINCT ...)`: values already seen.
         distinct: Option<HashSet<Value>>,
     },
 }

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use spinner_common::profile::{SpanKind, Tracer};
 use spinner_common::{Batch, EngineConfig, Error, FaultSite, QueryGuard, Result, Row, Value};
 use spinner_plan::{LogicalPlan, LoopKind, LoopStep, PlanExpr, QueryPlan, Step, TerminationPlan};
 use spinner_storage::{Catalog, Partitioned, TempRegistry};
@@ -32,12 +33,20 @@ use crate::stats::ExecStats;
 /// never mid-mutation. The `faults` injector is a no-op unless the
 /// config carries chaos-testing fault plans.
 pub struct Executor<'a> {
+    /// Base tables.
     pub catalog: &'a Catalog,
+    /// Named temporary results (CTE working tables, merge outputs).
     pub registry: &'a TempRegistry,
+    /// Optimization toggles and partition count.
     pub config: &'a EngineConfig,
+    /// Flat per-statement counters (always on).
     pub stats: &'a ExecStats,
+    /// Cancellation / deadline / budget enforcement.
     pub guard: &'a QueryGuard,
+    /// Chaos-testing fault injector (no-op outside chaos tests).
     pub faults: &'a FaultInjector,
+    /// Span collector for `EXPLAIN ANALYZE`; disabled for normal statements.
+    pub tracer: &'a Tracer,
 }
 
 /// Result of one step: the number of rows it reported as updated (merges
@@ -53,6 +62,7 @@ impl Executor<'_> {
             stats: self.stats,
             guard: self.guard,
             faults: self.faults,
+            tracer: self.tracer,
         }
     }
 
@@ -60,7 +70,16 @@ impl Executor<'_> {
     /// result into a single batch.
     pub fn run_query(&self, plan: &QueryPlan) -> Result<Batch> {
         self.run_steps(&plan.steps)?;
-        let result = self.execute_logical(&plan.root)?;
+        self.tracer.enter(SpanKind::Return, "Return".to_string());
+        let result = match self.execute_logical(&plan.root) {
+            Ok(r) => r,
+            Err(e) => {
+                self.tracer.exit(0, 0);
+                return Err(e);
+            }
+        };
+        self.tracer
+            .exit(result.total_rows() as u64, result.estimated_bytes());
         let schema = plan.root.schema();
         Ok(Batch::new(schema, result.gather()))
     }
@@ -81,6 +100,41 @@ impl Executor<'_> {
 
     fn run_step(&self, step: &Step) -> Result<StepOutcome> {
         self.guard.check()?;
+        if !self.tracer.is_enabled() {
+            return self.run_step_inner(step);
+        }
+        let kind = match step {
+            Step::Loop(_) => SpanKind::Loop,
+            _ => SpanKind::Step,
+        };
+        self.tracer.enter(kind, step_label(step));
+        let outcome = self.run_step_inner(step);
+        match &outcome {
+            Ok(_) => {
+                let (rows, bytes) = self.step_output_size(step);
+                self.tracer.exit(rows, bytes);
+            }
+            Err(_) => self.tracer.exit(0, 0),
+        }
+        outcome
+    }
+
+    /// Rows and bytes of the temp-registry entry a step produced, for the
+    /// step's profile span. Traced statements only.
+    fn step_output_size(&self, step: &Step) -> (u64, u64) {
+        let name = match step {
+            Step::Materialize { name, .. } => name,
+            Step::Rename { to, .. } => to,
+            Step::Merge { merged, .. } => merged,
+            Step::Loop(l) => &l.cte,
+        };
+        match self.registry.get(name) {
+            Ok(data) => (data.total_rows() as u64, data.estimated_bytes()),
+            Err(_) => (0, 0),
+        }
+    }
+
+    fn run_step_inner(&self, step: &Step) -> Result<StepOutcome> {
         match step {
             Step::Materialize {
                 name,
@@ -228,6 +282,7 @@ impl Executor<'_> {
                     limit: self.config.max_iterations,
                 });
             }
+            self.tracer.begin_iteration();
             // Delta termination on the rename path has no merge to count
             // changes, so keep the previous version for a diff (§VI-B:
             // "for this case, we also keep data from the previous
@@ -257,6 +312,13 @@ impl Executor<'_> {
                 }
             };
             cumulative_updates += changed_this_iter;
+            if self.tracer.is_enabled() {
+                self.tracer.end_iteration(
+                    changed_this_iter,
+                    changed_this_iter,
+                    current.total_rows() as u64,
+                );
+            }
             let stop = match &l.termination {
                 TerminationPlan::Iterations(n) => iteration >= *n,
                 TerminationPlan::Updates(n) => cumulative_updates >= *n,
@@ -299,6 +361,7 @@ impl Executor<'_> {
                     limit: self.config.max_iterations,
                 });
             }
+            self.tracer.begin_iteration();
             for step in &l.body {
                 self.run_step(step)?;
             }
@@ -321,6 +384,15 @@ impl Executor<'_> {
                 }
             }
             self.registry.remove(working);
+            if self.tracer.is_enabled() {
+                let working_rows = self
+                    .registry
+                    .get(&l.cte)
+                    .map(|d| d.total_rows() as u64)
+                    .unwrap_or(0)
+                    + added as u64;
+                self.tracer.end_iteration(added as u64, 0, working_rows);
+            }
             if added == 0 {
                 break;
             }
@@ -354,6 +426,21 @@ impl Executor<'_> {
         }
         self.registry.remove(&delta_name);
         Ok(())
+    }
+}
+
+/// Profile-span label for a step, mirroring its EXPLAIN rendering.
+fn step_label(step: &Step) -> String {
+    match step {
+        Step::Materialize { name, .. } => format!("Materialize {name}"),
+        Step::Rename { from, to } => format!("Rename {from} to {to}"),
+        Step::Merge {
+            cte, working, key, ..
+        } => format!("Merge {working} into {cte} by key column #{key}"),
+        Step::Loop(l) => format!(
+            "Initialize loop operator {} for {}",
+            l.termination, l.cte_display_name
+        ),
     }
 }
 
@@ -443,6 +530,7 @@ mod tests {
         let stats = ExecStats::new();
         let guard = QueryGuard::unlimited();
         let faults = FaultInjector::disabled();
+        let tracer = Tracer::disabled();
         let exec = Executor {
             catalog,
             registry: &registry,
@@ -450,6 +538,7 @@ mod tests {
             stats: &stats,
             guard: &guard,
             faults: &faults,
+            tracer: &tracer,
         };
         exec.run_query(&plan)
     }
@@ -736,6 +825,7 @@ mod tests {
             let stats = ExecStats::new();
             let guard = QueryGuard::unlimited();
             let faults = FaultInjector::disabled();
+            let tracer = Tracer::disabled();
             let exec = Executor {
                 catalog: &catalog,
                 registry: &registry,
@@ -743,6 +833,7 @@ mod tests {
                 stats: &stats,
                 guard: &guard,
                 faults: &faults,
+                tracer: &tracer,
             };
             let batch = exec.run_query(&plan).unwrap();
             (batch, stats.snapshot())

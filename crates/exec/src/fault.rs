@@ -86,6 +86,7 @@ impl FaultInjector {
         }
     }
 
+    /// Whether any fault plans are configured.
     pub fn is_enabled(&self) -> bool {
         !self.plans.is_empty()
     }

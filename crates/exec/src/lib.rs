@@ -17,6 +17,8 @@
 //! and merge operations, and loop iterations — the quantities behind the
 //! paper's Figure 8 (data movement) measurements.
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod executor;
 pub mod fault;

@@ -8,6 +8,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use spinner_common::profile::{SpanKind, Tracer};
 use spinner_common::{EngineConfig, Error, FaultSite, QueryGuard, Result, Row, Value};
 use spinner_plan::{AggExpr, JoinType, PlanExpr, SetOpKind, SortKey};
 use spinner_storage::{Catalog, Partitioned, TempRegistry};
@@ -19,12 +20,20 @@ use crate::stats::ExecStats;
 
 /// Everything an operator needs at run time.
 pub struct OpContext<'a> {
+    /// Base tables.
     pub catalog: &'a Catalog,
+    /// Named temporary results (CTE working tables).
     pub registry: &'a TempRegistry,
+    /// Optimization toggles and partition count.
     pub config: &'a EngineConfig,
+    /// Flat per-statement counters (always on).
     pub stats: &'a ExecStats,
+    /// Cancellation / deadline / budget enforcement.
     pub guard: &'a QueryGuard,
+    /// Chaos-testing fault injector.
     pub faults: &'a FaultInjector,
+    /// Span collector for `EXPLAIN ANALYZE`; disabled for normal statements.
+    pub tracer: &'a Tracer,
 }
 
 impl OpContext<'_> {
@@ -39,6 +48,24 @@ pub fn execute(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> 
     // here, so cancellation and deadlines are honoured between operators
     // even when a single plan has no loop.
     ctx.guard.check()?;
+    if !ctx.tracer.is_enabled() {
+        return execute_inner(plan, ctx);
+    }
+    ctx.tracer.enter(SpanKind::Operator, plan.describe());
+    match execute_inner(plan, ctx) {
+        Ok(data) => {
+            ctx.tracer
+                .exit(data.total_rows() as u64, data.estimated_bytes());
+            Ok(data)
+        }
+        Err(e) => {
+            ctx.tracer.exit(0, 0);
+            Err(e)
+        }
+    }
+}
+
+fn execute_inner(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned> {
     match plan {
         PhysicalPlan::SeqScan { table, .. } => {
             let snapshot = ctx.catalog.get(table)?.snapshot();
@@ -474,6 +501,7 @@ pub fn exchange(
             }
             ctx.guard.charge_rows_moved(moved)?;
             ExecStats::add(&ctx.stats.rows_moved, moved);
+            ctx.tracer.note_rows_moved(moved);
             Ok(Partitioned {
                 schema,
                 parts: buckets.into_iter().map(Arc::new).collect(),
@@ -489,6 +517,7 @@ pub fn exchange(
                 .sum();
             ctx.guard.charge_rows_moved(moved)?;
             ExecStats::add(&ctx.stats.rows_moved, moved);
+            ctx.tracer.note_rows_moved(moved);
             let rows = data.gather();
             let mut out: Vec<Arc<Vec<Row>>> = (0..parts).map(|_| Arc::new(Vec::new())).collect();
             out[0] = Arc::new(rows);
@@ -499,6 +528,7 @@ pub fn exchange(
             let copies = rows.len() as u64 * (parts as u64).saturating_sub(1);
             ctx.guard.charge_rows_moved(copies)?;
             ExecStats::add(&ctx.stats.rows_broadcast, copies);
+            ctx.tracer.note_rows_moved(copies);
             let shared = Arc::new(rows);
             Ok(Partitioned {
                 schema,

@@ -44,90 +44,148 @@ impl fmt::Display for ExchangeMode {
 /// The executable operator tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
+    /// Scan a base table from the catalog.
     SeqScan {
+        /// Catalog table name.
         table: String,
+        /// Output schema.
         schema: SchemaRef,
     },
+    /// Scan a named temp result (CTE working table) from the registry.
     TempScan {
+        /// Temp-registry entry name.
         name: String,
+        /// Output schema.
         schema: SchemaRef,
     },
+    /// Literal rows (`VALUES ...` / `SELECT <constants>`).
     Values {
+        /// One expression list per row; evaluated against the empty row.
         rows: Vec<Vec<PlanExpr>>,
+        /// Output schema.
         schema: SchemaRef,
     },
+    /// Per-row expression evaluation.
     Project {
+        /// Input operator.
         input: Box<PhysicalPlan>,
+        /// One expression per output column.
         exprs: Vec<PlanExpr>,
+        /// Output schema.
         schema: SchemaRef,
     },
+    /// Keep rows satisfying the predicate.
     Filter {
+        /// Input operator.
         input: Box<PhysicalPlan>,
+        /// Boolean filter expression.
         predicate: PlanExpr,
     },
     /// Hash join; both inputs are expected to be co-partitioned on the key
     /// expressions (the planner inserts exchanges).
     HashJoin {
+        /// Probe side.
         left: Box<PhysicalPlan>,
+        /// Build side.
         right: Box<PhysicalPlan>,
+        /// Inner / left-outer / etc.
         join_type: JoinType,
+        /// Key expressions over the left input.
         left_keys: Vec<PlanExpr>,
+        /// Key expressions over the right input.
         right_keys: Vec<PlanExpr>,
+        /// Non-equi condition evaluated on the combined row.
         residual: Option<PlanExpr>,
+        /// Output schema (left columns then right columns).
         schema: SchemaRef,
     },
     /// Fallback join for non-equi / cross joins; inputs are gathered.
     NestedLoopJoin {
+        /// Outer input.
         left: Box<PhysicalPlan>,
+        /// Inner input.
         right: Box<PhysicalPlan>,
+        /// Inner / left-outer / etc.
         join_type: JoinType,
+        /// Join condition evaluated on the combined row.
         residual: Option<PlanExpr>,
+        /// Output schema (left columns then right columns).
         schema: SchemaRef,
     },
     /// Grouped hash aggregation (input hash-exchanged on the group key) or
     /// global aggregation (partial per partition + final merge).
     HashAggregate {
+        /// Input operator.
         input: Box<PhysicalPlan>,
+        /// Group-key expressions; empty for global aggregation.
         group: Vec<PlanExpr>,
+        /// Aggregate functions to compute.
         aggs: Vec<AggExpr>,
+        /// Output schema (group keys then aggregates).
         schema: SchemaRef,
     },
     /// Phase 1 of two-phase grouped aggregation: aggregate each partition
     /// locally, emitting `[group keys..., partial states...]` rows.
     AggregatePartial {
+        /// Input operator.
         input: Box<PhysicalPlan>,
+        /// Group-key expressions.
         group: Vec<PlanExpr>,
+        /// Aggregate functions to compute.
         aggs: Vec<AggExpr>,
+        /// Intermediate schema (group keys then partial states).
         schema: SchemaRef,
     },
     /// Phase 2: merge partial-state rows (key-exchanged between phases)
     /// into final aggregate values.
     AggregateFinal {
+        /// Input operator (an [`PhysicalPlan::AggregatePartial`] behind an
+        /// exchange).
         input: Box<PhysicalPlan>,
+        /// How many leading columns are group keys.
         group_len: usize,
+        /// Aggregate functions being finalized.
         aggs: Vec<AggExpr>,
+        /// Output schema (group keys then aggregates).
         schema: SchemaRef,
     },
+    /// Remove duplicate rows (input hash-exchanged on the full row).
     Distinct {
+        /// Input operator.
         input: Box<PhysicalPlan>,
     },
+    /// Sort the gathered result.
     Sort {
+        /// Input operator.
         input: Box<PhysicalPlan>,
+        /// Sort keys, major first.
         keys: Vec<SortKey>,
     },
+    /// Keep the first `n` rows of the gathered result.
     Limit {
+        /// Input operator.
         input: Box<PhysicalPlan>,
+        /// Row limit.
         n: u64,
     },
+    /// UNION / INTERSECT / EXCEPT.
     SetOp {
+        /// Which set operation.
         op: SetOpKind,
+        /// `true` keeps duplicates (`ALL`).
         all: bool,
+        /// Left input.
         left: Box<PhysicalPlan>,
+        /// Right input.
         right: Box<PhysicalPlan>,
+        /// Output schema.
         schema: SchemaRef,
     },
+    /// Redistribute rows between partitions (simulated network shuffle).
     Exchange {
+        /// Input operator.
         input: Box<PhysicalPlan>,
+        /// Hash / gather / broadcast.
         mode: ExchangeMode,
     },
 }
@@ -154,10 +212,10 @@ impl PhysicalPlan {
         }
     }
 
-    /// Indented physical EXPLAIN rendering.
-    pub fn display_indent(&self, indent: usize, out: &mut String) {
-        let pad = "  ".repeat(indent);
-        let line = match self {
+    /// One-line operator label, shared by EXPLAIN output and the profile
+    /// spans `EXPLAIN ANALYZE` collects.
+    pub fn describe(&self) -> String {
+        match self {
             PhysicalPlan::SeqScan { table, .. } => format!("SeqScan: {table}"),
             PhysicalPlan::TempScan { name, .. } => format!("TempScan: {name}"),
             PhysicalPlan::Values { rows, .. } => format!("Values: {} rows", rows.len()),
@@ -205,9 +263,14 @@ impl PhysicalPlan {
                 format!("{op}{}", if *all { " All" } else { "" })
             }
             PhysicalPlan::Exchange { mode, .. } => format!("Exchange: {mode}"),
-        };
+        }
+    }
+
+    /// Indented physical EXPLAIN rendering.
+    pub fn display_indent(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
         out.push_str(&pad);
-        out.push_str(&line);
+        out.push_str(&self.describe());
         out.push('\n');
         for c in self.children() {
             c.display_indent(indent + 1, out);

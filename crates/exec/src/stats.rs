@@ -78,15 +78,25 @@ impl ExecStats {
 /// A plain (non-atomic) copy of [`ExecStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
+    /// Rows that crossed a partition boundary in hash/gather exchanges.
     pub rows_moved: u64,
+    /// Rows copied to every partition by broadcast exchanges.
     pub rows_broadcast: u64,
+    /// Rows written by Materialize steps.
     pub rows_materialized: u64,
+    /// Rename operations (O(1) pointer moves).
     pub renames: u64,
+    /// Merge steps executed.
     pub merges: u64,
+    /// CTE rows scanned by merge steps.
     pub merge_rows_examined: u64,
+    /// Loop iterations executed.
     pub iterations: u64,
+    /// Rows reported as updated by merges/replaces.
     pub rows_updated: u64,
+    /// Join operators evaluated (per iteration, per join).
     pub joins_executed: u64,
+    /// Faults fired by the chaos-testing injector.
     pub faults_injected: u64,
 }
 

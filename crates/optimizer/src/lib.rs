@@ -109,9 +109,10 @@ pub fn optimize_statement(
             table,
             source: optimize(source, config)?,
         },
-        PlannedStatement::Explain(inner) => {
-            PlannedStatement::Explain(Box::new(optimize_statement(*inner, config)?))
-        }
+        PlannedStatement::Explain { statement, analyze } => PlannedStatement::Explain {
+            statement: Box::new(optimize_statement(*statement, config)?),
+            analyze,
+        },
         other => other,
     })
 }

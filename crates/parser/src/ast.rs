@@ -42,8 +42,14 @@ pub enum Statement {
         table: String,
         selection: Option<Expr>,
     },
-    /// `EXPLAIN <statement>`
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <statement>`
+    Explain {
+        /// The statement being explained.
+        statement: Box<Statement>,
+        /// `true` for `EXPLAIN ANALYZE`: execute the statement and report
+        /// actual row counts, timings and per-iteration metrics.
+        analyze: bool,
+    },
 }
 
 /// Column definition in CREATE TABLE.

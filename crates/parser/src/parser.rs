@@ -251,7 +251,11 @@ impl Parser {
     /// Parse one statement.
     pub fn parse_statement(&mut self) -> Result<Statement> {
         if self.eat_keyword("explain") {
-            return Ok(Statement::Explain(Box::new(self.parse_statement()?)));
+            let analyze = self.eat_keyword("analyze");
+            return Ok(Statement::Explain {
+                statement: Box::new(self.parse_statement()?),
+                analyze,
+            });
         }
         if self.at_keyword("select") || self.at_keyword("with") || self.at_symbol("(") {
             return Ok(Statement::Query(self.parse_query()?));
@@ -1467,7 +1471,17 @@ mod tests {
     #[test]
     fn explain_wraps_statement() {
         let stmt = parse_sql("EXPLAIN SELECT 1").unwrap();
-        assert!(matches!(stmt, Statement::Explain(_)));
+        assert!(matches!(stmt, Statement::Explain { analyze: false, .. }));
+    }
+
+    #[test]
+    fn explain_analyze_sets_flag() {
+        let stmt = parse_sql("EXPLAIN ANALYZE SELECT 1").unwrap();
+        let Statement::Explain { statement, analyze } = stmt else {
+            panic!("not an explain");
+        };
+        assert!(analyze);
+        assert!(matches!(*statement, Statement::Query(_)));
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub struct CteBinding {
 
 /// Planning context: schema provider, config, visible CTEs.
 pub struct PlanContext<'a> {
+    /// Catalog access for table schemas and primary keys.
     pub provider: &'a dyn SchemaProvider,
+    /// Feature toggles steering the iterative rewrites.
     pub config: &'a EngineConfig,
     ctes: HashMap<String, CteBinding>,
     temp_counter: u64,
@@ -80,9 +82,10 @@ pub fn plan_statement(
 ) -> Result<PlannedStatement> {
     match stmt {
         Statement::Query(q) => Ok(PlannedStatement::Query(plan_query(q, provider, config)?)),
-        Statement::Explain(inner) => Ok(PlannedStatement::Explain(Box::new(plan_statement(
-            inner, provider, config,
-        )?))),
+        Statement::Explain { statement, analyze } => Ok(PlannedStatement::Explain {
+            statement: Box::new(plan_statement(statement, provider, config)?),
+            analyze: *analyze,
+        }),
         Statement::CreateTable {
             name,
             columns,

@@ -23,11 +23,17 @@ pub struct ColumnRef {
 /// Aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
+    /// `COUNT(expr)` — non-NULL inputs.
     Count,
+    /// `COUNT(*)` — all rows.
     CountStar,
+    /// `SUM(expr)`.
     Sum,
+    /// `MIN(expr)`.
     Min,
+    /// `MAX(expr)`.
     Max,
+    /// `AVG(expr)`.
     Avg,
 }
 
@@ -48,9 +54,11 @@ impl fmt::Display for AggFunc {
 /// node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggExpr {
+    /// Which aggregate function.
     pub func: AggFunc,
     /// Argument; `None` only for `COUNT(*)`.
     pub arg: Option<PlanExpr>,
+    /// `true` for `AGG(DISTINCT ...)`.
     pub distinct: bool,
     /// Output column name.
     pub name: String,
@@ -74,23 +82,41 @@ impl AggExpr {
 /// Built-in scalar functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalarFn {
+    /// Smallest non-NULL argument.
     Least,
+    /// Largest non-NULL argument.
     Greatest,
+    /// First non-NULL argument.
     Coalesce,
+    /// Round up to an integer.
     Ceiling,
+    /// Round down to an integer.
     Floor,
+    /// Round to N digits (default 0).
     Round,
+    /// Absolute value.
     Abs,
+    /// `mod(a, b)` — same semantics as the `%` operator.
     Mod,
+    /// Square root.
     Sqrt,
+    /// `e^x`.
     Exp,
+    /// Natural logarithm.
     Ln,
+    /// `power(a, b)` = `a^b`.
     Power,
+    /// -1, 0 or 1 by sign.
     Sign,
+    /// Uppercase a string.
     Upper,
+    /// Lowercase a string.
     Lower,
+    /// Character count of a string.
     Length,
+    /// Concatenate arguments, skipping NULLs.
     Concat,
+    /// NULL when both arguments are equal, else the first.
     NullIf,
 }
 
@@ -168,27 +194,55 @@ pub enum PlanExpr {
     Literal(Value),
     /// `left op right`.
     Binary {
+        /// Left operand.
         left: Box<PlanExpr>,
+        /// Operator.
         op: BinaryOp,
+        /// Right operand.
         right: Box<PlanExpr>,
     },
     /// `op expr`.
-    Unary { op: UnaryOp, expr: Box<PlanExpr> },
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<PlanExpr>,
+    },
     /// Scalar function call.
-    Scalar { func: ScalarFn, args: Vec<PlanExpr> },
+    Scalar {
+        /// Which function.
+        func: ScalarFn,
+        /// Arguments in call order.
+        args: Vec<PlanExpr>,
+    },
     /// `CASE` (searched form; operand form is desugared by the builder).
     Case {
+        /// `(WHEN, THEN)` pairs, tried in order.
         branches: Vec<(PlanExpr, PlanExpr)>,
+        /// `ELSE` result; NULL when absent.
         else_expr: Option<Box<PlanExpr>>,
     },
     /// `CAST(expr AS type)`.
-    Cast { expr: Box<PlanExpr>, to: DataType },
+    Cast {
+        /// Input expression.
+        expr: Box<PlanExpr>,
+        /// Target type.
+        to: DataType,
+    },
     /// `expr IS [NOT] NULL`.
-    IsNull { expr: Box<PlanExpr>, negated: bool },
+    IsNull {
+        /// Tested expression.
+        expr: Box<PlanExpr>,
+        /// `true` for `IS NOT NULL`.
+        negated: bool,
+    },
     /// `expr [NOT] IN (list)`.
     InList {
+        /// Tested expression.
         expr: Box<PlanExpr>,
+        /// Candidate values.
         list: Vec<PlanExpr>,
+        /// `true` for `NOT IN`.
         negated: bool,
     },
 }

@@ -8,6 +8,8 @@
 //! materializations; the `rename`-vs-merge decision of Algorithm 1 lives in
 //! [`rewrite`].
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod expr;
 pub mod logical;

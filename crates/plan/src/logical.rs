@@ -16,10 +16,15 @@ use crate::expr::{AggExpr, PlanExpr};
 /// Join flavours at the plan level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinType {
+    /// Keep only matching row pairs.
     Inner,
+    /// Keep all left rows, NULL-padding unmatched ones.
     Left,
+    /// Keep all right rows, NULL-padding unmatched ones.
     Right,
+    /// Keep all rows from both sides.
     Full,
+    /// Cartesian product.
     Cross,
 }
 
@@ -38,8 +43,11 @@ impl fmt::Display for JoinType {
 /// Set-operation kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetOpKind {
+    /// Rows in either input.
     Union,
+    /// Rows in the left input but not the right.
     Except,
+    /// Rows in both inputs.
     Intersect,
 }
 
@@ -56,8 +64,11 @@ impl fmt::Display for SetOpKind {
 /// One ORDER BY key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SortKey {
+    /// Key expression.
     pub expr: PlanExpr,
+    /// Ascending when `true`.
     pub asc: bool,
+    /// NULLs sort before non-NULLs when `true`.
     pub nulls_first: bool,
 }
 
@@ -65,58 +76,100 @@ pub struct SortKey {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
     /// Scan of a base (catalog) table.
-    TableScan { table: String, schema: SchemaRef },
+    TableScan {
+        /// Catalog table name.
+        table: String,
+        /// Output schema.
+        schema: SchemaRef,
+    },
     /// Scan of a named intermediate result in the temp registry — CTE
     /// tables, working tables and common-result materializations.
-    TempScan { name: String, schema: SchemaRef },
+    TempScan {
+        /// Temp-registry entry name.
+        name: String,
+        /// Output schema.
+        schema: SchemaRef,
+    },
     /// Literal rows (INSERT ... VALUES, SELECT without FROM).
     Values {
+        /// Output schema.
         schema: SchemaRef,
+        /// One expression list per row.
         rows: Vec<Vec<PlanExpr>>,
     },
     /// Compute expressions over each input row.
     Projection {
+        /// Input operator.
         input: Box<LogicalPlan>,
+        /// One expression per output column.
         exprs: Vec<PlanExpr>,
+        /// Output schema.
         schema: SchemaRef,
     },
     /// Keep rows where the predicate is true.
     Filter {
+        /// Input operator.
         input: Box<LogicalPlan>,
+        /// Boolean filter expression.
         predicate: PlanExpr,
     },
     /// Join. `on` holds equi-key pairs (left expr, right expr); `filter` is
     /// the residual non-equi condition over the combined schema.
     Join {
+        /// Left input.
         left: Box<LogicalPlan>,
+        /// Right input.
         right: Box<LogicalPlan>,
+        /// Inner / left-outer / etc.
         join_type: JoinType,
+        /// Equi-key pairs (left expr, right expr).
         on: Vec<(PlanExpr, PlanExpr)>,
+        /// Residual non-equi condition over the combined schema.
         filter: Option<PlanExpr>,
+        /// Output schema (left columns then right columns).
         schema: SchemaRef,
     },
     /// Grouped aggregation. Output schema = group columns then aggregates.
     Aggregate {
+        /// Input operator.
         input: Box<LogicalPlan>,
+        /// Group-key expressions; empty for global aggregation.
         group: Vec<PlanExpr>,
+        /// Aggregate functions to compute.
         aggs: Vec<AggExpr>,
+        /// Output schema (group keys then aggregates).
         schema: SchemaRef,
     },
     /// Remove duplicate rows.
-    Distinct { input: Box<LogicalPlan> },
+    Distinct {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+    },
     /// Sort rows.
     Sort {
+        /// Input operator.
         input: Box<LogicalPlan>,
+        /// Sort keys, major first.
         keys: Vec<SortKey>,
     },
     /// Keep the first `n` rows.
-    Limit { input: Box<LogicalPlan>, n: u64 },
+    Limit {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Row limit.
+        n: u64,
+    },
     /// UNION / EXCEPT / INTERSECT.
     SetOp {
+        /// Which set operation.
         op: SetOpKind,
+        /// `true` keeps duplicates (`ALL`).
         all: bool,
+        /// Left input.
         left: Box<LogicalPlan>,
+        /// Right input.
         right: Box<LogicalPlan>,
+        /// Output schema.
         schema: SchemaRef,
     },
 }
@@ -273,9 +326,17 @@ pub enum TerminationPlan {
     Updates(u64),
     /// Stop when at least `rows` rows of the CTE table satisfy `predicate`
     /// (resolved against the CTE schema).
-    Data { predicate: PlanExpr, rows: u64 },
+    Data {
+        /// Condition checked against each CTE row.
+        predicate: PlanExpr,
+        /// Required number of satisfying rows.
+        rows: u64,
+    },
     /// Stop when fewer than `threshold` rows changed in the last iteration.
-    Delta { threshold: u64 },
+    Delta {
+        /// Changed-row count below which the loop stops.
+        threshold: u64,
+    },
 }
 
 impl fmt::Display for TerminationPlan {
@@ -313,7 +374,12 @@ pub enum LoopKind {
     /// executor appends it to the CTE table (deduplicating unless
     /// `union_all`), binds the *delta* scan to the new rows, and stops when
     /// an iteration adds nothing.
-    FixedPoint { working: String, union_all: bool },
+    FixedPoint {
+        /// Name of the working table the body materializes.
+        working: String,
+        /// `true` for `UNION ALL` recursion (no deduplication).
+        union_all: bool,
+    },
 }
 
 /// A loop step: run `body` until `termination` is satisfied.
@@ -323,8 +389,11 @@ pub struct LoopStep {
     pub cte: String,
     /// User-visible CTE name (for error messages).
     pub cte_display_name: String,
+    /// Update (iterative) or append (recursive) semantics.
     pub kind: LoopKind,
+    /// Steps executed each round.
     pub body: Vec<Step>,
+    /// When the loop stops.
     pub termination: TerminationPlan,
     /// Merge key column (index into the CTE schema).
     pub key: usize,
@@ -341,21 +410,34 @@ pub enum Step {
     /// on its key" decision, which keeps the rename path's renamed working
     /// table co-located for the next iteration's joins and merges.
     Materialize {
+        /// Temp-registry name to store under.
         name: String,
+        /// Plan producing the rows.
         plan: LogicalPlan,
+        /// Hash-distribution column, when requested.
         distribute_by: Option<usize>,
     },
     /// Re-point temp `to` at the buffer of temp `from` (the paper's new
     /// `rename` executor operator).
-    Rename { from: String, to: String },
+    Rename {
+        /// Source temp name (consumed).
+        from: String,
+        /// Destination temp name.
+        to: String,
+    },
     /// Merge `working` into `cte` by equality on column `key`, producing
     /// temp `merged` (Algorithm 1, lines 8-10). Errors on duplicate keys in
     /// the working table.
     Merge {
+        /// Temp name of the current CTE table.
         cte: String,
+        /// Temp name of this iteration's working table.
         working: String,
+        /// Temp name the merged result is stored under.
         merged: String,
+        /// Merge key (column index into the CTE schema).
         key: usize,
+        /// User-visible CTE name (for duplicate-key errors).
         cte_display_name: String,
     },
     /// Conditional repetition (the paper's new `loop` executor operator).
@@ -422,7 +504,10 @@ impl Step {
 /// A complete planned query: a step program plus the final plan (`Qf`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryPlan {
+    /// Step program executed before the final plan (empty for plain
+    /// queries).
     pub steps: Vec<Step>,
+    /// The final plan (`Qf`), run after all steps.
     pub root: LogicalPlan,
 }
 
@@ -456,38 +541,63 @@ impl QueryPlan {
 /// A planned statement: queries plus the DDL/DML the baselines need.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlannedStatement {
+    /// A SELECT (or iterative CTE query).
     Query(QueryPlan),
+    /// CREATE TABLE.
     CreateTable {
+        /// Table name.
         name: String,
+        /// Column definitions.
         schema: Schema,
+        /// Declared primary-key column.
         primary_key: Option<usize>,
+        /// Hash-partition column; defaults to the primary key.
         partition_key: Option<usize>,
+        /// `true` for `IF NOT EXISTS`.
         if_not_exists: bool,
     },
+    /// DROP TABLE.
     DropTable {
+        /// Table name.
         name: String,
+        /// `true` for `IF EXISTS`.
         if_exists: bool,
     },
     /// INSERT: the source plan produces rows already reordered/padded to
     /// the table's column order.
     Insert {
+        /// Destination table.
         table: String,
+        /// Plan producing the rows to insert.
         source: QueryPlan,
     },
     /// UPDATE with optional FROM. Assignments map table-column index to an
     /// expression over (table row ∥ from row); `from` is `None` for plain
     /// UPDATE and expressions see only the table row.
     Update {
+        /// Target table.
         table: String,
+        /// Optional FROM source joined against the target.
         from: Option<LogicalPlan>,
+        /// `(target column index, new value)` pairs.
         assignments: Vec<(usize, PlanExpr)>,
+        /// Row filter; `None` updates every row.
         predicate: Option<PlanExpr>,
     },
+    /// DELETE.
     Delete {
+        /// Target table.
         table: String,
+        /// Row filter; `None` deletes every row.
         predicate: Option<PlanExpr>,
     },
-    Explain(Box<PlannedStatement>),
+    /// EXPLAIN / EXPLAIN ANALYZE wrapper around another statement.
+    Explain {
+        /// The planned statement being explained.
+        statement: Box<PlannedStatement>,
+        /// `true` for `EXPLAIN ANALYZE`: execute and profile the statement.
+        analyze: bool,
+    },
 }
 
 #[cfg(test)]

@@ -34,6 +34,17 @@ fn main() -> Result<()> {
     let result = db.query(sql)?;
     println!("Converged values:\n{}", result.to_table());
 
+    // EXPLAIN ANALYZE executes the query and annotates the same step
+    // program with actual row counts, per-step timings and a
+    // per-iteration convergence table (delta / updated / working rows).
+    let profile = db.explain_analyze(sql)?;
+    println!("EXPLAIN ANALYZE:\n{}", profile.render());
+    // The same data is available structurally — e.g. how many iterations
+    // the loop ran — and as JSON for external tooling.
+    let iterations = profile.loops()[0].iterations.len();
+    println!("loop converged after {iterations} iterations");
+    println!("profile JSON is {} bytes", profile.to_json().len());
+
     // Execution statistics: how much data moved between the virtual MPP
     // partitions, how many rename operations replaced full copies.
     println!("stats: {}", db.take_stats());

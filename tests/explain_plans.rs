@@ -142,6 +142,104 @@ fn delta_and_data_conditions_render_in_plan() {
     assert!(text.contains("<<Type:data, N:1, Expr:"), "{text}");
 }
 
+/// Like [`db`], but with rows, so `EXPLAIN ANALYZE` has something to run.
+fn db_with_data() -> Database {
+    let database = db();
+    database
+        .execute(
+            "INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), \
+             (1, 3, 5.0), (4, 1, 1.0)",
+        )
+        .unwrap();
+    database
+        .execute("INSERT INTO vertexstatus VALUES (1, 1), (2, 1), (3, 0), (4, 1)")
+        .unwrap();
+    database
+}
+
+#[test]
+fn explain_analyze_pagerank_annotates_every_step() {
+    // The Figure-2 PR query, executed under EXPLAIN ANALYZE: the rendering
+    // must keep the Table-I step structure AND carry actual row counts,
+    // timings and a per-iteration metrics table.
+    let profile = db_with_data()
+        .explain_analyze(&pagerank(10, false).cte)
+        .unwrap();
+    let text = profile.render();
+    // Same numbered skeleton as plain EXPLAIN.
+    assert!(text.contains("1. Materialize"), "missing step 1:\n{text}");
+    assert!(
+        text.contains("Initialize loop operator <<Type:metadata, N:10 iterations, Expr:NONE>>"),
+        "missing loop init:\n{text}"
+    );
+    assert!(text.contains("Rename"), "missing rename:\n{text}");
+    assert!(text.contains("Go to step"), "missing loop-back:\n{text}");
+    // Actual per-step counters.
+    assert!(text.contains("actual rows="), "missing row counts:\n{text}");
+    assert!(
+        text.contains("execs=10"),
+        "body steps ran 10 times:\n{text}"
+    );
+    assert!(text.contains("time="), "missing timings:\n{text}");
+    // Per-iteration convergence table under the loop.
+    assert!(text.contains("iter"), "missing iteration table:\n{text}");
+    assert!(
+        text.contains("working"),
+        "missing working-size column:\n{text}"
+    );
+    // Structured view: one loop with ten iteration records, operators
+    // nested under steps, and rows moved through exchanges accounted.
+    let loops = profile.loops();
+    assert_eq!(loops.len(), 1);
+    assert_eq!(loops[0].iterations.len(), 10);
+    assert!(loops[0].iterations.iter().all(|it| it.working_rows == 4));
+    assert!(profile.find("SeqScan: edges").is_some(), "{text}");
+    let materialize = profile.find("Materialize").unwrap();
+    assert!(
+        !materialize.children.is_empty(),
+        "operators nest under steps"
+    );
+}
+
+#[test]
+fn explain_analyze_delta_termination_reports_convergence() {
+    // Delta termination stops when fewer than 5 rows change; v saturates
+    // at 10 via LEAST, so deltas shrink monotonically to zero.
+    let profile = db_with_data()
+        .explain_analyze(
+            "WITH ITERATIVE t (k, v) AS (SELECT src, 0 FROM edges \
+             ITERATE SELECT k, LEAST(v + 3, 10) FROM t \
+             UNTIL DELTA < 1) SELECT * FROM t",
+        )
+        .unwrap();
+    let text = profile.render();
+    assert!(text.contains("<<Type:delta, N:1, Expr:NONE>>"), "{text}");
+    let loops = profile.loops();
+    assert_eq!(loops.len(), 1);
+    let iters = &loops[0].iterations;
+    // 0 -> 3 -> 6 -> 9 -> 10 -> 10: four changing iterations then a
+    // zero-delta one that triggers termination.
+    assert_eq!(iters.len(), 5, "{text}");
+    assert_eq!(iters.last().unwrap().delta_rows, 0);
+    assert!(
+        iters.windows(2).all(|w| w[1].delta_rows <= w[0].delta_rows),
+        "deltas must not grow: {iters:?}"
+    );
+}
+
+#[test]
+fn explain_analyze_json_round_trips_from_sql() {
+    use spinner_engine::QueryProfile;
+    let profile = db_with_data()
+        .explain_analyze(&pagerank(5, false).cte)
+        .unwrap();
+    let json = profile.to_json();
+    let back = QueryProfile::from_json(&json).unwrap();
+    assert_eq!(back, profile);
+    assert!(json.contains("\"iterations\""));
+    assert!(json.contains("\"rows_moved\""));
+}
+
 #[test]
 fn merge_path_explain_shows_merge_step() {
     let text = db()

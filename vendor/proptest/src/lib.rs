@@ -1,8 +1,8 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build container has no crates.io access, so the workspace vendors
-//! the proptest API slice its tests use: the [`Strategy`] trait with
-//! `prop_map` / `prop_flat_map` / `prop_recursive`, [`BoxedStrategy`]
+//! the proptest API slice its tests use: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive`, [`BoxedStrategy`](strategy::BoxedStrategy)
 //! (cloneable), `Just`, `any::<bool>()`, simple `"[a-d]"` character-class
 //! string strategies, integer-range strategies, `collection::vec`,
 //! `option::of`, and the `proptest!` / `prop_oneof!` / `prop_assert!` /
@@ -359,7 +359,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length bounds for [`vec`]; converts from `usize` and ranges.
+    /// Length bounds for [`vec()`]; converts from `usize` and ranges.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
