@@ -7,12 +7,13 @@
 //! cargo run --release -p spinner-bench --bin repro -- fig8    # one artifact
 //! ```
 //!
-//! Artifacts: `table1`, `fig8`, `fig9`, `fig10`, `fig11`, `convergence`.
+//! Artifacts: `table1`, `fig8`, `fig9`, `fig10`, `fig11`, `convergence`,
+//! `recovery`.
 
 use std::time::{Duration, Instant};
 
 use spinner_bench::{setup_db, BenchDataset, ITERATIONS};
-use spinner_engine::{Database, EngineConfig, Result};
+use spinner_engine::{Database, EngineConfig, FaultConfig, FaultSite, Result, Value};
 use spinner_procedural::{ff, pagerank, run_script, sssp, ProcedureScript};
 
 fn main() {
@@ -24,16 +25,18 @@ fn main() {
         "fig10" => fig10(),
         "fig11" => fig11(),
         "convergence" => convergence(),
+        "recovery" => recovery(),
         "all" => table1()
             .and_then(|()| fig8())
             .and_then(|()| fig9())
             .and_then(|()| fig10())
             .and_then(|()| fig11())
-            .and_then(|()| convergence()),
+            .and_then(|()| convergence())
+            .and_then(|()| recovery()),
         other => {
             eprintln!(
                 "repro: unknown artifact '{other}'; \
-                 use table1|fig8|fig9|fig10|fig11|convergence|all"
+                 use table1|fig8|fig9|fig10|fig11|convergence|recovery|all"
             );
             std::process::exit(1);
         }
@@ -223,6 +226,84 @@ fn fig11() -> Result<()> {
     }
     println!("(paper: CTE ≥25% faster than procedures for PR/SSSP, ~80% for FF)");
     Ok(())
+}
+
+/// Recovery: checkpoint-interval overhead on fault-free PageRank, then a
+/// mid-loop fault with rollback-and-replay, on the fig-8-scale dataset.
+fn recovery() -> Result<()> {
+    header("Recovery — checkpoint overhead and mid-loop replay (PR, 25 iterations, dblp-like)");
+    let sql = pagerank(ITERATIONS, false).cte;
+
+    // Part 1: what does checkpointing cost when nothing fails?
+    println!(
+        "{:<10} {:>14} {:>9} {:>12} {:>12}",
+        "interval", "time", "overhead", "checkpoints", "ckpt_bytes"
+    );
+    let mut baseline: Option<Duration> = None;
+    for interval in [0u64, 5, 1] {
+        let db = setup_db(
+            BenchDataset::DblpLike,
+            EngineConfig::default().with_checkpoint_interval(interval),
+            false,
+        );
+        let t = time_query(&db, &sql)?;
+        let stats = db.take_stats();
+        let overhead = match baseline {
+            None => {
+                baseline = Some(t);
+                "—".to_string()
+            }
+            Some(base) => format!("{:+.1}%", -improvement(base, t)),
+        };
+        println!(
+            "{:<10} {:>14.2?} {:>9} {:>12} {:>12}",
+            interval, t, overhead, stats.checkpoints_taken, stats.checkpoint_bytes,
+        );
+    }
+
+    // Part 2: kill iteration 13 (past the interval-5 checkpoint at 10)
+    // and let the loop roll back and replay. The recovered run must be
+    // row-identical to the fault-free run.
+    let clean_db = setup_db(BenchDataset::DblpLike, EngineConfig::default(), false);
+    let clean_rows = sorted_rows(&clean_db.query(&sql)?);
+    let faulty_db = setup_db(
+        BenchDataset::DblpLike,
+        EngineConfig::default()
+            .with_checkpoint_interval(5)
+            .with_max_loop_recoveries(2)
+            .with_fault(FaultConfig::fail_nth(FaultSite::LoopIteration, 13)),
+        false,
+    );
+    let t = Instant::now();
+    let recovered_rows = sorted_rows(&faulty_db.query(&sql)?);
+    let elapsed = t.elapsed();
+    let stats = faulty_db.take_stats();
+    if recovered_rows != clean_rows {
+        return Err(spinner_engine::Error::execution(
+            "recovered run diverged from the fault-free run",
+        ));
+    }
+    println!(
+        "\nmid-loop fault at iteration 13, checkpoint_interval=5: \
+         recovered in {elapsed:.2?}, rows identical to fault-free"
+    );
+    println!(
+        "  rollbacks={} iterations_replayed={} checkpoints={} ckpt_bytes={} retries={}",
+        stats.loop_rollbacks,
+        stats.iterations_replayed,
+        stats.checkpoints_taken,
+        stats.checkpoint_bytes,
+        stats.partition_retries + stats.step_retries,
+    );
+    println!("(checkpoints are Arc snapshots: O(partitions) per table, not row copies)");
+    Ok(())
+}
+
+/// Rows of a batch, sorted, for order-insensitive comparison.
+fn sorted_rows(batch: &spinner_engine::Batch) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = batch.rows().iter().map(|r| r.to_vec()).collect();
+    rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rows
 }
 
 /// Convergence curves from a single `EXPLAIN ANALYZE` run: per-iteration

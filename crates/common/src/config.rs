@@ -80,6 +80,28 @@ pub struct EngineConfig {
     /// deterministic: triggered by hit count or a seeded PRNG, never by
     /// wall-clock or global randomness.
     pub faults: Vec<FaultConfig>,
+    /// Snapshot the live loop state (CTE table, working/delta tables, loop
+    /// counters) every this many iterations. `0` disables periodic
+    /// checkpoints; when [`max_loop_recoveries`](Self::max_loop_recoveries)
+    /// is non-zero an entry checkpoint is still taken at iteration 0 so a
+    /// rollback always has a target. Snapshots are cheap: `Partitioned`
+    /// clones are O(partitions) `Arc` bumps over shared immutable row
+    /// buffers (copy-on-write), not row copies.
+    pub checkpoint_interval: u64,
+    /// Bounded retries for a *transient* failure of one unit of work (a
+    /// partition worker closure, or a non-loop step re-run against its
+    /// unchanged input snapshot) before the failure escalates. `0` = no
+    /// retry, the PR-1 fail-fast behaviour.
+    pub max_partition_retries: u64,
+    /// Base of the deterministic backoff between retries, in milliseconds;
+    /// attempt `k` sleeps `retry_backoff_ms * 2^(k-1)` (capped). `0` =
+    /// retry immediately, the right setting for tests.
+    pub retry_backoff_ms: u64,
+    /// How many times a loop may roll back to its last checkpoint and
+    /// replay after retries are exhausted inside the loop body. `0`
+    /// disables mid-loop recovery; exhausting a non-zero budget yields
+    /// `Error::RecoveryExhausted`.
+    pub max_loop_recoveries: u64,
 }
 
 impl Default for EngineConfig {
@@ -98,6 +120,10 @@ impl Default for EngineConfig {
             max_rows_moved: None,
             max_intermediate_bytes: None,
             faults: Vec::new(),
+            checkpoint_interval: 0,
+            max_partition_retries: 0,
+            retry_backoff_ms: 0,
+            max_loop_recoveries: 0,
         }
     }
 }
@@ -190,6 +216,50 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter for the checkpoint interval (0 = off).
+    pub fn with_checkpoint_interval(mut self, every_n_iterations: u64) -> Self {
+        self.checkpoint_interval = every_n_iterations;
+        self
+    }
+
+    /// Builder-style setter for the transient-retry budget per unit of
+    /// work (0 = fail fast).
+    pub fn with_max_partition_retries(mut self, retries: u64) -> Self {
+        self.max_partition_retries = retries;
+        self
+    }
+
+    /// Builder-style setter for the deterministic retry backoff base.
+    pub fn with_retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.retry_backoff_ms = ms;
+        self
+    }
+
+    /// Builder-style setter for the mid-loop recovery budget (0 = off).
+    pub fn with_max_loop_recoveries(mut self, recoveries: u64) -> Self {
+        self.max_loop_recoveries = recoveries;
+        self
+    }
+
+    /// Apply a whole [`RecoveryPolicy`] at once.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.checkpoint_interval = policy.checkpoint_interval;
+        self.max_partition_retries = policy.max_partition_retries;
+        self.retry_backoff_ms = policy.retry_backoff_ms;
+        self.max_loop_recoveries = policy.max_loop_recoveries;
+        self
+    }
+
+    /// The recovery-related knobs bundled as a [`RecoveryPolicy`].
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        RecoveryPolicy {
+            checkpoint_interval: self.checkpoint_interval,
+            max_partition_retries: self.max_partition_retries,
+            retry_backoff_ms: self.retry_backoff_ms,
+            max_loop_recoveries: self.max_loop_recoveries,
+        }
+    }
+
     /// Validate the configuration; `Database::new` calls this so a bad
     /// config is a structured [`crate::Error::InvalidConfig`], not a
     /// process abort.
@@ -209,6 +279,12 @@ impl EngineConfig {
             return Err(Error::InvalidConfig(
                 "query_timeout_ms of 0 would reject every statement; use None for unlimited".into(),
             ));
+        }
+        if self.retry_backoff_ms > 60_000 {
+            return Err(Error::InvalidConfig(format!(
+                "retry_backoff_ms {} exceeds the 60s sanity cap",
+                self.retry_backoff_ms
+            )));
         }
         for fault in &self.faults {
             match fault.trigger {
@@ -246,6 +322,67 @@ pub enum FaultSite {
     LoopIteration,
     /// Inside a per-partition worker closure (parallel or sequential).
     Worker,
+    /// While a loop checkpoint is being snapshotted. A firing here must
+    /// never corrupt the live loop state or the previous checkpoint.
+    Checkpoint,
+    /// While a rollback is restoring a checkpoint. Fires *before* any
+    /// table is put back, so a failed restore leaves the registry as the
+    /// failed iteration left it and consumes another recovery attempt.
+    Recovery,
+}
+
+/// The recovery-related knobs of an [`EngineConfig`], bundled so callers
+/// can switch coherent presets instead of tuning four numbers.
+///
+/// Apply with [`EngineConfig::with_recovery`] or
+/// `Database::set_recovery_policy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryPolicy {
+    /// See [`EngineConfig::checkpoint_interval`].
+    pub checkpoint_interval: u64,
+    /// See [`EngineConfig::max_partition_retries`].
+    pub max_partition_retries: u64,
+    /// See [`EngineConfig::retry_backoff_ms`].
+    pub retry_backoff_ms: u64,
+    /// See [`EngineConfig::max_loop_recoveries`].
+    pub max_loop_recoveries: u64,
+}
+
+impl RecoveryPolicy {
+    /// Everything off — the PR-1 fail-fast behaviour (the default).
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            checkpoint_interval: 0,
+            max_partition_retries: 0,
+            retry_backoff_ms: 0,
+            max_loop_recoveries: 0,
+        }
+    }
+
+    /// A balanced production preset: checkpoint every 5 iterations, two
+    /// in-place retries per unit of work, immediate retry (no backoff),
+    /// and up to three rollback-and-replay recoveries per loop.
+    pub fn standard() -> Self {
+        RecoveryPolicy {
+            checkpoint_interval: 5,
+            max_partition_retries: 2,
+            retry_backoff_ms: 0,
+            max_loop_recoveries: 3,
+        }
+    }
+
+    /// Whether any recovery mechanism is active.
+    pub fn is_enabled(&self) -> bool {
+        self.checkpoint_interval > 0
+            || self.max_partition_retries > 0
+            || self.max_loop_recoveries > 0
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
 }
 
 /// What happens when a fault fires.
@@ -395,6 +532,47 @@ mod tests {
     #[test]
     fn zero_timeout_rejected() {
         let c = EngineConfig::default().with_query_timeout_ms(0);
+        assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn recovery_defaults_to_disabled() {
+        let c = EngineConfig::default();
+        assert_eq!(c.checkpoint_interval, 0);
+        assert_eq!(c.max_partition_retries, 0);
+        assert_eq!(c.retry_backoff_ms, 0);
+        assert_eq!(c.max_loop_recoveries, 0);
+        assert!(!c.recovery_policy().is_enabled());
+        assert_eq!(c.recovery_policy(), RecoveryPolicy::disabled());
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::disabled());
+    }
+
+    #[test]
+    fn recovery_policy_round_trips_through_config() {
+        let policy = RecoveryPolicy::standard();
+        assert!(policy.is_enabled());
+        let c = EngineConfig::default().with_recovery(policy);
+        assert_eq!(c.recovery_policy(), policy);
+        assert!(c.validate().is_ok());
+        let c = EngineConfig::default()
+            .with_checkpoint_interval(7)
+            .with_max_partition_retries(1)
+            .with_retry_backoff_ms(2)
+            .with_max_loop_recoveries(4);
+        assert_eq!(
+            c.recovery_policy(),
+            RecoveryPolicy {
+                checkpoint_interval: 7,
+                max_partition_retries: 1,
+                retry_backoff_ms: 2,
+                max_loop_recoveries: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn huge_backoff_rejected() {
+        let c = EngineConfig::default().with_retry_backoff_ms(120_000);
         assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
     }
 }

@@ -91,6 +91,31 @@ pub enum Error {
     },
     /// The engine configuration failed validation.
     InvalidConfig(String),
+    /// Mid-loop recovery gave up: every rollback budgeted by
+    /// `max_loop_recoveries` was spent and the loop still failed. Carries
+    /// the error that exhausted the budget.
+    RecoveryExhausted {
+        /// The iterative CTE's user-visible name.
+        cte: String,
+        /// Recovery attempts consumed before giving up.
+        recoveries: u64,
+        /// The failure that exhausted the budget.
+        source: Box<Error>,
+    },
+}
+
+/// Coarse failure classification used by the recovery subsystem.
+///
+/// Transient errors (injected faults, worker panics, I/O) are worth
+/// retrying against the same input snapshot; fatal errors (bad SQL, type
+/// errors, tripped budgets, user cancellation) are deterministic or
+/// intentional, and retrying them only wastes the recovery budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Plausibly transient: re-running the same work may succeed.
+    Transient,
+    /// Deterministic or user-initiated: retrying cannot help.
+    Fatal,
 }
 
 impl Error {
@@ -128,6 +153,27 @@ impl Error {
     /// Unsupported-feature error.
     pub fn unsupported(message: impl Into<String>) -> Self {
         Error::Unsupported(message.into())
+    }
+
+    /// Classify this error for the recovery subsystem.
+    ///
+    /// Injected faults, caught worker panics, and I/O errors are
+    /// [`ErrorClass::Transient`]; everything else — including cancellation,
+    /// deadlines, and resource budgets, which represent deliberate limits —
+    /// is [`ErrorClass::Fatal`].
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            Error::FaultInjected { .. } | Error::WorkerPanicked { .. } | Error::Io(_) => {
+                ErrorClass::Transient
+            }
+            _ => ErrorClass::Fatal,
+        }
+    }
+
+    /// Whether the recovery subsystem may retry work that failed with this
+    /// error. Shorthand for `self.class() == ErrorClass::Transient`.
+    pub fn is_retryable(&self) -> bool {
+        self.class() == ErrorClass::Transient
     }
 }
 
@@ -183,6 +229,14 @@ impl fmt::Display for Error {
             }
             Error::FaultInjected { site } => write!(f, "injected fault at {site}"),
             Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::RecoveryExhausted {
+                cte,
+                recoveries,
+                source,
+            } => write!(
+                f,
+                "iterative CTE '{cte}' failed after {recoveries} recovery attempt(s): {source}"
+            ),
         }
     }
 }
@@ -235,5 +289,49 @@ mod tests {
         };
         assert!(w.to_string().contains("partition 3"));
         assert!(w.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn classification_separates_transient_from_fatal() {
+        assert!(Error::FaultInjected {
+            site: "worker".into()
+        }
+        .is_retryable());
+        assert!(Error::WorkerPanicked {
+            partition: 0,
+            message: "boom".into()
+        }
+        .is_retryable());
+        assert!(Error::Io("disk".into()).is_retryable());
+        assert_eq!(Error::Cancelled.class(), ErrorClass::Fatal);
+        assert_eq!(
+            Error::InvalidConfig("bad".into()).class(),
+            ErrorClass::Fatal
+        );
+        assert_eq!(
+            Error::Timeout {
+                elapsed_ms: 2,
+                limit_ms: 1
+            }
+            .class(),
+            ErrorClass::Fatal
+        );
+        assert_eq!(Error::execution("oops").class(), ErrorClass::Fatal);
+    }
+
+    #[test]
+    fn recovery_exhausted_wraps_its_source() {
+        let e = Error::RecoveryExhausted {
+            cte: "pr".into(),
+            recoveries: 3,
+            source: Box::new(Error::WorkerPanicked {
+                partition: 1,
+                message: "boom".into(),
+            }),
+        };
+        assert!(e.to_string().contains("after 3 recovery attempt(s)"));
+        assert!(e.to_string().contains("partition 1"));
+        // Exhaustion itself is terminal, never retried again.
+        assert_eq!(e.class(), ErrorClass::Fatal);
     }
 }

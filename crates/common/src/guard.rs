@@ -82,6 +82,7 @@ impl Budget {
 #[derive(Debug)]
 pub struct QueryGuard {
     cancelled: AtomicBool,
+    worker_abort: AtomicBool,
     started: Instant,
     deadline: Option<Instant>,
     limit_ms: u64,
@@ -104,6 +105,7 @@ impl QueryGuard {
     pub fn unlimited() -> Self {
         QueryGuard {
             cancelled: AtomicBool::new(false),
+            worker_abort: AtomicBool::new(false),
             started: Instant::now(),
             deadline: None,
             limit_ms: 0,
@@ -120,6 +122,7 @@ impl QueryGuard {
         let started = Instant::now();
         QueryGuard {
             cancelled: AtomicBool::new(false),
+            worker_abort: AtomicBool::new(false),
             started,
             deadline: config
                 .query_timeout_ms
@@ -166,8 +169,36 @@ impl QueryGuard {
     }
 
     /// Whether [`QueryGuard::cancel`] has been called.
+    ///
+    /// Reflects *external* cancellation only — internal worker aborts
+    /// (see [`QueryGuard::abort_workers`]) do not show up here.
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Request an *internal* stop of in-flight sibling workers, e.g.
+    /// because one partition exhausted its retries. Like [`cancel`] this
+    /// makes the next [`check`] fail with [`Error::Cancelled`], but unlike
+    /// external cancellation it is clearable: the recovery subsystem calls
+    /// [`clear_worker_abort`] before replaying from a checkpoint.
+    ///
+    /// [`cancel`]: QueryGuard::cancel
+    /// [`check`]: QueryGuard::check
+    /// [`clear_worker_abort`]: QueryGuard::clear_worker_abort
+    pub fn abort_workers(&self) {
+        self.worker_abort.store(true, Ordering::Release);
+    }
+
+    /// Whether an internal worker abort is pending (and not yet cleared).
+    pub fn worker_abort_requested(&self) -> bool {
+        self.worker_abort.load(Ordering::Acquire)
+    }
+
+    /// Clear a pending internal worker abort so a rollback can replay.
+    /// External cancellation ([`QueryGuard::cancel`]) is sticky and is
+    /// *not* cleared by this.
+    pub fn clear_worker_abort(&self) {
+        self.worker_abort.store(false, Ordering::Release);
     }
 
     /// Milliseconds since the guard was created.
@@ -179,7 +210,7 @@ impl QueryGuard {
     /// [`Error::Timeout`]. Called at operator batch boundaries, between
     /// step-program steps, and at every loop iteration.
     pub fn check(&self) -> Result<()> {
-        if self.is_cancelled() {
+        if self.is_cancelled() || self.worker_abort_requested() {
             return Err(Error::Cancelled);
         }
         if let Some(deadline) = self.deadline {
@@ -293,6 +324,29 @@ mod tests {
         assert!(g.charge_rows_materialized(1000).is_ok());
         assert!(g.charge_intermediate_bytes(1000).is_ok());
         assert!(g.charge_rows_moved(11).is_err());
+    }
+
+    #[test]
+    fn worker_abort_trips_check_but_is_clearable() {
+        let g = QueryGuard::unlimited();
+        g.abort_workers();
+        assert!(g.worker_abort_requested());
+        assert_eq!(g.check(), Err(Error::Cancelled));
+        // Not an external cancellation...
+        assert!(!g.is_cancelled());
+        // ...and recovery can clear it and resume.
+        g.clear_worker_abort();
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn external_cancel_survives_worker_abort_clear() {
+        let g = QueryGuard::unlimited();
+        g.cancel();
+        g.abort_workers();
+        g.clear_worker_abort();
+        assert_eq!(g.check(), Err(Error::Cancelled));
+        assert!(g.is_cancelled());
     }
 
     #[test]

@@ -16,10 +16,10 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
-pub use config::{EngineConfig, FaultConfig, FaultKind, FaultSite, FaultTrigger};
-pub use error::{Error, Result};
+pub use config::{EngineConfig, FaultConfig, FaultKind, FaultSite, FaultTrigger, RecoveryPolicy};
+pub use error::{Error, ErrorClass, Result};
 pub use guard::QueryGuard;
-pub use profile::{IterationProfile, ProfileNode, QueryProfile, SpanKind, Tracer};
+pub use profile::{IterationProfile, ProfileNode, QueryProfile, RecoveryProfile, SpanKind, Tracer};
 pub use row::{batch_of, row_of, Batch, Row};
 pub use schema::{Field, Schema, SchemaRef};
 pub use value::{DataType, Value};

@@ -74,6 +74,48 @@ pub struct IterationProfile {
     pub elapsed_us: u64,
 }
 
+/// Recovery events attributed to one span — the `EXPLAIN ANALYZE` view
+/// of the checkpoint/retry/rollback machinery. All-zero (and omitted
+/// from JSON) unless the recovery subsystem did something.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryProfile {
+    /// Checkpoints snapshotted for this loop (including the entry
+    /// checkpoint at iteration 0).
+    pub checkpoints_taken: u64,
+    /// Total estimated bytes captured by those snapshots.
+    pub bytes_snapshotted: u64,
+    /// In-place transient retries (partition workers and step re-runs).
+    pub retries: u64,
+    /// Rollbacks to the last checkpoint after retries were exhausted.
+    pub rollbacks: u64,
+    /// Iterations re-executed due to rollbacks (the failed iteration
+    /// counts: it runs again).
+    pub iterations_replayed: u64,
+    /// Inclusive iteration ranges re-executed, one per rollback.
+    pub replayed_ranges: Vec<(u64, u64)>,
+}
+
+impl RecoveryProfile {
+    /// Whether the recovery subsystem recorded anything on this span.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints_taken == 0
+            && self.bytes_snapshotted == 0
+            && self.retries == 0
+            && self.rollbacks == 0
+            && self.iterations_replayed == 0
+            && self.replayed_ranges.is_empty()
+    }
+
+    fn absorb(&mut self, other: RecoveryProfile) {
+        self.checkpoints_taken += other.checkpoints_taken;
+        self.bytes_snapshotted += other.bytes_snapshotted;
+        self.retries += other.retries;
+        self.rollbacks += other.rollbacks;
+        self.iterations_replayed += other.iterations_replayed;
+        self.replayed_ranges.extend(other.replayed_ranges);
+    }
+}
+
 /// One node of the profile tree: a step, operator or loop with its
 /// actual (not estimated) runtime counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +139,9 @@ pub struct ProfileNode {
     pub execs: u64,
     /// Per-iteration metrics; non-empty only for [`SpanKind::Loop`].
     pub iterations: Vec<IterationProfile>,
+    /// Recovery events (checkpoints, retries, rollbacks) charged to this
+    /// span; all-zero unless recovery is enabled and something failed.
+    pub recovery: RecoveryProfile,
     /// Child spans (operators under a step, steps under a loop).
     pub children: Vec<ProfileNode>,
 }
@@ -112,6 +157,7 @@ impl ProfileNode {
             elapsed_us: 0,
             execs: 0,
             iterations: Vec::new(),
+            recovery: RecoveryProfile::default(),
             children: Vec::new(),
         }
     }
@@ -126,6 +172,7 @@ impl ProfileNode {
         self.elapsed_us += other.elapsed_us;
         self.execs += other.execs;
         self.iterations.extend(other.iterations);
+        self.recovery.absorb(other.recovery);
         for (i, child) in other.children.into_iter().enumerate() {
             match self.children.get_mut(i) {
                 Some(mine) if mine.label == child.label && mine.kind == child.kind => {
@@ -154,7 +201,7 @@ impl ProfileNode {
     }
 
     fn to_json_value(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("label".into(), Json::Str(self.label.clone())),
             ("kind".into(), Json::Str(self.kind.as_str().into())),
             ("rows_out".into(), Json::Num(self.rows_out)),
@@ -183,7 +230,40 @@ impl ProfileNode {
                 "children".into(),
                 Json::Arr(self.children.iter().map(|c| c.to_json_value()).collect()),
             ),
-        ])
+        ];
+        // Keep untraced-recovery profiles byte-identical to the PR-2
+        // format: the key appears only when recovery did something.
+        if !self.recovery.is_empty() {
+            let r = &self.recovery;
+            fields.push((
+                "recovery".into(),
+                Json::Obj(vec![
+                    ("checkpoints_taken".into(), Json::Num(r.checkpoints_taken)),
+                    ("bytes_snapshotted".into(), Json::Num(r.bytes_snapshotted)),
+                    ("retries".into(), Json::Num(r.retries)),
+                    ("rollbacks".into(), Json::Num(r.rollbacks)),
+                    (
+                        "iterations_replayed".into(),
+                        Json::Num(r.iterations_replayed),
+                    ),
+                    (
+                        "replayed_ranges".into(),
+                        Json::Arr(
+                            r.replayed_ranges
+                                .iter()
+                                .map(|&(from, to)| {
+                                    Json::Obj(vec![
+                                        ("from".into(), Json::Num(from)),
+                                        ("to".into(), Json::Num(to)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     fn from_json_value(v: &Json) -> Result<ProfileNode> {
@@ -207,6 +287,33 @@ impl ProfileNode {
             .iter()
             .map(ProfileNode::from_json_value)
             .collect::<Result<_>>()?;
+        let recovery = match Json::get_opt(obj, "recovery") {
+            None => RecoveryProfile::default(),
+            Some(v) => {
+                let o = v.as_obj("recovery")?;
+                RecoveryProfile {
+                    checkpoints_taken: Json::get(o, "checkpoints_taken")?
+                        .as_num("checkpoints_taken")?,
+                    bytes_snapshotted: Json::get(o, "bytes_snapshotted")?
+                        .as_num("bytes_snapshotted")?,
+                    retries: Json::get(o, "retries")?.as_num("retries")?,
+                    rollbacks: Json::get(o, "rollbacks")?.as_num("rollbacks")?,
+                    iterations_replayed: Json::get(o, "iterations_replayed")?
+                        .as_num("iterations_replayed")?,
+                    replayed_ranges: Json::get(o, "replayed_ranges")?
+                        .as_arr("replayed_ranges")?
+                        .iter()
+                        .map(|r| {
+                            let ro = r.as_obj("replayed range")?;
+                            Ok((
+                                Json::get(ro, "from")?.as_num("from")?,
+                                Json::get(ro, "to")?.as_num("to")?,
+                            ))
+                        })
+                        .collect::<Result<_>>()?,
+                }
+            }
+        };
         Ok(ProfileNode {
             label: Json::get(obj, "label")?.as_str("label")?.to_string(),
             kind: SpanKind::parse(Json::get(obj, "kind")?.as_str("kind")?)?,
@@ -216,6 +323,7 @@ impl ProfileNode {
             elapsed_us: Json::get(obj, "elapsed_us")?.as_num("elapsed_us")?,
             execs: Json::get(obj, "execs")?.as_num("execs")?,
             iterations,
+            recovery,
             children,
         })
     }
@@ -320,11 +428,36 @@ fn metrics_suffix(node: &ProfileNode) -> String {
     s
 }
 
+fn render_recovery(node: &ProfileNode, pad: &str, out: &mut String) {
+    if node.recovery.is_empty() {
+        return;
+    }
+    let r = &node.recovery;
+    let ranges = r
+        .replayed_ranges
+        .iter()
+        .map(|(from, to)| format!("{from}-{to}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let _ = writeln!(
+        out,
+        "{pad}   recovery: checkpoints={} ({} B), retries={}, rollbacks={}, \
+         replayed={} [{}]",
+        r.checkpoints_taken,
+        r.bytes_snapshotted,
+        r.retries,
+        r.rollbacks,
+        r.iterations_replayed,
+        ranges
+    );
+}
+
 fn render_node(node: &ProfileNode, step_no: &mut usize, indent: usize, out: &mut String) {
     let pad = "  ".repeat(indent);
     match node.kind {
         SpanKind::Operator => {
             let _ = writeln!(out, "{pad}{}  {}", node.label, metrics_suffix(node));
+            render_recovery(node, &pad, out);
             for c in &node.children {
                 render_node(c, step_no, indent + 1, out);
             }
@@ -337,6 +470,7 @@ fn render_node(node: &ProfileNode, step_no: &mut usize, indent: usize, out: &mut
                 metrics_suffix(node)
             );
             *step_no += 1;
+            render_recovery(node, &pad, out);
             for c in &node.children {
                 render_node(c, step_no, indent + 2, out);
             }
@@ -377,6 +511,7 @@ fn render_node(node: &ProfileNode, step_no: &mut usize, indent: usize, out: &mut
                     );
                 }
             }
+            render_recovery(node, &pad, out);
         }
     }
 }
@@ -557,6 +692,65 @@ impl Tracer {
         });
     }
 
+    /// Discard the current (failed) loop iteration: drop the partial body
+    /// spans opened since [`Tracer::begin_iteration`] without folding them
+    /// into the aggregated children, and close the iteration timer. The
+    /// recovery subsystem calls this before rolling back; the rollback
+    /// itself is recorded via [`Tracer::note_rollback`].
+    pub fn abort_iteration(&self) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(frame) = self.lock().stack.last_mut() {
+            let base = frame.iter_base;
+            if frame.node.children.len() > base {
+                frame.node.children.truncate(base);
+            }
+            frame.iter_started = None;
+        }
+    }
+
+    /// Attribute a recovery event to the innermost open *loop* span, or —
+    /// for retries outside any loop (e.g. the final `Return` query) — to
+    /// the innermost span.
+    fn with_recovery(&self, f: impl FnOnce(&mut RecoveryProfile)) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.lock();
+        let idx = state
+            .stack
+            .iter()
+            .rposition(|fr| fr.node.kind == SpanKind::Loop)
+            .or_else(|| state.stack.len().checked_sub(1));
+        if let Some(i) = idx {
+            f(&mut state.stack[i].node.recovery);
+        }
+    }
+
+    /// Record a checkpoint snapshot of `bytes` estimated bytes.
+    pub fn note_checkpoint(&self, bytes: u64) {
+        self.with_recovery(|r| {
+            r.checkpoints_taken += 1;
+            r.bytes_snapshotted += bytes;
+        });
+    }
+
+    /// Record one in-place transient retry (partition worker or step).
+    pub fn note_retry(&self) {
+        self.with_recovery(|r| r.retries += 1);
+    }
+
+    /// Record a rollback that will replay iterations `replay_from` through
+    /// `failed_iteration` inclusive.
+    pub fn note_rollback(&self, replay_from: u64, failed_iteration: u64) {
+        self.with_recovery(|r| {
+            r.rollbacks += 1;
+            r.iterations_replayed += failed_iteration.saturating_sub(replay_from) + 1;
+            r.replayed_ranges.push((replay_from, failed_iteration));
+        });
+    }
+
     /// Consume the collected spans into a [`QueryProfile`]. Any spans
     /// still open (error paths) are closed with zero output.
     pub fn finish(&self) -> QueryProfile {
@@ -639,6 +833,10 @@ impl Json {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
             .ok_or_else(|| Error::execution(format!("missing JSON key '{key}'")))
+    }
+
+    fn get_opt<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
     fn as_obj(&self, what: &str) -> Result<&[(String, Json)]> {
@@ -946,6 +1144,74 @@ mod tests {
         let p = tracer.finish();
         assert_eq!(p.roots.len(), 1);
         assert_eq!(p.roots[0].children.len(), 1);
+    }
+
+    fn recovery_profile() -> QueryProfile {
+        let tracer = Tracer::new();
+        tracer.enter(SpanKind::Loop, "Initialize loop operator for t".into());
+        tracer.note_checkpoint(128);
+        tracer.begin_iteration();
+        tracer.enter(SpanKind::Step, "Materialize __work_t".into());
+        tracer.exit(10, 80);
+        tracer.end_iteration(10, 10, 10);
+        // Iteration 2 fails mid-body: partial span discarded, rollback to
+        // the entry checkpoint, iterations 1-2 replayed.
+        tracer.begin_iteration();
+        tracer.enter(SpanKind::Step, "Materialize __work_t".into());
+        tracer.exit(3, 24);
+        tracer.abort_iteration();
+        tracer.note_rollback(1, 2);
+        tracer.exit(10, 80);
+        tracer.finish()
+    }
+
+    #[test]
+    fn recovery_events_attach_to_the_loop_span() {
+        let p = recovery_profile();
+        let loop_node = &p.roots[0];
+        assert_eq!(loop_node.recovery.checkpoints_taken, 1);
+        assert_eq!(loop_node.recovery.bytes_snapshotted, 128);
+        assert_eq!(loop_node.recovery.rollbacks, 1);
+        assert_eq!(loop_node.recovery.iterations_replayed, 2);
+        assert_eq!(loop_node.recovery.replayed_ranges, vec![(1, 2)]);
+        // The aborted iteration's partial span was discarded: the body
+        // step aggregates one completed execution only.
+        assert_eq!(loop_node.children.len(), 1);
+        assert_eq!(loop_node.children[0].execs, 1);
+        assert_eq!(loop_node.iterations.len(), 1);
+    }
+
+    #[test]
+    fn recovery_json_round_trips_and_is_absent_when_empty() {
+        let p = recovery_profile();
+        let json = p.to_json();
+        assert!(json.contains("\"recovery\""), "{json}");
+        assert_eq!(QueryProfile::from_json(&json).unwrap(), p);
+        // Recovery-free profiles keep the PR-2 format and still parse.
+        let clean = sample_profile();
+        let clean_json = clean.to_json();
+        assert!(!clean_json.contains("\"recovery\""), "{clean_json}");
+        assert_eq!(QueryProfile::from_json(&clean_json).unwrap(), clean);
+    }
+
+    #[test]
+    fn render_shows_the_recovery_story() {
+        let p = recovery_profile();
+        let text = p.render();
+        assert!(text.contains("recovery: checkpoints=1 (128 B)"), "{text}");
+        assert!(text.contains("rollbacks=1"), "{text}");
+        assert!(text.contains("[1-2]"), "{text}");
+    }
+
+    #[test]
+    fn retry_outside_a_loop_lands_on_the_innermost_span() {
+        let tracer = Tracer::new();
+        tracer.enter(SpanKind::Return, "Return".into());
+        tracer.note_retry();
+        tracer.exit(5, 40);
+        let p = tracer.finish();
+        assert_eq!(p.roots[0].recovery.retries, 1);
+        assert!(!p.roots[0].recovery.is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use spinner_exec::{ExecStats, Executor, FaultInjector};
 use spinner_parser::{parse_sql, parse_statements, Statement};
 use spinner_plan::builder::SchemaProvider;
 use spinner_plan::{plan_statement, LogicalPlan, PlanExpr, PlannedStatement, QueryPlan};
-use spinner_storage::{Catalog, TempRegistry};
+use spinner_storage::{Catalog, CheckpointStore, TempRegistry};
 
 /// An in-process DBSpinner database instance.
 ///
@@ -29,6 +29,10 @@ pub struct Database {
     /// — success or failure — so an injected fault or tripped guardrail
     /// can never leak intermediate state into the next query.
     temp: TempRegistry,
+    /// Loop-checkpoint store for mid-loop recovery. Like `temp`, cleared
+    /// on every statement exit path — checkpoints only live as long as
+    /// the loop they protect.
+    checkpoints: CheckpointStore,
 }
 
 impl Default for Database {
@@ -64,6 +68,7 @@ impl Database {
             stats: ExecStats::new(),
             faults,
             temp: TempRegistry::new(),
+            checkpoints: CheckpointStore::new(),
         })
     }
 
@@ -86,6 +91,18 @@ impl Database {
         self.faults = FaultInjector::from_config(&config);
         self.config = config;
         Ok(())
+    }
+
+    /// Replace only the recovery knobs (checkpoint interval, retry
+    /// bounds, loop-recovery budget) of the current configuration.
+    pub fn set_recovery_policy(&mut self, policy: spinner_common::RecoveryPolicy) -> Result<()> {
+        let config = self.config.clone().with_recovery(policy);
+        self.set_config(config)
+    }
+
+    /// The recovery knobs of the current configuration.
+    pub fn recovery_policy(&self) -> spinner_common::RecoveryPolicy {
+        self.config.recovery_policy()
     }
 
     /// Number of live entries in the session temp-result registry.
@@ -334,11 +351,14 @@ impl Database {
             guard,
             faults: &self.faults,
             tracer,
+            checkpoints: &self.checkpoints,
         };
         let result = exec.run_query(plan);
         // Clear on every exit path: a cancelled/faulted query must not
-        // leave partial working tables behind for the next statement.
+        // leave partial working tables or stale loop checkpoints behind
+        // for the next statement.
         self.temp.clear();
+        self.checkpoints.clear();
         result
     }
 
@@ -387,6 +407,7 @@ impl Database {
                     guard,
                     faults: &self.faults,
                     tracer: &tracer,
+                    checkpoints: &self.checkpoints,
                 };
                 let from_result = exec.execute_logical(&from_plan);
                 self.temp.clear();

@@ -35,7 +35,8 @@ pub use database::Database;
 pub use result::QueryResult;
 
 pub use spinner_common::{
-    Batch, DataType, EngineConfig, Error, FaultConfig, FaultKind, FaultSite, FaultTrigger, Field,
-    IterationProfile, ProfileNode, QueryGuard, QueryProfile, Result, Row, Schema, Value,
+    Batch, DataType, EngineConfig, Error, ErrorClass, FaultConfig, FaultKind, FaultSite,
+    FaultTrigger, Field, IterationProfile, ProfileNode, QueryGuard, QueryProfile, RecoveryPolicy,
+    RecoveryProfile, Result, Row, Schema, Value,
 };
 pub use spinner_exec::stats::StatsSnapshot;

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use spinner_common::profile::{SpanKind, Tracer};
 use spinner_common::{Batch, EngineConfig, Error, FaultSite, QueryGuard, Result, Row, Value};
 use spinner_plan::{LogicalPlan, LoopKind, LoopStep, PlanExpr, QueryPlan, Step, TerminationPlan};
-use spinner_storage::{Catalog, Partitioned, TempRegistry};
+use spinner_storage::{Catalog, CheckpointStore, LoopCheckpoint, Partitioned, TempRegistry};
 
 use crate::fault::FaultInjector;
 use crate::operators::{self, OpContext};
@@ -47,6 +47,9 @@ pub struct Executor<'a> {
     pub faults: &'a FaultInjector,
     /// Span collector for `EXPLAIN ANALYZE`; disabled for normal statements.
     pub tracer: &'a Tracer,
+    /// Loop checkpoints for mid-loop recovery (unused unless the config
+    /// enables checkpointing or recovery).
+    pub checkpoints: &'a CheckpointStore,
 }
 
 /// Result of one step: the number of rows it reported as updated (merges
@@ -71,7 +74,9 @@ impl Executor<'_> {
     pub fn run_query(&self, plan: &QueryPlan) -> Result<Batch> {
         self.run_steps(&plan.steps)?;
         self.tracer.enter(SpanKind::Return, "Return".to_string());
-        let result = match self.execute_logical(&plan.root) {
+        // The final plan only reads (registry + catalog), so a transient
+        // failure inside it can be re-run against unchanged inputs.
+        let result = match self.with_transient_retry(|| self.execute_logical(&plan.root)) {
             Ok(r) => r,
             Err(e) => {
                 self.tracer.exit(0, 0);
@@ -98,8 +103,52 @@ impl Executor<'_> {
         Ok(())
     }
 
+    /// Re-run `f` — an idempotent unit of work whose inputs are immutable
+    /// snapshots — up to `max_partition_retries` times on a transient
+    /// failure, with deterministic backoff. This is the step-granularity
+    /// sibling of the per-partition retry inside the physical workers: a
+    /// driver-side failure (exchange fault, materialize fault) re-runs the
+    /// whole operator subtree against the same registry state.
+    fn with_transient_retry<T>(&self, f: impl Fn() -> Result<T>) -> Result<T> {
+        let attempts = self.config.max_partition_retries.saturating_add(1);
+        let mut last_err: Option<Error> = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                if self.guard.is_cancelled() {
+                    return Err(Error::Cancelled);
+                }
+                // The failed attempt may have aborted sibling workers;
+                // that flag must not veto the re-run. External
+                // cancellation stays sticky.
+                self.guard.clear_worker_abort();
+                self.guard.check()?;
+                operators::backoff_sleep(self.config.retry_backoff_ms, attempt - 1);
+                ExecStats::add(&self.stats.step_retries, 1);
+                self.tracer.note_retry();
+            }
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("retry loop runs at least once"))
+    }
+
     fn run_step(&self, step: &Step) -> Result<StepOutcome> {
         self.guard.check()?;
+        if matches!(step, Step::Loop(_)) {
+            // Loops own their failure handling (rollback + replay).
+            return self.run_step_traced(step);
+        }
+        // Materialize re-puts its output, Merge consumes its working table
+        // only after the fallible work, and Rename mutates nothing before
+        // its fault site — so a failed non-loop step can safely be re-run
+        // against its unchanged input snapshot.
+        self.with_transient_retry(|| self.run_step_traced(step))
+    }
+
+    fn run_step_traced(&self, step: &Step) -> Result<StepOutcome> {
         if !self.tracer.is_enabled() {
             return self.run_step_inner(step);
         }
@@ -270,162 +319,370 @@ impl Executor<'_> {
 
     fn run_iterative_loop(&self, l: &LoopStep, merge: bool) -> Result<()> {
         let needs_delta = matches!(l.termination, TerminationPlan::Delta { .. });
+        let ckpt_every = self.config.checkpoint_interval;
+        let tables = [l.cte.clone()];
         let mut iteration: u64 = 0;
         let mut cumulative_updates: u64 = 0;
+        let mut recoveries_used: u64 = 0;
+        if ckpt_every > 0 || self.config.max_loop_recoveries > 0 {
+            // Entry checkpoint (iteration 0): a rollback always has a
+            // target even when periodic checkpoints are off.
+            self.save_checkpoint_recovering(l, &tables, 0, 0, &mut recoveries_used)?;
+        }
         loop {
             iteration += 1;
             self.guard.check()?;
-            self.faults.hit(FaultSite::LoopIteration, self.stats)?;
             if iteration > self.config.max_iterations {
                 return Err(Error::IterationLimitExceeded {
                     cte: l.cte_display_name.clone(),
                     limit: self.config.max_iterations,
                 });
             }
-            self.tracer.begin_iteration();
-            // Delta termination on the rename path has no merge to count
-            // changes, so keep the previous version for a diff (§VI-B:
-            // "for this case, we also keep data from the previous
-            // iteration").
-            let previous = if needs_delta && !merge {
-                Some(self.registry.get(&l.cte)?)
-            } else {
-                None
-            };
-            let mut merge_updates: Option<u64> = None;
-            for step in &l.body {
-                if let Some(u) = self.run_step(step)? {
-                    merge_updates = Some(u);
+            let outcome = self
+                .run_iterative_iteration(l, merge, needs_delta, iteration, cumulative_updates)
+                .and_then(|(stop, updated)| {
+                    // The periodic checkpoint is part of the attempt: a
+                    // failure while snapshotting rolls back like any other
+                    // mid-loop failure.
+                    if !stop && ckpt_every > 0 && iteration.is_multiple_of(ckpt_every) {
+                        self.save_checkpoint(l, &tables, iteration, updated)?;
+                    }
+                    Ok((stop, updated))
+                });
+            match outcome {
+                Ok((stop, updated)) => {
+                    cumulative_updates = updated;
+                    if stop {
+                        self.checkpoints.remove(&l.cte);
+                        return Ok(());
+                    }
                 }
-            }
-            ExecStats::add(&self.stats.iterations, 1);
-            let current = self.registry.get(&l.cte)?;
-            let changed_this_iter = match (merge_updates, &previous) {
-                (Some(u), _) => u,
-                (None, Some(prev)) => diff_by_key(prev, &current, l.key)?,
-                // Rename path without delta tracking: the whole dataset is
-                // replaced, every row counts as updated.
-                (None, None) => {
-                    let n = current.total_rows() as u64;
-                    ExecStats::add(&self.stats.rows_updated, n);
-                    n
+                Err(err) => {
+                    let ckpt = self.recover_loop(l, iteration, err, &mut recoveries_used)?;
+                    iteration = ckpt.iteration;
+                    cumulative_updates = ckpt.cumulative_updates;
                 }
-            };
-            cumulative_updates += changed_this_iter;
-            if self.tracer.is_enabled() {
-                self.tracer.end_iteration(
-                    changed_this_iter,
-                    changed_this_iter,
-                    current.total_rows() as u64,
-                );
-            }
-            let stop = match &l.termination {
-                TerminationPlan::Iterations(n) => iteration >= *n,
-                TerminationPlan::Updates(n) => cumulative_updates >= *n,
-                TerminationPlan::Data { predicate, rows } => {
-                    count_matching(&current, predicate)? >= *rows
-                }
-                TerminationPlan::Delta { threshold } => changed_this_iter < *threshold,
-            };
-            if stop {
-                return Ok(());
             }
         }
     }
 
+    /// One iteration of an iterative (`WITH ITERATIVE`) loop body plus its
+    /// termination check. Returns `(stop, new_cumulative_updates)`.
+    fn run_iterative_iteration(
+        &self,
+        l: &LoopStep,
+        merge: bool,
+        needs_delta: bool,
+        iteration: u64,
+        cumulative_updates: u64,
+    ) -> Result<(bool, u64)> {
+        self.faults.hit(FaultSite::LoopIteration, self.stats)?;
+        self.tracer.begin_iteration();
+        // Delta termination on the rename path has no merge to count
+        // changes, so keep the previous version for a diff (§VI-B:
+        // "for this case, we also keep data from the previous
+        // iteration").
+        let previous = if needs_delta && !merge {
+            Some(self.registry.get(&l.cte)?)
+        } else {
+            None
+        };
+        let mut merge_updates: Option<u64> = None;
+        for step in &l.body {
+            if let Some(u) = self.run_step(step)? {
+                merge_updates = Some(u);
+            }
+        }
+        ExecStats::add(&self.stats.iterations, 1);
+        let current = self.registry.get(&l.cte)?;
+        let changed_this_iter = match (merge_updates, &previous) {
+            (Some(u), _) => u,
+            (None, Some(prev)) => diff_by_key(prev, &current, l.key)?,
+            // Rename path without delta tracking: the whole dataset is
+            // replaced, every row counts as updated.
+            (None, None) => {
+                let n = current.total_rows() as u64;
+                ExecStats::add(&self.stats.rows_updated, n);
+                n
+            }
+        };
+        let cumulative = cumulative_updates + changed_this_iter;
+        if self.tracer.is_enabled() {
+            self.tracer.end_iteration(
+                changed_this_iter,
+                changed_this_iter,
+                current.total_rows() as u64,
+            );
+        }
+        let stop = match &l.termination {
+            TerminationPlan::Iterations(n) => iteration >= *n,
+            TerminationPlan::Updates(n) => cumulative >= *n,
+            TerminationPlan::Data { predicate, rows } => {
+                count_matching(&current, predicate)? >= *rows
+            }
+            TerminationPlan::Delta { threshold } => changed_this_iter < *threshold,
+        };
+        Ok((stop, cumulative))
+    }
+
+    /// Snapshot `tables` plus the loop counters as the latest checkpoint
+    /// for this loop. Snapshots are O(partitions) `Arc` bumps, not row
+    /// copies. The chaos `Checkpoint` fault site fires after the snapshot
+    /// is assembled but before it is installed, so a killed checkpoint
+    /// never corrupts the live loop state or the previous snapshot.
+    fn save_checkpoint(
+        &self,
+        l: &LoopStep,
+        tables: &[String],
+        iteration: u64,
+        cumulative_updates: u64,
+    ) -> Result<()> {
+        let mut snap = Vec::with_capacity(tables.len());
+        for name in tables {
+            snap.push((name.clone(), self.registry.get(name)?));
+        }
+        let ckpt = LoopCheckpoint {
+            iteration,
+            cumulative_updates,
+            tables: snap,
+        };
+        let bytes = ckpt.estimated_bytes();
+        self.faults.hit(FaultSite::Checkpoint, self.stats)?;
+        self.checkpoints.save(&l.cte, ckpt);
+        ExecStats::add(&self.stats.checkpoints_taken, 1);
+        ExecStats::add(&self.stats.checkpoint_bytes, bytes);
+        self.tracer.note_checkpoint(bytes);
+        Ok(())
+    }
+
+    /// [`Self::save_checkpoint`] for the loop-entry snapshot, where no
+    /// iteration has run yet: a transient failure here mutates nothing, so
+    /// it is retried in place, consuming loop-recovery attempts.
+    fn save_checkpoint_recovering(
+        &self,
+        l: &LoopStep,
+        tables: &[String],
+        iteration: u64,
+        cumulative_updates: u64,
+        recoveries_used: &mut u64,
+    ) -> Result<()> {
+        loop {
+            match self.save_checkpoint(l, tables, iteration, cumulative_updates) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() && self.config.max_loop_recoveries > 0 => {
+                    if *recoveries_used >= self.config.max_loop_recoveries {
+                        return Err(Error::RecoveryExhausted {
+                            cte: l.cte_display_name.clone(),
+                            recoveries: *recoveries_used,
+                            source: Box::new(e),
+                        });
+                    }
+                    *recoveries_used += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Roll a loop back to its last checkpoint after `err` escaped the
+    /// in-place retries at iteration `failed_iteration`. Restores the
+    /// checkpointed tables into the registry and returns the checkpoint so
+    /// the caller can reset its counters; the loop then replays from
+    /// `checkpoint.iteration + 1`. A fault fired *during* the restore
+    /// consumes another recovery attempt and tries again.
+    fn recover_loop(
+        &self,
+        l: &LoopStep,
+        failed_iteration: u64,
+        mut err: Error,
+        recoveries_used: &mut u64,
+    ) -> Result<LoopCheckpoint> {
+        loop {
+            if !err.is_retryable() || self.config.max_loop_recoveries == 0 {
+                return Err(err);
+            }
+            if self.guard.is_cancelled() {
+                return Err(Error::Cancelled);
+            }
+            if *recoveries_used >= self.config.max_loop_recoveries {
+                return Err(Error::RecoveryExhausted {
+                    cte: l.cte_display_name.clone(),
+                    recoveries: *recoveries_used,
+                    source: Box::new(err),
+                });
+            }
+            *recoveries_used += 1;
+            // Discard the failed iteration's partial spans before replaying
+            // so the profile's per-iteration story stays coherent.
+            self.tracer.abort_iteration();
+            match self.restore_checkpoint(l, failed_iteration) {
+                Ok(ckpt) => {
+                    // The failed attempt aborted sibling workers; clear the
+                    // flag so replayed iterations are not stillborn.
+                    // External cancellation stays sticky.
+                    self.guard.clear_worker_abort();
+                    return Ok(ckpt);
+                }
+                Err(e) => err = e,
+            }
+        }
+    }
+
+    /// Re-install the latest checkpoint's tables into the registry. The
+    /// chaos `Recovery` fault site fires before any table is restored, so
+    /// a killed restore is all-or-nothing with respect to the registry.
+    fn restore_checkpoint(&self, l: &LoopStep, failed_iteration: u64) -> Result<LoopCheckpoint> {
+        let ckpt = self.checkpoints.latest(&l.cte).ok_or_else(|| {
+            Error::execution(format!(
+                "no checkpoint to roll back to for iterative CTE '{}'",
+                l.cte_display_name
+            ))
+        })?;
+        self.faults.hit(FaultSite::Recovery, self.stats)?;
+        for (name, data) in &ckpt.tables {
+            self.registry.put(name, data.clone());
+        }
+        ExecStats::add(&self.stats.loop_rollbacks, 1);
+        ExecStats::add(
+            &self.stats.iterations_replayed,
+            failed_iteration - ckpt.iteration,
+        );
+        self.tracer
+            .note_rollback(ckpt.iteration + 1, failed_iteration);
+        Ok(ckpt)
+    }
+
     fn run_fixed_point_loop(&self, l: &LoopStep, working: &str, union_all: bool) -> Result<()> {
         let delta_name = format!("__delta_{}", l.cte);
+        let ckpt_every = self.config.checkpoint_interval;
+        let tables = [l.cte.clone(), delta_name.clone()];
         // Round zero: the delta is the base result.
         let base = self.registry.get(&l.cte)?;
         self.registry.put(&delta_name, base.clone());
         // For UNION (distinct) recursion, track everything seen so far.
-        let mut seen: Option<std::collections::HashSet<Row>> = if union_all {
-            None
-        } else {
-            let mut set = std::collections::HashSet::new();
-            for part in &base.parts {
-                for row in part.iter() {
-                    set.insert(row.clone());
-                }
-            }
-            Some(set)
-        };
+        let mut seen = build_seen(union_all, &base);
+        drop(base);
         let mut iteration: u64 = 0;
+        let mut recoveries_used: u64 = 0;
+        if ckpt_every > 0 || self.config.max_loop_recoveries > 0 {
+            // Accumulated CTE + current delta at an iteration boundary is
+            // the complete recovery state of a fixed-point recursion (the
+            // dedup set is derivable from the CTE table).
+            self.save_checkpoint_recovering(l, &tables, 0, 0, &mut recoveries_used)?;
+        }
         loop {
             iteration += 1;
             self.guard.check()?;
-            self.faults.hit(FaultSite::LoopIteration, self.stats)?;
             if iteration > self.config.max_iterations {
                 return Err(Error::IterationLimitExceeded {
                     cte: l.cte_display_name.clone(),
                     limit: self.config.max_iterations,
                 });
             }
-            self.tracer.begin_iteration();
-            for step in &l.body {
-                self.run_step(step)?;
-            }
-            ExecStats::add(&self.stats.iterations, 1);
-            let produced = self.registry.get(working)?;
-            // Filter to genuinely new rows.
-            let mut new_parts: Vec<Vec<Row>> =
-                (0..produced.parts.len()).map(|_| Vec::new()).collect();
-            let mut added = 0usize;
-            for (i, part) in produced.parts.iter().enumerate() {
-                for row in part.iter() {
-                    let is_new = match &mut seen {
-                        Some(set) => set.insert(row.clone()),
-                        None => true,
-                    };
-                    if is_new {
-                        added += 1;
-                        new_parts[i].push(row.clone());
+            let outcome = self
+                .run_fixed_point_iteration(l, working, &delta_name, &mut seen)
+                .and_then(|done| {
+                    if !done && ckpt_every > 0 && iteration.is_multiple_of(ckpt_every) {
+                        self.save_checkpoint(l, &tables, iteration, 0)?;
                     }
+                    Ok(done)
+                });
+            match outcome {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(err) => {
+                    let ckpt = self.recover_loop(l, iteration, err, &mut recoveries_used)?;
+                    iteration = ckpt.iteration;
+                    // Rebuild the dedup set from the restored CTE table:
+                    // `seen` is exactly the rows accumulated so far.
+                    let restored = self.registry.get(&l.cte)?;
+                    seen = build_seen(union_all, &restored);
                 }
             }
-            self.registry.remove(working);
-            if self.tracer.is_enabled() {
-                let working_rows = self
-                    .registry
-                    .get(&l.cte)
-                    .map(|d| d.total_rows() as u64)
-                    .unwrap_or(0)
-                    + added as u64;
-                self.tracer.end_iteration(added as u64, 0, working_rows);
-            }
-            if added == 0 {
-                break;
-            }
-            // Append the new rows to the accumulated CTE table and expose
-            // them as the next round's delta.
-            let current = self.registry.get(&l.cte)?;
-            let mut appended: Vec<Arc<Vec<Row>>> = Vec::with_capacity(current.parts.len());
-            for (part, extra) in current.parts.iter().zip(&new_parts) {
-                if extra.is_empty() {
-                    appended.push(Arc::clone(part));
-                } else {
-                    let mut rows = (**part).clone();
-                    rows.extend(extra.iter().cloned());
-                    appended.push(Arc::new(rows));
-                }
-            }
-            self.registry.put(
-                &l.cte,
-                Partitioned {
-                    schema: current.schema.clone(),
-                    parts: appended,
-                },
-            );
-            self.registry.put(
-                &delta_name,
-                Partitioned {
-                    schema: current.schema,
-                    parts: new_parts.into_iter().map(Arc::new).collect(),
-                },
-            );
         }
         self.registry.remove(&delta_name);
+        self.checkpoints.remove(&l.cte);
         Ok(())
+    }
+
+    /// One round of a fixed-point (recursive CTE) loop: run the body over
+    /// the current delta, filter to genuinely new rows, append them to the
+    /// accumulated table and publish them as the next delta. Returns
+    /// `Ok(true)` when the fixed point is reached (no new rows).
+    ///
+    /// The CTE and delta tables are only mutated at the very end, after
+    /// every fallible operation, so a failed round leaves the loop state
+    /// exactly as the last checkpoint (or entry) recorded it.
+    fn run_fixed_point_iteration(
+        &self,
+        l: &LoopStep,
+        working: &str,
+        delta_name: &str,
+        seen: &mut Option<std::collections::HashSet<Row>>,
+    ) -> Result<bool> {
+        self.faults.hit(FaultSite::LoopIteration, self.stats)?;
+        self.tracer.begin_iteration();
+        for step in &l.body {
+            self.run_step(step)?;
+        }
+        ExecStats::add(&self.stats.iterations, 1);
+        let produced = self.registry.get(working)?;
+        // Filter to genuinely new rows.
+        let mut new_parts: Vec<Vec<Row>> = (0..produced.parts.len()).map(|_| Vec::new()).collect();
+        let mut added = 0usize;
+        for (i, part) in produced.parts.iter().enumerate() {
+            for row in part.iter() {
+                let is_new = match seen {
+                    Some(set) => set.insert(row.clone()),
+                    None => true,
+                };
+                if is_new {
+                    added += 1;
+                    new_parts[i].push(row.clone());
+                }
+            }
+        }
+        self.registry.remove(working);
+        if self.tracer.is_enabled() {
+            let working_rows = self
+                .registry
+                .get(&l.cte)
+                .map(|d| d.total_rows() as u64)
+                .unwrap_or(0)
+                + added as u64;
+            self.tracer.end_iteration(added as u64, 0, working_rows);
+        }
+        if added == 0 {
+            return Ok(true);
+        }
+        // Append the new rows to the accumulated CTE table and expose
+        // them as the next round's delta.
+        let current = self.registry.get(&l.cte)?;
+        let mut appended: Vec<Arc<Vec<Row>>> = Vec::with_capacity(current.parts.len());
+        for (part, extra) in current.parts.iter().zip(&new_parts) {
+            if extra.is_empty() {
+                appended.push(Arc::clone(part));
+            } else {
+                let mut rows = (**part).clone();
+                rows.extend(extra.iter().cloned());
+                appended.push(Arc::new(rows));
+            }
+        }
+        self.registry.put(
+            &l.cte,
+            Partitioned {
+                schema: current.schema.clone(),
+                parts: appended,
+            },
+        );
+        self.registry.put(
+            delta_name,
+            Partitioned {
+                schema: current.schema,
+                parts: new_parts.into_iter().map(Arc::new).collect(),
+            },
+        );
+        Ok(false)
     }
 }
 
@@ -456,6 +713,22 @@ fn count_matching(data: &Partitioned, predicate: &PlanExpr) -> Result<u64> {
         }
     }
     Ok(n)
+}
+
+/// The dedup set of a UNION (distinct) recursion: every row accumulated in
+/// the CTE table so far. Derivable state — mid-loop recovery rebuilds it
+/// from the restored CTE table instead of checkpointing it.
+fn build_seen(union_all: bool, data: &Partitioned) -> Option<std::collections::HashSet<Row>> {
+    if union_all {
+        return None;
+    }
+    let mut set = std::collections::HashSet::new();
+    for part in &data.parts {
+        for row in part.iter() {
+            set.insert(row.clone());
+        }
+    }
+    Some(set)
 }
 
 /// Number of rows in `current` that differ from the row with the same key
@@ -531,6 +804,7 @@ mod tests {
         let guard = QueryGuard::unlimited();
         let faults = FaultInjector::disabled();
         let tracer = Tracer::disabled();
+        let checkpoints = CheckpointStore::new();
         let exec = Executor {
             catalog,
             registry: &registry,
@@ -539,6 +813,7 @@ mod tests {
             guard: &guard,
             faults: &faults,
             tracer: &tracer,
+            checkpoints: &checkpoints,
         };
         exec.run_query(&plan)
     }
@@ -826,6 +1101,7 @@ mod tests {
             let guard = QueryGuard::unlimited();
             let faults = FaultInjector::disabled();
             let tracer = Tracer::disabled();
+            let checkpoints = CheckpointStore::new();
             let exec = Executor {
                 catalog: &catalog,
                 registry: &registry,
@@ -834,6 +1110,7 @@ mod tests {
                 guard: &guard,
                 faults: &faults,
                 tracer: &tracer,
+                checkpoints: &checkpoints,
             };
             let batch = exec.run_query(&plan).unwrap();
             (batch, stats.snapshot())

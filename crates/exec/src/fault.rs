@@ -59,6 +59,8 @@ pub fn site_name(site: FaultSite) -> &'static str {
         FaultSite::Rename => "rename",
         FaultSite::LoopIteration => "loop",
         FaultSite::Worker => "worker",
+        FaultSite::Checkpoint => "checkpoint",
+        FaultSite::Recovery => "recovery",
     }
 }
 

@@ -335,31 +335,81 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Run one partition's work with panic isolation: a panic inside `f`
-/// (user expression evaluation, an injected chaos fault, a bug) is
-/// caught at the partition boundary, converted into
-/// [`Error::WorkerPanicked`], and the query guard is cancelled so
-/// sibling partition workers stop at their next batch boundary instead
-/// of computing results nobody will read. The catalog and registry use
+/// Deterministic exponential backoff before retry number `retry_index`
+/// (1-based): sleeps `base_ms * 2^(retry_index-1)`, exponent capped.
+/// `base_ms == 0` (the default, and the right setting for tests) sleeps
+/// not at all.
+pub(crate) fn backoff_sleep(base_ms: u64, retry_index: u64) {
+    if base_ms == 0 || retry_index == 0 {
+        return;
+    }
+    let factor = 1u64 << (retry_index - 1).min(16);
+    std::thread::sleep(std::time::Duration::from_millis(
+        base_ms.saturating_mul(factor),
+    ));
+}
+
+/// Run one partition's work with panic isolation and bounded transient
+/// retry.
+///
+/// A panic inside `f` (user expression evaluation, an injected chaos
+/// fault, a bug) is caught at the partition boundary and converted into
+/// [`Error::WorkerPanicked`]. Transient failures (see
+/// [`Error::is_retryable`]) are retried in place up to
+/// `max_partition_retries` times with deterministic backoff — the
+/// partition's input snapshot is immutable, so a retry re-runs exactly
+/// the failed subtree. Only when the budget is exhausted does the guard's
+/// *worker abort* fire, stopping sibling partitions at their next batch
+/// boundary; the mid-loop recovery driver clears that flag before a
+/// replay, whereas external cancellation stays sticky. Fatal errors
+/// propagate immediately, as before. The catalog and registry use
 /// non-poisoning locks, so the process (and the session) stays usable.
 fn run_partition(
     ctx: &OpContext<'_>,
     partition: usize,
-    f: impl FnOnce() -> Result<Vec<Row>>,
+    f: impl Fn() -> Result<Vec<Row>>,
 ) -> Result<Vec<Row>> {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        ctx.faults.hit(FaultSite::Worker, ctx.stats)?;
-        f()
-    })) {
-        Ok(result) => result,
-        Err(payload) => {
-            ctx.guard.cancel();
-            Err(Error::WorkerPanicked {
-                partition,
-                message: panic_message(payload),
-            })
+    let attempts = ctx.config.max_partition_retries.saturating_add(1);
+    let mut last_err: Option<Error> = None;
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            if ctx.guard.is_cancelled() {
+                return Err(Error::Cancelled);
+            }
+            if ctx.guard.worker_abort_requested() {
+                // A sibling already gave up; stop retrying but surface our
+                // own (transient) error so the caller sees what happened
+                // in this partition, not a misleading `Cancelled`.
+                break;
+            }
+            ctx.guard.check()?; // deadline
+            backoff_sleep(ctx.config.retry_backoff_ms, attempt - 1);
+            ExecStats::add(&ctx.stats.partition_retries, 1);
+            ctx.tracer.note_retry();
+        }
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.faults.hit(FaultSite::Worker, ctx.stats)?;
+            f()
+        })) {
+            Ok(Ok(rows)) => return Ok(rows),
+            Ok(Err(e)) => {
+                if !e.is_retryable() {
+                    return Err(e);
+                }
+                last_err = Some(e);
+            }
+            Err(payload) => {
+                last_err = Some(Error::WorkerPanicked {
+                    partition,
+                    message: panic_message(payload),
+                });
+            }
         }
     }
+    // A transient failure survived every retry: stop sibling partitions
+    // at their next boundary instead of computing results nobody reads.
+    ctx.guard.abort_workers();
+    Err(last_err.expect("retry loop runs at least once"))
 }
 
 /// Run `f` over every partition of `input`, optionally in parallel.
@@ -389,7 +439,7 @@ fn unary_map(
                         // Unreachable in practice (run_partition catches
                         // panics inside the worker), kept as a second
                         // line of defense.
-                        ctx.guard.cancel();
+                        ctx.guard.abort_workers();
                         Err(Error::WorkerPanicked {
                             partition: i,
                             message: panic_message(payload),
@@ -447,7 +497,7 @@ fn binary_map(
                 .enumerate()
                 .map(|(i, h)| {
                     h.join().unwrap_or_else(|payload| {
-                        ctx.guard.cancel();
+                        ctx.guard.abort_workers();
                         Err(Error::WorkerPanicked {
                             partition: i,
                             message: panic_message(payload),

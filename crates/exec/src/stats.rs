@@ -32,6 +32,19 @@ pub struct ExecStats {
     pub joins_executed: AtomicU64,
     /// Faults fired by the chaos-testing injector (0 in production).
     pub faults_injected: AtomicU64,
+    /// Loop checkpoints snapshotted by the recovery subsystem.
+    pub checkpoints_taken: AtomicU64,
+    /// Estimated bytes captured by loop checkpoints.
+    pub checkpoint_bytes: AtomicU64,
+    /// Transient retries of a partition worker closure.
+    pub partition_retries: AtomicU64,
+    /// Transient re-runs of a whole step (or the final query) against its
+    /// unchanged input snapshot.
+    pub step_retries: AtomicU64,
+    /// Loop rollbacks to the last checkpoint after retries were exhausted.
+    pub loop_rollbacks: AtomicU64,
+    /// Iterations re-executed because of rollbacks.
+    pub iterations_replayed: AtomicU64,
 }
 
 impl ExecStats {
@@ -57,6 +70,12 @@ impl ExecStats {
             rows_updated: self.rows_updated.load(Ordering::Relaxed),
             joins_executed: self.joins_executed.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            partition_retries: self.partition_retries.load(Ordering::Relaxed),
+            step_retries: self.step_retries.load(Ordering::Relaxed),
+            loop_rollbacks: self.loop_rollbacks.load(Ordering::Relaxed),
+            iterations_replayed: self.iterations_replayed.load(Ordering::Relaxed),
         }
     }
 
@@ -72,6 +91,12 @@ impl ExecStats {
         self.rows_updated.store(0, Ordering::Relaxed);
         self.joins_executed.store(0, Ordering::Relaxed);
         self.faults_injected.store(0, Ordering::Relaxed);
+        self.checkpoints_taken.store(0, Ordering::Relaxed);
+        self.checkpoint_bytes.store(0, Ordering::Relaxed);
+        self.partition_retries.store(0, Ordering::Relaxed);
+        self.step_retries.store(0, Ordering::Relaxed);
+        self.loop_rollbacks.store(0, Ordering::Relaxed);
+        self.iterations_replayed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -98,6 +123,18 @@ pub struct StatsSnapshot {
     pub joins_executed: u64,
     /// Faults fired by the chaos-testing injector.
     pub faults_injected: u64,
+    /// Loop checkpoints snapshotted by the recovery subsystem.
+    pub checkpoints_taken: u64,
+    /// Estimated bytes captured by loop checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Transient retries of a partition worker closure.
+    pub partition_retries: u64,
+    /// Transient re-runs of a whole step against its input snapshot.
+    pub step_retries: u64,
+    /// Loop rollbacks to the last checkpoint.
+    pub loop_rollbacks: u64,
+    /// Iterations re-executed because of rollbacks.
+    pub iterations_replayed: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -116,7 +153,27 @@ impl std::fmt::Display for StatsSnapshot {
             self.rows_updated,
             self.joins_executed,
             self.faults_injected,
-        )
+        )?;
+        if self.checkpoints_taken
+            + self.checkpoint_bytes
+            + self.partition_retries
+            + self.step_retries
+            + self.loop_rollbacks
+            + self.iterations_replayed
+            > 0
+        {
+            write!(
+                f,
+                " checkpoints={} ckpt_bytes={} retries={}+{} rollbacks={} replayed={}",
+                self.checkpoints_taken,
+                self.checkpoint_bytes,
+                self.partition_retries,
+                self.step_retries,
+                self.loop_rollbacks,
+                self.iterations_replayed,
+            )?;
+        }
+        Ok(())
     }
 }
 

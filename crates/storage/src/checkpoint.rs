@@ -1,0 +1,202 @@
+//! Iteration-boundary checkpoints for mid-loop recovery.
+//!
+//! The insight (shared with Flink's iterative dataflows and REX): at the
+//! top of a loop iteration, the CTE table plus the loop counters are a
+//! *complete* recovery point — nothing else in the executor carries loop
+//! state. A [`CheckpointStore`] keeps the latest such snapshot per running
+//! loop; after a transient failure the executor restores the snapshot into
+//! the temp registry and replays from the checkpointed iteration instead
+//! of restarting the whole query.
+//!
+//! Snapshots are cheap by construction: [`Partitioned`] stores each
+//! partition as an immutable `Arc<Vec<Row>>`, so cloning a table is O(P)
+//! pointer bumps (copy-on-write) — a checkpoint of a rename-path working
+//! table costs pointers, not rows.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::partition::Partitioned;
+
+/// A consistent snapshot of one loop's recoverable state, taken at an
+/// iteration boundary.
+#[derive(Debug, Clone)]
+pub struct LoopCheckpoint {
+    /// The iteration the snapshot was taken *after* (0 = loop entry, before
+    /// the first iteration ran). A rollback replays from `iteration + 1`.
+    pub iteration: u64,
+    /// Cumulative updated-rows counter at the boundary (feeds the
+    /// `UNTIL`-style termination checks and the stats counters).
+    pub cumulative_updates: u64,
+    /// The temp-registry entries captured: the CTE table and, for
+    /// fixed-point loops, the delta table.
+    pub tables: Vec<(String, Partitioned)>,
+}
+
+impl LoopCheckpoint {
+    /// Estimated bytes held alive by this snapshot (shared with the live
+    /// tables until either side is replaced — see module docs).
+    pub fn estimated_bytes(&self) -> u64 {
+        self.tables.iter().map(|(_, d)| d.estimated_bytes()).sum()
+    }
+}
+
+/// Per-query store of the latest checkpoint of each running loop, keyed by
+/// the loop's internal CTE name.
+///
+/// Writes replace the slot atomically under one lock acquisition, so a
+/// failure *while building* a snapshot (the caller clones tables before
+/// calling [`save`](Self::save)) leaves the previous checkpoint — and the
+/// live loop state — untouched.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    slots: RwLock<HashMap<String, LoopCheckpoint>>,
+    taken: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install `checkpoint` as the latest snapshot for `loop_id`,
+    /// replacing (and freeing) any previous one.
+    pub fn save(&self, loop_id: &str, checkpoint: LoopCheckpoint) {
+        self.taken.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(checkpoint.estimated_bytes(), Ordering::Relaxed);
+        self.slots
+            .write()
+            .insert(loop_id.to_ascii_lowercase(), checkpoint);
+    }
+
+    /// The latest snapshot for `loop_id`, if one was saved. O(tables)
+    /// Arc bumps.
+    pub fn latest(&self, loop_id: &str) -> Option<LoopCheckpoint> {
+        self.slots
+            .read()
+            .get(&loop_id.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Drop the snapshot for `loop_id` (loop finished cleanly).
+    pub fn remove(&self, loop_id: &str) {
+        self.slots.write().remove(&loop_id.to_ascii_lowercase());
+    }
+
+    /// Drop every snapshot (end of query).
+    pub fn clear(&self) {
+        self.slots.write().clear();
+    }
+
+    /// Number of loops with a live snapshot.
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// True when no loop has a live snapshot.
+    pub fn is_empty(&self) -> bool {
+        self.slots.read().is_empty()
+    }
+
+    /// Lifetime count of snapshots saved (observability; survives
+    /// [`clear`](Self::clear)).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.taken.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime sum of estimated snapshot bytes (observability; survives
+    /// [`clear`](Self::clear)).
+    pub fn bytes_snapshotted(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_common::{row_of, DataType, Field, Schema, Value};
+    use std::sync::Arc;
+
+    fn part_with(n: i64) -> Partitioned {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        Partitioned::from_rows(
+            schema,
+            (0..n).map(|i| row_of([Value::Int(i)])).collect(),
+            Some(0),
+            2,
+        )
+    }
+
+    #[test]
+    fn save_latest_roundtrip_and_replace() {
+        let store = CheckpointStore::new();
+        assert!(store.latest("pr").is_none());
+        store.save(
+            "PR",
+            LoopCheckpoint {
+                iteration: 0,
+                cumulative_updates: 0,
+                tables: vec![("pr".into(), part_with(3))],
+            },
+        );
+        store.save(
+            "pr",
+            LoopCheckpoint {
+                iteration: 5,
+                cumulative_updates: 42,
+                tables: vec![("pr".into(), part_with(4))],
+            },
+        );
+        let latest = store.latest("pr").expect("snapshot");
+        assert_eq!(latest.iteration, 5);
+        assert_eq!(latest.cumulative_updates, 42);
+        assert_eq!(latest.tables[0].1.total_rows(), 4);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.checkpoints_taken(), 2);
+        assert!(store.bytes_snapshotted() > 0);
+        store.remove("pr");
+        assert!(store.is_empty());
+        // Lifetime counters survive removal.
+        assert_eq!(store.checkpoints_taken(), 2);
+    }
+
+    /// A snapshot must share row buffers with the live table (O(P) Arc
+    /// bumps), not copy rows — this is what makes checkpointing cheap
+    /// enough to run every iteration.
+    #[test]
+    fn snapshots_share_buffers_copy_on_write() {
+        let live = part_with(100);
+        let buf_ptr = Arc::as_ptr(&live.parts[0]);
+        let store = CheckpointStore::new();
+        store.save(
+            "pr",
+            LoopCheckpoint {
+                iteration: 1,
+                cumulative_updates: 100,
+                tables: vec![("pr".into(), live.clone())],
+            },
+        );
+        drop(live); // the live table moves on; the snapshot keeps the buffer
+        let restored = store.latest("pr").unwrap();
+        assert_eq!(Arc::as_ptr(&restored.tables[0].1.parts[0]), buf_ptr);
+        assert_eq!(restored.tables[0].1.total_rows(), 100);
+    }
+
+    #[test]
+    fn estimated_bytes_sums_tables() {
+        let ckpt = LoopCheckpoint {
+            iteration: 0,
+            cumulative_updates: 0,
+            tables: vec![("a".into(), part_with(2)), ("b".into(), part_with(3))],
+        };
+        assert_eq!(
+            ckpt.estimated_bytes(),
+            part_with(2).estimated_bytes() + part_with(3).estimated_bytes()
+        );
+    }
+}

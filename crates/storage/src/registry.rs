@@ -48,13 +48,28 @@ impl TempRegistry {
 
     /// The `rename` operator: re-point `new` at the buffer currently named
     /// `old`, dropping whatever `new` pointed at before. No rows move.
+    ///
+    /// Atomic from the reader's perspective: the remove + insert happen as
+    /// a single swap under one write-lock acquisition, so a concurrent
+    /// [`get`](Self::get) observes either the old binding of `new` or the
+    /// re-pointed one — never a window where neither name resolves.
+    /// Recovery replays (which re-run rename-path loop bodies while
+    /// observers may be profiling) rely on this.
     pub fn rename(&self, old: &str, new: &str) -> Result<()> {
         let old_key = old.to_ascii_lowercase();
         let new_key = new.to_ascii_lowercase();
         let mut entries = self.entries.write();
-        let data = entries
-            .remove(&old_key)
-            .ok_or_else(|| Error::execution(format!("cannot rename '{old}': not found")))?;
+        if !entries.contains_key(&old_key) {
+            return Err(Error::execution(format!(
+                "cannot rename '{old}': not found"
+            )));
+        }
+        if old_key == new_key {
+            // Renaming a result to itself is a no-op, not a remove+insert
+            // (which would momentarily unbind the name if ever split).
+            return Ok(());
+        }
+        let data = entries.remove(&old_key).expect("checked above");
         // Insert replaces (and thereby frees) any previous entry under `new`.
         entries.insert(new_key, data);
         Ok(())
@@ -141,5 +156,50 @@ mod tests {
         reg.put("a", part_with(1));
         reg.clear();
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn rename_to_self_is_a_noop() {
+        let reg = TempRegistry::new();
+        reg.put("cte", part_with(4));
+        reg.rename("cte", "CTE").unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("cte").unwrap().total_rows(), 4);
+        assert!(reg.rename("ghost", "ghost").is_err());
+    }
+
+    /// Regression test for reader-visible rename atomicity: concurrent
+    /// `get("cte")` calls during a storm of working→cte renames must never
+    /// observe a state where the name is unbound.
+    #[test]
+    fn rename_is_atomic_for_concurrent_readers() {
+        let reg = Arc::new(TempRegistry::new());
+        reg.put("cte", part_with(1));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let reg = Arc::clone(&reg);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    assert!(
+                        reg.get("cte").is_ok(),
+                        "reader observed 'cte' unbound mid-rename"
+                    );
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+        for i in 0..2_000 {
+            reg.put("working", part_with(i % 7 + 1));
+            reg.rename("working", "cte").unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        assert_eq!(reg.len(), 1);
     }
 }

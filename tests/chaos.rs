@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use spinner_engine::{
-    Database, EngineConfig, Error, FaultConfig, FaultKind, FaultSite, QueryGuard,
+    Database, EngineConfig, Error, FaultConfig, FaultKind, FaultSite, QueryGuard, Value,
 };
 use spinner_procedural::pagerank;
 
@@ -355,6 +355,331 @@ fn faults_injected_counter_tracks_fired_faults() {
     assert_eq!(stats.faults_injected, 1);
     // Two full iterations completed before the third one's fault fired.
     assert_eq!(stats.iterations, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: iteration-level checkpointing, transient retry, and mid-loop
+// rollback-and-replay. Every schedule below is deterministic (Nth or
+// seeded), so a failure reproduces exactly.
+// ---------------------------------------------------------------------------
+
+/// Rows of a batch, sorted, for order-insensitive comparison.
+fn sorted_rows(batch: &spinner_engine::Batch) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = batch.rows().iter().map(|r| r.to_vec()).collect();
+    rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rows
+}
+
+/// The acceptance scenario: a fault mid-loop (iteration 4, past the
+/// checkpoint interval of 2) rolls the loop back to the iteration-2
+/// checkpoint and replays; the final rows are identical to a fault-free
+/// run and the stats report the full recovery story.
+#[test]
+fn mid_loop_fault_recovers_identically_after_rollback() {
+    let sql = pagerank(8, false).cte;
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    let mut db = db_with_edges(EngineConfig::default());
+    db.set_config(
+        EngineConfig::default()
+            .with_checkpoint_interval(2)
+            .with_max_loop_recoveries(2)
+            .with_fault(FaultConfig::fail_nth(FaultSite::LoopIteration, 4)),
+    )
+    .unwrap();
+    db.take_stats();
+    let batch = db.query(&sql).unwrap();
+    assert_eq!(
+        sorted_rows(&batch),
+        sorted_rows(&expected),
+        "recovered run must be row-identical to the fault-free run"
+    );
+    let stats = db.take_stats();
+    assert_eq!(stats.faults_injected, 1);
+    assert_eq!(stats.loop_rollbacks, 1);
+    assert_eq!(
+        stats.iterations_replayed, 2,
+        "fault at iteration 4, checkpoint at 2: iterations 3..=4 replay"
+    );
+    assert!(stats.checkpoints_taken >= 2, "entry + periodic checkpoints");
+    assert!(stats.checkpoint_bytes > 0);
+    assert_recovered(&db);
+}
+
+/// Same scenario through `EXPLAIN ANALYZE`: the profile's loop node must
+/// carry the recovery story (rollback count, replayed range, snapshot
+/// bytes) so the operator can see what happened.
+#[test]
+fn explain_analyze_reports_the_recovery_story() {
+    let mut db = db_with_edges(EngineConfig::default());
+    db.set_config(
+        EngineConfig::default()
+            .with_checkpoint_interval(2)
+            .with_max_loop_recoveries(2)
+            .with_fault(FaultConfig::fail_nth(FaultSite::LoopIteration, 4)),
+    )
+    .unwrap();
+    let profile = db.explain_analyze(&pagerank(8, false).cte).unwrap();
+    let loops = profile.loops();
+    assert_eq!(loops.len(), 1);
+    let rec = &loops[0].recovery;
+    assert_eq!(rec.rollbacks, 1);
+    assert_eq!(rec.replayed_ranges, vec![(3, 4)], "replay covers 3..=4");
+    assert!(rec.checkpoints_taken >= 2);
+    assert!(rec.bytes_snapshotted > 0);
+    // The recovery block survives the JSON round trip.
+    let back = spinner_engine::QueryProfile::from_json(&profile.to_json()).unwrap();
+    assert_eq!(back, profile);
+    // The rendering mentions it.
+    assert!(
+        profile.render().contains("recovery:"),
+        "{}",
+        profile.render()
+    );
+}
+
+/// A transient worker fault is absorbed in place by the per-partition
+/// retry — no rollback needed, results identical.
+#[test]
+fn worker_fault_is_absorbed_by_partition_retry() {
+    let sql = counting_cte(6);
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    for kind in [FaultKind::Error, FaultKind::Panic] {
+        let mut db = db_with_edges(EngineConfig::default().with_parallel_partitions(true));
+        db.set_config(
+            EngineConfig::default()
+                .with_parallel_partitions(true)
+                .with_max_partition_retries(1)
+                .with_fault(FaultConfig {
+                    site: FaultSite::Worker,
+                    kind,
+                    trigger: spinner_engine::FaultTrigger::Nth(5),
+                }),
+        )
+        .unwrap();
+        db.take_stats();
+        let batch = db.query(&sql).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(sorted_rows(&batch), sorted_rows(&expected));
+        let stats = db.take_stats();
+        assert_eq!(stats.loop_rollbacks, 0, "{kind:?}: retry, not rollback");
+        assert!(
+            stats.partition_retries + stats.step_retries >= 1,
+            "{kind:?}: the fault must have been retried"
+        );
+    }
+}
+
+/// Satellite (a): a fault killing the checkpoint itself must never
+/// corrupt live loop state. Without recovery it surfaces typed; with
+/// recovery the loop replays to the exact fault-free rows.
+#[test]
+fn failed_checkpoint_never_corrupts_live_loop_state() {
+    let sql = counting_cte(6);
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    // Recovery off: the checkpoint fault surfaces as a clean typed error.
+    let mut db = db_with_edges(EngineConfig::default());
+    db.set_config(
+        EngineConfig::default()
+            .with_checkpoint_interval(1)
+            .with_fault(FaultConfig::fail_nth(FaultSite::Checkpoint, 3)),
+    )
+    .unwrap();
+    let err = db.query(&sql).unwrap_err();
+    assert_eq!(
+        err,
+        Error::FaultInjected {
+            site: "checkpoint".to_string()
+        }
+    );
+    assert_recovered(&db);
+    // Recovery on: the killed checkpoint rolls back and replays; a
+    // corrupted snapshot or live table would change the final rows.
+    let mut db = db_with_edges(EngineConfig::default());
+    db.set_config(
+        EngineConfig::default()
+            .with_checkpoint_interval(1)
+            .with_max_loop_recoveries(1)
+            .with_fault(FaultConfig::fail_nth(FaultSite::Checkpoint, 3)),
+    )
+    .unwrap();
+    db.take_stats();
+    let batch = db.query(&sql).unwrap();
+    assert_eq!(sorted_rows(&batch), sorted_rows(&expected));
+    assert_eq!(db.take_stats().loop_rollbacks, 1);
+}
+
+/// Satellite (a), restore side: a fault during the rollback's restore
+/// consumes another recovery attempt (all-or-nothing restore), and the
+/// budget bounds the total attempts.
+#[test]
+fn fault_during_restore_consumes_another_recovery_attempt() {
+    let sql = counting_cte(6);
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    let armed = |recoveries: u64| {
+        EngineConfig::default()
+            .with_checkpoint_interval(1)
+            .with_max_loop_recoveries(recoveries)
+            .with_fault(FaultConfig::fail_nth(FaultSite::LoopIteration, 4))
+            .with_fault(FaultConfig::fail_nth(FaultSite::Recovery, 1))
+    };
+    // Budget 2: the first restore is killed, the second lands.
+    let mut db = db_with_edges(EngineConfig::default());
+    db.set_config(armed(2)).unwrap();
+    db.take_stats();
+    let batch = db.query(&sql).unwrap();
+    assert_eq!(sorted_rows(&batch), sorted_rows(&expected));
+    let stats = db.take_stats();
+    assert_eq!(
+        stats.loop_rollbacks, 1,
+        "the killed restore must not count as a completed rollback"
+    );
+    // Budget 1: the killed restore exhausts the budget, typed error.
+    let mut db = db_with_edges(EngineConfig::default());
+    db.set_config(armed(1)).unwrap();
+    let err = db.query(&sql).unwrap_err();
+    match err {
+        Error::RecoveryExhausted {
+            recoveries, source, ..
+        } => {
+            assert_eq!(recoveries, 1);
+            assert!(source.is_retryable(), "source was transient: {source:?}");
+        }
+        other => panic!("expected RecoveryExhausted, got {other:?}"),
+    }
+    assert_recovered(&db);
+}
+
+/// A fault that fires on *every* replay exhausts the recovery budget and
+/// surfaces as `RecoveryExhausted` wrapping the underlying fault.
+#[test]
+fn persistent_loop_fault_exhausts_recovery_with_typed_error() {
+    let mut db = db_with_edges(EngineConfig::default());
+    db.set_config(
+        EngineConfig::default()
+            .with_checkpoint_interval(1)
+            .with_max_loop_recoveries(3)
+            .with_fault(FaultConfig::seeded(
+                FaultSite::LoopIteration,
+                FaultKind::Error,
+                7,
+                1_000_000, // always fire: every attempt of iteration 1 dies
+            )),
+    )
+    .unwrap();
+    db.take_stats();
+    let err = db.query(&counting_cte(6)).unwrap_err();
+    match err {
+        Error::RecoveryExhausted { recoveries, .. } => assert_eq!(recoveries, 3),
+        other => panic!("expected RecoveryExhausted, got {other:?}"),
+    }
+    let stats = db.take_stats();
+    assert_eq!(stats.loop_rollbacks, 3, "one rollback per recovery attempt");
+    assert_recovered(&db);
+}
+
+/// Satellite (d): an every-iteration fault storm (checkpoint_interval=1,
+/// seeded faults armed at every loop-path site) must either converge to
+/// the exact fault-free answer or fail with `RecoveryExhausted` — never
+/// a wrong answer, an untyped error, or a hang.
+#[test]
+fn every_iteration_fault_storm_converges_or_fails_typed() {
+    let sql = counting_cte(6);
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    let mut converged = 0;
+    for seed in 0..12u64 {
+        let mut db = db_with_edges(EngineConfig::default());
+        db.set_config(
+            EngineConfig::default()
+                .with_checkpoint_interval(1)
+                .with_max_partition_retries(2)
+                .with_max_loop_recoveries(4)
+                .with_fault(FaultConfig::seeded(
+                    FaultSite::LoopIteration,
+                    FaultKind::Error,
+                    seed,
+                    200_000,
+                ))
+                .with_fault(FaultConfig::seeded(
+                    FaultSite::Checkpoint,
+                    FaultKind::Error,
+                    seed.wrapping_add(101),
+                    200_000,
+                ))
+                .with_fault(FaultConfig::seeded(
+                    FaultSite::Recovery,
+                    FaultKind::Error,
+                    seed.wrapping_add(202),
+                    200_000,
+                ))
+                .with_fault(FaultConfig::seeded(
+                    FaultSite::Worker,
+                    FaultKind::Error,
+                    seed.wrapping_add(303),
+                    100_000,
+                )),
+        )
+        .unwrap();
+        match db.query(&sql) {
+            Ok(batch) => {
+                assert_eq!(
+                    sorted_rows(&batch),
+                    sorted_rows(&expected),
+                    "seed {seed}: storm survivor returned a WRONG answer"
+                );
+                converged += 1;
+            }
+            Err(Error::RecoveryExhausted { .. }) => {}
+            Err(other) => panic!("seed {seed}: unexpected failure kind: {other:?}"),
+        }
+        assert_eq!(db.temp_result_count(), 0, "seed {seed}: registry leak");
+    }
+    assert!(
+        converged > 0,
+        "at 20% fault rates some seeds must still converge"
+    );
+}
+
+/// Satellite (f): the fault matrix the CI chaos job runs — partitions=4,
+/// parallel workers on, checkpoint_interval in {0, 1, 5}, one
+/// deterministic fault per site. With retries and recovery enabled, every
+/// single-fault schedule must finish with the exact fault-free rows.
+#[test]
+fn fault_matrix_across_checkpoint_intervals() {
+    let sql = counting_cte(8);
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    let faults = [
+        FaultConfig::fail_nth(FaultSite::Exchange, 3),
+        FaultConfig::fail_nth(FaultSite::Materialize, 2),
+        FaultConfig::fail_nth(FaultSite::Rename, 2),
+        FaultConfig::fail_nth(FaultSite::LoopIteration, 3),
+        FaultConfig::fail_nth(FaultSite::Worker, 5),
+        FaultConfig::panic_nth(FaultSite::Worker, 5),
+        FaultConfig::fail_nth(FaultSite::Checkpoint, 2),
+        FaultConfig::fail_nth(FaultSite::Recovery, 1),
+    ];
+    for interval in [0u64, 1, 5] {
+        for fault in &faults {
+            let mut db = db_with_edges(EngineConfig::default());
+            db.set_config(
+                EngineConfig::default()
+                    .with_partitions(4)
+                    .with_parallel_partitions(true)
+                    .with_checkpoint_interval(interval)
+                    .with_max_partition_retries(2)
+                    .with_max_loop_recoveries(3)
+                    .with_fault(fault.clone()),
+            )
+            .unwrap();
+            let batch = db
+                .query(&sql)
+                .unwrap_or_else(|e| panic!("interval={interval}, fault={fault:?}: {e}"));
+            assert_eq!(
+                sorted_rows(&batch),
+                sorted_rows(&expected),
+                "interval={interval}, fault={fault:?}: wrong rows"
+            );
+            assert_eq!(db.temp_result_count(), 0);
+        }
+    }
 }
 
 #[test]

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use spinner_common::Value;
 use spinner_datagen::{load_edges_into, GraphSpec};
-use spinner_engine::{Database, EngineConfig};
-use spinner_procedural::{ff, run_script, sssp};
+use spinner_engine::{Database, EngineConfig, FaultConfig, FaultSite, RecoveryPolicy};
+use spinner_procedural::{ff, pagerank, run_script, sssp};
 
 /// Strategy: a small random graph spec.
 fn graph_spec() -> impl Strategy<Value = GraphSpec> {
@@ -175,6 +175,84 @@ proptest! {
             .query("SELECT COUNT(*) FROM (SELECT DISTINCT src FROM edges)")
             .unwrap();
         prop_assert_eq!(twice.rows(), once.rows());
+    }
+}
+
+/// Strategy: one deterministic fault (site × position × kind). Panic
+/// kind is restricted to the Worker site — that is the only site behind
+/// a catch_unwind boundary; everywhere else a panic is a driver bug by
+/// design, not a recoverable fault.
+fn single_fault() -> impl Strategy<Value = FaultConfig> {
+    (0usize..7, 1u64..60, any::<bool>()).prop_map(|(site_idx, nth, panic)| {
+        let site = [
+            FaultSite::Exchange,
+            FaultSite::Materialize,
+            FaultSite::Rename,
+            FaultSite::LoopIteration,
+            FaultSite::Worker,
+            FaultSite::Checkpoint,
+            FaultSite::Recovery,
+        ][site_idx];
+        if panic && site == FaultSite::Worker {
+            FaultConfig::panic_nth(site, nth)
+        } else {
+            FaultConfig::fail_nth(site, nth)
+        }
+    })
+}
+
+/// Strategy: a recovery policy with every mechanism enabled (≥1 retry,
+/// ≥1 loop recovery, some checkpoint cadence, no backoff sleep so the
+/// suite stays fast).
+fn enabled_recovery_policy() -> impl Strategy<Value = RecoveryPolicy> {
+    (1u64..5, 1u64..3, 1u64..4).prop_map(|(interval, retries, recoveries)| RecoveryPolicy {
+        checkpoint_interval: interval,
+        max_partition_retries: retries,
+        retry_backoff_ms: 0,
+        max_loop_recoveries: recoveries,
+    })
+}
+
+fn sorted_rows(batch: &spinner_common::Batch) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = batch.rows().iter().map(|r| r.to_vec()).collect();
+    rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recovery is semantically invisible: for any random graph, any
+    /// single-fault schedule, and any enabled retry/checkpoint policy,
+    /// PageRank and SSSP return rows identical to a fault-free run —
+    /// whether the fault was absorbed by a partition retry, a step
+    /// retry, or a full rollback-and-replay (or never fired at all).
+    #[test]
+    fn single_fault_with_recovery_is_invisible(
+        spec in graph_spec(),
+        fault in single_fault(),
+        policy in enabled_recovery_policy(),
+        parallel in any::<bool>(),
+        use_pagerank in any::<bool>(),
+    ) {
+        let w = if use_pagerank {
+            pagerank(6, false)
+        } else {
+            sssp(8, 1, false)
+        };
+        let clean = load(&spec, EngineConfig::default()).query(&w.cte).unwrap();
+        let config = EngineConfig::default()
+            .with_parallel_partitions(parallel)
+            .with_recovery(policy)
+            .with_fault(fault.clone());
+        let faulty = load(&spec, config).query(&w.cte).unwrap_or_else(|e| {
+            panic!("fault {fault:?} escaped recovery: {e}")
+        });
+        prop_assert_eq!(
+            sorted_rows(&faulty),
+            sorted_rows(&clean),
+            "fault {:?} changed the result rows", fault
+        );
     }
 }
 
