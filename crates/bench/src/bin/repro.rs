@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Artifacts: `table1`, `fig8`, `fig9`, `fig10`, `fig11`, `convergence`,
-//! `recovery`.
+//! `recovery`, `spill`.
 
 use std::time::{Duration, Instant};
 
@@ -26,17 +26,19 @@ fn main() {
         "fig11" => fig11(),
         "convergence" => convergence(),
         "recovery" => recovery(),
+        "spill" => spill(),
         "all" => table1()
             .and_then(|()| fig8())
             .and_then(|()| fig9())
             .and_then(|()| fig10())
             .and_then(|()| fig11())
             .and_then(|()| convergence())
-            .and_then(|()| recovery()),
+            .and_then(|()| recovery())
+            .and_then(|()| spill()),
         other => {
             eprintln!(
                 "repro: unknown artifact '{other}'; \
-                 use table1|fig8|fig9|fig10|fig11|convergence|recovery|all"
+                 use table1|fig8|fig9|fig10|fig11|convergence|recovery|spill|all"
             );
             std::process::exit(1);
         }
@@ -296,6 +298,66 @@ fn recovery() -> Result<()> {
         stats.partition_retries + stats.step_retries,
     );
     println!("(checkpoints are Arc snapshots: O(partitions) per table, not row copies)");
+    Ok(())
+}
+
+/// Spill-to-disk: run PageRank with the memory accountant's threshold at
+/// off / 64 KiB / 1 byte. The 1-byte run forces every intermediate result
+/// and checkpoint through the spill files; results must stay identical,
+/// and the counters show how much state moved to disk and back.
+fn spill() -> Result<()> {
+    header("Spill — graceful degradation under memory pressure (PR, 25 iterations, dblp-like)");
+    let sql = pagerank(ITERATIONS, false).cte;
+    println!(
+        "{:<12} {:>14} {:>9} {:>8} {:>14} {:>14} {:>14}",
+        "threshold", "time", "overhead", "spills", "bytes_written", "bytes_read", "peak_tracked"
+    );
+    let mut baseline: Option<Duration> = None;
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    for (label, threshold) in [
+        ("off", None),
+        ("64 KiB", Some(64 * 1024)),
+        ("1 byte", Some(1)),
+    ] {
+        let config = EngineConfig {
+            spill_threshold_bytes: threshold,
+            ..EngineConfig::default()
+        };
+        let db = setup_db(BenchDataset::DblpLike, config, false);
+        let t = time_query(&db, &sql)?;
+        let rows = sorted_rows(&db.query(&sql)?);
+        match &reference {
+            None => reference = Some(rows),
+            Some(expected) if *expected == rows => {}
+            Some(_) => {
+                return Err(spinner_engine::Error::execution(
+                    "spilled run diverged from the in-memory run",
+                ));
+            }
+        }
+        let stats = db.take_stats();
+        let overhead = match baseline {
+            None => {
+                baseline = Some(t);
+                "—".to_string()
+            }
+            Some(base) => format!("{:+.1}%", -improvement(base, t)),
+        };
+        println!(
+            "{:<12} {:>14.2?} {:>9} {:>8} {:>14} {:>14} {:>14}",
+            label,
+            t,
+            overhead,
+            stats.spill_events,
+            stats.spill_bytes_written,
+            stats.spill_bytes_read,
+            stats.peak_tracked_bytes,
+        );
+    }
+    println!(
+        "(rows identical across all three; victims are picked coldest-first, \
+         so spilled state here is dying temps that never need rehydration)"
+    );
     Ok(())
 }
 

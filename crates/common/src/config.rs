@@ -102,6 +102,18 @@ pub struct EngineConfig {
     /// disables mid-loop recovery; exhausting a non-zero budget yields
     /// `Error::RecoveryExhausted`.
     pub max_loop_recoveries: u64,
+    /// High-water mark in estimated bytes of resident intermediate state.
+    /// `None` (the default) disables spilling entirely and preserves the
+    /// PR-1 fail-fast budget behaviour; `Some(n)` makes the executor spill
+    /// cold intermediate state to disk whenever tracked resident bytes
+    /// exceed `n`, degrading to slower-but-correct execution instead of
+    /// failing the query.
+    pub spill_threshold_bytes: Option<u64>,
+    /// Directory for spill files. `None` uses the OS temp directory. Only
+    /// consulted when [`spill_threshold_bytes`](Self::spill_threshold_bytes)
+    /// is set; validated (exists, is a directory, writable) by
+    /// [`EngineConfig::validate`].
+    pub spill_dir: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -124,7 +136,48 @@ impl Default for EngineConfig {
             max_partition_retries: 0,
             retry_backoff_ms: 0,
             max_loop_recoveries: 0,
+            spill_threshold_bytes: spill_threshold_from_env(),
+            spill_dir: std::env::var("SPINNER_SPILL_DIR").ok(),
         }
+    }
+}
+
+/// Forced-spill override for CI: `SPINNER_SPILL_THRESHOLD=<bytes>` makes
+/// every default-configured engine spill once resident intermediate state
+/// exceeds that many bytes, so the whole tier-1 suite exercises the spill
+/// path. Unset, unparsable, or `0` all mean "disabled".
+fn spill_threshold_from_env() -> Option<u64> {
+    std::env::var("SPINNER_SPILL_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+}
+
+/// A usable spill directory exists, is a directory, and accepts writes.
+/// Probed up front so misconfiguration is an [`crate::Error::InvalidConfig`]
+/// at `Database::new`, not a mid-loop `SpillUnavailable`.
+fn validate_spill_dir(dir: &str) -> crate::Result<()> {
+    use crate::Error;
+    let path = std::path::Path::new(dir);
+    if !path.exists() {
+        return Err(Error::InvalidConfig(format!(
+            "spill_dir '{dir}' does not exist"
+        )));
+    }
+    if !path.is_dir() {
+        return Err(Error::InvalidConfig(format!(
+            "spill_dir '{dir}' is not a directory"
+        )));
+    }
+    let probe = path.join(format!(".spinner_spill_probe_{}", std::process::id()));
+    match std::fs::write(&probe, b"probe") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+            Ok(())
+        }
+        Err(e) => Err(Error::InvalidConfig(format!(
+            "spill_dir '{dir}' is not writable: {e}"
+        ))),
     }
 }
 
@@ -241,6 +294,20 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter for the spill high-water mark in bytes.
+    /// Crossing it spills cold intermediate state to disk instead of
+    /// failing the query.
+    pub fn with_spill_threshold_bytes(mut self, threshold: u64) -> Self {
+        self.spill_threshold_bytes = Some(threshold);
+        self
+    }
+
+    /// Builder-style setter for the spill-file directory.
+    pub fn with_spill_dir(mut self, dir: impl Into<String>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
     /// Apply a whole [`RecoveryPolicy`] at once.
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.checkpoint_interval = policy.checkpoint_interval;
@@ -286,6 +353,16 @@ impl EngineConfig {
                 self.retry_backoff_ms
             )));
         }
+        if self.spill_threshold_bytes == Some(0) {
+            return Err(Error::InvalidConfig(
+                "spill_threshold_bytes of 0 would spill every allocation; \
+                 use None to disable spilling"
+                    .into(),
+            ));
+        }
+        if let Some(dir) = &self.spill_dir {
+            validate_spill_dir(dir)?;
+        }
         for fault in &self.faults {
             match fault.trigger {
                 FaultTrigger::Nth(0) => {
@@ -329,6 +406,14 @@ pub enum FaultSite {
     /// table is put back, so a failed restore leaves the registry as the
     /// failed iteration left it and consumes another recovery attempt.
     Recovery,
+    /// While a victim region is being serialized to a spill file. Fires
+    /// before any bytes are written, so a failed spill write leaves the
+    /// region resident and untouched.
+    SpillWrite,
+    /// While a spilled region is being read back. Fires before the file is
+    /// opened; a firing is a transient fault, absorbed by step retry or
+    /// rollback-and-replay like any other transient I/O failure.
+    SpillRead,
 }
 
 /// The recovery-related knobs of an [`EngineConfig`], bundled so callers
@@ -574,5 +659,45 @@ mod tests {
     fn huge_backoff_rejected() {
         let c = EngineConfig::default().with_retry_backoff_ms(120_000);
         assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn zero_spill_threshold_rejected() {
+        let c = EngineConfig::default().with_spill_threshold_bytes(0);
+        match c.validate() {
+            Err(crate::Error::InvalidConfig(m)) => {
+                assert!(m.contains("spill_threshold_bytes"), "{m}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spill_dir_must_exist_and_be_a_directory() {
+        let c = EngineConfig::default()
+            .with_spill_threshold_bytes(1024)
+            .with_spill_dir("/nonexistent/spinner/spill/dir");
+        match c.validate() {
+            Err(crate::Error::InvalidConfig(m)) => {
+                assert!(m.contains("does not exist"), "{m}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // A file path is rejected even though it exists.
+        let file = std::env::temp_dir().join(format!("spinner_not_a_dir_{}", std::process::id()));
+        std::fs::write(&file, b"x").unwrap();
+        let c = EngineConfig::default().with_spill_dir(file.to_str().unwrap());
+        match c.validate() {
+            Err(crate::Error::InvalidConfig(m)) => {
+                assert!(m.contains("not a directory"), "{m}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        std::fs::remove_file(&file).unwrap();
+        // The OS temp dir is writable, so this validates.
+        let c = EngineConfig::default()
+            .with_spill_threshold_bytes(1024)
+            .with_spill_dir(std::env::temp_dir().to_str().unwrap());
+        assert!(c.validate().is_ok());
     }
 }

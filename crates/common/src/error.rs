@@ -91,6 +91,15 @@ pub enum Error {
     },
     /// The engine configuration failed validation.
     InvalidConfig(String),
+    /// Memory pressure demanded a spill but the disk write (or read-back)
+    /// failed, so the engine could not degrade gracefully. Carries the
+    /// region that needed spilling and the underlying failure text.
+    SpillUnavailable {
+        /// The region (temp result or checkpoint) that needed spilling.
+        region: String,
+        /// The underlying I/O failure, stringified.
+        message: String,
+    },
     /// Mid-loop recovery gave up: every rollback budgeted by
     /// `max_loop_recoveries` was spent and the loop still failed. Carries
     /// the error that exhausted the budget.
@@ -163,9 +172,10 @@ impl Error {
     /// is [`ErrorClass::Fatal`].
     pub fn class(&self) -> ErrorClass {
         match self {
-            Error::FaultInjected { .. } | Error::WorkerPanicked { .. } | Error::Io(_) => {
-                ErrorClass::Transient
-            }
+            Error::FaultInjected { .. }
+            | Error::WorkerPanicked { .. }
+            | Error::Io(_)
+            | Error::SpillUnavailable { .. } => ErrorClass::Transient,
             _ => ErrorClass::Fatal,
         }
     }
@@ -229,6 +239,11 @@ impl fmt::Display for Error {
             }
             Error::FaultInjected { site } => write!(f, "injected fault at {site}"),
             Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::SpillUnavailable { region, message } => write!(
+                f,
+                "spill unavailable for '{region}': {message}; \
+                 intermediate state cannot be moved to disk"
+            ),
             Error::RecoveryExhausted {
                 cte,
                 recoveries,
@@ -303,6 +318,13 @@ mod tests {
         }
         .is_retryable());
         assert!(Error::Io("disk".into()).is_retryable());
+        // A failed spill is an I/O failure at heart: retryable, so a
+        // failed spill *read* mid-loop triggers rollback-and-replay.
+        assert!(Error::SpillUnavailable {
+            region: "__cte_pr_1".into(),
+            message: "disk full".into()
+        }
+        .is_retryable());
         assert_eq!(Error::Cancelled.class(), ErrorClass::Fatal);
         assert_eq!(
             Error::InvalidConfig("bad".into()).class(),

@@ -253,6 +253,17 @@ impl QueryGuard {
     pub fn intermediate_bytes_used(&self) -> u64 {
         self.intermediate_bytes.used()
     }
+
+    /// The configured intermediate-bytes budget, `None` when unlimited.
+    ///
+    /// With spilling enabled the executor enforces this limit against
+    /// *resident* bytes (after a spill pass) instead of the cumulative
+    /// charge, so it needs the raw limit rather than
+    /// [`charge_intermediate_bytes`](Self::charge_intermediate_bytes).
+    pub fn intermediate_bytes_limit(&self) -> Option<u64> {
+        let limit = self.intermediate_bytes.limit;
+        (limit != u64::MAX).then_some(limit)
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 pub mod config;
 pub mod error;
 pub mod guard;
+pub mod memory;
 pub mod profile;
 pub mod row;
 pub mod schema;
@@ -19,7 +20,13 @@ pub mod value;
 pub use config::{EngineConfig, FaultConfig, FaultKind, FaultSite, FaultTrigger, RecoveryPolicy};
 pub use error::{Error, ErrorClass, Result};
 pub use guard::QueryGuard;
-pub use profile::{IterationProfile, ProfileNode, QueryProfile, RecoveryProfile, SpanKind, Tracer};
+pub use memory::{
+    MemoryAccountant, MemoryCounters, MemoryMetrics, RegionId, RegionKind, SpillFaultHook,
+    SpillRequest, TransientRegion,
+};
+pub use profile::{
+    IterationProfile, ProfileNode, QueryProfile, RecoveryProfile, SpanKind, SpillProfile, Tracer,
+};
 pub use row::{batch_of, row_of, Batch, Row};
 pub use schema::{Field, Schema, SchemaRef};
 pub use value::{DataType, Value};

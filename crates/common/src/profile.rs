@@ -116,6 +116,32 @@ impl RecoveryProfile {
     }
 }
 
+/// Spill activity of one statement — the `EXPLAIN ANALYZE` view of the
+/// memory accountant. All-zero (and omitted from JSON) unless memory
+/// pressure made the engine spill, so profiles from spill-free runs stay
+/// byte-identical to the previous format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillProfile {
+    /// Regions written to spill files.
+    pub events: u64,
+    /// Bytes written to spill files.
+    pub bytes_written: u64,
+    /// Bytes read back from spill files.
+    pub bytes_read: u64,
+    /// High-water mark of resident tracked intermediate bytes.
+    pub peak_tracked_bytes: u64,
+}
+
+impl SpillProfile {
+    /// Whether any spill activity (or tracking) was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+            && self.bytes_written == 0
+            && self.bytes_read == 0
+            && self.peak_tracked_bytes == 0
+    }
+}
+
 /// One node of the profile tree: a step, operator or loop with its
 /// actual (not estimated) runtime counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -351,6 +377,9 @@ pub struct QueryProfile {
     pub roots: Vec<ProfileNode>,
     /// End-to-end wall time of the statement in microseconds.
     pub total_elapsed_us: u64,
+    /// Statement-level spill activity; all-zero unless memory pressure
+    /// made the engine spill intermediate state to disk.
+    pub spill: SpillProfile,
 }
 
 impl QueryProfile {
@@ -372,13 +401,30 @@ impl QueryProfile {
     /// Machine-readable JSON rendering (consumed by the `repro` binary and
     /// the CLI's `\json` toggle). Round-trips via [`QueryProfile::from_json`].
     pub fn to_json(&self) -> String {
-        let v = Json::Obj(vec![
+        let mut fields = vec![
             ("total_elapsed_us".into(), Json::Num(self.total_elapsed_us)),
             (
                 "roots".into(),
                 Json::Arr(self.roots.iter().map(|r| r.to_json_value()).collect()),
             ),
-        ]);
+        ];
+        // Like the recovery key: spill-free profiles stay byte-identical
+        // to the previous format.
+        if !self.spill.is_empty() {
+            fields.push((
+                "spill".into(),
+                Json::Obj(vec![
+                    ("events".into(), Json::Num(self.spill.events)),
+                    ("bytes_written".into(), Json::Num(self.spill.bytes_written)),
+                    ("bytes_read".into(), Json::Num(self.spill.bytes_read)),
+                    (
+                        "peak_tracked_bytes".into(),
+                        Json::Num(self.spill.peak_tracked_bytes),
+                    ),
+                ]),
+            ));
+        }
+        let v = Json::Obj(fields);
         let mut out = String::new();
         v.write(&mut out);
         out
@@ -388,6 +434,19 @@ impl QueryProfile {
     pub fn from_json(text: &str) -> Result<QueryProfile> {
         let v = Json::parse(text)?;
         let obj = v.as_obj("profile")?;
+        let spill = match Json::get_opt(obj, "spill") {
+            None => SpillProfile::default(),
+            Some(v) => {
+                let o = v.as_obj("spill")?;
+                SpillProfile {
+                    events: Json::get(o, "events")?.as_num("events")?,
+                    bytes_written: Json::get(o, "bytes_written")?.as_num("bytes_written")?,
+                    bytes_read: Json::get(o, "bytes_read")?.as_num("bytes_read")?,
+                    peak_tracked_bytes: Json::get(o, "peak_tracked_bytes")?
+                        .as_num("peak_tracked_bytes")?,
+                }
+            }
+        };
         Ok(QueryProfile {
             total_elapsed_us: Json::get(obj, "total_elapsed_us")?.as_num("total_elapsed_us")?,
             roots: Json::get(obj, "roots")?
@@ -395,6 +454,7 @@ impl QueryProfile {
                 .iter()
                 .map(ProfileNode::from_json_value)
                 .collect::<Result<_>>()?,
+            spill,
         })
     }
 
@@ -406,6 +466,14 @@ impl QueryProfile {
         let mut step_no = 1usize;
         for node in &self.roots {
             render_node(node, &mut step_no, 0, &mut out);
+        }
+        if !self.spill.is_empty() {
+            let s = &self.spill;
+            let _ = writeln!(
+                out,
+                "spill: events={}, written={} B, read={} B, peak_tracked={} B",
+                s.events, s.bytes_written, s.bytes_read, s.peak_tracked_bytes
+            );
         }
         let _ = writeln!(
             out,
@@ -767,6 +835,7 @@ impl Tracer {
         QueryProfile {
             roots: std::mem::take(&mut state.roots),
             total_elapsed_us: state.started.elapsed().as_micros() as u64,
+            spill: SpillProfile::default(),
         }
     }
 }

@@ -3,36 +3,68 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use spinner_common::memory::SpillFaultHook;
 use spinner_common::{
-    Batch, EngineConfig, Error, QueryGuard, QueryProfile, Result, Row, Schema, SchemaRef, Tracer,
-    Value,
+    Batch, EngineConfig, Error, FaultSite, QueryGuard, QueryProfile, Result, Row, Schema,
+    SchemaRef, SpillProfile, Tracer, Value,
 };
 use spinner_exec::stats::StatsSnapshot;
 use spinner_exec::{ExecStats, Executor, FaultInjector};
 use spinner_parser::{parse_sql, parse_statements, Statement};
 use spinner_plan::builder::SchemaProvider;
 use spinner_plan::{plan_statement, LogicalPlan, PlanExpr, PlannedStatement, QueryPlan};
-use spinner_storage::{Catalog, CheckpointStore, TempRegistry};
+use spinner_storage::{Catalog, CheckpointStore, SpillEnv, TempRegistry};
 
 /// An in-process DBSpinner database instance.
 ///
-/// Thread-compatible: wrap in `Arc` and synchronize externally for
-/// concurrent sessions; all internal state uses its own locks.
+/// Thread-compatible: wrap in `Arc` to share across sessions. Statements
+/// own their execution state (temp registry, loop checkpoints), so
+/// concurrent queries never observe — or clear — each other's
+/// intermediate results; catalog access uses internal locks.
+/// Configuration changes (`set_config`) still require `&mut self`.
 pub struct Database {
     catalog: Catalog,
     config: EngineConfig,
-    stats: ExecStats,
+    /// `Arc`'d so the spill fault hook can share them with the spill
+    /// manager; everything else borrows them as before.
+    stats: Arc<ExecStats>,
     /// Chaos-testing fault injector, rebuilt whenever the config changes.
     /// Disabled (zero overhead beyond an emptiness check) by default.
-    faults: FaultInjector,
-    /// Session-scoped temp-result registry. Cleared after every statement
-    /// — success or failure — so an injected fault or tripped guardrail
-    /// can never leak intermediate state into the next query.
+    faults: Arc<FaultInjector>,
+    /// Memory accountant + spill manager, built when the config sets
+    /// `spill_threshold_bytes` and installed into every statement's
+    /// temp registry and checkpoint store. `None` preserves the
+    /// fail-fast budget semantics.
+    spill: Option<Arc<SpillEnv>>,
+}
+
+/// Per-statement execution state: the temp-result registry and loop-
+/// checkpoint store a single statement runs against. Statements *own*
+/// their state — nothing is shared or cleared across statements — so
+/// concurrent sessions on one `Database` can never race on each other's
+/// working tables, and a faulted statement structurally cannot leak
+/// intermediate state (dropping the state also deletes any spill files
+/// its entries held).
+struct StatementState {
     temp: TempRegistry,
-    /// Loop-checkpoint store for mid-loop recovery. Like `temp`, cleared
-    /// on every statement exit path — checkpoints only live as long as
-    /// the loop they protect.
     checkpoints: CheckpointStore,
+}
+
+/// Routes the spill manager's fault sites (`SpillWrite`/`SpillRead`)
+/// through the engine's chaos-testing injector, so spill I/O composes
+/// with the fault matrix like every other pipeline site. Lives here (not
+/// in storage) because storage cannot depend on the exec crate's
+/// injector — the manager only sees the [`SpillFaultHook`] trait.
+#[derive(Debug)]
+struct EngineSpillHook {
+    faults: Arc<FaultInjector>,
+    stats: Arc<ExecStats>,
+}
+
+impl SpillFaultHook for EngineSpillHook {
+    fn hit(&self, site: FaultSite) -> Result<()> {
+        self.faults.hit(site, &self.stats)
+    }
 }
 
 impl Default for Database {
@@ -61,15 +93,44 @@ impl Database {
     /// plans — see [`EngineConfig::validate`]).
     pub fn new(config: EngineConfig) -> Result<Self> {
         config.validate()?;
-        let faults = FaultInjector::from_config(&config);
-        Ok(Database {
+        let mut db = Database {
             catalog: Catalog::new(),
-            config,
-            stats: ExecStats::new(),
-            faults,
-            temp: TempRegistry::new(),
-            checkpoints: CheckpointStore::new(),
-        })
+            config: EngineConfig::default(),
+            stats: Arc::new(ExecStats::new()),
+            faults: Arc::new(FaultInjector::disabled()),
+            spill: None,
+        };
+        db.install_config(config);
+        Ok(db)
+    }
+
+    /// Install a validated config: rebuild the fault injector and the
+    /// spill environment handed to each statement's execution state.
+    fn install_config(&mut self, config: EngineConfig) {
+        self.faults = Arc::new(FaultInjector::from_config(&config));
+        self.spill = config.spill_threshold_bytes.map(|threshold| {
+            let hook: Arc<dyn SpillFaultHook> = Arc::new(EngineSpillHook {
+                faults: Arc::clone(&self.faults),
+                stats: Arc::clone(&self.stats),
+            });
+            Arc::new(SpillEnv::new(
+                threshold,
+                config.spill_dir.as_deref(),
+                Some(hook),
+            ))
+        });
+        self.config = config;
+    }
+
+    /// Fresh per-statement execution state, wired to the session's spill
+    /// environment (shared accountant: concurrent statements contend for
+    /// the same memory threshold, as they would for real memory).
+    fn statement_state(&self) -> StatementState {
+        let temp = TempRegistry::new();
+        temp.set_spill(self.spill.clone());
+        let checkpoints = CheckpointStore::new();
+        checkpoints.set_spill(self.spill.clone());
+        StatementState { temp, checkpoints }
     }
 
     /// New database with every DBSpinner optimization disabled — the
@@ -88,8 +149,7 @@ impl Database {
     /// is kept.
     pub fn set_config(&mut self, config: EngineConfig) -> Result<()> {
         config.validate()?;
-        self.faults = FaultInjector::from_config(&config);
-        self.config = config;
+        self.install_config(config);
         Ok(())
     }
 
@@ -105,11 +165,14 @@ impl Database {
         self.config.recovery_policy()
     }
 
-    /// Number of live entries in the session temp-result registry.
-    /// Always 0 between statements: the registry is cleared on every
-    /// exit path, including injected faults and tripped guardrails.
+    /// Number of live entries in session-shared temp-result state.
+    /// Always 0 between statements — and, since statements own their
+    /// temp registries (created at entry, dropped on every exit path,
+    /// taking any spill files with them), structurally 0 here: no
+    /// intermediate state outlives the statement that made it, even
+    /// after injected faults or tripped guardrails.
     pub fn temp_result_count(&self) -> usize {
-        self.temp.len()
+        0
     }
 
     /// Direct catalog access (datagen loaders, tests).
@@ -281,7 +344,17 @@ impl Database {
                 };
                 let tracer = Tracer::new();
                 self.run_query_plan(&plan, guard, &tracer)?;
-                Ok(super::QueryResult::Analyze(tracer.finish()))
+                let mut profile = tracer.finish();
+                // Spill counters live in flat stats (drained per
+                // statement), not in spans; graft them onto the profile.
+                let snap = self.stats.snapshot();
+                profile.spill = SpillProfile {
+                    events: snap.spill_events,
+                    bytes_written: snap.spill_bytes_written,
+                    bytes_read: snap.spill_bytes_read,
+                    peak_tracked_bytes: snap.peak_tracked_bytes,
+                };
+                Ok(super::QueryResult::Analyze(profile))
             }
             PlannedStatement::CreateTable {
                 name,
@@ -343,23 +416,49 @@ impl Database {
         guard: &QueryGuard,
         tracer: &Tracer,
     ) -> Result<Batch> {
+        let state = self.statement_state();
         let exec = Executor {
             catalog: &self.catalog,
-            registry: &self.temp,
+            registry: &state.temp,
             config: &self.config,
             stats: &self.stats,
             guard,
             faults: &self.faults,
             tracer,
-            checkpoints: &self.checkpoints,
+            checkpoints: &state.checkpoints,
         };
         let result = exec.run_query(plan);
-        // Clear on every exit path: a cancelled/faulted query must not
-        // leave partial working tables or stale loop checkpoints behind
-        // for the next statement.
-        self.temp.clear();
-        self.checkpoints.clear();
+        // Release on every exit path: a cancelled/faulted query must not
+        // leave partial working tables or stale loop checkpoints behind.
+        // Clearing releases the accountant's regions and deletes this
+        // statement's remaining spill files (their handles drop with the
+        // entries); `state` itself drops at scope end.
+        state.temp.clear();
+        state.checkpoints.clear();
+        self.drain_spill_metrics();
         result
+    }
+
+    /// Fold the spill subsystem's counters for the finished statement into
+    /// the per-statement [`ExecStats`]. The accountant/manager metrics are
+    /// drained (swap-to-zero), so each statement reports only its own
+    /// spill activity.
+    fn drain_spill_metrics(&self) {
+        use std::sync::atomic::Ordering;
+        let Some(env) = &self.spill else { return };
+        let c = env.metrics().drain();
+        self.stats
+            .spill_events
+            .fetch_add(c.spill_events, Ordering::Relaxed);
+        self.stats
+            .spill_bytes_written
+            .fetch_add(c.spill_bytes_written, Ordering::Relaxed);
+        self.stats
+            .spill_bytes_read
+            .fetch_add(c.spill_bytes_read, Ordering::Relaxed);
+        self.stats
+            .peak_tracked_bytes
+            .fetch_max(c.peak_tracked_bytes, Ordering::Relaxed);
     }
 
     /// UPDATE [FROM]: when a FROM clause is present, equi-conjuncts of the
@@ -399,18 +498,20 @@ impl Database {
             }),
             Some(from_plan) => {
                 let tracer = Tracer::disabled();
+                let state = self.statement_state();
                 let exec = Executor {
                     catalog: &self.catalog,
-                    registry: &self.temp,
+                    registry: &state.temp,
                     config: &self.config,
                     stats: &self.stats,
                     guard,
                     faults: &self.faults,
                     tracer: &tracer,
-                    checkpoints: &self.checkpoints,
+                    checkpoints: &state.checkpoints,
                 };
                 let from_result = exec.execute_logical(&from_plan);
-                self.temp.clear();
+                state.temp.clear();
+                self.drain_spill_metrics();
                 let from_rows: Vec<Row> = from_result?.gather();
                 // Split the WHERE clause into hashable equi conjuncts
                 // (table expr = from expr) and a residual.

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use spinner_common::memory::{RegionKind, SpillRequest};
 use spinner_common::profile::{SpanKind, Tracer};
 use spinner_common::{Batch, EngineConfig, Error, FaultSite, QueryGuard, Result, Row, Value};
 use spinner_plan::{LogicalPlan, LoopKind, LoopStep, PlanExpr, QueryPlan, Step, TerminationPlan};
@@ -203,10 +204,19 @@ impl Executor<'_> {
                 }
                 let total = data.total_rows() as u64;
                 self.guard.charge_rows_materialized(total)?;
-                self.guard
-                    .charge_intermediate_bytes(data.estimated_bytes())?;
+                let spilling = self.registry.spill_env().is_some();
+                if !spilling {
+                    // Fail-fast path (spilling off): the budget is a
+                    // cumulative charge that trips before the result is
+                    // even stored.
+                    self.guard
+                        .charge_intermediate_bytes(data.estimated_bytes())?;
+                }
                 ExecStats::add(&self.stats.rows_materialized, total);
                 self.registry.put(name, data);
+                if spilling {
+                    self.relieve_memory_pressure(&[name])?;
+                }
                 Ok(None)
             }
             Step::Rename { from, to } => {
@@ -304,7 +314,59 @@ impl Executor<'_> {
         );
         // Algorithm 1, line 10: the working table is consumed by the merge.
         self.registry.remove(working);
+        self.relieve_memory_pressure(&[merged])?;
         Ok(updated)
+    }
+
+    /// With a spill environment installed, bring tracked intermediate
+    /// state back under the spill threshold by spilling victims — coldest
+    /// loop-invariant state (common-result tables, old checkpoints) first,
+    /// then non-current working tables; regions named in `protect` (the
+    /// state the caller just wrote and is about to read) are never picked.
+    /// The guard's intermediate-bytes budget is then enforced against what
+    /// is still *resident*: `ResourceExhausted` fires only when spilling
+    /// could not get below the budget, and a failed disk write surfaces as
+    /// the typed, transient [`Error::SpillUnavailable`]. Without a spill
+    /// environment this is a no-op (the fail-fast cumulative charge in the
+    /// caller already ran).
+    fn relieve_memory_pressure(&self, protect: &[&str]) -> Result<()> {
+        let Some(env) = self.registry.spill_env() else {
+            return Ok(());
+        };
+        if env.accountant.over_threshold() {
+            for victim in env.accountant.spill_plan(protect) {
+                self.spill_victim(&victim)?;
+            }
+        }
+        if let Some(limit) = self.guard.intermediate_bytes_limit() {
+            let resident = env.accountant.resident_bytes();
+            if resident > limit {
+                return Err(Error::ResourceExhausted {
+                    resource: "intermediate_bytes".to_string(),
+                    used: resident,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatch one spill-plan victim to the store that owns it. A victim
+    /// that disappeared or was spilled concurrently is a benign no-op.
+    fn spill_victim(&self, victim: &SpillRequest) -> Result<()> {
+        match victim.kind {
+            RegionKind::Checkpoint => {
+                let loop_id = victim
+                    .name
+                    .strip_prefix("checkpoint:")
+                    .unwrap_or(&victim.name);
+                self.checkpoints.spill_entry(loop_id)?;
+            }
+            _ => {
+                self.registry.spill_entry(&victim.name)?;
+            }
+        }
+        Ok(())
     }
 
     /// The `loop` operator.
@@ -448,10 +510,18 @@ impl Executor<'_> {
         };
         let bytes = ckpt.estimated_bytes();
         self.faults.hit(FaultSite::Checkpoint, self.stats)?;
+        if self.registry.spill_env().is_none() {
+            // Snapshots hold real memory until replaced: debit the same
+            // budget materialized results are charged against. (They were
+            // previously counted in stats but never charged, letting a
+            // checkpointed loop exceed `max_intermediate_bytes` unseen.)
+            self.guard.charge_intermediate_bytes(bytes)?;
+        }
         self.checkpoints.save(&l.cte, ckpt);
         ExecStats::add(&self.stats.checkpoints_taken, 1);
         ExecStats::add(&self.stats.checkpoint_bytes, bytes);
         self.tracer.note_checkpoint(bytes);
+        self.relieve_memory_pressure(&[&l.cte])?;
         Ok(())
     }
 
@@ -532,7 +602,10 @@ impl Executor<'_> {
     /// chaos `Recovery` fault site fires before any table is restored, so
     /// a killed restore is all-or-nothing with respect to the registry.
     fn restore_checkpoint(&self, l: &LoopStep, failed_iteration: u64) -> Result<LoopCheckpoint> {
-        let ckpt = self.checkpoints.latest(&l.cte).ok_or_else(|| {
+        // `latest` rehydrates a spilled snapshot; a failed read surfaces
+        // as a transient error the caller retries (consuming a recovery
+        // attempt), never as a silent "no checkpoint".
+        let ckpt = self.checkpoints.latest(&l.cte)?.ok_or_else(|| {
             Error::execution(format!(
                 "no checkpoint to roll back to for iterative CTE '{}'",
                 l.cte_display_name
@@ -682,6 +755,7 @@ impl Executor<'_> {
                 parts: new_parts.into_iter().map(Arc::new).collect(),
             },
         );
+        self.relieve_memory_pressure(&[&l.cte, delta_name])?;
         Ok(false)
     }
 }

@@ -61,6 +61,8 @@ pub fn site_name(site: FaultSite) -> &'static str {
         FaultSite::Worker => "worker",
         FaultSite::Checkpoint => "checkpoint",
         FaultSite::Recovery => "recovery",
+        FaultSite::SpillWrite => "spill_write",
+        FaultSite::SpillRead => "spill_read",
     }
 }
 

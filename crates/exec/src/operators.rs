@@ -8,6 +8,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use spinner_common::memory::RegionKind;
 use spinner_common::profile::{SpanKind, Tracer};
 use spinner_common::{EngineConfig, Error, FaultSite, QueryGuard, Result, Row, Value};
 use spinner_plan::{AggExpr, JoinType, PlanExpr, SetOpKind, SortKey};
@@ -39,6 +40,29 @@ pub struct OpContext<'a> {
 impl OpContext<'_> {
     fn partitions(&self) -> usize {
         self.config.partitions
+    }
+}
+
+/// Track the approximate bytes of an operator's in-flight hash state (a
+/// join build side, aggregation groups) against the memory accountant for
+/// the duration of `scope`. Such state is *pinned* — an operator cannot
+/// have its hash table moved to disk mid-build — so it contributes to
+/// pressure (pushing colder named state out) and to the peak high-water
+/// mark, but is never itself a spill victim. No-op without a spill
+/// environment.
+fn with_transient_tracking<T>(
+    ctx: &OpContext<'_>,
+    label: &str,
+    kind: RegionKind,
+    bytes: u64,
+    scope: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    match ctx.registry.spill_env() {
+        Some(env) => {
+            let _region = env.accountant.track_transient(label, kind, bytes);
+            scope()
+        }
+        None => scope(),
     }
 }
 
@@ -148,18 +172,26 @@ fn execute_inner(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned
             let r = execute(right, ctx)?;
             ExecStats::add(&ctx.stats.joins_executed, 1);
             let (lwidth, rwidth) = (l.schema.len(), r.schema.len());
-            let out = binary_map(&l, &r, ctx, |lrows, rrows| {
-                hash_join_partition(
-                    lrows,
-                    rrows,
-                    *join_type,
-                    left_keys,
-                    right_keys,
-                    residual.as_ref(),
-                    lwidth,
-                    rwidth,
-                )
-            })?;
+            let out = with_transient_tracking(
+                ctx,
+                "hash join build",
+                RegionKind::HashJoinBuild,
+                r.estimated_bytes(),
+                || {
+                    binary_map(&l, &r, ctx, |lrows, rrows| {
+                        hash_join_partition(
+                            lrows,
+                            rrows,
+                            *join_type,
+                            left_keys,
+                            right_keys,
+                            residual.as_ref(),
+                            lwidth,
+                            rwidth,
+                        )
+                    })
+                },
+            )?;
             Ok(Partitioned {
                 schema: schema.clone(),
                 parts: out,
@@ -206,9 +238,17 @@ fn execute_inner(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned
             if group.is_empty() {
                 global_aggregate(&data, aggs, schema.clone(), ctx)
             } else {
-                let out = unary_map(&data, ctx, |rows| {
-                    grouped_aggregate_partition(rows, group, aggs)
-                })?;
+                let out = with_transient_tracking(
+                    ctx,
+                    "hash aggregate",
+                    RegionKind::HashAggregate,
+                    data.estimated_bytes(),
+                    || {
+                        unary_map(&data, ctx, |rows| {
+                            grouped_aggregate_partition(rows, group, aggs)
+                        })
+                    },
+                )?;
                 Ok(Partitioned {
                     schema: schema.clone(),
                     parts: out,
@@ -222,9 +262,17 @@ fn execute_inner(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned
             schema,
         } => {
             let data = execute(input, ctx)?;
-            let out = unary_map(&data, ctx, |rows| {
-                partial_aggregate_partition(rows, group, aggs)
-            })?;
+            let out = with_transient_tracking(
+                ctx,
+                "partial aggregate",
+                RegionKind::HashAggregate,
+                data.estimated_bytes(),
+                || {
+                    unary_map(&data, ctx, |rows| {
+                        partial_aggregate_partition(rows, group, aggs)
+                    })
+                },
+            )?;
             Ok(Partitioned {
                 schema: schema.clone(),
                 parts: out,
@@ -237,9 +285,17 @@ fn execute_inner(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned
             schema,
         } => {
             let data = execute(input, ctx)?;
-            let out = unary_map(&data, ctx, |rows| {
-                final_aggregate_partition(rows, *group_len, aggs)
-            })?;
+            let out = with_transient_tracking(
+                ctx,
+                "final aggregate",
+                RegionKind::HashAggregate,
+                data.estimated_bytes(),
+                || {
+                    unary_map(&data, ctx, |rows| {
+                        final_aggregate_partition(rows, *group_len, aggs)
+                    })
+                },
+            )?;
             Ok(Partitioned {
                 schema: schema.clone(),
                 parts: out,

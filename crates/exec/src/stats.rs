@@ -45,6 +45,14 @@ pub struct ExecStats {
     pub loop_rollbacks: AtomicU64,
     /// Iterations re-executed because of rollbacks.
     pub iterations_replayed: AtomicU64,
+    /// Intermediate-state regions spilled to disk under memory pressure.
+    pub spill_events: AtomicU64,
+    /// Bytes of serialized intermediate state written to spill files.
+    pub spill_bytes_written: AtomicU64,
+    /// Bytes read back from spill files on rehydration.
+    pub spill_bytes_read: AtomicU64,
+    /// High-water mark of bytes tracked by the memory accountant.
+    pub peak_tracked_bytes: AtomicU64,
 }
 
 impl ExecStats {
@@ -76,6 +84,10 @@ impl ExecStats {
             step_retries: self.step_retries.load(Ordering::Relaxed),
             loop_rollbacks: self.loop_rollbacks.load(Ordering::Relaxed),
             iterations_replayed: self.iterations_replayed.load(Ordering::Relaxed),
+            spill_events: self.spill_events.load(Ordering::Relaxed),
+            spill_bytes_written: self.spill_bytes_written.load(Ordering::Relaxed),
+            spill_bytes_read: self.spill_bytes_read.load(Ordering::Relaxed),
+            peak_tracked_bytes: self.peak_tracked_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -97,6 +109,10 @@ impl ExecStats {
         self.step_retries.store(0, Ordering::Relaxed);
         self.loop_rollbacks.store(0, Ordering::Relaxed);
         self.iterations_replayed.store(0, Ordering::Relaxed);
+        self.spill_events.store(0, Ordering::Relaxed);
+        self.spill_bytes_written.store(0, Ordering::Relaxed);
+        self.spill_bytes_read.store(0, Ordering::Relaxed);
+        self.peak_tracked_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -135,6 +151,14 @@ pub struct StatsSnapshot {
     pub loop_rollbacks: u64,
     /// Iterations re-executed because of rollbacks.
     pub iterations_replayed: u64,
+    /// Intermediate-state regions spilled to disk under memory pressure.
+    pub spill_events: u64,
+    /// Bytes of serialized intermediate state written to spill files.
+    pub spill_bytes_written: u64,
+    /// Bytes read back from spill files on rehydration.
+    pub spill_bytes_read: u64,
+    /// High-water mark of bytes tracked by the memory accountant.
+    pub peak_tracked_bytes: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -171,6 +195,16 @@ impl std::fmt::Display for StatsSnapshot {
                 self.step_retries,
                 self.loop_rollbacks,
                 self.iterations_replayed,
+            )?;
+        }
+        if self.spill_events + self.spill_bytes_written + self.spill_bytes_read > 0 {
+            write!(
+                f,
+                " spills={} spill_written={} spill_read={} peak_tracked={}",
+                self.spill_events,
+                self.spill_bytes_written,
+                self.spill_bytes_read,
+                self.peak_tracked_bytes,
             )?;
         }
         Ok(())

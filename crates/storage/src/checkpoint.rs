@@ -12,13 +12,24 @@
 //! partition as an immutable `Arc<Vec<Row>>`, so cloning a table is O(P)
 //! pointer bumps (copy-on-write) — a checkpoint of a rename-path working
 //! table costs pointers, not rows.
+//!
+//! Under memory pressure a snapshot is a prime spill victim: it is touched
+//! only on save and on rollback, so the accountant ranks checkpoints just
+//! after common-result tables in coldest-first order. A spilled snapshot is
+//! rehydrated by [`CheckpointStore::latest`] — which is why that method is
+//! fallible: the read back from disk can hit a fault, and recovery treats
+//! that as a transient error, never as "no checkpoint, silently restart".
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
+use spinner_common::memory::{RegionId, RegionKind};
+use spinner_common::Result;
 
 use crate::partition::Partitioned;
+use crate::spill::{SpillEnv, SpillHandle};
 
 /// A consistent snapshot of one loop's recoverable state, taken at an
 /// iteration boundary.
@@ -43,6 +54,18 @@ impl LoopCheckpoint {
     }
 }
 
+#[derive(Debug)]
+enum Slot {
+    Resident(LoopCheckpoint),
+    Spilled(SpillHandle),
+}
+
+#[derive(Debug)]
+struct Entry {
+    slot: Slot,
+    region: Option<RegionId>,
+}
+
 /// Per-query store of the latest checkpoint of each running loop, keyed by
 /// the loop's internal CTE name.
 ///
@@ -52,9 +75,10 @@ impl LoopCheckpoint {
 /// live loop state — untouched.
 #[derive(Debug, Default)]
 pub struct CheckpointStore {
-    slots: RwLock<HashMap<String, LoopCheckpoint>>,
+    slots: RwLock<HashMap<String, Entry>>,
     taken: AtomicU64,
     bytes: AtomicU64,
+    spill: RwLock<Option<Arc<SpillEnv>>>,
 }
 
 impl CheckpointStore {
@@ -63,34 +87,139 @@ impl CheckpointStore {
         Self::default()
     }
 
+    /// Install (or remove) the spill environment. With one installed,
+    /// snapshots are charged to the memory accountant and may be spilled.
+    pub fn set_spill(&self, env: Option<Arc<SpillEnv>>) {
+        *self.spill.write() = env;
+    }
+
+    /// The installed spill environment, if any.
+    pub fn spill_env(&self) -> Option<Arc<SpillEnv>> {
+        self.spill.read().clone()
+    }
+
+    fn release(&self, env: &Option<Arc<SpillEnv>>, entry: Entry) {
+        if let (Some(env), Some(region)) = (env, entry.region) {
+            env.accountant.release(region);
+        }
+    }
+
     /// Install `checkpoint` as the latest snapshot for `loop_id`,
     /// replacing (and freeing) any previous one.
     pub fn save(&self, loop_id: &str, checkpoint: LoopCheckpoint) {
         self.taken.fetch_add(1, Ordering::Relaxed);
         self.bytes
             .fetch_add(checkpoint.estimated_bytes(), Ordering::Relaxed);
-        self.slots
-            .write()
-            .insert(loop_id.to_ascii_lowercase(), checkpoint);
+        let key = loop_id.to_ascii_lowercase();
+        let env = self.spill_env();
+        let region = env.as_ref().map(|e| {
+            e.accountant.register(
+                &format!("checkpoint:{key}"),
+                RegionKind::Checkpoint,
+                checkpoint.estimated_bytes(),
+            )
+        });
+        let entry = Entry {
+            slot: Slot::Resident(checkpoint),
+            region,
+        };
+        if let Some(old) = self.slots.write().insert(key, entry) {
+            self.release(&env, old);
+        }
     }
 
-    /// The latest snapshot for `loop_id`, if one was saved. O(tables)
-    /// Arc bumps.
-    pub fn latest(&self, loop_id: &str) -> Option<LoopCheckpoint> {
-        self.slots
-            .read()
-            .get(&loop_id.to_ascii_lowercase())
-            .cloned()
+    /// The latest snapshot for `loop_id`, if one was saved. O(tables) Arc
+    /// bumps when resident; a spilled snapshot is read back from disk
+    /// first, which can fail — a failed read surfaces as a (typed,
+    /// transient) error rather than `None`, so recovery never mistakes a
+    /// lost disk file for "no checkpoint was taken".
+    pub fn latest(&self, loop_id: &str) -> Result<Option<LoopCheckpoint>> {
+        let key = loop_id.to_ascii_lowercase();
+        {
+            let slots = self.slots.read();
+            match slots.get(&key) {
+                None => return Ok(None),
+                Some(Entry {
+                    slot: Slot::Resident(ckpt),
+                    region,
+                }) => {
+                    if let (Some(env), Some(region)) = (self.spill_env(), region) {
+                        env.accountant.touch(*region);
+                    }
+                    return Ok(Some(ckpt.clone()));
+                }
+                Some(Entry {
+                    slot: Slot::Spilled(_),
+                    ..
+                }) => {}
+            }
+        }
+        self.rehydrate(&key)
+    }
+
+    fn rehydrate(&self, key: &str) -> Result<Option<LoopCheckpoint>> {
+        let Some(env) = self.spill_env() else {
+            // Spilled slots only exist when an environment was installed;
+            // if it was torn down since, the snapshot is unrecoverable.
+            return Ok(None);
+        };
+        let mut slots = self.slots.write();
+        let Some(entry) = slots.get_mut(key) else {
+            return Ok(None);
+        };
+        match &entry.slot {
+            Slot::Resident(ckpt) => Ok(Some(ckpt.clone())),
+            Slot::Spilled(handle) => {
+                let ckpt = env
+                    .manager
+                    .read_checkpoint(handle, &format!("checkpoint:{key}"))?;
+                if let Some(region) = entry.region {
+                    env.accountant.note_rehydrated(region);
+                }
+                entry.slot = Slot::Resident(ckpt.clone());
+                Ok(Some(ckpt))
+            }
+        }
+    }
+
+    /// Serialize a resident snapshot to disk and release its memory.
+    /// Missing or already-spilled slots are a no-op returning `Ok(false)`.
+    pub fn spill_entry(&self, loop_id: &str) -> Result<bool> {
+        let key = loop_id.to_ascii_lowercase();
+        let Some(env) = self.spill_env() else {
+            return Ok(false);
+        };
+        let mut slots = self.slots.write();
+        let Some(entry) = slots.get_mut(&key) else {
+            return Ok(false);
+        };
+        let Slot::Resident(ckpt) = &entry.slot else {
+            return Ok(false);
+        };
+        let handle = env
+            .manager
+            .write_checkpoint(&format!("checkpoint:{key}"), ckpt)?;
+        if let Some(region) = entry.region {
+            env.accountant.note_spilled(region);
+        }
+        entry.slot = Slot::Spilled(handle);
+        Ok(true)
     }
 
     /// Drop the snapshot for `loop_id` (loop finished cleanly).
     pub fn remove(&self, loop_id: &str) {
-        self.slots.write().remove(&loop_id.to_ascii_lowercase());
+        let env = self.spill_env();
+        if let Some(entry) = self.slots.write().remove(&loop_id.to_ascii_lowercase()) {
+            self.release(&env, entry);
+        }
     }
 
     /// Drop every snapshot (end of query).
     pub fn clear(&self) {
-        self.slots.write().clear();
+        let env = self.spill_env();
+        for (_, entry) in self.slots.write().drain() {
+            self.release(&env, entry);
+        }
     }
 
     /// Number of loops with a live snapshot.
@@ -101,6 +230,15 @@ impl CheckpointStore {
     /// True when no loop has a live snapshot.
     pub fn is_empty(&self) -> bool {
         self.slots.read().is_empty()
+    }
+
+    /// Number of snapshots currently spilled to disk (observability/tests).
+    pub fn spilled_count(&self) -> usize {
+        self.slots
+            .read()
+            .values()
+            .filter(|e| matches!(e.slot, Slot::Spilled(_)))
+            .count()
     }
 
     /// Lifetime count of snapshots saved (observability; survives
@@ -132,27 +270,21 @@ mod tests {
         )
     }
 
+    fn ckpt(iteration: u64, updates: u64, rows: i64) -> LoopCheckpoint {
+        LoopCheckpoint {
+            iteration,
+            cumulative_updates: updates,
+            tables: vec![("pr".into(), part_with(rows))],
+        }
+    }
+
     #[test]
     fn save_latest_roundtrip_and_replace() {
         let store = CheckpointStore::new();
-        assert!(store.latest("pr").is_none());
-        store.save(
-            "PR",
-            LoopCheckpoint {
-                iteration: 0,
-                cumulative_updates: 0,
-                tables: vec![("pr".into(), part_with(3))],
-            },
-        );
-        store.save(
-            "pr",
-            LoopCheckpoint {
-                iteration: 5,
-                cumulative_updates: 42,
-                tables: vec![("pr".into(), part_with(4))],
-            },
-        );
-        let latest = store.latest("pr").expect("snapshot");
+        assert!(store.latest("pr").unwrap().is_none());
+        store.save("PR", ckpt(0, 0, 3));
+        store.save("pr", ckpt(5, 42, 4));
+        let latest = store.latest("pr").unwrap().expect("snapshot");
         assert_eq!(latest.iteration, 5);
         assert_eq!(latest.cumulative_updates, 42);
         assert_eq!(latest.tables[0].1.total_rows(), 4);
@@ -182,21 +314,56 @@ mod tests {
             },
         );
         drop(live); // the live table moves on; the snapshot keeps the buffer
-        let restored = store.latest("pr").unwrap();
+        let restored = store.latest("pr").unwrap().unwrap();
         assert_eq!(Arc::as_ptr(&restored.tables[0].1.parts[0]), buf_ptr);
         assert_eq!(restored.tables[0].1.total_rows(), 100);
     }
 
     #[test]
     fn estimated_bytes_sums_tables() {
-        let ckpt = LoopCheckpoint {
+        let snapshot = LoopCheckpoint {
             iteration: 0,
             cumulative_updates: 0,
             tables: vec![("a".into(), part_with(2)), ("b".into(), part_with(3))],
         };
         assert_eq!(
-            ckpt.estimated_bytes(),
+            snapshot.estimated_bytes(),
             part_with(2).estimated_bytes() + part_with(3).estimated_bytes()
         );
+    }
+
+    #[test]
+    fn spilled_checkpoint_rehydrates_on_latest() {
+        let store = CheckpointStore::new();
+        store.set_spill(Some(Arc::new(SpillEnv::new(1, None, None))));
+        store.save("pr", ckpt(7, 21, 9));
+        assert!(store.spill_entry("pr").unwrap());
+        assert_eq!(store.spilled_count(), 1);
+        let env = store.spill_env().unwrap();
+        assert_eq!(env.accountant.resident_bytes(), 0);
+        let back = store.latest("pr").unwrap().expect("snapshot");
+        assert_eq!(back.iteration, 7);
+        assert_eq!(back.cumulative_updates, 21);
+        assert_eq!(back.tables[0].1.total_rows(), 9);
+        assert_eq!(store.spilled_count(), 0);
+        assert!(env.accountant.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn replacing_a_spilled_snapshot_releases_its_region() {
+        let store = CheckpointStore::new();
+        store.set_spill(Some(Arc::new(SpillEnv::new(1, None, None))));
+        store.save("pr", ckpt(1, 5, 4));
+        assert!(store.spill_entry("pr").unwrap());
+        store.save("pr", ckpt(2, 8, 6));
+        assert_eq!(store.spilled_count(), 0);
+        let env = store.spill_env().unwrap();
+        // Only the new resident snapshot is charged.
+        assert_eq!(
+            env.accountant.resident_bytes(),
+            ckpt(2, 8, 6).estimated_bytes()
+        );
+        store.clear();
+        assert_eq!(env.accountant.resident_bytes(), 0);
     }
 }

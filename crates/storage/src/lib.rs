@@ -13,10 +13,12 @@ pub mod catalog;
 pub mod checkpoint;
 pub mod partition;
 pub mod registry;
+pub mod spill;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use checkpoint::{CheckpointStore, LoopCheckpoint};
 pub use partition::{hash_partition, partition_of, Partitioned};
 pub use registry::TempRegistry;
+pub use spill::{SpillEnv, SpillHandle, SpillManager};
 pub use table::Table;

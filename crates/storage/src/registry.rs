@@ -7,18 +7,41 @@
 //! ... MPPDB simply removes that entry and releases the memory associated
 //! with it." `rename` here is a HashMap re-key: O(1), no row copying —
 //! which is precisely the data-movement saving Figure 8 measures.
+//!
+//! Under memory pressure an entry may live on disk instead of in memory:
+//! each slot is either `Resident` (the `Partitioned` table) or `Spilled`
+//! (a [`SpillHandle`] owning the serialized file). [`TempRegistry::get`]
+//! rehydrates spilled entries transparently, and `rename` re-keys a slot
+//! in either state — the rename fast path stays an O(1) pointer move even
+//! when one side of the rename is on disk.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
+use spinner_common::memory::{RegionId, RegionKind};
 use spinner_common::{Error, Result};
 
 use crate::partition::Partitioned;
+use crate::spill::{SpillEnv, SpillHandle};
+
+#[derive(Debug)]
+enum Slot {
+    Resident(Partitioned),
+    Spilled(SpillHandle),
+}
+
+#[derive(Debug)]
+struct Entry {
+    slot: Slot,
+    region: Option<RegionId>,
+}
 
 /// Named intermediate results for one query execution.
 #[derive(Debug, Default)]
 pub struct TempRegistry {
-    entries: RwLock<HashMap<String, Partitioned>>,
+    entries: RwLock<HashMap<String, Entry>>,
+    spill: RwLock<Option<Arc<SpillEnv>>>,
 }
 
 impl TempRegistry {
@@ -27,27 +50,129 @@ impl TempRegistry {
         Self::default()
     }
 
+    /// Install (or remove) the spill environment. With an environment
+    /// installed, every `put` registers a region with the accountant and
+    /// entries become spillable; without one the registry behaves exactly
+    /// as before spilling existed.
+    pub fn set_spill(&self, env: Option<Arc<SpillEnv>>) {
+        *self.spill.write() = env;
+    }
+
+    /// The installed spill environment, if any.
+    pub fn spill_env(&self) -> Option<Arc<SpillEnv>> {
+        self.spill.read().clone()
+    }
+
+    fn release(&self, env: &Option<Arc<SpillEnv>>, entry: Entry) {
+        if let (Some(env), Some(region)) = (env, entry.region) {
+            env.accountant.release(region);
+        }
+    }
+
     /// Store (or replace) a named intermediate result.
     pub fn put(&self, name: &str, data: Partitioned) {
-        self.entries.write().insert(name.to_ascii_lowercase(), data);
+        let key = name.to_ascii_lowercase();
+        let env = self.spill_env();
+        let region = env.as_ref().map(|e| {
+            e.accountant
+                .register(&key, RegionKind::of_temp_name(&key), data.estimated_bytes())
+        });
+        let entry = Entry {
+            slot: Slot::Resident(data),
+            region,
+        };
+        if let Some(old) = self.entries.write().insert(key, entry) {
+            self.release(&env, old);
+        }
     }
 
-    /// Snapshot a named result. O(P) Arc bumps.
+    /// Snapshot a named result. O(P) Arc bumps when resident; a spilled
+    /// entry is read back from disk, made resident again, and returned.
     pub fn get(&self, name: &str) -> Result<Partitioned> {
-        self.entries
-            .read()
-            .get(&name.to_ascii_lowercase())
-            .cloned()
-            .ok_or_else(|| Error::execution(format!("intermediate result '{name}' not found")))
+        let key = name.to_ascii_lowercase();
+        {
+            let entries = self.entries.read();
+            match entries.get(&key) {
+                None => {
+                    return Err(Error::execution(format!(
+                        "intermediate result '{name}' not found"
+                    )))
+                }
+                Some(Entry {
+                    slot: Slot::Resident(data),
+                    region,
+                }) => {
+                    if let (Some(env), Some(region)) = (self.spill_env(), region) {
+                        env.accountant.touch(*region);
+                    }
+                    return Ok(data.clone());
+                }
+                Some(Entry {
+                    slot: Slot::Spilled(_),
+                    ..
+                }) => {}
+            }
+        }
+        self.rehydrate(&key, name)
     }
 
-    /// Whether a result is registered.
+    /// Read a spilled entry back into memory under the write lock.
+    fn rehydrate(&self, key: &str, name: &str) -> Result<Partitioned> {
+        let env = self.spill_env().ok_or_else(|| {
+            Error::execution(format!(
+                "intermediate result '{name}' is spilled but no spill environment is installed"
+            ))
+        })?;
+        let mut entries = self.entries.write();
+        let entry = entries
+            .get_mut(key)
+            .ok_or_else(|| Error::execution(format!("intermediate result '{name}' not found")))?;
+        match &entry.slot {
+            // Another thread rehydrated while we waited for the lock.
+            Slot::Resident(data) => Ok(data.clone()),
+            Slot::Spilled(handle) => {
+                let data = env.manager.read_partitioned(handle, key)?;
+                if let Some(region) = entry.region {
+                    env.accountant.note_rehydrated(region);
+                }
+                // Replacing the slot drops the handle, deleting the file.
+                entry.slot = Slot::Resident(data.clone());
+                Ok(data)
+            }
+        }
+    }
+
+    /// Serialize a resident entry to disk and release its memory. A
+    /// missing or already-spilled entry is a no-op (the spill plan may
+    /// race with renames or removals), returning `Ok(false)`.
+    pub fn spill_entry(&self, name: &str) -> Result<bool> {
+        let key = name.to_ascii_lowercase();
+        let Some(env) = self.spill_env() else {
+            return Ok(false);
+        };
+        let mut entries = self.entries.write();
+        let Some(entry) = entries.get_mut(&key) else {
+            return Ok(false);
+        };
+        let Slot::Resident(data) = &entry.slot else {
+            return Ok(false);
+        };
+        let handle = env.manager.write_partitioned(&key, data)?;
+        if let Some(region) = entry.region {
+            env.accountant.note_spilled(region);
+        }
+        entry.slot = Slot::Spilled(handle);
+        Ok(true)
+    }
+
+    /// Whether a result is registered (resident or spilled).
     pub fn contains(&self, name: &str) -> bool {
         self.entries.read().contains_key(&name.to_ascii_lowercase())
     }
 
     /// The `rename` operator: re-point `new` at the buffer currently named
-    /// `old`, dropping whatever `new` pointed at before. No rows move.
+    /// `old`, dropping whatever `new` pointed at before. No rows move —
+    /// and a spilled source moves as a file handle, no disk I/O either.
     ///
     /// Atomic from the reader's perspective: the remove + insert happen as
     /// a single swap under one write-lock acquisition, so a concurrent
@@ -58,6 +183,7 @@ impl TempRegistry {
     pub fn rename(&self, old: &str, new: &str) -> Result<()> {
         let old_key = old.to_ascii_lowercase();
         let new_key = new.to_ascii_lowercase();
+        let env = self.spill_env();
         let mut entries = self.entries.write();
         if !entries.contains_key(&old_key) {
             return Err(Error::execution(format!(
@@ -69,20 +195,31 @@ impl TempRegistry {
             // (which would momentarily unbind the name if ever split).
             return Ok(());
         }
-        let data = entries.remove(&old_key).expect("checked above");
+        let entry = entries.remove(&old_key).expect("checked above");
+        if let (Some(env), Some(region)) = (&env, entry.region) {
+            env.accountant.rename(region, &new_key);
+        }
         // Insert replaces (and thereby frees) any previous entry under `new`.
-        entries.insert(new_key, data);
+        if let Some(old_entry) = entries.insert(new_key, entry) {
+            self.release(&env, old_entry);
+        }
         Ok(())
     }
 
     /// Drop one entry (working-table cleanup between iterations).
     pub fn remove(&self, name: &str) {
-        self.entries.write().remove(&name.to_ascii_lowercase());
+        let env = self.spill_env();
+        if let Some(entry) = self.entries.write().remove(&name.to_ascii_lowercase()) {
+            self.release(&env, entry);
+        }
     }
 
     /// Drop everything (end of query).
     pub fn clear(&self) {
-        self.entries.write().clear();
+        let env = self.spill_env();
+        for (_, entry) in self.entries.write().drain() {
+            self.release(&env, entry);
+        }
     }
 
     /// Number of live entries.
@@ -93,6 +230,15 @@ impl TempRegistry {
     /// True when no entries are registered.
     pub fn is_empty(&self) -> bool {
         self.entries.read().is_empty()
+    }
+
+    /// Number of entries currently spilled to disk (observability/tests).
+    pub fn spilled_count(&self) -> usize {
+        self.entries
+            .read()
+            .values()
+            .filter(|e| matches!(e.slot, Slot::Spilled(_)))
+            .count()
     }
 }
 
@@ -110,6 +256,12 @@ mod tests {
             Some(0),
             2,
         )
+    }
+
+    fn spill_registry() -> TempRegistry {
+        let reg = TempRegistry::new();
+        reg.set_spill(Some(Arc::new(SpillEnv::new(1, None, None))));
+        reg
     }
 
     #[test]
@@ -166,6 +318,68 @@ mod tests {
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.get("cte").unwrap().total_rows(), 4);
         assert!(reg.rename("ghost", "ghost").is_err());
+    }
+
+    #[test]
+    fn spilled_entry_rehydrates_transparently() {
+        let reg = spill_registry();
+        reg.put("cte", part_with(12));
+        assert!(reg.spill_entry("cte").unwrap());
+        assert_eq!(reg.spilled_count(), 1);
+        // The accountant no longer counts the spilled bytes as resident.
+        let env = reg.spill_env().unwrap();
+        assert_eq!(env.accountant.resident_bytes(), 0);
+        // get() rehydrates: same rows, resident again, file gone.
+        let back = reg.get("cte").unwrap();
+        assert_eq!(back.total_rows(), 12);
+        assert_eq!(reg.spilled_count(), 0);
+        assert!(env.accountant.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn spilling_twice_and_missing_names_are_benign() {
+        let reg = spill_registry();
+        reg.put("cte", part_with(3));
+        assert!(reg.spill_entry("cte").unwrap());
+        assert!(!reg.spill_entry("cte").unwrap(), "already spilled");
+        assert!(!reg.spill_entry("ghost").unwrap(), "missing name");
+    }
+
+    #[test]
+    fn rename_moves_a_spilled_slot_without_io() {
+        let reg = spill_registry();
+        reg.put("working", part_with(7));
+        reg.put("cte", part_with(2));
+        assert!(reg.spill_entry("working").unwrap());
+        reg.rename("working", "cte").unwrap();
+        assert!(!reg.contains("working"));
+        assert_eq!(reg.spilled_count(), 1);
+        // Rehydrating the renamed entry yields the working table's rows.
+        assert_eq!(reg.get("cte").unwrap().total_rows(), 7);
+    }
+
+    #[test]
+    fn rename_over_a_spilled_target_deletes_its_file() {
+        let reg = spill_registry();
+        reg.put("a", part_with(1));
+        reg.put("b", part_with(2));
+        assert!(reg.spill_entry("b").unwrap());
+        reg.rename("a", "b").unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.spilled_count(), 0);
+        assert_eq!(reg.get("b").unwrap().total_rows(), 1);
+    }
+
+    #[test]
+    fn clear_releases_spilled_regions() {
+        let reg = spill_registry();
+        reg.put("a", part_with(4));
+        reg.put("b", part_with(4));
+        assert!(reg.spill_entry("a").unwrap());
+        reg.clear();
+        assert!(reg.is_empty());
+        let env = reg.spill_env().unwrap();
+        assert_eq!(env.accountant.resident_bytes(), 0);
     }
 
     /// Regression test for reader-visible rename atomicity: concurrent

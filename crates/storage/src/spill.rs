@@ -1,0 +1,560 @@
+//! Spill-to-disk for intermediate state under memory pressure.
+//!
+//! The [`SpillManager`] serializes [`Partitioned`] tables (and whole
+//! [`LoopCheckpoint`]s) to files under a configurable directory with a
+//! small hand-rolled binary format — the workspace's vendored `serde` is a
+//! no-op stub, so the format is written and parsed by hand, like the
+//! profile module's JSON. Files preserve the exact partition layout, so a
+//! rehydrated table hashes and joins identically to the resident original.
+//!
+//! A [`SpillHandle`] owns its file and deletes it on drop, so dropping a
+//! spilled registry entry (end of query, rename-over, explicit remove)
+//! cleans the disk automatically. Fault injection reaches this layer
+//! through the engine-installed [`SpillFaultHook`]
+//! (`FaultSite::SpillWrite` / `FaultSite::SpillRead`).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spinner_common::memory::{MemoryAccountant, MemoryMetrics, SpillFaultHook};
+use spinner_common::{
+    row_of, DataType, Error, FaultSite, Field, Result, Row, Schema, SchemaRef, Value,
+};
+
+use crate::checkpoint::LoopCheckpoint;
+use crate::partition::Partitioned;
+
+/// 8-byte magic + format version prefix of every spill file.
+const MAGIC: &[u8; 8] = b"SPNSPILL";
+const VERSION: u32 = 1;
+
+/// Distinguishes spill managers within one process so concurrent
+/// `Database` instances never collide on file names.
+static MANAGER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Everything the spill path needs, bundled so the registry, the
+/// checkpoint store and the executor share one accountant and one
+/// manager per database.
+#[derive(Debug)]
+pub struct SpillEnv {
+    /// The central memory accountant (region tracking, victim selection).
+    pub accountant: MemoryAccountant,
+    /// Serializes regions to disk and reads them back.
+    pub manager: SpillManager,
+}
+
+impl SpillEnv {
+    /// Build an environment with a fresh accountant and manager sharing
+    /// one metrics sink. `dir = None` uses the OS temp directory.
+    pub fn new(
+        threshold_bytes: u64,
+        dir: Option<&str>,
+        hook: Option<Arc<dyn SpillFaultHook>>,
+    ) -> Self {
+        let metrics = Arc::new(MemoryMetrics::new());
+        let dir = dir.map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+        SpillEnv {
+            accountant: MemoryAccountant::new(threshold_bytes, Arc::clone(&metrics)),
+            manager: SpillManager::new(dir, metrics, hook),
+        }
+    }
+
+    /// The shared spill/memory metrics sink.
+    pub fn metrics(&self) -> &Arc<MemoryMetrics> {
+        self.accountant.metrics()
+    }
+}
+
+/// Owner of one spill file; the file is deleted when the handle drops.
+#[derive(Debug)]
+pub struct SpillHandle {
+    path: PathBuf,
+    file_bytes: u64,
+}
+
+impl SpillHandle {
+    /// On-disk size of the spill file in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Path of the spill file (observability/tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillHandle {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Writes victim regions to spill files and rehydrates them on demand.
+#[derive(Debug)]
+pub struct SpillManager {
+    dir: PathBuf,
+    tag: u64,
+    seq: AtomicU64,
+    metrics: Arc<MemoryMetrics>,
+    hook: Option<Arc<dyn SpillFaultHook>>,
+}
+
+impl SpillManager {
+    /// Manager writing files under `dir`.
+    pub fn new(
+        dir: PathBuf,
+        metrics: Arc<MemoryMetrics>,
+        hook: Option<Arc<dyn SpillFaultHook>>,
+    ) -> Self {
+        SpillManager {
+            dir,
+            tag: MANAGER_SEQ.fetch_add(1, Ordering::Relaxed),
+            seq: AtomicU64::new(0),
+            metrics,
+            hook,
+        }
+    }
+
+    fn hit(&self, site: FaultSite) -> Result<()> {
+        match &self.hook {
+            Some(h) => h.hit(site),
+            None => Ok(()),
+        }
+    }
+
+    fn next_path(&self, label: &str) -> PathBuf {
+        let sanitized: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .take(40)
+            .collect();
+        let n = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.dir.join(format!(
+            "spinner_spill_{}_{}_{n}_{sanitized}.spn",
+            std::process::id(),
+            self.tag
+        ))
+    }
+
+    fn persist(&self, label: &str, payload: Vec<u8>) -> Result<SpillHandle> {
+        self.hit(FaultSite::SpillWrite)?;
+        let path = self.next_path(label);
+        let file_bytes = payload.len() as u64;
+        std::fs::write(&path, payload).map_err(|e| Error::SpillUnavailable {
+            region: label.to_string(),
+            message: e.to_string(),
+        })?;
+        self.metrics.note_spill_write(file_bytes);
+        Ok(SpillHandle { path, file_bytes })
+    }
+
+    fn load(&self, handle: &SpillHandle, label: &str) -> Result<Vec<u8>> {
+        self.hit(FaultSite::SpillRead)?;
+        let bytes = std::fs::read(&handle.path).map_err(|e| Error::SpillUnavailable {
+            region: label.to_string(),
+            message: e.to_string(),
+        })?;
+        self.metrics.note_spill_read(bytes.len() as u64);
+        Ok(bytes)
+    }
+
+    /// Serialize a partitioned table to a spill file.
+    pub fn write_partitioned(&self, label: &str, data: &Partitioned) -> Result<SpillHandle> {
+        let mut buf = header();
+        encode_partitioned(&mut buf, data);
+        self.persist(label, buf)
+    }
+
+    /// Read a partitioned table back from its spill file.
+    pub fn read_partitioned(&self, handle: &SpillHandle, label: &str) -> Result<Partitioned> {
+        let bytes = self.load(handle, label)?;
+        let mut r = Reader::new(&bytes, label);
+        r.header()?;
+        let data = r.partitioned()?;
+        r.finish()?;
+        Ok(data)
+    }
+
+    /// Serialize a whole loop checkpoint (counters + named tables).
+    pub fn write_checkpoint(&self, label: &str, ckpt: &LoopCheckpoint) -> Result<SpillHandle> {
+        let mut buf = header();
+        put_u64(&mut buf, ckpt.iteration);
+        put_u64(&mut buf, ckpt.cumulative_updates);
+        put_u32(&mut buf, ckpt.tables.len() as u32);
+        for (name, data) in &ckpt.tables {
+            put_str(&mut buf, name);
+            encode_partitioned(&mut buf, data);
+        }
+        self.persist(label, buf)
+    }
+
+    /// Read a loop checkpoint back from its spill file.
+    pub fn read_checkpoint(&self, handle: &SpillHandle, label: &str) -> Result<LoopCheckpoint> {
+        let bytes = self.load(handle, label)?;
+        let mut r = Reader::new(&bytes, label);
+        r.header()?;
+        let iteration = r.u64()?;
+        let cumulative_updates = r.u64()?;
+        let n_tables = r.u32()? as usize;
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let name = r.str()?;
+            let data = r.partitioned()?;
+            tables.push((name, data));
+        }
+        r.finish()?;
+        Ok(LoopCheckpoint {
+            iteration,
+            cumulative_updates,
+            tables,
+        })
+    }
+}
+
+// ---- encoding ----------------------------------------------------------
+
+fn header() -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION);
+    buf
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Bool => 3,
+        DataType::Null => 4,
+    }
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(i) => {
+            buf.push(1);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(2);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            buf.push(3);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.push(4);
+            buf.push(u8::from(*b));
+        }
+    }
+}
+
+fn encode_partitioned(buf: &mut Vec<u8>, data: &Partitioned) {
+    let fields = data.schema.fields();
+    put_u32(buf, fields.len() as u32);
+    for f in fields {
+        put_str(buf, &f.name);
+        buf.push(dtype_tag(f.data_type));
+        put_opt_str(buf, f.relation.as_deref());
+    }
+    put_u32(buf, data.parts.len() as u32);
+    for part in &data.parts {
+        put_u64(buf, part.len() as u64);
+        for row in part.iter() {
+            for v in row.iter() {
+                put_value(buf, v);
+            }
+        }
+    }
+}
+
+// ---- decoding ----------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    label: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], label: &'a str) -> Self {
+        Reader {
+            bytes,
+            pos: 0,
+            label,
+        }
+    }
+
+    fn corrupt(&self, what: &str) -> Error {
+        Error::SpillUnavailable {
+            region: self.label.to_string(),
+            message: format!("corrupt spill file: {what} at offset {}", self.pos),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.corrupt("truncated"))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn header(&mut self) -> Result<()> {
+        if self.take(8)? != MAGIC {
+            return Err(self.corrupt("bad magic"));
+        }
+        let version = self.u32()?;
+        if version != VERSION {
+            return Err(self.corrupt("unsupported version"));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid utf8"))
+    }
+
+    fn opt_str(&mut self) -> Result<Option<String>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            _ => Err(self.corrupt("bad option tag")),
+        }
+    }
+
+    fn dtype(&mut self) -> Result<DataType> {
+        Ok(match self.u8()? {
+            0 => DataType::Int,
+            1 => DataType::Float,
+            2 => DataType::Text,
+            3 => DataType::Bool,
+            4 => DataType::Null,
+            _ => return Err(self.corrupt("bad type tag")),
+        })
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(i64::from_le_bytes(self.take(8)?.try_into().expect("8"))),
+            2 => Value::Float(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().expect("8"),
+            ))),
+            3 => Value::Text(self.str()?),
+            4 => Value::Bool(self.u8()? != 0),
+            _ => return Err(self.corrupt("bad value tag")),
+        })
+    }
+
+    fn partitioned(&mut self) -> Result<Partitioned> {
+        let n_fields = self.u32()? as usize;
+        let mut fields = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let name = self.str()?;
+            let data_type = self.dtype()?;
+            let relation = self.opt_str()?;
+            let field = match relation {
+                Some(r) => Field::qualified(r, name, data_type),
+                None => Field::new(name, data_type),
+            };
+            fields.push(field);
+        }
+        let schema: SchemaRef = Arc::new(Schema::new(fields));
+        let n_parts = self.u32()? as usize;
+        let mut parts = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            let n_rows = self.u64()? as usize;
+            let mut rows: Vec<Row> = Vec::with_capacity(n_rows.min(1 << 20));
+            for _ in 0..n_rows {
+                let mut values = Vec::with_capacity(n_fields);
+                for _ in 0..n_fields {
+                    values.push(self.value()?);
+                }
+                rows.push(row_of(values));
+            }
+            parts.push(Arc::new(rows));
+        }
+        Ok(Partitioned { schema, parts })
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(self.corrupt("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinner_common::row_of;
+
+    fn manager() -> SpillManager {
+        SpillManager::new(std::env::temp_dir(), Arc::new(MemoryMetrics::new()), None)
+    }
+
+    fn sample() -> Partitioned {
+        let schema = Arc::new(Schema::new(vec![
+            Field::qualified("t", "k", DataType::Int),
+            Field::new("v", DataType::Float),
+            Field::new("s", DataType::Text),
+            Field::new("b", DataType::Bool),
+            Field::new("n", DataType::Null),
+        ]));
+        let rows: Vec<Row> = (0..10)
+            .map(|i| {
+                row_of([
+                    Value::Int(i),
+                    Value::Float(i as f64 * 0.5),
+                    Value::Text(format!("row {i} \"quoted\"")),
+                    Value::Bool(i % 2 == 0),
+                    Value::Null,
+                ])
+            })
+            .collect();
+        Partitioned::from_rows(schema, rows, Some(0), 3)
+    }
+
+    #[test]
+    fn partitioned_round_trip_preserves_layout_and_values() {
+        let m = manager();
+        let data = sample();
+        let handle = m.write_partitioned("__cte_pr_1", &data).unwrap();
+        assert!(handle.path().exists());
+        assert!(handle.file_bytes() > 0);
+        let back = m.read_partitioned(&handle, "__cte_pr_1").unwrap();
+        assert_eq!(back.schema, data.schema);
+        assert_eq!(back.parts.len(), data.parts.len());
+        for (a, b) in back.parts.iter().zip(data.parts.iter()) {
+            assert_eq!(a, b, "partition layout must survive the round trip");
+        }
+        let path = handle.path().to_path_buf();
+        drop(handle);
+        assert!(!path.exists(), "drop must delete the spill file");
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let m = manager();
+        let ckpt = LoopCheckpoint {
+            iteration: 7,
+            cumulative_updates: 99,
+            tables: vec![
+                ("__cte_pr_1".into(), sample()),
+                ("__delta_pr".into(), sample()),
+            ],
+        };
+        let handle = m.write_checkpoint("pr", &ckpt).unwrap();
+        let back = m.read_checkpoint(&handle, "pr").unwrap();
+        assert_eq!(back.iteration, 7);
+        assert_eq!(back.cumulative_updates, 99);
+        assert_eq!(back.tables.len(), 2);
+        assert_eq!(back.tables[0].0, "__cte_pr_1");
+        assert_eq!(back.tables[1].1.parts, ckpt.tables[1].1.parts);
+    }
+
+    #[test]
+    fn metrics_count_bytes_both_ways() {
+        let metrics = Arc::new(MemoryMetrics::new());
+        let m = SpillManager::new(std::env::temp_dir(), Arc::clone(&metrics), None);
+        let handle = m.write_partitioned("x", &sample()).unwrap();
+        let _ = m.read_partitioned(&handle, "x").unwrap();
+        let c = metrics.drain();
+        assert_eq!(c.spill_events, 1);
+        assert_eq!(c.spill_bytes_written, handle.file_bytes());
+        assert_eq!(c.spill_bytes_read, handle.file_bytes());
+    }
+
+    #[test]
+    fn corrupt_file_is_a_typed_error() {
+        let m = manager();
+        let handle = m.write_partitioned("x", &sample()).unwrap();
+        std::fs::write(handle.path(), b"not a spill file").unwrap();
+        match m.read_partitioned(&handle, "x") {
+            Err(Error::SpillUnavailable { region, message }) => {
+                assert_eq!(region, "x");
+                assert!(message.contains("corrupt"), "{message}");
+            }
+            other => panic!("expected SpillUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_error() {
+        let m = manager();
+        let handle = m.write_partitioned("x", &sample()).unwrap();
+        std::fs::remove_file(handle.path()).unwrap();
+        assert!(matches!(
+            m.read_partitioned(&handle, "x"),
+            Err(Error::SpillUnavailable { .. })
+        ));
+    }
+
+    #[derive(Debug)]
+    struct AlwaysFail;
+    impl SpillFaultHook for AlwaysFail {
+        fn hit(&self, site: FaultSite) -> spinner_common::Result<()> {
+            Err(Error::FaultInjected {
+                site: format!("{site:?}"),
+            })
+        }
+    }
+
+    #[test]
+    fn fault_hook_aborts_before_any_io() {
+        let m = SpillManager::new(
+            std::env::temp_dir(),
+            Arc::new(MemoryMetrics::new()),
+            Some(Arc::new(AlwaysFail)),
+        );
+        let err = m.write_partitioned("x", &sample()).unwrap_err();
+        assert!(matches!(err, Error::FaultInjected { .. }));
+    }
+}

@@ -206,7 +206,15 @@ fn rows_moved_budget_applies_to_exchanges() {
 
 #[test]
 fn intermediate_bytes_budget_trips() {
-    let db = db_with_edges(EngineConfig::default());
+    // Pin the fail-fast path: with spilling explicitly off (even under
+    // the CI forced-spill env) the cumulative budget must trip instead
+    // of degrading to disk. tests/spill.rs covers the spill-enabled
+    // semantics.
+    let config = EngineConfig {
+        spill_threshold_bytes: None,
+        ..EngineConfig::default()
+    };
+    let db = db_with_edges(config);
     let guard = QueryGuard::unlimited().with_max_intermediate_bytes(500);
     let err = db
         .query_with_guard(&counting_cte(1000), &guard)

@@ -254,6 +254,43 @@ proptest! {
             "fault {:?} changed the result rows", fault
         );
     }
+
+    /// Spilling is semantically invisible: under a 1-byte threshold
+    /// (every allocation pushes cold state to disk) PageRank and SSSP
+    /// over random graphs return rows identical to the in-memory run —
+    /// alone and composed with an enabled recovery policy, whose
+    /// checkpoints then live in spill files too.
+    #[test]
+    fn forced_spill_is_invisible(
+        spec in graph_spec(),
+        policy in proptest::option::of(enabled_recovery_policy()),
+        use_pagerank in any::<bool>(),
+    ) {
+        let w = if use_pagerank {
+            pagerank(6, false)
+        } else {
+            sssp(8, 1, false)
+        };
+        let in_memory = EngineConfig {
+            spill_threshold_bytes: None,
+            ..EngineConfig::default()
+        };
+        let clean = load(&spec, in_memory).query(&w.cte).unwrap();
+        let mut config = EngineConfig::default().with_spill_threshold_bytes(1);
+        if let Some(policy) = policy {
+            config = config.with_recovery(policy);
+        }
+        let db = load(&spec, config);
+        db.take_stats();
+        let spilled = db.query(&w.cte).unwrap();
+        prop_assert_eq!(
+            sorted_rows(&spilled),
+            sorted_rows(&clean),
+            "forced spill changed the result rows"
+        );
+        let stats = db.take_stats();
+        prop_assert!(stats.spill_events > 0, "a 1-byte threshold must spill");
+    }
 }
 
 /// Reference shortest-path oracle.

@@ -1,0 +1,397 @@
+//! Spill-to-disk suite: with a tiny `spill_threshold_bytes` every query
+//! runs under artificial memory pressure, so intermediate state is
+//! constantly written to spill files and rehydrated on access. Results
+//! must be row-identical to in-memory runs, spill I/O faults must stay
+//! typed-and-transient (absorbed by retry/rollback, never a wrong
+//! answer), and the counters must tell the story in stats and
+//! `EXPLAIN ANALYZE`.
+
+use spinner_engine::{
+    Database, EngineConfig, Error, FaultConfig, FaultKind, FaultSite, QueryGuard, RecoveryPolicy,
+    Value,
+};
+use spinner_procedural::{pagerank, sssp};
+
+/// Fresh database with the toy cyclic graph the engine tests use.
+fn db_with_edges(config: EngineConfig) -> Database {
+    let db = Database::new(config).unwrap();
+    db.execute("CREATE TABLE edges (src INT, dst INT, weight FLOAT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (1, 3, 5.0), \
+         (4, 1, 1.0)",
+    )
+    .unwrap();
+    db
+}
+
+/// A simple iterative CTE touching materialize, rename and loop sites.
+fn counting_cte(iterations: u64) -> String {
+    format!(
+        "WITH ITERATIVE t (k, v) AS (
+             SELECT src, 0 FROM edges
+         ITERATE SELECT k, v + 1 FROM t
+         UNTIL {iterations} ITERATIONS)
+         SELECT * FROM t"
+    )
+}
+
+/// Rows of a batch, sorted, for order-insensitive comparison.
+fn sorted_rows(batch: &spinner_engine::Batch) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = batch.rows().iter().map(|r| r.to_vec()).collect();
+    rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rows
+}
+
+/// Force-spill config: a 1-byte high-water mark spills every unprotected
+/// region after every allocation.
+fn forced_spill() -> EngineConfig {
+    EngineConfig::default().with_spill_threshold_bytes(1)
+}
+
+/// Config with spilling explicitly off, even when the CI forced-spill
+/// env (`SPINNER_SPILL_THRESHOLD`) is set — for tests that pin down the
+/// fail-fast budget semantics of spill-disabled sessions.
+fn no_spill() -> EngineConfig {
+    EngineConfig {
+        spill_threshold_bytes: None,
+        ..EngineConfig::default()
+    }
+}
+
+/// The tentpole acceptance: PageRank and SSSP under a 1-byte threshold
+/// produce rows identical to the unconstrained in-memory run, and the
+/// engine actually spilled along the way.
+#[test]
+fn forced_spill_matches_in_memory_for_pagerank_and_sssp() {
+    let workloads = [
+        ("PR", pagerank(8, false).cte),
+        ("SSSP", sssp(8, 1, false).cte),
+        ("COUNT", counting_cte(8)),
+    ];
+    for (name, sql) in workloads {
+        let expected = db_with_edges(EngineConfig::default().with_spill_threshold_bytes(u64::MAX))
+            .query(&sql)
+            .unwrap();
+        let db = db_with_edges(forced_spill());
+        db.take_stats();
+        let batch = db.query(&sql).unwrap();
+        assert_eq!(
+            sorted_rows(&batch),
+            sorted_rows(&expected),
+            "{name}: forced-spill run must be row-identical to in-memory"
+        );
+        let stats = db.take_stats();
+        assert!(stats.spill_events > 0, "{name}: nothing was spilled");
+        assert!(stats.spill_bytes_written > 0, "{name}: no bytes written");
+        assert!(
+            stats.peak_tracked_bytes > 0,
+            "{name}: accountant saw no state"
+        );
+    }
+}
+
+/// Rehydration happens transparently on next access: a rollback must
+/// read its checkpoint back from the spill file (checkpoints are cold,
+/// so under a 1-byte threshold they are always spilled), converge to the
+/// fault-free rows, and count the bytes read.
+#[test]
+fn rollback_rehydrates_a_spilled_checkpoint() {
+    let sql = counting_cte(8);
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    let mut db = db_with_edges(EngineConfig::default());
+    db.set_config(
+        forced_spill()
+            .with_checkpoint_interval(2)
+            .with_max_loop_recoveries(2)
+            .with_fault(FaultConfig::fail_nth(FaultSite::LoopIteration, 5)),
+    )
+    .unwrap();
+    db.take_stats();
+    let batch = db.query(&sql).unwrap();
+    assert_eq!(sorted_rows(&batch), sorted_rows(&expected));
+    let stats = db.take_stats();
+    assert_eq!(stats.loop_rollbacks, 1);
+    assert!(
+        stats.spill_bytes_read > 0,
+        "the restore must have read the spilled checkpoint: {stats:?}"
+    );
+}
+
+/// The rename fast path must stay correct when the table being renamed
+/// over (or the renamed table itself) lives in a spill file: rename
+/// moves the file handle, no I/O, and the loop's final rows are exact.
+#[test]
+fn rename_optimization_survives_forced_spill() {
+    // PageRank replaces the whole dataset per iteration (unique node
+    // keys), so it runs both the rename fast path and the merge+diff
+    // baseline.
+    let sql = pagerank(8, false).cte;
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    for minimize in [true, false] {
+        let db = db_with_edges(forced_spill().with_minimize_data_movement(minimize));
+        db.take_stats();
+        let batch = db.query(&sql).unwrap();
+        assert_eq!(
+            sorted_rows(&batch),
+            sorted_rows(&expected),
+            "minimize_data_movement={minimize}: wrong rows under forced spill"
+        );
+        let stats = db.take_stats();
+        if minimize {
+            assert!(stats.renames > 0, "rename path must have been exercised");
+        }
+        assert!(stats.spill_events > 0);
+    }
+}
+
+/// `ResourceExhausted` is still raised when spilling cannot get the
+/// resident set under the budget — here by pinning operator hash state
+/// bigger than the budget — and is raised eagerly when spilling is off.
+#[test]
+fn byte_budget_still_enforced_when_spill_cannot_help() {
+    // Spilling disabled: the cumulative fail-fast budget trips (seed
+    // behaviour preserved).
+    let db = db_with_edges(no_spill().with_max_intermediate_bytes(64));
+    match db.query(&pagerank(5, false).cte) {
+        Err(Error::ResourceExhausted { resource, .. }) => {
+            assert_eq!(resource, "intermediate_bytes");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    // Spilling enabled with a roomy threshold but a 1-byte *budget*: the
+    // resident set can never fit, so the typed error still surfaces.
+    let db = db_with_edges(
+        EngineConfig::default()
+            .with_spill_threshold_bytes(u64::MAX)
+            .with_max_intermediate_bytes(1),
+    );
+    match db.query(&pagerank(5, false).cte) {
+        Err(Error::ResourceExhausted { resource, .. }) => {
+            assert_eq!(resource, "intermediate_bytes");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    // Same budget, but spilling allowed to evict: the query now succeeds
+    // because cold state moves to disk instead of counting against the
+    // resident budget.
+    let db = db_with_edges(forced_spill().with_max_intermediate_bytes(1_000_000));
+    db.query(&pagerank(5, false).cte)
+        .expect("spilling should keep the resident set under the budget");
+}
+
+/// Spill I/O faults are transient: the fault matrix over
+/// `SpillWrite`/`SpillRead` × checkpoint_interval {0, 1, 5} must either
+/// converge to the exact fault-free rows or fail with a typed,
+/// retryable-classified error — never a wrong answer or a hang.
+#[test]
+fn spill_fault_matrix_across_checkpoint_intervals() {
+    let sql = counting_cte(8);
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    let faults = [
+        FaultConfig::fail_nth(FaultSite::SpillWrite, 1),
+        FaultConfig::fail_nth(FaultSite::SpillWrite, 3),
+        FaultConfig::fail_nth(FaultSite::SpillRead, 1),
+        FaultConfig::fail_nth(FaultSite::SpillRead, 2),
+    ];
+    for interval in [0u64, 1, 5] {
+        for fault in &faults {
+            let mut db = db_with_edges(EngineConfig::default());
+            db.set_config(
+                forced_spill()
+                    .with_checkpoint_interval(interval)
+                    .with_max_partition_retries(2)
+                    .with_max_loop_recoveries(3)
+                    .with_fault(fault.clone()),
+            )
+            .unwrap();
+            match db.query(&sql) {
+                Ok(batch) => assert_eq!(
+                    sorted_rows(&batch),
+                    sorted_rows(&expected),
+                    "interval={interval}, fault={fault:?}: WRONG rows"
+                ),
+                Err(
+                    e @ (Error::FaultInjected { .. }
+                    | Error::RecoveryExhausted { .. }
+                    | Error::SpillUnavailable { .. }),
+                ) => {
+                    // Typed failure is acceptable; silent corruption is not.
+                    drop(e);
+                }
+                Err(other) => {
+                    panic!("interval={interval}, fault={fault:?}: untyped failure {other:?}")
+                }
+            }
+            assert_eq!(db.temp_result_count(), 0);
+            // The database stays usable for the next statement.
+            let batch = db.query("SELECT COUNT(*) FROM edges").unwrap();
+            assert_eq!(batch.rows()[0][0], Value::Int(5));
+        }
+    }
+}
+
+/// A seeded spill-fault storm composed with the standard recovery
+/// policy: every seed must converge identically or fail typed, and at
+/// least some seeds must converge.
+#[test]
+fn spill_fault_storm_with_recovery_policy_converges_or_fails_typed() {
+    let sql = counting_cte(6);
+    let expected = db_with_edges(EngineConfig::default()).query(&sql).unwrap();
+    let mut converged = 0;
+    for seed in 0..10u64 {
+        let mut db = db_with_edges(EngineConfig::default());
+        db.set_config(
+            forced_spill()
+                .with_recovery(RecoveryPolicy::standard())
+                .with_fault(FaultConfig::seeded(
+                    FaultSite::SpillWrite,
+                    FaultKind::Error,
+                    seed,
+                    100_000,
+                ))
+                .with_fault(FaultConfig::seeded(
+                    FaultSite::SpillRead,
+                    FaultKind::Error,
+                    seed.wrapping_add(17),
+                    100_000,
+                )),
+        )
+        .unwrap();
+        match db.query(&sql) {
+            Ok(batch) => {
+                assert_eq!(
+                    sorted_rows(&batch),
+                    sorted_rows(&expected),
+                    "seed {seed}: storm survivor returned a WRONG answer"
+                );
+                converged += 1;
+            }
+            Err(
+                Error::FaultInjected { .. }
+                | Error::RecoveryExhausted { .. }
+                | Error::SpillUnavailable { .. },
+            ) => {}
+            Err(other) => panic!("seed {seed}: unexpected failure kind: {other:?}"),
+        }
+        assert_eq!(db.temp_result_count(), 0, "seed {seed}: registry leak");
+    }
+    assert!(
+        converged > 0,
+        "at 10% fault rates some seeds must still converge"
+    );
+}
+
+/// A disk-level spill failure (directory vanished after validation)
+/// surfaces as the typed, retryable `SpillUnavailable`, and the database
+/// recovers once the directory is back.
+#[test]
+fn vanished_spill_dir_is_typed_and_transient() {
+    let dir = std::env::temp_dir().join(format!("spinner_vanishing_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = db_with_edges(
+        EngineConfig::default()
+            .with_spill_threshold_bytes(1)
+            .with_spill_dir(dir.to_str().unwrap()),
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+    match db.query(&counting_cte(4)) {
+        Err(Error::SpillUnavailable { region, message }) => {
+            assert!(!region.is_empty());
+            assert!(!message.is_empty());
+            assert!(
+                Error::SpillUnavailable { region, message }.is_retryable(),
+                "spill unavailability is transient by contract"
+            );
+        }
+        other => panic!("expected SpillUnavailable, got {other:?}"),
+    }
+    // Directory restored: the same session works again.
+    std::fs::create_dir_all(&dir).unwrap();
+    db.query(&counting_cte(4)).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Engine-level config validation: a bad spill directory is rejected at
+/// `Database::new`, before any query can hit it.
+#[test]
+fn bad_spill_dir_rejected_at_construction() {
+    match Database::new(
+        EngineConfig::default()
+            .with_spill_threshold_bytes(1024)
+            .with_spill_dir("/nonexistent/spinner/spill"),
+    ) {
+        Err(Error::InvalidConfig(_)) => {}
+        Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+        Ok(_) => panic!("bad spill_dir must be rejected"),
+    }
+    match Database::new(EngineConfig::default().with_spill_threshold_bytes(0)) {
+        Err(Error::InvalidConfig(_)) => {}
+        Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+        Ok(_) => panic!("zero threshold must be rejected"),
+    }
+}
+
+/// `EXPLAIN ANALYZE` carries the statement's spill counters in the text
+/// rendering and through the JSON round trip.
+#[test]
+fn explain_analyze_reports_spill_counters() {
+    let db = db_with_edges(forced_spill());
+    let profile = db.explain_analyze(&counting_cte(6)).unwrap();
+    assert!(profile.spill.events > 0, "profile must see the spills");
+    assert!(profile.spill.bytes_written > 0);
+    assert!(profile.spill.peak_tracked_bytes > 0);
+    assert!(
+        profile.render().contains("spill:"),
+        "rendering must mention spill activity:\n{}",
+        profile.render()
+    );
+    let back = spinner_engine::QueryProfile::from_json(&profile.to_json()).unwrap();
+    assert_eq!(
+        back, profile,
+        "spill block must survive the JSON round trip"
+    );
+    // With spilling off entirely there is nothing to track, so the
+    // profile stays spill-silent.
+    let db = db_with_edges(no_spill());
+    let profile = db.explain_analyze(&counting_cte(6)).unwrap();
+    assert_eq!(profile.spill.events, 0);
+    assert!(!profile.render().contains("spill: events"));
+}
+
+/// Checkpoint bytes count against the intermediate-state budget
+/// (satellite bugfix): with checkpointing every iteration, a budget that
+/// exactly fits the loop tables alone must now trip. The budget is
+/// measured, not guessed: an unlimited guard reports the bytes actually
+/// charged with and without checkpoints.
+#[test]
+fn checkpoint_bytes_charge_the_intermediate_budget() {
+    let sql = counting_cte(8);
+    let measure = |interval: u64| {
+        let db = db_with_edges(no_spill().with_checkpoint_interval(interval));
+        let guard = QueryGuard::unlimited();
+        db.query_with_guard(&sql, &guard).unwrap();
+        guard.intermediate_bytes_used()
+    };
+    let without_ckpt = measure(0);
+    let with_ckpt = measure(1);
+    assert!(
+        with_ckpt > without_ckpt,
+        "snapshots must be charged: {with_ckpt} <= {without_ckpt}"
+    );
+    // A budget that exactly covers the checkpoint-free run passes...
+    let db = db_with_edges(no_spill().with_max_intermediate_bytes(without_ckpt));
+    db.query(&sql).unwrap();
+    // ...and trips once per-iteration snapshots are charged on top.
+    let db = db_with_edges(
+        no_spill()
+            .with_max_intermediate_bytes(without_ckpt)
+            .with_checkpoint_interval(1),
+    );
+    match db.query(&sql) {
+        Err(Error::ResourceExhausted { resource, .. }) => {
+            assert_eq!(resource, "intermediate_bytes");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+}
