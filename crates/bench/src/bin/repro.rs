@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Artifacts: `table1`, `fig8`, `fig9`, `fig10`, `fig11`, `convergence`,
-//! `recovery`, `spill`.
+//! `recovery`, `spill`, `bench` (worker-pool regression smoke, writes
+//! `BENCH_5.json`).
 
 use std::time::{Duration, Instant};
 
@@ -27,6 +28,7 @@ fn main() {
         "convergence" => convergence(),
         "recovery" => recovery(),
         "spill" => spill(),
+        "bench" => bench(),
         "all" => table1()
             .and_then(|()| fig8())
             .and_then(|()| fig9())
@@ -34,11 +36,12 @@ fn main() {
             .and_then(|()| fig11())
             .and_then(|()| convergence())
             .and_then(|()| recovery())
-            .and_then(|()| spill()),
+            .and_then(|()| spill())
+            .and_then(|()| bench()),
         other => {
             eprintln!(
                 "repro: unknown artifact '{other}'; \
-                 use table1|fig8|fig9|fig10|fig11|convergence|recovery|spill|all"
+                 use table1|fig8|fig9|fig10|fig11|convergence|recovery|spill|bench|all"
             );
             std::process::exit(1);
         }
@@ -366,6 +369,94 @@ fn sorted_rows(batch: &spinner_engine::Batch) -> Vec<Vec<Value>> {
     let mut rows: Vec<Vec<Value>> = batch.rows().iter().map(|r| r.to_vec()).collect();
     rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
     rows
+}
+
+/// Median of a sample series, in ms per loop iteration. The
+/// bench-regression harness uses the median (not the min) so the
+/// recorded number is a typical run, robust to one outlier either way.
+fn median_ms_per_iteration(mut times: Vec<f64>, iterations: u64) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2] / iterations as f64
+}
+
+/// Bench-regression harness (PR 5): the fig8 (FF/PR) and fig9
+/// (PR-VS/SSSP-VS) workloads in smoke mode — dblp-like dataset, 10
+/// iterations, median of 5 — with parallel partitions on in both arms,
+/// comparing the persistent worker pool against the spawn-per-operator
+/// fallback. The series is written to `BENCH_5.json` for the CI artifact
+/// upload, so a regression in pool dispatch or the join cache shows up
+/// as a diff between uploads.
+fn bench() -> Result<()> {
+    const SMOKE_ITERATIONS: u64 = 10;
+    header("Bench — worker pool vs spawn-per-operator (smoke, 10 iterations, dblp-like)");
+    let pool_on = || {
+        EngineConfig::default()
+            .with_partitions(8)
+            .with_parallel_partitions(true)
+    };
+    let pool_off = || pool_on().with_worker_pool(false);
+    let workloads = [
+        ("fig8", "FF", ff(SMOKE_ITERATIONS, 10).cte, false),
+        ("fig8", "PR", pagerank(SMOKE_ITERATIONS, false).cte, false),
+        ("fig9", "PR-VS", pagerank(SMOKE_ITERATIONS, true).cte, true),
+        ("fig9", "SSSP-VS", sssp(SMOKE_ITERATIONS, 1, true).cte, true),
+    ];
+    println!(
+        "{:<6} {:<10} {:>16} {:>16} {:>9}",
+        "figure", "query", "pool-off ms/it", "pool-on ms/it", "gain"
+    );
+    let mut entries = Vec::new();
+    for (figure, qname, sql, with_vs) in workloads {
+        let off_db = setup_db(BenchDataset::DblpLike, pool_off(), with_vs);
+        let on_db = setup_db(BenchDataset::DblpLike, pool_on(), with_vs);
+        // One unmeasured warmup per arm, then interleaved samples so
+        // machine drift (thermal, scheduler) lands on both arms equally
+        // instead of biasing whichever ran second.
+        let mut off_times = Vec::new();
+        let mut on_times = Vec::new();
+        for sample in -1..5i32 {
+            for (db, times) in [(&off_db, &mut off_times), (&on_db, &mut on_times)] {
+                let t = Instant::now();
+                db.query(&sql)?;
+                if sample >= 0 {
+                    times.push(t.elapsed().as_secs_f64() * 1000.0);
+                }
+            }
+        }
+        let off = median_ms_per_iteration(off_times, SMOKE_ITERATIONS);
+        let on = median_ms_per_iteration(on_times, SMOKE_ITERATIONS);
+        let on_stats = on_db.take_stats();
+        if on_stats.threads_spawned != 0 {
+            return Err(spinner_engine::Error::execution(
+                "pool-on run spawned mid-loop threads",
+            ));
+        }
+        println!(
+            "{:<6} {:<10} {:>16.3} {:>16.3} {:>8.1}%",
+            figure,
+            qname,
+            off,
+            on,
+            100.0 * (off - on) / off,
+        );
+        entries.push(format!(
+            "    {{\"figure\": \"{figure}\", \"query\": \"{qname}\", \
+             \"pool_off_ms_per_iteration\": {off:.4}, \
+             \"pool_on_ms_per_iteration\": {on:.4}, \
+             \"pool_tasks\": {}, \"join_builds_reused\": {}}}",
+            on_stats.pool_tasks, on_stats.join_builds_reused,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"pool_smoke\",\n  \"dataset\": \"dblp-like\",\n  \
+         \"iterations\": {SMOKE_ITERATIONS},\n  \"samples\": 5,\n  \
+         \"statistic\": \"median_ms_per_iteration\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    std::fs::write("BENCH_5.json", &json)
+        .map_err(|e| spinner_engine::Error::execution(format!("writing BENCH_5.json: {e}")))?;
+    println!("\nwrote BENCH_5.json");
+    Ok(())
 }
 
 /// Convergence curves from a single `EXPLAIN ANALYZE` run: per-iteration

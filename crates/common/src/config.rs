@@ -114,6 +114,17 @@ pub struct EngineConfig {
     /// is set; validated (exists, is a directory, writable) by
     /// [`EngineConfig::validate`].
     pub spill_dir: Option<String>,
+    /// Use a persistent worker pool (one thread per partition, created once
+    /// per database) for parallel partition execution instead of spawning a
+    /// fresh scoped thread per operator invocation. Only takes effect when
+    /// [`parallel_partitions`](Self::parallel_partitions) is on; disabling
+    /// it restores the spawn-per-operator path (useful for A/B timing).
+    pub worker_pool: bool,
+    /// Cache the hash table built for a loop-invariant join side (a hoisted
+    /// `__common_*` result) across iterations, re-probing it instead of
+    /// re-hashing every time. Keyed by temp-result identity and registered
+    /// with the memory accountant so spill pressure can reclaim it.
+    pub join_state_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -138,6 +149,8 @@ impl Default for EngineConfig {
             max_loop_recoveries: 0,
             spill_threshold_bytes: spill_threshold_from_env(),
             spill_dir: std::env::var("SPINNER_SPILL_DIR").ok(),
+            worker_pool: true,
+            join_state_cache: true,
         }
     }
 }
@@ -305,6 +318,19 @@ impl EngineConfig {
     /// Builder-style setter for the spill-file directory.
     pub fn with_spill_dir(mut self, dir: impl Into<String>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style setter for the persistent worker pool. Off, parallel
+    /// operators fall back to spawning a scoped thread per partition.
+    pub fn with_worker_pool(mut self, on: bool) -> Self {
+        self.worker_pool = on;
+        self
+    }
+
+    /// Builder-style setter for loop-invariant join-state caching.
+    pub fn with_join_state_cache(mut self, on: bool) -> Self {
+        self.join_state_cache = on;
         self
     }
 

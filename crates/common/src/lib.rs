@@ -25,7 +25,8 @@ pub use memory::{
     SpillRequest, TransientRegion,
 };
 pub use profile::{
-    IterationProfile, ProfileNode, QueryProfile, RecoveryProfile, SpanKind, SpillProfile, Tracer,
+    IterationProfile, PoolProfile, ProfileNode, QueryProfile, RecoveryProfile, SpanKind,
+    SpillProfile, Tracer,
 };
 pub use row::{batch_of, row_of, Batch, Row};
 pub use schema::{Field, Schema, SchemaRef};

@@ -43,6 +43,11 @@ pub enum RegionKind {
     HashAggregate,
     /// A hash-join build side being probed; pinned (never spilled).
     HashJoinBuild,
+    /// A cached loop-invariant join build (hash table + partitioned rows)
+    /// held across iterations by the join-state cache. Derived state that
+    /// can always be rebuilt from its source temp, so it is the cheapest
+    /// thing to give up under pressure: evicted (dropped), not spilled.
+    JoinBuild,
 }
 
 impl RegionKind {
@@ -50,6 +55,7 @@ impl RegionKind {
     /// region is pinned in memory (operator state in active use).
     pub fn victim_priority(self) -> Option<u8> {
         match self {
+            RegionKind::JoinBuild => Some(0),
             RegionKind::CommonResult => Some(0),
             RegionKind::Checkpoint => Some(1),
             RegionKind::WorkingTable => Some(2),
@@ -67,6 +73,7 @@ impl RegionKind {
             RegionKind::TempResult => "temp_result",
             RegionKind::HashAggregate => "hash_aggregate",
             RegionKind::HashJoinBuild => "hash_join_build",
+            RegionKind::JoinBuild => "join_build",
         }
     }
 

@@ -142,6 +142,35 @@ impl SpillProfile {
     }
 }
 
+/// Parallel-scheduling and join-state-cache activity of one statement —
+/// the `EXPLAIN ANALYZE` view of the worker pool and the loop-invariant
+/// join cache. All-zero (and omitted from JSON) for serial statements
+/// with no cacheable joins, so such profiles stay byte-identical to the
+/// previous format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolProfile {
+    /// OS threads spawned by parallel operators (spawn-per-operator
+    /// fallback). Zero when the persistent pool handled everything.
+    pub threads_spawned: u64,
+    /// Per-partition tasks dispatched to the persistent worker pool.
+    pub pool_tasks: u64,
+    /// Loop-invariant hash-join build tables constructed.
+    pub join_builds: u64,
+    /// Loop-invariant hash-join builds reused from the cache instead of
+    /// being re-hashed.
+    pub join_builds_reused: u64,
+}
+
+impl PoolProfile {
+    /// Whether any pool/cache activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.threads_spawned == 0
+            && self.pool_tasks == 0
+            && self.join_builds == 0
+            && self.join_builds_reused == 0
+    }
+}
+
 /// One node of the profile tree: a step, operator or loop with its
 /// actual (not estimated) runtime counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -380,6 +409,9 @@ pub struct QueryProfile {
     /// Statement-level spill activity; all-zero unless memory pressure
     /// made the engine spill intermediate state to disk.
     pub spill: SpillProfile,
+    /// Statement-level worker-pool / join-cache activity; all-zero for
+    /// serial statements with no cacheable joins.
+    pub pool: PoolProfile,
 }
 
 impl QueryProfile {
@@ -424,6 +456,23 @@ impl QueryProfile {
                 ]),
             ));
         }
+        if !self.pool.is_empty() {
+            fields.push((
+                "pool".into(),
+                Json::Obj(vec![
+                    (
+                        "threads_spawned".into(),
+                        Json::Num(self.pool.threads_spawned),
+                    ),
+                    ("pool_tasks".into(), Json::Num(self.pool.pool_tasks)),
+                    ("join_builds".into(), Json::Num(self.pool.join_builds)),
+                    (
+                        "join_builds_reused".into(),
+                        Json::Num(self.pool.join_builds_reused),
+                    ),
+                ]),
+            ));
+        }
         let v = Json::Obj(fields);
         let mut out = String::new();
         v.write(&mut out);
@@ -447,6 +496,19 @@ impl QueryProfile {
                 }
             }
         };
+        let pool = match Json::get_opt(obj, "pool") {
+            None => PoolProfile::default(),
+            Some(v) => {
+                let o = v.as_obj("pool")?;
+                PoolProfile {
+                    threads_spawned: Json::get(o, "threads_spawned")?.as_num("threads_spawned")?,
+                    pool_tasks: Json::get(o, "pool_tasks")?.as_num("pool_tasks")?,
+                    join_builds: Json::get(o, "join_builds")?.as_num("join_builds")?,
+                    join_builds_reused: Json::get(o, "join_builds_reused")?
+                        .as_num("join_builds_reused")?,
+                }
+            }
+        };
         Ok(QueryProfile {
             total_elapsed_us: Json::get(obj, "total_elapsed_us")?.as_num("total_elapsed_us")?,
             roots: Json::get(obj, "roots")?
@@ -455,6 +517,7 @@ impl QueryProfile {
                 .map(ProfileNode::from_json_value)
                 .collect::<Result<_>>()?,
             spill,
+            pool,
         })
     }
 
@@ -473,6 +536,14 @@ impl QueryProfile {
                 out,
                 "spill: events={}, written={} B, read={} B, peak_tracked={} B",
                 s.events, s.bytes_written, s.bytes_read, s.peak_tracked_bytes
+            );
+        }
+        if !self.pool.is_empty() {
+            let p = &self.pool;
+            let _ = writeln!(
+                out,
+                "pool: threads_spawned={}, pool_tasks={}, join_builds={}, join_reused={}",
+                p.threads_spawned, p.pool_tasks, p.join_builds, p.join_builds_reused
             );
         }
         let _ = writeln!(
@@ -836,6 +907,7 @@ impl Tracer {
             roots: std::mem::take(&mut state.roots),
             total_elapsed_us: state.started.elapsed().as_micros() as u64,
             spill: SpillProfile::default(),
+            pool: PoolProfile::default(),
         }
     }
 }

@@ -5,11 +5,11 @@ use std::sync::Arc;
 
 use spinner_common::memory::SpillFaultHook;
 use spinner_common::{
-    Batch, EngineConfig, Error, FaultSite, QueryGuard, QueryProfile, Result, Row, Schema,
-    SchemaRef, SpillProfile, Tracer, Value,
+    Batch, EngineConfig, Error, FaultSite, PoolProfile, QueryGuard, QueryProfile, Result, Row,
+    Schema, SchemaRef, SpillProfile, Tracer, Value,
 };
 use spinner_exec::stats::StatsSnapshot;
-use spinner_exec::{ExecStats, Executor, FaultInjector};
+use spinner_exec::{ExecStats, Executor, FaultInjector, JoinStateCache, WorkerPool};
 use spinner_parser::{parse_sql, parse_statements, Statement};
 use spinner_plan::builder::SchemaProvider;
 use spinner_plan::{plan_statement, LogicalPlan, PlanExpr, PlannedStatement, QueryPlan};
@@ -36,6 +36,11 @@ pub struct Database {
     /// temp registry and checkpoint store. `None` preserves the
     /// fail-fast budget semantics.
     spill: Option<Arc<SpillEnv>>,
+    /// Persistent worker pool (one thread per partition), created once
+    /// when the config enables `parallel_partitions` + `worker_pool` and
+    /// shared by every statement — parallel operators dispatch tasks to
+    /// it instead of spawning threads. `None` = spawn-per-operator.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 /// Per-statement execution state: the temp-result registry and loop-
@@ -48,6 +53,10 @@ pub struct Database {
 struct StatementState {
     temp: TempRegistry,
     checkpoints: CheckpointStore,
+    /// Loop-invariant join builds cached for this statement only: the
+    /// cache key is buffer identity in this statement's own registry, so
+    /// sharing across statements would never hit anyway.
+    join_cache: JoinStateCache,
 }
 
 /// Routes the spill manager's fault sites (`SpillWrite`/`SpillRead`)
@@ -99,6 +108,7 @@ impl Database {
             stats: Arc::new(ExecStats::new()),
             faults: Arc::new(FaultInjector::disabled()),
             spill: None,
+            pool: None,
         };
         db.install_config(config);
         Ok(db)
@@ -119,6 +129,11 @@ impl Database {
                 Some(hook),
             ))
         });
+        // The pool is created here — once per (re)configuration, never
+        // mid-statement — so steady-state loop iterations spawn nothing.
+        // Reconfiguring drops the old pool (joining its workers).
+        self.pool = (config.parallel_partitions && config.worker_pool)
+            .then(|| Arc::new(WorkerPool::new(config.partitions)));
         self.config = config;
     }
 
@@ -130,7 +145,11 @@ impl Database {
         temp.set_spill(self.spill.clone());
         let checkpoints = CheckpointStore::new();
         checkpoints.set_spill(self.spill.clone());
-        StatementState { temp, checkpoints }
+        StatementState {
+            temp,
+            checkpoints,
+            join_cache: JoinStateCache::new(),
+        }
     }
 
     /// New database with every DBSpinner optimization disabled — the
@@ -345,14 +364,21 @@ impl Database {
                 let tracer = Tracer::new();
                 self.run_query_plan(&plan, guard, &tracer)?;
                 let mut profile = tracer.finish();
-                // Spill counters live in flat stats (drained per
-                // statement), not in spans; graft them onto the profile.
+                // Spill and scheduling counters live in flat stats
+                // (drained per statement), not in spans; graft them onto
+                // the profile.
                 let snap = self.stats.snapshot();
                 profile.spill = SpillProfile {
                     events: snap.spill_events,
                     bytes_written: snap.spill_bytes_written,
                     bytes_read: snap.spill_bytes_read,
                     peak_tracked_bytes: snap.peak_tracked_bytes,
+                };
+                profile.pool = PoolProfile {
+                    threads_spawned: snap.threads_spawned,
+                    pool_tasks: snap.pool_tasks,
+                    join_builds: snap.join_builds,
+                    join_builds_reused: snap.join_builds_reused,
                 };
                 Ok(super::QueryResult::Analyze(profile))
             }
@@ -426,6 +452,8 @@ impl Database {
             faults: &self.faults,
             tracer,
             checkpoints: &state.checkpoints,
+            pool: self.pool.as_deref(),
+            join_cache: &state.join_cache,
         };
         let result = exec.run_query(plan);
         // Release on every exit path: a cancelled/faulted query must not
@@ -435,6 +463,7 @@ impl Database {
         // entries); `state` itself drops at scope end.
         state.temp.clear();
         state.checkpoints.clear();
+        state.join_cache.clear();
         self.drain_spill_metrics();
         result
     }
@@ -508,9 +537,12 @@ impl Database {
                     faults: &self.faults,
                     tracer: &tracer,
                     checkpoints: &state.checkpoints,
+                    pool: self.pool.as_deref(),
+                    join_cache: &state.join_cache,
                 };
                 let from_result = exec.execute_logical(&from_plan);
                 state.temp.clear();
+                state.join_cache.clear();
                 self.drain_spill_metrics();
                 let from_rows: Vec<Row> = from_result?.gather();
                 // Split the WHERE clause into hashable equi conjuncts

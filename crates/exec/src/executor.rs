@@ -21,9 +21,11 @@ use spinner_common::{Batch, EngineConfig, Error, FaultSite, QueryGuard, Result, 
 use spinner_plan::{LogicalPlan, LoopKind, LoopStep, PlanExpr, QueryPlan, Step, TerminationPlan};
 use spinner_storage::{Catalog, CheckpointStore, LoopCheckpoint, Partitioned, TempRegistry};
 
+use crate::cache::JoinStateCache;
 use crate::fault::FaultInjector;
 use crate::operators::{self, OpContext};
 use crate::physical::{create_physical_plan, ExchangeMode};
+use crate::pool::WorkerPool;
 use crate::stats::ExecStats;
 
 /// Executes planned queries against a catalog + temp registry.
@@ -51,6 +53,11 @@ pub struct Executor<'a> {
     /// Loop checkpoints for mid-loop recovery (unused unless the config
     /// enables checkpointing or recovery).
     pub checkpoints: &'a CheckpointStore,
+    /// Persistent worker pool for parallel partitions (`None` = spawn a
+    /// scoped thread per operator, the pre-pool behaviour).
+    pub pool: Option<&'a WorkerPool>,
+    /// Statement-scoped cache of loop-invariant hash-join builds.
+    pub join_cache: &'a JoinStateCache,
 }
 
 /// Result of one step: the number of rows it reported as updated (merges
@@ -67,6 +74,8 @@ impl Executor<'_> {
             guard: self.guard,
             faults: self.faults,
             tracer: self.tracer,
+            pool: self.pool,
+            join_cache: self.join_cache,
         }
     }
 
@@ -362,6 +371,12 @@ impl Executor<'_> {
                     .unwrap_or(&victim.name);
                 self.checkpoints.spill_entry(loop_id)?;
             }
+            // A cached join build is derived state: reclaiming it is a
+            // drop (the entry releases its region), not a disk write —
+            // the next probe rebuilds from the source temp.
+            RegionKind::JoinBuild => {
+                self.join_cache.evict(&victim.name);
+            }
             _ => {
                 self.registry.spill_entry(&victim.name)?;
             }
@@ -615,6 +630,11 @@ impl Executor<'_> {
         for (name, data) in &ckpt.tables {
             self.registry.put(name, data.clone());
         }
+        // Replay must rebuild from the restored state: drop any cached
+        // join builds derived on the failed timeline. (Restoring re-`put`s
+        // tables, so their fingerprints change anyway; clearing makes the
+        // invalidation unconditional rather than incidental.)
+        self.join_cache.clear();
         ExecStats::add(&self.stats.loop_rollbacks, 1);
         ExecStats::add(
             &self.stats.iterations_replayed,
@@ -879,6 +899,7 @@ mod tests {
         let faults = FaultInjector::disabled();
         let tracer = Tracer::disabled();
         let checkpoints = CheckpointStore::new();
+        let join_cache = JoinStateCache::new();
         let exec = Executor {
             catalog,
             registry: &registry,
@@ -888,6 +909,8 @@ mod tests {
             faults: &faults,
             tracer: &tracer,
             checkpoints: &checkpoints,
+            pool: None,
+            join_cache: &join_cache,
         };
         exec.run_query(&plan)
     }
@@ -1176,6 +1199,7 @@ mod tests {
             let faults = FaultInjector::disabled();
             let tracer = Tracer::disabled();
             let checkpoints = CheckpointStore::new();
+            let join_cache = JoinStateCache::new();
             let exec = Executor {
                 catalog: &catalog,
                 registry: &registry,
@@ -1185,6 +1209,8 @@ mod tests {
                 faults: &faults,
                 tracer: &tracer,
                 checkpoints: &checkpoints,
+                pool: None,
+                join_cache: &join_cache,
             };
             let batch = exec.run_query(&plan).unwrap();
             (batch, stats.snapshot())

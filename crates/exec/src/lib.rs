@@ -20,13 +20,17 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod cache;
 pub mod executor;
 pub mod fault;
 pub mod operators;
 pub mod physical;
+pub mod pool;
 pub mod stats;
 
+pub use cache::JoinStateCache;
 pub use executor::Executor;
 pub use fault::FaultInjector;
 pub use physical::{create_physical_plan, ExchangeMode, PhysicalPlan};
+pub use pool::WorkerPool;
 pub use stats::ExecStats;

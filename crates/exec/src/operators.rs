@@ -1,9 +1,12 @@
 //! Evaluation of physical operator trees over partitioned row sets.
 //!
 //! Every operator consumes and produces a [`Partitioned`] (one immutable
-//! row vector per virtual MPP worker). Per-partition work can run on
-//! crossbeam scoped threads when `EngineConfig::parallel_partitions` is
-//! set; the default is sequential execution for determinism.
+//! row vector per virtual MPP worker). Per-partition work can run in
+//! parallel when `EngineConfig::parallel_partitions` is set — on the
+//! database's persistent [`WorkerPool`] when one is installed (zero
+//! thread spawns in steady state), else on crossbeam scoped threads
+//! spawned per operator. The default is sequential execution for
+//! determinism.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -15,8 +18,10 @@ use spinner_plan::{AggExpr, JoinType, PlanExpr, SetOpKind, SortKey};
 use spinner_storage::{Catalog, Partitioned, TempRegistry};
 
 use crate::aggregate::Accumulator;
+use crate::cache::{CachedBuild, JoinStateCache, JoinTable};
 use crate::fault::FaultInjector;
 use crate::physical::{partition_for_key, ExchangeMode, PhysicalPlan};
+use crate::pool::WorkerPool;
 use crate::stats::ExecStats;
 
 /// Everything an operator needs at run time.
@@ -35,6 +40,11 @@ pub struct OpContext<'a> {
     pub faults: &'a FaultInjector,
     /// Span collector for `EXPLAIN ANALYZE`; disabled for normal statements.
     pub tracer: &'a Tracer,
+    /// Persistent worker pool for parallel partitions; `None` falls back
+    /// to the spawn-per-operator path.
+    pub pool: Option<&'a WorkerPool>,
+    /// Statement-scoped cache of loop-invariant hash-join builds.
+    pub join_cache: &'a JoinStateCache,
 }
 
 impl OpContext<'_> {
@@ -169,6 +179,27 @@ fn execute_inner(plan: &PhysicalPlan, ctx: &OpContext<'_>) -> Result<Partitioned
             schema,
         } => {
             let l = execute(left, ctx)?;
+            // A loop-invariant build side (hash repartition of a hoisted
+            // §V-A common result) is built once per temp identity and
+            // re-probed on every later iteration.
+            if ctx.config.join_state_cache {
+                if let Some(name) = right.invariant_build_name() {
+                    let out = cached_hash_join(
+                        &l,
+                        right,
+                        name,
+                        *join_type,
+                        left_keys,
+                        right_keys,
+                        residual.as_ref(),
+                        ctx,
+                    )?;
+                    return Ok(Partitioned {
+                        schema: schema.clone(),
+                        parts: out,
+                    });
+                }
+            }
             let r = execute(right, ctx)?;
             ExecStats::add(&ctx.stats.joins_executed, 1);
             let (lwidth, rwidth) = (l.schema.len(), r.schema.len());
@@ -468,33 +499,61 @@ fn run_partition(
     Err(last_err.expect("retry loop runs at least once"))
 }
 
-/// Run `f` over every partition of `input`, optionally in parallel.
-/// Workers are panic-isolated; see [`run_partition`].
-fn unary_map(
-    input: &Partitioned,
+/// Shared scheduling driver for [`unary_map`]/[`binary_map`]: run
+/// `work(i)` for every partition index `0..count` and collect the
+/// results.
+///
+/// Scheduling policy:
+/// - serial mode (or fewer than two *occupied* partitions): everything
+///   runs inline on the coordinator, in partition order — deterministic,
+///   zero threads;
+/// - parallel with a persistent [`WorkerPool`] installed: one pool task
+///   per occupied partition (`pool_tasks` counts them; no threads are
+///   spawned);
+/// - parallel without a pool: one crossbeam scoped thread per occupied
+///   partition (`threads_spawned` counts them).
+///
+/// Empty partitions never get a thread or a pool task — their closures
+/// run inline on the coordinator after the parallel batch. They still go
+/// through `work` (and therefore [`run_partition`]), so fault-injection
+/// hit counts and retry accounting are identical in every mode.
+fn map_partitions(
     ctx: &OpContext<'_>,
-    f: impl Fn(&[Row]) -> Result<Vec<Row>> + Sync,
+    count: usize,
+    is_empty: &dyn Fn(usize) -> bool,
+    work: &(dyn Fn(usize) -> Result<Vec<Row>> + Sync),
 ) -> Result<Vec<Arc<Vec<Row>>>> {
-    if ctx.config.parallel_partitions && input.parts.len() > 1 {
-        let fref = &f;
-        let results: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = input
-                .parts
-                .iter()
-                .enumerate()
-                .map(|(i, p)| {
-                    let p = Arc::clone(p);
-                    s.spawn(move |_| run_partition(ctx, i, || fref(p.as_slice())))
+    let occupied: Vec<usize> = (0..count).filter(|&i| !is_empty(i)).collect();
+    if !(ctx.config.parallel_partitions && count > 1 && occupied.len() > 1) {
+        return (0..count).map(|i| work(i).map(Arc::new)).collect();
+    }
+    let mut results: Vec<Option<Result<Vec<Row>>>> = (0..count).map(|_| None).collect();
+    if let Some(pool) = ctx.pool {
+        ExecStats::add(&ctx.stats.pool_tasks, occupied.len() as u64);
+        let outcomes = pool.scope(occupied.iter().map(|&i| move || work(i)).collect());
+        for (&i, outcome) in occupied.iter().zip(outcomes) {
+            results[i] = Some(outcome.unwrap_or_else(|payload| {
+                // Unreachable in practice (run_partition catches panics
+                // inside the worker), kept as a second line of defense.
+                ctx.guard.abort_workers();
+                Err(Error::WorkerPanicked {
+                    partition: i,
+                    message: panic_message(payload),
                 })
+            }));
+        }
+    } else {
+        ExecStats::add(&ctx.stats.threads_spawned, occupied.len() as u64);
+        let spawned: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = occupied
+                .iter()
+                .map(|&i| s.spawn(move |_| work(i)))
                 .collect();
             handles
                 .into_iter()
-                .enumerate()
-                .map(|(i, h)| {
+                .zip(occupied.iter())
+                .map(|(h, &i)| {
                     h.join().unwrap_or_else(|payload| {
-                        // Unreachable in practice (run_partition catches
-                        // panics inside the worker), kept as a second
-                        // line of defense.
                         ctx.guard.abort_workers();
                         Err(Error::WorkerPanicked {
                             partition: i,
@@ -508,15 +567,45 @@ fn unary_map(
             partition: usize::MAX,
             message: panic_message(payload),
         })?;
-        results.into_iter().map(|r| r.map(Arc::new)).collect()
-    } else {
-        input
-            .parts
-            .iter()
-            .enumerate()
-            .map(|(i, p)| run_partition(ctx, i, || f(p.as_slice())).map(Arc::new))
-            .collect()
+        for (&i, outcome) in occupied.iter().zip(spawned) {
+            results[i] = Some(outcome);
+        }
     }
+    for (i, slot) in results.iter_mut().enumerate() {
+        if slot.is_none() {
+            *slot = Some(work(i));
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every partition filled").map(Arc::new))
+        .collect()
+}
+
+/// Run `f` over every partition of `input`, optionally in parallel.
+/// Workers are panic-isolated; see [`run_partition`].
+fn unary_map(
+    input: &Partitioned,
+    ctx: &OpContext<'_>,
+    f: impl Fn(&[Row]) -> Result<Vec<Row>> + Sync,
+) -> Result<Vec<Arc<Vec<Row>>>> {
+    unary_map_indexed(input, ctx, |_, rows| f(rows))
+}
+
+/// Like [`unary_map`], but `f` also receives the partition index so the
+/// caller can pair each partition with co-indexed external state (the
+/// cached join build).
+fn unary_map_indexed(
+    input: &Partitioned,
+    ctx: &OpContext<'_>,
+    f: impl Fn(usize, &[Row]) -> Result<Vec<Row>> + Sync,
+) -> Result<Vec<Arc<Vec<Row>>>> {
+    map_partitions(
+        ctx,
+        input.parts.len(),
+        &|i| input.parts[i].is_empty(),
+        &|i| run_partition(ctx, i, || f(i, input.parts[i].as_slice())),
+    )
 }
 
 /// Run `f` over co-indexed partition pairs, optionally in parallel.
@@ -534,49 +623,12 @@ fn binary_map(
             r.parts.len()
         )));
     }
-    if ctx.config.parallel_partitions && l.parts.len() > 1 {
-        let fref = &f;
-        let results: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = l
-                .parts
-                .iter()
-                .zip(&r.parts)
-                .enumerate()
-                .map(|(i, (lp, rp))| {
-                    let lp = Arc::clone(lp);
-                    let rp = Arc::clone(rp);
-                    s.spawn(move |_| run_partition(ctx, i, || fref(lp.as_slice(), rp.as_slice())))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(i, h)| {
-                    h.join().unwrap_or_else(|payload| {
-                        ctx.guard.abort_workers();
-                        Err(Error::WorkerPanicked {
-                            partition: i,
-                            message: panic_message(payload),
-                        })
-                    })
-                })
-                .collect()
-        })
-        .map_err(|payload| Error::WorkerPanicked {
-            partition: usize::MAX,
-            message: panic_message(payload),
-        })?;
-        results.into_iter().map(|x| x.map(Arc::new)).collect()
-    } else {
-        l.parts
-            .iter()
-            .zip(&r.parts)
-            .enumerate()
-            .map(|(i, (lp, rp))| {
-                run_partition(ctx, i, || f(lp.as_slice(), rp.as_slice())).map(Arc::new)
-            })
-            .collect()
-    }
+    map_partitions(
+        ctx,
+        l.parts.len(),
+        &|i| l.parts[i].is_empty() && r.parts[i].is_empty(),
+        &|i| run_partition(ctx, i, || f(l.parts[i].as_slice(), r.parts[i].as_slice())),
+    )
 }
 
 /// Redistribute rows according to `mode`, counting movement.
@@ -668,8 +720,16 @@ fn hash_join_partition(
     lwidth: usize,
     rwidth: usize,
 ) -> Result<Vec<Row>> {
-    // Build side: right. NULL keys never participate in matches.
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rrows.len());
+    let table = build_join_table(rrows, right_keys)?;
+    probe_join_partition(
+        lrows, rrows, &table, join_type, left_keys, residual, lwidth, rwidth,
+    )
+}
+
+/// Build-side hash table for one partition: join key → row indices into
+/// `rrows`. NULL keys never participate in matches.
+fn build_join_table(rrows: &[Row], right_keys: &[PlanExpr]) -> Result<JoinTable> {
+    let mut table: JoinTable = HashMap::with_capacity(rrows.len());
     for (i, row) in rrows.iter().enumerate() {
         let key: Vec<Value> = right_keys
             .iter()
@@ -680,6 +740,24 @@ fn hash_join_partition(
         }
         table.entry(key).or_default().push(i);
     }
+    Ok(table)
+}
+
+/// Probe one partition against a prebuilt hash table over `rrows`. The
+/// `matched_right` bookkeeping for Right/Full joins is per-call state, so
+/// a build shared across iterations by the join-state cache stays
+/// read-only.
+#[allow(clippy::too_many_arguments)]
+fn probe_join_partition(
+    lrows: &[Row],
+    rrows: &[Row],
+    table: &JoinTable,
+    join_type: JoinType,
+    left_keys: &[PlanExpr],
+    residual: Option<&PlanExpr>,
+    lwidth: usize,
+    rwidth: usize,
+) -> Result<Vec<Row>> {
     let mut matched_right = vec![false; rrows.len()];
     let mut out = Vec::new();
     for lrow in lrows {
@@ -716,6 +794,73 @@ fn hash_join_partition(
         }
     }
     Ok(out)
+}
+
+/// Hash join against a loop-invariant build side, through the
+/// [`JoinStateCache`].
+///
+/// On a hit (`join_builds_reused`) the right subtree is not executed at
+/// all — no temp scan, no exchange, no re-hash; the probe runs against
+/// the cached partitioned build. On a miss (`join_builds`) the right
+/// subtree executes once, the per-partition hash tables are built under
+/// pinned transient tracking, and the result is cached as an evictable
+/// `join_build:<name>` region keyed by the source temp's buffer identity.
+#[allow(clippy::too_many_arguments)]
+fn cached_hash_join(
+    l: &Partitioned,
+    right: &PhysicalPlan,
+    name: &str,
+    join_type: JoinType,
+    left_keys: &[PlanExpr],
+    right_keys: &[PlanExpr],
+    residual: Option<&PlanExpr>,
+    ctx: &OpContext<'_>,
+) -> Result<Vec<Arc<Vec<Row>>>> {
+    ExecStats::add(&ctx.stats.joins_executed, 1);
+    let entry: Arc<CachedBuild> = match ctx.join_cache.lookup(name, ctx.registry) {
+        Some(entry) => {
+            ExecStats::add(&ctx.stats.join_builds_reused, 1);
+            entry
+        }
+        None => {
+            let r = execute(right, ctx)?;
+            let tables = with_transient_tracking(
+                ctx,
+                "hash join build",
+                RegionKind::HashJoinBuild,
+                r.estimated_bytes(),
+                || {
+                    r.parts
+                        .iter()
+                        .map(|p| build_join_table(p, right_keys))
+                        .collect::<Result<Vec<JoinTable>>>()
+                },
+            )?;
+            ExecStats::add(&ctx.stats.join_builds, 1);
+            ctx.join_cache.insert(name, r, tables, ctx.registry)
+        }
+    };
+    if entry.build.parts.len() != l.parts.len() {
+        return Err(Error::execution(format!(
+            "partition count mismatch: {} vs {}",
+            l.parts.len(),
+            entry.build.parts.len()
+        )));
+    }
+    let (lwidth, rwidth) = (l.schema.len(), entry.build.schema.len());
+    let entry_ref = &entry;
+    unary_map_indexed(l, ctx, |i, lrows| {
+        probe_join_partition(
+            lrows,
+            &entry_ref.build.parts[i],
+            &entry_ref.tables[i],
+            join_type,
+            left_keys,
+            residual,
+            lwidth,
+            rwidth,
+        )
+    })
 }
 
 /// Nested-loop join over gathered inputs.

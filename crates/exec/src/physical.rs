@@ -212,6 +212,26 @@ impl PhysicalPlan {
         }
     }
 
+    /// If this subtree is a hash repartition of a hoisted §V-A common
+    /// result (`Exchange { Hash } → TempScan "__common_*"`), the temp's
+    /// name. That is exactly the shape whose output never changes within
+    /// a statement, so a hash join using it as the build side can build
+    /// once and re-probe every iteration through the join-state cache.
+    pub fn invariant_build_name(&self) -> Option<&str> {
+        match self {
+            PhysicalPlan::Exchange {
+                input,
+                mode: ExchangeMode::Hash(_),
+            } => match input.as_ref() {
+                PhysicalPlan::TempScan { name, .. } if name.starts_with("__common_") => {
+                    Some(name.as_str())
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
     /// One-line operator label, shared by EXPLAIN output and the profile
     /// spans `EXPLAIN ANALYZE` collects.
     pub fn describe(&self) -> String {

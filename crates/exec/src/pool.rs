@@ -1,0 +1,280 @@
+//! Persistent worker pool for parallel partition execution.
+//!
+//! The spawn-per-operator parallel path creates a fresh scoped OS thread
+//! for every partition of every operator invocation — dozens of spawns
+//! *per iteration* of an iterative CTE. This module keeps a fixed set of
+//! long-lived workers (one per configured partition) alive for the
+//! lifetime of a `Database` and hands them per-partition closures
+//! instead, so the steady-state loop body spawns zero threads.
+//!
+//! [`WorkerPool::scope`] mirrors `crossbeam::thread::scope` semantics:
+//! it accepts non-`'static` closures, blocks until every submitted task
+//! has finished, and reports each task's outcome as a
+//! [`std::thread::Result`] so callers keep the exact panic-isolation
+//! handling (`Err(payload)` on panic) they already use for spawned
+//! threads. Cancellation and per-partition retry are unchanged: the
+//! closures submitted by the operators run `run_partition`, which checks
+//! the `QueryGuard` and drives the retry/backoff loop exactly as it does
+//! on a spawned thread.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A queued unit of work. Tasks are lifetime-erased to `'static`; the
+/// safety argument lives in [`WorkerPool::scope`].
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared between the pool handle and its workers.
+struct Shared {
+    /// Pending tasks plus the shutdown flag, guarded together so a worker
+    /// never misses a shutdown edge between checks.
+    queue: Mutex<(VecDeque<Task>, bool)>,
+    /// Signalled when tasks arrive or shutdown begins.
+    available: Condvar,
+}
+
+/// Per-`scope` completion state: result slots plus a countdown latch.
+struct ScopeState<R> {
+    /// `(slot per task, tasks still running)` under one lock so the final
+    /// decrement and the waiter's check cannot interleave badly.
+    slots: Mutex<(Vec<Option<std::thread::Result<R>>>, usize)>,
+    /// Signalled when the last task of the scope finishes.
+    done: Condvar,
+}
+
+/// A fixed-size pool of long-lived worker threads executing scoped tasks.
+///
+/// Created once per `Database` (from `EngineConfig::partitions`) and
+/// shared by every statement; dropped (joining its workers) when the
+/// database reconfigures or shuts down.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (at least one) that live until the pool is
+    /// dropped.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new((VecDeque::new(), false)),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spinner-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every closure in `tasks` on the pool, blocking until all have
+    /// finished, and return their outcomes in submission order.
+    ///
+    /// A task that panics yields `Err(payload)` — the panic is caught on
+    /// the worker (which survives and keeps serving tasks) and surfaced
+    /// here exactly like a `crossbeam` handle join, so callers reuse
+    /// their existing `WorkerPanicked` translation.
+    pub fn scope<'env, R, F>(&self, tasks: Vec<F>) -> Vec<std::thread::Result<R>>
+    where
+        R: Send + 'env,
+        F: FnOnce() -> R + Send + 'env,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let state: Arc<ScopeState<R>> = Arc::new(ScopeState {
+            slots: Mutex::new(((0..n).map(|_| None).collect(), n)),
+            done: Condvar::new(),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue");
+            for (i, task) in tasks.into_iter().enumerate() {
+                let state = Arc::clone(&state);
+                let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(task));
+                    let mut slots = state.slots.lock().expect("scope slots");
+                    slots.0[i] = Some(outcome);
+                    slots.1 -= 1;
+                    if slots.1 == 0 {
+                        state.done.notify_all();
+                    }
+                });
+                // SAFETY: the queue requires `'static` tasks but `wrapped`
+                // borrows from `'env`. This function does not return until
+                // the countdown latch below reaches zero, i.e. until every
+                // task enqueued here has run to completion and dropped its
+                // closure — so no `'env` borrow is ever used after `'env`
+                // ends. The transmute only erases the lifetime; layout is
+                // identical. This is the standard scoped-pool technique
+                // (`std::thread::scope` does the morally equivalent erasure
+                // internally).
+                let wrapped: Task = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(wrapped)
+                };
+                queue.0.push_back(wrapped);
+            }
+            self.shared.available.notify_all();
+        }
+        let mut slots = state.slots.lock().expect("scope slots");
+        while slots.1 > 0 {
+            slots = state.done.wait(slots).expect("scope slots");
+        }
+        slots
+            .0
+            .drain(..)
+            .map(|r| r.expect("latch guarantees every slot is filled"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue");
+            queue.1 = true;
+            self.shared.available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Worker body: pop and run tasks until shutdown. The pop loop drains any
+/// remaining queued tasks before honouring shutdown so a racing `scope`
+/// caller is never left waiting on a latch nobody will decrement.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue");
+            loop {
+                if let Some(task) = queue.0.pop_front() {
+                    break task;
+                }
+                if queue.1 {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("pool queue");
+            }
+        };
+        // Belt-and-braces: scope's wrapper already catches panics, but a
+        // worker must never die (or poison anything) even if a future task
+        // kind forgets to.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_tasks_and_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let data = [1i64, 2, 3, 4, 5, 6, 7, 8];
+        let tasks: Vec<_> = data.iter().map(|&x| move || x * 10).collect();
+        let results: Vec<i64> = pool
+            .scope(tasks)
+            .into_iter()
+            .map(|r| r.expect("no panic"))
+            .collect();
+        assert_eq!(results, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn tasks_run_on_pool_threads_not_the_caller() {
+        let pool = WorkerPool::new(2);
+        let names: Vec<String> = pool
+            .scope(vec![
+                || std::thread::current().name().unwrap_or("").to_string(),
+                || std::thread::current().name().unwrap_or("").to_string(),
+            ])
+            .into_iter()
+            .map(|r| r.expect("no panic"))
+            .collect();
+        for name in names {
+            assert!(
+                name.starts_with("spinner-worker-"),
+                "task ran on {name:?}, not a pool worker"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_task_is_isolated_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let outcomes = pool.scope(vec![
+            Box::new(|| 1i64) as Box<dyn FnOnce() -> i64 + Send>,
+            Box::new(|| panic!("boom")),
+            Box::new(|| 3i64),
+        ]);
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[1].is_err());
+        assert!(outcomes[2].is_ok());
+        // The pool keeps working after a task panicked.
+        let again = pool.scope(vec![|| 7i64]);
+        assert_eq!(*again[0].as_ref().expect("pool survived"), 7);
+    }
+
+    #[test]
+    fn scope_borrows_caller_state() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..16)
+            .map(|_| {
+                let counter = &counter;
+                move || counter.fetch_add(1, Ordering::SeqCst)
+            })
+            .collect();
+        let results = pool.scope(tasks);
+        assert_eq!(results.len(), 16);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn empty_scope_is_a_no_op() {
+        let pool = WorkerPool::new(1);
+        let results: Vec<std::thread::Result<()>> = pool.scope(Vec::<fn()>::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn concurrent_scopes_from_multiple_threads_share_the_pool() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let tasks: Vec<_> = (0..8).map(|i| move || (t * 100 + i) as i64).collect();
+                    pool.scope(tasks)
+                        .into_iter()
+                        .map(|r| r.expect("no panic"))
+                        .sum::<i64>()
+                })
+            })
+            .collect();
+        for (t, handle) in handles.into_iter().enumerate() {
+            let expected: i64 = (0..8).map(|i| (t as i64) * 100 + i).sum();
+            assert_eq!(handle.join().expect("scope thread"), expected);
+        }
+    }
+}

@@ -53,6 +53,17 @@ pub struct ExecStats {
     pub spill_bytes_read: AtomicU64,
     /// High-water mark of bytes tracked by the memory accountant.
     pub peak_tracked_bytes: AtomicU64,
+    /// OS threads spawned by parallel operators (spawn-per-operator path).
+    /// Zero in steady state when the persistent worker pool is enabled.
+    pub threads_spawned: AtomicU64,
+    /// Per-partition tasks dispatched to the persistent worker pool.
+    pub pool_tasks: AtomicU64,
+    /// Loop-invariant hash-join build tables constructed by the join-state
+    /// cache (first probe, or rebuild after invalidation).
+    pub join_builds: AtomicU64,
+    /// Loop-invariant hash-join builds served from the join-state cache
+    /// instead of being re-hashed.
+    pub join_builds_reused: AtomicU64,
 }
 
 impl ExecStats {
@@ -88,6 +99,10 @@ impl ExecStats {
             spill_bytes_written: self.spill_bytes_written.load(Ordering::Relaxed),
             spill_bytes_read: self.spill_bytes_read.load(Ordering::Relaxed),
             peak_tracked_bytes: self.peak_tracked_bytes.load(Ordering::Relaxed),
+            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
+            pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
+            join_builds: self.join_builds.load(Ordering::Relaxed),
+            join_builds_reused: self.join_builds_reused.load(Ordering::Relaxed),
         }
     }
 
@@ -113,6 +128,10 @@ impl ExecStats {
         self.spill_bytes_written.store(0, Ordering::Relaxed);
         self.spill_bytes_read.store(0, Ordering::Relaxed);
         self.peak_tracked_bytes.store(0, Ordering::Relaxed);
+        self.threads_spawned.store(0, Ordering::Relaxed);
+        self.pool_tasks.store(0, Ordering::Relaxed);
+        self.join_builds.store(0, Ordering::Relaxed);
+        self.join_builds_reused.store(0, Ordering::Relaxed);
     }
 }
 
@@ -159,6 +178,14 @@ pub struct StatsSnapshot {
     pub spill_bytes_read: u64,
     /// High-water mark of bytes tracked by the memory accountant.
     pub peak_tracked_bytes: u64,
+    /// OS threads spawned by parallel operators (spawn-per-operator path).
+    pub threads_spawned: u64,
+    /// Per-partition tasks dispatched to the persistent worker pool.
+    pub pool_tasks: u64,
+    /// Loop-invariant hash-join build tables constructed.
+    pub join_builds: u64,
+    /// Loop-invariant hash-join builds reused from the join-state cache.
+    pub join_builds_reused: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -205,6 +232,13 @@ impl std::fmt::Display for StatsSnapshot {
                 self.spill_bytes_written,
                 self.spill_bytes_read,
                 self.peak_tracked_bytes,
+            )?;
+        }
+        if self.threads_spawned + self.pool_tasks + self.join_builds + self.join_builds_reused > 0 {
+            write!(
+                f,
+                " spawned={} pool_tasks={} join_builds={} join_reused={}",
+                self.threads_spawned, self.pool_tasks, self.join_builds, self.join_builds_reused,
             )?;
         }
         Ok(())

@@ -116,6 +116,26 @@ impl TempRegistry {
         self.rehydrate(&key, name)
     }
 
+    /// Pointer identity of a resident entry's partition buffers — the key
+    /// the join-state cache uses to prove a cached build is still derived
+    /// from the same physical data. Returns `None` when the entry is
+    /// missing or spilled (identity is unknowable without I/O; this method
+    /// deliberately never rehydrates or touches the region). Spilling and
+    /// rehydrating, recovery re-`put`s, and plain replacement all produce
+    /// new buffers, so any of them changes the fingerprint and invalidates
+    /// state derived from the old one.
+    pub fn fingerprint(&self, name: &str) -> Option<Vec<usize>> {
+        let key = name.to_ascii_lowercase();
+        let entries = self.entries.read();
+        match entries.get(&key) {
+            Some(Entry {
+                slot: Slot::Resident(data),
+                ..
+            }) => Some(data.parts.iter().map(|p| Arc::as_ptr(p) as usize).collect()),
+            _ => None,
+        }
+    }
+
     /// Read a spilled entry back into memory under the write lock.
     fn rehydrate(&self, key: &str, name: &str) -> Result<Partitioned> {
         let env = self.spill_env().ok_or_else(|| {
@@ -395,13 +415,19 @@ mod tests {
             let reg = Arc::clone(&reg);
             let stop = Arc::clone(&stop);
             readers.push(std::thread::spawn(move || {
+                // Do-while: every reader performs at least one read even if
+                // the writer storm finishes before this thread is scheduled
+                // (a single-core box can run all 2 000 renames first).
                 let mut reads = 0u64;
-                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                loop {
                     assert!(
                         reg.get("cte").is_ok(),
                         "reader observed 'cte' unbound mid-rename"
                     );
                     reads += 1;
+                    if stop.load(std::sync::atomic::Ordering::Acquire) {
+                        break;
+                    }
                 }
                 reads
             }));

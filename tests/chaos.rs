@@ -413,6 +413,64 @@ fn mid_loop_fault_recovers_identically_after_rollback() {
     assert_recovered(&db);
 }
 
+/// Join-state-cache invalidation across rollback-and-replay (PR 5): the
+/// invariant build for PR-VS is hashed on iteration 1, before the
+/// iteration-2 checkpoint; when a fault at iteration 4 rolls the loop
+/// back and the replay crosses the original build point, the restored
+/// registry state must NOT be probed through the pre-fault cache entry —
+/// `restore_checkpoint` clears the cache, so the replay rebuilds and the
+/// rows match a fault-free run exactly.
+#[test]
+fn join_cache_rebuilt_after_rollback_and_replay() {
+    let sql = pagerank(8, true).cte;
+    let clean_db = db_with_edges(EngineConfig::default());
+    clean_db
+        .execute("CREATE TABLE vertexstatus (node INT, status INT)")
+        .unwrap();
+    clean_db
+        .execute("INSERT INTO vertexstatus VALUES (1, 1), (2, 1), (3, 0), (4, 1)")
+        .unwrap();
+    let expected = clean_db.query(&sql).unwrap();
+    clean_db.take_stats();
+
+    let mut db = db_with_edges(EngineConfig::default());
+    db.execute("CREATE TABLE vertexstatus (node INT, status INT)")
+        .unwrap();
+    db.execute("INSERT INTO vertexstatus VALUES (1, 1), (2, 1), (3, 0), (4, 1)")
+        .unwrap();
+    // Threshold pinned high so the reuse assertion survives CI's
+    // forced-spill env (eviction-driven invalidation lives in
+    // tests/spill.rs).
+    db.set_config(
+        EngineConfig::default()
+            .with_spill_threshold_bytes(u64::MAX)
+            .with_checkpoint_interval(2)
+            .with_max_loop_recoveries(2)
+            .with_fault(FaultConfig::fail_nth(FaultSite::LoopIteration, 4)),
+    )
+    .unwrap();
+    db.take_stats();
+    let batch = db.query(&sql).unwrap();
+    assert_eq!(
+        sorted_rows(&batch),
+        sorted_rows(&expected),
+        "replaying through the build point must not serve a stale build"
+    );
+    let stats = db.take_stats();
+    assert_eq!(stats.loop_rollbacks, 1);
+    assert!(
+        stats.join_builds >= 2,
+        "rollback must invalidate the cache and force a rebuild, \
+         got {} builds",
+        stats.join_builds
+    );
+    assert!(
+        stats.join_builds_reused >= 1,
+        "iterations after the rebuild re-probe the fresh entry"
+    );
+    assert_recovered(&db);
+}
+
 /// Same scenario through `EXPLAIN ANALYZE`: the profile's loop node must
 /// carry the recovery story (rollback count, replayed range, snapshot
 /// bytes) so the operator can see what happened.

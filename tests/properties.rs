@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 use spinner_common::Value;
-use spinner_datagen::{load_edges_into, GraphSpec};
+use spinner_datagen::{load_edges_into, load_vertex_status_into, GraphSpec};
 use spinner_engine::{Database, EngineConfig, FaultConfig, FaultSite, RecoveryPolicy};
-use spinner_procedural::{ff, pagerank, run_script, sssp};
+use spinner_procedural::{connected_components, ff, pagerank, run_script, sssp};
 
 /// Strategy: a small random graph spec.
 fn graph_spec() -> impl Strategy<Value = GraphSpec> {
@@ -25,6 +25,14 @@ fn graph_spec() -> impl Strategy<Value = GraphSpec> {
 fn load(spec: &GraphSpec, config: EngineConfig) -> Database {
     let db = Database::new(config).unwrap();
     load_edges_into(&db, "edges", spec).unwrap();
+    db
+}
+
+fn load_with_vs(spec: &GraphSpec, config: EngineConfig, with_vs: bool) -> Database {
+    let db = load(spec, config);
+    if with_vs {
+        load_vertex_status_into(&db, "vertexstatus", spec, 0.8).unwrap();
+    }
     db
 }
 
@@ -162,6 +170,45 @@ proptest! {
             .query(sql)
             .unwrap();
         prop_assert_eq!(base.rows(), multi.rows());
+    }
+
+    /// The persistent worker pool is semantically invisible (PR 5): for
+    /// any random graph, every benchmark query shape (fig8 FF/PR, fig9
+    /// PR-VS, fig11 SSSP-VS, ablation CC) and partitions ∈ {1, 2, 4},
+    /// pooled-parallel execution returns exactly the serial rows. Both
+    /// sides share one partition count, so even float accumulation order
+    /// matches and the comparison is exact.
+    #[test]
+    fn pooled_parallel_matches_serial(
+        spec in graph_spec(),
+        shape in 0usize..5,
+        parts_idx in 0usize..3,
+    ) {
+        let parts = [1usize, 2, 4][parts_idx];
+        let (sql, with_vs) = match shape {
+            0 => (ff(5, 7).cte, false),
+            1 => (pagerank(5, false).cte, false),
+            2 => (pagerank(5, true).cte, true),
+            3 => (sssp(6, 1, true).cte, true),
+            _ => (connected_components(Some(8)).cte, false),
+        };
+        let serial = load_with_vs(&spec, EngineConfig::default().with_partitions(parts), with_vs)
+            .query(&sql)
+            .unwrap();
+        let pooled = load_with_vs(
+            &spec,
+            EngineConfig::default()
+                .with_partitions(parts)
+                .with_parallel_partitions(true),
+            with_vs,
+        )
+        .query(&sql)
+        .unwrap();
+        prop_assert_eq!(
+            sorted_rows(&pooled),
+            sorted_rows(&serial),
+            "shape {} with {} partitions diverged under the pool", shape, parts
+        );
     }
 
     /// UNION is idempotent: (A UNION A) == DISTINCT A.

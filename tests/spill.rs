@@ -36,6 +36,15 @@ fn counting_cte(iterations: u64) -> String {
     )
 }
 
+/// Adds the `vertexstatus` table the `*-VS` workloads join against —
+/// the join the common-result rule hoists into a `__common_*` temp.
+fn add_vertex_status(db: &Database) {
+    db.execute("CREATE TABLE vertexstatus (node INT, status INT)")
+        .unwrap();
+    db.execute("INSERT INTO vertexstatus VALUES (1, 1), (2, 1), (3, 0), (4, 1)")
+        .unwrap();
+}
+
 /// Rows of a batch, sorted, for order-insensitive comparison.
 fn sorted_rows(batch: &spinner_engine::Batch) -> Vec<Vec<Value>> {
     let mut rows: Vec<Vec<Value>> = batch.rows().iter().map(|r| r.to_vec()).collect();
@@ -357,6 +366,51 @@ fn explain_analyze_reports_spill_counters() {
     let profile = db.explain_analyze(&counting_cte(6)).unwrap();
     assert_eq!(profile.spill.events, 0);
     assert!(!profile.render().contains("spill: events"));
+}
+
+/// Join-state-cache invalidation under memory pressure (PR 5): the
+/// cached build table is registered as an evictable `join_build` region,
+/// so when the accountant reclaims it (a drop, not a disk write) the
+/// next probe must rebuild from the — possibly itself spilled —
+/// `__common_*` temp instead of reusing a stale pointer. Rows stay
+/// identical either way.
+#[test]
+fn join_cache_rebuilt_after_spill_evicts_build() {
+    let sql = pagerank(8, true).cte;
+    // In-memory baseline: the invariant build is hashed once and every
+    // later iteration re-probes it.
+    let db = db_with_edges(EngineConfig::default().with_spill_threshold_bytes(u64::MAX));
+    add_vertex_status(&db);
+    db.take_stats();
+    let expected = db.query(&sql).unwrap();
+    let in_memory = db.take_stats();
+    assert!(in_memory.join_builds >= 1);
+    assert!(
+        in_memory.join_builds_reused > in_memory.join_builds,
+        "in memory the cache must win: {} builds / {} reuses",
+        in_memory.join_builds,
+        in_memory.join_builds_reused
+    );
+    // 1-byte threshold: every allocation makes the build region a spill
+    // victim, so reuse is impossible — each probe rebuilds, and the
+    // answer is still row-identical.
+    let db = db_with_edges(forced_spill());
+    add_vertex_status(&db);
+    db.take_stats();
+    let batch = db.query(&sql).unwrap();
+    assert_eq!(
+        sorted_rows(&batch),
+        sorted_rows(&expected),
+        "evicting the cached build must never change rows"
+    );
+    let stats = db.take_stats();
+    assert!(
+        stats.join_builds > in_memory.join_builds,
+        "eviction must force rebuilds: {} spilled vs {} in-memory",
+        stats.join_builds,
+        in_memory.join_builds
+    );
+    assert!(stats.spill_events > 0);
 }
 
 /// Checkpoint bytes count against the intermediate-state budget
