@@ -9,13 +9,17 @@
 //!
 //! Artifacts: `table1`, `fig8`, `fig9`, `fig10`, `fig11`, `convergence`,
 //! `recovery`, `spill`, `bench` (worker-pool regression smoke, writes
-//! `BENCH_5.json`).
+//! `BENCH_5.json`), `concurrency` (multi-session overload/shedding run
+//! against a live TCP server, writes `CONCURRENCY_6.json`).
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use spinner_bench::{setup_db, BenchDataset, ITERATIONS};
 use spinner_engine::{Database, EngineConfig, FaultConfig, FaultSite, Result, Value};
 use spinner_procedural::{ff, pagerank, run_script, sssp, ProcedureScript};
+use spinner_server::{Client, Reply, Server};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -29,6 +33,7 @@ fn main() {
         "recovery" => recovery(),
         "spill" => spill(),
         "bench" => bench(),
+        "concurrency" => concurrency(),
         "all" => table1()
             .and_then(|()| fig8())
             .and_then(|()| fig9())
@@ -37,11 +42,12 @@ fn main() {
             .and_then(|()| convergence())
             .and_then(|()| recovery())
             .and_then(|()| spill())
-            .and_then(|()| bench()),
+            .and_then(|()| bench())
+            .and_then(|()| concurrency()),
         other => {
             eprintln!(
-                "repro: unknown artifact '{other}'; \
-                 use table1|fig8|fig9|fig10|fig11|convergence|recovery|spill|bench|all"
+                "repro: unknown artifact '{other}'; use table1|fig8|fig9|fig10|\
+                 fig11|convergence|recovery|spill|bench|concurrency|all"
             );
             std::process::exit(1);
         }
@@ -497,5 +503,306 @@ fn convergence() -> Result<()> {
         }
     }
     println!("\n(machine-readable: QueryProfile::to_json() carries the same series)");
+    Ok(())
+}
+
+/// Percentile of a sorted latency series (nearest-rank).
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Multi-session overload artifact: N mixed clients against a live TCP
+/// server with a 4-slot admission controller. Proves the robustness
+/// contract end to end — a deliberately runaway iterative statement is
+/// deadline-bounded (or shed), a killed connection releases its slot,
+/// every well-behaved client completes correctly, resident intermediate
+/// state stays bounded by the accountant, and the final admission
+/// snapshot shows zero leaked slots. Writes `CONCURRENCY_6.json`; any
+/// violated gate is a hard error (nonzero exit) for CI.
+/// What each concurrency worker hands back: per-statement latencies in
+/// milliseconds plus how many typed shed replies it absorbed and retried.
+type ClientOutcome = Result<(Vec<f64>, u64)>;
+
+fn concurrency() -> Result<()> {
+    const POINT_CLIENTS: usize = 6;
+    const POINT_QUERIES: usize = 40;
+    const LOOP_CLIENTS: usize = 2;
+    const LOOP_QUERIES: usize = 4;
+    const SPILL_THRESHOLD: u64 = 32 << 20;
+    header("Concurrency — mixed multi-session workload with admission control (TCP server)");
+
+    let config = EngineConfig::default()
+        .with_partitions(4)
+        .with_max_concurrent_queries(4)
+        .with_admission_queue_limit(8)
+        .with_admission_timeout_ms(5_000)
+        .with_spill_threshold_bytes(SPILL_THRESHOLD)
+        // Lift the loop safety bound: the runaway must be stopped by
+        // its *deadline*, not by tripping the iteration limit.
+        .with_max_iterations(1_000_000_000);
+    let db = Arc::new(Database::new(config)?);
+    let spec = spinner_datagen::GraphSpec {
+        nodes: 400,
+        edges: 2_000,
+        seed: 61,
+        max_weight: 10,
+    };
+    spinner_datagen::load_edges_into(&db, "edges", &spec)?;
+    let baseline_bytes = db.resident_tracked_bytes();
+    let server = Server::start(Arc::clone(&db), "127.0.0.1:0")?;
+    let addr = server.local_addr();
+
+    // Peak-resident monitor, sampled while the workload runs.
+    let peak_resident = Arc::new(AtomicU64::new(0));
+    let monitor_done = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let db = Arc::clone(&db);
+        let peak = Arc::clone(&peak_resident);
+        let done = Arc::clone(&monitor_done);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::SeqCst) {
+                peak.fetch_max(db.resident_tracked_bytes(), Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let io_err = |e: std::io::Error| spinner_engine::Error::Io(e.to_string());
+    let loop_sql = "WITH ITERATIVE t (k, v) AS (
+             SELECT DISTINCT src, 0 FROM edges
+         ITERATE SELECT k, v + 1 FROM t
+         UNTIL 60 ITERATIONS) SELECT COUNT(*) FROM t";
+    let t0 = Instant::now();
+    let mut workers: Vec<std::thread::JoinHandle<ClientOutcome>> = Vec::new();
+
+    // Point-query clients: OLTP-ish probes that must all complete even
+    // while iterative loops hold most of the slots. A shed reply is a
+    // legal answer (typed back-pressure) and is retried.
+    for c in 0..POINT_CLIENTS {
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).map_err(io_err)?;
+            let mut latencies = Vec::with_capacity(POINT_QUERIES);
+            let mut sheds = 0u64;
+            for q in 0..POINT_QUERIES {
+                let sql = format!(
+                    "SELECT COUNT(*) FROM edges WHERE src > {}",
+                    (c * 7 + q) % 300
+                );
+                loop {
+                    let t = Instant::now();
+                    match client.query(&sql).map_err(io_err)? {
+                        Reply::Error { code, message } => {
+                            if code == "overloaded" || code == "admission_timeout" {
+                                sheds += 1;
+                                std::thread::sleep(Duration::from_millis(20));
+                                continue;
+                            }
+                            return Err(spinner_engine::Error::execution(format!(
+                                "point client {c}: [{code}] {message}"
+                            )));
+                        }
+                        reply => {
+                            if reply.scalar_i64().is_none() {
+                                return Err(spinner_engine::Error::execution(format!(
+                                    "point client {c}: non-scalar reply"
+                                )));
+                            }
+                            latencies.push(t.elapsed().as_secs_f64() * 1000.0);
+                            break;
+                        }
+                    }
+                }
+            }
+            client.close().map_err(io_err)?;
+            Ok((latencies, sheds))
+        }));
+    }
+
+    // Iterative clients: well-behaved loop workloads sharing the slots.
+    for c in 0..LOOP_CLIENTS {
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).map_err(io_err)?;
+            let mut latencies = Vec::with_capacity(LOOP_QUERIES);
+            let mut sheds = 0u64;
+            for _ in 0..LOOP_QUERIES {
+                loop {
+                    let t = Instant::now();
+                    match client.query(loop_sql).map_err(io_err)? {
+                        Reply::Error { code, message } => {
+                            if code == "overloaded" || code == "admission_timeout" {
+                                sheds += 1;
+                                std::thread::sleep(Duration::from_millis(20));
+                                continue;
+                            }
+                            return Err(spinner_engine::Error::execution(format!(
+                                "loop client {c}: [{code}] {message}"
+                            )));
+                        }
+                        reply => {
+                            if reply.scalar_i64() != Some(400) {
+                                return Err(spinner_engine::Error::execution(format!(
+                                    "loop client {c}: wrong answer {reply:?}"
+                                )));
+                            }
+                            latencies.push(t.elapsed().as_secs_f64() * 1000.0);
+                            break;
+                        }
+                    }
+                }
+            }
+            client.close().map_err(io_err)?;
+            Ok((latencies, sheds))
+        }));
+    }
+
+    // The runaway: an effectively unbounded loop, deadline-bounded by
+    // its own session override. Its slot must come back on failure.
+    let runaway = std::thread::spawn(move || -> std::io::Result<String> {
+        let mut client = Client::connect(addr)?;
+        client.query("SET SESSION TIMEOUT_MS = 1500")?;
+        let reply = client.query(
+            "WITH ITERATIVE t (k, v) AS (SELECT DISTINCT src, 0 FROM edges \
+             ITERATE SELECT k, v + 1 FROM t UNTIL 900000000 ITERATIONS) \
+             SELECT COUNT(*) FROM t",
+        )?;
+        client.close()?;
+        Ok(match reply {
+            Reply::Error { code, .. } => code,
+            _ => "completed".to_string(),
+        })
+    });
+
+    // The vanishing client: starts a long statement, then the process
+    // "crashes" (socket slammed shut) mid-query. The server's watcher
+    // must cancel the orphan and release its admission slot.
+    let vanisher = std::thread::spawn(move || -> std::io::Result<()> {
+        let mut client = Client::connect(addr)?;
+        client.query("SET SESSION TIMEOUT_MS = 30000")?;
+        client.fire(
+            "WITH ITERATIVE t (k, v) AS (SELECT DISTINCT src, 0 FROM edges \
+             ITERATE SELECT k, v + 1 FROM t UNTIL 900000000 ITERATIONS) \
+             SELECT COUNT(*) FROM t",
+        )?;
+        std::thread::sleep(Duration::from_millis(400));
+        client.kill();
+        Ok(())
+    });
+
+    let mut point_latencies = Vec::new();
+    let mut loop_latencies = Vec::new();
+    let mut sheds_retried = 0u64;
+    for (i, handle) in workers.into_iter().enumerate() {
+        let (latencies, sheds) = handle
+            .join()
+            .map_err(|_| spinner_engine::Error::execution("client thread panicked"))??;
+        if i < POINT_CLIENTS {
+            point_latencies.extend(latencies);
+        } else {
+            loop_latencies.extend(latencies);
+        }
+        sheds_retried += sheds;
+    }
+    let runaway_outcome = runaway
+        .join()
+        .map_err(|_| spinner_engine::Error::execution("runaway thread panicked"))?
+        .map_err(io_err)?;
+    vanisher
+        .join()
+        .map_err(|_| spinner_engine::Error::execution("vanisher thread panicked"))?
+        .map_err(io_err)?;
+    let elapsed = t0.elapsed();
+
+    // ---- Gates --------------------------------------------------------
+    // 1. The runaway was shed or deadline-bounded, never "completed".
+    let runaway_bounded = matches!(
+        runaway_outcome.as_str(),
+        "timeout" | "overloaded" | "admission_timeout" | "cancelled"
+    );
+    // 2. No admission slot leaked: after the vanisher's orphan is
+    //    cancelled, the controller drains to zero active and queued.
+    let ctrl = db.admission().expect("admission controller configured");
+    let drained = ctrl.wait_idle(Duration::from_secs(15));
+    let snap = ctrl.snapshot();
+    let no_slot_leak = drained && snap.active == 0 && snap.queued == 0;
+    monitor_done.store(true, Ordering::SeqCst);
+    let _ = monitor.join();
+    // 3. Resident intermediate state stayed bounded by the accountant
+    //    (spill keeps it at/under the high-water mark; transient
+    //    overshoot of one region while a spill is in flight is legal).
+    let peak = peak_resident.load(Ordering::SeqCst);
+    let memory_bounded = peak <= 2 * SPILL_THRESHOLD;
+    // 4. And it all returns to baseline once the workload is gone.
+    let resident_after = db.resident_tracked_bytes();
+    let no_memory_leak = resident_after <= baseline_bytes && db.temp_result_count() == 0;
+
+    let ok_queries = point_latencies.len() + loop_latencies.len();
+    point_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    loop_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let throughput = ok_queries as f64 / elapsed.as_secs_f64();
+    println!(
+        "{} clients ({} point, {} loop, 1 runaway, 1 kill-connection), {} queries ok",
+        POINT_CLIENTS + LOOP_CLIENTS + 2,
+        POINT_CLIENTS,
+        LOOP_CLIENTS,
+        ok_queries,
+    );
+    println!(
+        "throughput {:>8.1} q/s   point p50 {:>7.2} ms   point p99 {:>7.2} ms   \
+         loop p99 {:>8.2} ms",
+        throughput,
+        percentile_ms(&point_latencies, 0.50),
+        percentile_ms(&point_latencies, 0.99),
+        percentile_ms(&loop_latencies, 0.99),
+    );
+    println!(
+        "runaway: {runaway_outcome}   sheds retried: {sheds_retried}   \
+         admission: admitted={} shed={} peak_queue={}",
+        snap.admitted_total,
+        snap.shed_total(),
+        snap.peak_queue_depth,
+    );
+    println!(
+        "memory: peak resident {} B (cap {} B)   after drain {} B (baseline {} B)",
+        peak, SPILL_THRESHOLD, resident_after, baseline_bytes,
+    );
+
+    let json = format!(
+        "{{\n  \"artifact\": \"concurrency\",\n  \"clients\": {{\"point\": {POINT_CLIENTS}, \
+         \"loop\": {LOOP_CLIENTS}, \"runaway\": 1, \"kill_connection\": 1}},\n  \
+         \"queries_ok\": {ok_queries},\n  \"throughput_qps\": {throughput:.2},\n  \
+         \"point_p50_ms\": {:.3},\n  \"point_p99_ms\": {:.3},\n  \"loop_p99_ms\": {:.3},\n  \
+         \"runaway_outcome\": \"{runaway_outcome}\",\n  \"sheds_retried\": {sheds_retried},\n  \
+         \"admission\": {{\"admitted_total\": {}, \"shed_total\": {}, \"peak_queue_depth\": {}, \
+         \"active_after\": {}, \"queued_after\": {}}},\n  \
+         \"memory\": {{\"cap_bytes\": {SPILL_THRESHOLD}, \"peak_resident_bytes\": {peak}, \
+         \"resident_after_bytes\": {resident_after}}},\n  \
+         \"gates\": {{\"runaway_bounded\": {runaway_bounded}, \"no_slot_leak\": {no_slot_leak}, \
+         \"memory_bounded\": {memory_bounded}, \"no_memory_leak\": {no_memory_leak}}}\n}}\n",
+        percentile_ms(&point_latencies, 0.50),
+        percentile_ms(&point_latencies, 0.99),
+        percentile_ms(&loop_latencies, 0.99),
+        snap.admitted_total,
+        snap.shed_total(),
+        snap.peak_queue_depth,
+        snap.active,
+        snap.queued,
+    );
+    std::fs::write("CONCURRENCY_6.json", &json).map_err(|e| {
+        spinner_engine::Error::execution(format!("writing CONCURRENCY_6.json: {e}"))
+    })?;
+    println!("\nwrote CONCURRENCY_6.json");
+    server.shutdown(Duration::from_secs(10));
+
+    if !(runaway_bounded && no_slot_leak && memory_bounded && no_memory_leak) {
+        return Err(spinner_engine::Error::execution(format!(
+            "concurrency gates violated: runaway_bounded={runaway_bounded} \
+             no_slot_leak={no_slot_leak} memory_bounded={memory_bounded} \
+             no_memory_leak={no_memory_leak}"
+        )));
+    }
     Ok(())
 }

@@ -125,6 +125,34 @@ pub struct EngineConfig {
     /// re-hashing every time. Keyed by temp-result identity and registered
     /// with the memory accountant so spill pressure can reclaim it.
     pub join_state_cache: bool,
+    /// Cap on queries executing plans concurrently. `None` (the default)
+    /// disables admission control entirely — every statement starts
+    /// immediately, the single-session behaviour. `Some(n)` makes the
+    /// engine gate statement start through the global
+    /// `AdmissionController`: at most `n` run at once, excess queries
+    /// wait in a bounded FIFO queue and are shed with typed
+    /// `Error::Overloaded` / `Error::AdmissionTimeout` under overload.
+    pub max_concurrent_queries: Option<usize>,
+    /// Bound on the admission wait queue. A query arriving when the queue
+    /// is already this deep is shed immediately with `Error::Overloaded`
+    /// instead of queueing — bounded latency beats unbounded backlog.
+    /// Only consulted when [`max_concurrent_queries`](Self::max_concurrent_queries)
+    /// is set.
+    pub admission_queue_limit: usize,
+    /// How long an *interactive* query (no loop operator in its plan) may
+    /// wait in the admission queue before being shed with
+    /// `Error::AdmissionTimeout`. `None` = wait indefinitely.
+    pub admission_timeout_ms: Option<u64>,
+    /// How long a *batch* query (its plan contains a loop operator) may
+    /// wait in the admission queue. Batch work tolerates more queueing
+    /// delay than interactive work, so the two classes get separate
+    /// timeouts. `None` = wait indefinitely.
+    pub admission_batch_timeout_ms: Option<u64>,
+    /// Stall deadline for `WorkerPool::scope`, in milliseconds: if no
+    /// submitted task completes within this window, still-queued tasks
+    /// are reclaimed and the scope fails with the typed
+    /// `Error::PoolStalled` instead of blocking the coordinator forever.
+    pub pool_stall_timeout_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -151,6 +179,11 @@ impl Default for EngineConfig {
             spill_dir: std::env::var("SPINNER_SPILL_DIR").ok(),
             worker_pool: true,
             join_state_cache: true,
+            max_concurrent_queries: None,
+            admission_queue_limit: 16,
+            admission_timeout_ms: None,
+            admission_batch_timeout_ms: None,
+            pool_stall_timeout_ms: 60_000,
         }
     }
 }
@@ -334,6 +367,37 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter enabling admission control with a cap on
+    /// concurrently executing queries.
+    pub fn with_max_concurrent_queries(mut self, max: usize) -> Self {
+        self.max_concurrent_queries = Some(max);
+        self
+    }
+
+    /// Builder-style setter for the bounded admission-queue depth.
+    pub fn with_admission_queue_limit(mut self, limit: usize) -> Self {
+        self.admission_queue_limit = limit;
+        self
+    }
+
+    /// Builder-style setter for the interactive-class admission timeout.
+    pub fn with_admission_timeout_ms(mut self, limit_ms: u64) -> Self {
+        self.admission_timeout_ms = Some(limit_ms);
+        self
+    }
+
+    /// Builder-style setter for the batch-class admission timeout.
+    pub fn with_admission_batch_timeout_ms(mut self, limit_ms: u64) -> Self {
+        self.admission_batch_timeout_ms = Some(limit_ms);
+        self
+    }
+
+    /// Builder-style setter for the worker-pool stall deadline.
+    pub fn with_pool_stall_timeout_ms(mut self, limit_ms: u64) -> Self {
+        self.pool_stall_timeout_ms = limit_ms;
+        self
+    }
+
     /// Apply a whole [`RecoveryPolicy`] at once.
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.checkpoint_interval = policy.checkpoint_interval;
@@ -389,6 +453,31 @@ impl EngineConfig {
         if let Some(dir) = &self.spill_dir {
             validate_spill_dir(dir)?;
         }
+        if self.max_concurrent_queries == Some(0) {
+            return Err(Error::InvalidConfig(
+                "max_concurrent_queries of 0 would admit nothing; \
+                 use None to disable admission control"
+                    .into(),
+            ));
+        }
+        if self.admission_timeout_ms == Some(0) || self.admission_batch_timeout_ms == Some(0) {
+            return Err(Error::InvalidConfig(
+                "admission timeouts of 0 would shed every queued query; \
+                 use None to wait indefinitely"
+                    .into(),
+            ));
+        }
+        if self.pool_stall_timeout_ms == 0 {
+            return Err(Error::InvalidConfig(
+                "pool_stall_timeout_ms of 0 would reclaim every queued pool task".into(),
+            ));
+        }
+        if self.pool_stall_timeout_ms > 3_600_000 {
+            return Err(Error::InvalidConfig(format!(
+                "pool_stall_timeout_ms {} exceeds the 1h sanity cap",
+                self.pool_stall_timeout_ms
+            )));
+        }
         for fault in &self.faults {
             match fault.trigger {
                 FaultTrigger::Nth(0) => {
@@ -440,6 +529,18 @@ pub enum FaultSite {
     /// opened; a firing is a transient fault, absorbed by step retry or
     /// rollback-and-replay like any other transient I/O failure.
     SpillRead,
+    /// When the server accepts a TCP connection, before any session state
+    /// exists. An error here sheds the connection; a delay simulates a
+    /// slow accept path.
+    Accept,
+    /// While a session's request frame is being read from the socket. An
+    /// error here is treated as a connection failure: the in-flight query
+    /// (if any) is cancelled and the session is torn down.
+    SessionRead,
+    /// While a session's response frame is being written to the socket.
+    /// An error here tears the session down after its query completed,
+    /// exercising the result-undeliverable path.
+    SessionWrite,
 }
 
 /// The recovery-related knobs of an [`EngineConfig`], bundled so callers
@@ -679,6 +780,36 @@ mod tests {
                 max_loop_recoveries: 4,
             }
         );
+    }
+
+    #[test]
+    fn admission_defaults_to_disabled() {
+        let c = EngineConfig::default();
+        assert_eq!(c.max_concurrent_queries, None);
+        assert_eq!(c.admission_queue_limit, 16);
+        assert_eq!(c.admission_timeout_ms, None);
+        assert_eq!(c.admission_batch_timeout_ms, None);
+        assert_eq!(c.pool_stall_timeout_ms, 60_000);
+    }
+
+    #[test]
+    fn degenerate_admission_knobs_rejected() {
+        let c = EngineConfig::default().with_max_concurrent_queries(0);
+        assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
+        let c = EngineConfig::default().with_admission_timeout_ms(0);
+        assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
+        let c = EngineConfig::default().with_admission_batch_timeout_ms(0);
+        assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
+        let c = EngineConfig::default().with_pool_stall_timeout_ms(0);
+        assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
+        let c = EngineConfig::default().with_pool_stall_timeout_ms(7_200_000);
+        assert!(matches!(c.validate(), Err(crate::Error::InvalidConfig(_))));
+        let c = EngineConfig::default()
+            .with_max_concurrent_queries(2)
+            .with_admission_queue_limit(4)
+            .with_admission_timeout_ms(100)
+            .with_admission_batch_timeout_ms(1_000);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -111,6 +111,37 @@ pub enum Error {
         /// The failure that exhausted the budget.
         source: Box<Error>,
     },
+    /// The admission controller shed this query because the bounded wait
+    /// queue was already full — the typed shed-load signal, returned
+    /// *instead of* letting the queue grow without bound.
+    Overloaded {
+        /// Queries running when the shed decision was made.
+        active: u64,
+        /// Queries already waiting in the admission queue.
+        queued: u64,
+        /// The configured `admission_queue_limit`.
+        limit: u64,
+    },
+    /// The query waited in the admission queue past its class's admission
+    /// timeout and was shed without ever starting.
+    AdmissionTimeout {
+        /// Milliseconds spent waiting in the queue.
+        waited_ms: u64,
+        /// The configured admission timeout for the query's class.
+        limit_ms: u64,
+    },
+    /// The server (or admission controller) is draining for shutdown and
+    /// no longer admits new queries.
+    ShuttingDown,
+    /// A `WorkerPool::scope` call made no progress within the stall
+    /// deadline and reclaimed its still-queued tasks — a lost-task
+    /// surface instead of a coordinator hang.
+    PoolStalled {
+        /// Milliseconds the scope had been waiting when it gave up.
+        waited_ms: u64,
+        /// Tasks reclaimed from the queue without ever running.
+        pending_tasks: u64,
+    },
 }
 
 /// Coarse failure classification used by the recovery subsystem.
@@ -175,7 +206,12 @@ impl Error {
             Error::FaultInjected { .. }
             | Error::WorkerPanicked { .. }
             | Error::Io(_)
-            | Error::SpillUnavailable { .. } => ErrorClass::Transient,
+            | Error::SpillUnavailable { .. }
+            | Error::PoolStalled { .. } => ErrorClass::Transient,
+            // Shed-load decisions (`Overloaded`, `AdmissionTimeout`,
+            // `ShuttingDown`) are deliberate back-pressure: retrying
+            // inside the engine would defeat the shedding, so they are
+            // Fatal here — the *client* is the right retry loop.
             _ => ErrorClass::Fatal,
         }
     }
@@ -251,6 +287,32 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "iterative CTE '{cte}' failed after {recoveries} recovery attempt(s): {source}"
+            ),
+            Error::Overloaded {
+                active,
+                queued,
+                limit,
+            } => write!(
+                f,
+                "server overloaded: {active} queries running, {queued} queued \
+                 (queue limit {limit}); try again later"
+            ),
+            Error::AdmissionTimeout {
+                waited_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "admission timed out after waiting {waited_ms} ms (limit {limit_ms} ms); \
+                 the query never started"
+            ),
+            Error::ShuttingDown => write!(f, "server is shutting down; no new queries admitted"),
+            Error::PoolStalled {
+                waited_ms,
+                pending_tasks,
+            } => write!(
+                f,
+                "worker pool made no progress for {waited_ms} ms; \
+                 {pending_tasks} queued task(s) reclaimed without running"
             ),
         }
     }
@@ -339,6 +401,36 @@ mod tests {
             ErrorClass::Fatal
         );
         assert_eq!(Error::execution("oops").class(), ErrorClass::Fatal);
+    }
+
+    #[test]
+    fn shed_load_errors_are_fatal_and_carry_numbers() {
+        let o = Error::Overloaded {
+            active: 4,
+            queued: 16,
+            limit: 16,
+        };
+        assert!(o.to_string().contains("4 queries running"));
+        assert!(o.to_string().contains("queue limit 16"));
+        assert_eq!(o.class(), ErrorClass::Fatal);
+        let t = Error::AdmissionTimeout {
+            waited_ms: 120,
+            limit_ms: 100,
+        };
+        assert!(t.to_string().contains("waiting 120 ms"));
+        assert!(t.to_string().contains("never started"));
+        assert_eq!(t.class(), ErrorClass::Fatal);
+        assert_eq!(Error::ShuttingDown.class(), ErrorClass::Fatal);
+    }
+
+    #[test]
+    fn pool_stall_is_transient_and_names_reclaimed_tasks() {
+        let e = Error::PoolStalled {
+            waited_ms: 250,
+            pending_tasks: 3,
+        };
+        assert!(e.to_string().contains("3 queued task(s)"));
+        assert!(e.is_retryable(), "a stalled scope is worth one retry");
     }
 
     #[test]

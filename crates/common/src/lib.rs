@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod config;
 pub mod error;
 pub mod guard;
@@ -17,6 +18,9 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
+pub use admission::{
+    AdmissionController, AdmissionPermit, AdmissionSnapshot, MemoryGate, QueryClass,
+};
 pub use config::{EngineConfig, FaultConfig, FaultKind, FaultSite, FaultTrigger, RecoveryPolicy};
 pub use error::{Error, ErrorClass, Result};
 pub use guard::QueryGuard;
@@ -25,8 +29,8 @@ pub use memory::{
     SpillRequest, TransientRegion,
 };
 pub use profile::{
-    IterationProfile, PoolProfile, ProfileNode, QueryProfile, RecoveryProfile, SpanKind,
-    SpillProfile, Tracer,
+    AdmissionProfile, IterationProfile, PoolProfile, ProfileNode, QueryProfile, RecoveryProfile,
+    SpanKind, SpillProfile, Tracer,
 };
 pub use row::{batch_of, row_of, Batch, Row};
 pub use schema::{Field, Schema, SchemaRef};

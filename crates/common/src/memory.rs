@@ -300,6 +300,13 @@ impl MemoryAccountant {
         self.resident.load(Ordering::Relaxed)
     }
 
+    /// Number of regions currently tracked (resident or spilled). Used by
+    /// leak checks: after a statement completes and its temps are dropped,
+    /// this must return to its pre-statement baseline.
+    pub fn region_count(&self) -> usize {
+        self.regions.lock().expect("accountant lock").len()
+    }
+
     /// Whether resident bytes currently exceed the high-water mark.
     pub fn over_threshold(&self) -> bool {
         self.resident_bytes() > self.threshold

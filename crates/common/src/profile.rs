@@ -171,6 +171,32 @@ impl PoolProfile {
     }
 }
 
+/// Admission-control activity of one statement — the `EXPLAIN ANALYZE`
+/// view of the [`AdmissionController`](crate::admission::AdmissionController).
+/// All-zero (and omitted from JSON) when admission control is disabled or
+/// the statement sailed through the fast path on an otherwise-idle
+/// server, so such profiles stay byte-identical to the previous format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionProfile {
+    /// Milliseconds this statement waited in the admission queue before
+    /// being allowed to start.
+    pub waited_ms: u64,
+    /// Depth of the admission queue when this statement joined it (zero
+    /// if it was admitted on the fast path).
+    pub queue_depth: u64,
+    /// Queries shed server-wide (overloaded + admission timeout +
+    /// shutdown) as of this statement's admission — overload context for
+    /// the wait above.
+    pub shed: u64,
+}
+
+impl AdmissionProfile {
+    /// Whether any admission activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.waited_ms == 0 && self.queue_depth == 0 && self.shed == 0
+    }
+}
+
 /// One node of the profile tree: a step, operator or loop with its
 /// actual (not estimated) runtime counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -412,6 +438,9 @@ pub struct QueryProfile {
     /// Statement-level worker-pool / join-cache activity; all-zero for
     /// serial statements with no cacheable joins.
     pub pool: PoolProfile,
+    /// Statement-level admission-control activity; all-zero when the
+    /// statement started without queueing.
+    pub admission: AdmissionProfile,
 }
 
 impl QueryProfile {
@@ -473,6 +502,16 @@ impl QueryProfile {
                 ]),
             ));
         }
+        if !self.admission.is_empty() {
+            fields.push((
+                "admission".into(),
+                Json::Obj(vec![
+                    ("waited_ms".into(), Json::Num(self.admission.waited_ms)),
+                    ("queue_depth".into(), Json::Num(self.admission.queue_depth)),
+                    ("shed".into(), Json::Num(self.admission.shed)),
+                ]),
+            ));
+        }
         let v = Json::Obj(fields);
         let mut out = String::new();
         v.write(&mut out);
@@ -509,6 +548,17 @@ impl QueryProfile {
                 }
             }
         };
+        let admission = match Json::get_opt(obj, "admission") {
+            None => AdmissionProfile::default(),
+            Some(v) => {
+                let o = v.as_obj("admission")?;
+                AdmissionProfile {
+                    waited_ms: Json::get(o, "waited_ms")?.as_num("waited_ms")?,
+                    queue_depth: Json::get(o, "queue_depth")?.as_num("queue_depth")?,
+                    shed: Json::get(o, "shed")?.as_num("shed")?,
+                }
+            }
+        };
         Ok(QueryProfile {
             total_elapsed_us: Json::get(obj, "total_elapsed_us")?.as_num("total_elapsed_us")?,
             roots: Json::get(obj, "roots")?
@@ -518,6 +568,7 @@ impl QueryProfile {
                 .collect::<Result<_>>()?,
             spill,
             pool,
+            admission,
         })
     }
 
@@ -544,6 +595,14 @@ impl QueryProfile {
                 out,
                 "pool: threads_spawned={}, pool_tasks={}, join_builds={}, join_reused={}",
                 p.threads_spawned, p.pool_tasks, p.join_builds, p.join_builds_reused
+            );
+        }
+        if !self.admission.is_empty() {
+            let a = &self.admission;
+            let _ = writeln!(
+                out,
+                "admission: waited_ms={}, queue_depth={}, shed={}",
+                a.waited_ms, a.queue_depth, a.shed
             );
         }
         let _ = writeln!(
@@ -908,6 +967,7 @@ impl Tracer {
             total_elapsed_us: state.started.elapsed().as_micros() as u64,
             spill: SpillProfile::default(),
             pool: PoolProfile::default(),
+            admission: AdmissionProfile::default(),
         }
     }
 }
@@ -1353,6 +1413,27 @@ mod tests {
         let p = tracer.finish();
         assert_eq!(p.roots[0].recovery.retries, 1);
         assert!(!p.roots[0].recovery.is_empty());
+    }
+
+    #[test]
+    fn admission_json_round_trips_and_is_absent_when_empty() {
+        let mut p = sample_profile();
+        let clean_json = p.to_json();
+        assert!(!clean_json.contains("\"admission\""), "{clean_json}");
+        assert_eq!(QueryProfile::from_json(&clean_json).unwrap(), p);
+        p.admission = AdmissionProfile {
+            waited_ms: 12,
+            queue_depth: 3,
+            shed: 1,
+        };
+        let json = p.to_json();
+        assert!(json.contains("\"admission\""), "{json}");
+        assert_eq!(QueryProfile::from_json(&json).unwrap(), p);
+        let text = p.render();
+        assert!(
+            text.contains("admission: waited_ms=12, queue_depth=3, shed=1"),
+            "{text}"
+        );
     }
 
     #[test]

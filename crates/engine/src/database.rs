@@ -5,8 +5,9 @@ use std::sync::Arc;
 
 use spinner_common::memory::SpillFaultHook;
 use spinner_common::{
-    Batch, EngineConfig, Error, FaultSite, PoolProfile, QueryGuard, QueryProfile, Result, Row,
-    Schema, SchemaRef, SpillProfile, Tracer, Value,
+    AdmissionController, AdmissionPermit, AdmissionProfile, Batch, EngineConfig, Error, FaultSite,
+    MemoryGate, PoolProfile, QueryClass, QueryGuard, QueryProfile, Result, Row, Schema, SchemaRef,
+    SpillProfile, Tracer, Value,
 };
 use spinner_exec::stats::StatsSnapshot;
 use spinner_exec::{ExecStats, Executor, FaultInjector, JoinStateCache, WorkerPool};
@@ -41,6 +42,11 @@ pub struct Database {
     /// shared by every statement — parallel operators dispatch tasks to
     /// it instead of spawning threads. `None` = spawn-per-operator.
     pool: Option<Arc<WorkerPool>>,
+    /// Global admission controller, built when the config sets
+    /// `max_concurrent_queries`. Every plan-executing statement acquires
+    /// an [`AdmissionPermit`] before touching the executor; `None`
+    /// (the default) admits everything immediately.
+    admission: Option<Arc<AdmissionController>>,
 }
 
 /// Per-statement execution state: the temp-result registry and loop-
@@ -73,6 +79,20 @@ struct EngineSpillHook {
 impl SpillFaultHook for EngineSpillHook {
     fn hit(&self, site: FaultSite) -> Result<()> {
         self.faults.hit(site, &self.stats)
+    }
+}
+
+/// Adapts the engine's spill environment to the admission controller's
+/// [`MemoryGate`]: admission defers (rather than admits-then-spills) when
+/// tracked intermediate state is already over the spill threshold. Lives
+/// here because `spinner-common` cannot see the storage crate's
+/// [`SpillEnv`].
+#[derive(Debug)]
+struct SpillMemoryGate(Arc<SpillEnv>);
+
+impl MemoryGate for SpillMemoryGate {
+    fn over_threshold(&self) -> bool {
+        self.0.accountant.over_threshold()
     }
 }
 
@@ -109,6 +129,7 @@ impl Database {
             faults: Arc::new(FaultInjector::disabled()),
             spill: None,
             pool: None,
+            admission: None,
         };
         db.install_config(config);
         Ok(db)
@@ -132,8 +153,25 @@ impl Database {
         // The pool is created here — once per (re)configuration, never
         // mid-statement — so steady-state loop iterations spawn nothing.
         // Reconfiguring drops the old pool (joining its workers).
-        self.pool = (config.parallel_partitions && config.worker_pool)
-            .then(|| Arc::new(WorkerPool::new(config.partitions)));
+        self.pool = (config.parallel_partitions && config.worker_pool).then(|| {
+            Arc::new(WorkerPool::with_stall_timeout(
+                config.partitions,
+                config.pool_stall_timeout_ms,
+            ))
+        });
+        self.admission = config.max_concurrent_queries.map(|max| {
+            let gate = self
+                .spill
+                .as_ref()
+                .map(|env| Arc::new(SpillMemoryGate(Arc::clone(env))) as Arc<dyn MemoryGate>);
+            Arc::new(AdmissionController::new(
+                max,
+                config.admission_queue_limit,
+                config.admission_timeout_ms,
+                config.admission_batch_timeout_ms,
+                gate,
+            ))
+        });
         self.config = config;
     }
 
@@ -197,6 +235,42 @@ impl Database {
     /// Direct catalog access (datagen loaders, tests).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The global admission controller, present when the config sets
+    /// `max_concurrent_queries`. The server uses it for graceful drain
+    /// (`begin_drain` + `wait_idle`) and observability; tests use its
+    /// snapshot for the no-leaked-slots invariant.
+    pub fn admission(&self) -> Option<&Arc<AdmissionController>> {
+        self.admission.as_ref()
+    }
+
+    /// Bytes of intermediate state currently tracked as resident by the
+    /// memory accountant (0 without a spill environment). Between
+    /// statements this returns to its baseline — the leak checks assert
+    /// exactly that.
+    pub fn resident_tracked_bytes(&self) -> u64 {
+        self.spill
+            .as_ref()
+            .map(|env| env.accountant.resident_bytes())
+            .unwrap_or(0)
+    }
+
+    /// Number of regions the memory accountant currently tracks, resident
+    /// or spilled (0 without a spill environment). Companion to
+    /// [`Database::resident_tracked_bytes`] for leak checks.
+    pub fn tracked_region_count(&self) -> usize {
+        self.spill
+            .as_ref()
+            .map(|env| env.accountant.region_count())
+            .unwrap_or(0)
+    }
+
+    /// Route a hit of `site` through the chaos-testing fault injector.
+    /// Used by the server front-end for its `Accept`/`SessionRead`/
+    /// `SessionWrite` sites, which fire outside any executor pipeline.
+    pub fn inject_fault(&self, site: FaultSite) -> Result<()> {
+        self.faults.hit(site, &self.stats)
     }
 
     /// Snapshot of the execution statistics.
@@ -332,15 +406,33 @@ impl Database {
         // done by a previous failed/cancelled statement cannot leak into
         // this statement's snapshot. DDL and plain EXPLAIN execute no
         // plan and leave the last statement's counters readable.
-        if matches!(
+        let executes_plan = matches!(
             planned,
             PlannedStatement::Query(_)
                 | PlannedStatement::Insert { .. }
                 | PlannedStatement::Update { .. }
                 | PlannedStatement::Delete { .. }
                 | PlannedStatement::Explain { analyze: true, .. }
-        ) {
+        );
+        // Admission gates exactly the plan-executing statements: DDL and
+        // plain EXPLAIN touch no executor resources. The permit is RAII —
+        // held for the rest of this function, released (waking the next
+        // queued query) on every exit path including errors and panics.
+        let permit: Option<AdmissionPermit> = match (&self.admission, executes_plan) {
+            (Some(ctrl), true) => Some(ctrl.admit(admission_class(&planned))?),
+            _ => None,
+        };
+        if executes_plan {
             self.stats.reset();
+        }
+        if let Some(p) = &permit {
+            use std::sync::atomic::Ordering;
+            self.stats
+                .admission_waited_us
+                .store(p.waited_us(), Ordering::Relaxed);
+            self.stats
+                .admission_queue_depth
+                .store(p.queue_depth(), Ordering::Relaxed);
         }
         let tracer = Tracer::disabled();
         match planned {
@@ -380,6 +472,13 @@ impl Database {
                     join_builds: snap.join_builds,
                     join_builds_reused: snap.join_builds_reused,
                 };
+                if let Some(ctrl) = &self.admission {
+                    profile.admission = AdmissionProfile {
+                        waited_ms: snap.admission_waited_us / 1000,
+                        queue_depth: snap.admission_queue_depth,
+                        shed: ctrl.snapshot().shed_total(),
+                    };
+                }
                 Ok(super::QueryResult::Analyze(profile))
             }
             PlannedStatement::CreateTable {
@@ -616,6 +715,36 @@ impl Database {
                 })
             }
         }
+    }
+}
+
+/// Scheduling class of a planned statement for admission control: any
+/// statement whose plan contains a loop operator is `Batch` (iterative
+/// work runs long, so it gets the batch admission timeout); everything
+/// else is `Interactive`.
+fn admission_class(planned: &PlannedStatement) -> QueryClass {
+    fn plan_is_batch(plan: &QueryPlan) -> bool {
+        plan.steps
+            .iter()
+            .any(|s| matches!(s, spinner_plan::Step::Loop(_)))
+    }
+    match planned {
+        PlannedStatement::Query(plan) => {
+            if plan_is_batch(plan) {
+                QueryClass::Batch
+            } else {
+                QueryClass::Interactive
+            }
+        }
+        PlannedStatement::Insert { source, .. } => {
+            if plan_is_batch(source) {
+                QueryClass::Batch
+            } else {
+                QueryClass::Interactive
+            }
+        }
+        PlannedStatement::Explain { statement, .. } => admission_class(statement),
+        _ => QueryClass::Interactive,
     }
 }
 
@@ -1039,6 +1168,95 @@ mod tests {
             .unwrap();
         // 1 -> 2 -> 3 -> 4 with weight 1 each = 3 (vs 1 -> 3 (5.0) -> 4 = 6).
         assert_eq!(batch.rows()[0][0].as_f64().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn admission_disabled_by_default_and_enabled_by_config() {
+        let db = db_with_edges();
+        assert!(db.admission().is_none());
+        let db = Database::new(EngineConfig::default().with_max_concurrent_queries(2)).unwrap();
+        let ctrl = db.admission().expect("admission on");
+        assert_eq!(ctrl.max_concurrent(), 2);
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.query("SELECT * FROM t").unwrap();
+        let snap = db.admission().unwrap().snapshot();
+        // DDL is not gated; the two DML/queries each took (and released)
+        // a permit.
+        assert_eq!(snap.admitted_total, 2);
+        assert_eq!(snap.active, 0, "permits released after each statement");
+        assert_eq!(snap.queued, 0);
+    }
+
+    #[test]
+    fn concurrent_queries_beyond_the_cap_queue_or_shed() {
+        let db = Arc::new(
+            Database::new(
+                EngineConfig::default()
+                    .with_max_concurrent_queries(1)
+                    .with_admission_queue_limit(0),
+            )
+            .unwrap(),
+        );
+        db.execute("CREATE TABLE seed (v INT)").unwrap();
+        db.execute("INSERT INTO seed VALUES (1)").unwrap();
+        // Hold the only slot with a long iterative query on another
+        // thread, then observe this thread's query being shed.
+        let started = std::sync::mpsc::channel::<()>();
+        let runner = {
+            let db = Arc::clone(&db);
+            let tx = started.0;
+            std::thread::spawn(move || {
+                tx.send(()).unwrap();
+                db.query(
+                    "WITH ITERATIVE x (v) AS (SELECT v FROM seed \
+                     ITERATE SELECT v + 1 FROM x UNTIL 2000 ITERATIONS) \
+                     SELECT COUNT(*) FROM x",
+                )
+            })
+        };
+        started.1.recv().unwrap();
+        // Wait until the runner actually holds the slot.
+        while db.admission().unwrap().snapshot().active == 0 {
+            if runner.is_finished() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let mut shed = false;
+        while !runner.is_finished() {
+            match db.query("SELECT COUNT(*) FROM seed") {
+                Err(Error::Overloaded { limit, .. }) => {
+                    assert_eq!(limit, 0);
+                    shed = true;
+                    break;
+                }
+                Ok(_) | Err(_) => std::thread::yield_now(),
+            }
+        }
+        runner.join().unwrap().unwrap();
+        if shed {
+            assert!(db.admission().unwrap().snapshot().shed_overloaded >= 1);
+        }
+        // Slots always drain back to zero.
+        assert_eq!(db.admission().unwrap().snapshot().active, 0);
+    }
+
+    #[test]
+    fn explain_analyze_surfaces_admission_profile() {
+        let db = Database::new(
+            EngineConfig::default()
+                .with_max_concurrent_queries(2)
+                .with_admission_queue_limit(4),
+        )
+        .unwrap();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        let profile = db.explain_analyze("SELECT * FROM t").unwrap();
+        // Fast-path admit on an idle engine: all-zero, omitted from JSON
+        // (byte-compatible with admission-off profiles).
+        assert!(profile.admission.is_empty());
+        assert!(!profile.to_json().contains("\"admission\""));
     }
 
     #[test]

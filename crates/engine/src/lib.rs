@@ -30,13 +30,16 @@
 
 pub mod database;
 pub mod result;
+pub mod session;
 
 pub use database::Database;
 pub use result::QueryResult;
+pub use session::Session;
 
 pub use spinner_common::{
-    Batch, DataType, EngineConfig, Error, ErrorClass, FaultConfig, FaultKind, FaultSite,
-    FaultTrigger, Field, IterationProfile, ProfileNode, QueryGuard, QueryProfile, RecoveryPolicy,
-    RecoveryProfile, Result, Row, Schema, Value,
+    AdmissionController, AdmissionPermit, AdmissionProfile, AdmissionSnapshot, Batch, DataType,
+    EngineConfig, Error, ErrorClass, FaultConfig, FaultKind, FaultSite, FaultTrigger, Field,
+    IterationProfile, MemoryGate, ProfileNode, QueryClass, QueryGuard, QueryProfile,
+    RecoveryPolicy, RecoveryProfile, Result, Row, Schema, Value,
 };
 pub use spinner_exec::stats::StatsSnapshot;

@@ -14,6 +14,12 @@
 //! `TempRegistry::fingerprint` of its partition buffers), and re-probes
 //! the cached build on every later iteration.
 //!
+//! Lock poisoning degrades, never aborts: every accessor recovers the
+//! guard with [`std::sync::PoisonError::into_inner`]. A cache torn by an
+//! unwinding holder is harmless by construction — entries are validated
+//! against the source temp's fingerprint on every lookup, so the worst
+//! outcome of recovered-from-poison state is a spurious rebuild.
+//!
 //! The cached build is registered with the memory accountant as a
 //! [`RegionKind::JoinBuild`] region — evictable derived state. Under
 //! memory pressure the spill planner may pick it as a victim; eviction
@@ -88,6 +94,13 @@ impl JoinStateCache {
         Self::default()
     }
 
+    /// Lock the entries map, recovering from poison (see the module docs:
+    /// fingerprint validation makes a torn cache safe, so recovery only
+    /// risks a spurious rebuild — far better than aborting the process).
+    fn entries(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<CachedBuild>>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// A still-valid cached build for `name`, or `None`. Validity means
     /// the source temp is resident with exactly the partition buffers the
     /// build was derived from; a stale entry is dropped (releasing its
@@ -95,7 +108,7 @@ impl JoinStateCache {
     pub fn lookup(&self, name: &str, registry: &TempRegistry) -> Option<Arc<CachedBuild>> {
         let key = name.to_ascii_lowercase();
         let current = registry.fingerprint(name);
-        let mut entries = self.entries.lock().expect("join cache");
+        let mut entries = self.entries();
         match entries.get(&key) {
             Some(entry) if current.as_deref() == Some(entry.fingerprint.as_slice()) => {
                 entry.touch();
@@ -145,10 +158,7 @@ impl JoinStateCache {
             tables,
             region,
         });
-        self.entries
-            .lock()
-            .expect("join cache")
-            .insert(key, Arc::clone(&entry));
+        self.entries().insert(key, Arc::clone(&entry));
         entry
     }
 
@@ -162,11 +172,7 @@ impl JoinStateCache {
             .strip_prefix("join_build:")
             .unwrap_or(name)
             .to_ascii_lowercase();
-        self.entries
-            .lock()
-            .expect("join cache")
-            .remove(&key)
-            .is_some()
+        self.entries().remove(&key).is_some()
     }
 
     /// Drop every cached build, releasing their regions. Called when a
@@ -174,12 +180,12 @@ impl JoinStateCache {
     /// replay must rebuild from the restored state, never reuse state
     /// derived on the failed timeline.
     pub fn clear(&self) {
-        self.entries.lock().expect("join cache").clear();
+        self.entries().clear();
     }
 
     /// Number of cached builds (tests/observability).
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("join cache").len()
+        self.entries().len()
     }
 
     /// Whether the cache is empty.
@@ -256,6 +262,43 @@ mod tests {
             "new buffers, new fingerprint"
         );
         assert!(cache.is_empty(), "stale entry dropped by lookup");
+    }
+
+    #[test]
+    fn poisoned_cache_degrades_instead_of_aborting() {
+        let registry = TempRegistry::new();
+        registry.put("__common_1", toy(vec![vec![1]]));
+        let cache = JoinStateCache::new();
+        cache.insert(
+            "__common_1",
+            toy(vec![vec![1]]),
+            vec![JoinTable::new()],
+            &registry,
+        );
+        // Poison the entries mutex from a thread that panics holding it.
+        let res = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.entries.lock().unwrap();
+                panic!("poison the join cache");
+            })
+            .join()
+        });
+        assert!(res.is_err(), "the poisoning thread panicked");
+        assert!(cache.entries.is_poisoned());
+        // Every accessor still works: the fingerprint check protects
+        // correctness, so recovered state at worst rebuilds.
+        assert!(cache.lookup("__common_1", &registry).is_some());
+        assert_eq!(cache.len(), 1);
+        registry.put("__common_2", toy(vec![vec![2]]));
+        cache.insert(
+            "__common_2",
+            toy(vec![vec![2]]),
+            vec![JoinTable::new()],
+            &registry,
+        );
+        assert!(cache.evict("__common_2"));
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub fn site_name(site: FaultSite) -> &'static str {
         FaultSite::Recovery => "recovery",
         FaultSite::SpillWrite => "spill_write",
         FaultSite::SpillRead => "spill_read",
+        FaultSite::Accept => "accept",
+        FaultSite::SessionRead => "session_read",
+        FaultSite::SessionWrite => "session_write",
     }
 }
 

@@ -530,7 +530,7 @@ fn map_partitions(
     let mut results: Vec<Option<Result<Vec<Row>>>> = (0..count).map(|_| None).collect();
     if let Some(pool) = ctx.pool {
         ExecStats::add(&ctx.stats.pool_tasks, occupied.len() as u64);
-        let outcomes = pool.scope(occupied.iter().map(|&i| move || work(i)).collect());
+        let outcomes = pool.scope(occupied.iter().map(|&i| move || work(i)).collect())?;
         for (&i, outcome) in occupied.iter().zip(outcomes) {
             results[i] = Some(outcome.unwrap_or_else(|payload| {
                 // Unreachable in practice (run_partition catches panics

@@ -64,6 +64,11 @@ pub struct ExecStats {
     /// Loop-invariant hash-join builds served from the join-state cache
     /// instead of being re-hashed.
     pub join_builds_reused: AtomicU64,
+    /// Microseconds the statement waited in the admission queue before it
+    /// was allowed to start (0 with admission control off or a free slot).
+    pub admission_waited_us: AtomicU64,
+    /// Admission queue depth at enqueue time (0 = fast-path admit).
+    pub admission_queue_depth: AtomicU64,
 }
 
 impl ExecStats {
@@ -103,6 +108,8 @@ impl ExecStats {
             pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
             join_builds: self.join_builds.load(Ordering::Relaxed),
             join_builds_reused: self.join_builds_reused.load(Ordering::Relaxed),
+            admission_waited_us: self.admission_waited_us.load(Ordering::Relaxed),
+            admission_queue_depth: self.admission_queue_depth.load(Ordering::Relaxed),
         }
     }
 
@@ -132,6 +139,8 @@ impl ExecStats {
         self.pool_tasks.store(0, Ordering::Relaxed);
         self.join_builds.store(0, Ordering::Relaxed);
         self.join_builds_reused.store(0, Ordering::Relaxed);
+        self.admission_waited_us.store(0, Ordering::Relaxed);
+        self.admission_queue_depth.store(0, Ordering::Relaxed);
     }
 }
 
@@ -186,6 +195,10 @@ pub struct StatsSnapshot {
     pub join_builds: u64,
     /// Loop-invariant hash-join builds reused from the join-state cache.
     pub join_builds_reused: u64,
+    /// Microseconds the statement waited in the admission queue.
+    pub admission_waited_us: u64,
+    /// Admission queue depth at enqueue time.
+    pub admission_queue_depth: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -239,6 +252,13 @@ impl std::fmt::Display for StatsSnapshot {
                 f,
                 " spawned={} pool_tasks={} join_builds={} join_reused={}",
                 self.threads_spawned, self.pool_tasks, self.join_builds, self.join_builds_reused,
+            )?;
+        }
+        if self.admission_waited_us + self.admission_queue_depth > 0 {
+            write!(
+                f,
+                " admission_waited_us={} admission_queue_depth={}",
+                self.admission_waited_us, self.admission_queue_depth,
             )?;
         }
         Ok(())

@@ -1,0 +1,71 @@
+//! `spinner-client` — line-oriented client for a running spinner-server.
+//!
+//! ```text
+//! spinner-client [ADDR]
+//! ```
+//!
+//! Reads one SQL statement per line from stdin (default server
+//! `127.0.0.1:5433`), prints rows as tab-separated text, and exits on
+//! EOF or `\q`.
+
+use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
+
+use spinner_server::{Client, Reply};
+
+fn print_reply(reply: &Reply) {
+    match reply {
+        Reply::Rows { columns, rows } => {
+            println!("{}", columns.join("\t"));
+            for row in rows {
+                let cells: Vec<&str> = row.iter().map(|c| c.as_deref().unwrap_or("NULL")).collect();
+                println!("{}", cells.join("\t"));
+            }
+            println!("({} rows)", rows.len());
+        }
+        Reply::Affected(n) => println!("OK, {n} rows affected"),
+        Reply::Ddl => println!("OK"),
+        Reply::Text(text) => println!("{text}"),
+        Reply::Error { code, message } => println!("ERROR [{code}]: {message}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:5433".to_string());
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("connected to {addr} (session {})", client.session_id());
+    let stdin = io::stdin();
+    loop {
+        print!("spinner> ");
+        let _ = io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        if sql == "\\q" || sql.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        match client.query(sql) {
+            Ok(reply) => print_reply(&reply),
+            Err(e) => {
+                eprintln!("connection lost: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let _ = client.close();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,118 @@
+//! `spinner-serve` — stand up a spinner-server over a fresh database.
+//!
+//! ```text
+//! spinner-serve [ADDR] [--max-concurrent N] [--queue-limit N]
+//!               [--admission-timeout-ms N] [--partitions N]
+//! ```
+//!
+//! Defaults: bind `127.0.0.1:5433`, admission cap 8, queue limit 16.
+//! Runs until killed; connect with `spinner-client` or any program
+//! speaking the length-prefixed protocol in `spinner_server::protocol`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use spinner_engine::{Database, EngineConfig};
+use spinner_server::Server;
+
+struct Options {
+    addr: String,
+    max_concurrent: usize,
+    queue_limit: usize,
+    admission_timeout_ms: Option<u64>,
+    partitions: Option<usize>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:5433".to_string(),
+        max_concurrent: 8,
+        queue_limit: 16,
+        admission_timeout_ms: None,
+        partitions: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--max-concurrent" => {
+                opts.max_concurrent = flag_value("--max-concurrent")?
+                    .parse()
+                    .map_err(|_| "--max-concurrent: expected a positive integer".to_string())?;
+            }
+            "--queue-limit" => {
+                opts.queue_limit = flag_value("--queue-limit")?
+                    .parse()
+                    .map_err(|_| "--queue-limit: expected a positive integer".to_string())?;
+            }
+            "--admission-timeout-ms" => {
+                let v = flag_value("--admission-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--admission-timeout-ms: expected milliseconds".to_string())?;
+                opts.admission_timeout_ms = Some(v);
+            }
+            "--partitions" => {
+                let v = flag_value("--partitions")?
+                    .parse()
+                    .map_err(|_| "--partitions: expected a positive integer".to_string())?;
+                opts.partitions = Some(v);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: spinner-serve [ADDR] [--max-concurrent N] [--queue-limit N] \
+                     [--admission-timeout-ms N] [--partitions N]"
+                        .to_string(),
+                )
+            }
+            other if !other.starts_with('-') => opts.addr = other.to_string(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = EngineConfig::default()
+        .with_max_concurrent_queries(opts.max_concurrent)
+        .with_admission_queue_limit(opts.queue_limit);
+    if let Some(ms) = opts.admission_timeout_ms {
+        config = config.with_admission_timeout_ms(ms);
+    }
+    if let Some(p) = opts.partitions {
+        config = config.with_partitions(p);
+    }
+    let db = match Database::new(config) {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("engine start failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(db, opts.addr.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {} failed: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "spinner-server listening on {} (admission cap {}, queue limit {})",
+        server.local_addr(),
+        opts.max_concurrent,
+        opts.queue_limit
+    );
+    // Serve until the process is killed; connection handling lives on
+    // the server's own threads.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,147 @@
+//! A minimal blocking client for the spinner-server wire protocol.
+//!
+//! Used by the integration tests, the `repro concurrency` artifact and
+//! the `spinner-client` binary. One [`Client`] maps to one server
+//! session; [`Client::query`] is strictly request/response.
+
+use std::io;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_affected, decode_error, decode_rows, read_frame, write_frame, TAG_AFFECTED, TAG_CLOSE,
+    TAG_DDL, TAG_ERROR, TAG_HELLO, TAG_QUERY, TAG_ROWS, TAG_TEXT,
+};
+
+/// One decoded server response to a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A row set: column names plus text-rendered cells (`None` = NULL).
+    Rows {
+        /// Column names in output order.
+        columns: Vec<String>,
+        /// Rows of text cells; `None` is SQL NULL.
+        rows: Vec<Vec<Option<String>>>,
+    },
+    /// DML completed, touching this many rows.
+    Affected(u64),
+    /// DDL or session command completed.
+    Ddl,
+    /// EXPLAIN / EXPLAIN ANALYZE rendering.
+    Text(String),
+    /// The statement failed; `code` is the stable token from
+    /// [`crate::protocol::error_code`].
+    Error {
+        /// Machine-readable error token (e.g. `overloaded`).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// Whether the statement succeeded.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Reply::Error { .. })
+    }
+
+    /// The error token, if this reply is an error.
+    pub fn error_code(&self) -> Option<&str> {
+        match self {
+            Reply::Error { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+
+    /// The rows, if this reply is a row set.
+    pub fn rows(&self) -> Option<&[Vec<Option<String>>]> {
+        match self {
+            Reply::Rows { rows, .. } => Some(rows),
+            _ => None,
+        }
+    }
+
+    /// First cell of the first row parsed as an integer — the common
+    /// shape for `SELECT COUNT(*)`-style probes in tests.
+    pub fn scalar_i64(&self) -> Option<i64> {
+        self.rows()?.first()?.first()?.as_deref()?.parse().ok()
+    }
+}
+
+/// A blocking connection to a spinner-server, one session per client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    session_id: u64,
+}
+
+impl Client {
+    /// Connect and consume the server greeting.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let (tag, payload) = read_frame(&mut stream)?;
+        if tag != TAG_HELLO || payload.len() < 8 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "server did not send a greeting frame",
+            ));
+        }
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&payload[..8]);
+        Ok(Client {
+            stream,
+            session_id: u64::from_be_bytes(id),
+        })
+    }
+
+    /// The server-assigned session id from the greeting.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Execute one statement and decode the single response frame.
+    /// Engine errors come back as `Ok(Reply::Error { .. })`; an `Err`
+    /// here means the connection itself failed (e.g. the server shed
+    /// the connection or shut down mid-query).
+    pub fn query(&mut self, sql: &str) -> io::Result<Reply> {
+        write_frame(&mut self.stream, TAG_QUERY, sql.as_bytes())?;
+        let (tag, payload) = read_frame(&mut self.stream)?;
+        match tag {
+            TAG_ROWS => {
+                let (columns, rows) = decode_rows(&payload)?;
+                Ok(Reply::Rows { columns, rows })
+            }
+            TAG_AFFECTED => Ok(Reply::Affected(decode_affected(&payload)?)),
+            TAG_DDL => Ok(Reply::Ddl),
+            TAG_TEXT => Ok(Reply::Text(String::from_utf8_lossy(&payload).into_owned())),
+            TAG_ERROR => {
+                let (code, message) = decode_error(&payload)?;
+                Ok(Reply::Error { code, message })
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response tag {other:#x}"),
+            )),
+        }
+    }
+
+    /// Send a query frame WITHOUT waiting for the response. Pairs with
+    /// [`Client::kill`] in teardown tests that need a statement to be
+    /// mid-flight when the connection dies; regular callers want
+    /// [`Client::query`].
+    pub fn fire(&mut self, sql: &str) -> io::Result<()> {
+        write_frame(&mut self.stream, TAG_QUERY, sql.as_bytes())
+    }
+
+    /// Polite close: tell the server we are done, then drop the socket.
+    pub fn close(mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, TAG_CLOSE, &[])
+    }
+
+    /// Abrupt teardown without a close frame — simulates a client crash
+    /// or network partition. The server must notice, cancel any running
+    /// statement, and release its admission slot.
+    pub fn kill(self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}

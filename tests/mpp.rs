@@ -262,3 +262,48 @@ fn rename_is_constant_work_regardless_of_size() {
     assert_eq!(small.merges, 0);
     assert_eq!(large.merges, 0);
 }
+
+#[test]
+fn every_statement_returns_state_to_baseline() {
+    // Leak check: after each statement — reads, DML, iterative loops,
+    // EXPLAIN ANALYZE, failures — the temp-result registry, the memory
+    // accountant and the admission controller are all back to baseline.
+    let db = load(
+        EngineConfig::default()
+            .with_partitions(4)
+            .with_max_concurrent_queries(2),
+    );
+    let baseline_bytes = db.resident_tracked_bytes();
+    let baseline_regions = db.tracked_region_count();
+    let statements = [
+        "SELECT COUNT(*) FROM edges",
+        &pagerank(5, false).cte,
+        "INSERT INTO edges VALUES (9001, 9002, 1.0)",
+        "EXPLAIN ANALYZE SELECT src, COUNT(*) FROM edges GROUP BY src",
+        "SELECT * FROM no_such_table", // typed failure path
+        "WITH ITERATIVE t (k, v) AS (
+             SELECT DISTINCT src, 0 FROM edges
+         ITERATE SELECT k, v + 1 FROM t
+         UNTIL 6 ITERATIONS) SELECT COUNT(*) FROM t",
+    ];
+    for sql in statements {
+        let _ = db.execute(sql); // failures are part of the matrix
+        assert_eq!(db.temp_result_count(), 0, "temp leak after {sql:?}");
+        assert_eq!(
+            db.resident_tracked_bytes(),
+            baseline_bytes,
+            "resident-bytes leak after {sql:?}"
+        );
+        assert_eq!(
+            db.tracked_region_count(),
+            baseline_regions,
+            "region leak after {sql:?}"
+        );
+        let snap = db.admission().unwrap().snapshot();
+        assert_eq!(
+            (snap.active, snap.queued),
+            (0, 0),
+            "admission leak after {sql:?}: {snap:?}"
+        );
+    }
+}
