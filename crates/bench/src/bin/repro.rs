@@ -7,10 +7,12 @@
 //! cargo run --release -p spinner-bench --bin repro -- fig8    # one artifact
 //! ```
 //!
-//! Artifacts: `table1`, `fig8`, `fig9`, `fig10`, `fig11`, `convergence`,
-//! `recovery`, `spill`, `bench` (worker-pool regression smoke, writes
-//! `BENCH_5.json`), `concurrency` (multi-session overload/shedding run
-//! against a live TCP server, writes `CONCURRENCY_6.json`).
+//! Artifacts: `table1`, `fig8`, `fig9`, `fig10`, `fig11`, `convergence`
+//! (semi-naive vs full per-iteration cost with a hard speedup gate,
+//! writes `CONVERGENCE_7.json`), `recovery`, `spill`, `bench`
+//! (worker-pool regression smoke, writes `BENCH_5.json`), `concurrency`
+//! (multi-session overload/shedding run against a live TCP server,
+//! writes `CONCURRENCY_6.json`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -18,7 +20,9 @@ use std::time::{Duration, Instant};
 
 use spinner_bench::{setup_db, BenchDataset, ITERATIONS};
 use spinner_engine::{Database, EngineConfig, FaultConfig, FaultSite, Result, Value};
-use spinner_procedural::{ff, pagerank, run_script, sssp, ProcedureScript};
+use spinner_procedural::{
+    connected_components, ff, pagerank, run_script, sssp, sssp_convergent, ProcedureScript,
+};
 use spinner_server::{Client, Reply, Server};
 
 fn main() {
@@ -465,44 +469,161 @@ fn bench() -> Result<()> {
     Ok(())
 }
 
-/// Convergence curves from a single `EXPLAIN ANALYZE` run: per-iteration
-/// delta rows, updated rows, working-table size and wall time (the data
-/// behind Fig. 11-style convergence plots).
+/// One arm of a convergence run: the per-iteration series plus the mode
+/// the executor actually ran the loop in.
+struct ConvergenceArm {
+    mode: String,
+    /// `(iteration, delta_rows, elapsed_ms)` per loop round.
+    series: Vec<(u64, u64, f64)>,
+}
+
+fn convergence_arm(db: &Database, sql: &str) -> Result<ConvergenceArm> {
+    let profile = db.explain_analyze(sql)?;
+    let loops = profile.loops();
+    let Some(loop_node) = loops.first() else {
+        return Err(spinner_engine::Error::execution("no loop in profile"));
+    };
+    let mode = loop_node
+        .iteration_mode
+        .as_ref()
+        .map(|m| m.mode().to_string())
+        .unwrap_or_else(|| "full".to_string());
+    let series = loop_node
+        .iterations
+        .iter()
+        .map(|it| (it.iteration, it.delta_rows, it.elapsed_us as f64 / 1000.0))
+        .collect();
+    Ok(ConvergenceArm { mode, series })
+}
+
+/// Convergence curves with semi-naive delta iteration on and off: one
+/// `EXPLAIN ANALYZE` run per arm yields per-iteration delta rows and wall
+/// time. With semi-naive on, the eligible workloads (CC, accumulator
+/// SSSP) must get cheaper as the delta shrinks — the binary *fails* if
+/// the SSSP loop's late iterations are not >=5x cheaper than iteration 1.
+/// PageRank rides along as the designed fallback: its SUM aggregate is
+/// not a monotone accumulator, so both arms report `mode=full`. Writes
+/// the whole series to `CONVERGENCE_7.json` for the CI artifact upload.
 fn convergence() -> Result<()> {
-    header("Convergence — per-iteration metrics from one EXPLAIN ANALYZE run (dblp-like)");
-    let workloads = [
+    const SSSP_SPEEDUP_GATE: f64 = 5.0;
+    header("Convergence — per-iteration cost, semi-naive vs full recompute (dblp-like)");
+    let workloads: [(&str, String, bool); 3] = [
+        // The showcase: accumulator-form SSSP, delta-terminated, eligible
+        // for the rewrite. Frontier shrinks every round.
+        ("SSSP", sssp_convergent(1, None).cte, false),
+        // Min-label propagation, also eligible, symmetric graph.
+        ("CC", connected_components(None).cte, true),
+        // The designed fallback (SUM is not a monotone accumulator).
         ("PR", pagerank(ITERATIONS, false).cte, false),
-        ("SSSP", sssp(ITERATIONS, 1, false).cte, false),
     ];
-    for (name, sql, with_vs) in workloads {
-        let db = setup_db(BenchDataset::DblpLike, EngineConfig::default(), with_vs);
-        let profile = db.explain_analyze(&sql)?;
-        let loops = profile.loops();
-        let Some(loop_node) = loops.first() else {
-            return Err(spinner_engine::Error::execution("no loop in profile"));
-        };
+    let mut json_entries = Vec::new();
+    let mut sssp_gate: Option<(f64, f64)> = None;
+    for (name, sql, symmetric) in workloads {
+        let mut arms = Vec::new();
+        for semi_naive in [false, true] {
+            let db = if symmetric {
+                // CC needs a symmetric edge table (min-label propagation
+                // along undirected components); same dblp-like scale.
+                let db = Database::new(EngineConfig::default().with_semi_naive(semi_naive))?;
+                let schema = spinner_engine::Schema::new(vec![
+                    spinner_engine::Field::new("src", spinner_engine::DataType::Int),
+                    spinner_engine::Field::new("dst", spinner_engine::DataType::Int),
+                    spinner_engine::Field::new("weight", spinner_engine::DataType::Float),
+                ]);
+                let rows = BenchDataset::DblpLike.spec().generate_symmetric_components(2);
+                db.create_table_from_rows("edges", schema, rows, None, Some(1))?;
+                db
+            } else {
+                setup_db(
+                    BenchDataset::DblpLike,
+                    EngineConfig::default().with_semi_naive(semi_naive),
+                    false,
+                )
+            };
+            arms.push(convergence_arm(&db, &sql)?);
+        }
+        let [full, sn] = <[ConvergenceArm; 2]>::try_from(arms)
+            .map_err(|_| spinner_engine::Error::execution("missing convergence arm"))?;
         println!(
-            "\n{name}: {} iterations, loop time {:.1} ms, query total {:.1} ms",
-            loop_node.iterations.len(),
-            loop_node.elapsed_us as f64 / 1000.0,
-            profile.total_elapsed_us as f64 / 1000.0,
+            "\n{name}: full mode={} ({} iterations), semi-naive mode={} ({} iterations)",
+            full.mode,
+            full.series.len(),
+            sn.mode,
+            sn.series.len(),
         );
         println!(
-            "{:>5} {:>12} {:>12} {:>12} {:>10}",
-            "iter", "delta_rows", "updated", "working", "time_ms"
+            "{:>5} {:>13} {:>10} {:>13} {:>10}",
+            "iter", "full delta", "full ms", "sn delta", "sn ms"
         );
-        for it in &loop_node.iterations {
+        for i in 0..full.series.len().max(sn.series.len()) {
+            let f = full.series.get(i);
+            let s = sn.series.get(i);
             println!(
-                "{:>5} {:>12} {:>12} {:>12} {:>10.2}",
-                it.iteration,
-                it.delta_rows,
-                it.rows_updated,
-                it.working_rows,
-                it.elapsed_us as f64 / 1000.0,
+                "{:>5} {:>13} {:>10} {:>13} {:>10}",
+                i + 1,
+                f.map(|x| x.1.to_string()).unwrap_or_default(),
+                f.map(|x| format!("{:.2}", x.2)).unwrap_or_default(),
+                s.map(|x| x.1.to_string()).unwrap_or_default(),
+                s.map(|x| format!("{:.2}", x.2)).unwrap_or_default(),
             );
         }
+        if name == "SSSP" {
+            if sn.mode != "semi_naive" {
+                return Err(spinner_engine::Error::execution(
+                    "accumulator SSSP did not run semi-naive",
+                ));
+            }
+            let first = sn.series.first().map(|x| x.2).unwrap_or(0.0);
+            // Minimum of the last three rounds: robust to one slow
+            // sample, still a genuinely late iteration.
+            let late = sn
+                .series
+                .iter()
+                .rev()
+                .take(3)
+                .map(|x| x.2)
+                .fold(f64::INFINITY, f64::min);
+            sssp_gate = Some((first, late));
+        }
+        for arm in [&full, &sn] {
+            let series = arm
+                .series
+                .iter()
+                .map(|(it, delta, ms)| {
+                    format!("{{\"iteration\": {it}, \"delta_rows\": {delta}, \"ms\": {ms:.3}}}")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            json_entries.push(format!(
+                "    {{\"workload\": \"{name}\", \"mode\": \"{}\", \"series\": [{series}]}}",
+                arm.mode,
+            ));
+        }
     }
-    println!("\n(machine-readable: QueryProfile::to_json() carries the same series)");
+    let (first, late) = sssp_gate
+        .ok_or_else(|| spinner_engine::Error::execution("SSSP workload missing from run"))?;
+    let speedup = first / late.max(1e-9);
+    println!(
+        "\nSSSP semi-naive: iteration 1 = {first:.2} ms, late = {late:.2} ms \
+         ({speedup:.1}x cheaper; gate >= {SSSP_SPEEDUP_GATE:.0}x)"
+    );
+    let json = format!(
+        "{{\n  \"artifact\": \"convergence\",\n  \"dataset\": \"dblp-like\",\n  \
+         \"sssp_iter1_ms\": {first:.3},\n  \"sssp_late_ms\": {late:.3},\n  \
+         \"sssp_late_speedup\": {speedup:.2},\n  \"gate_min_speedup\": {SSSP_SPEEDUP_GATE},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        json_entries.join(",\n"),
+    );
+    std::fs::write("CONVERGENCE_7.json", &json).map_err(|e| {
+        spinner_engine::Error::execution(format!("writing CONVERGENCE_7.json: {e}"))
+    })?;
+    println!("wrote CONVERGENCE_7.json");
+    if speedup < SSSP_SPEEDUP_GATE {
+        return Err(spinner_engine::Error::execution(format!(
+            "semi-naive SSSP late iterations only {speedup:.1}x cheaper than \
+             iteration 1 (gate: {SSSP_SPEEDUP_GATE:.0}x)"
+        )));
+    }
     Ok(())
 }
 

@@ -48,6 +48,17 @@ pub struct EngineConfig {
     /// §V-B / Fig. 10 — push predicates from the final query into the
     /// non-iterative part when provably safe.
     pub predicate_pushdown: bool,
+    /// Semi-naive (delta-driven) evaluation of iterative CTEs: when the
+    /// loop body is delta-eligible (monotone MIN/MAX propagation joins
+    /// over the recursive table), feed only the rows that changed last
+    /// iteration into the iterative join instead of the full CTE table,
+    /// merging new rows back into the accumulated result. Turns
+    /// O(V·E)-per-iteration workloads like SSSP and connected components
+    /// into O(changed·E). Ineligible bodies (non-monotone aggregates,
+    /// missing propagation join) silently fall back to full recompute;
+    /// the decision is recorded in EXPLAIN ANALYZE
+    /// (`iteration: mode=semi_naive|full`).
+    pub semi_naive: bool,
     /// General-purpose logical rewrites (constant folding, projection
     /// pruning, filter merging). Kept separate so ablations isolate the
     /// paper's three optimizations.
@@ -162,6 +173,7 @@ impl Default for EngineConfig {
             minimize_data_movement: true,
             common_result_optimization: true,
             predicate_pushdown: true,
+            semi_naive: true,
             general_rewrites: true,
             two_phase_aggregation: true,
             parallel_partitions: false,
@@ -235,6 +247,7 @@ impl EngineConfig {
             minimize_data_movement: false,
             common_result_optimization: false,
             predicate_pushdown: false,
+            semi_naive: false,
             ..Self::default()
         }
     }
@@ -264,6 +277,14 @@ impl EngineConfig {
     /// Builder-style setter for predicate push-down (Fig. 10).
     pub fn with_predicate_pushdown(mut self, on: bool) -> Self {
         self.predicate_pushdown = on;
+        self
+    }
+
+    /// Builder-style setter for semi-naive (delta-driven) iteration.
+    /// Off, every iteration re-joins the full CTE table even when the
+    /// loop is converging.
+    pub fn with_semi_naive(mut self, on: bool) -> Self {
+        self.semi_naive = on;
         self
     }
 
@@ -690,6 +711,7 @@ mod tests {
         assert!(c.minimize_data_movement);
         assert!(c.common_result_optimization);
         assert!(c.predicate_pushdown);
+        assert!(c.semi_naive);
     }
 
     #[test]
@@ -698,6 +720,7 @@ mod tests {
         assert!(!c.minimize_data_movement);
         assert!(!c.common_result_optimization);
         assert!(!c.predicate_pushdown);
+        assert!(!c.semi_naive);
         assert!(c.general_rewrites);
     }
 

@@ -74,6 +74,34 @@ pub struct IterationProfile {
     pub elapsed_us: u64,
 }
 
+/// How an iterative loop evaluated its body — the `EXPLAIN ANALYZE`
+/// `iteration:` line. Present only on [`SpanKind::Loop`] spans of
+/// iterative CTEs (and omitted from JSON elsewhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IterationModeProfile {
+    /// `true` when the optimizer proved the body delta-eligible and the
+    /// loop ran semi-naive (joining the delta table); `false` for full
+    /// recompute.
+    pub semi_naive: bool,
+    /// Total rows fed to the loop body through the delta table across all
+    /// iterations; zero for full recompute.
+    pub delta_rows: u64,
+    /// Total changed rows the merge (or replace-path diff) folded back
+    /// into the CTE table across all iterations.
+    pub merged_rows: u64,
+}
+
+impl IterationModeProfile {
+    /// The `mode=` token in the rendered line.
+    pub fn mode(&self) -> &'static str {
+        if self.semi_naive {
+            "semi_naive"
+        } else {
+            "full"
+        }
+    }
+}
+
 /// Recovery events attributed to one span — the `EXPLAIN ANALYZE` view
 /// of the checkpoint/retry/rollback machinery. All-zero (and omitted
 /// from JSON) unless the recovery subsystem did something.
@@ -220,6 +248,9 @@ pub struct ProfileNode {
     pub execs: u64,
     /// Per-iteration metrics; non-empty only for [`SpanKind::Loop`].
     pub iterations: Vec<IterationProfile>,
+    /// Semi-naive/full evaluation summary; `Some` only for the loop spans
+    /// of iterative CTEs.
+    pub iteration_mode: Option<IterationModeProfile>,
     /// Recovery events (checkpoints, retries, rollbacks) charged to this
     /// span; all-zero unless recovery is enabled and something failed.
     pub recovery: RecoveryProfile,
@@ -238,6 +269,7 @@ impl ProfileNode {
             elapsed_us: 0,
             execs: 0,
             iterations: Vec::new(),
+            iteration_mode: None,
             recovery: RecoveryProfile::default(),
             children: Vec::new(),
         }
@@ -253,6 +285,14 @@ impl ProfileNode {
         self.elapsed_us += other.elapsed_us;
         self.execs += other.execs;
         self.iterations.extend(other.iterations);
+        self.iteration_mode = match (self.iteration_mode, other.iteration_mode) {
+            (Some(a), Some(b)) => Some(IterationModeProfile {
+                semi_naive: a.semi_naive || b.semi_naive,
+                delta_rows: a.delta_rows + b.delta_rows,
+                merged_rows: a.merged_rows + b.merged_rows,
+            }),
+            (a, b) => a.or(b),
+        };
         self.recovery.absorb(other.recovery);
         for (i, child) in other.children.into_iter().enumerate() {
             match self.children.get_mut(i) {
@@ -312,6 +352,18 @@ impl ProfileNode {
                 Json::Arr(self.children.iter().map(|c| c.to_json_value()).collect()),
             ),
         ];
+        // Like `recovery`, the key appears only on loops that report a
+        // mode, keeping older profiles byte-identical.
+        if let Some(m) = &self.iteration_mode {
+            fields.push((
+                "iteration_mode".into(),
+                Json::Obj(vec![
+                    ("mode".into(), Json::Str(m.mode().into())),
+                    ("delta_rows".into(), Json::Num(m.delta_rows)),
+                    ("merged_rows".into(), Json::Num(m.merged_rows)),
+                ]),
+            ));
+        }
         // Keep untraced-recovery profiles byte-identical to the PR-2
         // format: the key appears only when recovery did something.
         if !self.recovery.is_empty() {
@@ -368,6 +420,17 @@ impl ProfileNode {
             .iter()
             .map(ProfileNode::from_json_value)
             .collect::<Result<_>>()?;
+        let iteration_mode = match Json::get_opt(obj, "iteration_mode") {
+            None => None,
+            Some(v) => {
+                let o = v.as_obj("iteration_mode")?;
+                Some(IterationModeProfile {
+                    semi_naive: Json::get(o, "mode")?.as_str("mode")? == "semi_naive",
+                    delta_rows: Json::get(o, "delta_rows")?.as_num("delta_rows")?,
+                    merged_rows: Json::get(o, "merged_rows")?.as_num("merged_rows")?,
+                })
+            }
+        };
         let recovery = match Json::get_opt(obj, "recovery") {
             None => RecoveryProfile::default(),
             Some(v) => {
@@ -404,6 +467,7 @@ impl ProfileNode {
             elapsed_us: Json::get(obj, "elapsed_us")?.as_num("elapsed_us")?,
             execs: Json::get(obj, "execs")?.as_num("execs")?,
             iterations,
+            iteration_mode,
             recovery,
             children,
         })
@@ -682,6 +746,15 @@ fn render_node(node: &ProfileNode, step_no: &mut usize, indent: usize, out: &mut
                 node.elapsed_us as f64 / 1000.0
             );
             *step_no += 1;
+            if let Some(m) = &node.iteration_mode {
+                let _ = writeln!(
+                    out,
+                    "{pad}   iteration: mode={}, delta_rows={}, merged_rows={}",
+                    m.mode(),
+                    m.delta_rows,
+                    m.merged_rows
+                );
+            }
             let loop_start = *step_no;
             for c in &node.children {
                 render_node(c, step_no, indent + 1, out);
@@ -888,6 +961,34 @@ impl Tracer {
             working_rows,
             elapsed_us,
         });
+    }
+
+    /// Record which iteration strategy the innermost open loop span ran
+    /// with, adding this iteration's delta/merge row counts to the span's
+    /// totals. The executor calls it once per iteration; repeated calls
+    /// accumulate, so the rendered line shows whole-loop totals.
+    pub fn note_iteration_mode(&self, semi_naive: bool, delta_rows: u64, merged_rows: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.lock();
+        if let Some(i) = state
+            .stack
+            .iter()
+            .rposition(|fr| fr.node.kind == SpanKind::Loop)
+        {
+            let m = state.stack[i]
+                .node
+                .iteration_mode
+                .get_or_insert(IterationModeProfile {
+                    semi_naive,
+                    delta_rows: 0,
+                    merged_rows: 0,
+                });
+            m.semi_naive = semi_naive;
+            m.delta_rows += delta_rows;
+            m.merged_rows += merged_rows;
+        }
     }
 
     /// Discard the current (failed) loop iteration: drop the partial body

@@ -240,8 +240,16 @@ impl Executor<'_> {
                 merged,
                 key,
                 cte_display_name,
+                delta_out,
             } => {
-                let updated = self.merge_tables(cte, working, merged, *key, cte_display_name)?;
+                let updated = self.merge_tables(
+                    cte,
+                    working,
+                    merged,
+                    *key,
+                    cte_display_name,
+                    delta_out.as_deref(),
+                )?;
                 Ok(Some(updated))
             }
             Step::Loop(l) => {
@@ -257,6 +265,12 @@ impl Executor<'_> {
     /// partition merge sees all rows of one key together (MPP co-location).
     /// Returns the number of rows whose values actually changed. Errors on
     /// duplicate keys in the working table (paper §II).
+    ///
+    /// With `delta_out` set (semi-naive loops), the changed rows are also
+    /// materialized under that temp name — partitioned exactly like the
+    /// merged table, so the next iteration's delta scan is co-located with
+    /// the CTE table. The delta falls out of the per-row comparison the
+    /// merge already performs; no extra pass over the data is needed.
     fn merge_tables(
         &self,
         cte: &str,
@@ -264,6 +278,7 @@ impl Executor<'_> {
         merged: &str,
         key: usize,
         cte_display_name: &str,
+        delta_out: Option<&str>,
     ) -> Result<u64> {
         let ctx = self.op_ctx();
         let key_expr = vec![PlanExpr::column(key, "merge_key")];
@@ -278,6 +293,7 @@ impl Executor<'_> {
             &ctx,
         )?;
         let mut out_parts: Vec<Arc<Vec<Row>>> = Vec::with_capacity(cte_data.parts.len());
+        let mut delta_parts: Vec<Vec<Row>> = Vec::with_capacity(cte_data.parts.len());
         let mut updated = 0u64;
         let mut examined = 0u64;
         for (cte_part, work_part) in cte_data.parts.iter().zip(&work_data.parts) {
@@ -297,12 +313,16 @@ impl Executor<'_> {
                 }
             }
             let mut merged_rows: Vec<Row> = Vec::with_capacity(cte_part.len());
+            let mut delta_rows: Vec<Row> = Vec::new();
             for old in cte_part.iter() {
                 examined += 1;
                 match index.get(&old[key]) {
                     Some(new) => {
                         if *new != old {
                             updated += 1;
+                            if delta_out.is_some() {
+                                delta_rows.push((*new).clone());
+                            }
                         }
                         merged_rows.push((*new).clone());
                     }
@@ -310,10 +330,21 @@ impl Executor<'_> {
                 }
             }
             out_parts.push(Arc::new(merged_rows));
+            delta_parts.push(delta_rows);
         }
         ExecStats::add(&self.stats.merges, 1);
         ExecStats::add(&self.stats.merge_rows_examined, examined);
         ExecStats::add(&self.stats.rows_updated, updated);
+        if let Some(d) = delta_out {
+            ExecStats::add(&self.stats.delta_rows_emitted, updated);
+            self.registry.put(
+                d,
+                Partitioned {
+                    schema: Arc::clone(&cte_data.schema),
+                    parts: delta_parts.into_iter().map(Arc::new).collect(),
+                },
+            );
+        }
         self.registry.put(
             merged,
             Partitioned {
@@ -323,7 +354,10 @@ impl Executor<'_> {
         );
         // Algorithm 1, line 10: the working table is consumed by the merge.
         self.registry.remove(working);
-        self.relieve_memory_pressure(&[merged])?;
+        match delta_out {
+            Some(d) => self.relieve_memory_pressure(&[merged, d])?,
+            None => self.relieve_memory_pressure(&[merged])?,
+        }
         Ok(updated)
     }
 
@@ -387,17 +421,30 @@ impl Executor<'_> {
     /// The `loop` operator.
     fn run_loop(&self, l: &LoopStep) -> Result<()> {
         match &l.kind {
-            LoopKind::Iterative { merge, .. } => self.run_iterative_loop(l, *merge),
+            LoopKind::Iterative { merge, delta, .. } => {
+                self.run_iterative_loop(l, *merge, delta.as_deref())
+            }
             LoopKind::FixedPoint { working, union_all } => {
                 self.run_fixed_point_loop(l, working, *union_all)
             }
         }
     }
 
-    fn run_iterative_loop(&self, l: &LoopStep, merge: bool) -> Result<()> {
+    fn run_iterative_loop(&self, l: &LoopStep, merge: bool, delta: Option<&str>) -> Result<()> {
         let needs_delta = matches!(l.termination, TerminationPlan::Delta { .. });
         let ckpt_every = self.config.checkpoint_interval;
-        let tables = [l.cte.clone()];
+        let mut tables = vec![l.cte.clone()];
+        if let Some(d) = delta {
+            // Semi-naive: before iteration 1 every row counts as "changed",
+            // so the delta starts as the full initial table (an Arc bump,
+            // not a copy). The merge step refills it each round with only
+            // the rows whose values actually changed. The delta is part of
+            // the loop's recovery state: a rollback must restore the delta
+            // the checkpointed iteration would have fed forward.
+            self.registry.put(d, self.registry.get(&l.cte)?);
+            tables.push(d.to_string());
+            ExecStats::add(&self.stats.semi_naive_loops, 1);
+        }
         let mut iteration: u64 = 0;
         let mut cumulative_updates: u64 = 0;
         let mut recoveries_used: u64 = 0;
@@ -416,7 +463,7 @@ impl Executor<'_> {
                 });
             }
             let outcome = self
-                .run_iterative_iteration(l, merge, needs_delta, iteration, cumulative_updates)
+                .run_iterative_iteration(l, merge, needs_delta, delta, iteration, cumulative_updates)
                 .and_then(|(stop, updated)| {
                     // The periodic checkpoint is part of the attempt: a
                     // failure while snapshotting rolls back like any other
@@ -430,6 +477,9 @@ impl Executor<'_> {
                 Ok((stop, updated)) => {
                     cumulative_updates = updated;
                     if stop {
+                        if let Some(d) = delta {
+                            self.registry.remove(d);
+                        }
                         self.checkpoints.remove(&l.cte);
                         return Ok(());
                     }
@@ -450,15 +500,28 @@ impl Executor<'_> {
         l: &LoopStep,
         merge: bool,
         needs_delta: bool,
+        delta: Option<&str>,
         iteration: u64,
         cumulative_updates: u64,
     ) -> Result<(bool, u64)> {
         self.faults.hit(FaultSite::LoopIteration, self.stats)?;
         self.tracer.begin_iteration();
+        let mut delta_fed: u64 = 0;
+        if let Some(d) = delta {
+            // The body's join consumes the delta table this round; record
+            // how many rows it was fed so `repro convergence` can show
+            // per-iteration cost tracking delta size.
+            if let Ok(dt) = self.registry.get(d) {
+                delta_fed = dt.total_rows() as u64;
+                ExecStats::add(&self.stats.delta_rows_fed, delta_fed);
+            }
+        }
         // Delta termination on the rename path has no merge to count
         // changes, so keep the previous version for a diff (§VI-B:
         // "for this case, we also keep data from the previous
-        // iteration").
+        // iteration"). Semi-naive loops never take this path: their
+        // merge maintains the changed-row set, so termination checking
+        // is O(delta) instead of a full-table diff.
         let previous = if needs_delta && !merge {
             Some(self.registry.get(&l.cte)?)
         } else {
@@ -484,6 +547,11 @@ impl Executor<'_> {
             }
         };
         let cumulative = cumulative_updates + changed_this_iter;
+        self.tracer.note_iteration_mode(
+            delta.is_some(),
+            delta_fed,
+            if delta.is_some() { changed_this_iter } else { 0 },
+        );
         if self.tracer.is_enabled() {
             self.tracer.end_iteration(
                 changed_this_iter,

@@ -69,6 +69,15 @@ pub struct ExecStats {
     pub admission_waited_us: AtomicU64,
     /// Admission queue depth at enqueue time (0 = fast-path admit).
     pub admission_queue_depth: AtomicU64,
+    /// Iterative loops the optimizer proved delta-eligible and ran
+    /// semi-naive (joining the delta table instead of the full CTE table).
+    pub semi_naive_loops: AtomicU64,
+    /// Rows fed into loop bodies through delta-table scans, summed over
+    /// iterations — the semi-naive replacement for full-table join input.
+    pub delta_rows_fed: AtomicU64,
+    /// Changed rows written into delta tables by merge steps (the next
+    /// iteration's join input).
+    pub delta_rows_emitted: AtomicU64,
 }
 
 impl ExecStats {
@@ -110,6 +119,9 @@ impl ExecStats {
             join_builds_reused: self.join_builds_reused.load(Ordering::Relaxed),
             admission_waited_us: self.admission_waited_us.load(Ordering::Relaxed),
             admission_queue_depth: self.admission_queue_depth.load(Ordering::Relaxed),
+            semi_naive_loops: self.semi_naive_loops.load(Ordering::Relaxed),
+            delta_rows_fed: self.delta_rows_fed.load(Ordering::Relaxed),
+            delta_rows_emitted: self.delta_rows_emitted.load(Ordering::Relaxed),
         }
     }
 
@@ -141,6 +153,9 @@ impl ExecStats {
         self.join_builds_reused.store(0, Ordering::Relaxed);
         self.admission_waited_us.store(0, Ordering::Relaxed);
         self.admission_queue_depth.store(0, Ordering::Relaxed);
+        self.semi_naive_loops.store(0, Ordering::Relaxed);
+        self.delta_rows_fed.store(0, Ordering::Relaxed);
+        self.delta_rows_emitted.store(0, Ordering::Relaxed);
     }
 }
 
@@ -199,6 +214,12 @@ pub struct StatsSnapshot {
     pub admission_waited_us: u64,
     /// Admission queue depth at enqueue time.
     pub admission_queue_depth: u64,
+    /// Iterative loops executed semi-naive (delta-driven).
+    pub semi_naive_loops: u64,
+    /// Rows fed into loop bodies through delta-table scans.
+    pub delta_rows_fed: u64,
+    /// Changed rows written into delta tables by merge steps.
+    pub delta_rows_emitted: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -259,6 +280,13 @@ impl std::fmt::Display for StatsSnapshot {
                 f,
                 " admission_waited_us={} admission_queue_depth={}",
                 self.admission_waited_us, self.admission_queue_depth,
+            )?;
+        }
+        if self.semi_naive_loops + self.delta_rows_fed + self.delta_rows_emitted > 0 {
+            write!(
+                f,
+                " semi_naive_loops={} delta_fed={} delta_emitted={}",
+                self.semi_naive_loops, self.delta_rows_fed, self.delta_rows_emitted,
             )?;
         }
         Ok(())

@@ -279,6 +279,7 @@ mod tests {
                 kind: LoopKind::Iterative {
                     working: "w".into(),
                     merge: false,
+                    delta: None,
                 },
                 body: vec![
                     Step::Materialize {

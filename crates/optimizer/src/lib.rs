@@ -12,8 +12,15 @@
 //!   (§V-B, Fig. 10) moves final-query predicates into the non-iterative
 //!   part when Ri provably processes rows independently.
 //!
+//! * **Semi-naive delta iteration** ([`semi_naive`]): when a loop body is
+//!   a monotone accumulator over a self-join of the CTE, substitute the
+//!   working *delta* table for the full table on the propagation side so
+//!   per-iteration cost tracks the changed-row set instead of the whole
+//!   working table. See `DESIGN.md` §7 for the iteration-model spec.
+//!
 //! Entry points: [`optimize`] for a [`QueryPlan`], [`optimize_statement`]
 //! for any planned statement.
+#![warn(missing_docs)]
 
 pub mod common_result;
 pub mod fold;
@@ -21,6 +28,7 @@ pub mod iterative_pushdown;
 pub mod outer_to_inner;
 pub mod projection;
 pub mod pushdown;
+pub mod semi_naive;
 
 use spinner_common::{EngineConfig, Result};
 use spinner_plan::{LogicalPlan, PlannedStatement, QueryPlan, Step};
@@ -71,6 +79,9 @@ pub fn optimize(plan: QueryPlan, config: &EngineConfig) -> Result<QueryPlan> {
     }
     if config.common_result_optimization {
         steps = common_result::extract_common_results(steps)?;
+    }
+    if config.semi_naive {
+        steps = semi_naive::apply(steps)?;
     }
     Ok(QueryPlan { steps, root })
 }

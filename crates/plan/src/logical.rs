@@ -369,6 +369,13 @@ pub enum LoopKind {
         /// Whether the merge path is used (Ri has a WHERE clause, or the
         /// data-movement optimization is disabled).
         merge: bool,
+        /// Semi-naive marker: when `Some`, the optimizer proved the body
+        /// delta-eligible and rewrote it to join against this delta table
+        /// (which holds only the rows that changed last iteration) instead
+        /// of the full CTE table. The executor seeds the delta with the
+        /// full table before iteration 1 and the merge step refills it
+        /// with the changed rows each round. `None` = full recompute.
+        delta: Option<String>,
     },
     /// Recursive CTE (append semantics): body materializes `working`; the
     /// executor appends it to the CTE table (deduplicating unless
@@ -439,6 +446,11 @@ pub enum Step {
         key: usize,
         /// User-visible CTE name (for duplicate-key errors).
         cte_display_name: String,
+        /// When `Some`, the merge also materializes the set of rows whose
+        /// value actually changed (new key, or same key with different
+        /// columns) under this temp name — the delta table a semi-naive
+        /// loop feeds into its next iteration. `None` for full loops.
+        delta_out: Option<String>,
     },
     /// Conditional repetition (the paper's new `loop` executor operator).
     Loop(LoopStep),
@@ -652,6 +664,7 @@ mod tests {
                     kind: LoopKind::Iterative {
                         working: "__work".into(),
                         merge: false,
+                        delta: None,
                     },
                     body: vec![
                         Step::Materialize {

@@ -106,6 +106,7 @@ pub fn build_iterative_cte(
             merged: merged.clone(),
             key: 0,
             cte_display_name: cte.name.clone(),
+            delta_out: None,
         });
         body.push(Step::Rename {
             from: merged,
@@ -122,7 +123,11 @@ pub fn build_iterative_cte(
     steps.push(Step::Loop(LoopStep {
         cte: cte_temp,
         cte_display_name: cte.name.clone(),
-        kind: LoopKind::Iterative { working, merge },
+        kind: LoopKind::Iterative {
+            working,
+            merge,
+            delta: None,
+        },
         body,
         termination,
         key: 0,

@@ -17,5 +17,5 @@
 pub mod queries;
 pub mod runner;
 
-pub use queries::{connected_components, ff, pagerank, sssp};
+pub use queries::{connected_components, ff, pagerank, sssp, sssp_convergent};
 pub use runner::{run_script, run_script_with_guard, ProcedureScript, RunReport};

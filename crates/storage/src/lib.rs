@@ -8,6 +8,7 @@
 //! executor's "lookup table that manages intermediate results in memory"
 //! (paper §VI-A): `rename` re-points a name at an existing buffer instead
 //! of copying rows.
+#![warn(missing_docs)]
 
 pub mod catalog;
 pub mod checkpoint;
