@@ -1,0 +1,36 @@
+use spinner_common::{DataType, EngineConfig, Field, Row, Schema, Value};
+use spinner_engine::Database;
+
+fn edge_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("src", DataType::Int),
+        Field::new("dst", DataType::Int),
+    ])
+}
+
+fn db(semi_naive: bool, rows: Vec<Row>) -> Database {
+    let db = Database::new(EngineConfig::default().with_semi_naive(semi_naive)).unwrap();
+    db.create_table_from_rows("edges", edge_schema(), rows, None, Some(1))
+        .unwrap();
+    db
+}
+
+#[test]
+fn anchor_column_in_fold_equivalence() {
+    // Graph: 1 -> 2. Node 1 has no incoming edge.
+    let rows = vec![vec![Value::Int(1), Value::Int(2)].into_boxed_slice()];
+    let sql = "WITH ITERATIVE t (node, a, b) AS ( \
+          SELECT src, src, 100 FROM (SELECT src FROM edges UNION SELECT dst FROM edges) \
+        ITERATE SELECT t.node, t.a, LEAST(t.b, t.a, COALESCE(MIN(nbr.b), t.b)) \
+           FROM t LEFT JOIN edges AS e ON t.node = e.dst \
+                  LEFT JOIN t AS nbr ON nbr.node = e.src \
+           GROUP BY t.node, t.a, t.b \
+        UNTIL DELTA < 1 ) \
+       SELECT node, a, b FROM t ORDER BY node";
+    let on = db(true, rows.clone());
+    let off = db(false, rows);
+    let got = on.query(sql).unwrap();
+    let want = off.query(sql).unwrap();
+    eprintln!("semi_naive_loops on={}", on.stats().semi_naive_loops);
+    assert_eq!(got.rows(), want.rows());
+}
