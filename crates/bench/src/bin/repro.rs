@@ -12,7 +12,9 @@
 //! writes `CONVERGENCE_7.json`), `recovery`, `spill`, `bench`
 //! (worker-pool regression smoke, writes `BENCH_5.json`), `concurrency`
 //! (multi-session overload/shedding run against a live TCP server,
-//! writes `CONCURRENCY_6.json`).
+//! writes `CONCURRENCY_6.json`), `durability` (corruption-detection
+//! sweep plus fsync overhead on the fig8 PR workload, writes
+//! `DURABILITY_8.json`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,6 +40,7 @@ fn main() {
         "spill" => spill(),
         "bench" => bench(),
         "concurrency" => concurrency(),
+        "durability" => durability(),
         "all" => table1()
             .and_then(|()| fig8())
             .and_then(|()| fig9())
@@ -47,11 +50,12 @@ fn main() {
             .and_then(|()| recovery())
             .and_then(|()| spill())
             .and_then(|()| bench())
-            .and_then(|()| concurrency()),
+            .and_then(|()| concurrency())
+            .and_then(|()| durability()),
         other => {
             eprintln!(
                 "repro: unknown artifact '{other}'; use table1|fig8|fig9|fig10|\
-                 fig11|convergence|recovery|spill|bench|concurrency|all"
+                 fig11|convergence|recovery|spill|bench|concurrency|durability|all"
             );
             std::process::exit(1);
         }
@@ -530,7 +534,9 @@ fn convergence() -> Result<()> {
                     spinner_engine::Field::new("dst", spinner_engine::DataType::Int),
                     spinner_engine::Field::new("weight", spinner_engine::DataType::Float),
                 ]);
-                let rows = BenchDataset::DblpLike.spec().generate_symmetric_components(2);
+                let rows = BenchDataset::DblpLike
+                    .spec()
+                    .generate_symmetric_components(2);
                 db.create_table_from_rows("edges", schema, rows, None, Some(1))?;
                 db
             } else {
@@ -923,6 +929,185 @@ fn concurrency() -> Result<()> {
             "concurrency gates violated: runaway_bounded={runaway_bounded} \
              no_slot_leak={no_slot_leak} memory_bounded={memory_bounded} \
              no_memory_leak={no_memory_leak}"
+        )));
+    }
+    Ok(())
+}
+
+/// Durability artifact (PR 8): the disk is a failure domain.
+///
+/// Part 1 is a corruption-detection sweep at the codec level: a spilled
+/// checkpoint file is mutated one byte at a time (plus truncations, the
+/// empty file and the vanished file) and EVERY mutation must surface as
+/// the typed `StorageCorrupt` — the gate is a 100% detection rate, no
+/// silent decode ever.
+///
+/// Part 2 prices the crash-consistency protocol (temp file → fsync →
+/// atomic rename → fsync dir, epoch manifest) on the fig8 PR workload
+/// with checkpoints every 5 iterations: `durable_spill` off vs on,
+/// interleaved min-of-5. The gate caps the fsync overhead at 15%.
+/// Writes `DURABILITY_8.json`; a violated gate is a nonzero exit.
+fn durability() -> Result<()> {
+    use spinner_common::MemoryMetrics;
+    use spinner_storage::{LoopCheckpoint, Partitioned, SpillManager};
+
+    const MAX_OVERHEAD_PCT: f64 = 15.0;
+    header("Durability — corruption detection and fsync overhead (PR, 25 iterations, dblp-like)");
+
+    // ---- Part 1: detection sweep -------------------------------------
+    let dir = std::env::temp_dir().join(format!("spinner_repro_dur_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| spinner_engine::Error::execution(format!("scratch dir: {e}")))?;
+    let manager = SpillManager::new(dir.clone(), Arc::new(MemoryMetrics::new()), None);
+    let schema = spinner_engine::Schema::new(vec![
+        spinner_engine::Field::new("k", spinner_engine::DataType::Int),
+        spinner_engine::Field::new("rank", spinner_engine::DataType::Float),
+        spinner_engine::Field::new("label", spinner_engine::DataType::Text),
+    ]);
+    let rows: Vec<spinner_engine::Row> = (0..32)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Float(i as f64 * 0.125),
+                Value::Text(format!("node {i}")),
+            ]
+            .into()
+        })
+        .collect();
+    let ckpt = LoopCheckpoint {
+        iteration: 13,
+        cumulative_updates: 1337,
+        tables: vec![(
+            "__cte_pr".into(),
+            Partitioned::from_rows(Arc::new(schema), rows, Some(0), 4),
+        )],
+    };
+    let handle = manager.write_checkpoint("pr", &ckpt)?;
+    let original = std::fs::read(handle.path())
+        .map_err(|e| spinner_engine::Error::execution(format!("reading spill file: {e}")))?;
+    let mut mutations = 0u64;
+    let mut detected = 0u64;
+    let mut probe = |bytes: &[u8]| -> Result<()> {
+        std::fs::write(handle.path(), bytes)
+            .map_err(|e| spinner_engine::Error::execution(format!("mutating spill file: {e}")))?;
+        mutations += 1;
+        match manager.read_checkpoint(&handle, "pr") {
+            Err(spinner_engine::Error::StorageCorrupt { .. }) => detected += 1,
+            Ok(_) => {}
+            Err(other) => {
+                return Err(spinner_engine::Error::execution(format!(
+                    "mutation surfaced untyped: {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    };
+    for i in 0..original.len() {
+        let mut mutated = original.clone();
+        mutated[i] ^= 0x01;
+        probe(&mutated)?;
+    }
+    for cut in [0, 1, original.len() / 2, original.len() - 1] {
+        probe(&original[..cut])?;
+    }
+    std::fs::remove_file(handle.path())
+        .map_err(|e| spinner_engine::Error::execution(format!("removing spill file: {e}")))?;
+    mutations += 1;
+    if matches!(
+        manager.read_checkpoint(&handle, "pr"),
+        Err(spinner_engine::Error::StorageCorrupt { .. })
+    ) {
+        detected += 1;
+    }
+    std::fs::write(handle.path(), &original)
+        .map_err(|e| spinner_engine::Error::execution(format!("restoring spill file: {e}")))?;
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+    let detection_rate = detected as f64 / mutations as f64;
+    println!(
+        "detection sweep: {} byte flips + truncations + missing file over a {}-byte \
+         checkpoint, {detected}/{mutations} detected ({:.1}%)",
+        original.len(),
+        original.len(),
+        detection_rate * 100.0,
+    );
+
+    // ---- Part 2: fsync overhead on the fig8 PR workload ---------------
+    // A moderate threshold so only the big, cold regions (checkpoints)
+    // spill — the realistic durable-write traffic, not the 1-byte storm.
+    let spill_config = |durable: bool| {
+        EngineConfig::default()
+            .with_spill_threshold_bytes(1 << 20)
+            .with_checkpoint_interval(5)
+            .with_durable_spill(durable)
+    };
+    let sql = pagerank(ITERATIONS, false).cte;
+    let relaxed_db = setup_db(BenchDataset::DblpLike, spill_config(false), false);
+    let durable_db = setup_db(BenchDataset::DblpLike, spill_config(true), false);
+    let mut relaxed_times = Vec::new();
+    let mut durable_times = Vec::new();
+    // One unmeasured warmup per arm, then interleaved samples so machine
+    // drift lands on both arms equally.
+    for sample in -1..5i32 {
+        for (db, times) in [
+            (&relaxed_db, &mut relaxed_times),
+            (&durable_db, &mut durable_times),
+        ] {
+            let t = Instant::now();
+            db.query(&sql)?;
+            if sample >= 0 {
+                times.push(t.elapsed().as_secs_f64() * 1000.0);
+            }
+        }
+    }
+    let min = |times: &[f64]| times.iter().copied().fold(f64::INFINITY, f64::min);
+    let relaxed_ms = min(&relaxed_times);
+    let durable_ms = min(&durable_times);
+    let overhead_pct = 100.0 * (durable_ms - relaxed_ms) / relaxed_ms;
+    let stats = durable_db.take_stats();
+    println!(
+        "fsync overhead: relaxed {relaxed_ms:.2} ms, durable {durable_ms:.2} ms \
+         ({overhead_pct:+.1}%; gate <= {MAX_OVERHEAD_PCT:.0}%)"
+    );
+    println!(
+        "  durable arm (last run): epochs={} verified={} corrupt_detected={} refsync={}",
+        stats.durability_epochs,
+        stats.durability_verified,
+        stats.durability_corrupt,
+        stats.durability_fsyncs,
+    );
+
+    let full_detection = detection_rate >= 1.0;
+    let overhead_ok = overhead_pct <= MAX_OVERHEAD_PCT;
+    let json = format!(
+        "{{\n  \"artifact\": \"durability\",\n  \"dataset\": \"dblp-like\",\n  \
+         \"iterations\": {ITERATIONS},\n  \
+         \"detection\": {{\"file_bytes\": {}, \"mutations\": {mutations}, \
+         \"detected\": {detected}, \"rate\": {detection_rate:.4}}},\n  \
+         \"overhead\": {{\"relaxed_ms\": {relaxed_ms:.3}, \"durable_ms\": {durable_ms:.3}, \
+         \"overhead_pct\": {overhead_pct:.2}, \"gate_max_pct\": {MAX_OVERHEAD_PCT}}},\n  \
+         \"counters\": {{\"epochs\": {}, \"verified\": {}, \"corrupt_detected\": {}, \
+         \"fsyncs\": {}}},\n  \
+         \"gates\": {{\"full_detection\": {full_detection}, \"fsync_overhead_ok\": \
+         {overhead_ok}}}\n}}\n",
+        original.len(),
+        stats.durability_epochs,
+        stats.durability_verified,
+        stats.durability_corrupt,
+        stats.durability_fsyncs,
+    );
+    std::fs::write("DURABILITY_8.json", &json)
+        .map_err(|e| spinner_engine::Error::execution(format!("writing DURABILITY_8.json: {e}")))?;
+    println!("\nwrote DURABILITY_8.json");
+    if !full_detection {
+        return Err(spinner_engine::Error::execution(format!(
+            "corruption detection below 100%: {detected}/{mutations}"
+        )));
+    }
+    if !overhead_ok {
+        return Err(spinner_engine::Error::execution(format!(
+            "fsync overhead {overhead_pct:.1}% exceeds the {MAX_OVERHEAD_PCT:.0}% gate"
         )));
     }
     Ok(())

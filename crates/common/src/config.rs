@@ -122,9 +122,18 @@ pub struct EngineConfig {
     pub spill_threshold_bytes: Option<u64>,
     /// Directory for spill files. `None` uses the OS temp directory. Only
     /// consulted when [`spill_threshold_bytes`](Self::spill_threshold_bytes)
-    /// is set; validated (exists, is a directory, writable) by
+    /// is set; validated (created if missing, is a directory, writable) by
     /// [`EngineConfig::validate`].
     pub spill_dir: Option<String>,
+    /// Crash-consistency for on-disk state: when on (the default), every
+    /// spill/checkpoint file is written to a temp name, fsynced, atomically
+    /// renamed into place, and the parent directory is fsynced — so a
+    /// process kill at any point leaves either the old complete artifact or
+    /// the new complete artifact, never a torn file under the final name.
+    /// Off skips the fsyncs (rename is still atomic); checksums are
+    /// verified on read either way. The fsync count is surfaced as
+    /// `durability: ... refsync=` in stats and EXPLAIN ANALYZE.
+    pub durable_spill: bool,
     /// Use a persistent worker pool (one thread per partition, created once
     /// per database) for parallel partition execution instead of spawning a
     /// fresh scoped thread per operator invocation. Only takes effect when
@@ -164,6 +173,13 @@ pub struct EngineConfig {
     /// are reclaimed and the scope fails with the typed
     /// `Error::PoolStalled` instead of blocking the coordinator forever.
     pub pool_stall_timeout_ms: u64,
+    /// Read keepalive for server sessions, in milliseconds: a connection
+    /// that sends no frame for this long between statements is reaped —
+    /// the socket is closed and its resources released — so a half-open
+    /// TCP session (peer vanished without FIN) cannot hold a connection
+    /// slot forever waiting for a write failure. `0` disables reaping
+    /// (reads block indefinitely, the pre-PR-8 behaviour).
+    pub session_keepalive_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -189,6 +205,7 @@ impl Default for EngineConfig {
             max_loop_recoveries: 0,
             spill_threshold_bytes: spill_threshold_from_env(),
             spill_dir: std::env::var("SPINNER_SPILL_DIR").ok(),
+            durable_spill: true,
             worker_pool: true,
             join_state_cache: true,
             max_concurrent_queries: None,
@@ -196,6 +213,7 @@ impl Default for EngineConfig {
             admission_timeout_ms: None,
             admission_batch_timeout_ms: None,
             pool_stall_timeout_ms: 60_000,
+            session_keepalive_ms: 300_000,
         }
     }
 }
@@ -211,16 +229,19 @@ fn spill_threshold_from_env() -> Option<u64> {
         .filter(|&v| v > 0)
 }
 
-/// A usable spill directory exists, is a directory, and accepts writes.
-/// Probed up front so misconfiguration is an [`crate::Error::InvalidConfig`]
-/// at `Database::new`, not a mid-loop `SpillUnavailable`.
+/// A usable spill directory is creatable, is a directory, and accepts
+/// writes. Probed up front so misconfiguration is an
+/// [`crate::Error::InvalidConfig`] at `Database::new`, not a mid-loop
+/// `SpillUnavailable`. A missing directory is created (like most engines'
+/// data dirs) rather than rejected, so a fresh deployment needs no manual
+/// `mkdir`.
 fn validate_spill_dir(dir: &str) -> crate::Result<()> {
     use crate::Error;
     let path = std::path::Path::new(dir);
     if !path.exists() {
-        return Err(Error::InvalidConfig(format!(
-            "spill_dir '{dir}' does not exist"
-        )));
+        std::fs::create_dir_all(path).map_err(|e| {
+            Error::InvalidConfig(format!("spill_dir '{dir}' cannot be created: {e}"))
+        })?;
     }
     if !path.is_dir() {
         return Err(Error::InvalidConfig(format!(
@@ -372,6 +393,21 @@ impl EngineConfig {
     /// Builder-style setter for the spill-file directory.
     pub fn with_spill_dir(mut self, dir: impl Into<String>) -> Self {
         self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style setter for crash-consistent (fsynced) spill and
+    /// checkpoint writes. Off skips the fsyncs for speed; checksums are
+    /// still verified on read.
+    pub fn with_durable_spill(mut self, on: bool) -> Self {
+        self.durable_spill = on;
+        self
+    }
+
+    /// Builder-style setter for the server session read keepalive
+    /// (0 = never reap idle connections).
+    pub fn with_session_keepalive_ms(mut self, limit_ms: u64) -> Self {
+        self.session_keepalive_ms = limit_ms;
         self
     }
 
@@ -562,6 +598,24 @@ pub enum FaultSite {
     /// An error here tears the session down after its query completed,
     /// exercising the result-undeliverable path.
     SessionWrite,
+    /// Adversarial disk: the spill/checkpoint file is silently truncated
+    /// to half its length *and the write still reports success* — the
+    /// state a process kill between `write` and `fsync` leaves behind.
+    /// Detection must happen at read time via the whole-file trailer.
+    TornWrite,
+    /// Adversarial disk: one bit of the payload is flipped before the
+    /// write, which still reports success — simulated bit rot. Detection
+    /// must happen at read time via the partition/file checksums.
+    BitFlip,
+    /// Adversarial disk: the write fails as if the device were out of
+    /// space (ENOSPC). Degrades to the fail-fast budget error
+    /// `ResourceExhausted { resource: "spill_disk", .. }` — deliberate
+    /// back-pressure, not a retryable fault and not a process abort.
+    DiskFull,
+    /// Adversarial disk: the fsync after a spill write fails. The temp
+    /// file is discarded and the write surfaces as the transient
+    /// `SpillUnavailable`, leaving the previous artifact intact.
+    FsyncFail,
 }
 
 /// The recovery-related knobs of an [`EngineConfig`], bundled so callers
@@ -853,23 +907,39 @@ mod tests {
     }
 
     #[test]
-    fn spill_dir_must_exist_and_be_a_directory() {
+    fn spill_dir_is_created_when_missing_and_rejected_when_uncreatable() {
+        // A missing directory is created by validation (fresh-deployment
+        // ergonomics), so the engine never fails its first spill on a
+        // typo'd-but-creatable path.
+        let fresh = std::env::temp_dir().join(format!(
+            "spinner_fresh_spill_{}/nested/dir",
+            std::process::id()
+        ));
         let c = EngineConfig::default()
             .with_spill_threshold_bytes(1024)
-            .with_spill_dir("/nonexistent/spinner/spill/dir");
-        match c.validate() {
-            Err(crate::Error::InvalidConfig(m)) => {
-                assert!(m.contains("does not exist"), "{m}");
-            }
-            other => panic!("expected InvalidConfig, got {other:?}"),
-        }
-        // A file path is rejected even though it exists.
+            .with_spill_dir(fresh.to_str().unwrap());
+        assert!(c.validate().is_ok());
+        assert!(fresh.is_dir(), "validation must create the directory");
+        std::fs::remove_dir_all(fresh.parent().unwrap().parent().unwrap()).unwrap();
+
+        // A file path is rejected even though it exists...
         let file = std::env::temp_dir().join(format!("spinner_not_a_dir_{}", std::process::id()));
         std::fs::write(&file, b"x").unwrap();
         let c = EngineConfig::default().with_spill_dir(file.to_str().unwrap());
         match c.validate() {
             Err(crate::Error::InvalidConfig(m)) => {
                 assert!(m.contains("not a directory"), "{m}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // ...and so is an uncreatable path (its parent is that file).
+        let blocked = file.join("sub");
+        let c = EngineConfig::default()
+            .with_spill_threshold_bytes(1024)
+            .with_spill_dir(blocked.to_str().unwrap());
+        match c.validate() {
+            Err(crate::Error::InvalidConfig(m)) => {
+                assert!(m.contains("cannot be created"), "{m}");
             }
             other => panic!("expected InvalidConfig, got {other:?}"),
         }

@@ -142,6 +142,19 @@ pub enum Error {
         /// Tasks reclaimed from the queue without ever running.
         pending_tasks: u64,
     },
+    /// An on-disk artifact (spill file, checkpoint epoch, manifest) failed
+    /// its integrity verification on read: bad magic, short/torn file,
+    /// checksum mismatch, or the file is missing entirely. Transient by
+    /// contract — recovery falls back to an older checkpoint epoch or
+    /// recomputes the region, and only gives up through the bounded
+    /// `RecoveryExhausted` path.
+    StorageCorrupt {
+        /// The region (temp result, checkpoint epoch, or manifest) whose
+        /// on-disk bytes failed verification.
+        region: String,
+        /// What the verifier found, stringified (offset, expected/actual).
+        message: String,
+    },
 }
 
 /// Coarse failure classification used by the recovery subsystem.
@@ -207,6 +220,7 @@ impl Error {
             | Error::WorkerPanicked { .. }
             | Error::Io(_)
             | Error::SpillUnavailable { .. }
+            | Error::StorageCorrupt { .. }
             | Error::PoolStalled { .. } => ErrorClass::Transient,
             // Shed-load decisions (`Overloaded`, `AdmissionTimeout`,
             // `ShuttingDown`) are deliberate back-pressure: retrying
@@ -314,6 +328,11 @@ impl fmt::Display for Error {
                 "worker pool made no progress for {waited_ms} ms; \
                  {pending_tasks} queued task(s) reclaimed without running"
             ),
+            Error::StorageCorrupt { region, message } => write!(
+                f,
+                "on-disk state for '{region}' failed verification: {message}; \
+                 recovery will fall back or recompute"
+            ),
         }
     }
 }
@@ -385,6 +404,13 @@ mod tests {
         assert!(Error::SpillUnavailable {
             region: "__cte_pr_1".into(),
             message: "disk full".into()
+        }
+        .is_retryable());
+        // Corruption detected on read is transient by contract: recovery
+        // falls back to an older epoch or recomputes the region.
+        assert!(Error::StorageCorrupt {
+            region: "checkpoint:pr".into(),
+            message: "checksum mismatch at offset 12".into()
         }
         .is_retryable());
         assert_eq!(Error::Cancelled.class(), ErrorClass::Fatal);

@@ -29,8 +29,8 @@ pub use memory::{
     SpillRequest, TransientRegion,
 };
 pub use profile::{
-    AdmissionProfile, IterationProfile, PoolProfile, ProfileNode, QueryProfile, RecoveryProfile,
-    SpanKind, SpillProfile, Tracer,
+    AdmissionProfile, DurabilityProfile, IterationProfile, PoolProfile, ProfileNode, QueryProfile,
+    RecoveryProfile, SpanKind, SpillProfile, Tracer,
 };
 pub use row::{batch_of, row_of, Batch, Row};
 pub use schema::{Field, Schema, SchemaRef};

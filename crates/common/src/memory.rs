@@ -101,6 +101,10 @@ pub struct MemoryMetrics {
     spill_bytes_written: AtomicU64,
     spill_bytes_read: AtomicU64,
     peak_tracked_bytes: AtomicU64,
+    durable_epochs: AtomicU64,
+    verified_reads: AtomicU64,
+    corrupt_detected: AtomicU64,
+    fsyncs: AtomicU64,
 }
 
 /// One drained snapshot of [`MemoryMetrics`]; counters reset to zero.
@@ -114,6 +118,14 @@ pub struct MemoryCounters {
     pub spill_bytes_read: u64,
     /// High-water mark of resident tracked bytes.
     pub peak_tracked_bytes: u64,
+    /// Checkpoint epochs committed durably to the manifest.
+    pub durable_epochs: u64,
+    /// Spill/checkpoint files read back with every checksum verified.
+    pub verified_reads: u64,
+    /// Reads that failed verification (torn write, bit rot, truncation).
+    pub corrupt_detected: u64,
+    /// `fsync` calls issued by the atomic-write protocol (file + dir).
+    pub fsyncs: u64,
 }
 
 impl MemoryMetrics {
@@ -139,6 +151,26 @@ impl MemoryMetrics {
             .fetch_max(resident, Ordering::Relaxed);
     }
 
+    /// Record one checkpoint epoch committed durably to the manifest.
+    pub fn note_epoch(&self) {
+        self.durable_epochs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one on-disk artifact read back with all checksums verified.
+    pub fn note_verified_read(&self) {
+        self.verified_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one read that failed checksum/trailer verification.
+    pub fn note_corrupt_detected(&self) {
+        self.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one `fsync` issued by the atomic-write protocol.
+    pub fn note_fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Read and reset all counters (end of statement).
     pub fn drain(&self) -> MemoryCounters {
         MemoryCounters {
@@ -146,6 +178,10 @@ impl MemoryMetrics {
             spill_bytes_written: self.spill_bytes_written.swap(0, Ordering::Relaxed),
             spill_bytes_read: self.spill_bytes_read.swap(0, Ordering::Relaxed),
             peak_tracked_bytes: self.peak_tracked_bytes.swap(0, Ordering::Relaxed),
+            durable_epochs: self.durable_epochs.swap(0, Ordering::Relaxed),
+            verified_reads: self.verified_reads.swap(0, Ordering::Relaxed),
+            corrupt_detected: self.corrupt_detected.swap(0, Ordering::Relaxed),
+            fsyncs: self.fsyncs.swap(0, Ordering::Relaxed),
         }
     }
 }

@@ -225,6 +225,33 @@ impl AdmissionProfile {
     }
 }
 
+/// Durability activity of one statement — the `EXPLAIN ANALYZE` view of
+/// the checksummed, crash-consistent spill/checkpoint layer. All-zero
+/// (and omitted from JSON) when the statement never touched disk, so
+/// profiles from spill-free runs stay byte-identical to the previous
+/// format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityProfile {
+    /// Checkpoint epochs committed durably to the manifest.
+    pub epochs: u64,
+    /// On-disk artifacts read back with every checksum verified.
+    pub verified: u64,
+    /// Reads that failed verification (torn write, bit rot, truncation);
+    /// each one was surfaced as a transient `StorageCorrupt` and handled
+    /// by recovery, never returned as silent wrong answers.
+    pub corrupt_detected: u64,
+    /// `fsync` calls issued by the write-to-temp → fsync → rename →
+    /// fsync-dir protocol (file and directory syncs combined).
+    pub refsync: u64,
+}
+
+impl DurabilityProfile {
+    /// Whether any durability activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.epochs == 0 && self.verified == 0 && self.corrupt_detected == 0 && self.refsync == 0
+    }
+}
+
 /// One node of the profile tree: a step, operator or loop with its
 /// actual (not estimated) runtime counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -505,6 +532,9 @@ pub struct QueryProfile {
     /// Statement-level admission-control activity; all-zero when the
     /// statement started without queueing.
     pub admission: AdmissionProfile,
+    /// Statement-level durability activity; all-zero when the statement
+    /// never wrote or verified on-disk state.
+    pub durability: DurabilityProfile,
 }
 
 impl QueryProfile {
@@ -576,6 +606,20 @@ impl QueryProfile {
                 ]),
             ));
         }
+        if !self.durability.is_empty() {
+            fields.push((
+                "durability".into(),
+                Json::Obj(vec![
+                    ("epochs".into(), Json::Num(self.durability.epochs)),
+                    ("verified".into(), Json::Num(self.durability.verified)),
+                    (
+                        "corrupt_detected".into(),
+                        Json::Num(self.durability.corrupt_detected),
+                    ),
+                    ("refsync".into(), Json::Num(self.durability.refsync)),
+                ]),
+            ));
+        }
         let v = Json::Obj(fields);
         let mut out = String::new();
         v.write(&mut out);
@@ -623,6 +667,19 @@ impl QueryProfile {
                 }
             }
         };
+        let durability = match Json::get_opt(obj, "durability") {
+            None => DurabilityProfile::default(),
+            Some(v) => {
+                let o = v.as_obj("durability")?;
+                DurabilityProfile {
+                    epochs: Json::get(o, "epochs")?.as_num("epochs")?,
+                    verified: Json::get(o, "verified")?.as_num("verified")?,
+                    corrupt_detected: Json::get(o, "corrupt_detected")?
+                        .as_num("corrupt_detected")?,
+                    refsync: Json::get(o, "refsync")?.as_num("refsync")?,
+                }
+            }
+        };
         Ok(QueryProfile {
             total_elapsed_us: Json::get(obj, "total_elapsed_us")?.as_num("total_elapsed_us")?,
             roots: Json::get(obj, "roots")?
@@ -633,6 +690,7 @@ impl QueryProfile {
             spill,
             pool,
             admission,
+            durability,
         })
     }
 
@@ -667,6 +725,14 @@ impl QueryProfile {
                 out,
                 "admission: waited_ms={}, queue_depth={}, shed={}",
                 a.waited_ms, a.queue_depth, a.shed
+            );
+        }
+        if !self.durability.is_empty() {
+            let d = &self.durability;
+            let _ = writeln!(
+                out,
+                "durability: epochs={} verified={} corrupt_detected={} refsync={}",
+                d.epochs, d.verified, d.corrupt_detected, d.refsync
             );
         }
         let _ = writeln!(
@@ -1069,6 +1135,7 @@ impl Tracer {
             spill: SpillProfile::default(),
             pool: PoolProfile::default(),
             admission: AdmissionProfile::default(),
+            durability: DurabilityProfile::default(),
         }
     }
 }

@@ -5,9 +5,9 @@ use std::sync::Arc;
 
 use spinner_common::memory::SpillFaultHook;
 use spinner_common::{
-    AdmissionController, AdmissionPermit, AdmissionProfile, Batch, EngineConfig, Error, FaultSite,
-    MemoryGate, PoolProfile, QueryClass, QueryGuard, QueryProfile, Result, Row, Schema, SchemaRef,
-    SpillProfile, Tracer, Value,
+    AdmissionController, AdmissionPermit, AdmissionProfile, Batch, DurabilityProfile, EngineConfig,
+    Error, FaultSite, MemoryGate, PoolProfile, QueryClass, QueryGuard, QueryProfile, Result, Row,
+    Schema, SchemaRef, SpillProfile, Tracer, Value,
 };
 use spinner_exec::stats::StatsSnapshot;
 use spinner_exec::{ExecStats, Executor, FaultInjector, JoinStateCache, WorkerPool};
@@ -144,11 +144,14 @@ impl Database {
                 faults: Arc::clone(&self.faults),
                 stats: Arc::clone(&self.stats),
             });
-            Arc::new(SpillEnv::new(
-                threshold,
-                config.spill_dir.as_deref(),
-                Some(hook),
-            ))
+            let env = Arc::new(
+                SpillEnv::new(threshold, config.spill_dir.as_deref(), Some(hook))
+                    .with_durable(config.durable_spill),
+            );
+            // Startup recovery: reclaim spill/manifest files left in this
+            // directory by crashed processes before writing our own.
+            env.manager.recover_orphans();
+            env
         });
         // The pool is created here — once per (re)configuration, never
         // mid-statement — so steady-state loop iterations spawn nothing.
@@ -479,6 +482,12 @@ impl Database {
                         shed: ctrl.snapshot().shed_total(),
                     };
                 }
+                profile.durability = DurabilityProfile {
+                    epochs: snap.durability_epochs,
+                    verified: snap.durability_verified,
+                    corrupt_detected: snap.durability_corrupt,
+                    refsync: snap.durability_fsyncs,
+                };
                 Ok(super::QueryResult::Analyze(profile))
             }
             PlannedStatement::CreateTable {
@@ -587,6 +596,18 @@ impl Database {
         self.stats
             .peak_tracked_bytes
             .fetch_max(c.peak_tracked_bytes, Ordering::Relaxed);
+        self.stats
+            .durability_epochs
+            .fetch_add(c.durable_epochs, Ordering::Relaxed);
+        self.stats
+            .durability_verified
+            .fetch_add(c.verified_reads, Ordering::Relaxed);
+        self.stats
+            .durability_corrupt
+            .fetch_add(c.corrupt_detected, Ordering::Relaxed);
+        self.stats
+            .durability_fsyncs
+            .fetch_add(c.fsyncs, Ordering::Relaxed);
     }
 
     /// UPDATE [FROM]: when a FROM clause is present, equi-conjuncts of the

@@ -463,7 +463,14 @@ impl Executor<'_> {
                 });
             }
             let outcome = self
-                .run_iterative_iteration(l, merge, needs_delta, delta, iteration, cumulative_updates)
+                .run_iterative_iteration(
+                    l,
+                    merge,
+                    needs_delta,
+                    delta,
+                    iteration,
+                    cumulative_updates,
+                )
                 .and_then(|(stop, updated)| {
                     // The periodic checkpoint is part of the attempt: a
                     // failure while snapshotting rolls back like any other
@@ -550,7 +557,11 @@ impl Executor<'_> {
         self.tracer.note_iteration_mode(
             delta.is_some(),
             delta_fed,
-            if delta.is_some() { changed_this_iter } else { 0 },
+            if delta.is_some() {
+                changed_this_iter
+            } else {
+                0
+            },
         );
         if self.tracer.is_enabled() {
             self.tracer.end_iteration(

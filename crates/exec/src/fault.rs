@@ -66,6 +66,10 @@ pub fn site_name(site: FaultSite) -> &'static str {
         FaultSite::Accept => "accept",
         FaultSite::SessionRead => "session_read",
         FaultSite::SessionWrite => "session_write",
+        FaultSite::TornWrite => "torn_write",
+        FaultSite::BitFlip => "bit_flip",
+        FaultSite::DiskFull => "disk_full",
+        FaultSite::FsyncFail => "fsync_fail",
     }
 }
 

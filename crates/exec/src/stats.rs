@@ -78,6 +78,14 @@ pub struct ExecStats {
     /// Changed rows written into delta tables by merge steps (the next
     /// iteration's join input).
     pub delta_rows_emitted: AtomicU64,
+    /// Checkpoint epochs committed durably to the spill manifest.
+    pub durability_epochs: AtomicU64,
+    /// Spill/checkpoint files read back with every checksum verified.
+    pub durability_verified: AtomicU64,
+    /// Reads that failed verification and surfaced as `StorageCorrupt`.
+    pub durability_corrupt: AtomicU64,
+    /// `fsync` calls issued by the atomic-write protocol (file + dir).
+    pub durability_fsyncs: AtomicU64,
 }
 
 impl ExecStats {
@@ -122,6 +130,10 @@ impl ExecStats {
             semi_naive_loops: self.semi_naive_loops.load(Ordering::Relaxed),
             delta_rows_fed: self.delta_rows_fed.load(Ordering::Relaxed),
             delta_rows_emitted: self.delta_rows_emitted.load(Ordering::Relaxed),
+            durability_epochs: self.durability_epochs.load(Ordering::Relaxed),
+            durability_verified: self.durability_verified.load(Ordering::Relaxed),
+            durability_corrupt: self.durability_corrupt.load(Ordering::Relaxed),
+            durability_fsyncs: self.durability_fsyncs.load(Ordering::Relaxed),
         }
     }
 
@@ -156,6 +168,10 @@ impl ExecStats {
         self.semi_naive_loops.store(0, Ordering::Relaxed);
         self.delta_rows_fed.store(0, Ordering::Relaxed);
         self.delta_rows_emitted.store(0, Ordering::Relaxed);
+        self.durability_epochs.store(0, Ordering::Relaxed);
+        self.durability_verified.store(0, Ordering::Relaxed);
+        self.durability_corrupt.store(0, Ordering::Relaxed);
+        self.durability_fsyncs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -220,6 +236,14 @@ pub struct StatsSnapshot {
     pub delta_rows_fed: u64,
     /// Changed rows written into delta tables by merge steps.
     pub delta_rows_emitted: u64,
+    /// Checkpoint epochs committed durably to the spill manifest.
+    pub durability_epochs: u64,
+    /// Spill/checkpoint files read back with every checksum verified.
+    pub durability_verified: u64,
+    /// Reads that failed verification and surfaced as `StorageCorrupt`.
+    pub durability_corrupt: u64,
+    /// `fsync` calls issued by the atomic-write protocol (file + dir).
+    pub durability_fsyncs: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -287,6 +311,21 @@ impl std::fmt::Display for StatsSnapshot {
                 f,
                 " semi_naive_loops={} delta_fed={} delta_emitted={}",
                 self.semi_naive_loops, self.delta_rows_fed, self.delta_rows_emitted,
+            )?;
+        }
+        if self.durability_epochs
+            + self.durability_verified
+            + self.durability_corrupt
+            + self.durability_fsyncs
+            > 0
+        {
+            write!(
+                f,
+                " durability: epochs={} verified={} corrupt_detected={} refsync={}",
+                self.durability_epochs,
+                self.durability_verified,
+                self.durability_corrupt,
+                self.durability_fsyncs,
             )?;
         }
         Ok(())

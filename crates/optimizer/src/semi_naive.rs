@@ -41,9 +41,12 @@
 //! * output column `j` is either the bare anchor column `j` (the loop key
 //!   must be one of these) or `LEAST(...)`/`GREATEST(...)` containing the
 //!   bare anchor column `j` (the running accumulator), where every other
-//!   argument is an anchor column, a matching-direction aggregate
-//!   (`MIN` inside `LEAST`, `MAX` inside `GREATEST`), or
-//!   `COALESCE(aggregate, anchor column j)`.
+//!   argument is the anchor column `j` itself, a matching-direction
+//!   aggregate (`MIN` inside `LEAST`, `MAX` inside `GREATEST`), or
+//!   `COALESCE(aggregate, anchor column j)`. A *different* anchor column
+//!   in the fold would make the fold change the row's value even with no
+//!   aggregate contribution — an update semi-naive would skip, because
+//!   rows without contributions never re-run the fold.
 //!
 //! The accumulator shape is what makes the rewrite *exact*, not just
 //! convergence-preserving: by induction over iterations, every value a
@@ -150,17 +153,14 @@ fn apply_steps(steps: Vec<Step>, counter: &mut usize) -> Result<Vec<Step>> {
 
 /// Attempt the semi-naive rewrite of one iterative loop. `None` means the
 /// body is not delta-eligible and the loop keeps full-recompute semantics.
-fn try_rewrite_loop(
-    l: &LoopStep,
-    hoists: &mut Vec<Step>,
-    counter: &mut usize,
-) -> Option<LoopStep> {
+fn try_rewrite_loop(l: &LoopStep, hoists: &mut Vec<Step>, counter: &mut usize) -> Option<LoopStep> {
     let LoopKind::Iterative { working, merge, .. } = &l.kind else {
         return None;
     };
-    let work_idx = l.body.iter().position(
-        |s| matches!(s, Step::Materialize { name, .. } if name == working),
-    )?;
+    let work_idx = l
+        .body
+        .iter()
+        .position(|s| matches!(s, Step::Materialize { name, .. } if name == working))?;
     let Step::Materialize { plan, .. } = &l.body[work_idx] else {
         return None;
     };
@@ -437,11 +437,6 @@ fn is_old_term(e: &PlanExpr, j: usize, group: &[PlanExpr]) -> bool {
     matches!(bare(e), Some(gi) if gi < group.len() && bare(&group[gi]) == Some(j))
 }
 
-/// Is `e` a bare group column (any anchor column — equal in both modes)?
-fn is_anchor_term(e: &PlanExpr, group: &[PlanExpr]) -> bool {
-    matches!(bare(e), Some(gi) if gi < group.len())
-}
-
 /// Is `e` an aggregate output column whose function matches the fold
 /// direction?
 fn agg_term(e: &PlanExpr, group: &[PlanExpr], aggs: &[AggExpr], want: AggFunc) -> bool {
@@ -468,7 +463,11 @@ fn is_accumulator(out: &PlanExpr, j: usize, group: &[PlanExpr], aggs: &[AggExpr]
         return false;
     }
     args.iter().all(|arg| {
-        if is_anchor_term(arg, group) || agg_term(arg, group, aggs, want) {
+        // Only the accumulator column itself may appear bare: any OTHER
+        // anchor column would let the fold change the value on an empty
+        // aggregate (LEAST(old_j, other) != old_j), an update the
+        // delta-driven body never re-runs for contribution-less rows.
+        if is_old_term(arg, j, group) || agg_term(arg, group, aggs, want) {
             return true;
         }
         // COALESCE(agg, old_j): when the delta brings no contribution the
@@ -520,10 +519,7 @@ fn build_delta_plan(
                 plan: other.clone(),
                 distribute_by,
             });
-            LogicalPlan::TempScan {
-                name,
-                schema,
-            }
+            LogicalPlan::TempScan { name, schema }
         }
     };
 

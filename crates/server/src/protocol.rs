@@ -58,8 +58,14 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()
 /// watcher sets `SO_RCVTIMEO` on the shared socket (timeouts apply to
 /// every clone of the fd), so a blocking read on an idle connection
 /// periodically returns `WouldBlock`/`TimedOut`; those mean "no bytes
-/// yet", not "connection torn", and must not lose a partial read.
-fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
+/// yet", not "connection torn", and must not lose a partial read. With a
+/// `deadline`, each timeout wake-up checks the clock and gives up with
+/// `ErrorKind::TimedOut` once it passes — the keepalive reaper's signal.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    deadline: Option<std::time::Instant>,
+) -> io::Result<()> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
@@ -73,6 +79,9 @@ fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
                         | io::ErrorKind::Interrupted
                 ) =>
             {
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    return Err(io::ErrorKind::TimedOut.into());
+                }
                 continue;
             }
             Err(e) => return Err(e),
@@ -84,8 +93,21 @@ fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
 /// Read one frame, enforcing [`MAX_FRAME_LEN`]. A clean EOF before the
 /// length prefix surfaces as `ErrorKind::UnexpectedEof`.
 pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    read_frame_deadline(r, None)
+}
+
+/// [`read_frame`] with a keepalive budget: if `idle` is set and no
+/// complete frame arrives within it, the read gives up with
+/// `ErrorKind::TimedOut` so the server can reap the half-open session.
+/// Requires a read timeout on the socket (the watcher's `SO_RCVTIMEO`)
+/// so the blocking read wakes up to check the clock.
+pub fn read_frame_deadline(
+    r: &mut impl Read,
+    idle: Option<std::time::Duration>,
+) -> io::Result<(u8, Vec<u8>)> {
+    let deadline = idle.map(|d| std::time::Instant::now() + d);
     let mut len_buf = [0u8; 4];
-    read_full(r, &mut len_buf)?;
+    read_full(r, &mut len_buf, deadline)?;
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME_LEN {
         return Err(io::Error::new(
@@ -94,9 +116,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
         ));
     }
     let mut tag = [0u8; 1];
-    read_full(r, &mut tag)?;
+    read_full(r, &mut tag, deadline)?;
     let mut payload = vec![0u8; len as usize];
-    read_full(r, &mut payload)?;
+    read_full(r, &mut payload, deadline)?;
     Ok((tag[0], payload))
 }
 
@@ -264,6 +286,7 @@ pub fn error_code(e: &Error) -> &'static str {
         Error::AdmissionTimeout { .. } => "admission_timeout",
         Error::ShuttingDown => "shutting_down",
         Error::PoolStalled { .. } => "pool_stalled",
+        Error::StorageCorrupt { .. } => "storage_corrupt",
     }
 }
 

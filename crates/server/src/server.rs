@@ -10,7 +10,10 @@
 //! watcher sees EOF and calls [`Session::cancel_current`], so the
 //! running statement fails at its next guard check, its admission
 //! permit is released, and the slot goes back to the pool — a dropped
-//! connection can never leak capacity.
+//! connection can never leak capacity. Between statements, an idle
+//! connection is reaped once it stays silent past the configured
+//! `session_keepalive_ms` (0 disables), so half-open peers the TCP
+//! stack never reports as closed cannot pin connection state forever.
 //!
 //! ## Overload & drain
 //!
@@ -43,8 +46,8 @@ use spinner_engine::{Database, QueryResult, Session};
 
 use crate::protocol::TAG_AFFECTED;
 use crate::protocol::{
-    encode_error, encode_rows, error_code, read_frame, write_frame, TAG_CLOSE, TAG_DDL, TAG_ERROR,
-    TAG_HELLO, TAG_QUERY, TAG_ROWS, TAG_TEXT,
+    encode_error, encode_rows, error_code, read_frame_deadline, write_frame, TAG_CLOSE, TAG_DDL,
+    TAG_ERROR, TAG_HELLO, TAG_QUERY, TAG_ROWS, TAG_TEXT,
 };
 
 /// How long the watcher sleeps between liveness peeks at the socket.
@@ -231,6 +234,17 @@ fn handle_connection(mut stream: TcpStream, db: Arc<Database>, shared: Arc<Share
     if write_frame(&mut stream, TAG_HELLO, &session.id().to_be_bytes()).is_err() {
         return;
     }
+    // Keepalive: a client that goes silent for longer than this between
+    // statements is presumed dead and its connection reaped, so half-open
+    // peers (pulled cable, frozen process) cannot pin slots forever.
+    // 0 disables the reaper.
+    let keepalive_ms = db.config().session_keepalive_ms;
+    let idle_limit = (keepalive_ms > 0).then(|| Duration::from_millis(keepalive_ms));
+    if idle_limit.is_some() {
+        // The watcher normally installs this, but its spawn is
+        // best-effort; the deadline check needs the periodic wake-up.
+        let _ = stream.set_read_timeout(Some(WATCH_INTERVAL));
+    }
     let done = Arc::new(AtomicBool::new(false));
     let watcher = stream.try_clone().ok().and_then(|clone| {
         let session = Arc::clone(&session);
@@ -242,10 +256,10 @@ fn handle_connection(mut stream: TcpStream, db: Arc<Database>, shared: Arc<Share
     });
 
     loop {
-        let (tag, payload) = match read_frame(&mut stream) {
+        let (tag, payload) = match read_frame_deadline(&mut stream, idle_limit) {
             Ok(frame) => frame,
-            // EOF or torn read: make sure nothing keeps running on
-            // behalf of this connection, then tear down.
+            // EOF, torn read, or keepalive expiry: make sure nothing
+            // keeps running on behalf of this connection, then tear down.
             Err(_) => {
                 session.cancel_current();
                 break;

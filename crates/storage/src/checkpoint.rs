@@ -3,7 +3,7 @@
 //! The insight (shared with Flink's iterative dataflows and REX): at the
 //! top of a loop iteration, the CTE table plus the loop counters are a
 //! *complete* recovery point — nothing else in the executor carries loop
-//! state. A [`CheckpointStore`] keeps the latest such snapshot per running
+//! state. A [`CheckpointStore`] keeps the newest such snapshot per running
 //! loop; after a transient failure the executor restores the snapshot into
 //! the temp registry and replays from the checkpointed iteration instead
 //! of restarting the whole query.
@@ -11,7 +11,16 @@
 //! Snapshots are cheap by construction: [`Partitioned`] stores each
 //! partition as an immutable `Arc<Vec<Row>>`, so cloning a table is O(P)
 //! pointer bumps (copy-on-write) — a checkpoint of a rename-path working
-//! table costs pointers, not rows.
+//! table costs pointers, not rows. The same sharing is why the store can
+//! afford to retain **two epochs** per loop: each [`CheckpointStore::save`] commits a new epoch and demotes the old
+//! current to `previous` instead of discarding it. If the newest epoch
+//! turns out to be unreadable on rollback — a spilled snapshot whose file
+//! the disk mangled surfaces as the typed [`Error::StorageCorrupt`] — the
+//! store discards the bad epoch (deleting its file and manifest entry)
+//! and falls back to the previous epoch, so recovery replays a little
+//! further back rather than failing the query. Only when *no* epoch
+//! survives does the typed error propagate; recovery never silently
+//! restarts, and never returns unverified rows.
 //!
 //! Under memory pressure a snapshot is a prime spill victim: it is touched
 //! only on save and on rollback, so the accountant ranks checkpoints just
@@ -26,7 +35,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use spinner_common::memory::{RegionId, RegionKind};
-use spinner_common::Result;
+use spinner_common::{Error, Result};
 
 use crate::partition::Partitioned;
 use crate::spill::{SpillEnv, SpillHandle};
@@ -60,14 +69,23 @@ enum Slot {
     Spilled(SpillHandle),
 }
 
+/// One committed checkpoint epoch: the snapshot (resident or spilled),
+/// its accountant region, and its epoch number (1-based per loop).
 #[derive(Debug)]
-struct Entry {
+struct EpochSlot {
     slot: Slot,
     region: Option<RegionId>,
+    epoch: u64,
 }
 
-/// Per-query store of the latest checkpoint of each running loop, keyed by
-/// the loop's internal CTE name.
+#[derive(Debug)]
+struct Entry {
+    current: EpochSlot,
+    previous: Option<EpochSlot>,
+}
+
+/// Per-query store of the two newest checkpoint epochs of each running
+/// loop, keyed by the loop's internal CTE name.
 ///
 /// Writes replace the slot atomically under one lock acquisition, so a
 /// failure *while building* a snapshot (the caller clones tables before
@@ -98,14 +116,25 @@ impl CheckpointStore {
         self.spill.read().clone()
     }
 
-    fn release(&self, env: &Option<Arc<SpillEnv>>, entry: Entry) {
-        if let (Some(env), Some(region)) = (env, entry.region) {
+    fn release_slot(&self, env: &Option<Arc<SpillEnv>>, slot: EpochSlot) {
+        if let (Some(env), Some(region)) = (env, slot.region) {
             env.accountant.release(region);
+        }
+        // Dropping a Spilled slot's handle deletes its file and manifest
+        // entry.
+    }
+
+    fn release(&self, env: &Option<Arc<SpillEnv>>, entry: Entry) {
+        self.release_slot(env, entry.current);
+        if let Some(prev) = entry.previous {
+            self.release_slot(env, prev);
         }
     }
 
-    /// Install `checkpoint` as the latest snapshot for `loop_id`,
-    /// replacing (and freeing) any previous one.
+    /// Install `checkpoint` as the newest epoch for `loop_id`. The old
+    /// current epoch is demoted to the fallback slot; the epoch before
+    /// that is freed. With a spill environment installed the epoch is
+    /// also committed to the on-disk manifest.
     pub fn save(&self, loop_id: &str, checkpoint: LoopCheckpoint) {
         self.taken.fetch_add(1, Ordering::Relaxed);
         self.bytes
@@ -119,46 +148,94 @@ impl CheckpointStore {
                 checkpoint.estimated_bytes(),
             )
         });
-        let entry = Entry {
-            slot: Slot::Resident(checkpoint),
-            region,
-        };
-        if let Some(old) = self.slots.write().insert(key, entry) {
-            self.release(&env, old);
+        if let Some(env) = &env {
+            env.manager
+                .manifest()
+                .commit_epoch(&format!("checkpoint:{key}"), env.manager.durable());
+            env.metrics().note_epoch();
+        }
+        let evicted;
+        {
+            let mut slots = self.slots.write();
+            match slots.get_mut(&key) {
+                Some(entry) => {
+                    let fresh = EpochSlot {
+                        slot: Slot::Resident(checkpoint),
+                        region,
+                        epoch: entry.current.epoch + 1,
+                    };
+                    let demoted = std::mem::replace(&mut entry.current, fresh);
+                    evicted = entry.previous.replace(demoted);
+                }
+                None => {
+                    slots.insert(
+                        key,
+                        Entry {
+                            current: EpochSlot {
+                                slot: Slot::Resident(checkpoint),
+                                region,
+                                epoch: 1,
+                            },
+                            previous: None,
+                        },
+                    );
+                    evicted = None;
+                }
+            }
+        }
+        if let Some(old) = evicted {
+            self.release_slot(&env, old);
         }
     }
 
-    /// The latest snapshot for `loop_id`, if one was saved. O(tables) Arc
-    /// bumps when resident; a spilled snapshot is read back from disk
-    /// first, which can fail — a failed read surfaces as a (typed,
-    /// transient) error rather than `None`, so recovery never mistakes a
-    /// lost disk file for "no checkpoint was taken".
+    /// The newest readable snapshot for `loop_id`, if one was saved.
+    /// O(tables) Arc bumps when resident; a spilled snapshot is read back
+    /// from disk first, with every checksum verified. An unreadable
+    /// newest epoch ([`Error::StorageCorrupt`]) is discarded and the
+    /// previous epoch is promoted and tried instead; only when no epoch
+    /// survives does the typed, transient error propagate — recovery
+    /// never mistakes a lost disk file for "no checkpoint was taken".
     pub fn latest(&self, loop_id: &str) -> Result<Option<LoopCheckpoint>> {
         let key = loop_id.to_ascii_lowercase();
-        {
-            let slots = self.slots.read();
-            match slots.get(&key) {
-                None => return Ok(None),
-                Some(Entry {
-                    slot: Slot::Resident(ckpt),
-                    region,
-                }) => {
-                    if let (Some(env), Some(region)) = (self.spill_env(), region) {
-                        env.accountant.touch(*region);
+        let env = self.spill_env();
+        loop {
+            {
+                let slots = self.slots.read();
+                let Some(entry) = slots.get(&key) else {
+                    return Ok(None);
+                };
+                if let Slot::Resident(ckpt) = &entry.current.slot {
+                    if let (Some(env), Some(region)) = (&env, entry.current.region) {
+                        env.accountant.touch(region);
                     }
                     return Ok(Some(ckpt.clone()));
                 }
-                Some(Entry {
-                    slot: Slot::Spilled(_),
-                    ..
-                }) => {}
+            }
+            match self.rehydrate(&key, &env) {
+                Ok(found) => return Ok(found),
+                Err(err @ Error::StorageCorrupt { .. }) => {
+                    // The newest epoch is unreadable; fall back one epoch
+                    // and retry, or surface the typed error if this was
+                    // the last one.
+                    if !self.discard_current(&key, &env) {
+                        return Err(err);
+                    }
+                }
+                Err(err) => return Err(err),
             }
         }
-        self.rehydrate(&key)
     }
 
-    fn rehydrate(&self, key: &str) -> Result<Option<LoopCheckpoint>> {
-        let Some(env) = self.spill_env() else {
+    /// The epoch number of the newest retained snapshot (tests/EXPLAIN).
+    pub fn current_epoch(&self, loop_id: &str) -> Option<u64> {
+        self.slots
+            .read()
+            .get(&loop_id.to_ascii_lowercase())
+            .map(|e| e.current.epoch)
+    }
+
+    fn rehydrate(&self, key: &str, env: &Option<Arc<SpillEnv>>) -> Result<Option<LoopCheckpoint>> {
+        let Some(env) = env else {
             // Spilled slots only exist when an environment was installed;
             // if it was torn down since, the snapshot is unrecoverable.
             return Ok(None);
@@ -167,23 +244,44 @@ impl CheckpointStore {
         let Some(entry) = slots.get_mut(key) else {
             return Ok(None);
         };
-        match &entry.slot {
+        match &entry.current.slot {
             Slot::Resident(ckpt) => Ok(Some(ckpt.clone())),
             Slot::Spilled(handle) => {
                 let ckpt = env
                     .manager
                     .read_checkpoint(handle, &format!("checkpoint:{key}"))?;
-                if let Some(region) = entry.region {
+                if let Some(region) = entry.current.region {
                     env.accountant.note_rehydrated(region);
                 }
-                entry.slot = Slot::Resident(ckpt.clone());
+                entry.current.slot = Slot::Resident(ckpt.clone());
                 Ok(Some(ckpt))
             }
         }
     }
 
-    /// Serialize a resident snapshot to disk and release its memory.
-    /// Missing or already-spilled slots are a no-op returning `Ok(false)`.
+    /// Discard an unreadable current epoch, promoting the previous epoch
+    /// in its place. Returns `false` when there is no fallback epoch (the
+    /// corrupt one stays put so retries keep failing typed, not silent).
+    fn discard_current(&self, key: &str, env: &Option<Arc<SpillEnv>>) -> bool {
+        let bad;
+        {
+            let mut slots = self.slots.write();
+            let Some(entry) = slots.get_mut(key) else {
+                return false;
+            };
+            let Some(prev) = entry.previous.take() else {
+                return false;
+            };
+            bad = std::mem::replace(&mut entry.current, prev);
+        }
+        // Dropping the bad slot deletes the corrupt file + manifest entry.
+        self.release_slot(env, bad);
+        true
+    }
+
+    /// Serialize every resident snapshot of `loop_id` (current and
+    /// fallback epoch) to disk and release its memory. Missing or
+    /// already-spilled slots are a no-op returning `Ok(false)`.
     pub fn spill_entry(&self, loop_id: &str) -> Result<bool> {
         let key = loop_id.to_ascii_lowercase();
         let Some(env) = self.spill_env() else {
@@ -193,20 +291,24 @@ impl CheckpointStore {
         let Some(entry) = slots.get_mut(&key) else {
             return Ok(false);
         };
-        let Slot::Resident(ckpt) = &entry.slot else {
-            return Ok(false);
-        };
-        let handle = env
-            .manager
-            .write_checkpoint(&format!("checkpoint:{key}"), ckpt)?;
-        if let Some(region) = entry.region {
-            env.accountant.note_spilled(region);
+        let mut spilled = false;
+        for slot in std::iter::once(&mut entry.current).chain(entry.previous.as_mut()) {
+            let Slot::Resident(ckpt) = &slot.slot else {
+                continue;
+            };
+            let handle = env
+                .manager
+                .write_checkpoint(&format!("checkpoint:{key}"), ckpt)?;
+            if let Some(region) = slot.region {
+                env.accountant.note_spilled(region);
+            }
+            slot.slot = Slot::Spilled(handle);
+            spilled = true;
         }
-        entry.slot = Slot::Spilled(handle);
-        Ok(true)
+        Ok(spilled)
     }
 
-    /// Drop the snapshot for `loop_id` (loop finished cleanly).
+    /// Drop the snapshots for `loop_id` (loop finished cleanly).
     pub fn remove(&self, loop_id: &str) {
         let env = self.spill_env();
         if let Some(entry) = self.slots.write().remove(&loop_id.to_ascii_lowercase()) {
@@ -232,12 +334,14 @@ impl CheckpointStore {
         self.slots.read().is_empty()
     }
 
-    /// Number of snapshots currently spilled to disk (observability/tests).
+    /// Number of snapshots currently spilled to disk, counting both
+    /// epochs of each loop (observability/tests).
     pub fn spilled_count(&self) -> usize {
         self.slots
             .read()
             .values()
-            .filter(|e| matches!(e.slot, Slot::Spilled(_)))
+            .flat_map(|e| std::iter::once(&e.current).chain(e.previous.as_ref()))
+            .filter(|s| matches!(s.slot, Slot::Spilled(_)))
             .count()
     }
 
@@ -289,6 +393,7 @@ mod tests {
         assert_eq!(latest.cumulative_updates, 42);
         assert_eq!(latest.tables[0].1.total_rows(), 4);
         assert_eq!(store.len(), 1);
+        assert_eq!(store.current_epoch("pr"), Some(2));
         assert_eq!(store.checkpoints_taken(), 2);
         assert!(store.bytes_snapshotted() > 0);
         store.remove("pr");
@@ -349,21 +454,82 @@ mod tests {
         assert!(env.accountant.resident_bytes() > 0);
     }
 
+    /// Two-epoch retention: replacing a spilled snapshot demotes it to
+    /// the fallback slot (still spilled, still charged zero resident
+    /// bytes); the third save finally frees it.
     #[test]
-    fn replacing_a_spilled_snapshot_releases_its_region() {
+    fn replacing_a_spilled_snapshot_demotes_then_releases_it() {
         let store = CheckpointStore::new();
         store.set_spill(Some(Arc::new(SpillEnv::new(1, None, None))));
         store.save("pr", ckpt(1, 5, 4));
         assert!(store.spill_entry("pr").unwrap());
         store.save("pr", ckpt(2, 8, 6));
-        assert_eq!(store.spilled_count(), 0);
+        // The spilled epoch 1 is retained as the fallback.
+        assert_eq!(store.spilled_count(), 1);
         let env = store.spill_env().unwrap();
         // Only the new resident snapshot is charged.
         assert_eq!(
             env.accountant.resident_bytes(),
             ckpt(2, 8, 6).estimated_bytes()
         );
+        store.save("pr", ckpt(3, 9, 8));
+        // Epoch 1 is gone; epoch 2 (resident) is the fallback.
+        assert_eq!(store.spilled_count(), 0);
+        assert_eq!(store.current_epoch("pr"), Some(3));
         store.clear();
         assert_eq!(env.accountant.resident_bytes(), 0);
+    }
+
+    /// A corrupt newest epoch falls back to the previous epoch; the bad
+    /// epoch's file and region are discarded.
+    #[test]
+    fn corrupt_current_epoch_falls_back_to_previous() {
+        let store = CheckpointStore::new();
+        store.set_spill(Some(Arc::new(SpillEnv::new(1, None, None))));
+        store.save("pr", ckpt(4, 10, 5));
+        store.save("pr", ckpt(8, 20, 7));
+        assert!(store.spill_entry("pr").unwrap());
+        assert_eq!(store.spilled_count(), 2);
+        // Mangle the newest epoch's file on disk.
+        {
+            let slots = store.slots.read();
+            let entry = slots.get("pr").unwrap();
+            let Slot::Spilled(handle) = &entry.current.slot else {
+                panic!("current must be spilled");
+            };
+            std::fs::write(handle.path(), b"garbage").unwrap();
+        }
+        let back = store.latest("pr").unwrap().expect("fallback epoch");
+        assert_eq!(back.iteration, 4, "must fall back to the older epoch");
+        assert_eq!(back.cumulative_updates, 10);
+        assert_eq!(store.current_epoch("pr"), Some(1));
+        // The fallback is the only epoch left.
+        let slots = store.slots.read();
+        assert!(slots.get("pr").unwrap().previous.is_none());
+    }
+
+    /// With every epoch corrupt, the typed error propagates — recovery
+    /// sees `StorageCorrupt`, never a silent "no checkpoint".
+    #[test]
+    fn all_epochs_corrupt_is_a_typed_error() {
+        let store = CheckpointStore::new();
+        store.set_spill(Some(Arc::new(SpillEnv::new(1, None, None))));
+        store.save("pr", ckpt(1, 1, 3));
+        store.save("pr", ckpt(2, 2, 4));
+        assert!(store.spill_entry("pr").unwrap());
+        {
+            let slots = store.slots.read();
+            let entry = slots.get("pr").unwrap();
+            for slot in std::iter::once(&entry.current).chain(entry.previous.as_ref()) {
+                let Slot::Spilled(handle) = &slot.slot else {
+                    panic!("both epochs must be spilled");
+                };
+                std::fs::write(handle.path(), b"garbage").unwrap();
+            }
+        }
+        assert!(matches!(
+            store.latest("pr"),
+            Err(Error::StorageCorrupt { .. })
+        ));
     }
 }

@@ -12,6 +12,7 @@
 
 pub mod catalog;
 pub mod checkpoint;
+pub mod manifest;
 pub mod partition;
 pub mod registry;
 pub mod spill;
@@ -19,7 +20,8 @@ pub mod table;
 
 pub use catalog::Catalog;
 pub use checkpoint::{CheckpointStore, LoopCheckpoint};
+pub use manifest::{gc_orphans, Manifest, ManifestSnapshot};
 pub use partition::{hash_partition, partition_of, Partitioned};
 pub use registry::TempRegistry;
-pub use spill::{SpillEnv, SpillHandle, SpillManager};
+pub use spill::{xxh64, SpillEnv, SpillHandle, SpillManager};
 pub use table::Table;

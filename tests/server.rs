@@ -344,6 +344,60 @@ fn graceful_drain_sheds_new_work_and_finishes_in_flight() {
 }
 
 #[test]
+fn silent_connections_are_reaped_by_the_keepalive() {
+    // Satellite: a half-open peer (client alive at the TCP level but
+    // silent forever) is reaped once it idles past session_keepalive_ms,
+    // while clients that keep issuing statements are untouched — the
+    // idle budget resets on every frame.
+    let server = server_with(
+        EngineConfig::default()
+            .with_max_concurrent_queries(2)
+            .with_session_keepalive_ms(400),
+    );
+    let db = Arc::clone(server.database());
+    let (bytes, regions) = (db.resident_tracked_bytes(), db.tracked_region_count());
+    let addr = server.local_addr();
+
+    // An active client paced just under the keepalive survives several
+    // rounds: the deadline is per-frame, not per-connection-lifetime.
+    let mut active = Client::connect(addr).unwrap();
+    for _ in 0..4 {
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(
+            active.query("SELECT COUNT(*) FROM t").unwrap().scalar_i64(),
+            Some(3),
+            "active client was reaped despite staying under the keepalive"
+        );
+    }
+    active.close().unwrap();
+
+    // A silent client is reaped: after idling past the keepalive the
+    // server has closed the socket, so the next statement fails at the
+    // wire (write error or torn reply), never with a served response.
+    let mut idle = Client::connect(addr).unwrap();
+    assert_eq!(
+        idle.query("SELECT COUNT(*) FROM t").unwrap().scalar_i64(),
+        Some(3)
+    );
+    std::thread::sleep(Duration::from_millis(1200));
+    assert!(
+        idle.query("SELECT COUNT(*) FROM t").is_err(),
+        "silent connection was not reaped after the keepalive expired"
+    );
+
+    // The server itself is healthy: fresh clients are served normally.
+    let mut fresh = Client::connect(addr).unwrap();
+    assert_eq!(
+        fresh.query("SELECT COUNT(*) FROM t").unwrap().scalar_i64(),
+        Some(3)
+    );
+    fresh.close().unwrap();
+
+    server.shutdown(Duration::from_secs(5));
+    assert_no_leaks(&db, bytes, regions);
+}
+
+#[test]
 fn post_statement_leak_check_across_every_result_shape() {
     // Satellite: after EVERY statement — success, typed failure, shed —
     // temp results, accountant regions and resident bytes are back to

@@ -223,7 +223,8 @@ fn spill_fault_matrix_across_checkpoint_intervals() {
                 Err(
                     e @ (Error::FaultInjected { .. }
                     | Error::RecoveryExhausted { .. }
-                    | Error::SpillUnavailable { .. }),
+                    | Error::SpillUnavailable { .. }
+                    | Error::StorageCorrupt { .. }),
                 ) => {
                     // Typed failure is acceptable; silent corruption is not.
                     drop(e);
@@ -279,7 +280,8 @@ fn spill_fault_storm_with_recovery_policy_converges_or_fails_typed() {
             Err(
                 Error::FaultInjected { .. }
                 | Error::RecoveryExhausted { .. }
-                | Error::SpillUnavailable { .. },
+                | Error::SpillUnavailable { .. }
+                | Error::StorageCorrupt { .. },
             ) => {}
             Err(other) => panic!("seed {seed}: unexpected failure kind: {other:?}"),
         }
@@ -321,24 +323,46 @@ fn vanished_spill_dir_is_typed_and_transient() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// Engine-level config validation: a bad spill directory is rejected at
-/// `Database::new`, before any query can hit it.
+/// Engine-level config validation: an unusable spill directory is rejected
+/// at `Database::new`, before any query can hit it — while a merely
+/// *missing* (but creatable) one is created on the spot.
 #[test]
 fn bad_spill_dir_rejected_at_construction() {
+    // Uncreatable: the path's parent is a regular file.
+    let file = std::env::temp_dir().join(format!("spinner_blocker_{}", std::process::id()));
+    std::fs::write(&file, b"x").unwrap();
     match Database::new(
         EngineConfig::default()
             .with_spill_threshold_bytes(1024)
-            .with_spill_dir("/nonexistent/spinner/spill"),
+            .with_spill_dir(file.join("sub").to_str().unwrap()),
     ) {
         Err(Error::InvalidConfig(_)) => {}
         Err(other) => panic!("expected InvalidConfig, got {other:?}"),
-        Ok(_) => panic!("bad spill_dir must be rejected"),
+        Ok(_) => panic!("uncreatable spill_dir must be rejected"),
     }
+    std::fs::remove_file(&file).unwrap();
     match Database::new(EngineConfig::default().with_spill_threshold_bytes(0)) {
         Err(Error::InvalidConfig(_)) => {}
         Err(other) => panic!("expected InvalidConfig, got {other:?}"),
         Ok(_) => panic!("zero threshold must be rejected"),
     }
+    // Missing-but-creatable: validation creates it and the engine works.
+    let fresh = std::env::temp_dir().join(format!("spinner_fresh_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fresh);
+    let db = Database::new(
+        EngineConfig::default()
+            .with_spill_threshold_bytes(1)
+            .with_spill_dir(fresh.to_str().unwrap()),
+    )
+    .expect("creatable spill_dir must validate");
+    db.execute("CREATE TABLE probe (x INT)").unwrap();
+    db.execute("INSERT INTO probe VALUES (1), (2)").unwrap();
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM probe").unwrap().rows()[0][0],
+        Value::Int(2)
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&fresh);
 }
 
 /// `EXPLAIN ANALYZE` carries the statement's spill counters in the text
