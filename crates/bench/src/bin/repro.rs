@@ -14,7 +14,10 @@
 //! (multi-session overload/shedding run against a live TCP server,
 //! writes `CONCURRENCY_6.json`), `durability` (corruption-detection
 //! sweep plus fsync overhead on the fig8 PR workload, writes
-//! `DURABILITY_8.json`).
+//! `DURABILITY_8.json`), `crash` (SIGKILL-at-swept-positions restart
+//! sweep against real `spinner-serve` subprocesses — every position
+//! must resume row-identically within one checkpoint interval; writes
+//! `CRASH_9.json`; not part of `all`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +44,7 @@ fn main() {
         "bench" => bench(),
         "concurrency" => concurrency(),
         "durability" => durability(),
+        "crash" => crash(),
         "all" => table1()
             .and_then(|()| fig8())
             .and_then(|()| fig9())
@@ -55,7 +59,7 @@ fn main() {
         other => {
             eprintln!(
                 "repro: unknown artifact '{other}'; use table1|fig8|fig9|fig10|\
-                 fig11|convergence|recovery|spill|bench|concurrency|durability|all"
+                 fig11|convergence|recovery|spill|bench|concurrency|durability|crash|all"
             );
             std::process::exit(1);
         }
@@ -1109,6 +1113,316 @@ fn durability() -> Result<()> {
         return Err(spinner_engine::Error::execution(format!(
             "fsync overhead {overhead_pct:.1}% exceeds the {MAX_OVERHEAD_PCT:.0}% gate"
         )));
+    }
+    Ok(())
+}
+
+/// Crash-restart sweep against real `spinner-serve` subprocesses: for
+/// each swept position a deterministic `--crash-at SITE:N` abort
+/// (SIGKILL semantics — no unwinding, no destructors) kills the server
+/// mid-statement, a second server over the same spill directory adopts
+/// the dead engine's query journal and resumes the statement from its
+/// newest durable checkpoint epoch, and a reconnecting client ATTACHes
+/// by the stable handle it received before the crash. Hard gates: every
+/// position's resumed rows are identical to an uninterrupted run, and
+/// no position replays more than one checkpoint interval of iterations.
+/// Writes `CRASH_9.json`; a violated gate is a nonzero exit. Not part
+/// of `all` (subprocess-heavy).
+fn crash() -> Result<()> {
+    use spinner_server::ReconnectPolicy;
+    use std::io::{BufRead, BufReader, Read as _, Seek, SeekFrom, Write as _};
+    use std::path::{Path, PathBuf};
+    use std::process::{Child, Command, Stdio};
+
+    const CHECKPOINT_INTERVAL: u64 = 2;
+    const ITERS: u64 = 10;
+    header("Crash restart — SIGKILL sweep, journal adoption, row-identical resumption");
+
+    let serve = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("spinner-serve")))
+        .filter(|p| p.exists())
+        .ok_or_else(|| {
+            spinner_engine::Error::execution(
+                "spinner-serve binary not found next to repro; build the workspace first",
+            )
+        })?;
+    let workload = format!(
+        "WITH ITERATIVE t (k, v) AS (
+             SELECT src, 0 FROM edges
+         ITERATE
+             SELECT k, v + 1 FROM t
+         UNTIL {ITERS} ITERATIONS)
+         SELECT * FROM t"
+    );
+
+    struct Resumed {
+        query_id: u64,
+        adopted_epoch: u64,
+        resumed_iteration: u64,
+        replayed_iterations: u64,
+        rows: u64,
+    }
+
+    struct Serve {
+        child: Child,
+        addr: String,
+        resumed: Vec<Resumed>,
+    }
+
+    impl Drop for Serve {
+        fn drop(&mut self) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+
+    fn err(what: &str, e: impl std::fmt::Display) -> spinner_engine::Error {
+        spinner_engine::Error::execution(format!("{what}: {e}"))
+    }
+
+    fn field(line: &str, key: &str) -> u64 {
+        line.split([' ', ':'])
+            .filter_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    fn spawn(serve: &Path, dir: &Path, extra: &[&str]) -> Result<Serve> {
+        let mut child = Command::new(serve)
+            .arg("127.0.0.1:0")
+            .args(["--spill-dir", dir.to_str().unwrap()])
+            .arg("--resumable")
+            .args(["--checkpoint-interval", "2"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| err("spawning spinner-serve", e))?;
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut resumed = Vec::new();
+        let addr = loop {
+            let line = match lines.next() {
+                Some(Ok(line)) => line,
+                _ => return Err(err("spinner-serve", "exited before the listening line")),
+            };
+            if let Some(rest) = line.strip_prefix("resumed query ") {
+                let query_id = rest
+                    .split(':')
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0);
+                resumed.push(Resumed {
+                    query_id,
+                    adopted_epoch: field(&line, "adopted_epoch"),
+                    resumed_iteration: field(&line, "resumed_iteration"),
+                    replayed_iterations: field(&line, "replayed_iterations"),
+                    rows: field(&line, "rows"),
+                });
+            } else if let Some(rest) = line.strip_prefix("spinner-server listening on ") {
+                break rest.split_whitespace().next().unwrap().to_string();
+            }
+        };
+        std::thread::spawn(move || for _ in lines {});
+        Ok(Serve {
+            child,
+            addr,
+            resumed,
+        })
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spinner_repro_crash_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn connect(addr: &str) -> Result<Client> {
+        Client::connect_with_retry(
+            addr,
+            ReconnectPolicy {
+                max_attempts: 20,
+                base_delay_ms: 25,
+                max_delay_ms: 500,
+            },
+        )
+    }
+
+    fn load_edges(client: &mut Client) -> Result<()> {
+        for sql in [
+            "CREATE TABLE edges (src INT, dst INT, weight FLOAT)",
+            "INSERT INTO edges VALUES (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (1, 3, 5.0), \
+             (4, 1, 1.0), (5, 2, 2.0), (6, 5, 0.5)",
+        ] {
+            let reply = client.query(sql).map_err(|e| err("loading edges", e))?;
+            if let Reply::Error { code, message } = reply {
+                return Err(err("loading edges", format!("[{code}] {message}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn sorted_rows(reply: &Reply) -> Option<Vec<Vec<Option<String>>>> {
+        let mut rows = reply.rows()?.to_vec();
+        rows.sort();
+        Some(rows)
+    }
+
+    // Newest by the monotone sequence number embedded in
+    // `spinner_spill_{pid}_{tag}_{n}_{label}.spn` — mtimes of
+    // back-to-back checkpoints can collide.
+    fn spill_seq(name: &str) -> Option<u64> {
+        let rest = name.strip_prefix("spinner_spill_")?;
+        rest.split('_').nth(2)?.parse().ok()
+    }
+
+    fn corrupt_newest_checkpoint(dir: &Path) -> Result<()> {
+        let newest = std::fs::read_dir(dir)
+            .map_err(|e| err("scanning spill dir", e))?
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.contains("checkpoint") && name.ends_with(".spn")
+            })
+            .max_by_key(|e| spill_seq(&e.file_name().to_string_lossy()).unwrap_or(0))
+            .ok_or_else(|| err("corrupting checkpoint", "no checkpoint file found"))?;
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(newest.path())
+            .map_err(|e| err("opening checkpoint", e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| err("stat checkpoint", e))?
+            .len();
+        let off = len / 2;
+        let mut byte = [0u8; 1];
+        file.seek(SeekFrom::Start(off))
+            .map_err(|e| err("seek", e))?;
+        file.read_exact(&mut byte).map_err(|e| err("read", e))?;
+        byte[0] ^= 0x40;
+        file.seek(SeekFrom::Start(off))
+            .map_err(|e| err("seek", e))?;
+        file.write_all(&byte).map_err(|e| err("write", e))?;
+        file.sync_all().map_err(|e| err("fsync", e))?;
+        Ok(())
+    }
+
+    // Uninterrupted baseline.
+    let expected = {
+        let dir = scratch("baseline");
+        let server = spawn(&serve, &dir, &[])?;
+        let mut client = connect(&server.addr)?;
+        load_edges(&mut client)?;
+        let reply = client
+            .query(&workload)
+            .map_err(|e| err("baseline query", e))?;
+        sorted_rows(&reply).ok_or_else(|| err("baseline", format!("unexpected reply {reply:?}")))?
+    };
+
+    let positions: [(&str, &str, bool); 5] = [
+        ("mid_iteration", "loop_iteration:7", false),
+        ("mid_checkpoint_write", "checkpoint:3", false),
+        ("mid_spill_write", "spill_write:4", false),
+        ("mid_manifest_commit", "manifest_commit:3", false),
+        ("corrupt_newest_epoch", "loop_iteration:7", true),
+    ];
+    let mut records = Vec::new();
+    let mut all_match = true;
+    let mut all_within_interval = true;
+    for (name, crash_at, corrupt) in positions {
+        let dir = scratch(name);
+        let server = spawn(&serve, &dir, &["--crash-at", crash_at])?;
+        let mut client = connect(&server.addr)?;
+        load_edges(&mut client)?;
+        if client.query(&workload).is_ok() {
+            return Err(err(name, "statement survived the injected crash"));
+        }
+        let handle = client
+            .last_handle()
+            .ok_or_else(|| err(name, "no stable handle before the crash"))?;
+        {
+            let mut server = server;
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while server
+                .child
+                .try_wait()
+                .map_err(|e| err("try_wait", e))?
+                .is_none()
+            {
+                if Instant::now() > deadline {
+                    return Err(err(name, "server did not crash within 60s"));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        if corrupt {
+            corrupt_newest_checkpoint(&dir)?;
+        }
+        let restarted = spawn(&serve, &dir, &[])?;
+        if restarted.resumed.len() != 1 {
+            return Err(err(
+                name,
+                format!(
+                    "expected one resumed query, got {}",
+                    restarted.resumed.len()
+                ),
+            ));
+        }
+        let summary = &restarted.resumed[0];
+        if summary.query_id != handle {
+            return Err(err(name, "handle changed across restart"));
+        }
+        let mut client = connect(&restarted.addr)?;
+        let reply = client.attach(handle).map_err(|e| err(name, e))?;
+        let rows =
+            sorted_rows(&reply).ok_or_else(|| err(name, format!("attach returned {reply:?}")))?;
+        let rows_match = rows == expected;
+        let within = summary.replayed_iterations <= CHECKPOINT_INTERVAL;
+        all_match &= rows_match;
+        all_within_interval &= within;
+        println!(
+            "{name:>22} ({crash_at:>18}): adopted_epoch={} resumed_iteration={} \
+             replayed_iterations={} rows={} rows_match={rows_match} within_interval={within}",
+            summary.adopted_epoch,
+            summary.resumed_iteration,
+            summary.replayed_iterations,
+            summary.rows,
+        );
+        records.push(format!(
+            "    {{\"position\": \"{name}\", \"crash_at\": \"{crash_at}\", \
+             \"corrupt_newest\": {corrupt}, \"adopted_epoch\": {}, \
+             \"resumed_iteration\": {}, \"replayed_iterations\": {}, \"rows\": {}, \
+             \"rows_match\": {rows_match}, \"within_interval\": {within}}}",
+            summary.adopted_epoch,
+            summary.resumed_iteration,
+            summary.replayed_iterations,
+            summary.rows,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"artifact\": \"crash\",\n  \"iterations\": {ITERS},\n  \
+         \"checkpoint_interval\": {CHECKPOINT_INTERVAL},\n  \"positions\": [\n{}\n  ],\n  \
+         \"gates\": {{\"all_rows_match\": {all_match}, \
+         \"replay_within_interval\": {all_within_interval}}}\n}}\n",
+        records.join(",\n"),
+    );
+    std::fs::write("CRASH_9.json", &json).map_err(|e| err("writing CRASH_9.json", e))?;
+    println!("\nwrote CRASH_9.json");
+    if !all_match {
+        return Err(spinner_engine::Error::execution(
+            "a crash position resumed with rows differing from the uninterrupted run",
+        ));
+    }
+    if !all_within_interval {
+        return Err(spinner_engine::Error::execution(
+            "a crash position replayed more than one checkpoint interval",
+        ));
     }
     Ok(())
 }

@@ -180,6 +180,15 @@ pub struct EngineConfig {
     /// slot forever waiting for a write failure. `0` disables reaping
     /// (reads block indefinitely, the pre-PR-8 behaviour).
     pub session_keepalive_ms: u64,
+    /// Crash-consistent query resumption. When on, every iterative
+    /// statement is recorded in an on-disk query journal, its checkpoint
+    /// epochs are persisted as sealed files, and a fresh engine started
+    /// over the same spill directory *adopts* a dead process's in-flight
+    /// loops — re-planning the journaled SQL and resuming from the newest
+    /// readable checkpoint epoch — instead of garbage-collecting them.
+    /// Requires a spill directory; off (the default) preserves the PR-8
+    /// behaviour where durability ends at process death.
+    pub resumable_queries: bool,
 }
 
 impl Default for EngineConfig {
@@ -214,6 +223,7 @@ impl Default for EngineConfig {
             admission_batch_timeout_ms: None,
             pool_stall_timeout_ms: 60_000,
             session_keepalive_ms: 300_000,
+            resumable_queries: false,
         }
     }
 }
@@ -411,6 +421,16 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter for crash-consistent query resumption.
+    /// Validation requires a spill directory when this is on — the
+    /// journal and adoptable checkpoint files need a stable home shared
+    /// across process generations (the OS temp dir would work but makes
+    /// the restart contract accidental).
+    pub fn with_resumable_queries(mut self, on: bool) -> Self {
+        self.resumable_queries = on;
+        self
+    }
+
     /// Builder-style setter for the persistent worker pool. Off, parallel
     /// operators fall back to spawning a scoped thread per partition.
     pub fn with_worker_pool(mut self, on: bool) -> Self {
@@ -509,6 +529,14 @@ impl EngineConfig {
         }
         if let Some(dir) = &self.spill_dir {
             validate_spill_dir(dir)?;
+        }
+        if self.resumable_queries && self.spill_dir.is_none() {
+            return Err(Error::InvalidConfig(
+                "resumable_queries requires a spill_dir: the query journal and \
+                 adoptable checkpoints must live in a directory shared across \
+                 process restarts"
+                    .into(),
+            ));
         }
         if self.max_concurrent_queries == Some(0) {
             return Err(Error::InvalidConfig(
@@ -616,6 +644,12 @@ pub enum FaultSite {
     /// file is discarded and the write surfaces as the transient
     /// `SpillUnavailable`, leaving the previous artifact intact.
     FsyncFail,
+    /// The epoch-commit barrier between writing a durable checkpoint file
+    /// and committing the manifest epoch that names it. The crash harness
+    /// aborts here to exercise the file-written-epoch-uncommitted window;
+    /// an injected error skips the commit (the save degrades to in-memory
+    /// only) without failing the loop.
+    ManifestCommit,
 }
 
 /// The recovery-related knobs of an [`EngineConfig`], bundled so callers
@@ -682,6 +716,12 @@ pub enum FaultKind {
     DelayMs(u64),
     /// Panic inside the faulted step (exercises panic isolation).
     Panic,
+    /// Abort the whole process at the faulted step, skipping every
+    /// destructor — the in-process equivalent of `SIGKILL`. Drop-based
+    /// cleanup (spill handles, manifests, journals) does not run, leaving
+    /// the on-disk state a real crash would, which is exactly what the
+    /// restart-recovery harness needs to stage.
+    Abort,
 }
 
 /// When a fault fires. Deterministic by construction: either an exact
@@ -727,6 +767,17 @@ impl FaultConfig {
         FaultConfig {
             site,
             kind: FaultKind::Panic,
+            trigger: FaultTrigger::Nth(n),
+        }
+    }
+
+    /// Abort the process (SIGKILL-equivalent, no destructors) on the
+    /// n-th (1-based) hit of `site`. Only meaningful from a subprocess
+    /// harness that restarts and inspects what survived.
+    pub fn abort_nth(site: FaultSite, n: u64) -> Self {
+        FaultConfig {
+            site,
+            kind: FaultKind::Abort,
             trigger: FaultTrigger::Nth(n),
         }
     }
@@ -887,6 +938,26 @@ mod tests {
             .with_admission_timeout_ms(100)
             .with_admission_batch_timeout_ms(1_000);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn resumable_queries_requires_a_spill_dir() {
+        let c = EngineConfig::default().with_resumable_queries(true);
+        let c = EngineConfig {
+            spill_dir: None,
+            ..c
+        };
+        match c.validate() {
+            Err(crate::Error::InvalidConfig(m)) => {
+                assert!(m.contains("resumable_queries"), "{m}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let c = EngineConfig::default()
+            .with_resumable_queries(true)
+            .with_spill_dir(std::env::temp_dir().to_str().unwrap());
+        assert!(c.validate().is_ok());
+        assert!(!EngineConfig::default().resumable_queries);
     }
 
     #[test]

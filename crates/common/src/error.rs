@@ -155,6 +155,22 @@ pub enum Error {
         /// What the verifier found, stringified (offset, expected/actual).
         message: String,
     },
+    /// A client tried to attach to a query handle the server does not
+    /// know: never issued, already fetched, or belonging to a statement
+    /// that was not adopted across the restart.
+    UnknownHandle {
+        /// The handle the client presented.
+        handle: u64,
+    },
+    /// A client's bounded reconnect budget ran out without ever reaching
+    /// the server — the typed end state of retry-with-backoff, so callers
+    /// see one structured error instead of the last raw I/O failure.
+    ConnectExhausted {
+        /// Connection attempts made before giving up.
+        attempts: u64,
+        /// The final underlying failure, stringified.
+        message: String,
+    },
 }
 
 /// Coarse failure classification used by the recovery subsystem.
@@ -333,6 +349,15 @@ impl fmt::Display for Error {
                 "on-disk state for '{region}' failed verification: {message}; \
                  recovery will fall back or recompute"
             ),
+            Error::UnknownHandle { handle } => write!(
+                f,
+                "unknown query handle {handle}: never issued, already fetched, \
+                 or not adopted across the restart"
+            ),
+            Error::ConnectExhausted { attempts, message } => write!(
+                f,
+                "could not connect after {attempts} attempt(s): {message}"
+            ),
         }
     }
 }
@@ -457,6 +482,22 @@ mod tests {
         };
         assert!(e.to_string().contains("3 queued task(s)"));
         assert!(e.is_retryable(), "a stalled scope is worth one retry");
+    }
+
+    #[test]
+    fn restart_errors_are_fatal_and_carry_context() {
+        let u = Error::UnknownHandle { handle: 42 };
+        assert!(u.to_string().contains("handle 42"));
+        assert_eq!(u.class(), ErrorClass::Fatal);
+        let c = Error::ConnectExhausted {
+            attempts: 5,
+            message: "connection refused".into(),
+        };
+        assert!(c.to_string().contains("5 attempt(s)"));
+        assert!(c.to_string().contains("connection refused"));
+        // The client's retry loop already ran; surfacing Transient here
+        // would invite a second, unbounded retry loop around it.
+        assert_eq!(c.class(), ErrorClass::Fatal);
     }
 
     #[test]

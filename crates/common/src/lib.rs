@@ -30,7 +30,7 @@ pub use memory::{
 };
 pub use profile::{
     AdmissionProfile, DurabilityProfile, IterationProfile, PoolProfile, ProfileNode, QueryProfile,
-    RecoveryProfile, SpanKind, SpillProfile, Tracer,
+    RecoveryProfile, RestartProfile, SpanKind, SpillProfile, Tracer,
 };
 pub use row::{batch_of, row_of, Batch, Row};
 pub use schema::{Field, Schema, SchemaRef};

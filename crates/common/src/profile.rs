@@ -252,6 +252,31 @@ impl DurabilityProfile {
     }
 }
 
+/// Restart-recovery provenance of one statement — present only when the
+/// statement resumed an adopted loop instead of starting from iteration
+/// 0. All-zero (and omitted from JSON) for ordinary statements, so their
+/// profiles stay byte-identical to the previous format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RestartProfile {
+    /// The committed checkpoint epoch the loop was seeded from.
+    pub adopted_epoch: u64,
+    /// The iteration the loop resumed at (the adopted checkpoint's
+    /// iteration), rather than 0.
+    pub resumed_iteration: u64,
+    /// Iterations of work the crash cost: the dead process's newest
+    /// journaled iteration minus the iteration actually resumed from.
+    /// Bounded by one checkpoint interval unless the newest epoch was
+    /// corrupt and adoption fell back to the previous one.
+    pub replayed_iterations: u64,
+}
+
+impl RestartProfile {
+    /// Whether the statement resumed adopted state.
+    pub fn is_empty(&self) -> bool {
+        self.adopted_epoch == 0 && self.resumed_iteration == 0 && self.replayed_iterations == 0
+    }
+}
+
 /// One node of the profile tree: a step, operator or loop with its
 /// actual (not estimated) runtime counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -535,6 +560,9 @@ pub struct QueryProfile {
     /// Statement-level durability activity; all-zero when the statement
     /// never wrote or verified on-disk state.
     pub durability: DurabilityProfile,
+    /// Restart-recovery provenance; all-zero unless this statement
+    /// resumed a loop adopted from a dead process's journal.
+    pub restart: RestartProfile,
 }
 
 impl QueryProfile {
@@ -620,6 +648,25 @@ impl QueryProfile {
                 ]),
             ));
         }
+        if !self.restart.is_empty() {
+            fields.push((
+                "restart".into(),
+                Json::Obj(vec![
+                    (
+                        "adopted_epoch".into(),
+                        Json::Num(self.restart.adopted_epoch),
+                    ),
+                    (
+                        "resumed_iteration".into(),
+                        Json::Num(self.restart.resumed_iteration),
+                    ),
+                    (
+                        "replayed_iterations".into(),
+                        Json::Num(self.restart.replayed_iterations),
+                    ),
+                ]),
+            ));
+        }
         let v = Json::Obj(fields);
         let mut out = String::new();
         v.write(&mut out);
@@ -680,6 +727,19 @@ impl QueryProfile {
                 }
             }
         };
+        let restart = match Json::get_opt(obj, "restart") {
+            None => RestartProfile::default(),
+            Some(v) => {
+                let o = v.as_obj("restart")?;
+                RestartProfile {
+                    adopted_epoch: Json::get(o, "adopted_epoch")?.as_num("adopted_epoch")?,
+                    resumed_iteration: Json::get(o, "resumed_iteration")?
+                        .as_num("resumed_iteration")?,
+                    replayed_iterations: Json::get(o, "replayed_iterations")?
+                        .as_num("replayed_iterations")?,
+                }
+            }
+        };
         Ok(QueryProfile {
             total_elapsed_us: Json::get(obj, "total_elapsed_us")?.as_num("total_elapsed_us")?,
             roots: Json::get(obj, "roots")?
@@ -691,6 +751,7 @@ impl QueryProfile {
             pool,
             admission,
             durability,
+            restart,
         })
     }
 
@@ -733,6 +794,14 @@ impl QueryProfile {
                 out,
                 "durability: epochs={} verified={} corrupt_detected={} refsync={}",
                 d.epochs, d.verified, d.corrupt_detected, d.refsync
+            );
+        }
+        if !self.restart.is_empty() {
+            let r = &self.restart;
+            let _ = writeln!(
+                out,
+                "restart: adopted_epoch={} resumed_iteration={} replayed_iterations={}",
+                r.adopted_epoch, r.resumed_iteration, r.replayed_iterations
             );
         }
         let _ = writeln!(
@@ -1136,6 +1205,7 @@ impl Tracer {
             pool: PoolProfile::default(),
             admission: AdmissionProfile::default(),
             durability: DurabilityProfile::default(),
+            restart: RestartProfile::default(),
         }
     }
 }
@@ -1600,6 +1670,27 @@ mod tests {
         let text = p.render();
         assert!(
             text.contains("admission: waited_ms=12, queue_depth=3, shed=1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn restart_json_round_trips_and_is_absent_when_empty() {
+        let mut p = sample_profile();
+        let clean_json = p.to_json();
+        assert!(!clean_json.contains("\"restart\""), "{clean_json}");
+        assert_eq!(QueryProfile::from_json(&clean_json).unwrap(), p);
+        p.restart = RestartProfile {
+            adopted_epoch: 4,
+            resumed_iteration: 8,
+            replayed_iterations: 2,
+        };
+        let json = p.to_json();
+        assert!(json.contains("\"restart\""), "{json}");
+        assert_eq!(QueryProfile::from_json(&json).unwrap(), p);
+        let text = p.render();
+        assert!(
+            text.contains("restart: adopted_epoch=4 resumed_iteration=8 replayed_iterations=2"),
             "{text}"
         );
     }

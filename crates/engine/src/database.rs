@@ -1,20 +1,26 @@
 //! The `Database` façade: parse → plan → optimize → execute.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use spinner_common::memory::SpillFaultHook;
 use spinner_common::{
     AdmissionController, AdmissionPermit, AdmissionProfile, Batch, DurabilityProfile, EngineConfig,
-    Error, FaultSite, MemoryGate, PoolProfile, QueryClass, QueryGuard, QueryProfile, Result, Row,
-    Schema, SchemaRef, SpillProfile, Tracer, Value,
+    Error, FaultSite, MemoryGate, PoolProfile, QueryClass, QueryGuard, QueryProfile,
+    RestartProfile, Result, Row, Schema, SchemaRef, SpillProfile, Tracer, Value,
 };
 use spinner_exec::stats::StatsSnapshot;
 use spinner_exec::{ExecStats, Executor, FaultInjector, JoinStateCache, WorkerPool};
 use spinner_parser::{parse_sql, parse_statements, Statement};
 use spinner_plan::builder::SchemaProvider;
 use spinner_plan::{plan_statement, LogicalPlan, PlanExpr, PlannedStatement, QueryPlan};
-use spinner_storage::{Catalog, CheckpointStore, SpillEnv, TempRegistry};
+use spinner_storage::{
+    Catalog, CheckpointStore, InputRecord, JournalEntry, QueryJournal, ResumeSeed, SpillEnv,
+    SpillHandle, TempRegistry,
+};
+
+use crate::restart::{self, AdoptedQuery, AdoptionReport, ResumedSummary};
 
 /// An in-process DBSpinner database instance.
 ///
@@ -47,6 +53,40 @@ pub struct Database {
     /// an [`AdmissionPermit`] before touching the executor; `None`
     /// (the default) admits everything immediately.
     admission: Option<Arc<AdmissionController>>,
+    /// Query journal for crash-consistent resumption, present when the
+    /// config enables `resumable_queries`. Iterative statements register
+    /// here before their first checkpoint; a clean shutdown deletes the
+    /// file, a hard kill leaves it for the next process's adoption pass.
+    journal: Option<Arc<QueryJournal>>,
+    /// Adoption report from the startup scan: queries rehydrated from a
+    /// dead engine's journal, waiting for [`Database::resume_adopted`],
+    /// plus what was skipped and why.
+    adoption: Mutex<AdoptionReport>,
+    /// Results of resumed queries, keyed by their stable (pre-crash)
+    /// handle, held for a reconnecting client's ATTACH. One-shot: the
+    /// attach takes the result out.
+    resumed: Mutex<HashMap<u64, super::QueryResult>>,
+    /// Next stable query handle. Starts past the highest adopted handle
+    /// so handles stay unique across the restart.
+    next_query_id: AtomicU64,
+    /// Handle issued to the statement most recently journaled on each
+    /// thread — the server pops it (connections are single-threaded) to
+    /// send the client its TAG_HANDLE frame.
+    last_handles: Mutex<HashMap<std::thread::ThreadId, u64>>,
+}
+
+/// Journaling/resume context of one statement, threaded from the SQL
+/// entry points down to plan execution. `Default` = a plain statement:
+/// no journal entry, no resume seed.
+#[derive(Default)]
+struct ExecCtx<'a> {
+    /// Raw SQL to journal when the plan is iterative and the engine is
+    /// resumable. `None` for inner plans (INSERT sources, UPDATE FROM)
+    /// and script statements, which are never adopted.
+    sql: Option<&'a str>,
+    /// Adopted resume: (stable query id, loop key, seed). The seed is
+    /// primed into the statement's checkpoint store for the loop driver.
+    resume: Option<(u64, String, ResumeSeed)>,
 }
 
 /// Per-statement execution state: the temp-result registry and loop-
@@ -130,6 +170,11 @@ impl Database {
             spill: None,
             pool: None,
             admission: None,
+            journal: None,
+            adoption: Mutex::new(AdoptionReport::default()),
+            resumed: Mutex::new(HashMap::new()),
+            next_query_id: AtomicU64::new(1),
+            last_handles: Mutex::new(HashMap::new()),
         };
         db.install_config(config);
         Ok(db)
@@ -137,22 +182,60 @@ impl Database {
 
     /// Install a validated config: rebuild the fault injector and the
     /// spill environment handed to each statement's execution state.
+    /// With `resumable_queries` on, this is also where restart recovery
+    /// happens: dead engines' journals are scanned and rehydrated into
+    /// memory *before* orphan GC deletes their files.
     fn install_config(&mut self, config: EngineConfig) {
         self.faults = Arc::new(FaultInjector::from_config(&config));
-        self.spill = config.spill_threshold_bytes.map(|threshold| {
+        // Resumable queries need the durable spill machinery even when no
+        // memory threshold is set: an effectively-infinite threshold gives
+        // checkpoints a sealed on-disk home without ever spilling for
+        // memory pressure.
+        let threshold = config
+            .spill_threshold_bytes
+            .or(config.resumable_queries.then_some(u64::MAX));
+        self.journal = None;
+        self.spill = threshold.map(|threshold| {
             let hook: Arc<dyn SpillFaultHook> = Arc::new(EngineSpillHook {
                 faults: Arc::clone(&self.faults),
                 stats: Arc::clone(&self.stats),
             });
             let env = Arc::new(
                 SpillEnv::new(threshold, config.spill_dir.as_deref(), Some(hook))
-                    .with_durable(config.durable_spill),
+                    .with_durable(config.durable_spill || config.resumable_queries),
             );
-            // Startup recovery: reclaim spill/manifest files left in this
-            // directory by crashed processes before writing our own.
-            env.manager.recover_orphans();
             env
         });
+        if config.resumable_queries {
+            if let (Some(env), Some(dir)) = (&self.spill, config.spill_dir.as_deref()) {
+                // Adopt-by-read: rehydrate dead engines' journaled queries
+                // into memory first, so the GC below can stay simple — by
+                // the time it deletes a dead pid's files, everything worth
+                // keeping is already off disk.
+                let report = restart::scan(std::path::Path::new(dir), &config);
+                let max_id = report
+                    .adopted
+                    .iter()
+                    .map(|q| q.query_id)
+                    .chain(report.skipped.iter().map(|(id, _)| *id))
+                    .max()
+                    .unwrap_or(0);
+                self.next_query_id
+                    .store(max_id + 1, std::sync::atomic::Ordering::Relaxed);
+                *self.adoption.lock().unwrap_or_else(|e| e.into_inner()) = report;
+                self.journal = Some(Arc::new(QueryJournal::new(
+                    std::path::Path::new(dir),
+                    env.manager.tag(),
+                    true,
+                )));
+            }
+        }
+        if let Some(env) = &self.spill {
+            // Startup recovery: reclaim spill/manifest/journal files left
+            // in this directory by crashed processes before writing our
+            // own. Runs after adoption has read what it needs.
+            env.manager.recover_orphans();
+        }
         // The pool is created here — once per (re)configuration, never
         // mid-statement — so steady-state loop iterations spawn nothing.
         // Reconfiguring drops the old pool (joining its workers).
@@ -309,16 +392,18 @@ impl Database {
     /// the session defaults.
     pub fn execute_with_guard(&self, sql: &str, guard: &QueryGuard) -> Result<super::QueryResult> {
         let stmt = parse_sql(sql)?;
-        self.execute_parsed(&stmt, guard)
+        self.execute_parsed(&stmt, guard, Some(sql))
     }
 
     /// Execute a `;`-separated script, returning each statement's result.
     /// Each statement gets a fresh session-default guard, so a
     /// `query_timeout_ms` budget applies per statement, not per script.
+    /// Script statements are not journaled for restart resumption (their
+    /// per-statement text is not tracked).
     pub fn execute_script(&self, sql: &str) -> Result<Vec<super::QueryResult>> {
         parse_statements(sql)?
             .iter()
-            .map(|s| self.execute_parsed(s, &QueryGuard::from_config(&self.config)))
+            .map(|s| self.execute_parsed(s, &QueryGuard::from_config(&self.config), None))
             .collect()
     }
 
@@ -393,17 +478,30 @@ impl Database {
         self.catalog.with_table_mut(name, |t| t.insert(rows))
     }
 
-    fn execute_parsed(&self, stmt: &Statement, guard: &QueryGuard) -> Result<super::QueryResult> {
+    fn execute_parsed(
+        &self,
+        stmt: &Statement,
+        guard: &QueryGuard,
+        sql: Option<&str>,
+    ) -> Result<super::QueryResult> {
         let provider = CatalogProvider(&self.catalog);
         let planned = plan_statement(stmt, &provider, &self.config)?;
         let planned = spinner_optimizer::optimize_statement(planned, &self.config)?;
-        self.execute_planned(planned, guard)
+        self.execute_planned(
+            planned,
+            guard,
+            ExecCtx {
+                sql,
+                ..ExecCtx::default()
+            },
+        )
     }
 
     fn execute_planned(
         &self,
         planned: PlannedStatement,
         guard: &QueryGuard,
+        ctx: ExecCtx<'_>,
     ) -> Result<super::QueryResult> {
         // Stats are per plan-executing statement: reset at entry so work
         // done by a previous failed/cancelled statement cannot leak into
@@ -440,7 +538,7 @@ impl Database {
         let tracer = Tracer::disabled();
         match planned {
             PlannedStatement::Query(plan) => {
-                let batch = self.run_query_plan(&plan, guard, &tracer)?;
+                let batch = self.run_query_plan_ctx(&plan, guard, &tracer, ctx)?;
                 Ok(super::QueryResult::Rows(batch))
             }
             PlannedStatement::Explain {
@@ -457,7 +555,7 @@ impl Database {
                     ));
                 };
                 let tracer = Tracer::new();
-                self.run_query_plan(&plan, guard, &tracer)?;
+                self.run_query_plan_ctx(&plan, guard, &tracer, ctx)?;
                 let mut profile = tracer.finish();
                 // Spill and scheduling counters live in flat stats
                 // (drained per statement), not in spans; graft them onto
@@ -487,6 +585,11 @@ impl Database {
                     verified: snap.durability_verified,
                     corrupt_detected: snap.durability_corrupt,
                     refsync: snap.durability_fsyncs,
+                };
+                profile.restart = RestartProfile {
+                    adopted_epoch: snap.restart_adopted_epoch,
+                    resumed_iteration: snap.restart_resumed_iteration,
+                    replayed_iterations: snap.restart_replayed_iterations,
                 };
                 Ok(super::QueryResult::Analyze(profile))
             }
@@ -550,7 +653,26 @@ impl Database {
         guard: &QueryGuard,
         tracer: &Tracer,
     ) -> Result<Batch> {
+        self.run_query_plan_ctx(plan, guard, tracer, ExecCtx::default())
+    }
+
+    fn run_query_plan_ctx(
+        &self,
+        plan: &QueryPlan,
+        guard: &QueryGuard,
+        tracer: &Tracer,
+        ctx: ExecCtx<'_>,
+    ) -> Result<Batch> {
         let state = self.statement_state();
+        let mut forced_id = None;
+        if let Some((query_id, loop_key, seed)) = ctx.resume {
+            state.checkpoints.prime_resume(&loop_key, seed);
+            forced_id = Some(query_id);
+        }
+        // Keep the input-snapshot handles alive for the whole statement:
+        // dropping them (with the journal entry finished below) deletes
+        // the files, while a crash leaks them for the adoption pass.
+        let _input_handles = self.begin_statement_journal(&state, plan, ctx.sql, forced_id);
         let exec = Executor {
             catalog: &self.catalog,
             registry: &state.temp,
@@ -574,6 +696,213 @@ impl Database {
         state.join_cache.clear();
         self.drain_spill_metrics();
         result
+    }
+
+    /// If this statement is journalable — resumable engine, raw SQL known,
+    /// plan contains a loop — write durable input-table snapshots, record
+    /// the journal entry, and attach the journal to the statement's
+    /// checkpoint store so every committed epoch lands in it. Returns the
+    /// snapshot handles the caller must keep alive for the statement.
+    /// Best-effort: any failure here simply leaves the statement
+    /// non-resumable; it never fails the query.
+    fn begin_statement_journal(
+        &self,
+        state: &StatementState,
+        plan: &QueryPlan,
+        sql: Option<&str>,
+        forced_id: Option<u64>,
+    ) -> Vec<SpillHandle> {
+        let (Some(journal), Some(env), Some(sql)) = (&self.journal, &self.spill, sql) else {
+            return Vec::new();
+        };
+        let Some(loop_key) = plan_loop_key(plan) else {
+            return Vec::new();
+        };
+        // Snapshot every base table to sealed files so adoption can
+        // recreate the catalog the statement planned against. (The repro's
+        // catalogs are small; a selective plan-referenced-only snapshot is
+        // a future refinement.)
+        let mut inputs = Vec::new();
+        let mut handles = Vec::new();
+        for name in self.catalog.table_names() {
+            let Ok(table) = self.catalog.get(&name) else {
+                continue;
+            };
+            let data = table.snapshot();
+            match env
+                .manager
+                .write_partitioned(&format!("input_{name}"), &data)
+            {
+                Ok(handle) => {
+                    inputs.push(InputRecord {
+                        table: name.clone(),
+                        file: handle
+                            .path()
+                            .file_name()
+                            .map(|n| n.to_string_lossy().into_owned())
+                            .unwrap_or_default(),
+                        primary_key: table.primary_key(),
+                        partition_key: table.partition_key(),
+                    });
+                    handles.push(handle);
+                }
+                // Without a complete input set the entry could never be
+                // adopted faithfully; skip journaling this statement.
+                Err(_) => return Vec::new(),
+            }
+        }
+        let query_id =
+            forced_id.unwrap_or_else(|| self.next_query_id.fetch_add(1, Ordering::Relaxed));
+        self.last_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(std::thread::current().id(), query_id);
+        journal.begin(JournalEntry {
+            query_id,
+            sql: sql.to_string(),
+            settings: restart::settings_overlay(&self.config),
+            loop_key,
+            epochs: Vec::new(),
+            inputs,
+        });
+        state.checkpoints.set_journal(Arc::clone(journal), query_id);
+        handles
+    }
+
+    /// Stable handle issued to the last statement this thread journaled,
+    /// if any (one-shot). See [`Database::take_handle_for`].
+    pub fn take_last_handle(&self) -> Option<u64> {
+        self.take_handle_for(std::thread::current().id())
+    }
+
+    /// Stable handle issued to the statement the given thread is
+    /// journaling (one-shot). The handle is published at statement
+    /// *start*, so a server can poll from a sibling thread and send it
+    /// to the client while the statement still runs — the client must
+    /// hold the handle before any crash for reconnect-and-attach to
+    /// work.
+    pub fn take_handle_for(&self, thread: std::thread::ThreadId) -> Option<u64> {
+        self.last_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&thread)
+    }
+
+    /// Resume every query adopted by the startup scan: recreate its input
+    /// tables, re-plan its SQL, seed the loop from the adopted checkpoint
+    /// and run it to completion. Results are parked for
+    /// [`Database::take_resumed_result`]; failures are appended to the
+    /// skipped list with a reason. Returns one summary per resumed query.
+    pub fn resume_adopted(&self) -> Vec<ResumedSummary> {
+        let adopted: Vec<AdoptedQuery> = {
+            let mut report = self.adoption.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut report.adopted)
+        };
+        let mut summaries = Vec::new();
+        for query in adopted {
+            let query_id = query.query_id;
+            match self.resume_one(query) {
+                Ok(summary) => summaries.push(summary),
+                Err(e) => self
+                    .adoption
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .skipped
+                    .push((query_id, format!("resume failed: {e}"))),
+            }
+        }
+        summaries
+    }
+
+    fn resume_one(&self, query: AdoptedQuery) -> Result<ResumedSummary> {
+        for input in &query.inputs {
+            if !self.catalog.contains(&input.table) {
+                self.catalog.create_table(
+                    &input.table,
+                    Arc::clone(&input.data.schema),
+                    self.config.partitions,
+                    input.partition_key.or(input.primary_key).or(Some(0)),
+                    input.primary_key,
+                )?;
+                self.catalog
+                    .with_table_mut(&input.table, |t| t.insert(input.data.gather()))?;
+            }
+        }
+        let stmt = parse_sql(&query.sql)?;
+        let provider = CatalogProvider(&self.catalog);
+        let planned = plan_statement(&stmt, &provider, &self.config)?;
+        let planned = spinner_optimizer::optimize_statement(planned, &self.config)?;
+        // The checkpointed tables are keyed by the dead engine's internal
+        // CTE names; temp-name allocation is deterministic per statement,
+        // so a re-plan of the same SQL under the same settings reproduces
+        // them. Verify rather than trust.
+        let replanned_key = planned_loop_key(&planned);
+        if replanned_key.as_deref() != Some(query.loop_key.as_str()) {
+            return Err(Error::execution(format!(
+                "re-planned loop key {:?} does not match journaled '{}'",
+                replanned_key, query.loop_key
+            )));
+        }
+        let guard = QueryGuard::from_config(&self.config);
+        let result = self.execute_planned(
+            planned,
+            &guard,
+            ExecCtx {
+                sql: Some(&query.sql),
+                resume: Some((query.query_id, query.loop_key.clone(), query.seed.clone())),
+            },
+        )?;
+        // The re-journaled statement published its (pre-crash) handle for
+        // this thread; the resumed result is parked under the same id, so
+        // the per-thread slot is just leftover state here.
+        let _ = self.take_last_handle();
+        let snap = self.stats.snapshot();
+        let rows = match &result {
+            super::QueryResult::Rows(batch) => batch.len() as u64,
+            _ => 0,
+        };
+        self.resumed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(query.query_id, result);
+        Ok(ResumedSummary {
+            query_id: query.query_id,
+            adopted_epoch: snap.restart_adopted_epoch,
+            resumed_iteration: snap.restart_resumed_iteration,
+            replayed_iterations: snap.restart_replayed_iterations,
+            rows,
+        })
+    }
+
+    /// Take the parked result of a resumed query (one-shot — the frame is
+    /// sent once). [`Error::UnknownHandle`] if the handle was never
+    /// issued, already fetched, or not adopted across the restart.
+    pub fn take_resumed_result(&self, query_id: u64) -> Result<super::QueryResult> {
+        self.resumed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&query_id)
+            .ok_or(Error::UnknownHandle { handle: query_id })
+    }
+
+    /// Journal entries the adoption pass could not resume, with reasons
+    /// (observability; also fed by [`Database::resume_adopted`] failures).
+    pub fn adoption_skipped(&self) -> Vec<(u64, String)> {
+        self.adoption
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .skipped
+            .clone()
+    }
+
+    /// Number of adopted queries still waiting for
+    /// [`Database::resume_adopted`].
+    pub fn adoption_pending(&self) -> usize {
+        self.adoption
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .adopted
+            .len()
     }
 
     /// Fold the spill subsystem's counters for the finished statement into
@@ -736,6 +1065,35 @@ impl Database {
                 })
             }
         }
+    }
+}
+
+/// Internal CTE name of the first loop operator in a query plan's step
+/// program, if any — the identity the journal and checkpoint store key on.
+fn plan_loop_key(plan: &QueryPlan) -> Option<String> {
+    fn find(steps: &[spinner_plan::Step]) -> Option<String> {
+        for step in steps {
+            match step {
+                spinner_plan::Step::Loop(l) => return Some(l.cte.clone()),
+                _ => continue,
+            }
+        }
+        None
+    }
+    find(&plan.steps)
+}
+
+/// [`plan_loop_key`] lifted over a whole planned statement (descends into
+/// EXPLAIN ANALYZE so a resumed analyze round-trips its restart block).
+fn planned_loop_key(planned: &PlannedStatement) -> Option<String> {
+    match planned {
+        PlannedStatement::Query(plan) => plan_loop_key(plan),
+        PlannedStatement::Explain {
+            analyze: true,
+            statement,
+            ..
+        } => planned_loop_key(statement),
+        _ => None,
     }
 }
 

@@ -29,10 +29,12 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod restart;
 pub mod result;
 pub mod session;
 
 pub use database::Database;
+pub use restart::{AdoptedInput, AdoptedQuery, AdoptionReport, ResumedSummary};
 pub use result::QueryResult;
 pub use session::Session;
 
@@ -40,6 +42,6 @@ pub use spinner_common::{
     AdmissionController, AdmissionPermit, AdmissionProfile, AdmissionSnapshot, Batch, DataType,
     EngineConfig, Error, ErrorClass, FaultConfig, FaultKind, FaultSite, FaultTrigger, Field,
     IterationProfile, MemoryGate, ProfileNode, QueryClass, QueryGuard, QueryProfile,
-    RecoveryPolicy, RecoveryProfile, Result, Row, Schema, Value,
+    RecoveryPolicy, RecoveryProfile, RestartProfile, Result, Row, Schema, Value,
 };
 pub use spinner_exec::stats::StatsSnapshot;

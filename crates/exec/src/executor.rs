@@ -448,7 +448,12 @@ impl Executor<'_> {
         let mut iteration: u64 = 0;
         let mut cumulative_updates: u64 = 0;
         let mut recoveries_used: u64 = 0;
-        if ckpt_every > 0 || self.config.max_loop_recoveries > 0 {
+        if let Some((it, cum)) = self.seed_from_resume(l) {
+            // Adopted from a dead engine's journal: the loop continues
+            // from the rehydrated checkpoint instead of iteration 0.
+            iteration = it;
+            cumulative_updates = cum;
+        } else if ckpt_every > 0 || self.config.max_loop_recoveries > 0 {
             // Entry checkpoint (iteration 0): a rollback always has a
             // target even when periodic checkpoints are off.
             self.save_checkpoint_recovering(l, &tables, 0, 0, &mut recoveries_used)?;
@@ -619,6 +624,38 @@ impl Executor<'_> {
         Ok(())
     }
 
+    /// Consume a [`ResumeSeed`] primed for this loop by the engine's
+    /// restart-adoption pass (none in normal execution). Installs the
+    /// adopted checkpoint's tables — the iterative CTE plus its delta —
+    /// into the registry, overwriting the freshly-seeded iteration-0
+    /// state, records the restart counters, and re-saves the checkpoint
+    /// so the resumed loop has a rollback target (and, when journaling,
+    /// a durable epoch owned by the new pid). Returns the seeded
+    /// `(iteration, cumulative_updates)` to continue from.
+    fn seed_from_resume(&self, l: &LoopStep) -> Option<(u64, u64)> {
+        let seed = self.checkpoints.take_resume(&l.cte)?;
+        for (name, data) in &seed.checkpoint.tables {
+            self.registry.put(name, data.clone());
+        }
+        ExecStats::add(&self.stats.restart_adopted_epoch, seed.adopted_epoch);
+        ExecStats::add(
+            &self.stats.restart_resumed_iteration,
+            seed.checkpoint.iteration,
+        );
+        ExecStats::add(
+            &self.stats.restart_replayed_iterations,
+            seed.journal_iteration
+                .saturating_sub(seed.checkpoint.iteration),
+        );
+        let at = (
+            seed.checkpoint.iteration,
+            seed.checkpoint.cumulative_updates,
+        );
+        self.checkpoints.save(&l.cte, seed.checkpoint);
+        ExecStats::add(&self.stats.checkpoints_taken, 1);
+        Some(at)
+    }
+
     /// [`Self::save_checkpoint`] for the loop-entry snapshot, where no
     /// iteration has run yet: a transient failure here mutates nothing, so
     /// it is retried in place, consuming loop-recovery attempts.
@@ -736,7 +773,13 @@ impl Executor<'_> {
         drop(base);
         let mut iteration: u64 = 0;
         let mut recoveries_used: u64 = 0;
-        if ckpt_every > 0 || self.config.max_loop_recoveries > 0 {
+        if let Some((it, _)) = self.seed_from_resume(l) {
+            iteration = it;
+            // The dedup set is derivable state: rebuild it from the
+            // adopted CTE table, exactly as mid-loop recovery does.
+            let restored = self.registry.get(&l.cte)?;
+            seen = build_seen(union_all, &restored);
+        } else if ckpt_every > 0 || self.config.max_loop_recoveries > 0 {
             // Accumulated CTE + current delta at an iteration boundary is
             // the complete recovery state of a fixed-point recursion (the
             // dedup set is derivable from the CTE table).

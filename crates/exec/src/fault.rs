@@ -70,6 +70,7 @@ pub fn site_name(site: FaultSite) -> &'static str {
         FaultSite::BitFlip => "bit_flip",
         FaultSite::DiskFull => "disk_full",
         FaultSite::FsyncFail => "fsync_fail",
+        FaultSite::ManifestCommit => "manifest_commit",
     }
 }
 
@@ -142,6 +143,12 @@ impl FaultInjector {
                     }
                     FaultKind::Panic => {
                         panic!("injected panic at {}", site_name(site));
+                    }
+                    FaultKind::Abort => {
+                        // SIGKILL-equivalent: no unwinding, no destructors,
+                        // no atexit — spill/journal files stay on disk
+                        // exactly as a hard crash would leave them.
+                        std::process::abort();
                     }
                 }
             }

@@ -466,6 +466,7 @@ mod tests {
         let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
         let (block_tx, block_rx) = mpsc::channel::<()>();
         let block_rx = Mutex::new(block_rx);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
         let pool_a = Arc::clone(&pool);
         let order_a = Arc::clone(&order);
         let scope_a = std::thread::spawn(move || {
@@ -473,6 +474,7 @@ mod tests {
             // First task parks the lone worker until released, guaranteeing
             // scope B enqueues while A still has queued tasks.
             tasks.push(Box::new(move || {
+                started_tx.send(()).unwrap();
                 let _ = block_rx.lock().unwrap().recv();
             }));
             for _ in 0..4 {
@@ -481,10 +483,11 @@ mod tests {
             }
             pool_a.scope(tasks).unwrap();
         });
-        // Wait until the worker is parked inside A's first task.
-        while pool.queued_tasks() < 4 {
-            std::thread::yield_now();
-        }
+        // Only proceed once the lone worker is parked *inside* A's first
+        // task — a queue-depth check alone can be satisfied by the five
+        // not-yet-started tasks, letting the release below fire before B
+        // ever enqueues.
+        started_rx.recv().unwrap();
         let pool_b = Arc::clone(&pool);
         let order_b = Arc::clone(&order);
         let scope_b = std::thread::spawn(move || {

@@ -86,6 +86,14 @@ pub struct ExecStats {
     pub durability_corrupt: AtomicU64,
     /// `fsync` calls issued by the atomic-write protocol (file + dir).
     pub durability_fsyncs: AtomicU64,
+    /// Durable checkpoint epoch adopted from a dead engine's journal
+    /// (0 when the statement started fresh).
+    pub restart_adopted_epoch: AtomicU64,
+    /// Iteration number the loop driver was seeded with after adoption.
+    pub restart_resumed_iteration: AtomicU64,
+    /// Iterations lost to the crash (journal head minus adopted
+    /// checkpoint) that the resumed run re-executes.
+    pub restart_replayed_iterations: AtomicU64,
 }
 
 impl ExecStats {
@@ -134,6 +142,9 @@ impl ExecStats {
             durability_verified: self.durability_verified.load(Ordering::Relaxed),
             durability_corrupt: self.durability_corrupt.load(Ordering::Relaxed),
             durability_fsyncs: self.durability_fsyncs.load(Ordering::Relaxed),
+            restart_adopted_epoch: self.restart_adopted_epoch.load(Ordering::Relaxed),
+            restart_resumed_iteration: self.restart_resumed_iteration.load(Ordering::Relaxed),
+            restart_replayed_iterations: self.restart_replayed_iterations.load(Ordering::Relaxed),
         }
     }
 
@@ -172,6 +183,9 @@ impl ExecStats {
         self.durability_verified.store(0, Ordering::Relaxed);
         self.durability_corrupt.store(0, Ordering::Relaxed);
         self.durability_fsyncs.store(0, Ordering::Relaxed);
+        self.restart_adopted_epoch.store(0, Ordering::Relaxed);
+        self.restart_resumed_iteration.store(0, Ordering::Relaxed);
+        self.restart_replayed_iterations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -244,6 +258,12 @@ pub struct StatsSnapshot {
     pub durability_corrupt: u64,
     /// `fsync` calls issued by the atomic-write protocol (file + dir).
     pub durability_fsyncs: u64,
+    /// Durable checkpoint epoch adopted after an engine restart.
+    pub restart_adopted_epoch: u64,
+    /// Iteration the loop driver resumed from after adoption.
+    pub restart_resumed_iteration: u64,
+    /// Crash-lost iterations re-executed by the resumed run.
+    pub restart_replayed_iterations: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -326,6 +346,19 @@ impl std::fmt::Display for StatsSnapshot {
                 self.durability_verified,
                 self.durability_corrupt,
                 self.durability_fsyncs,
+            )?;
+        }
+        if self.restart_adopted_epoch
+            + self.restart_resumed_iteration
+            + self.restart_replayed_iterations
+            > 0
+        {
+            write!(
+                f,
+                " restart: adopted_epoch={} resumed_iteration={} replayed_iterations={}",
+                self.restart_adopted_epoch,
+                self.restart_resumed_iteration,
+                self.restart_replayed_iterations,
             )?;
         }
         Ok(())

@@ -6,12 +6,15 @@
 //!
 //! Reads one SQL statement per line from stdin (default server
 //! `127.0.0.1:5433`), prints rows as tab-separated text, and exits on
-//! EOF or `\q`.
+//! EOF or `\q`. Connection attempts ride out a restarting server with
+//! bounded exponential backoff; if a resumable statement was issued a
+//! stable handle, it is printed, and `\attach <handle>` fetches the
+//! result of a query the server resumed across a restart.
 
 use std::io::{self, BufRead, Write};
 use std::process::ExitCode;
 
-use spinner_server::{Client, Reply};
+use spinner_server::{Client, ReconnectPolicy, Reply};
 
 fn print_reply(reply: &Reply) {
     match reply {
@@ -34,7 +37,7 @@ fn main() -> ExitCode {
     let addr = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "127.0.0.1:5433".to_string());
-    let mut client = match Client::connect(addr.as_str()) {
+    let mut client = match Client::connect_with_retry(addr.as_str(), ReconnectPolicy::default()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("connect {addr} failed: {e}");
@@ -58,12 +61,34 @@ fn main() -> ExitCode {
         if sql == "\\q" || sql.eq_ignore_ascii_case("quit") {
             break;
         }
+        if let Some(handle) = sql.strip_prefix("\\attach ") {
+            match handle.trim().parse::<u64>() {
+                Ok(handle) => match client.attach(handle) {
+                    Ok(reply) => print_reply(&reply),
+                    Err(e) => {
+                        eprintln!("connection lost: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(_) => println!("usage: \\attach <handle>"),
+            }
+            continue;
+        }
         match client.query(sql) {
             Ok(reply) => print_reply(&reply),
             Err(e) => {
                 eprintln!("connection lost: {e}");
+                // The handle frame arrives before the result: if the
+                // server died mid-statement, this is what `\attach`
+                // needs after it restarts.
+                if let Some(handle) = client.last_handle() {
+                    eprintln!("(statement was resumable: reconnect and run \\attach {handle})");
+                }
                 return ExitCode::FAILURE;
             }
+        }
+        if let Some(handle) = client.last_handle() {
+            println!("(resumable: handle {handle})");
         }
     }
     let _ = client.close();

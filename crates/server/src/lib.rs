@@ -38,5 +38,5 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, Reply};
+pub use client::{Client, ReconnectPolicy, Reply};
 pub use server::Server;

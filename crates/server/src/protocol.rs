@@ -38,6 +38,14 @@ pub const TAG_DDL: u8 = b'D';
 pub const TAG_ERROR: u8 = b'E';
 /// Server → client: free-form UTF-8 text (EXPLAIN and EXPLAIN ANALYZE).
 pub const TAG_TEXT: u8 = b'P';
+/// Server → client: stable query handle (8-byte big-endian) for a
+/// journaled iterative statement, sent *before* its result frame. The
+/// handle survives an engine restart: a reconnecting client can
+/// [`TAG_ATTACH`] to it and fetch the resumed result.
+pub const TAG_HANDLE: u8 = b'I';
+/// Client → server: attach to a resumed query by its 8-byte big-endian
+/// handle and fetch its result (one response frame, like a query).
+pub const TAG_ATTACH: u8 = b'T';
 
 /// In a rows frame, the cell length that denotes SQL NULL.
 pub const NULL_CELL: u32 = u32::MAX;
@@ -193,6 +201,10 @@ impl<'a> Cursor<'a> {
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn take_str(&mut self) -> io::Result<String> {
         let len = self.take_u32()? as usize;
         let bytes = self.take(len)?;
@@ -206,12 +218,28 @@ impl<'a> Cursor<'a> {
 #[allow(clippy::type_complexity)]
 pub fn decode_rows(payload: &[u8]) -> io::Result<(Vec<String>, Vec<Vec<Option<String>>>)> {
     let mut cur = Cursor::new(payload);
+    // Counts come off the wire untrusted: validate each against the bytes
+    // that could possibly back it BEFORE allocating or looping, so a
+    // mutated frame claiming 4 billion columns/rows is a cheap typed
+    // error, not a pre-allocation memory bomb or a busy loop.
     let ncols = cur.take_u32()? as usize;
+    if ncols > cur.remaining() / 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "column count exceeds frame payload",
+        ));
+    }
     let mut columns = Vec::with_capacity(ncols);
     for _ in 0..ncols {
         columns.push(cur.take_str()?);
     }
     let nrows = cur.take_u32()? as usize;
+    if nrows > 0 && (ncols == 0 || nrows > cur.remaining() / (4 * ncols)) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "row count exceeds frame payload",
+        ));
+    }
     let mut rows = Vec::with_capacity(nrows);
     for _ in 0..nrows {
         let mut row = Vec::with_capacity(ncols);
@@ -287,6 +315,8 @@ pub fn error_code(e: &Error) -> &'static str {
         Error::ShuttingDown => "shutting_down",
         Error::PoolStalled { .. } => "pool_stalled",
         Error::StorageCorrupt { .. } => "storage_corrupt",
+        Error::UnknownHandle { .. } => "unknown_handle",
+        Error::ConnectExhausted { .. } => "connect_exhausted",
     }
 }
 
@@ -368,5 +398,103 @@ mod tests {
         );
         assert_eq!(error_code(&Error::ShuttingDown), "shutting_down");
         assert_eq!(error_code(&Error::Cancelled), "cancelled");
+    }
+
+    #[test]
+    fn restart_errors_map_to_stable_tokens() {
+        assert_eq!(
+            error_code(&Error::UnknownHandle { handle: 7 }),
+            "unknown_handle"
+        );
+        assert_eq!(
+            error_code(&Error::ConnectExhausted {
+                attempts: 3,
+                message: "refused".into()
+            }),
+            "connect_exhausted"
+        );
+    }
+
+    /// Property test for the frame decoder: byte-level corruption of a
+    /// valid frame stream — bit flips, truncations, splices — must only
+    /// ever produce decoded frames or typed `io::Error`s. No panic, no
+    /// unbounded allocation past `MAX_FRAME_LEN`, and guaranteed
+    /// termination (every `Ok` consumes at least the 5-byte header).
+    #[test]
+    fn mutated_frame_streams_never_panic() {
+        // Deterministic xorshift so a failure reproduces exactly.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut valid = Vec::new();
+        write_frame(
+            &mut valid,
+            TAG_QUERY,
+            b"WITH ITERATIVE t AS (SELECT 1) SELECT * FROM t",
+        )
+        .unwrap();
+        write_frame(&mut valid, TAG_ATTACH, &42u64.to_be_bytes()).unwrap();
+        write_frame(&mut valid, TAG_HANDLE, &7u64.to_be_bytes()).unwrap();
+        write_frame(
+            &mut valid,
+            TAG_ERROR,
+            &encode_error("overloaded", "queue full"),
+        )
+        .unwrap();
+        write_frame(&mut valid, TAG_CLOSE, b"").unwrap();
+        for _ in 0..2000 {
+            let mut bytes = valid.clone();
+            for _ in 0..(next() % 4 + 1) {
+                match next() % 3 {
+                    // Bit flip anywhere (length prefixes included).
+                    0 => {
+                        let i = (next() % bytes.len() as u64) as usize;
+                        bytes[i] ^= 1 << (next() % 8);
+                    }
+                    // Truncate mid-frame.
+                    1 => {
+                        let keep = (next() % (bytes.len() as u64 + 1)) as usize;
+                        bytes.truncate(keep);
+                    }
+                    // Splice in garbage bytes.
+                    _ => {
+                        let i = (next() % (bytes.len() as u64 + 1)) as usize;
+                        let garbage: Vec<u8> = (0..(next() % 9)).map(|_| next() as u8).collect();
+                        bytes.splice(i..i, garbage);
+                    }
+                }
+                if bytes.is_empty() {
+                    bytes.push(next() as u8);
+                }
+            }
+            let mut rd = &bytes[..];
+            loop {
+                match read_frame(&mut rd) {
+                    Ok((_tag, payload)) => {
+                        assert!(payload.len() as u32 <= MAX_FRAME_LEN);
+                        // Whatever the tag claims, payload decoders must
+                        // also fail typed rather than panic.
+                        let _ = decode_rows(&payload);
+                        let _ = decode_error(&payload);
+                        let _ = decode_affected(&payload);
+                    }
+                    Err(e) => {
+                        assert!(
+                            matches!(
+                                e.kind(),
+                                io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                            ),
+                            "unexpected error kind {:?}",
+                            e.kind()
+                        );
+                        break;
+                    }
+                }
+            }
+        }
     }
 }

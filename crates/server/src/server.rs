@@ -46,8 +46,8 @@ use spinner_engine::{Database, QueryResult, Session};
 
 use crate::protocol::TAG_AFFECTED;
 use crate::protocol::{
-    encode_error, encode_rows, error_code, read_frame_deadline, write_frame, TAG_CLOSE, TAG_DDL,
-    TAG_ERROR, TAG_HELLO, TAG_QUERY, TAG_ROWS, TAG_TEXT,
+    encode_error, encode_rows, error_code, read_frame_deadline, write_frame, TAG_ATTACH, TAG_CLOSE,
+    TAG_DDL, TAG_ERROR, TAG_HANDLE, TAG_HELLO, TAG_QUERY, TAG_ROWS, TAG_TEXT,
 };
 
 /// How long the watcher sleeps between liveness peeks at the socket.
@@ -282,7 +282,50 @@ fn handle_connection(mut stream: TcpStream, db: Arc<Database>, shared: Arc<Share
                     break;
                 }
                 let sql = String::from_utf8_lossy(&payload);
+                // A resumable statement journals itself (and publishes
+                // its stable handle) at execution *start*; a sibling
+                // thread polls for it and sends the HANDLE frame while
+                // the statement still runs, so the client holds the
+                // handle before any crash — that is what makes
+                // reconnect-and-attach possible. Nothing else writes to
+                // this stream until the statement finishes, so the
+                // side-channel write cannot interleave with a response.
+                let exec_thread = std::thread::current().id();
+                let handle_done = Arc::new(AtomicBool::new(false));
+                let handle_poller = stream.try_clone().ok().and_then(|mut side| {
+                    let db = Arc::clone(&db);
+                    let done = Arc::clone(&handle_done);
+                    std::thread::Builder::new()
+                        .name("spinner-handle".into())
+                        .spawn(move || {
+                            while !done.load(Ordering::SeqCst) {
+                                if let Some(handle) = db.take_handle_for(exec_thread) {
+                                    let _ =
+                                        write_frame(&mut side, TAG_HANDLE, &handle.to_be_bytes());
+                                    return;
+                                }
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            // Statement finished before a handle showed
+                            // up; a last look closes the race where it
+                            // was published between poll and flag.
+                            if let Some(handle) = db.take_handle_for(exec_thread) {
+                                let _ = write_frame(&mut side, TAG_HANDLE, &handle.to_be_bytes());
+                            }
+                        })
+                        .ok()
+                });
                 let outcome = session.execute(&sql);
+                handle_done.store(true, Ordering::SeqCst);
+                if let Some(poller) = handle_poller {
+                    let _ = poller.join();
+                } else {
+                    // No poller thread: publish the handle late, before
+                    // the result frame, rather than not at all.
+                    if let Some(handle) = db.take_last_handle() {
+                        let _ = write_frame(&mut stream, TAG_HANDLE, &handle.to_be_bytes());
+                    }
+                }
                 // Chaos hook: a fault on the write path models a torn
                 // response; the statement already ran, so the only
                 // honest move is to drop the connection.
@@ -291,6 +334,22 @@ fn handle_connection(mut stream: TcpStream, db: Arc<Database>, shared: Arc<Share
                 }
                 if respond(&mut stream, outcome).is_err() {
                     session.cancel_current();
+                    break;
+                }
+            }
+            TAG_ATTACH => {
+                if payload.len() != 8 {
+                    let payload = encode_error("protocol", "ATTACH payload must be 8 bytes");
+                    let _ = write_frame(&mut stream, TAG_ERROR, &payload);
+                    break;
+                }
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&payload);
+                let handle = u64::from_be_bytes(buf);
+                // One-shot: the parked result of a query resumed across
+                // an engine restart. Unknown/taken handles come back as
+                // the typed `unknown_handle` error frame.
+                if respond(&mut stream, db.take_resumed_result(handle)).is_err() {
                     break;
                 }
             }

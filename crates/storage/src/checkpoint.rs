@@ -35,8 +35,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use spinner_common::memory::{RegionId, RegionKind};
-use spinner_common::{Error, Result};
+use spinner_common::{Error, FaultSite, Result};
 
+use crate::journal::{EpochRecord, QueryJournal};
 use crate::partition::Partitioned;
 use crate::spill::{SpillEnv, SpillHandle};
 
@@ -84,6 +85,31 @@ struct Entry {
     previous: Option<EpochSlot>,
 }
 
+/// A checkpoint rehydrated from a dead process's files, staged for the
+/// loop driver to consume instead of starting from iteration 0.
+///
+/// `journal_iteration` is the iteration the *journal* names as newest; it
+/// can run ahead of `checkpoint.iteration` when the newest epoch was
+/// corrupt and adoption fell back to the previous one. The difference is
+/// the replayed work the crash harness bounds by one checkpoint interval.
+#[derive(Debug, Clone)]
+pub struct ResumeSeed {
+    /// The adopted snapshot the loop seeds its state from.
+    pub checkpoint: LoopCheckpoint,
+    /// Manifest epoch the snapshot was committed under.
+    pub adopted_epoch: u64,
+    /// Newest iteration the dead process had durably recorded.
+    pub journal_iteration: u64,
+}
+
+/// Journal context of the statement this store belongs to: where to
+/// record committed epochs so a restart can find them.
+#[derive(Debug)]
+struct JournalCtx {
+    journal: Arc<QueryJournal>,
+    query_id: u64,
+}
+
 /// Per-query store of the two newest checkpoint epochs of each running
 /// loop, keyed by the loop's internal CTE name.
 ///
@@ -97,6 +123,15 @@ pub struct CheckpointStore {
     taken: AtomicU64,
     bytes: AtomicU64,
     spill: RwLock<Option<Arc<SpillEnv>>>,
+    /// Durable-resume side state: the on-disk handles of the two newest
+    /// journaled checkpoint files per loop, newest first. Dropping an
+    /// evicted handle deletes its file, keeping disk usage bounded at two
+    /// epochs — exactly what the journal records.
+    durable: RwLock<HashMap<String, Vec<(u64, SpillHandle)>>>,
+    /// Seeds staged by the adoption pass, consumed once by the loop
+    /// driver (keyed by the loop's internal CTE name).
+    resume: RwLock<HashMap<String, ResumeSeed>>,
+    journal: RwLock<Option<JournalCtx>>,
 }
 
 impl CheckpointStore {
@@ -114,6 +149,28 @@ impl CheckpointStore {
     /// The installed spill environment, if any.
     pub fn spill_env(&self) -> Option<Arc<SpillEnv>> {
         self.spill.read().clone()
+    }
+
+    /// Attach the statement's journal context. With one attached, every
+    /// [`save`](Self::save) also persists the snapshot to a sealed file
+    /// and records the committed epoch in the journal, making the loop
+    /// resumable across a process crash.
+    pub fn set_journal(&self, journal: Arc<QueryJournal>, query_id: u64) {
+        *self.journal.write() = Some(JournalCtx { journal, query_id });
+    }
+
+    /// Stage an adopted checkpoint for the loop keyed by `loop_key`; the
+    /// loop driver consumes it via [`take_resume`](Self::take_resume) and
+    /// continues from the checkpointed iteration instead of 0.
+    pub fn prime_resume(&self, loop_key: &str, seed: ResumeSeed) {
+        self.resume
+            .write()
+            .insert(loop_key.to_ascii_lowercase(), seed);
+    }
+
+    /// Consume the staged resume seed for `loop_key`, if any (one-shot).
+    pub fn take_resume(&self, loop_key: &str) -> Option<ResumeSeed> {
+        self.resume.write().remove(&loop_key.to_ascii_lowercase())
     }
 
     fn release_slot(&self, env: &Option<Arc<SpillEnv>>, slot: EpochSlot) {
@@ -149,10 +206,52 @@ impl CheckpointStore {
             )
         });
         if let Some(env) = &env {
-            env.manager
-                .manifest()
-                .commit_epoch(&format!("checkpoint:{key}"), env.manager.durable());
-            env.metrics().note_epoch();
+            // Durable-resume side path: when a journal is attached, the
+            // snapshot itself is persisted *before* the epoch naming it is
+            // committed, so a kill at any point leaves either a complete
+            // adoptable epoch or an unreferenced orphan file (GC'd at the
+            // next startup) — never an epoch pointing at a torn file.
+            let journaled = self.journal.read().is_some();
+            let handle = if journaled {
+                env.manager
+                    .write_checkpoint(&format!("checkpoint:{key}"), &checkpoint)
+                    .ok()
+            } else {
+                None
+            };
+            // The commit barrier is its own fault site: the crash harness
+            // aborts here to exercise the file-written-epoch-uncommitted
+            // window. An injected error skips the commit (degrading this
+            // save to in-memory only) without failing the loop.
+            if env.manager.hit(FaultSite::ManifestCommit).is_ok() {
+                let epoch = env
+                    .manager
+                    .manifest()
+                    .commit_epoch(&format!("checkpoint:{key}"), env.manager.durable());
+                env.metrics().note_epoch();
+                if let Some(handle) = handle {
+                    let ctx = self.journal.read();
+                    if let Some(ctx) = ctx.as_ref() {
+                        ctx.journal.note_epoch(
+                            ctx.query_id,
+                            EpochRecord {
+                                epoch,
+                                iteration: checkpoint.iteration,
+                                file: handle
+                                    .path()
+                                    .file_name()
+                                    .map(|n| n.to_string_lossy().into_owned())
+                                    .unwrap_or_default(),
+                            },
+                        );
+                    }
+                    drop(ctx);
+                    let mut durable = self.durable.write();
+                    let handles = durable.entry(key.clone()).or_default();
+                    handles.insert(0, (epoch, handle));
+                    handles.truncate(2);
+                }
+            }
         }
         let evicted;
         {
@@ -308,19 +407,31 @@ impl CheckpointStore {
         Ok(spilled)
     }
 
-    /// Drop the snapshots for `loop_id` (loop finished cleanly).
+    /// Drop the snapshots for `loop_id` (loop finished cleanly). The
+    /// loop's durable checkpoint files go with them — a finished loop has
+    /// nothing to resume.
     pub fn remove(&self, loop_id: &str) {
         let env = self.spill_env();
-        if let Some(entry) = self.slots.write().remove(&loop_id.to_ascii_lowercase()) {
+        let key = loop_id.to_ascii_lowercase();
+        if let Some(entry) = self.slots.write().remove(&key) {
             self.release(&env, entry);
         }
+        self.durable.write().remove(&key);
     }
 
-    /// Drop every snapshot (end of query).
+    /// Drop every snapshot (end of query). With a journal attached, the
+    /// statement's entry is erased too: reaching this point means the
+    /// query completed (or failed) in-process, so a later restart must
+    /// not re-run it.
     pub fn clear(&self) {
         let env = self.spill_env();
         for (_, entry) in self.slots.write().drain() {
             self.release(&env, entry);
+        }
+        self.durable.write().clear();
+        self.resume.write().clear();
+        if let Some(ctx) = self.journal.write().take() {
+            ctx.journal.finish(ctx.query_id);
         }
     }
 
@@ -506,6 +617,75 @@ mod tests {
         // The fallback is the only epoch left.
         let slots = store.slots.read();
         assert!(slots.get("pr").unwrap().previous.is_none());
+    }
+
+    /// With a journal attached, every save persists an adoptable epoch
+    /// file and records it; the clean-completion paths erase both again.
+    #[test]
+    fn journaled_saves_persist_epoch_files_and_clear_erases_them() {
+        use crate::journal::{JournalEntry, QueryJournal};
+        let dir = std::env::temp_dir().join(format!("spinner_ckpt_jrl_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new();
+        store.set_spill(Some(Arc::new(SpillEnv::new(
+            u64::MAX,
+            Some(dir.to_str().unwrap()),
+            None,
+        ))));
+        let journal = Arc::new(QueryJournal::new(&dir, 77, false));
+        journal.begin(JournalEntry {
+            query_id: 5,
+            sql: "select".into(),
+            settings: vec![],
+            loop_key: "pr".into(),
+            epochs: vec![],
+            inputs: vec![],
+        });
+        store.set_journal(Arc::clone(&journal), 5);
+        for i in 1..=3 {
+            store.save("pr", ckpt(i, i, 3));
+        }
+        // Two newest epochs on disk + journaled, older files deleted.
+        let entries = QueryJournal::load(journal.path()).unwrap();
+        assert_eq!(entries[0].epochs.len(), 2);
+        assert_eq!(entries[0].epochs[0].epoch, 3);
+        assert_eq!(entries[0].epochs[0].iteration, 3);
+        let on_disk: Vec<_> = entries[0]
+            .epochs
+            .iter()
+            .map(|e| dir.join(&e.file))
+            .collect();
+        for p in &on_disk {
+            assert!(p.exists(), "journaled epoch file must exist: {p:?}");
+            let back = crate::spill::read_checkpoint_file(p, "pr").unwrap();
+            assert!(back.iteration >= 2);
+        }
+        store.clear();
+        assert!(journal.is_empty(), "clear must finish the journal entry");
+        for p in &on_disk {
+            assert!(!p.exists(), "clear must delete durable epoch files");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Seeds staged by adoption are consumed exactly once, by loop key.
+    #[test]
+    fn resume_seed_is_one_shot() {
+        let store = CheckpointStore::new();
+        assert!(store.take_resume("pr").is_none());
+        store.prime_resume(
+            "PR",
+            ResumeSeed {
+                checkpoint: ckpt(6, 12, 4),
+                adopted_epoch: 2,
+                journal_iteration: 8,
+            },
+        );
+        let seed = store.take_resume("pr").expect("staged seed");
+        assert_eq!(seed.checkpoint.iteration, 6);
+        assert_eq!(seed.adopted_epoch, 2);
+        assert_eq!(seed.journal_iteration, 8);
+        assert!(store.take_resume("pr").is_none(), "one-shot");
     }
 
     /// With every epoch corrupt, the typed error propagates — recovery

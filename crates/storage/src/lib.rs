@@ -12,6 +12,7 @@
 
 pub mod catalog;
 pub mod checkpoint;
+pub mod journal;
 pub mod manifest;
 pub mod partition;
 pub mod registry;
@@ -19,9 +20,12 @@ pub mod spill;
 pub mod table;
 
 pub use catalog::Catalog;
-pub use checkpoint::{CheckpointStore, LoopCheckpoint};
+pub use checkpoint::{CheckpointStore, LoopCheckpoint, ResumeSeed};
+pub use journal::{EpochRecord, InputRecord, JournalEntry, QueryJournal};
 pub use manifest::{gc_orphans, Manifest, ManifestSnapshot};
 pub use partition::{hash_partition, partition_of, Partitioned};
 pub use registry::TempRegistry;
-pub use spill::{xxh64, SpillEnv, SpillHandle, SpillManager};
+pub use spill::{
+    read_checkpoint_file, read_partitioned_file, xxh64, SpillEnv, SpillHandle, SpillManager,
+};
 pub use table::Table;

@@ -11,8 +11,11 @@
 //!
 //! The manifest is advisory for correctness — every data file carries its
 //! own checksums and trailer — but authoritative for garbage collection:
-//! [`gc_orphans`] removes `spinner_spill_*` / `spinner_manifest_*` files
-//! whose owning process is dead, so a crashed process never leaks disk.
+//! [`gc_orphans`] removes `spinner_spill_*` / `spinner_manifest_*` /
+//! `spinner_journal_*` files whose owning process is dead, so a crashed
+//! process never leaks disk. Restart adoption (the engine's startup pass)
+//! reads a dead pid's journal and checkpoints *into memory* before GC
+//! runs, so adoption and GC compose without a protect-list.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -252,11 +255,13 @@ pub fn gc_orphans(dir: &Path) -> u64 {
 }
 
 /// Parse the owning pid out of a `spinner_spill_{pid}_…` /
-/// `spinner_manifest_{pid}_…` file name (including their `.tmp` forms).
+/// `spinner_manifest_{pid}_…` / `spinner_journal_{pid}_…` file name
+/// (including their `.tmp` forms).
 fn owner_pid(name: &str) -> Option<u32> {
     let rest = name
         .strip_prefix("spinner_spill_")
-        .or_else(|| name.strip_prefix("spinner_manifest_"))?;
+        .or_else(|| name.strip_prefix("spinner_manifest_"))
+        .or_else(|| name.strip_prefix("spinner_journal_"))?;
     rest.split('_').next()?.parse().ok()
 }
 

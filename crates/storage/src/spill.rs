@@ -257,6 +257,13 @@ impl SpillManager {
         self.durable
     }
 
+    /// Process-unique tag embedded in this manager's file names. The
+    /// engine's query journal shares it so one directory can host
+    /// several engines per process without name collisions.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
     /// The per-process manifest tracking this manager's on-disk state.
     pub fn manifest(&self) -> &Arc<Manifest> {
         &self.manifest
@@ -268,7 +275,7 @@ impl SpillManager {
         manifest::gc_orphans(&self.dir)
     }
 
-    fn hit(&self, site: FaultSite) -> Result<()> {
+    pub(crate) fn hit(&self, site: FaultSite) -> Result<()> {
         match &self.hook {
             Some(h) => h.hit(site),
             None => Ok(()),
@@ -385,13 +392,7 @@ impl SpillManager {
     /// checksum along the way.
     pub fn read_partitioned(&self, handle: &SpillHandle, label: &str) -> Result<Partitioned> {
         let bytes = self.load(handle, label)?;
-        self.note_decode((|| {
-            let mut r = Reader::new(&bytes, label)?;
-            r.header()?;
-            let data = r.partitioned()?;
-            r.finish()?;
-            Ok(data)
-        })())
+        self.note_decode(decode_partitioned_bytes(&bytes, label))
     }
 
     /// Serialize a whole loop checkpoint (counters + named tables).
@@ -411,26 +412,59 @@ impl SpillManager {
     /// checksum along the way.
     pub fn read_checkpoint(&self, handle: &SpillHandle, label: &str) -> Result<LoopCheckpoint> {
         let bytes = self.load(handle, label)?;
-        self.note_decode((|| {
-            let mut r = Reader::new(&bytes, label)?;
-            r.header()?;
-            let iteration = r.u64()?;
-            let cumulative_updates = r.u64()?;
-            let n_tables = r.u32()? as usize;
-            let mut tables = Vec::with_capacity(n_tables);
-            for _ in 0..n_tables {
-                let name = r.str()?;
-                let data = r.partitioned()?;
-                tables.push((name, data));
-            }
-            r.finish()?;
-            Ok(LoopCheckpoint {
-                iteration,
-                cumulative_updates,
-                tables,
-            })
-        })())
+        self.note_decode(decode_checkpoint_bytes(&bytes, label))
     }
+}
+
+/// Read and fully verify a partitioned table directly from `path`, without
+/// a [`SpillManager`] or [`SpillHandle`]. The restart adoption pass uses
+/// this to rehydrate a *dead* process's files — there is no live handle to
+/// own them, and they must be read before orphan GC reclaims them. Any
+/// failure (unreadable, torn, truncated, bit-rotted) is the typed
+/// [`Error::StorageCorrupt`], never silently wrong rows.
+pub fn read_partitioned_file(path: &Path, label: &str) -> Result<Partitioned> {
+    decode_partitioned_bytes(&read_file(path, label)?, label)
+}
+
+/// Read and fully verify a loop checkpoint directly from `path` (see
+/// [`read_partitioned_file`] for why this exists handle-free).
+pub fn read_checkpoint_file(path: &Path, label: &str) -> Result<LoopCheckpoint> {
+    decode_checkpoint_bytes(&read_file(path, label)?, label)
+}
+
+fn read_file(path: &Path, label: &str) -> Result<Vec<u8>> {
+    std::fs::read(path).map_err(|e| Error::StorageCorrupt {
+        region: label.to_string(),
+        message: format!("spill file unreadable: {e}"),
+    })
+}
+
+fn decode_partitioned_bytes(bytes: &[u8], label: &str) -> Result<Partitioned> {
+    let mut r = Reader::new(bytes, label)?;
+    r.header()?;
+    let data = r.partitioned()?;
+    r.finish()?;
+    Ok(data)
+}
+
+fn decode_checkpoint_bytes(bytes: &[u8], label: &str) -> Result<LoopCheckpoint> {
+    let mut r = Reader::new(bytes, label)?;
+    r.header()?;
+    let iteration = r.u64()?;
+    let cumulative_updates = r.u64()?;
+    let n_tables = r.u32()? as usize;
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let name = r.str()?;
+        let data = r.partitioned()?;
+        tables.push((name, data));
+    }
+    r.finish()?;
+    Ok(LoopCheckpoint {
+        iteration,
+        cumulative_updates,
+        tables,
+    })
 }
 
 fn disk_full(bytes: u64) -> Error {
@@ -457,7 +491,7 @@ fn map_write_error(label: &str, e: std::io::Error, bytes: u64) -> Error {
 
 // ---- encoding ----------------------------------------------------------
 
-fn header() -> Vec<u8> {
+pub(crate) fn header() -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     buf.extend_from_slice(MAGIC);
     put_u32(&mut buf, VERSION);
@@ -468,7 +502,7 @@ fn header() -> Vec<u8> {
 /// Append the whole-file trailer: body length + body checksum + seal
 /// magic. Verification order on read is the reverse — magic (torn
 /// write?), length (truncation?), checksum (bit rot?).
-fn seal(buf: &mut Vec<u8>) {
+pub(crate) fn seal(buf: &mut Vec<u8>) {
     let body_len = buf.len() as u64;
     let sum = xxh64(buf);
     put_u64(buf, body_len);
@@ -476,15 +510,15 @@ fn seal(buf: &mut Vec<u8>) {
     buf.extend_from_slice(TRAILER_MAGIC);
 }
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
@@ -557,7 +591,7 @@ fn encode_partitioned(buf: &mut Vec<u8>, data: &Partitioned) {
 
 // ---- decoding ----------------------------------------------------------
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
     label: &'a str,
@@ -568,7 +602,7 @@ impl<'a> Reader<'a> {
     /// present (else torn write), recorded body length matches (else
     /// truncation), whole-body checksum matches (else bit rot). The
     /// returned reader only ever sees the verified body.
-    fn new(bytes: &'a [u8], label: &'a str) -> Result<Self> {
+    pub(crate) fn new(bytes: &'a [u8], label: &'a str) -> Result<Self> {
         let corrupt = |pos: usize, what: &str| Error::StorageCorrupt {
             region: label.to_string(),
             message: format!("corrupt spill file: {what} at offset {pos}"),
@@ -611,7 +645,7 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn header(&mut self) -> Result<()> {
+    pub(crate) fn header(&mut self) -> Result<()> {
         if self.take(8)? != MAGIC {
             return Err(self.corrupt("bad magic"));
         }
@@ -626,19 +660,19 @@ impl<'a> Reader<'a> {
         Ok(())
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    pub(crate) fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
-    fn str(&mut self) -> Result<String> {
+    pub(crate) fn str(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid utf8"))
@@ -712,7 +746,7 @@ impl<'a> Reader<'a> {
         Ok(Partitioned { schema, parts })
     }
 
-    fn finish(&self) -> Result<()> {
+    pub(crate) fn finish(&self) -> Result<()> {
         if self.pos != self.bytes.len() {
             return Err(self.corrupt("trailing bytes"));
         }
