@@ -17,7 +17,11 @@
 //! `DURABILITY_8.json`), `crash` (SIGKILL-at-swept-positions restart
 //! sweep against real `spinner-serve` subprocesses — every position
 //! must resume row-identically within one checkpoint interval; writes
-//! `CRASH_9.json`; not part of `all`).
+//! `CRASH_9.json`; not part of `all`), `workloads` (the PR-10 iterative
+//! ML/graph suite — k-means, label propagation, triangle-weighted
+//! ranking, logistic regression — benchmarked end-to-end with
+//! per-workload convergence gates and oracle checks; writes
+//! `WORKLOADS_10.json`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -45,6 +49,7 @@ fn main() {
         "concurrency" => concurrency(),
         "durability" => durability(),
         "crash" => crash(),
+        "workloads" => workloads(),
         "all" => table1()
             .and_then(|()| fig8())
             .and_then(|()| fig9())
@@ -55,11 +60,13 @@ fn main() {
             .and_then(|()| spill())
             .and_then(|()| bench())
             .and_then(|()| concurrency())
-            .and_then(|()| durability()),
+            .and_then(|()| durability())
+            .and_then(|()| workloads()),
         other => {
             eprintln!(
                 "repro: unknown artifact '{other}'; use table1|fig8|fig9|fig10|\
-                 fig11|convergence|recovery|spill|bench|concurrency|durability|crash|all"
+                 fig11|convergence|recovery|spill|bench|concurrency|durability|\
+                 crash|workloads|all"
             );
             std::process::exit(1);
         }
@@ -634,6 +641,219 @@ fn convergence() -> Result<()> {
              iteration 1 (gate: {SSSP_SPEEDUP_GATE:.0}x)"
         )));
     }
+    Ok(())
+}
+
+/// The PR-10 workload suite, benchmarked end-to-end: each workload runs
+/// once under `EXPLAIN ANALYZE` for the per-iteration series and the
+/// iteration mode, once plainly for the result rows, then passes through
+/// its convergence gate — k-means centroids must land inside their
+/// ground-truth clusters, label propagation must reach the exact oracle
+/// fixpoint in semi-naive mode, triangle rank must match the
+/// multiplicity-aware counting oracle, and logistic regression must
+/// classify ≥95% of its training set. Any failed gate fails the binary
+/// (and CI). Writes `WORKLOADS_10.json`.
+fn workloads() -> Result<()> {
+    use spinner_common::rows_approx_eq;
+    use spinner_datagen::{
+        load_edges_into, load_features_into, load_labeled_graph_into, load_points_into, oracle,
+        FeatureSpec, GraphSpec, LabeledGraphSpec, PointsSpec,
+    };
+    use spinner_procedural::{
+        kmeans_cte, label_propagation_cte, logistic_regression_cte, triangle_rank_cte,
+    };
+
+    header("Workloads — PR-10 iterative ML/graph suite");
+    let mut entries: Vec<String> = Vec::new();
+    let mut report =
+        |name: &str, arm: &ConvergenceArm, total_rows: usize, gate: &str| -> (u64, f64) {
+            let iters = arm.series.len() as u64;
+            let total_ms: f64 = arm.series.iter().map(|x| x.2).sum();
+            let ms_per_iter = total_ms / iters.max(1) as f64;
+            println!(
+                "{name:>14}: mode={:<10} iterations={iters:<3} total={total_ms:>8.2} ms \
+             ({ms_per_iter:.2} ms/iter, {total_rows} rows) gate: {gate}",
+                arm.mode,
+            );
+            entries.push(format!(
+                "    {{\"workload\": \"{name}\", \"mode\": \"{}\", \"iterations\": {iters}, \
+             \"total_ms\": {total_ms:.3}, \"ms_per_iteration\": {ms_per_iter:.3}, \
+             \"rows\": {total_rows}, \"gate\": \"{gate}\"}}",
+                arm.mode,
+            ));
+            (iters, ms_per_iter)
+        };
+    let gate_err = |msg: String| spinner_engine::Error::execution(msg);
+
+    // --- k-means: aggregate-heavy (ARG_MIN + AVG) body, mode=full. ---
+    let pspec = PointsSpec {
+        points: 2_000,
+        clusters: 4,
+        seed: 11,
+        spread: 8.0,
+    };
+    const KMEANS_ITERS: u64 = 15;
+    let db = Database::default();
+    load_points_into(&db, "points", &pspec)?;
+    let sql = kmeans_cte(pspec.clusters, KMEANS_ITERS);
+    let arm = convergence_arm(&db, &sql)?;
+    let rows = db.query(&sql)?;
+    if arm.mode != "full" {
+        return Err(gate_err(format!(
+            "k-means ran mode={}, expected full",
+            arm.mode
+        )));
+    }
+    let centers = pspec.centers();
+    for row in rows.rows() {
+        let cid = row[0].as_i64()? as usize;
+        let (gx, gy) = centers[cid - 1];
+        let (cx, cy) = (row[1].as_f64()?, row[2].as_f64()?);
+        if (cx - gx).abs() > pspec.spread || (cy - gy).abs() > pspec.spread {
+            return Err(gate_err(format!(
+                "k-means centroid {cid} at ({cx:.2}, {cy:.2}) did not converge \
+                 into its cluster around ({gx}, {gy})"
+            )));
+        }
+    }
+    report(
+        "kmeans",
+        &arm,
+        rows.len(),
+        "centroids inside ground-truth clusters",
+    );
+
+    // --- label propagation: monotone MIN body, mode=semi_naive. ---
+    let lspec = LabeledGraphSpec {
+        graph: GraphSpec {
+            nodes: 1_000,
+            edges: 3_000,
+            seed: 21,
+            max_weight: 5,
+        },
+        components: 3,
+        seed_fraction: 0.2,
+    };
+    let db = Database::default();
+    load_labeled_graph_into(&db, "edges", "labels", &lspec)?;
+    let sql = label_propagation_cte();
+    let arm = convergence_arm(&db, &sql)?;
+    let rows = db.query(&sql)?;
+    if arm.mode != "semi_naive" {
+        return Err(gate_err(format!(
+            "label propagation ran mode={}, expected semi_naive",
+            arm.mode
+        )));
+    }
+    let want = oracle::min_label_propagation(&lspec.edges(), &lspec.labels());
+    for row in rows.rows() {
+        let (node, label) = (row[0].as_i64()?, row[1].as_i64()?);
+        if want[&node] != label {
+            return Err(gate_err(format!(
+                "label propagation: node {node} settled on {label}, oracle says {}",
+                want[&node]
+            )));
+        }
+    }
+    report(
+        "labelprop",
+        &arm,
+        rows.len(),
+        "exact oracle fixpoint, semi-naive mode",
+    );
+
+    // --- triangle rank: three-way self-join invariant, mode=full. ---
+    let gspec = GraphSpec {
+        nodes: 400,
+        edges: 1_600,
+        seed: 31,
+        max_weight: 5,
+    };
+    const TRI_ITERS: u64 = 10;
+    let db = Database::default();
+    load_edges_into(&db, "edges", &gspec)?;
+    let sql = triangle_rank_cte(TRI_ITERS);
+    let arm = convergence_arm(&db, &sql)?;
+    let rows = db.query(&sql)?;
+    if arm.mode != "full" {
+        return Err(gate_err(format!(
+            "triangle rank ran mode={}, expected full",
+            arm.mode
+        )));
+    }
+    let want: Vec<spinner_common::Row> = oracle::triangle_rank(&gspec.generate(), TRI_ITERS)
+        .into_iter()
+        .map(|(node, rank)| spinner_common::row_of([Value::Int(node), Value::Float(rank)]))
+        .collect();
+    rows_approx_eq(rows.rows(), &want, spinner_common::DEFAULT_TOLERANCE)
+        .map_err(|msg| gate_err(format!("triangle rank diverged from oracle: {msg}")))?;
+    report(
+        "triangle_rank",
+        &arm,
+        rows.len(),
+        "oracle match within 1e-6",
+    );
+
+    // --- logistic regression: wide float projections, mode=full. ---
+    let fspec = FeatureSpec {
+        rows: 2_000,
+        seed: 17,
+    };
+    const LOGREG_ITERS: u64 = 25;
+    const LOGREG_ACCURACY_GATE: f64 = 0.95;
+    let db = Database::default();
+    load_features_into(&db, "observations", &fspec)?;
+    let sql = logistic_regression_cte(LOGREG_ITERS, 0.1);
+    let arm = convergence_arm(&db, &sql)?;
+    let rows = db.query(&sql)?;
+    if arm.mode != "full" {
+        return Err(gate_err(format!(
+            "logistic regression ran mode={}, expected full",
+            arm.mode
+        )));
+    }
+    let weights = rows
+        .rows()
+        .first()
+        .ok_or_else(|| gate_err("logistic regression returned no weights".into()))?;
+    let (w1, w2, b) = (
+        weights[0].as_f64()?,
+        weights[1].as_f64()?,
+        weights[2].as_f64()?,
+    );
+    let data = fspec.generate();
+    let correct = data
+        .iter()
+        .filter(|r| {
+            let (x1, x2, y) = (
+                r[1].as_f64().unwrap(),
+                r[2].as_f64().unwrap(),
+                r[3].as_f64().unwrap(),
+            );
+            let s = 1.0 / (1.0 + (0.0 - (w1 * x1 + w2 * x2 + b)).exp());
+            (s >= 0.5) == (y >= 0.5)
+        })
+        .count();
+    let accuracy = correct as f64 / data.len() as f64;
+    if accuracy < LOGREG_ACCURACY_GATE {
+        return Err(gate_err(format!(
+            "logistic regression accuracy {accuracy:.3} below gate {LOGREG_ACCURACY_GATE}"
+        )));
+    }
+    report(
+        "logreg",
+        &arm,
+        rows.len(),
+        &format!("training accuracy {accuracy:.3} >= {LOGREG_ACCURACY_GATE}"),
+    );
+
+    let json = format!(
+        "{{\n  \"artifact\": \"workloads\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    std::fs::write("WORKLOADS_10.json", &json)
+        .map_err(|e| gate_err(format!("writing WORKLOADS_10.json: {e}")))?;
+    println!("\nwrote WORKLOADS_10.json");
     Ok(())
 }
 

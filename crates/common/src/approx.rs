@@ -1,0 +1,114 @@
+//! Tolerance-aware comparison of floating-point results.
+//!
+//! Floating-point aggregation is order-sensitive: `SUM`/`AVG` fold each
+//! partition in row order and then merge partial states in partition-index
+//! order, so a fixed `(data, partition count)` pair always produces the
+//! same bits, but *different* partition counts (or an independently coded
+//! oracle) legitimately differ in the last ulps. Tests that compare such
+//! results across configurations must therefore use a tolerance, not
+//! `==`. Integers, strings, booleans and NULLs still compare exactly —
+//! only `Float` values get slack.
+
+use crate::row::Row;
+use crate::value::Value;
+
+/// Default tolerance for engine-vs-oracle and cross-partition-count
+/// comparisons of iterative float workloads: loose enough to absorb
+/// summation-order drift compounded over tens of iterations, tight
+/// enough to catch any real logic error.
+pub const DEFAULT_TOLERANCE: f64 = 1e-6;
+
+/// Combined relative/absolute float comparison:
+/// `|a - b| <= tol * max(1, |a|, |b|)`. The `1` floor makes the check
+/// absolute near zero and relative for large magnitudes, and `NaN`
+/// equals `NaN` (mirroring [`Value::cmp_total`]'s total order).
+pub fn floats_approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return a.is_nan() && b.is_nan();
+    }
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Compare two values, applying [`floats_approx_eq`] when either side is
+/// a `Float` (an Int/Float pair is compared numerically, like
+/// [`Value::cmp_total`]) and exact equality otherwise.
+pub fn values_approx_eq(a: &Value, b: &Value, tol: f64) -> bool {
+    match (a, b) {
+        (Value::Float(_) | Value::Int(_), Value::Float(_) | Value::Int(_)) => {
+            match (a.as_f64(), b.as_f64()) {
+                (Ok(x), Ok(y)) => {
+                    // Int/Int pairs stay exact; a float on either side
+                    // gets the tolerance.
+                    if matches!((a, b), (Value::Int(_), Value::Int(_))) {
+                        a == b
+                    } else {
+                        floats_approx_eq(x, y, tol)
+                    }
+                }
+                _ => a == b,
+            }
+        }
+        _ => a == b,
+    }
+}
+
+/// Compare two row sets cell-by-cell with [`values_approx_eq`].
+/// Returns `Err` with a description of the first mismatch (row/column
+/// index and both cell values) so test failures are self-explanatory.
+pub fn rows_approx_eq(a: &[Row], b: &[Row], tol: f64) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("row count {} vs {}", a.len(), b.len()));
+    }
+    for (i, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+        if ra.len() != rb.len() {
+            return Err(format!("row {i}: width {} vs {}", ra.len(), rb.len()));
+        }
+        for (j, (va, vb)) in ra.iter().zip(rb.iter()).enumerate() {
+            if !values_approx_eq(va, vb, tol) {
+                return Err(format!("row {i} col {j}: {va:?} vs {vb:?} (tol {tol})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::row_of;
+
+    #[test]
+    fn relative_and_absolute_regimes() {
+        assert!(floats_approx_eq(1e12, 1e12 * (1.0 + 1e-9), 1e-6));
+        assert!(floats_approx_eq(0.0, 1e-9, 1e-6));
+        assert!(!floats_approx_eq(1.0, 1.001, 1e-6));
+        assert!(floats_approx_eq(f64::NAN, f64::NAN, 1e-6));
+        assert!(!floats_approx_eq(f64::NAN, 0.0, 1e-6));
+    }
+
+    #[test]
+    fn ints_stay_exact_floats_get_slack() {
+        assert!(!values_approx_eq(&Value::Int(1), &Value::Int(2), 10.0));
+        assert!(values_approx_eq(
+            &Value::Float(1.0),
+            &Value::Float(1.0 + 1e-9),
+            1e-6
+        ));
+        assert!(values_approx_eq(
+            &Value::Int(2),
+            &Value::Float(2.0 + 1e-9),
+            1e-6
+        ));
+        assert!(!values_approx_eq(&Value::Null, &Value::Float(0.0), 1.0));
+        assert!(values_approx_eq(&Value::Null, &Value::Null, 0.0));
+    }
+
+    #[test]
+    fn row_mismatch_reports_position() {
+        let a = vec![row_of([Value::Int(1), Value::Float(2.0)])];
+        let b = vec![row_of([Value::Int(1), Value::Float(2.5)])];
+        let err = rows_approx_eq(&a, &b, 1e-6).unwrap_err();
+        assert!(err.contains("row 0 col 1"), "{err}");
+        assert!(rows_approx_eq(&a, &a, 0.0).is_ok());
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod approx;
 pub mod config;
 pub mod error;
 pub mod guard;
@@ -21,6 +22,7 @@ pub mod value;
 pub use admission::{
     AdmissionController, AdmissionPermit, AdmissionSnapshot, MemoryGate, QueryClass,
 };
+pub use approx::{floats_approx_eq, rows_approx_eq, values_approx_eq, DEFAULT_TOLERANCE};
 pub use config::{EngineConfig, FaultConfig, FaultKind, FaultSite, FaultTrigger, RecoveryPolicy};
 pub use error::{Error, ErrorClass, Result};
 pub use guard::QueryGuard;

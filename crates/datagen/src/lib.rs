@@ -17,8 +17,12 @@
 
 pub mod graph;
 pub mod loader;
+pub mod ml;
+pub mod oracle;
 
 pub use graph::{DatasetPreset, GraphSpec};
 pub use loader::{
-    load_edges_into, load_normalized_edges_into, load_snap_file, load_vertex_status_into,
+    load_edges_into, load_features_into, load_labeled_graph_into, load_normalized_edges_into,
+    load_points_into, load_snap_file, load_vertex_status_into,
 };
+pub use ml::{FeatureSpec, LabeledGraphSpec, PointsSpec, UNLABELED};

@@ -7,6 +7,7 @@ use spinner_common::{row_of, DataType, Field, Result, Row, Schema, Value};
 use spinner_engine::Database;
 
 use crate::graph::GraphSpec;
+use crate::ml::{FeatureSpec, LabeledGraphSpec, PointsSpec};
 
 /// Create and populate the `edges(src, dst, weight)` table from a spec.
 /// The table is hash-distributed on `dst` (the probe side of the PR/SSSP
@@ -50,6 +51,53 @@ pub fn load_vertex_status_into(
         Some(0),
         Some(0),
     )
+}
+
+/// Create and populate `points(pid, x, y)` for the k-means workload,
+/// hash-distributed on `pid` so the per-point assignment group-by stays
+/// partition-local.
+pub fn load_points_into(db: &Database, table: &str, spec: &PointsSpec) -> Result<usize> {
+    let schema = Schema::new(vec![
+        Field::new("pid", DataType::Int),
+        Field::new("x", DataType::Float),
+        Field::new("y", DataType::Float),
+    ]);
+    db.create_table_from_rows(table, schema, spec.generate(), Some(0), Some(0))
+}
+
+/// Create and populate both tables of the label-propagation workload:
+/// symmetric `edges(src, dst, weight)` (distributed on `dst`, the probe
+/// side) and `labels(node, label)` (distributed on `node`).
+pub fn load_labeled_graph_into(
+    db: &Database,
+    edges_table: &str,
+    labels_table: &str,
+    spec: &LabeledGraphSpec,
+) -> Result<usize> {
+    let edge_schema = Schema::new(vec![
+        Field::new("src", DataType::Int),
+        Field::new("dst", DataType::Int),
+        Field::new("weight", DataType::Float),
+    ]);
+    let n = db.create_table_from_rows(edges_table, edge_schema, spec.edges(), None, Some(1))?;
+    let label_schema = Schema::new(vec![
+        Field::new("node", DataType::Int),
+        Field::new("label", DataType::Int),
+    ]);
+    db.create_table_from_rows(labels_table, label_schema, spec.labels(), Some(0), Some(0))?;
+    Ok(n)
+}
+
+/// Create and populate `observations(id, x1, x2, y)` for the
+/// logistic-regression workload.
+pub fn load_features_into(db: &Database, table: &str, spec: &FeatureSpec) -> Result<usize> {
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("x1", DataType::Float),
+        Field::new("x2", DataType::Float),
+        Field::new("y", DataType::Float),
+    ]);
+    db.create_table_from_rows(table, schema, spec.generate(), Some(0), Some(0))
 }
 
 /// Parse a SNAP-format edge list (`src<whitespace>dst` per line, `#`

@@ -1,0 +1,213 @@
+//! Deterministic dataset generators for the iterative-ML workload suite.
+//!
+//! Three shapes back the PR-10 workloads: clustered 2-D points for
+//! k-means, partially-labeled symmetric graphs for label propagation, and
+//! a two-class feature matrix for logistic-regression gradient descent.
+//! Like [`GraphSpec`], every generator is a pure
+//! function of its spec — same spec, same rows — so property tests and
+//! oracles can regenerate the input instead of threading it around.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spinner_common::{row_of, Row, Value};
+
+use crate::graph::GraphSpec;
+
+/// Sentinel label for unseeded nodes in label propagation, matching the
+/// SSSP queries' "infinity" distance convention.
+pub const UNLABELED: i64 = 9_999_999;
+
+/// Clustered 2-D points for the k-means workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointsSpec {
+    /// Number of points (ids 1..=points).
+    pub points: usize,
+    /// Number of ground-truth clusters (and of initial centroids: the
+    /// first `clusters` points are pinned one per cluster, so seeding
+    /// k-means from `pid <= clusters` starts with one centroid in each).
+    pub clusters: usize,
+    /// RNG seed — same spec, same points.
+    pub seed: u64,
+    /// Half-width of the uniform noise box around each cluster center.
+    /// Centers sit on a 100-spaced grid, so any `spread` well below 50
+    /// keeps clusters separated and assignments unambiguous.
+    pub spread: f64,
+}
+
+impl PointsSpec {
+    /// Small default for tests and examples.
+    pub fn small() -> Self {
+        PointsSpec {
+            points: 120,
+            clusters: 3,
+            seed: 11,
+            spread: 4.0,
+        }
+    }
+
+    /// Ground-truth cluster centers on a well-separated grid.
+    pub fn centers(&self) -> Vec<(f64, f64)> {
+        (0..self.clusters)
+            .map(|c| (((c % 4) * 100) as f64, ((c / 4) * 100) as f64))
+            .collect()
+    }
+
+    /// Generate `points(pid, x, y)` rows: point `pid` belongs to cluster
+    /// `(pid - 1) % clusters` for the first `clusters` points (one pinned
+    /// point per cluster) and to a random cluster afterwards.
+    pub fn generate(&self) -> Vec<Row> {
+        assert!(self.clusters >= 1, "need at least one cluster");
+        assert!(
+            self.points >= self.clusters,
+            "need at least one point per cluster"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x3EA);
+        let centers = self.centers();
+        (1..=self.points)
+            .map(|pid| {
+                let c = if pid <= self.clusters {
+                    pid - 1
+                } else {
+                    rng.random_range(0..self.clusters)
+                };
+                let (cx, cy) = centers[c];
+                let dx = (rng.random::<f64>() * 2.0 - 1.0) * self.spread;
+                let dy = (rng.random::<f64>() * 2.0 - 1.0) * self.spread;
+                row_of([
+                    Value::Int(pid as i64),
+                    Value::Float(cx + dx),
+                    Value::Float(cy + dy),
+                ])
+            })
+            .collect()
+    }
+}
+
+/// A symmetric multi-component graph where only a fraction of the nodes
+/// carry a label — the input of the label-propagation workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabeledGraphSpec {
+    /// The underlying symmetric graph (edges via
+    /// [`GraphSpec::generate_symmetric_components`]).
+    pub graph: GraphSpec,
+    /// Number of disjoint components.
+    pub components: usize,
+    /// Fraction of nodes that start labeled (with their own id); the
+    /// rest start at [`UNLABELED`]. Node 1 is always seeded so at least
+    /// one label exists to propagate.
+    pub seed_fraction: f64,
+}
+
+impl LabeledGraphSpec {
+    /// The symmetric edge rows.
+    pub fn edges(&self) -> Vec<Row> {
+        self.graph.generate_symmetric_components(self.components)
+    }
+
+    /// Generate `labels(node, label)` rows.
+    pub fn labels(&self) -> Vec<Row> {
+        assert!((0.0..=1.0).contains(&self.seed_fraction));
+        let mut rng = StdRng::seed_from_u64(self.graph.seed ^ 0x1AB);
+        (1..=self.graph.nodes)
+            .map(|node| {
+                let seeded = node == 1 || rng.random::<f64>() < self.seed_fraction;
+                let label = if seeded { node as i64 } else { UNLABELED };
+                row_of([Value::Int(node as i64), Value::Int(label)])
+            })
+            .collect()
+    }
+}
+
+/// Two-class feature matrix for logistic-regression gradient descent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureSpec {
+    /// Number of observations (ids 1..=rows).
+    pub rows: usize,
+    /// RNG seed — same spec, same matrix.
+    pub seed: u64,
+}
+
+impl FeatureSpec {
+    /// Small default for tests and examples.
+    pub fn small() -> Self {
+        FeatureSpec {
+            rows: 200,
+            seed: 17,
+        }
+    }
+
+    /// Generate `observations(id, x1, x2, y)` rows: class 0 is centered
+    /// at (-2, -2), class 1 at (2, 2), each with ±2 uniform noise — a
+    /// linearly separable problem whose gradient steps are well-scaled.
+    pub fn generate(&self) -> Vec<Row> {
+        assert!(self.rows >= 2, "need at least two observations");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x109);
+        (1..=self.rows)
+            .map(|id| {
+                let y = id % 2; // alternate classes deterministically
+                let center = if y == 0 { -2.0 } else { 2.0 };
+                let x1 = center + (rng.random::<f64>() * 2.0 - 1.0) * 2.0;
+                let x2 = center + (rng.random::<f64>() * 2.0 - 1.0) * 2.0;
+                row_of([
+                    Value::Int(id as i64),
+                    Value::Float(x1),
+                    Value::Float(x2),
+                    Value::Float(y as f64),
+                ])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_deterministic_and_pinned() {
+        let spec = PointsSpec::small();
+        let a = spec.generate();
+        assert_eq!(a, spec.generate());
+        assert_eq!(a.len(), spec.points);
+        // The first `clusters` points sit near distinct centers.
+        let centers = spec.centers();
+        for (i, row) in a.iter().take(spec.clusters).enumerate() {
+            let (cx, cy) = centers[i];
+            let x = row[1].as_f64().unwrap();
+            let y = row[2].as_f64().unwrap();
+            assert!((x - cx).abs() <= spec.spread && (y - cy).abs() <= spec.spread);
+        }
+    }
+
+    #[test]
+    fn labels_seed_fraction_and_node_one() {
+        let spec = LabeledGraphSpec {
+            graph: GraphSpec {
+                nodes: 500,
+                edges: 1_000,
+                seed: 4,
+                max_weight: 5,
+            },
+            components: 2,
+            seed_fraction: 0.3,
+        };
+        let labels = spec.labels();
+        assert_eq!(labels.len(), 500);
+        assert_eq!(labels[0][1], Value::Int(1), "node 1 must be seeded");
+        let seeded = labels
+            .iter()
+            .filter(|r| r[1] != Value::Int(UNLABELED))
+            .count();
+        let frac = seeded as f64 / labels.len() as f64;
+        assert!((frac - 0.3).abs() < 0.1, "got {frac}");
+    }
+
+    #[test]
+    fn features_alternate_classes() {
+        let spec = FeatureSpec::small();
+        let rows = spec.generate();
+        assert_eq!(rows, spec.generate());
+        let ones = rows.iter().filter(|r| r[3] == Value::Float(1.0)).count();
+        assert_eq!(ones, spec.rows / 2);
+    }
+}

@@ -1,0 +1,398 @@
+//! Hand-rolled reference implementations ("oracles") of the iterative
+//! workloads, shared by every property suite.
+//!
+//! Each oracle computes the same fixpoint (or the same fixed number of
+//! iterations) as the corresponding SQL workload, in plain Rust over the
+//! generated rows. The float oracles deliberately replicate the engine's
+//! *per-row* expression order (e.g. `(s - y) * x1`, `dist = dx*dx + dy*dy`)
+//! so the only remaining divergence is aggregation order — which tests
+//! absorb with [`spinner_common::rows_approx_eq`]. Integer oracles
+//! (Dijkstra on integer micro-weights, min-label propagation) match the
+//! engine bit-for-bit.
+
+use std::collections::{BTreeMap, HashMap};
+
+use spinner_common::Row;
+
+use crate::graph::GraphSpec;
+
+/// Reference shortest-path oracle for [`GraphSpec::generate`] graphs:
+/// Dijkstra over the directed edges, indexed by node id (`dist[0]` is
+/// unused; `None` means unreachable, which the SQL workloads report as
+/// the `9999999` sentinel).
+pub fn dijkstra(spec: &GraphSpec, source: usize) -> Vec<Option<f64>> {
+    let rows = spec.generate();
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); spec.nodes + 1];
+    for r in &rows {
+        let s = r[0].as_i64().expect("src is int") as usize;
+        let d = r[1].as_i64().expect("dst is int") as usize;
+        adj[s].push((d, r[2].as_f64().expect("weight is numeric")));
+    }
+    let mut dist: Vec<Option<f64>> = vec![None; spec.nodes + 1];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[source] = Some(0.0);
+    heap.push(std::cmp::Reverse((0i64, source)));
+    while let Some(std::cmp::Reverse((dmicro, u))) = heap.pop() {
+        let d = dmicro as f64 / 1e6;
+        if dist[u].is_some_and(|best| d > best + 1e-12) {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if dist[v].is_none_or(|best| nd < best - 1e-12) {
+                dist[v] = Some(nd);
+                heap.push(std::cmp::Reverse(((nd * 1e6) as i64, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// The converged connected-components label of `node` in a
+/// [`GraphSpec::generate_symmetric_components`] graph: node ids are
+/// striped, so node `n` belongs to component `(n-1) % k`, whose minimum
+/// id — the min-label fixpoint — is `(n-1) % k + 1`.
+pub fn striped_component_label(node: i64, components: usize) -> i64 {
+    (node - 1) % components as i64 + 1
+}
+
+/// Min-label propagation to fixpoint over `edges(src, dst, ..)` rows and
+/// `labels(node, label)` rows: each round every node takes the minimum of
+/// its own label and its in-neighbors' labels, until nothing changes.
+/// Pure integer arithmetic, so the result is exact.
+pub fn min_label_propagation(edges: &[Row], labels: &[Row]) -> BTreeMap<i64, i64> {
+    let mut label: BTreeMap<i64, i64> = labels
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_i64().expect("node is int"),
+                r[1].as_i64().expect("label is int"),
+            )
+        })
+        .collect();
+    let pairs: Vec<(i64, i64)> = edges
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_i64().expect("src is int"),
+                r[1].as_i64().expect("dst is int"),
+            )
+        })
+        .collect();
+    loop {
+        let mut next = label.clone();
+        for &(src, dst) in &pairs {
+            if let (Some(&from), Some(entry)) = (label.get(&src), next.get_mut(&dst)) {
+                *entry = (*entry).min(from);
+            }
+        }
+        if next == label {
+            return label;
+        }
+        label = next;
+    }
+}
+
+/// K-means over `points(pid, x, y)` rows for a fixed number of Lloyd
+/// iterations, mirroring the SQL workload exactly: centroids start at the
+/// points with `pid <= k`; each point joins the centroid minimizing
+/// `dx*dx + dy*dy` (ties on distance go to the smaller centroid id, the
+/// `ARG_MIN` tie-break); a centroid with no members keeps its position.
+/// Returns `(cid, cx, cy)` sorted by centroid id.
+pub fn kmeans(points: &[Row], k: usize, iterations: u64) -> Vec<(i64, f64, f64)> {
+    let pts: Vec<(i64, f64, f64)> = points
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_i64().expect("pid is int"),
+                r[1].as_f64().expect("x is numeric"),
+                r[2].as_f64().expect("y is numeric"),
+            )
+        })
+        .collect();
+    let mut centroids: Vec<(i64, f64, f64)> = pts
+        .iter()
+        .filter(|(pid, _, _)| *pid <= k as i64)
+        .copied()
+        .collect();
+    centroids.sort_by_key(|c| c.0);
+    for _ in 0..iterations {
+        // Assignment: per point, the ARG_MIN centroid by (distance, cid).
+        let mut sums: HashMap<i64, (f64, f64, usize)> = HashMap::new();
+        for &(_, px, py) in &pts {
+            let mut best: Option<(f64, i64)> = None;
+            for &(cid, cx, cy) in &centroids {
+                let dist = (px - cx) * (px - cx) + (py - cy) * (py - cy);
+                let replaces = match best {
+                    None => true,
+                    Some((bd, bc)) => dist < bd || (dist == bd && cid < bc),
+                };
+                if replaces {
+                    best = Some((dist, cid));
+                }
+            }
+            let (_, cid) = best.expect("at least one centroid");
+            let s = sums.entry(cid).or_insert((0.0, 0.0, 0));
+            s.0 += px;
+            s.1 += py;
+            s.2 += 1;
+        }
+        // Update: mean of members, or unchanged for an empty cluster
+        // (the SQL's COALESCE(AVG(..), old)).
+        for c in &mut centroids {
+            if let Some(&(sx, sy, n)) = sums.get(&c.0) {
+                c.1 = sx / n as f64;
+                c.2 = sy / n as f64;
+            }
+        }
+    }
+    centroids
+}
+
+/// Triangle-weighted ranking over `edges(src, dst, ..)` rows for a fixed
+/// number of iterations. `tri(u, p)` counts directed triangles
+/// `u -> v -> p -> u` *with edge-row multiplicity* (the generator can emit
+/// duplicate edges, and the SQL `COUNT(*)` sees every row); each round,
+/// `rank'(u) = 0.2 + 0.8 * Σ_p rank(p) * tri(u, p)`, starting from
+/// `rank = 1.0` on every node that appears as a src or dst.
+pub fn triangle_rank(edges: &[Row], iterations: u64) -> BTreeMap<i64, f64> {
+    let pairs: Vec<(i64, i64)> = edges
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_i64().expect("src is int"),
+                r[1].as_i64().expect("dst is int"),
+            )
+        })
+        .collect();
+    let mut edge_count: HashMap<(i64, i64), i64> = HashMap::new();
+    let mut out: HashMap<i64, Vec<i64>> = HashMap::new();
+    for &(s, d) in &pairs {
+        *edge_count.entry((s, d)).or_insert(0) += 1;
+        out.entry(s).or_default().push(d);
+    }
+    // tri[u][p] = Σ over edge rows (u,v), (v,p), (p,u) of 1.
+    let mut tri: BTreeMap<i64, BTreeMap<i64, i64>> = BTreeMap::new();
+    for &(u, v) in &pairs {
+        if let Some(mids) = out.get(&v) {
+            for &p in mids {
+                if let Some(&closing) = edge_count.get(&(p, u)) {
+                    *tri.entry(u).or_default().entry(p).or_insert(0) += closing;
+                }
+            }
+        }
+    }
+    let mut rank: BTreeMap<i64, f64> = pairs
+        .iter()
+        .flat_map(|&(s, d)| [s, d])
+        .map(|n| (n, 1.0))
+        .collect();
+    for _ in 0..iterations {
+        let next: BTreeMap<i64, f64> = rank
+            .keys()
+            .map(|&u| {
+                let weighted = tri.get(&u).map_or(0.0, |peers| {
+                    peers
+                        .iter()
+                        .map(|(&p, &t)| rank[&p] * t as f64)
+                        .sum::<f64>()
+                });
+                (u, 0.2 + 0.8 * weighted)
+            })
+            .collect();
+        rank = next;
+    }
+    rank
+}
+
+/// Batch-gradient-descent logistic regression over
+/// `observations(id, x1, x2, y)` rows for a fixed number of steps from
+/// `w1 = w2 = b = 0`, replicating the SQL body's expressions:
+/// `s = 1 / (1 + exp(0 - (w1*x1 + w2*x2 + b)))`, then each weight moves
+/// by `-rate * AVG(gradient term)`. Returns `(w1, w2, b)`.
+pub fn logistic_regression(obs: &[Row], iterations: u64, rate: f64) -> (f64, f64, f64) {
+    let data: Vec<(f64, f64, f64)> = obs
+        .iter()
+        .map(|r| {
+            (
+                r[1].as_f64().expect("x1 is numeric"),
+                r[2].as_f64().expect("x2 is numeric"),
+                r[3].as_f64().expect("y is numeric"),
+            )
+        })
+        .collect();
+    let n = data.len() as f64;
+    let (mut w1, mut w2, mut b) = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..iterations {
+        let (mut g1, mut g2, mut gb) = (0.0f64, 0.0f64, 0.0f64);
+        for &(x1, x2, y) in &data {
+            let s = 1.0 / (1.0 + (0.0 - (w1 * x1 + w2 * x2 + b)).exp());
+            g1 += (s - y) * x1;
+            g2 += (s - y) * x2;
+            gb += s - y;
+        }
+        w1 -= rate * (g1 / n);
+        w2 -= rate * (g2 / n);
+        b -= rate * (gb / n);
+    }
+    (w1, w2, b)
+}
+
+/// PageRank in the paper's rank/delta formulation over normalized
+/// `edges(src, dst, weight)` rows for a fixed number of iterations:
+/// `rank' = rank + delta`, `delta' = 0.85 * Σ_incoming delta(src) *
+/// weight`, from `rank = 0, delta = 0.15`. Requires every node to have an
+/// incoming edge (guaranteed by the generator's ring), mirroring the SQL
+/// workload's LEFT-JOIN non-NULL precondition. Returns node → rank.
+pub fn pagerank_delta(edges: &[Row], iterations: u64) -> BTreeMap<i64, f64> {
+    let triples: Vec<(i64, i64, f64)> = edges
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_i64().expect("src is int"),
+                r[1].as_i64().expect("dst is int"),
+                r[2].as_f64().expect("weight is numeric"),
+            )
+        })
+        .collect();
+    let mut state: BTreeMap<i64, (f64, f64)> = triples
+        .iter()
+        .flat_map(|&(s, d, _)| [s, d])
+        .map(|n| (n, (0.0, 0.15)))
+        .collect();
+    for _ in 0..iterations {
+        let mut next: BTreeMap<i64, (f64, f64)> = state
+            .iter()
+            .map(|(&n, &(rank, delta))| (n, (rank + delta, 0.0)))
+            .collect();
+        for &(src, dst, w) in &triples {
+            let incoming = state[&src].1 * w;
+            next.get_mut(&dst).expect("dst is a node").1 += 0.85 * incoming;
+        }
+        state = next;
+    }
+    state.iter().map(|(&n, &(rank, _))| (n, rank)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ml::{LabeledGraphSpec, PointsSpec, UNLABELED};
+    use spinner_common::Value;
+
+    #[test]
+    fn dijkstra_on_a_pure_ring() {
+        // nodes == edges leaves only the ring 1->2->..->n->1, whose
+        // shortest paths from 1 are the weight prefix sums.
+        let spec = GraphSpec {
+            nodes: 6,
+            edges: 6,
+            seed: 1,
+            max_weight: 4,
+        };
+        let rows = spec.generate();
+        let dist = dijkstra(&spec, 1);
+        assert_eq!(dist[1], Some(0.0));
+        let mut acc = 0.0;
+        for r in rows.iter().take(5) {
+            acc += r[2].as_f64().unwrap();
+            assert_eq!(dist[r[1].as_i64().unwrap() as usize], Some(acc));
+        }
+    }
+
+    #[test]
+    fn label_propagation_reaches_component_minima() {
+        let spec = LabeledGraphSpec {
+            graph: GraphSpec {
+                nodes: 40,
+                edges: 100,
+                seed: 8,
+                max_weight: 5,
+            },
+            components: 2,
+            seed_fraction: 1.0, // everyone seeded => CC min-label fixpoint
+        };
+        let labels = min_label_propagation(&spec.edges(), &spec.labels());
+        for (&node, &label) in &labels {
+            assert_eq!(label, striped_component_label(node, 2), "node {node}");
+        }
+    }
+
+    #[test]
+    fn label_propagation_keeps_sentinel_in_unseeded_component() {
+        // Two disjoint single-edge components; only component A seeded.
+        let edges = vec![
+            spinner_common::row_of([Value::Int(1), Value::Int(2), Value::Float(1.0)]),
+            spinner_common::row_of([Value::Int(2), Value::Int(1), Value::Float(1.0)]),
+            spinner_common::row_of([Value::Int(3), Value::Int(4), Value::Float(1.0)]),
+            spinner_common::row_of([Value::Int(4), Value::Int(3), Value::Float(1.0)]),
+        ];
+        let labels = vec![
+            spinner_common::row_of([Value::Int(1), Value::Int(1)]),
+            spinner_common::row_of([Value::Int(2), Value::Int(UNLABELED)]),
+            spinner_common::row_of([Value::Int(3), Value::Int(UNLABELED)]),
+            spinner_common::row_of([Value::Int(4), Value::Int(UNLABELED)]),
+        ];
+        let got = min_label_propagation(&edges, &labels);
+        assert_eq!(got[&2], 1);
+        assert_eq!(got[&3], UNLABELED);
+        assert_eq!(got[&4], UNLABELED);
+    }
+
+    #[test]
+    fn kmeans_recovers_separated_clusters() {
+        let spec = PointsSpec::small();
+        let centroids = kmeans(&spec.generate(), spec.clusters, 20);
+        let centers = spec.centers();
+        assert_eq!(centroids.len(), spec.clusters);
+        // With 100-spaced centers and spread 4, each converged centroid
+        // must sit inside its ground-truth cluster's noise box.
+        for (i, &(cid, cx, cy)) in centroids.iter().enumerate() {
+            assert_eq!(cid, i as i64 + 1);
+            let (gx, gy) = centers[i];
+            assert!(
+                (cx - gx).abs() <= spec.spread && (cy - gy).abs() <= spec.spread,
+                "centroid {cid} at ({cx}, {cy}) far from ({gx}, {gy})"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_rank_counts_multiplicity() {
+        // Triangle 1->2->3->1 with the edge 1->2 duplicated: tri(1, 3)
+        // sees one closing path per copy of each edge on the cycle.
+        let mk = |s: i64, d: i64| {
+            spinner_common::row_of([Value::Int(s), Value::Int(d), Value::Float(1.0)])
+        };
+        let edges = vec![mk(1, 2), mk(1, 2), mk(2, 3), mk(3, 1)];
+        let rank = triangle_rank(&edges, 1);
+        // node 1: tri(1,3) = 2 (two copies of 1->2) => 0.2 + 0.8 * (1.0*2)
+        assert!((rank[&1] - 1.8).abs() < 1e-12, "{}", rank[&1]);
+        // node 2: tri(2,1) = 2 as well (2->3->1->2 twice via dup edge).
+        assert!((rank[&2] - 1.8).abs() < 1e-12, "{}", rank[&2]);
+    }
+
+    #[test]
+    fn logistic_regression_separates_the_classes() {
+        let spec = crate::ml::FeatureSpec::small();
+        let obs = spec.generate();
+        let (w1, w2, b) = logistic_regression(&obs, 50, 0.1);
+        // Class 1 sits at (+2, +2): the decision boundary must classify
+        // the class centers correctly.
+        let score = |x1: f64, x2: f64| 1.0 / (1.0 + (0.0 - (w1 * x1 + w2 * x2 + b)).exp());
+        assert!(score(2.0, 2.0) > 0.9, "{}", score(2.0, 2.0));
+        assert!(score(-2.0, -2.0) < 0.1, "{}", score(-2.0, -2.0));
+    }
+
+    #[test]
+    fn pagerank_mass_is_conserved_on_normalized_edges() {
+        let spec = GraphSpec::small();
+        let rank = pagerank_delta(&spec.generate_normalized(), 20);
+        // With transition weights 1/out_degree and damping 0.85, total
+        // rank approaches n * 0.15 / 0.15 = n (geometric series limit);
+        // after 20 rounds it is close.
+        let total: f64 = rank.values().sum();
+        let n = rank.len() as f64;
+        assert!((total - n).abs() / n < 0.05, "total {total} vs n {n}");
+    }
+}

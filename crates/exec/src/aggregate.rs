@@ -52,6 +52,18 @@ pub enum Accumulator {
         /// Present for `AVG(DISTINCT ...)`: values already seen.
         distinct: Option<HashSet<Value>>,
     },
+    /// `ARG_MIN(val, key)` / `ARG_MAX(val, key)`: the `val` of the row
+    /// with the extreme `key`. Rows with a NULL key are ignored. Ties on
+    /// the key break by the total order on `val` (smaller wins for
+    /// ARG_MIN, larger for ARG_MAX), so the selection is a fold over the
+    /// lexicographic `(key, val)` order — associative and commutative,
+    /// which keeps results independent of partition and merge order.
+    ArgExtreme {
+        /// `true` for ARG_MAX.
+        max: bool,
+        /// Best `(key, val)` pair so far.
+        best: Option<(Value, Value)>,
+    },
 }
 
 impl Accumulator {
@@ -81,7 +93,51 @@ impl Accumulator {
                 n: 0,
                 distinct: distinct_set(),
             },
+            AggFunc::ArgMin => Accumulator::ArgExtreme {
+                max: false,
+                best: None,
+            },
+            AggFunc::ArgMax => Accumulator::ArgExtreme {
+                max: true,
+                best: None,
+            },
         }
+    }
+
+    /// `true` when `candidate` should replace `best` under the
+    /// lexicographic `(key, val)` order of an [`Accumulator::ArgExtreme`].
+    fn pair_replaces(
+        best: &Option<(Value, Value)>,
+        candidate: (&Value, &Value),
+        max: bool,
+    ) -> bool {
+        let Some((bk, bv)) = best else { return true };
+        let ord = candidate
+            .0
+            .cmp_total(bk)
+            .then_with(|| candidate.1.cmp_total(bv));
+        if max {
+            ord.is_gt()
+        } else {
+            ord.is_lt()
+        }
+    }
+
+    /// Feed one `(val, key)` pair into an [`Accumulator::ArgExtreme`].
+    /// NULL keys are ignored, mirroring how other aggregates skip NULLs.
+    pub fn update_pair(&mut self, value: &Value, key: &Value) -> Result<()> {
+        let Accumulator::ArgExtreme { max, best } = self else {
+            return Err(Error::execution(
+                "update_pair on a single-argument accumulator",
+            ));
+        };
+        if key.is_null() {
+            return Ok(());
+        }
+        if Accumulator::pair_replaces(best, (key, value), *max) {
+            *best = Some((key.clone(), value.clone()));
+        }
+        Ok(())
     }
 
     /// Feed one value (already evaluated from the aggregate's argument;
@@ -93,6 +149,9 @@ impl Accumulator {
                 *n += 1;
                 Ok(())
             }
+            Accumulator::ArgExtreme { .. } => Err(Error::execution(
+                "two-argument aggregate fed a single value",
+            )),
             _ if value.is_null() => Ok(()),
             Accumulator::Count { n, distinct } => {
                 if let Some(seen) = distinct {
@@ -241,6 +300,25 @@ impl Accumulator {
                 }
                 _ => Err(Error::execution("mismatched DISTINCT accumulators")),
             },
+            (
+                Accumulator::ArgExtreme { max, best },
+                Accumulator::ArgExtreme {
+                    max: omax,
+                    best: obest,
+                },
+            ) => {
+                if *max != omax {
+                    return Err(Error::execution(
+                        "cannot merge ARG_MIN and ARG_MAX accumulators",
+                    ));
+                }
+                if let Some((k, v)) = obest {
+                    if Accumulator::pair_replaces(best, (&k, &v), *max) {
+                        *best = Some((k, v));
+                    }
+                }
+                Ok(())
+            }
             _ => Err(Error::execution(
                 "cannot merge accumulators of different kinds",
             )),
@@ -260,6 +338,7 @@ impl Accumulator {
                     Value::Float(sum / n as f64)
                 }
             }
+            Accumulator::ArgExtreme { best, .. } => best.map(|(_, v)| v).unwrap_or(Value::Null),
         }
     }
 }
@@ -269,7 +348,8 @@ impl Accumulator {
     /// partial-aggregation row (two-phase aggregation).
     pub fn state_width(func: AggFunc) -> usize {
         match func {
-            AggFunc::Avg => 2, // (sum, count)
+            AggFunc::Avg => 2,                      // (sum, count)
+            AggFunc::ArgMin | AggFunc::ArgMax => 2, // (key, val)
             _ => 1,
         }
     }
@@ -284,6 +364,10 @@ impl Accumulator {
                 vec![acc.unwrap_or(Value::Null)]
             }
             Accumulator::Avg { sum, n, .. } => vec![Value::Float(sum), Value::Int(n)],
+            Accumulator::ArgExtreme { best, .. } => match best {
+                Some((k, v)) => vec![k, v],
+                None => vec![Value::Null, Value::Null],
+            },
         }
     }
 
@@ -337,6 +421,14 @@ impl Accumulator {
                 *n += cells[1].as_i64()?;
                 Ok(())
             }
+            Accumulator::ArgExtreme { max, best } => {
+                if !cells[0].is_null()
+                    && Accumulator::pair_replaces(best, (&cells[0], &cells[1]), *max)
+                {
+                    *best = Some((cells[0].clone(), cells[1].clone()));
+                }
+                Ok(())
+            }
             _ => Err(Error::execution(
                 "DISTINCT accumulators cannot merge partial states",
             )),
@@ -368,6 +460,7 @@ mod tests {
         AggExpr {
             func,
             arg: None,
+            by: None,
             distinct,
             name: "a".into(),
         }
@@ -459,5 +552,64 @@ mod tests {
         let mut a = Accumulator::new(&agg(AggFunc::Sum, false));
         let b = Accumulator::new(&agg(AggFunc::Min, false));
         assert!(a.merge(b).is_err());
+    }
+
+    #[test]
+    fn arg_min_tracks_value_at_smallest_key() {
+        let mut a = Accumulator::new(&agg(AggFunc::ArgMin, false));
+        a.update_pair(&Value::Int(10), &Value::Float(3.0)).unwrap();
+        a.update_pair(&Value::Int(20), &Value::Float(1.0)).unwrap();
+        a.update_pair(&Value::Int(30), &Value::Float(2.0)).unwrap();
+        assert_eq!(a.finish(), Value::Int(20));
+    }
+
+    #[test]
+    fn arg_extreme_ignores_null_keys_and_empty_is_null() {
+        let mut a = Accumulator::new(&agg(AggFunc::ArgMax, false));
+        a.update_pair(&Value::Int(1), &Value::Null).unwrap();
+        assert!(a.clone().finish().is_null());
+        a.update_pair(&Value::Int(2), &Value::Int(5)).unwrap();
+        assert_eq!(a.finish(), Value::Int(2));
+    }
+
+    #[test]
+    fn arg_extreme_tie_breaks_on_value() {
+        // Equal keys: ARG_MIN keeps the smaller value, ARG_MAX the larger
+        // — regardless of arrival order, so partitioning cannot matter.
+        for flip in [false, true] {
+            let mut mn = Accumulator::new(&agg(AggFunc::ArgMin, false));
+            let mut mx = Accumulator::new(&agg(AggFunc::ArgMax, false));
+            let (first, second) = if flip { (9, 4) } else { (4, 9) };
+            for v in [first, second] {
+                mn.update_pair(&Value::Int(v), &Value::Int(1)).unwrap();
+                mx.update_pair(&Value::Int(v), &Value::Int(1)).unwrap();
+            }
+            assert_eq!(mn.finish(), Value::Int(4));
+            assert_eq!(mx.finish(), Value::Int(9));
+        }
+    }
+
+    #[test]
+    fn arg_extreme_merge_and_state_round_trip() {
+        let mut a = Accumulator::new(&agg(AggFunc::ArgMin, false));
+        a.update_pair(&Value::Int(7), &Value::Int(3)).unwrap();
+        let mut b = Accumulator::new(&agg(AggFunc::ArgMin, false));
+        b.update_pair(&Value::Int(8), &Value::Int(2)).unwrap();
+        let cells = b.clone().into_state();
+        assert_eq!(cells.len(), Accumulator::state_width(AggFunc::ArgMin));
+        a.merge(b).unwrap();
+        assert_eq!(a.clone().finish(), Value::Int(8));
+        let mut c = Accumulator::new(&agg(AggFunc::ArgMin, false));
+        c.update_pair(&Value::Int(7), &Value::Int(3)).unwrap();
+        c.merge_state(&cells).unwrap();
+        assert_eq!(c.finish(), Value::Int(8));
+    }
+
+    #[test]
+    fn arg_extreme_rejects_single_value_update() {
+        let mut a = Accumulator::new(&agg(AggFunc::ArgMin, false));
+        assert!(a.update(&Value::Int(1)).is_err());
+        let mut s = Accumulator::new(&agg(AggFunc::Sum, false));
+        assert!(s.update_pair(&Value::Int(1), &Value::Int(2)).is_err());
     }
 }

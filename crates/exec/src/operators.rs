@@ -902,6 +902,18 @@ fn nested_loop_join(
     Ok(out)
 }
 
+/// Evaluate one aggregate's argument(s) against a row and feed the
+/// accumulator: two-argument aggregates (ARG_MIN/ARG_MAX) evaluate both
+/// the value and the ordering key, everything else the single argument
+/// (`Value::Null` for `COUNT(*)`, which ignores its input).
+fn update_accumulator(agg: &AggExpr, acc: &mut Accumulator, row: &Row) -> Result<()> {
+    match (&agg.arg, &agg.by) {
+        (Some(val), Some(key)) => acc.update_pair(&val.evaluate(row)?, &key.evaluate(row)?),
+        (Some(val), None) => acc.update(&val.evaluate(row)?),
+        (None, _) => acc.update(&Value::Null),
+    }
+}
+
 /// Grouped aggregation of one (already key-exchanged) partition.
 fn grouped_aggregate_partition(
     rows: &[Row],
@@ -927,11 +939,7 @@ fn grouped_aggregate_partition(
         };
         let accs = &mut groups[slot].1;
         for (agg, acc) in aggs.iter().zip(accs.iter_mut()) {
-            let value = match &agg.arg {
-                Some(e) => e.evaluate(row)?,
-                None => Value::Null, // COUNT(*) ignores its input
-            };
-            acc.update(&value)?;
+            update_accumulator(agg, acc, row)?;
         }
     }
     let mut out = Vec::with_capacity(groups.len());
@@ -967,11 +975,7 @@ fn partial_aggregate_partition(
             }
         };
         for (agg, acc) in aggs.iter().zip(groups[slot].1.iter_mut()) {
-            let value = match &agg.arg {
-                Some(e) => e.evaluate(row)?,
-                None => Value::Null,
-            };
-            acc.update(&value)?;
+            update_accumulator(agg, acc, row)?;
         }
     }
     let mut out = Vec::with_capacity(groups.len());
@@ -1030,11 +1034,7 @@ fn global_aggregate(
         let mut partial: Vec<Accumulator> = aggs.iter().map(Accumulator::new).collect();
         for row in part.iter() {
             for (agg, acc) in aggs.iter().zip(partial.iter_mut()) {
-                let value = match &agg.arg {
-                    Some(e) => e.evaluate(row)?,
-                    None => Value::Null,
-                };
-                acc.update(&value)?;
+                update_accumulator(agg, acc, row)?;
             }
         }
         for (f, p) in final_accs.iter_mut().zip(partial) {

@@ -649,6 +649,7 @@ mod tests {
             aggs: vec![spinner_plan::AggExpr {
                 func: spinner_plan::AggFunc::Count,
                 arg: Some(PlanExpr::column(1, "b")),
+                by: None,
                 distinct: true,
                 name: "c".into(),
             }],

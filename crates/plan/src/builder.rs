@@ -790,6 +790,8 @@ fn aggregate_func(name: &str) -> Option<AggFunc> {
         "min" => AggFunc::Min,
         "max" => AggFunc::Max,
         "avg" => AggFunc::Avg,
+        "arg_min" => AggFunc::ArgMin,
+        "arg_max" => AggFunc::ArgMax,
         _ => return None,
     })
 }
@@ -910,8 +912,29 @@ fn resolve_aggregate(call: &ast::Expr, input: &Schema, ordinal: usize) -> Result
         return Ok(AggExpr {
             func: AggFunc::CountStar,
             arg: None,
+            by: None,
             distinct: false,
             name: format!("count_star_{ordinal}"),
+        });
+    }
+    if matches!(func, AggFunc::ArgMin | AggFunc::ArgMax) {
+        if args.len() != 2 {
+            return Err(Error::plan(format!(
+                "aggregate {name} takes exactly two arguments (value, key), got {}",
+                args.len()
+            )));
+        }
+        if *distinct {
+            return Err(Error::plan(format!(
+                "aggregate {name} does not support DISTINCT"
+            )));
+        }
+        return Ok(AggExpr {
+            func,
+            arg: Some(resolve_expr(&args[0], input)?),
+            by: Some(resolve_expr(&args[1], input)?),
+            distinct: false,
+            name: format!("{name}_{ordinal}"),
         });
     }
     if args.len() != 1 {
@@ -923,6 +946,7 @@ fn resolve_aggregate(call: &ast::Expr, input: &Schema, ordinal: usize) -> Result
     Ok(AggExpr {
         func,
         arg: Some(resolve_expr(&args[0], input)?),
+        by: None,
         distinct: *distinct,
         name: format!("{name}_{ordinal}"),
     })

@@ -35,6 +35,10 @@ pub enum AggFunc {
     Max,
     /// `AVG(expr)`.
     Avg,
+    /// `ARG_MIN(val, key)` — the `val` of the row with the smallest `key`.
+    ArgMin,
+    /// `ARG_MAX(val, key)` — the `val` of the row with the largest `key`.
+    ArgMax,
 }
 
 impl fmt::Display for AggFunc {
@@ -46,6 +50,8 @@ impl fmt::Display for AggFunc {
             AggFunc::Min => "min",
             AggFunc::Max => "max",
             AggFunc::Avg => "avg",
+            AggFunc::ArgMin => "arg_min",
+            AggFunc::ArgMax => "arg_max",
         })
     }
 }
@@ -58,6 +64,9 @@ pub struct AggExpr {
     pub func: AggFunc,
     /// Argument; `None` only for `COUNT(*)`.
     pub arg: Option<PlanExpr>,
+    /// Ordering key — the second argument of `ARG_MIN`/`ARG_MAX`; `None`
+    /// for every single-argument aggregate.
+    pub by: Option<PlanExpr>,
     /// `true` for `AGG(DISTINCT ...)`.
     pub distinct: bool,
     /// Output column name.
@@ -70,7 +79,7 @@ impl AggExpr {
         match self.func {
             AggFunc::Count | AggFunc::CountStar => DataType::Int,
             AggFunc::Avg => DataType::Float,
-            AggFunc::Sum | AggFunc::Min | AggFunc::Max => self
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max | AggFunc::ArgMin | AggFunc::ArgMax => self
                 .arg
                 .as_ref()
                 .map(|a| a.data_type(input))

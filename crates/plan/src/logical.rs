@@ -272,9 +272,10 @@ impl LogicalPlan {
                 let g: Vec<String> = group.iter().map(|e| e.to_string()).collect();
                 let a: Vec<String> = aggs
                     .iter()
-                    .map(|agg| match &agg.arg {
-                        Some(arg) => format!("{}({arg})", agg.func),
-                        None => agg.func.to_string(),
+                    .map(|agg| match (&agg.arg, &agg.by) {
+                        (Some(arg), Some(by)) => format!("{}({arg}, {by})", agg.func),
+                        (Some(arg), None) => format!("{}({arg})", agg.func),
+                        _ => agg.func.to_string(),
                     })
                     .collect();
                 format!(

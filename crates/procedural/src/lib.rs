@@ -16,6 +16,10 @@
 
 pub mod queries;
 pub mod runner;
+pub mod workloads;
 
 pub use queries::{connected_components, ff, pagerank, sssp, sssp_convergent};
 pub use runner::{run_script, run_script_with_guard, ProcedureScript, RunReport};
+pub use workloads::{
+    kmeans_cte, label_propagation_cte, logistic_regression_cte, triangle_rank_cte,
+};

@@ -526,35 +526,9 @@ mod tests {
 
     #[test]
     fn sssp_finds_true_shortest_paths() {
-        // Independent oracle: Dijkstra over the generated graph.
+        // Shared Dijkstra oracle over the generated graph.
         let spec = GraphSpec::small();
-        let rows = spec.generate();
-        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); spec.nodes + 1];
-        for r in &rows {
-            let (s, d) = (
-                r[0].as_i64().unwrap() as usize,
-                r[1].as_i64().unwrap() as usize,
-            );
-            // The SQL computes dist(node) from incoming edges: src -> dst.
-            adj[s].push((d, r[2].as_f64().unwrap()));
-        }
-        let mut dist = vec![f64::INFINITY; spec.nodes + 1];
-        dist[1] = 0.0;
-        let mut heap = std::collections::BinaryHeap::new();
-        heap.push(std::cmp::Reverse((ordered_float(0.0), 1usize)));
-        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
-            let d = d as f64 / 1e6;
-            if d > dist[u] {
-                continue;
-            }
-            for &(v, w) in &adj[u] {
-                let nd = d + w;
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    heap.push(std::cmp::Reverse((ordered_float(nd), v)));
-                }
-            }
-        }
+        let dist = spinner_datagen::oracle::dijkstra(&spec, 1);
         // Run enough iterations for full convergence on the small graph.
         let db = small_db(false);
         let w = sssp(spec.nodes as u64, 1, false);
@@ -562,19 +536,13 @@ mod tests {
         for row in batch.rows() {
             let node = row[0].as_i64().unwrap() as usize;
             let got = row[1].as_f64().unwrap();
-            let want = dist[node];
-            if want.is_infinite() {
-                assert_eq!(got, 9_999_999.0, "node {node} unreachable");
-            } else {
-                assert!(
+            match dist[node] {
+                Some(want) => assert!(
                     (got - want).abs() < 1e-6,
                     "node {node}: sql={got} dijkstra={want}"
-                );
+                ),
+                None => assert_eq!(got, 9_999_999.0, "node {node} unreachable"),
             }
         }
-    }
-
-    fn ordered_float(f: f64) -> i64 {
-        (f * 1e6) as i64
     }
 }

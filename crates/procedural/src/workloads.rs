@@ -1,0 +1,118 @@
+//! The PR-10 iterative workload suite: four CTE queries whose loop bodies
+//! stress plan shapes beyond [`queries`](crate::queries) — an
+//! aggregate-heavy assignment step (`ARG_MIN` in k-means), multi-self-join
+//! bodies (label propagation, triangle-weighted ranking) and wide float
+//! arithmetic projections (logistic-regression gradient descent).
+//!
+//! Every body is *anchored*: the working table drives the FROM clause and
+//! each key emits exactly one row per iteration (empty-group cases fall
+//! back to the previous value via `COALESCE`), so the merge path and the
+//! rename fast path produce identical results and partition count is
+//! transparent. Each query has a hand-rolled oracle in
+//! `spinner_datagen::oracle`; the property suite in `tests/workloads.rs`
+//! asserts engine ≡ oracle across partition counts, semi-naive on/off and
+//! fault/spill schedules.
+
+/// K-means over `points(pid, x, y)` — the paper's "aggregate-heavy loop
+/// body" shape. Centroids are seeded from the points with `pid <= k`
+/// (the generator pins those one per cluster); the body computes each
+/// point's nearest centroid with `ARG_MIN(cid, squared_distance)` and
+/// re-centers every centroid on the mean of its members, keeping its old
+/// position when the cluster is empty. Non-monotone (centroids move in
+/// any direction), so the optimizer must choose `mode=full`.
+pub fn kmeans_cte(k: usize, iterations: u64) -> String {
+    format!(
+        "WITH ITERATIVE centroids (cid, cx, cy) AS ( \
+            SELECT pid, x, y FROM points WHERE pid <= {k} \
+          ITERATE \
+            SELECT c.cid, \
+                   COALESCE(AVG(a.px), c.cx), \
+                   COALESCE(AVG(a.py), c.cy) \
+            FROM centroids AS c \
+              LEFT JOIN (SELECT ARG_MIN(c2.cid, \
+                                        (p.x - c2.cx) * (p.x - c2.cx) + \
+                                        (p.y - c2.cy) * (p.y - c2.cy)) AS cid, \
+                                p.x AS px, \
+                                p.y AS py \
+                         FROM points AS p, centroids AS c2 \
+                         GROUP BY p.pid, p.x, p.y) AS a \
+                ON a.cid = c.cid \
+            GROUP BY c.cid, c.cx, c.cy \
+          UNTIL {iterations} ITERATIONS ) \
+         SELECT cid, cx, cy FROM centroids ORDER BY cid"
+    )
+}
+
+/// Label propagation over symmetric `edges(src, dst, weight)` plus a
+/// partial `labels(node, label)` assignment — the connected-components
+/// shape generalized to sparse seeds. Each node repeatedly takes the
+/// minimum label among itself and its in-neighbors until no label
+/// changes. Monotone `MIN` accumulator ⇒ eligible for the semi-naive
+/// delta rewrite (`mode=semi_naive`); integer labels ⇒ exact equality
+/// against the oracle fixpoint.
+pub fn label_propagation_cte() -> String {
+    "WITH ITERATIVE lp (node, label) AS ( \
+        SELECT node, label FROM labels \
+      ITERATE \
+        SELECT lp.node, \
+               LEAST(lp.label, COALESCE(MIN(nbr.label), lp.label)) \
+        FROM lp \
+          LEFT JOIN edges AS e ON lp.node = e.dst \
+          LEFT JOIN lp AS nbr ON nbr.node = e.src \
+        GROUP BY lp.node, lp.label \
+      UNTIL DELTA < 1 ) \
+     SELECT node, label FROM lp ORDER BY node"
+        .to_string()
+}
+
+/// Triangle-weighted ranking over `edges(src, dst, weight)` — a
+/// three-way-self-join body. The invariant subquery counts directed
+/// triangles `u -> v -> p -> u` per `(u, p)` pair (edge-row multiplicity
+/// included via `COUNT(*)`); each iteration then redistributes rank along
+/// triangle co-membership: `rank'(u) = 0.2 + 0.8 * Σ_p rank(p) *
+/// tri(u, p)`. The `SUM` accumulator is not monotone-MIN/MAX, so the
+/// optimizer must fall back to `mode=full`.
+pub fn triangle_rank_cte(iterations: u64) -> String {
+    format!(
+        "WITH ITERATIVE twr (node, rank) AS ( \
+            SELECT src, 1.0 \
+            FROM (SELECT src FROM edges UNION SELECT dst FROM edges) \
+          ITERATE \
+            SELECT twr.node, \
+                   0.2 + 0.8 * COALESCE(SUM(peer.rank * t.tri), 0.0) \
+            FROM twr \
+              LEFT JOIN (SELECT e1.src AS node, e2.dst AS peer, COUNT(*) AS tri \
+                         FROM edges AS e1 \
+                           JOIN edges AS e2 ON e2.src = e1.dst \
+                           JOIN edges AS e3 ON e3.src = e2.dst AND e3.dst = e1.src \
+                         GROUP BY e1.src, e2.dst) AS t \
+                ON twr.node = t.node \
+              LEFT JOIN twr AS peer ON peer.node = t.peer \
+            GROUP BY twr.node \
+          UNTIL {iterations} ITERATIONS ) \
+         SELECT node, rank FROM twr ORDER BY node"
+    )
+}
+
+/// Batch-gradient-descent logistic regression over
+/// `observations(id, x1, x2, y)` — a single-row working table whose body
+/// is a wide arithmetic projection through the scalar `exp` kernel. Each
+/// iteration scores every observation with the sigmoid of the current
+/// weights and moves `(w1, w2, b)` against the average gradient.
+/// Non-monotone float updates ⇒ `mode=full`.
+pub fn logistic_regression_cte(iterations: u64, rate: f64) -> String {
+    let sigmoid = "1.0 / (1.0 + exp(0.0 - (w.w1 * o.x1 + w.w2 * o.x2 + w.b)))";
+    format!(
+        "WITH ITERATIVE w (wid, w1, w2, b) AS ( \
+            SELECT 0, 0.0, 0.0, 0.0 \
+          ITERATE \
+            SELECT w.wid, \
+                   w.w1 - {rate} * AVG(({sigmoid} - o.y) * o.x1), \
+                   w.w2 - {rate} * AVG(({sigmoid} - o.y) * o.x2), \
+                   w.b - {rate} * AVG({sigmoid} - o.y) \
+            FROM w, observations AS o \
+            GROUP BY w.wid, w.w1, w.w2, w.b \
+          UNTIL {iterations} ITERATIONS ) \
+         SELECT w1, w2, b FROM w"
+    )
+}

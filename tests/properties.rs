@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use spinner_common::Value;
-use spinner_datagen::{load_edges_into, load_vertex_status_into, GraphSpec};
+use spinner_datagen::{load_edges_into, load_vertex_status_into, oracle, GraphSpec};
 use spinner_engine::{Database, EngineConfig, FaultConfig, FaultSite, RecoveryPolicy};
 use spinner_procedural::{connected_components, ff, pagerank, run_script, sssp};
 
@@ -64,7 +64,7 @@ proptest! {
         let db = load(&spec, EngineConfig::default());
         let w = sssp(spec.nodes as u64 + 1, 1, false);
         let batch = db.query(&w.cte).unwrap();
-        let dist = dijkstra(&spec, 1);
+        let dist = oracle::dijkstra(&spec, 1);
         for row in batch.rows() {
             let node = row[0].as_i64().unwrap() as usize;
             let got = row[1].as_f64().unwrap();
@@ -126,7 +126,7 @@ proptest! {
         for row in batch.rows() {
             let node = row[0].as_i64().unwrap();
             let label = row[1].as_i64().unwrap();
-            let expected = (node - 1) % k as i64 + 1;
+            let expected = oracle::striped_component_label(node, k);
             prop_assert_eq!(label, expected, "node {} labelled {}", node, label);
         }
     }
@@ -338,33 +338,4 @@ proptest! {
         let stats = db.take_stats();
         prop_assert!(stats.spill_events > 0, "a 1-byte threshold must spill");
     }
-}
-
-/// Reference shortest-path oracle.
-fn dijkstra(spec: &GraphSpec, source: usize) -> Vec<Option<f64>> {
-    let rows = spec.generate();
-    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); spec.nodes + 1];
-    for r in &rows {
-        let s = r[0].as_i64().unwrap() as usize;
-        let d = r[1].as_i64().unwrap() as usize;
-        adj[s].push((d, r[2].as_f64().unwrap()));
-    }
-    let mut dist: Vec<Option<f64>> = vec![None; spec.nodes + 1];
-    let mut heap = std::collections::BinaryHeap::new();
-    dist[source] = Some(0.0);
-    heap.push(std::cmp::Reverse((0i64, source)));
-    while let Some(std::cmp::Reverse((dmicro, u))) = heap.pop() {
-        let d = dmicro as f64 / 1e6;
-        if dist[u].is_some_and(|best| d > best + 1e-12) {
-            continue;
-        }
-        for &(v, w) in &adj[u] {
-            let nd = d + w;
-            if dist[v].is_none_or(|best| nd < best - 1e-12) {
-                dist[v] = Some(nd);
-                heap.push(std::cmp::Reverse(((nd * 1e6) as i64, v)));
-            }
-        }
-    }
-    dist
 }

@@ -13,6 +13,12 @@
 //! name, so runs are reproducible), there is **no shrinking** — a failing
 //! case reports the panic from the raw input — and `prop_assert*` are
 //! plain `assert*` (they panic instead of returning `Err`).
+//!
+//! Failure replay: when a case fails, the harness prints
+//! `SPINNER_TEST_SEED=<seed>` before re-raising the panic. Exporting that
+//! variable (and filtering `cargo test` to the one failing test — the
+//! override applies to every `proptest!` test in the process) re-runs
+//! exactly that case's input stream, deterministically.
 
 pub mod test_runner {
     /// Runner configuration; only `cases` is honoured.
@@ -56,6 +62,20 @@ pub mod test_runner {
             TestRng {
                 state: (z ^ (z >> 31)) | 1,
             }
+        }
+
+        /// Rebuild the RNG from a seed previously reported by
+        /// [`TestRng::seed`] — the replay path behind the
+        /// `SPINNER_TEST_SEED` environment override.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed | 1 }
+        }
+
+        /// The current state as a replayable seed. Captured *before* any
+        /// generation, `from_seed(seed)` reproduces the exact value
+        /// stream of this case.
+        pub fn seed(&self) -> u64 {
+            self.state
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -475,14 +495,35 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
-            for case in 0..config.cases {
-                let mut rng = $crate::test_runner::TestRng::for_case(
-                    concat!(module_path!(), "::", stringify!($name)),
-                    u64::from(case),
-                );
-                $(let $pat =
-                    $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                { $body }
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            // `SPINNER_TEST_SEED=<u64>` replays exactly one case with the
+            // seed a previous failure printed; otherwise run the full
+            // name-derived deterministic sweep.
+            let seeds: Vec<u64> = match std::env::var("SPINNER_TEST_SEED") {
+                Ok(s) => vec![s
+                    .trim()
+                    .parse::<u64>()
+                    .expect("SPINNER_TEST_SEED must be an unsigned integer")],
+                Err(_) => (0..config.cases)
+                    .map(|case| {
+                        $crate::test_runner::TestRng::for_case(test_name, u64::from(case)).seed()
+                    })
+                    .collect(),
+            };
+            for seed in seeds {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    { $body }
+                }));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case failed in {test_name}; replay it with \
+                         SPINNER_TEST_SEED={seed}"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
             }
         }
         $crate::__proptest_impl!(($cfg) $($rest)*);
@@ -577,6 +618,17 @@ mod tests {
         let strat = crate::collection::vec(0u64..1000, 3..4);
         let mut a = crate::test_runner::TestRng::for_case("det", 1);
         let mut b = crate::test_runner::TestRng::for_case("det", 1);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn seed_replays_exact_stream() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1_000_000, 4..5);
+        let orig = crate::test_runner::TestRng::for_case("replay", 7);
+        let seed = orig.seed();
+        let mut a = orig;
+        let mut b = crate::test_runner::TestRng::from_seed(seed);
         assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
     }
 }
